@@ -1,0 +1,48 @@
+// Ablation: stacking multiple pegged VMs on one host. Csaba et al. (cited
+// by the paper, §5) create one VM instance per CPU core; this bench
+// measures what that costs the host owner as the VM count grows — each VM
+// commits its own 300 MB and adds its own hypervisor service load.
+//
+// Usage: ./ablation_multivm [repetitions]
+
+#include <cstdio>
+
+#include "bench_args.hpp"
+#include "core/host_impact.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+#include "vmm/profile.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vgrid;
+  const core::RunnerConfig runner = bench::runner_from_args(argc, argv);
+
+  core::HostImpactConfig config;
+  config.runner = runner;
+  core::HostImpactExperiment experiment(config);
+
+  report::Table table(
+      "Multi-VM ablation: host 7z (2 threads) with N pegged VMs (idle "
+      "priority)");
+  table.set_header({"environment", "VMs", "RAM committed (MB)",
+                    "7z 2T %CPU", "MIPS ratio"});
+
+  const auto baseline = experiment.run_7z(2, nullptr);
+  table.add_row({"no-vm", "0", "0",
+                 util::format_double(baseline.cpu_percent, 1), "1.000"});
+
+  for (const auto& profile : vmm::profiles::all()) {
+    // 1 GB of host RAM fits at most three 300 MB guests.
+    for (int vms = 1; vms <= 3; ++vms) {
+      const auto metrics = experiment.run_7z(2, &profile, vms);
+      table.add_row({profile.name, std::to_string(vms),
+                     std::to_string(300 * vms),
+                     util::format_double(metrics.cpu_percent, 1),
+                     util::format_double(metrics.mips / baseline.mips, 3)});
+    }
+  }
+  std::printf("%s\nService load stacks with each VM: volunteering more "
+              "than one VM per spare core quickly eats the host.\n",
+              table.ascii().c_str());
+  return 0;
+}

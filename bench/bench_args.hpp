@@ -1,0 +1,20 @@
+#pragma once
+// Common argv handling for the benches: [repetitions] overrides the
+// paper's default of 50.
+
+#include <cstdlib>
+
+#include "core/experiments.hpp"
+
+namespace vgrid::bench {
+
+inline core::RunnerConfig runner_from_args(int argc, char** argv) {
+  core::RunnerConfig runner = core::figure_runner_config();
+  if (argc > 1) {
+    const int reps = std::atoi(argv[1]);
+    if (reps >= 1) runner.repetitions = reps;
+  }
+  return runner;
+}
+
+}  // namespace vgrid::bench

@@ -1,0 +1,39 @@
+// Deployment-cost bench: the paper's second adoption hindrance (§1) is the
+// size of VM images. For Gonzalez et al.'s 1.4 GB initialization workunit,
+// compare the distribution strategies the paper's related work proposes
+// (central server vs mirrors vs BitTorrent-style P2P) across volunteer
+// population sizes.
+//
+// Usage: ./deployment
+
+#include <cstdio>
+
+#include "grid/deployment.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace vgrid;
+
+  report::Table table(
+      "Deploying the 1.4 GB VM image (server uplink 100 Mbps, volunteers "
+      "10/2 Mbps down/up)");
+  table.set_header({"volunteers", "strategy", "makespan (h)",
+                    "server TB sent"});
+  for (const int volunteers : {10, 100, 1000, 10000}) {
+    grid::DeploymentConfig config;
+    config.volunteers = volunteers;
+    for (const auto& estimate : grid::compare_strategies(config)) {
+      table.add_row(
+          {std::to_string(volunteers), to_string(estimate.strategy),
+           util::format_double(estimate.makespan_seconds / 3600.0, 2),
+           util::format_double(estimate.server_bytes_sent / 1e12, 3)});
+    }
+  }
+  std::printf("%s\nCentral distribution collapses with scale (the paper: "
+              "image size \"mostly limits the system to local area "
+              "environments\"); P2P keeps the makespan near the volunteer "
+              "downlink bound at every scale.\n",
+              table.ascii().c_str());
+  return 0;
+}

@@ -1,0 +1,52 @@
+#pragma once
+// Shared driver for the figure-reproduction benches: run one figure of the
+// paper with the full 50-repetition methodology (overridable via argv[1]),
+// print the paper-vs-measured table with deltas and an ASCII bar chart,
+// and drop a CSV next to the binary for external plotting.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_args.hpp"
+#include "core/experiments.hpp"
+#include "report/barchart.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+namespace vgrid::bench {
+
+inline int run_figure_bench(const core::FigureResult& figure) {
+  report::Table table(figure.id + ": " + figure.title);
+  table.set_header({"environment", "measured", "paper", "delta"});
+  report::BarChart chart("", figure.unit);
+  for (const auto& row : figure.rows) {
+    std::string paper = "-";
+    std::string delta = "-";
+    if (row.paper) {
+      paper = util::format_double(*row.paper, 3);
+      if (*row.paper != 0.0) {
+        delta = util::format("%+.1f%%",
+                             (row.measured / *row.paper - 1.0) * 100.0);
+      }
+    }
+    table.add_row({row.label, util::format_double(row.measured, 3), paper,
+                   delta});
+    chart.add(row.label, row.measured);
+  }
+  std::printf("%s  [%s]\n\n%s\n%s", table.ascii().c_str(),
+              figure.unit.c_str(), chart.ascii().c_str(), "\n");
+
+  const std::string csv_path = figure.id + ".csv";
+  try {
+    report::write_csv(csv_path, table);
+    std::printf("series written to %s\n", csv_path.c_str());
+  } catch (const std::exception&) {
+    // Read-only working directory: the printed table is the deliverable.
+  }
+  return 0;
+}
+
+}  // namespace vgrid::bench

@@ -1,0 +1,116 @@
+// google-benchmark microbenchmarks of the simulation substrate itself:
+// event-queue throughput, scheduler pass cost, and end-to-end simulated
+// seconds per wall second for the paper's host-impact scenario. These
+// quantify how cheap the 50-repetition methodology is on this machine.
+
+#include <benchmark/benchmark.h>
+
+#include "core/testbed.hpp"
+#include "hw/machine.hpp"
+#include "os/fair_scheduler.hpp"
+#include "os/scheduler.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "vmm/profile.hpp"
+#include "vmm/virtual_machine.hpp"
+#include "workloads/einstein/worker.hpp"
+
+namespace {
+
+using namespace vgrid;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (int i = 0; i < state.range(0); ++i) {
+      queue.push(static_cast<sim::SimTime>(rng.below(1'000'000)), [] {});
+    }
+    while (!queue.empty()) {
+      benchmark::DoNotOptimize(queue.pop().time);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(10000);
+
+void BM_SimulatorEventChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    int remaining = static_cast<int>(state.range(0));
+    std::function<void()> hop = [&] {
+      if (--remaining > 0) simulator.schedule(1, hop);
+    };
+    simulator.schedule(1, hop);
+    simulator.run();
+    benchmark::DoNotOptimize(simulator.now());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SimulatorEventChain)->Arg(10000);
+
+template <typename SchedulerT>
+void scheduler_contended_run(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    hw::Machine machine{simulator};
+    SchedulerT scheduler{machine};
+    for (int i = 0; i < 4; ++i) {
+      os::ProgramBuilder builder;
+      builder.compute(5e8, hw::mixes::sevenzip());
+      scheduler.spawn("t" + std::to_string(i),
+                      i % 2 ? os::PriorityClass::kIdle
+                            : os::PriorityClass::kNormal,
+                      builder.build());
+    }
+    while (!scheduler.all_done() && simulator.pending_events() > 0) {
+      simulator.step();
+    }
+    benchmark::DoNotOptimize(simulator.processed_events());
+  }
+}
+
+void BM_PrioritySchedulerContended(benchmark::State& state) {
+  scheduler_contended_run<os::PriorityScheduler>(state);
+}
+BENCHMARK(BM_PrioritySchedulerContended);
+
+void BM_FairSchedulerContended(benchmark::State& state) {
+  scheduler_contended_run<os::FairScheduler>(state);
+}
+BENCHMARK(BM_FairSchedulerContended);
+
+void BM_HostImpactScenarioSimSecondsPerWallSecond(benchmark::State& state) {
+  // One simulated second of the paper's Fig. 7 scenario (pegged VM +
+  // 2-thread host benchmark); items/sec therefore reports simulated
+  // seconds per wall second.
+  for (auto _ : state) {
+    core::Testbed testbed;
+    vmm::VmConfig config;
+    config.priority = os::PriorityClass::kIdle;
+    vmm::VirtualMachine vm(testbed.scheduler(),
+                           vmm::profiles::vmplayer(), config);
+    vm.run_guest("einstein",
+                 std::make_unique<workloads::einstein::EinsteinProgram>(
+                     workloads::einstein::EinsteinConfig{},
+                     /*continuous=*/true));
+    for (int i = 0; i < 2; ++i) {
+      os::ProgramBuilder builder;
+      builder.compute(1e12, hw::mixes::sevenzip());  // outlasts the window
+      testbed.scheduler().spawn("7z-" + std::to_string(i),
+                                os::PriorityClass::kNormal,
+                                builder.build());
+    }
+    testbed.simulator().run_until(sim::from_seconds(1.0));
+    benchmark::DoNotOptimize(testbed.simulator().processed_events());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HostImpactScenarioSimSecondsPerWallSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

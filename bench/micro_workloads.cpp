@@ -1,0 +1,157 @@
+// google-benchmark microbenchmarks of the real workload kernels: the
+// compressor, the matrix multiply, the NBench kernels, the FFT and the
+// Einstein heterodyne search. These measure the *native* implementations
+// on the build machine — the raw material behind the simulated instruction
+// budgets.
+
+#include <benchmark/benchmark.h>
+
+#include "workloads/einstein/fft.hpp"
+#include "workloads/einstein/worker.hpp"
+#include "workloads/matrix.hpp"
+#include "workloads/nbench/kernels.hpp"
+#include "workloads/sevenzip/bench7z.hpp"
+#include "workloads/sevenzip/compressor.hpp"
+
+namespace {
+
+using namespace vgrid::workloads;
+
+// ---- 7z-style compressor ------------------------------------------------------
+
+void BM_Compress(benchmark::State& state) {
+  const auto corpus = SevenZipBench::generate_corpus(
+      static_cast<std::uint64_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    auto packed = sevenzip::compress(corpus);
+    benchmark::DoNotOptimize(packed);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Compress)->Arg(64 << 10)->Arg(256 << 10)->Arg(1 << 20);
+
+void BM_Decompress(benchmark::State& state) {
+  const auto corpus = SevenZipBench::generate_corpus(
+      static_cast<std::uint64_t>(state.range(0)), 42);
+  const auto packed = sevenzip::compress(corpus);
+  for (auto _ : state) {
+    auto restored = sevenzip::decompress(packed);
+    benchmark::DoNotOptimize(restored);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Decompress)->Arg(64 << 10)->Arg(1 << 20);
+
+// ---- Matrix ---------------------------------------------------------------------
+
+void BM_MatrixMultiply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n * n, 1.5);
+  std::vector<double> b(n * n, 0.5);
+  std::vector<double> c(n * n);
+  for (auto _ : state) {
+    MatrixBenchmark::multiply(a, b, c, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_MatrixMultiply)->Arg(64)->Arg(128)->Arg(256);
+
+// ---- NBench kernels ----------------------------------------------------------------
+
+void BM_NumericSort(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nbench::run_numeric_sort(1, 7).checksum);
+  }
+}
+BENCHMARK(BM_NumericSort);
+
+void BM_StringSort(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nbench::run_string_sort(1, 7).checksum);
+  }
+}
+BENCHMARK(BM_StringSort);
+
+void BM_Bitfield(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nbench::run_bitfield(1, 7).checksum);
+  }
+}
+BENCHMARK(BM_Bitfield);
+
+void BM_Assignment(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nbench::run_assignment(1, 7).checksum);
+  }
+}
+BENCHMARK(BM_Assignment);
+
+void BM_Idea(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nbench::run_idea(1, 7).checksum);
+  }
+}
+BENCHMARK(BM_Idea);
+
+void BM_Huffman(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nbench::run_huffman(1, 7).checksum);
+  }
+}
+BENCHMARK(BM_Huffman);
+
+void BM_Fourier(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nbench::run_fourier(1, 7).checksum);
+  }
+}
+BENCHMARK(BM_Fourier);
+
+void BM_Neural(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nbench::run_neural(1, 7).checksum);
+  }
+}
+BENCHMARK(BM_Neural);
+
+void BM_LuDecomp(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nbench::run_lu_decomp(1, 7).checksum);
+  }
+}
+BENCHMARK(BM_LuDecomp);
+
+// ---- FFT / Einstein -------------------------------------------------------------------
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<einstein::Complex> data(n, einstein::Complex(1.0, 0.0));
+  for (auto _ : state) {
+    einstein::fft(data, false);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Fft)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_EinsteinSearch(benchmark::State& state) {
+  einstein::EinsteinConfig config;
+  config.samples = 4096;
+  config.template_count = static_cast<std::size_t>(state.range(0));
+  const einstein::EinsteinWorker worker(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(worker.search().snr);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EinsteinSearch)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// calibrate: run every workload natively through the WorkloadMeter and
+// print its resource profile next to the simulated budget — the bridge
+// between real executions on this machine and the simulator's instruction
+// accounting. Use this when porting the library to new workloads: run the
+// meter, read off the implied rate, choose an instruction mix.
+//
+// Run:  ./calibrate
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "workloads/einstein/worker.hpp"
+#include "workloads/iobench.hpp"
+#include "workloads/matrix.hpp"
+#include "workloads/netbench.hpp"
+#include "workloads/meter.hpp"
+#include "workloads/sevenzip/bench7z.hpp"
+
+int main() {
+  using namespace vgrid::workloads;
+
+  std::vector<std::unique_ptr<Workload>> workloads;
+
+  Bench7zConfig sevenzip;
+  sevenzip.data_bytes = 2 * 1024 * 1024;
+  workloads.push_back(std::make_unique<SevenZipBench>(sevenzip));
+
+  workloads.push_back(std::make_unique<MatrixBenchmark>(256));
+
+  IoBenchConfig iobench;
+  iobench.min_file_bytes = 128 * 1024;
+  iobench.max_file_bytes = 4 * 1024 * 1024;  // short sweep for the demo
+  workloads.push_back(std::make_unique<IoBench>(iobench));
+
+  NetBenchConfig netbench;
+  netbench.stream_bytes = 4 * 1000 * 1000;
+  workloads.push_back(std::make_unique<NetBench>(netbench));
+
+  einstein::EinsteinConfig einstein_config;
+  einstein_config.samples = 4096;
+  einstein_config.template_count = 24;
+  workloads.push_back(
+      std::make_unique<einstein::EinsteinWorker>(einstein_config));
+
+  std::printf("Native workload profiles on this machine:\n\n");
+  for (const auto& workload : workloads) {
+    const ResourceProfile profile = meter(*workload);
+    std::printf("  %s\n", describe(profile).c_str());
+  }
+  std::printf(
+      "\nCPU-bound rows should show util ~1.0 and similar implied rates;\n"
+      "I/O- and network-bound rows show util << 1 (time spent blocked),\n"
+      "matching the simulator's treatment of them as device time.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// vm_compare: the paper's whole evaluation in one run — guest performance
+// of all four virtual environments on CPU / disk / network benchmarks
+// (Figures 1-4) and the host-impact summary (Figures 7-8), printed as
+// tables and ASCII bar charts.
+//
+// Run:  ./vm_compare [repetitions]   (default 10; the paper used >= 50)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiments.hpp"
+#include "report/barchart.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+void print_figure(const vgrid::core::FigureResult& figure) {
+  vgrid::report::Table table(figure.id + ": " + figure.title + " [" +
+                             figure.unit + "]");
+  table.set_header({"environment", "measured", "paper"});
+  vgrid::report::BarChart chart("", "");
+  for (const auto& row : figure.rows) {
+    table.add_row({row.label,
+                   vgrid::util::format_double(row.measured, 3),
+                   row.paper ? vgrid::util::format_double(*row.paper, 3)
+                             : std::string("-")});
+    chart.add(row.label, row.measured);
+  }
+  std::printf("%s\n%s\n", table.ascii().c_str(), chart.ascii().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vgrid::core::RunnerConfig runner = vgrid::core::figure_runner_config();
+  runner.repetitions = argc > 1 ? std::atoi(argv[1]) : 10;
+  if (runner.repetitions < 1) runner.repetitions = 1;
+
+  std::printf("== Guest performance (paper §4.1) ==\n\n");
+  print_figure(vgrid::core::fig1_7z(runner));
+  print_figure(vgrid::core::fig2_matrix(runner));
+  print_figure(vgrid::core::fig3_iobench(runner));
+  print_figure(vgrid::core::fig4_netbench(runner));
+
+  std::printf("== Impact on host (paper §4.2) ==\n\n");
+  print_figure(vgrid::core::fig7_cpu_available(runner));
+  print_figure(vgrid::core::fig8_mips_ratio(runner));
+  return 0;
+}

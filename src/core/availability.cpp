@@ -1,0 +1,137 @@
+#include "core/availability.hpp"
+
+#include <cmath>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace vgrid::core {
+
+namespace {
+
+void validate(const AvailabilityConfig& config) {
+  if (config.mean_session_seconds <= 0 || config.mean_gap_seconds < 0 ||
+      config.workunit_cpu_seconds <= 0 ||
+      config.checkpoint_write_seconds < 0 ||
+      config.checkpoint_interval_seconds <= 0 ||
+      config.restore_seconds < 0 || config.trials < 1 ||
+      config.weibull_shape <= 0) {
+    throw util::ConfigError("AvailabilityConfig: invalid parameters");
+  }
+}
+
+/// Draw one session length with the configured mean.
+double draw_session(const AvailabilityConfig& config,
+                    util::Xoshiro256& rng) {
+  if (config.session_distribution == SessionDistribution::kExponential) {
+    return rng.exponential(1.0 / config.mean_session_seconds);
+  }
+  // Weibull via inversion: X = scale * (-ln U)^(1/k), with the scale
+  // chosen so the mean is mean_session_seconds (mean = scale * Gamma(1 +
+  // 1/k)).
+  const double k = config.weibull_shape;
+  const double scale =
+      config.mean_session_seconds / std::tgamma(1.0 + 1.0 / k);
+  double u = rng.uniform01();
+  while (u <= 0.0) u = rng.uniform01();
+  return scale * std::pow(-std::log(u), 1.0 / k);
+}
+
+struct TrialOutcome {
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  int interruptions = 0;
+};
+
+TrialOutcome run_trial(const AvailabilityConfig& config,
+                       util::Xoshiro256& rng) {
+  TrialOutcome outcome;
+  double done = 0.0;        // completed useful work, durable
+  double session_done = 0.0;  // useful work since last durable point
+  // Effective compute rate while running: each checkpoint interval costs
+  // interval + write time of wall/CPU for interval of useful work.
+  const double checkpoint_tax =
+      config.checkpointing_enabled
+          ? config.checkpoint_interval_seconds /
+                (config.checkpoint_interval_seconds +
+                 config.checkpoint_write_seconds)
+          : 1.0;
+
+  bool first_session = true;
+  while (true) {
+    const double session = draw_session(config, rng);
+    double usable = session;
+    if (!first_session) {
+      // Coming back: restore the VM (or cold-start the workunit).
+      usable -= config.restore_seconds;
+    }
+    first_session = false;
+    if (usable > 0.0) {
+      const double useful = usable * checkpoint_tax;
+      const double needed = config.workunit_cpu_seconds - done;
+      if (useful >= needed) {
+        // Completes within this session.
+        const double wall_needed = needed / checkpoint_tax;
+        outcome.wall_seconds += (session - usable) + wall_needed;
+        outcome.cpu_seconds += (session - usable) + wall_needed;
+        return outcome;
+      }
+      session_done = useful;
+      outcome.cpu_seconds += session;
+      if (config.checkpointing_enabled) {
+        // Durable up to the last completed checkpoint.
+        const double checkpoints_done = std::floor(
+            session_done / config.checkpoint_interval_seconds);
+        done += checkpoints_done * config.checkpoint_interval_seconds;
+      } else {
+        done = 0.0;  // legacy app: everything is lost
+      }
+    }
+    ++outcome.interruptions;
+    outcome.wall_seconds += session;
+    outcome.wall_seconds += rng.exponential(1.0 / config.mean_gap_seconds);
+    // Safety valve: a workunit that cannot finish in a year is abandoned.
+    if (outcome.wall_seconds > 365.0 * 86400.0) return outcome;
+  }
+}
+
+}  // namespace
+
+AvailabilityResult simulate_churn(const AvailabilityConfig& config) {
+  validate(config);
+  util::Xoshiro256 rng(config.seed);
+  std::vector<double> walls;
+  walls.reserve(static_cast<std::size_t>(config.trials));
+  double cpu_total = 0.0;
+  double interruptions = 0.0;
+  for (int t = 0; t < config.trials; ++t) {
+    const TrialOutcome outcome = run_trial(config, rng);
+    walls.push_back(outcome.wall_seconds);
+    cpu_total += outcome.cpu_seconds;
+    interruptions += outcome.interruptions;
+  }
+  AvailabilityResult result;
+  result.completion_wall_seconds = stats::summarize(walls);
+  result.cpu_overhead_factor =
+      cpu_total / (config.workunit_cpu_seconds *
+                   static_cast<double>(config.trials));
+  result.mean_interruptions =
+      interruptions / static_cast<double>(config.trials);
+  return result;
+}
+
+std::vector<std::pair<double, AvailabilityResult>> sweep_checkpoint_interval(
+    AvailabilityConfig config, const std::vector<double>& intervals) {
+  std::vector<std::pair<double, AvailabilityResult>> results;
+  results.reserve(intervals.size());
+  for (const double interval : intervals) {
+    config.checkpoint_interval_seconds = interval;
+    results.emplace_back(interval, simulate_churn(config));
+  }
+  return results;
+}
+
+}  // namespace vgrid::core

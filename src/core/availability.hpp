@@ -1,0 +1,60 @@
+#pragma once
+// Volunteer churn and the value of VM checkpointing. The paper motivates
+// VM-level save/restore with fault tolerance (§1): volunteer machines come
+// and go, and without transparent checkpointing a legacy application loses
+// all progress when the volunteer leaves. This Monte-Carlo model
+// quantifies that: a workunit needing W CPU-seconds executes across
+// exponentially distributed availability sessions; with checkpointing,
+// an interruption only loses work since the last snapshot (plus snapshot
+// and restore costs); without it, the workunit restarts from scratch.
+
+#include <cstdint>
+
+#include "stats/descriptive.hpp"
+
+namespace vgrid::core {
+
+/// Volunteer session-length distribution. Exponential is the analytic
+/// default; measured desktop-grid availability traces are better fit by a
+/// Weibull with shape < 1 (heavy tail of long sessions plus many short
+/// ones — Nurmi/Brevik/Wolski's finding for exactly this population).
+enum class SessionDistribution { kExponential, kWeibull };
+
+struct AvailabilityConfig {
+  double mean_session_seconds = 2.0 * 3600.0;  ///< volunteer uptime burst
+  double mean_gap_seconds = 0.5 * 3600.0;      ///< offline between sessions
+  SessionDistribution session_distribution =
+      SessionDistribution::kExponential;
+  /// Weibull shape k (only with kWeibull); k < 1 = heavy-tailed.
+  double weibull_shape = 0.6;
+  double workunit_cpu_seconds = 4.0 * 3600.0;  ///< work to complete
+  /// Writing the VM state (300 MB image at disk speed) — paid per
+  /// checkpoint while running.
+  double checkpoint_write_seconds = 6.0;
+  double checkpoint_interval_seconds = 600.0;
+  /// Restoring the VM and resuming on return.
+  double restore_seconds = 25.0;
+  bool checkpointing_enabled = true;
+  int trials = 2000;
+  std::uint64_t seed = 4242;
+};
+
+struct AvailabilityResult {
+  /// Wall-clock time until the workunit completes (includes offline gaps).
+  stats::Summary completion_wall_seconds;
+  /// CPU spent / useful work — 1.0 is perfect, higher means waste.
+  double cpu_overhead_factor = 0.0;
+  double mean_interruptions = 0.0;
+};
+
+/// Monte-Carlo estimate of workunit completion under churn.
+/// Throws ConfigError on invalid parameters.
+AvailabilityResult simulate_churn(const AvailabilityConfig& config);
+
+/// Expected completion for a sweep of checkpoint intervals — exposes the
+/// classic trade-off (too frequent: snapshot overhead; too rare: lost
+/// work). Returns one result per interval.
+std::vector<std::pair<double, AvailabilityResult>> sweep_checkpoint_interval(
+    AvailabilityConfig config, const std::vector<double>& intervals);
+
+}  // namespace vgrid::core

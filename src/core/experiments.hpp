@@ -1,0 +1,54 @@
+#pragma once
+// Figure-level drivers: one function per figure of the paper, each
+// returning the measured series next to the paper's reported values so the
+// benches (and EXPERIMENTS.md) can show paper-vs-measured directly.
+//
+// Paper values marked "read from plot" are approximate — the paper gives
+// exact numbers only in the text for some series.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+
+namespace vgrid::core {
+
+struct FigureRow {
+  std::string label;
+  double measured = 0.0;
+  std::optional<double> paper;  ///< the paper's value, when reported
+};
+
+struct FigureResult {
+  std::string id;     ///< "fig1" ... "fig8"
+  std::string title;
+  std::string unit;   ///< e.g. "slowdown vs native", "Mbps", "% overhead"
+  std::vector<FigureRow> rows;
+};
+
+/// Default repetition settings for figure reproduction: the paper's 50
+/// repetitions with ~1% input variation.
+RunnerConfig figure_runner_config();
+
+FigureResult fig1_7z(RunnerConfig runner = figure_runner_config());
+FigureResult fig2_matrix(RunnerConfig runner = figure_runner_config());
+FigureResult fig3_iobench(RunnerConfig runner = figure_runner_config());
+
+/// Figure 3's underlying sweep: per-file-size slowdown for each
+/// environment (small files are dominated by per-request emulation
+/// overhead, large files by the bandwidth multiplier). Not a separate
+/// figure in the paper; the fig3 bench prints it as supporting detail.
+FigureResult fig3_iobench_by_size(
+    RunnerConfig runner = figure_runner_config());
+FigureResult fig4_netbench(RunnerConfig runner = figure_runner_config());
+FigureResult fig5_mem_index(RunnerConfig runner = figure_runner_config());
+FigureResult fig6_int_fp_index(RunnerConfig runner = figure_runner_config());
+FigureResult fig7_cpu_available(RunnerConfig runner = figure_runner_config());
+FigureResult fig8_mips_ratio(RunnerConfig runner = figure_runner_config());
+
+/// All eight figures, in paper order.
+std::vector<FigureResult> all_figures(
+    RunnerConfig runner = figure_runner_config());
+
+}  // namespace vgrid::core

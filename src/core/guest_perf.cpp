@@ -1,0 +1,71 @@
+#include "core/guest_perf.hpp"
+
+#include "core/scaled_program.hpp"
+#include "core/testbed.hpp"
+#include "util/units.hpp"
+#include "vmm/virtual_machine.hpp"
+
+namespace vgrid::core {
+
+GuestPerfExperiment::GuestPerfExperiment(ProgramFactory factory,
+                                         RunnerConfig runner)
+    : factory_(std::move(factory)), runner_config_(runner) {}
+
+double GuestPerfExperiment::run_one(double scale,
+                                    const vmm::VmmProfile* profile,
+                                    std::optional<vmm::NetMode> net_mode) {
+  Testbed testbed;
+  auto program =
+      std::make_unique<ScaledProgram>(factory_(), scale);
+  if (profile == nullptr) {
+    auto& thread = testbed.scheduler().spawn(
+        "bench-native", os::PriorityClass::kNormal, std::move(program));
+    return testbed.run_until_done(thread);
+  }
+  vmm::VmConfig config;
+  config.name = profile->name;
+  config.priority = os::PriorityClass::kNormal;  // guest is the only load
+  config.net_mode = net_mode;
+  auto vm = std::make_unique<vmm::VirtualMachine>(testbed.scheduler(),
+                                                  *profile, config);
+  auto& thread = vm->run_guest("bench", std::move(program));
+  return testbed.run_until_done(thread);
+}
+
+stats::Summary GuestPerfExperiment::measure_native() {
+  if (native_cache_) return *native_cache_;
+  Runner runner(runner_config_);
+  native_cache_ =
+      runner.measure([this](double scale) { return run_one(scale, nullptr, {}); });
+  return *native_cache_;
+}
+
+stats::Summary GuestPerfExperiment::measure_under(
+    const vmm::VmmProfile& profile, std::optional<vmm::NetMode> net_mode) {
+  Runner runner(runner_config_);
+  return runner.measure([this, &profile, net_mode](double scale) {
+    return run_one(scale, &profile, net_mode);
+  });
+}
+
+double GuestPerfExperiment::slowdown(const vmm::VmmProfile& profile,
+                                     std::optional<vmm::NetMode> net_mode) {
+  const stats::Summary native = measure_native();
+  const stats::Summary guest = measure_under(profile, net_mode);
+  return native.mean > 0.0 ? guest.mean / native.mean : 0.0;
+}
+
+double GuestPerfExperiment::throughput_mbps(
+    std::uint64_t bytes, const vmm::VmmProfile* profile,
+    std::optional<vmm::NetMode> net_mode) {
+  Runner runner(runner_config_);
+  const stats::Summary summary =
+      runner.measure([this, profile, net_mode](double scale) {
+        return run_one(scale, profile, net_mode);
+      });
+  if (summary.mean <= 0.0) return 0.0;
+  return util::bytes_per_sec_to_mbps(static_cast<double>(bytes) /
+                                     summary.mean);
+}
+
+}  // namespace vgrid::core

@@ -1,0 +1,53 @@
+#pragma once
+// Guest-performance experiment (paper §4.1, Figures 1-4): run a workload's
+// program natively on the simulated machine and inside each virtual
+// environment, normalize against native, and report the slowdown (or, for
+// NetBench, the absolute throughput).
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/runner.hpp"
+#include "os/program.hpp"
+#include "stats/descriptive.hpp"
+#include "vmm/profile.hpp"
+
+namespace vgrid::core {
+
+class GuestPerfExperiment {
+ public:
+  using ProgramFactory = std::function<std::unique_ptr<os::Program>()>;
+
+  /// `factory` builds one instance of the workload's program (fresh per
+  /// repetition).
+  GuestPerfExperiment(ProgramFactory factory, RunnerConfig runner = {});
+
+  /// Native execution times on the simulated machine (no VMM layer).
+  stats::Summary measure_native();
+
+  /// Execution times of the same program as the guest of `profile`.
+  stats::Summary measure_under(const vmm::VmmProfile& profile,
+                               std::optional<vmm::NetMode> net_mode = {});
+
+  /// Mean slowdown vs native (1.0 = native speed, bigger = slower) — the
+  /// normalization used by Figures 1-3.
+  double slowdown(const vmm::VmmProfile& profile,
+                  std::optional<vmm::NetMode> net_mode = {});
+
+  /// Absolute payload throughput in Mbps for a transfer of `bytes`, the
+  /// Figure 4 metric. Native when `profile` is null.
+  double throughput_mbps(std::uint64_t bytes, const vmm::VmmProfile* profile,
+                         std::optional<vmm::NetMode> net_mode = {});
+
+ private:
+  double run_one(double scale, const vmm::VmmProfile* profile,
+                 std::optional<vmm::NetMode> net_mode);
+
+  ProgramFactory factory_;
+  RunnerConfig runner_config_;
+  std::optional<stats::Summary> native_cache_;
+};
+
+}  // namespace vgrid::core

@@ -1,0 +1,121 @@
+#include "core/host_impact.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/scaled_program.hpp"
+#include "core/testbed.hpp"
+#include "util/error.hpp"
+#include "vmm/virtual_machine.hpp"
+#include "workloads/einstein/worker.hpp"
+#include "workloads/sevenzip/bench7z.hpp"
+
+namespace vgrid::core {
+
+namespace {
+
+/// Attach a VM pegged by a continuous Einstein workload to the testbed.
+std::unique_ptr<vmm::VirtualMachine> attach_pegged_vm(
+    Testbed& testbed, const vmm::VmmProfile& profile,
+    os::PriorityClass priority) {
+  vmm::VmConfig config;
+  config.name = profile.name;
+  config.priority = priority;
+  auto vm = std::make_unique<vmm::VirtualMachine>(testbed.scheduler(),
+                                                  profile, config);
+  workloads::einstein::EinsteinConfig einstein_config;
+  vm->run_guest("einstein",
+                std::make_unique<workloads::einstein::EinsteinProgram>(
+                    einstein_config, /*continuous=*/true));
+  return vm;
+}
+
+}  // namespace
+
+HostImpactExperiment::HostImpactExperiment(HostImpactConfig config)
+    : config_(config) {}
+
+double HostImpactExperiment::nbench_run_seconds(
+    workloads::nbench::Index index, const vmm::VmmProfile* profile,
+    double scale) {
+  Testbed testbed(config_.machine, {}, config_.host_os);
+  std::unique_ptr<vmm::VirtualMachine> vm;
+  if (profile != nullptr) {
+    vm = attach_pegged_vm(testbed, *profile, config_.vm_priority);
+  }
+  workloads::nbench::NBenchIndexWorkload workload(index);
+  auto program = std::make_unique<ScaledProgram>(workload.make_program(),
+                                                 scale);
+  auto& thread = testbed.scheduler().spawn(
+      workload.name(), os::PriorityClass::kNormal, std::move(program));
+  return testbed.run_until_done(thread);
+}
+
+double HostImpactExperiment::nbench_overhead_percent(
+    workloads::nbench::Index index, const vmm::VmmProfile& profile) {
+  Runner runner(config_.runner);
+  const stats::Summary solo = runner.measure([&](double scale) {
+    return nbench_run_seconds(index, nullptr, scale);
+  });
+  const stats::Summary loaded = runner.measure([&](double scale) {
+    return nbench_run_seconds(index, &profile, scale);
+  });
+  if (solo.mean <= 0.0) {
+    throw util::SimulationError("nbench solo run has zero duration");
+  }
+  return (loaded.mean / solo.mean - 1.0) * 100.0;
+}
+
+SevenZipHostMetrics HostImpactExperiment::run_7z(
+    int threads, const vmm::VmmProfile* profile, int vm_count) {
+  if (threads < 1) throw util::ConfigError("run_7z: threads >= 1");
+  if (vm_count < 1) throw util::ConfigError("run_7z: vm_count >= 1");
+  Testbed testbed(config_.machine, {}, config_.host_os);
+  std::vector<std::unique_ptr<vmm::VirtualMachine>> vms;
+  if (profile != nullptr) {
+    for (int i = 0; i < vm_count; ++i) {
+      vms.push_back(
+          attach_pegged_vm(testbed, *profile, config_.vm_priority));
+    }
+  }
+
+  workloads::Bench7zConfig bench_config;
+  bench_config.threads = 1;  // one program per host thread
+  const workloads::SevenZipBench bench(bench_config);
+
+  std::vector<os::HostThread*> host_threads;
+  host_threads.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    host_threads.push_back(&testbed.scheduler().spawn(
+        "7z-" + std::to_string(i), os::PriorityClass::kNormal,
+        bench.make_program()));
+  }
+  for (os::HostThread* thread : host_threads) {
+    (void)testbed.run_until_done(*thread);
+  }
+
+  // Reference rate: the 7z mix on an idle core, native engine.
+  const double native_ips =
+      testbed.machine().chip().native_ips(
+          hw::mixes::sevenzip().normalized());
+
+  SevenZipHostMetrics metrics;
+  metrics.threads = threads;
+  double cpu_percent = 0.0;
+  double last_finish = 0.0;
+  double total_instructions = 0.0;
+  for (const os::HostThread* thread : host_threads) {
+    const double wall =
+        sim::to_seconds(thread->finish_time() - thread->start_time());
+    cpu_percent += 100.0 * thread->instructions_done() / (native_ips * wall);
+    last_finish = std::max(
+        last_finish, sim::to_seconds(thread->finish_time()));
+    total_instructions += thread->instructions_done();
+  }
+  metrics.wall_seconds = last_finish;
+  metrics.cpu_percent = cpu_percent;
+  metrics.mips = total_instructions / last_finish / 1e6;
+  return metrics;
+}
+
+}  // namespace vgrid::core

@@ -1,0 +1,71 @@
+#pragma once
+// Host-impact experiments (paper §4.2, Figures 5-8): what does a VM pegged
+// at 100% virtual CPU by an Einstein@home task cost the host?
+//
+//  - NBench overhead (Figs 5/6): completion-time inflation of a host-side
+//    NBench index run while the VM crunches, at Normal and Idle VM
+//    priority.
+//  - 7z availability (Figs 7/8): %CPU obtained and MIPS achieved by the
+//    host 7z benchmark in 1- and 2-thread mode, against the no-VM control.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "core/testbed.hpp"
+#include "os/thread.hpp"
+#include "vmm/profile.hpp"
+#include "workloads/nbench/suite.hpp"
+
+namespace vgrid::core {
+
+struct HostImpactConfig {
+  os::PriorityClass vm_priority = os::PriorityClass::kIdle;
+  RunnerConfig runner{};  ///< repetition settings
+  /// Host hardware; defaults to the paper's Core 2 Duo. The core-count
+  /// ablation passes a single-core variant here (the paper credits the
+  /// dual core for the marginal single-thread overhead).
+  hw::MachineConfig machine = paper_machine_config();
+  /// Host OS flavour: the paper's XP or the Linux-CFS extension.
+  HostOs host_os = HostOs::kWindowsXp;
+};
+
+/// Result of one 7z-on-host measurement (Figures 7 and 8).
+struct SevenZipHostMetrics {
+  int threads = 1;
+  double wall_seconds = 0.0;
+  /// Sum over 7z threads of effective CPU share, in percent — 200 means
+  /// two fully effective cores (the Figure 7 y-axis).
+  double cpu_percent = 0.0;
+  /// Aggregate instruction rate in millions/second (Figure 8's numerator).
+  double mips = 0.0;
+};
+
+class HostImpactExperiment {
+ public:
+  explicit HostImpactExperiment(HostImpactConfig config = {});
+
+  /// Overhead (t_vm / t_solo - 1, in percent) of one NBench index run on
+  /// the host while `profile`'s VM crunches Einstein. Figure 5 (MEM) and
+  /// Figure 6 (INT); the FP series is the plot the paper omits.
+  double nbench_overhead_percent(workloads::nbench::Index index,
+                                 const vmm::VmmProfile& profile);
+
+  /// 7z benchmark on the host with `threads` threads; `profile` null = the
+  /// paper's "no VM" control. `vm_count` stacks several pegged VMs of the
+  /// same profile (Csaba et al., cited in §5, run one instance per core) —
+  /// each commits its own 300 MB and adds its own service load.
+  SevenZipHostMetrics run_7z(int threads, const vmm::VmmProfile* profile,
+                             int vm_count = 1);
+
+  const HostImpactConfig& config() const noexcept { return config_; }
+
+ private:
+  double nbench_run_seconds(workloads::nbench::Index index,
+                            const vmm::VmmProfile* profile, double scale);
+
+  HostImpactConfig config_;
+};
+
+}  // namespace vgrid::core

@@ -1,0 +1,36 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace vgrid::core {
+
+Runner::Runner(RunnerConfig config) : config_(config) {
+  if (config_.repetitions < 1) {
+    throw util::ConfigError("Runner: repetitions >= 1 required");
+  }
+}
+
+stats::Summary Runner::measure(
+    const std::function<double(double scale)>& fn) {
+  util::Xoshiro256 rng(config_.seed);
+  for (int i = 0; i < config_.warmup; ++i) {
+    (void)fn(1.0);
+  }
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(config_.repetitions));
+  for (int i = 0; i < config_.repetitions; ++i) {
+    const double scale =
+        std::max(0.01, rng.normal(1.0, config_.input_jitter));
+    samples.push_back(fn(scale));
+  }
+  if (config_.tukey_outlier_filter) {
+    const auto filtered = stats::tukey_filter(samples);
+    return stats::summarize(filtered);
+  }
+  return stats::summarize(samples);
+}
+
+}  // namespace vgrid::core

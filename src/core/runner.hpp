@@ -1,0 +1,36 @@
+#pragma once
+// Repetition harness implementing the paper's measurement methodology:
+// every quantity is measured over repeated runs (the paper uses >= 50) on
+// varied inputs, and reported as a full statistical summary.
+
+#include <functional>
+
+#include "stats/descriptive.hpp"
+#include "util/rng.hpp"
+
+namespace vgrid::core {
+
+struct RunnerConfig {
+  int repetitions = 50;     ///< the paper's floor
+  int warmup = 0;           ///< discarded leading runs (native measurements)
+  double input_jitter = 0.01;  ///< relative sigma of per-run input scaling
+  std::uint64_t seed = 7777;
+  bool tukey_outlier_filter = false;
+};
+
+class Runner {
+ public:
+  explicit Runner(RunnerConfig config = {});
+
+  /// Measure fn(scale) `repetitions` times; `scale` models the run's input
+  /// variation (1.0 +- jitter, strictly positive). Returns the summary of
+  /// the returned values (typically seconds).
+  stats::Summary measure(const std::function<double(double scale)>& fn);
+
+  const RunnerConfig& config() const noexcept { return config_; }
+
+ private:
+  RunnerConfig config_;
+};
+
+}  // namespace vgrid::core

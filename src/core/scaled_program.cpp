@@ -1,0 +1,22 @@
+#include "core/scaled_program.hpp"
+
+#include "util/error.hpp"
+
+namespace vgrid::core {
+
+ScaledProgram::ScaledProgram(std::unique_ptr<os::Program> inner, double scale)
+    : inner_(std::move(inner)), scale_(scale) {
+  if (scale <= 0.0) {
+    throw util::ConfigError("ScaledProgram: scale must be positive");
+  }
+}
+
+os::Step ScaledProgram::next() {
+  os::Step step = inner_->next();
+  if (auto* compute = std::get_if<os::ComputeStep>(&step)) {
+    compute->instructions *= scale_;
+  }
+  return step;
+}
+
+}  // namespace vgrid::core

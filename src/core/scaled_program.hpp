@@ -1,0 +1,23 @@
+#pragma once
+// Program wrapper that scales compute-step instruction counts — used by the
+// repetition harness to model run-to-run input variation (the paper runs
+// every benchmark at least 50 times on varying random inputs).
+
+#include <memory>
+
+#include "os/program.hpp"
+
+namespace vgrid::core {
+
+class ScaledProgram final : public os::Program {
+ public:
+  ScaledProgram(std::unique_ptr<os::Program> inner, double scale);
+
+  os::Step next() override;
+
+ private:
+  std::unique_ptr<os::Program> inner_;
+  double scale_;
+};
+
+}  // namespace vgrid::core

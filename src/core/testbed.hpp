@@ -1,0 +1,55 @@
+#pragma once
+// The simulated testbed: one physical machine + host OS scheduler wired to
+// a fresh simulator. The default configuration reproduces the paper's
+// machine — Core 2 Duo 6600 @ 2.40 GHz, 1 GB DDR2, Windows XP SP2 host —
+// and every experiment builds a fresh Testbed so runs are independent.
+
+#include <memory>
+
+#include "hw/machine.hpp"
+#include "os/scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace vgrid::core {
+
+/// The paper's hardware (§4).
+hw::MachineConfig paper_machine_config();
+
+/// Host OS flavour: the paper's Windows XP (strict priorities) or the
+/// Linux-CFS extension (weighted fair).
+enum class HostOs { kWindowsXp, kLinuxCfs };
+
+const char* to_string(HostOs host_os) noexcept;
+
+class Testbed {
+ public:
+  explicit Testbed(hw::MachineConfig machine_config = paper_machine_config(),
+                   os::SchedulerConfig scheduler_config = {},
+                   HostOs host_os = HostOs::kWindowsXp);
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  sim::Simulator& simulator() noexcept { return simulator_; }
+  sim::Tracer& tracer() noexcept { return tracer_; }
+  hw::Machine& machine() noexcept { return machine_; }
+  os::Scheduler& scheduler() noexcept { return *scheduler_; }
+  HostOs host_os() const noexcept { return host_os_; }
+
+  /// Run the simulation until `thread` finishes; returns its wall time in
+  /// simulated seconds. Throws SimulationError on deadlock (no events
+  /// while the thread is unfinished).
+  double run_until_done(const os::HostThread& thread);
+
+  /// Run until every spawned thread finished.
+  void run_all();
+
+ private:
+  sim::Simulator simulator_;
+  sim::Tracer tracer_;
+  hw::Machine machine_;
+  HostOs host_os_;
+  std::unique_ptr<os::Scheduler> scheduler_;
+};
+
+}  // namespace vgrid::core

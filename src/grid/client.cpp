@@ -1,0 +1,95 @@
+#include "grid/client.hpp"
+
+#include "grid/tcp_util.hpp"
+#include "util/clock.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace vgrid::grid {
+
+GridClient::GridClient(std::uint16_t server_port, std::string client_id)
+    : server_port_(server_port), client_id_(std::move(client_id)) {}
+
+void GridClient::register_app(const std::string& kind, Executor executor) {
+  executors_[kind] = std::move(executor);
+}
+
+bool GridClient::run_once() {
+  // Scheduler RPC 1: request work.
+  WorkResponse work;
+  {
+    tcp::Fd conn = tcp::connect_loopback(server_port_);
+    if (!tcp::write_line(conn.get(), serialize(WorkRequest{client_id_}))) {
+      throw util::SystemError("GridClient: send work request failed", 0);
+    }
+    std::string line;
+    if (!tcp::read_line(conn.get(), line)) {
+      throw util::SystemError("GridClient: no scheduler reply", 0);
+    }
+    const auto parsed = parse_work_response(line);
+    if (!parsed) throw util::VgridError("GridClient: bad scheduler reply");
+    work = *parsed;
+  }
+  if (!work.has_work) {
+    ++stats_.no_work_replies;
+    return false;
+  }
+
+  const auto executor = executors_.find(work.workunit.kind);
+  if (executor == executors_.end()) {
+    VGRID_WARN("grid") << "no executor for kind " << work.workunit.kind;
+    return false;
+  }
+
+  const std::int64_t cpu_before = util::process_cpu_time_ns();
+  const std::string output = executor->second(work.workunit.payload);
+  const double cpu_seconds =
+      static_cast<double>(util::process_cpu_time_ns() - cpu_before) / 1e9;
+
+  // Scheduler RPC 2: submit the result.
+  Result result{work.workunit.id, client_id_, output, cpu_seconds};
+  tcp::Fd conn = tcp::connect_loopback(server_port_);
+  if (!tcp::write_line(conn.get(), serialize(SubmitRequest{result}))) {
+    throw util::SystemError("GridClient: submit failed", 0);
+  }
+  std::string line;
+  if (!tcp::read_line(conn.get(), line)) {
+    throw util::SystemError("GridClient: no submit reply", 0);
+  }
+  const auto ack = parse_submit_response(line);
+  if (!ack || !ack->accepted) {
+    ++stats_.rejected_results;
+    return true;
+  }
+  ++stats_.workunits_completed;
+  stats_.cpu_seconds += cpu_seconds;
+  return true;
+}
+
+StatsResponse GridClient::fetch_account() {
+  tcp::Fd conn = tcp::connect_loopback(server_port_);
+  if (!tcp::write_line(conn.get(), serialize(StatsRequest{client_id_}))) {
+    throw util::SystemError("GridClient: stats request failed", 0);
+  }
+  std::string line;
+  if (!tcp::read_line(conn.get(), line)) {
+    throw util::SystemError("GridClient: no stats reply", 0);
+  }
+  const auto parsed = parse_stats_response(line);
+  if (!parsed) throw util::VgridError("GridClient: bad stats reply");
+  return *parsed;
+}
+
+void GridClient::run(std::uint64_t max_workunits, int idle_limit) {
+  int idle_streak = 0;
+  while (stats_.workunits_completed < max_workunits &&
+         idle_streak < idle_limit) {
+    if (run_once()) {
+      idle_streak = 0;
+    } else {
+      ++idle_streak;
+    }
+  }
+}
+
+}  // namespace vgrid::grid

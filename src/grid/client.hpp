@@ -1,0 +1,56 @@
+#pragma once
+// Mini-BOINC client: fetches workunits from the project server, executes
+// them through registered application executors, and submits results. The
+// paper's host-impact testbed is exactly this client running inside the
+// guest OS with the Einstein application attached.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "grid/messages.hpp"
+#include "grid/workunit.hpp"
+
+namespace vgrid::grid {
+
+struct ClientStats {
+  std::uint64_t workunits_completed = 0;
+  std::uint64_t no_work_replies = 0;
+  std::uint64_t rejected_results = 0;
+  double cpu_seconds = 0.0;
+};
+
+class GridClient {
+ public:
+  /// An application: payload -> output. Must be deterministic for quorum
+  /// validation to succeed across clients.
+  using Executor = std::function<std::string(const std::string& payload)>;
+
+  GridClient(std::uint16_t server_port, std::string client_id);
+
+  /// Register the executor for a workunit kind (e.g. "einstein").
+  void register_app(const std::string& kind, Executor executor);
+
+  /// One scheduler cycle: request work, execute, submit. Returns false if
+  /// the server had no work or the kind has no registered executor.
+  bool run_once();
+
+  /// Run until the server reports no work `idle_limit` times in a row or
+  /// `max_workunits` have been completed.
+  void run(std::uint64_t max_workunits, int idle_limit = 3);
+
+  /// Fetch this client's server-side account (results, CPU, credit).
+  StatsResponse fetch_account();
+
+  const ClientStats& stats() const noexcept { return stats_; }
+  const std::string& client_id() const noexcept { return client_id_; }
+
+ private:
+  std::uint16_t server_port_;
+  std::string client_id_;
+  std::map<std::string, Executor> executors_;
+  ClientStats stats_;
+};
+
+}  // namespace vgrid::grid

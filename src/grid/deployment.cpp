@@ -1,0 +1,109 @@
+#include "grid/deployment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vgrid::grid {
+
+const char* to_string(DistributionStrategy strategy) noexcept {
+  switch (strategy) {
+    case DistributionStrategy::kCentralServer: return "central";
+    case DistributionStrategy::kMirrored: return "mirrored";
+    case DistributionStrategy::kPeerToPeer: return "p2p";
+  }
+  return "?";
+}
+
+namespace {
+
+void validate(const DeploymentConfig& config) {
+  if (config.image_bytes == 0 || config.volunteers < 1 ||
+      config.server_uplink_bps <= 0 || config.volunteer_down_bps <= 0 ||
+      config.volunteer_up_bps < 0 || config.mirrors < 1 ||
+      config.p2p_efficiency <= 0.0 || config.p2p_efficiency > 1.0) {
+    throw util::ConfigError("DeploymentConfig: invalid parameters");
+  }
+}
+
+DeploymentEstimate central(const DeploymentConfig& config) {
+  const auto image = static_cast<double>(config.image_bytes);
+  const auto n = static_cast<double>(config.volunteers);
+  // Server uplink is shared fairly; each flow also capped by the
+  // volunteer's downlink.
+  const double per_flow =
+      std::min(config.volunteer_down_bps, config.server_uplink_bps / n);
+  DeploymentEstimate estimate;
+  estimate.strategy = DistributionStrategy::kCentralServer;
+  estimate.makespan_seconds = image / per_flow;
+  // The first finisher does no better: flows progress in lockstep.
+  estimate.first_finish_seconds = estimate.makespan_seconds;
+  estimate.server_bytes_sent = image * n;
+  return estimate;
+}
+
+DeploymentEstimate mirrored(const DeploymentConfig& config) {
+  const auto image = static_cast<double>(config.image_bytes);
+  const auto n = static_cast<double>(config.volunteers);
+  const auto m = static_cast<double>(config.mirrors);
+  // Stage to mirrors sequentially sharing the server uplink (they can be
+  // filled in parallel, the uplink is the constraint either way).
+  const double staging = image * m / config.server_uplink_bps;
+  // Volunteers split across mirrors; each mirror serves n/m flows from a
+  // server-class uplink.
+  const double per_flow = std::min(
+      config.volunteer_down_bps, config.server_uplink_bps / (n / m));
+  DeploymentEstimate estimate;
+  estimate.strategy = DistributionStrategy::kMirrored;
+  estimate.makespan_seconds = staging + image / per_flow;
+  estimate.first_finish_seconds = estimate.makespan_seconds;
+  estimate.server_bytes_sent = image * m;
+  return estimate;
+}
+
+DeploymentEstimate p2p(const DeploymentConfig& config) {
+  const auto image = static_cast<double>(config.image_bytes);
+  const auto n = static_cast<double>(config.volunteers);
+  // Fluid model (Qiu & Srikant): minimum distribution time of one file to
+  // n leechers is  F / min(d, (u_s + sum u_i)/n, u_s)  where d is the
+  // leecher downlink, u_s the seed uplink and u_i the leecher uplinks.
+  const double aggregate_upload =
+      (config.server_uplink_bps +
+       config.p2p_efficiency * config.volunteer_up_bps * n) /
+      n;
+  const double rate =
+      std::min({config.volunteer_down_bps, aggregate_upload,
+                config.server_uplink_bps});
+  DeploymentEstimate estimate;
+  estimate.strategy = DistributionStrategy::kPeerToPeer;
+  estimate.makespan_seconds = image / rate;
+  // The seed only needs to push each block once.
+  estimate.server_bytes_sent = image;
+  estimate.first_finish_seconds = estimate.makespan_seconds;
+  return estimate;
+}
+
+}  // namespace
+
+DeploymentEstimate estimate_deployment(const DeploymentConfig& config,
+                                       DistributionStrategy strategy) {
+  validate(config);
+  switch (strategy) {
+    case DistributionStrategy::kCentralServer: return central(config);
+    case DistributionStrategy::kMirrored: return mirrored(config);
+    case DistributionStrategy::kPeerToPeer: return p2p(config);
+  }
+  throw util::ConfigError("unknown distribution strategy");
+}
+
+std::vector<DeploymentEstimate> compare_strategies(
+    const DeploymentConfig& config) {
+  return {
+      estimate_deployment(config, DistributionStrategy::kCentralServer),
+      estimate_deployment(config, DistributionStrategy::kMirrored),
+      estimate_deployment(config, DistributionStrategy::kPeerToPeer),
+  };
+}
+
+}  // namespace vgrid::grid

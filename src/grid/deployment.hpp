@@ -1,0 +1,59 @@
+#pragma once
+// VM image deployment model. The paper's second adoption hindrance (§1) is
+// "the size of the virtual OS images": every volunteer must first download
+// the guest image (Gonzalez et al.'s initialization workunit was 1.4 GB,
+// which "mostly limits the system to local area environments"), and the
+// paper points to mirrored/P2P distribution (Chadha et al., BitTorrent per
+// Costa et al.) as the fix.
+//
+// This module computes deployment makespan for a volunteer population
+// under the three distribution strategies the paper cites, so the
+// trade-off can be quantified rather than asserted.
+
+#include <cstdint>
+#include <vector>
+
+namespace vgrid::grid {
+
+struct DeploymentConfig {
+  std::uint64_t image_bytes = 1'400'000'000;  ///< Gonzalez et al.'s 1.4 GB
+  double server_uplink_bps = 12.5e6;   ///< project server, bytes/second
+  double volunteer_down_bps = 1.25e6;  ///< per volunteer downlink (10 Mbps)
+  double volunteer_up_bps = 0.25e6;    ///< per volunteer uplink (2 Mbps)
+  int volunteers = 100;
+  int mirrors = 4;  ///< for the mirrored strategy
+  /// P2P efficiency in (0,1]: fraction of aggregate volunteer uplink that
+  /// turns into useful image blocks (protocol overhead, choking).
+  double p2p_efficiency = 0.85;
+};
+
+enum class DistributionStrategy : std::uint8_t {
+  kCentralServer,  ///< every volunteer pulls from the project server
+  kMirrored,       ///< image staged on `mirrors` replica servers
+  kPeerToPeer,     ///< BitTorrent-style swarm seeded by the server
+};
+
+const char* to_string(DistributionStrategy strategy) noexcept;
+
+struct DeploymentEstimate {
+  DistributionStrategy strategy;
+  double makespan_seconds = 0.0;       ///< last volunteer finishes
+  double first_finish_seconds = 0.0;   ///< first volunteer ready
+  double server_bytes_sent = 0.0;      ///< load on the project server
+};
+
+/// Deployment makespan under one strategy. Closed-form fluid model:
+///  - central: server uplink is shared; each volunteer additionally limited
+///    by its downlink.
+///  - mirrored: the image is first staged to the mirrors (pipelined), then
+///    volunteers share mirror uplinks (each mirror has server-class uplink).
+///  - p2p: classic BitTorrent fluid model — the bottleneck is
+///    max(leecher downlink, aggregate-upload share, seed pass).
+DeploymentEstimate estimate_deployment(const DeploymentConfig& config,
+                                       DistributionStrategy strategy);
+
+/// All three strategies, same config.
+std::vector<DeploymentEstimate> compare_strategies(
+    const DeploymentConfig& config);
+
+}  // namespace vgrid::grid

@@ -1,0 +1,153 @@
+#include "grid/messages.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace vgrid::grid {
+
+std::string escape_field(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case '|': out += "%7C"; break;
+      case '\n': out += "%0A"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_field(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '%' && i + 2 < escaped.size()) {
+      const std::string hex = escaped.substr(i + 1, 2);
+      if (hex == "25") { out += '%'; i += 2; continue; }
+      if (hex == "7C") { out += '|'; i += 2; continue; }
+      if (hex == "0A") { out += '\n'; i += 2; continue; }
+    }
+    out += escaped[i];
+  }
+  return out;
+}
+
+std::string serialize(const WorkRequest& request) {
+  return "WORK|" + escape_field(request.client_id);
+}
+
+std::string serialize(const SubmitRequest& request) {
+  const Result& r = request.result;
+  return util::format("SUBMIT|%llu|%s|%s|%.6f",
+                      static_cast<unsigned long long>(r.workunit_id),
+                      escape_field(r.client_id).c_str(),
+                      escape_field(r.output).c_str(), r.cpu_seconds);
+}
+
+std::string serialize(const WorkResponse& response) {
+  if (!response.has_work) return "NO_WORK";
+  const Workunit& wu = response.workunit;
+  return util::format("WU|%llu|%s|%s|%d|%d",
+                      static_cast<unsigned long long>(wu.id),
+                      escape_field(wu.kind).c_str(),
+                      escape_field(wu.payload).c_str(), wu.replication,
+                      wu.quorum);
+}
+
+std::string serialize(const SubmitResponse& response) {
+  return util::format("ACK|%d|%d", response.accepted ? 1 : 0,
+                      response.workunit_validated ? 1 : 0);
+}
+
+std::string serialize(const StatsRequest& request) {
+  return "STATS|" + escape_field(request.client_id);
+}
+
+std::string serialize(const StatsResponse& response) {
+  return util::format("CREDIT|%llu|%.6f|%.6f",
+                      static_cast<unsigned long long>(
+                          response.results_accepted),
+                      response.cpu_seconds, response.credit);
+}
+
+std::string request_tag(const std::string& line) {
+  const auto fields = util::split(line, '|');
+  if (fields.empty()) return "";
+  if (fields[0] == "WORK" || fields[0] == "SUBMIT" ||
+      fields[0] == "STATS") {
+    return fields[0];
+  }
+  return "";
+}
+
+std::optional<WorkRequest> parse_work_request(const std::string& line) {
+  const auto fields = util::split(line, '|');
+  if (fields.size() != 2 || fields[0] != "WORK") return std::nullopt;
+  return WorkRequest{unescape_field(fields[1])};
+}
+
+std::optional<SubmitRequest> parse_submit_request(const std::string& line) {
+  const auto fields = util::split(line, '|');
+  if (fields.size() != 5 || fields[0] != "SUBMIT") return std::nullopt;
+  SubmitRequest request;
+  try {
+    request.result.workunit_id = std::stoull(fields[1]);
+    request.result.cpu_seconds = std::stod(fields[4]);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  request.result.client_id = unescape_field(fields[2]);
+  request.result.output = unescape_field(fields[3]);
+  return request;
+}
+
+std::optional<WorkResponse> parse_work_response(const std::string& line) {
+  const auto fields = util::split(line, '|');
+  if (fields.size() == 1 && fields[0] == "NO_WORK") {
+    return WorkResponse{};
+  }
+  if (fields.size() != 6 || fields[0] != "WU") return std::nullopt;
+  WorkResponse response;
+  response.has_work = true;
+  try {
+    response.workunit.id = std::stoull(fields[1]);
+    response.workunit.replication = std::stoi(fields[4]);
+    response.workunit.quorum = std::stoi(fields[5]);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  response.workunit.kind = unescape_field(fields[2]);
+  response.workunit.payload = unescape_field(fields[3]);
+  return response;
+}
+
+std::optional<SubmitResponse> parse_submit_response(const std::string& line) {
+  const auto fields = util::split(line, '|');
+  if (fields.size() != 3 || fields[0] != "ACK") return std::nullopt;
+  return SubmitResponse{fields[1] == "1", fields[2] == "1"};
+}
+
+std::optional<StatsRequest> parse_stats_request(const std::string& line) {
+  const auto fields = util::split(line, '|');
+  if (fields.size() != 2 || fields[0] != "STATS") return std::nullopt;
+  return StatsRequest{unescape_field(fields[1])};
+}
+
+std::optional<StatsResponse> parse_stats_response(const std::string& line) {
+  const auto fields = util::split(line, '|');
+  if (fields.size() != 4 || fields[0] != "CREDIT") return std::nullopt;
+  StatsResponse response;
+  try {
+    response.results_accepted = std::stoull(fields[1]);
+    response.cpu_seconds = std::stod(fields[2]);
+    response.credit = std::stod(fields[3]);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  return response;
+}
+
+}  // namespace vgrid::grid

@@ -1,0 +1,69 @@
+#pragma once
+// Wire protocol of the mini-BOINC scheduler RPC: line-oriented text over
+// TCP, one request/response per connection (as BOINC's scheduler RPC is
+// one HTTP POST per exchange). Fields are '|'-separated; free-form fields
+// are percent-escaped so they cannot break the framing.
+
+#include <optional>
+#include <string>
+
+#include "grid/workunit.hpp"
+
+namespace vgrid::grid {
+
+/// Escape '|', '%', '\n' for safe embedding in a message field.
+std::string escape_field(const std::string& raw);
+std::string unescape_field(const std::string& escaped);
+
+// ---- requests ---------------------------------------------------------------
+struct WorkRequest {
+  std::string client_id;
+};
+
+struct SubmitRequest {
+  Result result;
+};
+
+/// Ask the server for the client's account (results, CPU, granted credit).
+struct StatsRequest {
+  std::string client_id;
+};
+
+// ---- responses --------------------------------------------------------------
+struct WorkResponse {
+  bool has_work = false;
+  Workunit workunit;  ///< valid when has_work
+};
+
+struct SubmitResponse {
+  bool accepted = false;
+  bool workunit_validated = false;  ///< this submission completed a quorum
+};
+
+/// Per-client account, BOINC-style: credit is granted only for results
+/// that matched the canonical output of a validated workunit.
+struct StatsResponse {
+  std::uint64_t results_accepted = 0;
+  double cpu_seconds = 0.0;
+  double credit = 0.0;
+};
+
+// serialize / parse; parse returns nullopt on malformed input.
+std::string serialize(const WorkRequest& request);
+std::string serialize(const SubmitRequest& request);
+std::string serialize(const StatsRequest& request);
+std::string serialize(const WorkResponse& response);
+std::string serialize(const SubmitResponse& response);
+std::string serialize(const StatsResponse& response);
+
+std::optional<WorkRequest> parse_work_request(const std::string& line);
+std::optional<SubmitRequest> parse_submit_request(const std::string& line);
+std::optional<StatsRequest> parse_stats_request(const std::string& line);
+std::optional<WorkResponse> parse_work_response(const std::string& line);
+std::optional<SubmitResponse> parse_submit_response(const std::string& line);
+std::optional<StatsResponse> parse_stats_response(const std::string& line);
+
+/// Dispatch tag of a request line ("WORK" / "SUBMIT" / "STATS" / "").
+std::string request_tag(const std::string& line);
+
+}  // namespace vgrid::grid

@@ -1,0 +1,214 @@
+#include "grid/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include "util/clock.hpp"
+#include "util/log.hpp"
+
+namespace vgrid::grid {
+
+ProjectServer::ProjectServer(std::uint16_t port) {
+  listener_ = tcp::listen_loopback(port, &port_);
+  // Accept timeout so the serving thread notices stop() promptly.
+  timeval tv{};
+  tv.tv_usec = 50'000;
+  ::setsockopt(listener_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  running_.store(true);
+  thread_ = std::thread([this] { serve(); });
+}
+
+ProjectServer::~ProjectServer() { stop(); }
+
+void ProjectServer::stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+  listener_.close();
+}
+
+WorkunitId ProjectServer::add_workunit(Workunit workunit) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (workunit.id == 0) workunit.id = next_id_++;
+  const WorkunitId id = workunit.id;
+  next_id_ = std::max(next_id_, id + 1);
+  workunits_.emplace(id, Tracked(std::move(workunit)));
+  dispatchable_.push_back(id);
+  return id;
+}
+
+void ProjectServer::set_generator(Generator generator) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  generator_ = std::move(generator);
+}
+
+ServerStats ProjectServer::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::optional<std::string> ProjectServer::canonical_result(
+    WorkunitId id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = workunits_.find(id);
+  if (it == workunits_.end() || !it->second.validator.validated()) {
+    return std::nullopt;
+  }
+  return it->second.validator.canonical();
+}
+
+std::optional<WorkunitState> ProjectServer::workunit_state(
+    WorkunitId id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = workunits_.find(id);
+  if (it == workunits_.end()) return std::nullopt;
+  return it->second.state;
+}
+
+ProjectServer::Tracked* ProjectServer::find_expired_instance() {
+  const std::int64_t now = util::monotonic_time_ns();
+  for (auto& [id, tracked] : workunits_) {
+    if (tracked.state != WorkunitState::kInProgress &&
+        tracked.state != WorkunitState::kUnsent) {
+      continue;
+    }
+    if (tracked.workunit.deadline_seconds <= 0.0 ||
+        tracked.outstanding.empty()) {
+      continue;
+    }
+    const double age =
+        static_cast<double>(now - tracked.outstanding.front()) / 1e9;
+    if (age >= tracked.workunit.deadline_seconds) {
+      // The volunteer holding this instance is presumed gone; its slot is
+      // consumed and a fresh instance will be issued.
+      tracked.outstanding.pop_front();
+      return &tracked;
+    }
+  }
+  return nullptr;
+}
+
+WorkResponse ProjectServer::next_work(const WorkRequest& request) {
+  (void)request;  // a full BOINC server would match platform/app here
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.work_requests;
+
+  // Recover instances whose volunteers missed the deadline.
+  if (Tracked* expired = find_expired_instance()) {
+    expired->outstanding.push_back(util::monotonic_time_ns());
+    ++stats_.instances_reissued;
+    ++stats_.workunits_sent;
+    return WorkResponse{true, expired->workunit};
+  }
+
+  while (true) {
+    // Find a workunit with instances still to hand out.
+    while (!dispatchable_.empty()) {
+      const WorkunitId id = dispatchable_.front();
+      auto& tracked = workunits_.at(id);
+      if (tracked.instances_sent >= tracked.workunit.replication) {
+        dispatchable_.pop_front();
+        if (tracked.state == WorkunitState::kUnsent) {
+          tracked.state = WorkunitState::kInProgress;
+        }
+        continue;
+      }
+      ++tracked.instances_sent;
+      tracked.outstanding.push_back(util::monotonic_time_ns());
+      if (tracked.instances_sent >= tracked.workunit.replication) {
+        tracked.state = WorkunitState::kInProgress;
+        dispatchable_.pop_front();
+      }
+      ++stats_.workunits_sent;
+      return WorkResponse{true, tracked.workunit};
+    }
+    // Queue dry: ask the generator for more.
+    if (!generator_) return WorkResponse{};
+    Workunit wu;
+    if (!generator_(wu)) return WorkResponse{};
+    if (wu.id == 0) wu.id = next_id_++;
+    next_id_ = std::max(next_id_, wu.id + 1);
+    const WorkunitId id = wu.id;
+    workunits_.emplace(id, Tracked(std::move(wu)));
+    dispatchable_.push_back(id);
+  }
+}
+
+SubmitResponse ProjectServer::accept_result(const SubmitRequest& request) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = workunits_.find(request.result.workunit_id);
+  if (it == workunits_.end()) return SubmitResponse{false, false};
+  Tracked& tracked = it->second;
+  ++stats_.results_received;
+  stats_.total_cpu_seconds += request.result.cpu_seconds;
+  StatsResponse& account = accounts_[request.result.client_id];
+  ++account.results_accepted;
+  account.cpu_seconds += request.result.cpu_seconds;
+  if (!tracked.outstanding.empty()) tracked.outstanding.pop_front();
+  const auto canonical = tracked.validator.add(request.result);
+  if (canonical) {
+    tracked.state = WorkunitState::kValidated;
+    ++stats_.workunits_validated;
+    // Grant credit to every contributor whose output matched.
+    for (const Result& result : tracked.validator.results()) {
+      if (result.output == *canonical) {
+        accounts_[result.client_id].credit += result.cpu_seconds;
+      }
+    }
+    return SubmitResponse{true, true};
+  }
+  if (tracked.validator.exhausted()) {
+    // BOINC would send extra instances; we cap at one extra round, then
+    // mark invalid if agreement is impossible.
+    const int extra = tracked.validator.additional_instances_needed();
+    if (tracked.instances_sent <
+        tracked.workunit.replication + tracked.workunit.quorum) {
+      tracked.workunit.replication += extra;
+      dispatchable_.push_back(tracked.workunit.id);
+    } else {
+      tracked.state = WorkunitState::kInvalid;
+      ++stats_.workunits_invalid;
+    }
+  }
+  return SubmitResponse{true, false};
+}
+
+StatsResponse ProjectServer::client_account(
+    const std::string& client_id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = accounts_.find(client_id);
+  return it != accounts_.end() ? it->second : StatsResponse{};
+}
+
+void ProjectServer::handle_connection(int fd) {
+  std::string line;
+  if (!tcp::read_line(fd, line)) return;
+  const std::string tag = request_tag(line);
+  if (tag == "WORK") {
+    if (const auto request = parse_work_request(line)) {
+      tcp::write_line(fd, serialize(next_work(*request)));
+      return;
+    }
+  } else if (tag == "SUBMIT") {
+    if (const auto request = parse_submit_request(line)) {
+      tcp::write_line(fd, serialize(accept_result(*request)));
+      return;
+    }
+  } else if (tag == "STATS") {
+    if (const auto request = parse_stats_request(line)) {
+      tcp::write_line(fd, serialize(client_account(request->client_id)));
+      return;
+    }
+  }
+  tcp::write_line(fd, "ERR|bad request");
+}
+
+void ProjectServer::serve() {
+  while (running_.load(std::memory_order_relaxed)) {
+    const int conn = ::accept(listener_.get(), nullptr, nullptr);
+    if (conn < 0) continue;  // timeout or transient error
+    tcp::Fd scoped(conn);
+    handle_connection(scoped.get());
+  }
+}
+
+}  // namespace vgrid::grid

@@ -1,0 +1,102 @@
+#pragma once
+// Mini-BOINC project server: hands out replicated workunits over the
+// scheduler RPC, collects results, and validates by quorum. Runs its
+// accept loop on a background thread; all public methods are thread-safe.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "grid/messages.hpp"
+#include "grid/tcp_util.hpp"
+#include "grid/validator.hpp"
+#include "grid/workunit.hpp"
+
+namespace vgrid::grid {
+
+struct ServerStats {
+  std::uint64_t work_requests = 0;
+  std::uint64_t workunits_sent = 0;
+  std::uint64_t results_received = 0;
+  std::uint64_t workunits_validated = 0;
+  std::uint64_t workunits_invalid = 0;
+  std::uint64_t instances_reissued = 0;  ///< deadline expirations recovered
+  double total_cpu_seconds = 0.0;        ///< granted credit basis
+};
+
+class ProjectServer {
+ public:
+  /// Optional generator invoked when the queue runs dry; return false to
+  /// stop generating (clients then receive NO_WORK).
+  using Generator = std::function<bool(Workunit&)>;
+
+  explicit ProjectServer(std::uint16_t port = 0);
+  ~ProjectServer();
+  ProjectServer(const ProjectServer&) = delete;
+  ProjectServer& operator=(const ProjectServer&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Enqueue a workunit (id 0 assigns the next id). Returns the id.
+  WorkunitId add_workunit(Workunit workunit);
+
+  void set_generator(Generator generator);
+
+  ServerStats stats() const;
+
+  /// Canonical output of a validated workunit, if any.
+  std::optional<std::string> canonical_result(WorkunitId id) const;
+
+  /// State of a workunit, if known.
+  std::optional<WorkunitState> workunit_state(WorkunitId id) const;
+
+  /// A client's account: results accepted, CPU reported, credit granted
+  /// (credit accrues only to results matching the canonical output when a
+  /// workunit validates — BOINC's rule).
+  StatsResponse client_account(const std::string& client_id) const;
+
+  void stop();
+
+ private:
+  struct Tracked {
+    Workunit workunit;
+    WorkunitState state = WorkunitState::kUnsent;
+    int instances_sent = 0;
+    QuorumValidator validator;
+    /// Issue times (monotonic ns) of instances still awaiting a result.
+    std::deque<std::int64_t> outstanding;
+
+    Tracked(Workunit wu)
+        : workunit(std::move(wu)),
+          validator(workunit.replication, workunit.quorum) {}
+  };
+
+  void serve();
+  void handle_connection(int fd);
+  WorkResponse next_work(const WorkRequest& request);
+  SubmitResponse accept_result(const SubmitRequest& request);
+  /// An in-progress workunit with an instance past its deadline, if any
+  /// (the expired issue slot is consumed). Caller holds the mutex.
+  Tracked* find_expired_instance();
+
+  tcp::Fd listener_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+
+  mutable std::mutex mutex_;
+  std::map<WorkunitId, Tracked> workunits_;
+  std::deque<WorkunitId> dispatchable_;  // ids with instances still to send
+  WorkunitId next_id_ = 1;
+  Generator generator_;
+  ServerStats stats_;
+  std::map<std::string, StatsResponse> accounts_;
+};
+
+}  // namespace vgrid::grid

@@ -1,0 +1,103 @@
+#include "grid/tcp_util.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "util/error.hpp"
+
+namespace vgrid::grid::tcp {
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+namespace {
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+}  // namespace
+
+Fd listen_loopback(std::uint16_t port, std::uint16_t* bound_port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw util::SystemError("tcp: socket", errno);
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw util::SystemError("tcp: bind", errno);
+  }
+  if (::listen(fd.get(), 16) != 0) {
+    throw util::SystemError("tcp: listen", errno);
+  }
+  if (bound_port != nullptr) {
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len);
+    *bound_port = ntohs(addr.sin_port);
+  }
+  return fd;
+}
+
+Fd connect_loopback(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw util::SystemError("tcp: socket", errno);
+  sockaddr_in addr = loopback(port);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throw util::SystemError("tcp: connect", errno);
+  }
+  return fd;
+}
+
+bool write_line(int fd, const std::string& line) {
+  std::string framed = line;
+  framed += '\n';
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + off, framed.size() - off, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_line(int fd, std::string& line) {
+  line.clear();
+  char c;
+  while (true) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n == 0) return !line.empty();
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (c == '\n') return true;
+    line += c;
+    if (line.size() > 1 << 20) return false;  // oversized frame
+  }
+}
+
+}  // namespace vgrid::grid::tcp

@@ -1,0 +1,48 @@
+#pragma once
+// Minimal blocking TCP helpers shared by the grid server and client
+// (loopback only — the mini-BOINC project runs in-process for tests and
+// examples).
+
+#include <cstdint>
+#include <string>
+
+namespace vgrid::grid::tcp {
+
+/// RAII file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { close(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listen on 127.0.0.1:`port` (0 = ephemeral); returns the socket and the
+/// bound port. Throws SystemError.
+Fd listen_loopback(std::uint16_t port, std::uint16_t* bound_port);
+
+/// Connect to 127.0.0.1:`port`. Throws SystemError.
+Fd connect_loopback(std::uint16_t port);
+
+/// Send all bytes plus a trailing newline. Returns false on error.
+bool write_line(int fd, const std::string& line);
+
+/// Read until newline (newline stripped). Returns false on EOF/error.
+bool read_line(int fd, std::string& line);
+
+}  // namespace vgrid::grid::tcp

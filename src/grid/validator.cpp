@@ -1,0 +1,60 @@
+#include "grid/validator.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace vgrid::grid {
+
+QuorumValidator::QuorumValidator(int replication, int quorum)
+    : replication_(replication), quorum_(quorum) {
+  if (quorum < 1 || replication < quorum) {
+    throw util::ConfigError("QuorumValidator: need replication >= quorum >= 1");
+  }
+}
+
+std::optional<std::string> QuorumValidator::add(const Result& result) {
+  results_.push_back(result);
+  if (validated_) return std::nullopt;
+  std::map<std::string, int> groups;
+  for (const Result& r : results_) {
+    ++groups[r.output];
+  }
+  for (const auto& [output, count] : groups) {
+    if (count >= quorum_) {
+      validated_ = true;
+      canonical_ = output;
+      return output;
+    }
+  }
+  return std::nullopt;
+}
+
+bool QuorumValidator::exhausted() const noexcept {
+  if (validated_) return false;
+  // All original instances reported and the largest agreement group is
+  // still short of quorum.
+  if (static_cast<int>(results_.size()) < replication_) return false;
+  std::map<std::string, int> groups;
+  for (const Result& r : results_) {
+    ++groups[r.output];
+  }
+  int best = 0;
+  for (const auto& [_, count] : groups) best = std::max(best, count);
+  return best < quorum_;
+}
+
+int QuorumValidator::additional_instances_needed() const noexcept {
+  if (validated_) return 0;
+  if (static_cast<int>(results_.size()) < replication_) return 0;
+  std::map<std::string, int> groups;
+  for (const Result& r : results_) {
+    ++groups[r.output];
+  }
+  int best = 0;
+  for (const auto& [_, count] : groups) best = std::max(best, count);
+  return std::max(0, quorum_ - best);
+}
+
+}  // namespace vgrid::grid

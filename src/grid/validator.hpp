@@ -1,0 +1,47 @@
+#pragma once
+// Replication-based result validation, as BOINC's validator daemon does:
+// group submitted results by output equivalence; when any group reaches the
+// quorum, its output becomes canonical. If every outstanding instance has
+// reported and no group can reach quorum, the workunit is invalid.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "grid/workunit.hpp"
+
+namespace vgrid::grid {
+
+class QuorumValidator {
+ public:
+  QuorumValidator(int replication, int quorum);
+
+  /// Record one result. Returns the canonical output once quorum is
+  /// reached (first time only).
+  std::optional<std::string> add(const Result& result);
+
+  int results_received() const noexcept {
+    return static_cast<int>(results_.size());
+  }
+  const std::vector<Result>& results() const noexcept { return results_; }
+  bool validated() const noexcept { return validated_; }
+  const std::string& canonical() const noexcept { return canonical_; }
+
+  /// True when quorum can no longer be reached even if all remaining
+  /// instances report (they could still all land in one group, so this is
+  /// only definitive when all instances reported).
+  bool exhausted() const noexcept;
+
+  /// Extra instances that must be generated beyond `replication` because
+  /// of mismatches (BOINC's "send more results" path).
+  int additional_instances_needed() const noexcept;
+
+ private:
+  int replication_;
+  int quorum_;
+  std::vector<Result> results_;
+  bool validated_ = false;
+  std::string canonical_;
+};
+
+}  // namespace vgrid::grid

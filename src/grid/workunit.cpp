@@ -1,0 +1,15 @@
+#include "grid/workunit.hpp"
+
+namespace vgrid::grid {
+
+const char* to_string(WorkunitState state) noexcept {
+  switch (state) {
+    case WorkunitState::kUnsent: return "unsent";
+    case WorkunitState::kInProgress: return "in-progress";
+    case WorkunitState::kValidated: return "validated";
+    case WorkunitState::kInvalid: return "invalid";
+  }
+  return "?";
+}
+
+}  // namespace vgrid::grid

@@ -1,0 +1,42 @@
+#pragma once
+// Desktop-grid data model, BOINC-style: a project generates workunits; each
+// workunit is replicated to `replication` clients; results are validated by
+// majority quorum and the canonical result is recorded.
+
+#include <cstdint>
+#include <string>
+
+namespace vgrid::grid {
+
+using WorkunitId = std::uint64_t;
+
+struct Workunit {
+  WorkunitId id = 0;
+  std::string kind;     ///< application identifier (e.g. "einstein")
+  std::string payload;  ///< application-defined parameters
+  int replication = 2;  ///< instances to send out
+  int quorum = 2;       ///< matching results required
+  /// Server-side result deadline: an instance with no result after this
+  /// long is considered lost (the volunteer vanished) and is reissued to
+  /// the next requesting client, as BOINC's transitioner does. 0 disables.
+  double deadline_seconds = 0.0;
+};
+
+struct Result {
+  WorkunitId workunit_id = 0;
+  std::string client_id;
+  std::string output;       ///< application-defined result blob
+  double cpu_seconds = 0.0; ///< client-reported effort (credit basis)
+};
+
+/// Lifecycle of a workunit inside the server.
+enum class WorkunitState : std::uint8_t {
+  kUnsent,      ///< fewer than `replication` instances handed out
+  kInProgress,  ///< all instances out, waiting for results
+  kValidated,   ///< canonical result found
+  kInvalid,     ///< quorum impossible (too many mismatches)
+};
+
+const char* to_string(WorkunitState state) noexcept;
+
+}  // namespace vgrid::grid

@@ -1,0 +1,20 @@
+#include "guest/guest_os.hpp"
+
+namespace vgrid::guest {
+
+GuestOs::GuestOs(GuestOsConfig config)
+    : config_(config),
+      cache_(std::make_unique<PageCache>(static_cast<std::uint64_t>(
+          config.cache_share * static_cast<double>(config.ram_bytes)))) {}
+
+os::ComputeStep GuestOs::io_cpu_cost(std::uint64_t ops,
+                                     std::uint64_t bytes) const {
+  os::ComputeStep step;
+  step.instructions =
+      static_cast<double>(ops) * config_.syscall_instructions +
+      static_cast<double>(bytes) * config_.copy_instructions_per_byte;
+  step.mix = hw::mixes::io_bound();
+  return step;
+}
+
+}  // namespace vgrid::guest

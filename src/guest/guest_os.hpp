@@ -1,0 +1,45 @@
+#pragma once
+// Guest operating system model: the Linux installation inside the VM. It
+// owns the page cache sized to the guest's RAM, and supplies the CPU cost
+// of the I/O paths (copy cost per byte, syscall cost per operation) that
+// workload program generators charge alongside device time.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "guest/page_cache.hpp"
+#include "hw/mix.hpp"
+#include "os/program.hpp"
+#include "util/units.hpp"
+
+namespace vgrid::guest {
+
+struct GuestOsConfig {
+  std::uint64_t ram_bytes = 300 * util::MiB;  ///< paper's VM configuration
+  /// Share of RAM the kernel can use as page cache after the distro's
+  /// baseline footprint (a trimmed Ubuntu leaves roughly this much).
+  double cache_share = 0.55;
+  /// CPU cost per syscall, instructions (kernel-mode mix).
+  double syscall_instructions = 6000.0;
+  /// CPU cost of moving one byte user<->kernel (copy + page handling).
+  double copy_instructions_per_byte = 0.6;
+};
+
+class GuestOs {
+ public:
+  explicit GuestOs(GuestOsConfig config = {});
+
+  const GuestOsConfig& config() const noexcept { return config_; }
+  PageCache& page_cache() noexcept { return *cache_; }
+  const PageCache& page_cache() const noexcept { return *cache_; }
+
+  /// CPU step covering `ops` syscalls moving `bytes` in total.
+  os::ComputeStep io_cpu_cost(std::uint64_t ops, std::uint64_t bytes) const;
+
+ private:
+  GuestOsConfig config_;
+  std::unique_ptr<PageCache> cache_;
+};
+
+}  // namespace vgrid::guest

@@ -1,0 +1,127 @@
+#include "guest/page_cache.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vgrid::guest {
+
+PageCache::PageCache(std::uint64_t capacity_bytes, double dirty_ratio)
+    : capacity_(capacity_bytes), dirty_ratio_(dirty_ratio) {
+  if (capacity_bytes == 0 || dirty_ratio <= 0.0 || dirty_ratio > 1.0) {
+    throw util::ConfigError("PageCache: capacity > 0 and 0 < dirty_ratio <= 1");
+  }
+}
+
+void PageCache::touch(const std::string& file) {
+  const auto it = std::find(lru_.begin(), lru_.end(), file);
+  if (it != lru_.end()) lru_.erase(it);
+  lru_.push_front(file);
+}
+
+void PageCache::evict_file(const std::string& file) {
+  const auto it = entries_.find(file);
+  if (it == entries_.end()) return;
+  // Eviction of dirty pages forces write-back; we account the bytes as
+  // clean immediately (the caller models the writeback cost via plan_write
+  // results — evicting dirty data under pressure is charged to `dirty_`
+  // reduction only, matching pdflush running asynchronously).
+  used_ -= it->second.bytes;
+  dirty_ -= it->second.dirty_bytes;
+  entries_.erase(it);
+  const auto pos = std::find(lru_.begin(), lru_.end(), file);
+  if (pos != lru_.end()) lru_.erase(pos);
+}
+
+void PageCache::ensure_room(std::uint64_t incoming) {
+  incoming = std::min(incoming, capacity_);
+  while (used_ + incoming > capacity_ && !lru_.empty()) {
+    evict_file(lru_.back());
+  }
+}
+
+AccessPlan PageCache::plan_read(const std::string& file,
+                                std::uint64_t bytes) {
+  AccessPlan plan;
+  const auto it = entries_.find(file);
+  const std::uint64_t cached = it != entries_.end() ? it->second.bytes : 0;
+  plan.cached_bytes = std::min(bytes, cached);
+  plan.disk_bytes = bytes - plan.cached_bytes;
+  if (plan.disk_bytes > 0) {
+    ensure_room(plan.disk_bytes);
+    auto& entry = entries_[file];
+    const std::uint64_t grow =
+        std::min(plan.disk_bytes, capacity_ - used_);
+    entry.bytes += grow;
+    used_ += grow;
+  }
+  touch(file);
+  return plan;
+}
+
+AccessPlan PageCache::plan_write(const std::string& file,
+                                 std::uint64_t bytes) {
+  AccessPlan plan;
+  const auto dirty_limit =
+      static_cast<std::uint64_t>(dirty_ratio_ * static_cast<double>(capacity_));
+  // Portion that fits under the dirty threshold is absorbed; the surplus is
+  // written through synchronously (the writer is throttled, as Linux does
+  // beyond dirty_ratio).
+  const std::uint64_t absorbable =
+      dirty_ >= dirty_limit ? 0 : std::min(bytes, dirty_limit - dirty_);
+  plan.cached_bytes = absorbable;
+  plan.disk_bytes = bytes - absorbable;
+
+  ensure_room(bytes);
+  auto& entry = entries_[file];
+  const std::uint64_t grow = std::min(bytes, capacity_ - used_);
+  entry.bytes += grow;
+  used_ += grow;
+  const std::uint64_t new_dirty = std::min(absorbable, grow);
+  entry.dirty_bytes += new_dirty;
+  dirty_ += new_dirty;
+  touch(file);
+  return plan;
+}
+
+std::uint64_t PageCache::flush(const std::string& file) {
+  const auto it = entries_.find(file);
+  if (it == entries_.end()) return 0;
+  const std::uint64_t flushed = it->second.dirty_bytes;
+  dirty_ -= flushed;
+  it->second.dirty_bytes = 0;
+  return flushed;
+}
+
+std::uint64_t PageCache::flush_all() {
+  std::uint64_t flushed = 0;
+  for (auto& [_, entry] : entries_) {
+    flushed += entry.dirty_bytes;
+    entry.dirty_bytes = 0;
+  }
+  dirty_ = 0;
+  return flushed;
+}
+
+void PageCache::drop_clean() {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    Entry& entry = it->second;
+    const std::uint64_t clean = entry.bytes - entry.dirty_bytes;
+    used_ -= clean;
+    entry.bytes = entry.dirty_bytes;
+    if (entry.bytes == 0) {
+      const auto pos = std::find(lru_.begin(), lru_.end(), it->first);
+      if (pos != lru_.end()) lru_.erase(pos);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::uint64_t PageCache::cached_bytes(const std::string& file) const {
+  const auto it = entries_.find(file);
+  return it != entries_.end() ? it->second.bytes : 0;
+}
+
+}  // namespace vgrid::guest

@@ -1,0 +1,69 @@
+#pragma once
+// Guest page-cache model (Linux-style unified cache, LRU with write-back).
+// Workload program generators consult it to decide how much of a file
+// access is absorbed by memory and how much reaches the (virtual) disk.
+// State is purely analytic: we track per-file cached byte counts, not data.
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+namespace vgrid::guest {
+
+struct AccessPlan {
+  std::uint64_t cached_bytes = 0;  ///< served from / absorbed by the cache
+  std::uint64_t disk_bytes = 0;    ///< must touch the disk now
+};
+
+class PageCache {
+ public:
+  /// `capacity_bytes` is the memory available for caching (a 300 MB guest
+  /// keeps far less than a 1 GB host). `dirty_ratio` bounds dirty data
+  /// before a write forces synchronous write-back, as Linux's dirty_ratio
+  /// does.
+  explicit PageCache(std::uint64_t capacity_bytes, double dirty_ratio = 0.4);
+
+  /// Plan a sequential read of `bytes` from `file`. Cached portions cost
+  /// memory copies only; the rest must be read from disk (and is then
+  /// cached, evicting LRU files).
+  AccessPlan plan_read(const std::string& file, std::uint64_t bytes);
+
+  /// Plan a write of `bytes` to `file`. Writes land in the cache; when
+  /// dirty data exceeds the threshold the surplus must be written back
+  /// synchronously (returned as disk_bytes).
+  AccessPlan plan_write(const std::string& file, std::uint64_t bytes);
+
+  /// fsync(file): all its dirty bytes go to disk; returns that count.
+  std::uint64_t flush(const std::string& file);
+
+  /// sync(): flush everything; returns total dirty bytes written.
+  std::uint64_t flush_all();
+
+  /// Drop clean cached data (echo 1 > drop_caches). Dirty data stays.
+  void drop_clean();
+
+  std::uint64_t capacity() const noexcept { return capacity_; }
+  std::uint64_t used() const noexcept { return used_; }
+  std::uint64_t dirty() const noexcept { return dirty_; }
+  std::uint64_t cached_bytes(const std::string& file) const;
+
+ private:
+  struct Entry {
+    std::uint64_t bytes = 0;
+    std::uint64_t dirty_bytes = 0;
+  };
+
+  void touch(const std::string& file);
+  void ensure_room(std::uint64_t incoming);
+  void evict_file(const std::string& file);
+
+  std::uint64_t capacity_;
+  double dirty_ratio_;
+  std::uint64_t used_ = 0;
+  std::uint64_t dirty_ = 0;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+};
+
+}  // namespace vgrid::guest

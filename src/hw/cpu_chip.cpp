@@ -1,0 +1,35 @@
+#include "hw/cpu_chip.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vgrid::hw {
+
+CpuChip::CpuChip(CpuChipConfig config) : config_(config) {
+  if (config_.cores < 1 || config_.frequency_hz <= 0) {
+    throw util::ConfigError("CpuChip: cores >= 1 and frequency > 0 required");
+  }
+}
+
+double CpuChip::seconds_per_instruction(
+    const InstructionMix& mix, const ClassMultipliers& mult) const noexcept {
+  const double cycles = mix.user_int * mult.user_int / config_.ipc_user_int +
+                        mix.user_fp * mult.user_fp / config_.ipc_user_fp +
+                        mix.memory * mult.memory / config_.ipc_memory +
+                        mix.kernel * mult.kernel / config_.ipc_kernel;
+  return cycles / config_.frequency_hz;
+}
+
+double CpuChip::native_ips(const InstructionMix& mix) const noexcept {
+  return 1.0 / seconds_per_instruction(mix, ClassMultipliers::native());
+}
+
+double CpuChip::interference_factor(double sensitivity,
+                                    double corunner_pressure) const noexcept {
+  const double penalty =
+      std::min(config_.interference_cap, sensitivity * corunner_pressure);
+  return 1.0 - penalty;
+}
+
+}  // namespace vgrid::hw

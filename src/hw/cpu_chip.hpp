@@ -1,0 +1,63 @@
+#pragma once
+// CPU chip model: N identical cores at a fixed frequency with per-class IPC,
+// plus a shared-L2 / memory-bus interference model. The default
+// configuration mirrors the paper's testbed, a Core 2 Duo E6600
+// (2 cores @ 2.40 GHz, shared 4 MB L2).
+
+#include <cstdint>
+
+#include "hw/mix.hpp"
+
+namespace vgrid::hw {
+
+/// Per-instruction-class cost multipliers (>= 1 slows the class down).
+/// The identity multiplier is native execution; VMM execution engines
+/// supply larger values (binary translation, trap-and-emulate).
+struct ClassMultipliers {
+  double user_int = 1.0;
+  double user_fp = 1.0;
+  double memory = 1.0;
+  double kernel = 1.0;
+
+  static ClassMultipliers native() noexcept { return {}; }
+};
+
+struct CpuChipConfig {
+  int cores = 2;
+  double frequency_hz = 2.4e9;  ///< Core 2 Duo E6600
+  // Sustained instructions-per-cycle for each class on one core.
+  double ipc_user_int = 2.0;
+  double ipc_user_fp = 1.4;
+  double ipc_memory = 0.55;  ///< effectively stalls on L2/bus
+  double ipc_kernel = 1.0;
+  /// Cap on the co-runner interference penalty (a thread never loses more
+  /// than this fraction of its speed to the other core).
+  double interference_cap = 0.5;
+};
+
+class CpuChip {
+ public:
+  explicit CpuChip(CpuChipConfig config = {});
+
+  const CpuChipConfig& config() const noexcept { return config_; }
+  int core_count() const noexcept { return config_.cores; }
+
+  /// Average seconds per instruction for `mix` scaled by `mult`, on an
+  /// otherwise idle core.
+  double seconds_per_instruction(const InstructionMix& mix,
+                                 const ClassMultipliers& mult) const noexcept;
+
+  /// Native instructions/second for `mix` on an idle core.
+  double native_ips(const InstructionMix& mix) const noexcept;
+
+  /// Rate factor in (0,1] applied to a thread whose mix has the given
+  /// memory sensitivity while co-runners exert `corunner_pressure`
+  /// (sum of their cache_pressure values).
+  double interference_factor(double sensitivity,
+                             double corunner_pressure) const noexcept;
+
+ private:
+  CpuChipConfig config_;
+};
+
+}  // namespace vgrid::hw

@@ -1,0 +1,57 @@
+#include "hw/disk.hpp"
+
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace vgrid::hw {
+
+Disk::Disk(sim::Simulator& simulator, DiskConfig config, sim::Tracer* tracer,
+           std::string name)
+    : simulator_(simulator), config_(config), tracer_(tracer),
+      name_(std::move(name)) {}
+
+sim::SimDuration Disk::service_time(const DiskRequest& request) const noexcept {
+  const double rate = request.op == DiskOp::kRead
+                          ? config_.sustained_read_bps
+                          : config_.sustained_write_bps;
+  const sim::SimDuration positioning =
+      request.sequential ? config_.track_time : config_.seek_time;
+  return config_.controller_overhead + positioning +
+         util::transfer_time_ns(request.bytes, rate);
+}
+
+void Disk::submit(DiskRequest request) {
+  queue_.push_back(std::move(request));
+  if (!busy_) start_next();
+}
+
+void Disk::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  DiskRequest request = std::move(queue_.front());
+  queue_.pop_front();
+  const sim::SimDuration duration = service_time(request);
+  simulator_.schedule(duration, [this, request = std::move(request)]() {
+    ++completed_ops_;
+    if (request.op == DiskOp::kRead) {
+      bytes_read_ += request.bytes;
+    } else {
+      bytes_written_ += request.bytes;
+    }
+    if (tracer_ != nullptr) {
+      tracer_->record(simulator_.now(), sim::TraceKind::kDiskOp, name_,
+                      util::format("%s %llu bytes",
+                                   request.op == DiskOp::kRead ? "read"
+                                                               : "write",
+                                   static_cast<unsigned long long>(
+                                       request.bytes)));
+    }
+    if (request.on_complete) request.on_complete();
+    start_next();
+  });
+}
+
+}  // namespace vgrid::hw

@@ -1,0 +1,65 @@
+#pragma once
+// Single-spindle disk model with a FIFO request queue: each request pays a
+// fixed positioning/setup latency plus transfer time at the sustained rate.
+// Matches the 7200 rpm SATA class of the paper's 2007-era desktop.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace vgrid::hw {
+
+enum class DiskOp : std::uint8_t { kRead, kWrite };
+
+struct DiskConfig {
+  double sustained_read_bps = 60.0e6;   ///< bytes/second
+  double sustained_write_bps = 55.0e6;  ///< bytes/second
+  sim::SimDuration seek_time = sim::from_millis(8.5);    ///< random access
+  sim::SimDuration track_time = sim::from_micros(120.0); ///< sequential op
+  sim::SimDuration controller_overhead = sim::from_micros(40.0);
+};
+
+struct DiskRequest {
+  DiskOp op = DiskOp::kRead;
+  std::uint64_t bytes = 0;
+  bool sequential = true;
+  std::function<void()> on_complete;
+};
+
+class Disk {
+ public:
+  Disk(sim::Simulator& simulator, DiskConfig config = {},
+       sim::Tracer* tracer = nullptr, std::string name = "disk");
+
+  /// Enqueue a request; its callback fires when the transfer completes.
+  void submit(DiskRequest request);
+
+  const DiskConfig& config() const noexcept { return config_; }
+  bool busy() const noexcept { return busy_; }
+  std::size_t queue_depth() const noexcept { return queue_.size(); }
+  std::uint64_t completed_ops() const noexcept { return completed_ops_; }
+  std::uint64_t bytes_read() const noexcept { return bytes_read_; }
+  std::uint64_t bytes_written() const noexcept { return bytes_written_; }
+
+  /// Service time for one request on an idle disk (no queueing).
+  sim::SimDuration service_time(const DiskRequest& request) const noexcept;
+
+ private:
+  void start_next();
+
+  sim::Simulator& simulator_;
+  DiskConfig config_;
+  sim::Tracer* tracer_;
+  std::string name_;
+  std::deque<DiskRequest> queue_;
+  bool busy_ = false;
+  std::uint64_t completed_ops_ = 0;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace vgrid::hw

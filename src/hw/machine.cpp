@@ -1,0 +1,156 @@
+#include "hw/machine.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vgrid::hw {
+
+namespace machines {
+
+MachineConfig core2duo_e6600() {
+  MachineConfig config;
+  config.chip.cores = 2;
+  config.chip.frequency_hz = 2.4e9;
+  config.ram_bytes = 1 * util::GiB;
+  return config;
+}
+
+MachineConfig pentium4_class() {
+  MachineConfig config;
+  config.chip.cores = 1;
+  config.chip.frequency_hz = 3.0e9;
+  // NetBurst: long pipeline, lower sustained IPC across the board.
+  config.chip.ipc_user_int = 1.2;
+  config.chip.ipc_user_fp = 0.9;
+  config.chip.ipc_memory = 0.4;
+  config.chip.ipc_kernel = 0.7;
+  config.ram_bytes = 512 * util::MiB;
+  return config;
+}
+
+MachineConfig quadcore_class() {
+  MachineConfig config;
+  config.chip.cores = 4;
+  config.chip.frequency_hz = 2.66e9;
+  config.ram_bytes = 4 * util::GiB;
+  config.disk.sustained_read_bps = 90.0e6;
+  config.disk.sustained_write_bps = 85.0e6;
+  return config;
+}
+
+}  // namespace machines
+
+Machine::Machine(sim::Simulator& simulator, MachineConfig config,
+                 sim::Tracer* tracer)
+    : simulator_(simulator), config_(config), chip_(config.chip),
+      disk_(simulator, config.disk, tracer), nic_(simulator, config.nic, tracer),
+      tracer_(tracer),
+      occupancy_(static_cast<std::size_t>(chip_.core_count())),
+      interrupt_share_(static_cast<std::size_t>(chip_.core_count()), 0.0) {}
+
+void Machine::set_occupancy(int core, const CoreOccupancy& occupancy) {
+  occupancy_.at(static_cast<std::size_t>(core)) = occupancy;
+  redistribute_service_load();
+}
+
+const CoreOccupancy& Machine::occupancy(int core) const {
+  return occupancy_.at(static_cast<std::size_t>(core));
+}
+
+void Machine::clear_occupancy(int core) {
+  occupancy_.at(static_cast<std::size_t>(core)) = CoreOccupancy{};
+  redistribute_service_load();
+}
+
+void Machine::set_service_demand(double cores_worth) {
+  if (cores_worth < 0.0) {
+    throw util::ConfigError("Machine: negative service demand");
+  }
+  service_demand_ =
+      std::min(cores_worth, static_cast<double>(chip_.core_count()));
+  redistribute_service_load();
+}
+
+void Machine::set_uniform_service_demand(double cores_worth) {
+  if (cores_worth < 0.0) {
+    throw util::ConfigError("Machine: negative uniform service demand");
+  }
+  uniform_demand_ =
+      std::min(cores_worth, static_cast<double>(chip_.core_count()));
+  redistribute_service_load();
+}
+
+void Machine::redistribute_service_load() {
+  // Interrupt/DPC-level work lands on cores with spare capacity first: idle
+  // cores, or cores running the VM's own threads (there it preempts the
+  // vCPU, costing the guest, not the host). It spills onto cores running
+  // host threads only when the machine is saturated.
+  std::fill(interrupt_share_.begin(), interrupt_share_.end(), 0.0);
+
+  std::vector<std::size_t> absorbing;  // idle or VM-owned occupant
+  std::vector<std::size_t> host_busy;
+  for (std::size_t i = 0; i < occupancy_.size(); ++i) {
+    if (occupancy_[i].busy && !occupancy_[i].vm_owned) {
+      host_busy.push_back(i);
+    } else {
+      absorbing.push_back(i);
+    }
+  }
+
+  // A core is never fully consumed by interrupt work — the OS always
+  // retires some thread instructions between interrupts. The cap keeps
+  // every scheduled thread live (a zero rate would stall the simulation).
+  constexpr double kMaxShare = 0.95;
+
+  double remaining = service_demand_;
+  if (remaining > 0.0 && !absorbing.empty()) {
+    const double each = std::min(
+        kMaxShare, remaining / static_cast<double>(absorbing.size()));
+    for (const std::size_t i : absorbing) interrupt_share_[i] = each;
+    remaining -= each * static_cast<double>(absorbing.size());
+  }
+  if (remaining > 1e-12 && !host_busy.empty()) {
+    const double each = std::min(
+        kMaxShare, remaining / static_cast<double>(host_busy.size()));
+    for (const std::size_t i : host_busy) interrupt_share_[i] += each;
+  }
+
+  if (uniform_demand_ > 0.0 && !occupancy_.empty()) {
+    const double each = std::min(
+        kMaxShare, uniform_demand_ / static_cast<double>(occupancy_.size()));
+    for (double& share : interrupt_share_) {
+      share = std::min(kMaxShare, share + each);
+    }
+  }
+}
+
+double Machine::interrupt_share(int core) const {
+  return interrupt_share_.at(static_cast<std::size_t>(core));
+}
+
+double Machine::rate_factor(int core, double sensitivity,
+                            bool vm_owned) const {
+  const auto self = static_cast<std::size_t>(core);
+  double corunner_pressure = 0.0;
+  for (std::size_t i = 0; i < occupancy_.size(); ++i) {
+    if (i == self || !occupancy_[i].busy) continue;
+    corunner_pressure += occupancy_[i].cache_pressure;
+  }
+  // Interrupt-level service work also thrashes the shared cache a little.
+  corunner_pressure += 0.03 * service_demand_;
+  const double tax = vm_owned ? 1.0 : 1.0 - interrupt_share_.at(self);
+  return tax * chip_.interference_factor(sensitivity, corunner_pressure);
+}
+
+bool Machine::commit_ram(std::uint64_t bytes) {
+  if (bytes > ram_free()) return false;
+  ram_committed_ += bytes;
+  return true;
+}
+
+void Machine::release_ram(std::uint64_t bytes) {
+  ram_committed_ -= std::min(bytes, ram_committed_);
+}
+
+}  // namespace vgrid::hw

@@ -1,0 +1,125 @@
+#pragma once
+// The physical machine: CPU chip, RAM, disk, NIC, plus the published
+// per-core occupancy used to compute execution rates under contention.
+//
+// Division of labour with the OS scheduler (os::PriorityScheduler):
+//  - the scheduler decides *which thread* runs on which core and publishes
+//    each core's occupancy (cache pressure / memory sensitivity / priority
+//    class of the occupant) here;
+//  - the machine turns occupancy + hypervisor service load into a rate
+//    factor per core. Service load models VMM work executed in interrupt /
+//    DPC context (virtual timer emulation, device emulation, translation
+//    cache upkeep) — it is NOT subject to thread priority, which is exactly
+//    why an idle-priority VM still slows a dual-threaded host benchmark
+//    (paper §4.2.3).
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/cpu_chip.hpp"
+#include "hw/disk.hpp"
+#include "hw/nic.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "util/units.hpp"
+
+namespace vgrid::hw {
+
+struct MachineConfig {
+  CpuChipConfig chip{};
+  DiskConfig disk{};
+  NicConfig nic{};
+  std::uint64_t ram_bytes = 1 * util::GiB;  ///< paper testbed: 1 GB DDR2
+};
+
+/// Hardware presets around the paper's era, for sensitivity studies.
+namespace machines {
+/// The paper's testbed: Core 2 Duo E6600, 2x2.40 GHz, 1 GB.
+MachineConfig core2duo_e6600();
+/// Single-core volunteer of the previous generation (Pentium-4 class,
+/// 3.0 GHz, lower IPC, 512 MB) — too small for a 300 MB guest alongside
+/// the host's own working set.
+MachineConfig pentium4_class();
+/// Quad-core successor (2.66 GHz, 4 GB) — the "3 and 4 GB are becoming
+/// standard" machine the paper anticipates.
+MachineConfig quadcore_class();
+}  // namespace machines
+
+/// Occupancy of one core as published by the scheduler.
+struct CoreOccupancy {
+  bool busy = false;
+  double cache_pressure = 0.0;    ///< pressure exerted by the occupant
+  double memory_sensitivity = 0.0;
+  bool vm_owned = false;          ///< occupant is VM work (vCPU / VMM thread)
+};
+
+class Machine {
+ public:
+  Machine(sim::Simulator& simulator, MachineConfig config = {},
+          sim::Tracer* tracer = nullptr);
+
+  sim::Simulator& simulator() noexcept { return simulator_; }
+  const CpuChip& chip() const noexcept { return chip_; }
+  Disk& disk() noexcept { return disk_; }
+  Nic& nic() noexcept { return nic_; }
+  sim::Tracer* tracer() noexcept { return tracer_; }
+  int core_count() const noexcept { return chip_.core_count(); }
+
+  // ---- occupancy / rates ---------------------------------------------------
+  void set_occupancy(int core, const CoreOccupancy& occupancy);
+  const CoreOccupancy& occupancy(int core) const;
+  void clear_occupancy(int core);
+
+  /// Total interrupt-level service demand from all running VMs, in units of
+  /// whole cores (e.g. 0.6 = sixty percent of one core). This load lands
+  /// preferentially on cores with spare capacity (idle, or running the VM's
+  /// own threads — service work preempts the vCPU at no cost to the host);
+  /// it spills onto host-thread cores only when the machine is saturated.
+  void set_service_demand(double cores_worth);
+  double service_demand() const noexcept { return service_demand_; }
+
+  /// Uniform tax applied to every core regardless of occupancy (e.g. QEMU's
+  /// host-wide timer polling). In units of whole cores, spread evenly.
+  void set_uniform_service_demand(double cores_worth);
+  double uniform_service_demand() const noexcept { return uniform_demand_; }
+
+  /// Fraction of `core` consumed by interrupt-level service work under the
+  /// current distribution (recomputed whenever occupancy or demand change).
+  double interrupt_share(int core) const;
+
+  /// Rate factor in (0,1] for a thread with `sensitivity` running on `core`:
+  /// interrupt tax on that core times cache/bus interference from the
+  /// occupants of the *other* cores. VM-owned threads are exempt from the
+  /// interrupt tax — the hypervisor's service work runs *on behalf of* the
+  /// guest, and its cost to the guest is already part of the execution
+  /// engine's per-class multipliers.
+  double rate_factor(int core, double sensitivity, bool vm_owned) const;
+
+  // ---- RAM ------------------------------------------------------------------
+  std::uint64_t ram_bytes() const noexcept { return config_.ram_bytes; }
+  std::uint64_t ram_committed() const noexcept { return ram_committed_; }
+  std::uint64_t ram_free() const noexcept {
+    return config_.ram_bytes - ram_committed_;
+  }
+  /// Reserve RAM (a VM commits its full configured memory when it starts —
+  /// paper §4.2.1). Returns false if it does not fit.
+  bool commit_ram(std::uint64_t bytes);
+  void release_ram(std::uint64_t bytes);
+
+ private:
+  void redistribute_service_load();
+
+  sim::Simulator& simulator_;
+  MachineConfig config_;
+  CpuChip chip_;
+  Disk disk_;
+  Nic nic_;
+  sim::Tracer* tracer_;
+  std::vector<CoreOccupancy> occupancy_;
+  std::vector<double> interrupt_share_;
+  double service_demand_ = 0.0;
+  double uniform_demand_ = 0.0;
+  std::uint64_t ram_committed_ = 0;
+};
+
+}  // namespace vgrid::hw

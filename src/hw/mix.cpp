@@ -1,0 +1,89 @@
+#include "hw/mix.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vgrid::hw {
+
+InstructionMix InstructionMix::normalized() const {
+  const double t = total();
+  if (t <= 0.0) {
+    throw util::ConfigError("InstructionMix: all fractions are zero");
+  }
+  return InstructionMix{user_int / t, user_fp / t, memory / t, kernel / t};
+}
+
+double InstructionMix::memory_sensitivity() const noexcept {
+  // A mix is hurt by co-runner cache/bus pressure in proportion to how much
+  // of it touches memory; kernel code is also somewhat memory-bound.
+  return memory + 0.3 * kernel;
+}
+
+double InstructionMix::cache_pressure() const noexcept {
+  // Pressure exerted on the shared L2: dominated by the memory fraction.
+  return 0.75 * memory + 0.2 * kernel;
+}
+
+std::string InstructionMix::describe() const {
+  return util::format("int=%.2f fp=%.2f mem=%.2f kern=%.2f", user_int,
+                      user_fp, memory, kernel);
+}
+
+namespace mixes {
+
+InstructionMix sevenzip() noexcept {
+  // LZ77 match finding walks large hash/bin trees: integer heavy with a
+  // substantial out-of-cache component, almost no kernel time.
+  return InstructionMix{.user_int = 0.56, .user_fp = 0.02, .memory = 0.40,
+                        .kernel = 0.02};
+}
+
+InstructionMix matrix() noexcept {
+  // Naive double matmul: FP multiply-adds streaming rows/columns. The
+  // hardware prefetcher hides most of the streaming, so the memory-bound
+  // fraction is moderate.
+  return InstructionMix{.user_int = 0.085, .user_fp = 0.66, .memory = 0.25,
+                        .kernel = 0.005};
+}
+
+InstructionMix io_bound() noexcept {
+  // read()/write() loops: most cycles in the kernel and the copy path.
+  return InstructionMix{.user_int = 0.10, .user_fp = 0.00, .memory = 0.30,
+                        .kernel = 0.60};
+}
+
+InstructionMix nbench_mem() noexcept {
+  // String sort / assignment / bitfield: pointer-chasing and moves.
+  return InstructionMix{.user_int = 0.32, .user_fp = 0.00, .memory = 0.66,
+                        .kernel = 0.02};
+}
+
+InstructionMix nbench_int() noexcept {
+  // Numeric sort / Huffman / IDEA: mostly in-cache integer work.
+  return InstructionMix{.user_int = 0.66, .user_fp = 0.00, .memory = 0.32,
+                        .kernel = 0.02};
+}
+
+InstructionMix nbench_fp() noexcept {
+  // Fourier / neural net / LU: FP with small working sets.
+  return InstructionMix{.user_int = 0.10, .user_fp = 0.82, .memory = 0.07,
+                        .kernel = 0.01};
+}
+
+InstructionMix einstein() noexcept {
+  // FFTs + matched filter over strain data: FP heavy; the working set of
+  // one template batch stays largely inside the shared L2, so the
+  // out-of-cache fraction is small (which is why the paper measures < 5%
+  // impact on a host benchmark sharing the chip).
+  return InstructionMix{.user_int = 0.15, .user_fp = 0.78, .memory = 0.06,
+                        .kernel = 0.01};
+}
+
+InstructionMix idle_spin() noexcept {
+  return InstructionMix{.user_int = 0.95, .user_fp = 0.0, .memory = 0.05,
+                        .kernel = 0.0};
+}
+
+}  // namespace mixes
+
+}  // namespace vgrid::hw

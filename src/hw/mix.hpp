@@ -1,0 +1,55 @@
+#pragma once
+// Instruction-mix abstraction. A workload's CPU demand is a number of
+// instructions plus a mix over four classes; per-class IPC (hardware) and
+// per-class execution multipliers (virtualization) turn the mix into time.
+//
+// The classes are the ones the paper's results hinge on:
+//  - user integer: runs natively under binary translation, near 1x
+//  - user floating point: likewise (the paper's Matrix result)
+//  - memory-bound: sensitive to the shared L2 / memory bus (MEM index)
+//  - kernel/privileged: trapped and emulated by the VMM — the expensive one
+//    (Tanaka et al.'s explanation, cited by the paper, for Windows guests
+//    being slower than Linux guests)
+
+#include <string>
+
+namespace vgrid::hw {
+
+struct InstructionMix {
+  double user_int = 1.0;  ///< fraction of user-mode integer instructions
+  double user_fp = 0.0;   ///< fraction of user-mode floating point
+  double memory = 0.0;    ///< fraction that misses L2 / hits the bus
+  double kernel = 0.0;    ///< fraction executed in kernel mode
+
+  /// Sum of fractions; valid mixes sum to 1 (checked by normalize()).
+  double total() const noexcept {
+    return user_int + user_fp + memory + kernel;
+  }
+
+  /// Scale so fractions sum to 1. Throws ConfigError on a zero mix.
+  InstructionMix normalized() const;
+
+  /// How strongly this mix suffers when a co-runner occupies the other
+  /// core's share of the L2/bus (0 = immune, 1 = fully bus-bound).
+  double memory_sensitivity() const noexcept;
+
+  /// How much L2/bus pressure this mix puts on a co-runner.
+  double cache_pressure() const noexcept;
+
+  std::string describe() const;
+};
+
+/// Presets matching the paper's workloads (fractions chosen to reproduce the
+/// relative figures; see DESIGN.md §5 on calibration).
+namespace mixes {
+InstructionMix sevenzip() noexcept;    ///< LZMA compression: int + memory
+InstructionMix matrix() noexcept;      ///< dense FP multiply
+InstructionMix io_bound() noexcept;    ///< syscall/kernel dominated
+InstructionMix nbench_mem() noexcept;  ///< NBench MEM-index kernels
+InstructionMix nbench_int() noexcept;  ///< NBench INT-index kernels
+InstructionMix nbench_fp() noexcept;   ///< NBench FP-index kernels
+InstructionMix einstein() noexcept;    ///< FFT matched filtering (FP heavy)
+InstructionMix idle_spin() noexcept;   ///< busy loop
+}  // namespace mixes
+
+}  // namespace vgrid::hw

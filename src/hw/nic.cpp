@@ -1,0 +1,53 @@
+#include "hw/nic.hpp"
+
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace vgrid::hw {
+
+Nic::Nic(sim::Simulator& simulator, NicConfig config, sim::Tracer* tracer,
+         std::string name)
+    : simulator_(simulator), config_(config), tracer_(tracer),
+      name_(std::move(name)) {}
+
+double Nic::effective_bps() const noexcept {
+  // Per-packet overhead further trims the protocol-efficiency payload rate.
+  const double payload_rate = config_.link_bps * config_.protocol_efficiency;
+  const double packet_time =
+      static_cast<double>(config_.mtu_bytes) / payload_rate +
+      sim::to_seconds(config_.per_packet_overhead);
+  return static_cast<double>(config_.mtu_bytes) / packet_time;
+}
+
+sim::SimDuration Nic::service_time(std::uint64_t bytes) const noexcept {
+  return util::transfer_time_ns(bytes, effective_bps());
+}
+
+void Nic::submit(NetTransfer transfer) {
+  queue_.push_back(std::move(transfer));
+  if (!busy_) start_next();
+}
+
+void Nic::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  NetTransfer transfer = std::move(queue_.front());
+  queue_.pop_front();
+  const sim::SimDuration duration = service_time(transfer.bytes);
+  simulator_.schedule(duration, [this, transfer = std::move(transfer)]() {
+    bytes_total_ += transfer.bytes;
+    if (tracer_ != nullptr) {
+      tracer_->record(simulator_.now(), sim::TraceKind::kNetOp, name_,
+                      util::format("%llu bytes",
+                                   static_cast<unsigned long long>(
+                                       transfer.bytes)));
+    }
+    if (transfer.on_complete) transfer.on_complete();
+    start_next();
+  });
+}
+
+}  // namespace vgrid::hw

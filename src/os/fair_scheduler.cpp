@@ -1,0 +1,79 @@
+#include "os/fair_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace vgrid::os {
+
+FairScheduler::FairScheduler(hw::Machine& machine, SchedulerConfig config)
+    : BaseScheduler(machine, config) {}
+
+double FairScheduler::weight_of(PriorityClass priority) noexcept {
+  // Kernel prio_to_weight: nice 0 = 1024, nice 19 = 15, nice -10 = 9548.
+  switch (priority) {
+    case PriorityClass::kIdle: return 15.0;
+    case PriorityClass::kNormal: return 1024.0;
+    case PriorityClass::kHigh: return 9548.0;
+  }
+  return 1024.0;
+}
+
+double FairScheduler::min_vruntime() const {
+  double lowest = std::numeric_limits<double>::max();
+  for (const auto& [_, vr] : vruntime_) lowest = std::min(lowest, vr);
+  return vruntime_.empty() ? 0.0 : lowest;
+}
+
+double FairScheduler::vruntime(const HostThread& thread) const {
+  const auto it = vruntime_.find(const_cast<HostThread*>(&thread));
+  return it != vruntime_.end() ? it->second : 0.0;
+}
+
+void FairScheduler::policy_enqueue(HostThread& thread) {
+  // New and waking threads start at the current minimum so they neither
+  // monopolize (vruntime 0 forever) nor starve (huge backlog).
+  vruntime_[&thread] = min_vruntime();
+}
+
+void FairScheduler::policy_dequeue(HostThread& thread) {
+  vruntime_.erase(&thread);
+}
+
+void FairScheduler::policy_quantum_expired(HostThread&) {
+  // Nothing to rotate: accounting already advanced the thread's vruntime,
+  // so the next selection naturally prefers whoever ran least.
+}
+
+void FairScheduler::policy_account(HostThread& thread,
+                                   sim::SimDuration ran) {
+  const auto it = vruntime_.find(&thread);
+  if (it == vruntime_.end()) return;
+  it->second += static_cast<double>(ran) * 1024.0 /
+                weight_of(thread.priority());
+}
+
+std::vector<HostThread*> FairScheduler::policy_select(std::size_t cores) {
+  std::vector<std::pair<double, HostThread*>> order;
+  order.reserve(vruntime_.size());
+  for (const auto& [thread, vr] : vruntime_) {
+    order.emplace_back(vr, thread);
+  }
+  // Stable total order: vruntime, then pointer (map order) as tiebreak —
+  // deterministic because threads are created in program order from a
+  // monotone allocator... pointer order is not guaranteed stable across
+  // runs, so tiebreak on name instead.
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second->name() < b.second->name();
+            });
+  std::vector<HostThread*> selected;
+  selected.reserve(cores);
+  for (const auto& [_, thread] : order) {
+    if (selected.size() == cores) break;
+    selected.push_back(thread);
+  }
+  return selected;
+}
+
+}  // namespace vgrid::os

@@ -1,0 +1,45 @@
+#pragma once
+// Linux-CFS-style weighted-fair scheduler — the "what if the volunteer's
+// host ran Linux?" extension. Each thread accumulates virtual runtime at a
+// rate inversely proportional to its weight; the threads with the smallest
+// vruntime run. Priority classes map to nice levels: Normal = nice 0,
+// Idle = nice 19 (weight ratio ~1024:15, as in the kernel's prio_to_weight
+// table), High = nice -10.
+//
+// The contrast with the XP-style PriorityScheduler matters for the
+// paper's host-impact story: under strict priorities an Idle-class vCPU
+// gets *nothing* while two Normal host threads run; under weighted
+// fairness it still receives a ~1.4% share — visible in
+// bench/extension_linux_host.
+
+#include <map>
+
+#include "os/scheduler.hpp"
+
+namespace vgrid::os {
+
+class FairScheduler final : public BaseScheduler {
+ public:
+  explicit FairScheduler(hw::Machine& machine, SchedulerConfig config = {});
+
+  /// Scheduling weight for a priority class (kernel prio_to_weight values).
+  static double weight_of(PriorityClass priority) noexcept;
+
+  /// Current virtual runtime of a thread (testing/inspection).
+  double vruntime(const HostThread& thread) const;
+
+ protected:
+  void policy_enqueue(HostThread& thread) override;
+  void policy_dequeue(HostThread& thread) override;
+  void policy_quantum_expired(HostThread& thread) override;
+  void policy_account(HostThread& thread, sim::SimDuration ran) override;
+  std::vector<HostThread*> policy_select(std::size_t cores) override;
+
+ private:
+  double min_vruntime() const;
+
+  // vruntime per runnable thread, nanoseconds scaled by 1024/weight.
+  std::map<HostThread*, double> vruntime_;
+};
+
+}  // namespace vgrid::os

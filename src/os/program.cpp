@@ -1,0 +1,54 @@
+#include "os/program.hpp"
+
+#include "util/error.hpp"
+
+namespace vgrid::os {
+
+Step StepListProgram::next() {
+  if (index_ >= steps_.size()) return DoneStep{};
+  return steps_[index_++];
+}
+
+ProgramBuilder& ProgramBuilder::compute(double instructions,
+                                        const hw::InstructionMix& mix,
+                                        const hw::ClassMultipliers& mult) {
+  steps_.emplace_back(ComputeStep{instructions, mix, mult});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::disk_read(std::uint64_t bytes,
+                                          bool sequential) {
+  steps_.emplace_back(DiskStep{hw::DiskOp::kRead, bytes, sequential});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::disk_write(std::uint64_t bytes,
+                                           bool sequential) {
+  steps_.emplace_back(DiskStep{hw::DiskOp::kWrite, bytes, sequential});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::net(std::uint64_t bytes) {
+  steps_.emplace_back(NetStep{bytes});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::sleep(sim::SimDuration duration) {
+  steps_.emplace_back(SleepStep{duration});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::repeat_last(std::size_t times) {
+  if (steps_.empty()) {
+    throw util::ConfigError("ProgramBuilder::repeat_last with no steps");
+  }
+  const Step last = steps_.back();
+  for (std::size_t i = 1; i < times; ++i) steps_.push_back(last);
+  return *this;
+}
+
+std::unique_ptr<StepListProgram> ProgramBuilder::build() {
+  return std::make_unique<StepListProgram>(std::move(steps_));
+}
+
+}  // namespace vgrid::os

@@ -1,0 +1,113 @@
+#pragma once
+// Thread programs: what a schedulable thread *does*. A program is a step
+// generator; the scheduler executes compute steps piecewise under
+// preemption and contention, and turns device steps into blocking I/O on
+// the machine's disk/NIC models.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "hw/cpu_chip.hpp"
+#include "hw/disk.hpp"
+#include "hw/mix.hpp"
+#include "sim/time.hpp"
+
+namespace vgrid::os {
+
+/// Execute `instructions` of the given mix. `multipliers` model the
+/// execution engine (native by default; hypervisor engines pass their
+/// per-class translation/trap costs).
+struct ComputeStep {
+  double instructions = 0.0;
+  hw::InstructionMix mix{};
+  hw::ClassMultipliers multipliers{};
+};
+
+/// Blocking disk I/O.
+struct DiskStep {
+  hw::DiskOp op = hw::DiskOp::kRead;
+  std::uint64_t bytes = 0;
+  bool sequential = true;
+};
+
+/// Blocking network transfer.
+struct NetStep {
+  std::uint64_t bytes = 0;
+};
+
+/// Sleep for a fixed simulated duration.
+struct SleepStep {
+  sim::SimDuration duration = 0;
+};
+
+/// Program finished; the thread exits.
+struct DoneStep {};
+
+using Step = std::variant<ComputeStep, DiskStep, NetStep, SleepStep, DoneStep>;
+
+/// A source of steps. next() is called once per completed step; returning
+/// DoneStep ends the thread.
+class Program {
+ public:
+  virtual ~Program() = default;
+  virtual Step next() = 0;
+};
+
+/// Fixed list of steps, then done.
+class StepListProgram final : public Program {
+ public:
+  explicit StepListProgram(std::vector<Step> steps)
+      : steps_(std::move(steps)) {}
+  Step next() override;
+
+ private:
+  std::vector<Step> steps_;
+  std::size_t index_ = 0;
+};
+
+/// Steps produced by a callable (stateful lambda); the callable returns
+/// DoneStep to finish.
+class GeneratorProgram final : public Program {
+ public:
+  explicit GeneratorProgram(std::function<Step()> generator)
+      : generator_(std::move(generator)) {}
+  Step next() override { return generator_(); }
+
+ private:
+  std::function<Step()> generator_;
+};
+
+/// Repeat a compute block forever — models a pegged worker (the paper's
+/// Einstein@home task using "100% of the virtual CPU").
+class InfiniteComputeProgram final : public Program {
+ public:
+  InfiniteComputeProgram(double instructions_per_block, hw::InstructionMix mix,
+                         hw::ClassMultipliers multipliers = {})
+      : block_{instructions_per_block, mix, multipliers} {}
+  Step next() override { return block_; }
+
+ private:
+  ComputeStep block_;
+};
+
+/// Builder for step lists — keeps experiment code readable.
+class ProgramBuilder {
+ public:
+  ProgramBuilder& compute(double instructions, const hw::InstructionMix& mix,
+                          const hw::ClassMultipliers& multipliers = {});
+  ProgramBuilder& disk_read(std::uint64_t bytes, bool sequential = true);
+  ProgramBuilder& disk_write(std::uint64_t bytes, bool sequential = true);
+  ProgramBuilder& net(std::uint64_t bytes);
+  ProgramBuilder& sleep(sim::SimDuration duration);
+  ProgramBuilder& repeat_last(std::size_t times);
+
+  std::unique_ptr<StepListProgram> build();
+
+ private:
+  std::vector<Step> steps_;
+};
+
+}  // namespace vgrid::os

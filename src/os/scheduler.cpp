@@ -1,0 +1,324 @@
+#include "os/scheduler.hpp"
+
+#include <algorithm>
+
+#include "sim/trace.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vgrid::os {
+
+namespace {
+// Below half an instruction of remaining work, a compute step is complete
+// (guards against floating-point residue).
+constexpr double kWorkEpsilon = 0.5;
+}  // namespace
+
+// ---- BaseScheduler ----------------------------------------------------------
+
+BaseScheduler::BaseScheduler(hw::Machine& machine, SchedulerConfig config)
+    : machine_(machine), config_(config),
+      on_core_(static_cast<std::size_t>(machine.core_count()), nullptr) {
+  if (config_.quantum <= 0) {
+    throw util::ConfigError("scheduler: quantum must be positive");
+  }
+}
+
+HostThread& BaseScheduler::spawn(std::string name, PriorityClass priority,
+                                 std::unique_ptr<Program> program,
+                                 bool vm_owned) {
+  threads_.push_back(std::make_unique<HostThread>(
+      std::move(name), priority, std::move(program), vm_owned));
+  HostThread& thread = *threads_.back();
+  thread.start_time_ = simulator().now();
+  thread.state_ = ThreadState::kReady;
+  advance_program(thread);  // load the first step
+  if (thread.state_ == ThreadState::kReady) {
+    policy_enqueue(thread);
+  }
+  resched();
+  return thread;
+}
+
+bool BaseScheduler::all_done() const noexcept {
+  return std::all_of(threads_.begin(), threads_.end(),
+                     [](const auto& t) { return t->done(); });
+}
+
+void BaseScheduler::make_ready(HostThread& thread) {
+  // The blocking step that woke us is complete: load the next one before
+  // queueing, so a thread that immediately blocks again (or finishes)
+  // never occupies a core for a zero-length segment. advance_program
+  // overrides the state again if the next step blocks or ends the thread.
+  thread.state_ = ThreadState::kReady;
+  advance_program(thread);
+  if (thread.state_ != ThreadState::kReady) {
+    resched();
+    return;
+  }
+  policy_enqueue(thread);
+  if (auto* tracer = machine_.tracer()) {
+    tracer->record(simulator().now(), sim::TraceKind::kWake, thread.name());
+  }
+  resched();
+}
+
+// Pull steps from the thread's program until we reach one that leaves it
+// computing, blocked, sleeping, or done. Must be called with the thread not
+// holding a core segment event.
+void BaseScheduler::advance_program(HostThread& thread) {
+  while (true) {
+    Step step = thread.program_->next();
+    if (auto* compute = std::get_if<ComputeStep>(&step)) {
+      if (compute->instructions < kWorkEpsilon) continue;  // empty step
+      thread.remaining_instructions_ = compute->instructions;
+      thread.mix_ = compute->mix.normalized();
+      thread.multipliers_ = compute->multipliers;
+      return;  // stays runnable
+    }
+    if (auto* disk = std::get_if<DiskStep>(&step)) {
+      thread.state_ = ThreadState::kBlocked;
+      HostThread* tp = &thread;
+      machine_.disk().submit(hw::DiskRequest{
+          disk->op, disk->bytes, disk->sequential,
+          [this, tp] { make_ready(*tp); }});
+      if (auto* tracer = machine_.tracer()) {
+        tracer->record(simulator().now(), sim::TraceKind::kBlock,
+                       thread.name(), "disk");
+      }
+      return;
+    }
+    if (auto* net = std::get_if<NetStep>(&step)) {
+      thread.state_ = ThreadState::kBlocked;
+      HostThread* tp = &thread;
+      machine_.nic().submit(
+          hw::NetTransfer{net->bytes, [this, tp] { make_ready(*tp); }});
+      if (auto* tracer = machine_.tracer()) {
+        tracer->record(simulator().now(), sim::TraceKind::kBlock,
+                       thread.name(), "net");
+      }
+      return;
+    }
+    if (auto* sleep = std::get_if<SleepStep>(&step)) {
+      thread.state_ = ThreadState::kSleeping;
+      HostThread* tp = &thread;
+      simulator().schedule(std::max<sim::SimDuration>(sleep->duration, 0),
+                           [this, tp] { make_ready(*tp); });
+      return;
+    }
+    // DoneStep
+    thread.state_ = ThreadState::kDone;
+    thread.finish_time_ = simulator().now();
+    if (thread.on_done_) thread.on_done_(thread);
+    return;
+  }
+}
+
+void BaseScheduler::accrue(HostThread& thread) {
+  const sim::SimTime now = simulator().now();
+  const sim::SimDuration ran = now - thread.segment_start_;
+  if (ran > 0) {
+    // Completion events land on the next whole nanosecond, so the raw
+    // elapsed-time progress can overshoot the step's budget by a few
+    // instructions; clamp to keep the retirement counters exact.
+    const double progress =
+        std::min(sim::to_seconds(ran) * thread.segment_rate_ips_,
+                 thread.remaining_instructions_);
+    thread.instructions_done_ += progress;
+    thread.remaining_instructions_ -= progress;
+    thread.cpu_time_ += ran;
+    policy_account(thread, ran);
+  }
+  thread.segment_start_ = now;
+}
+
+void BaseScheduler::accrue_all_running() {
+  for (HostThread* thread : on_core_) {
+    if (thread == nullptr) continue;
+    accrue(*thread);
+    if (thread->segment_event_ != sim::kInvalidEvent) {
+      simulator().cancel(thread->segment_event_);
+      thread->segment_event_ = sim::kInvalidEvent;
+    }
+  }
+}
+
+double BaseScheduler::rate_for(const HostThread& thread, int core) const {
+  const double base_ips =
+      1.0 / machine_.chip().seconds_per_instruction(thread.mix_,
+                                                    thread.multipliers_);
+  return base_ips * machine_.rate_factor(
+                        core, thread.mix_.memory_sensitivity(),
+                        thread.vm_owned());
+}
+
+void BaseScheduler::publish_occupancy() {
+  for (int core = 0; core < machine_.core_count(); ++core) {
+    const HostThread* thread = on_core_[static_cast<std::size_t>(core)];
+    if (thread == nullptr) {
+      machine_.clear_occupancy(core);
+    } else {
+      machine_.set_occupancy(
+          core, hw::CoreOccupancy{true, thread->mix_.cache_pressure(),
+                                  thread->mix_.memory_sensitivity(),
+                                  thread->vm_owned()});
+    }
+  }
+}
+
+void BaseScheduler::resched() {
+  if (in_resched_) {
+    // Callbacks fired from inside a pass (e.g. on_done spawning a new
+    // thread) request another pass instead of recursing.
+    resched_pending_ = true;
+    return;
+  }
+  in_resched_ = true;
+
+  do {
+    resched_pending_ = false;
+    resched_pass();
+  } while (resched_pending_);
+
+  in_resched_ = false;
+}
+
+void BaseScheduler::resched_pass() {
+  accrue_all_running();
+
+  // Any running thread whose step completed during accrual advances its
+  // program now (it may block, finish, or start the next compute step).
+  for (std::size_t core = 0; core < on_core_.size(); ++core) {
+    HostThread* thread = on_core_[core];
+    if (thread == nullptr) continue;
+    if (thread->remaining_instructions_ <= kWorkEpsilon) {
+      advance_program(*thread);
+      if (thread->state_ != ThreadState::kRunning) {
+        // blocked / sleeping / done: it left the runnable set
+        on_core_[core] = nullptr;
+        thread->core_ = -1;
+        policy_dequeue(*thread);
+      }
+    }
+  }
+
+  // Ask the policy for the threads that should run now.
+  const auto cores = static_cast<std::size_t>(machine_.core_count());
+  const std::vector<HostThread*> selected = policy_select(cores);
+
+  // Keep affine placements; evict running threads that were not selected.
+  for (std::size_t core = 0; core < on_core_.size(); ++core) {
+    HostThread* thread = on_core_[core];
+    if (thread == nullptr) continue;
+    if (std::find(selected.begin(), selected.end(), thread) ==
+        selected.end()) {
+      thread->state_ = ThreadState::kReady;
+      thread->core_ = -1;
+      on_core_[core] = nullptr;
+      ++context_switches_;
+      if (auto* tracer = machine_.tracer()) {
+        tracer->record(simulator().now(), sim::TraceKind::kPreempt,
+                       thread->name());
+      }
+    }
+  }
+
+  // Place newly selected threads on free cores.
+  for (HostThread* thread : selected) {
+    if (thread->core_ >= 0) continue;  // already placed
+    const auto free = std::find(on_core_.begin(), on_core_.end(), nullptr);
+    if (free == on_core_.end()) {
+      throw util::SimulationError("scheduler: no free core for selection");
+    }
+    const auto core = static_cast<int>(free - on_core_.begin());
+    *free = thread;
+    thread->core_ = core;
+    thread->state_ = ThreadState::kRunning;
+    thread->quantum_deadline_ = simulator().now() + config_.quantum;
+    if (auto* tracer = machine_.tracer()) {
+      tracer->record(simulator().now(), sim::TraceKind::kSchedule,
+                     thread->name(), util::format("core %d", core));
+    }
+  }
+
+  publish_occupancy();
+
+  // Fresh rates and segment events for every running thread.
+  for (std::size_t core = 0; core < on_core_.size(); ++core) {
+    HostThread* thread = on_core_[core];
+    if (thread == nullptr) continue;
+    thread->segment_start_ = simulator().now();
+    thread->segment_rate_ips_ = rate_for(*thread, static_cast<int>(core));
+    const double seconds_to_finish =
+        thread->remaining_instructions_ / thread->segment_rate_ips_;
+    const sim::SimTime completion =
+        simulator().now() + sim::from_seconds(seconds_to_finish);
+    const sim::SimTime event_time =
+        std::min(completion, thread->quantum_deadline_);
+    HostThread* tp = thread;
+    thread->segment_event_ = simulator().schedule_at(
+        std::max(event_time, simulator().now() + 1),
+        [this, tp] { on_segment_event(tp); });
+  }
+}
+
+void BaseScheduler::on_segment_event(HostThread* thread) {
+  thread->segment_event_ = sim::kInvalidEvent;
+  if (thread->state_ != ThreadState::kRunning) return;  // stale
+  accrue(*thread);
+  if (thread->remaining_instructions_ > kWorkEpsilon &&
+      simulator().now() >= thread->quantum_deadline_) {
+    policy_quantum_expired(*thread);
+    ++context_switches_;
+    thread->quantum_deadline_ = simulator().now() + config_.quantum;
+  }
+  resched();
+}
+
+// ---- PriorityScheduler ----------------------------------------------------------
+
+PriorityScheduler::PriorityScheduler(hw::Machine& machine,
+                                     SchedulerConfig config)
+    : BaseScheduler(machine, config) {}
+
+void PriorityScheduler::policy_enqueue(HostThread& thread) {
+  runnable_[static_cast<std::size_t>(thread.priority())].push_back(&thread);
+}
+
+void PriorityScheduler::policy_dequeue(HostThread& thread) {
+  for (auto& queue : runnable_) {
+    const auto it = std::find(queue.begin(), queue.end(), &thread);
+    if (it != queue.end()) {
+      queue.erase(it);
+      return;
+    }
+  }
+}
+
+void PriorityScheduler::policy_quantum_expired(HostThread& thread) {
+  // Round-robin: rotate to the back of the class queue.
+  auto& queue = runnable_[static_cast<std::size_t>(thread.priority())];
+  const auto it = std::find(queue.begin(), queue.end(), &thread);
+  if (it != queue.end() && queue.size() > 1) {
+    queue.erase(it);
+    queue.push_back(&thread);
+  }
+}
+
+void PriorityScheduler::policy_account(HostThread&, sim::SimDuration) {}
+
+std::vector<HostThread*> PriorityScheduler::policy_select(
+    std::size_t cores) {
+  std::vector<HostThread*> selected;
+  selected.reserve(cores);
+  for (int cls = kPriorityClassCount - 1; cls >= 0; --cls) {
+    for (HostThread* thread : runnable_[static_cast<std::size_t>(cls)]) {
+      if (selected.size() == cores) break;
+      selected.push_back(thread);
+    }
+    if (selected.size() == cores) break;
+  }
+  return selected;
+}
+
+}  // namespace vgrid::os

@@ -1,0 +1,140 @@
+#pragma once
+// Host OS schedulers.
+//
+// Scheduler        — the abstract interface experiments and the VMM layer
+//                    program against (spawn threads, query the machine).
+// BaseScheduler    — the shared machinery: on every scheduling event it
+//                    (1) accrues progress of running threads at their
+//                    current rates, (2) asks the policy for the top-N
+//                    runnable threads (N = cores), keeping already-placed
+//                    threads on their cores, (3) publishes per-core
+//                    occupancy to the Machine (feeding the contention
+//                    model) and schedules fresh completion/quantum events.
+//                    Rates change exactly at scheduling events, which makes
+//                    the co-runner interference results deterministic.
+// PriorityScheduler— Windows-XP-style policy: strict classes (High >
+//                    Normal > Idle), round-robin within a class. The
+//                    paper's host.
+// (FairScheduler, a Linux-CFS-style weighted-fair policy, lives in
+// fair_scheduler.hpp as the "Linux volunteer host" extension.)
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "os/thread.hpp"
+
+namespace vgrid::os {
+
+struct SchedulerConfig {
+  sim::SimDuration quantum = sim::from_millis(20.0);
+};
+
+/// Abstract scheduler interface.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Create a thread and make it runnable now. The scheduler owns it; the
+  /// reference stays valid for the scheduler's lifetime.
+  virtual HostThread& spawn(std::string name, PriorityClass priority,
+                            std::unique_ptr<Program> program,
+                            bool vm_owned = false) = 0;
+
+  virtual hw::Machine& machine() noexcept = 0;
+
+  /// True when every spawned thread has finished.
+  virtual bool all_done() const noexcept = 0;
+
+  /// Force a scheduling pass now — used when external rate conditions
+  /// change (e.g. a VM registers service demand on the machine).
+  virtual void notify_conditions_changed() = 0;
+
+  virtual const std::vector<std::unique_ptr<HostThread>>& threads()
+      const noexcept = 0;
+};
+
+/// Shared mechanics; subclasses supply the runnable-queue policy.
+class BaseScheduler : public Scheduler {
+ public:
+  BaseScheduler(hw::Machine& machine, SchedulerConfig config);
+  BaseScheduler(const BaseScheduler&) = delete;
+  BaseScheduler& operator=(const BaseScheduler&) = delete;
+
+  HostThread& spawn(std::string name, PriorityClass priority,
+                    std::unique_ptr<Program> program,
+                    bool vm_owned = false) override;
+
+  hw::Machine& machine() noexcept override { return machine_; }
+  const SchedulerConfig& config() const noexcept { return config_; }
+
+  const std::vector<std::unique_ptr<HostThread>>& threads()
+      const noexcept override {
+    return threads_;
+  }
+
+  bool all_done() const noexcept override;
+
+  /// Context switches performed (evictions plus quantum rotations).
+  std::uint64_t context_switches() const noexcept { return context_switches_; }
+
+  void notify_conditions_changed() override { resched(); }
+
+ protected:
+  // ---- policy interface ------------------------------------------------------
+  /// A thread became runnable (spawned or woke).
+  virtual void policy_enqueue(HostThread& thread) = 0;
+  /// A runnable thread blocked or finished.
+  virtual void policy_dequeue(HostThread& thread) = 0;
+  /// The thread exhausted its quantum while still runnable.
+  virtual void policy_quantum_expired(HostThread& thread) = 0;
+  /// The thread just ran for `ran` of simulated time (accounting hook).
+  virtual void policy_account(HostThread& thread, sim::SimDuration ran) = 0;
+  /// Choose up to `cores` runnable threads to run next, best first.
+  virtual std::vector<HostThread*> policy_select(std::size_t cores) = 0;
+
+  sim::Simulator& simulator() noexcept { return machine_.simulator(); }
+
+ private:
+  void make_ready(HostThread& thread);
+  void advance_program(HostThread& thread);
+  void accrue(HostThread& thread);
+  void accrue_all_running();
+  void resched();
+  void resched_pass();
+  void publish_occupancy();
+  double rate_for(const HostThread& thread, int core) const;
+  void on_segment_event(HostThread* thread);
+
+  hw::Machine& machine_;
+  SchedulerConfig config_;
+  std::vector<std::unique_ptr<HostThread>> threads_;
+  std::vector<HostThread*> on_core_;
+  std::uint64_t context_switches_ = 0;
+  bool in_resched_ = false;
+  bool resched_pending_ = false;
+};
+
+/// Windows-XP-style strict priority classes with round-robin inside a
+/// class — the paper's host OS.
+class PriorityScheduler final : public BaseScheduler {
+ public:
+  explicit PriorityScheduler(hw::Machine& machine,
+                             SchedulerConfig config = {});
+
+ protected:
+  void policy_enqueue(HostThread& thread) override;
+  void policy_dequeue(HostThread& thread) override;
+  void policy_quantum_expired(HostThread& thread) override;
+  void policy_account(HostThread& thread, sim::SimDuration ran) override;
+  std::vector<HostThread*> policy_select(std::size_t cores) override;
+
+ private:
+  // Runnable threads (ready or running), FIFO service order per class.
+  std::array<std::deque<HostThread*>, kPriorityClassCount> runnable_;
+};
+
+}  // namespace vgrid::os

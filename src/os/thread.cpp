@@ -1,0 +1,31 @@
+#include "os/thread.hpp"
+
+namespace vgrid::os {
+
+const char* to_string(ThreadState state) noexcept {
+  switch (state) {
+    case ThreadState::kNew: return "new";
+    case ThreadState::kReady: return "ready";
+    case ThreadState::kRunning: return "running";
+    case ThreadState::kBlocked: return "blocked";
+    case ThreadState::kSleeping: return "sleeping";
+    case ThreadState::kDone: return "done";
+  }
+  return "?";
+}
+
+const char* to_string(PriorityClass priority) noexcept {
+  switch (priority) {
+    case PriorityClass::kIdle: return "idle";
+    case PriorityClass::kNormal: return "normal";
+    case PriorityClass::kHigh: return "high";
+  }
+  return "?";
+}
+
+HostThread::HostThread(std::string name, PriorityClass priority,
+                       std::unique_ptr<Program> program, bool vm_owned)
+    : name_(std::move(name)), priority_(priority),
+      program_(std::move(program)), vm_owned_(vm_owned) {}
+
+}  // namespace vgrid::os

@@ -1,0 +1,105 @@
+#pragma once
+// A schedulable host thread: a priority class, a program, and progress
+// accounting. Threads are created and owned by the PriorityScheduler.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "hw/cpu_chip.hpp"
+#include "hw/mix.hpp"
+#include "os/program.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace vgrid::os {
+
+enum class ThreadState : std::uint8_t {
+  kNew,
+  kReady,
+  kRunning,
+  kBlocked,   ///< waiting on disk/NIC completion
+  kSleeping,
+  kDone,
+};
+
+/// Windows-XP-style priority classes (reduced to the two the paper uses,
+/// plus High for completeness).
+enum class PriorityClass : std::uint8_t { kIdle = 0, kNormal = 1, kHigh = 2 };
+
+inline constexpr int kPriorityClassCount = 3;
+
+const char* to_string(ThreadState state) noexcept;
+const char* to_string(PriorityClass priority) noexcept;
+
+class BaseScheduler;
+
+class HostThread {
+ public:
+  HostThread(std::string name, PriorityClass priority,
+             std::unique_ptr<Program> program, bool vm_owned);
+
+  const std::string& name() const noexcept { return name_; }
+  PriorityClass priority() const noexcept { return priority_; }
+  bool vm_owned() const noexcept { return vm_owned_; }
+  ThreadState state() const noexcept { return state_; }
+  bool done() const noexcept { return state_ == ThreadState::kDone; }
+  int core() const noexcept { return core_; }
+
+  // ---- lifetime statistics ---------------------------------------------------
+  /// Total simulated time the thread actually held a core.
+  sim::SimDuration cpu_time() const noexcept { return cpu_time_; }
+  /// Instructions retired so far.
+  double instructions_done() const noexcept { return instructions_done_; }
+  /// Time the thread entered the system / finished (kDone only).
+  sim::SimTime start_time() const noexcept { return start_time_; }
+  sim::SimTime finish_time() const noexcept { return finish_time_; }
+
+  /// Current compute step's mix/multipliers (valid while one is active).
+  const hw::InstructionMix& current_mix() const noexcept { return mix_; }
+  const hw::ClassMultipliers& current_multipliers() const noexcept {
+    return multipliers_;
+  }
+
+  /// Invoked when the program returns DoneStep.
+  void set_on_done(std::function<void(HostThread&)> cb) {
+    on_done_ = std::move(cb);
+  }
+
+  /// Dynamic priority change (e.g. drop a VM from Normal to Idle).
+  /// Takes effect at the next scheduling decision.
+  void set_priority(PriorityClass priority) noexcept { priority_ = priority; }
+
+ private:
+  friend class BaseScheduler;
+
+  std::string name_;
+  PriorityClass priority_;
+  std::unique_ptr<Program> program_;
+  bool vm_owned_;
+
+  ThreadState state_ = ThreadState::kNew;
+  int core_ = -1;
+
+  // Current compute step progress.
+  double remaining_instructions_ = 0.0;
+  hw::InstructionMix mix_{};
+  hw::ClassMultipliers multipliers_{};
+
+  // Running-segment bookkeeping (managed by the scheduler).
+  sim::SimTime segment_start_ = 0;
+  double segment_rate_ips_ = 0.0;
+  sim::EventId segment_event_ = sim::kInvalidEvent;
+  sim::SimTime quantum_deadline_ = 0;
+
+  // Statistics.
+  sim::SimDuration cpu_time_ = 0;
+  double instructions_done_ = 0.0;
+  sim::SimTime start_time_ = 0;
+  sim::SimTime finish_time_ = 0;
+
+  std::function<void(HostThread&)> on_done_;
+};
+
+}  // namespace vgrid::os

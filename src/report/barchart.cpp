@@ -1,0 +1,50 @@
+#include "report/barchart.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace vgrid::report {
+
+BarChart& BarChart::add(std::string label, double value) {
+  bars_.push_back(Bar{std::move(label), value});
+  return *this;
+}
+
+BarChart& BarChart::set_reference(double value, std::string label) {
+  has_reference_ = true;
+  reference_value_ = value;
+  reference_label_ = std::move(label);
+  return *this;
+}
+
+std::string BarChart::ascii(std::size_t width) const {
+  double peak = has_reference_ ? reference_value_ : 0.0;
+  std::size_t label_width = reference_label_.size();
+  for (const Bar& bar : bars_) {
+    peak = std::max(peak, bar.value);
+    label_width = std::max(label_width, bar.label.size());
+  }
+  if (peak <= 0.0) peak = 1.0;
+
+  std::string out;
+  if (!title_.empty()) out += title_ + '\n';
+  auto line = [&](const std::string& label, double value) {
+    // Clamp: negative values render as an empty bar (the numeric column
+    // still shows the sign), values above the peak cannot occur.
+    const double fraction = std::max(0.0, value / peak);
+    const auto bar_len = static_cast<std::size_t>(
+        fraction * static_cast<double>(width) + 0.5);
+    out += util::format("%-*s |", static_cast<int>(label_width),
+                        label.c_str());
+    out.append(bar_len, '#');
+    out += util::format(" %.3f", value);
+    if (!unit_.empty()) out += " " + unit_;
+    out += '\n';
+  };
+  if (has_reference_) line(reference_label_, reference_value_);
+  for (const Bar& bar : bars_) line(bar.label, bar.value);
+  return out;
+}
+
+}  // namespace vgrid::report

@@ -1,0 +1,36 @@
+#pragma once
+// ASCII bar charts approximating the paper's figures in terminal output.
+
+#include <string>
+#include <vector>
+
+namespace vgrid::report {
+
+struct Bar {
+  std::string label;
+  double value = 0.0;
+};
+
+class BarChart {
+ public:
+  explicit BarChart(std::string title = {}, std::string unit = {})
+      : title_(std::move(title)), unit_(std::move(unit)) {}
+
+  BarChart& add(std::string label, double value);
+
+  /// Draw a reference line at `value` (e.g. native = 1.0).
+  BarChart& set_reference(double value, std::string label = "native");
+
+  /// Render; bars scale so the maximum fills `width` characters.
+  std::string ascii(std::size_t width = 48) const;
+
+ private:
+  std::string title_;
+  std::string unit_;
+  std::vector<Bar> bars_;
+  bool has_reference_ = false;
+  double reference_value_ = 0.0;
+  std::string reference_label_;
+};
+
+}  // namespace vgrid::report

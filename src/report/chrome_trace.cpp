@@ -1,0 +1,113 @@
+#include "report/chrome_trace.hpp"
+
+#include <cerrno>
+#include <fstream>
+#include <map>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vgrid::report {
+
+namespace {
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+double micros(sim::SimTime time) {
+  return static_cast<double>(time) / 1e3;  // ns -> us (Chrome's unit)
+}
+
+}  // namespace
+
+std::string chrome_trace_json(
+    const std::vector<sim::TraceRecord>& records) {
+  std::string out = "[\n";
+  bool first = true;
+  auto emit = [&](const std::string& event) {
+    if (!first) out += ",\n";
+    first = false;
+    out += event;
+  };
+
+  // Open duration events per subject (a schedule begins one; preempt,
+  // block, or a later schedule of someone else does not end it — only the
+  // same subject's next lifecycle record does).
+  std::map<std::string, sim::SimTime> open;
+  for (const auto& record : records) {
+    const std::string name = json_escape(record.subject);
+    switch (record.kind) {
+      case sim::TraceKind::kSchedule:
+        open[record.subject] = record.time;
+        break;
+      case sim::TraceKind::kPreempt:
+      case sim::TraceKind::kBlock: {
+        const auto it = open.find(record.subject);
+        if (it != open.end()) {
+          emit(util::format(
+              "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+              "\"pid\":1,\"tid\":\"%s\"}",
+              name.c_str(), micros(it->second),
+              micros(record.time - it->second), name.c_str()));
+          open.erase(it);
+        }
+        break;
+      }
+      case sim::TraceKind::kDiskOp:
+      case sim::TraceKind::kNetOp:
+      case sim::TraceKind::kVmExit:
+      case sim::TraceKind::kCheckpoint:
+      case sim::TraceKind::kWake:
+      case sim::TraceKind::kCustom: {
+        emit(util::format(
+            "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":1,"
+            "\"tid\":\"%s\",\"s\":\"t\",\"args\":{\"detail\":\"%s\"}}",
+            name.c_str(), micros(record.time), name.c_str(),
+            json_escape(record.detail).c_str()));
+        break;
+      }
+    }
+  }
+  // Close any still-running slices at their start (zero-length marker).
+  for (const auto& [subject, start] : open) {
+    const std::string name = json_escape(subject);
+    emit(util::format(
+        "{\"name\":\"%s (running)\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":1,"
+        "\"tid\":\"%s\",\"s\":\"t\"}",
+        name.c_str(), micros(start), name.c_str()));
+  }
+  out += "\n]\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<sim::TraceRecord>& records) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw util::SystemError("write_chrome_trace: cannot open " + path,
+                            errno);
+  }
+  out << chrome_trace_json(records);
+  if (!out) {
+    throw util::SystemError("write_chrome_trace: write failed " + path,
+                            errno);
+  }
+}
+
+}  // namespace vgrid::report

@@ -1,0 +1,23 @@
+#pragma once
+// Chrome-tracing export: turn a simulation trace into the JSON event
+// format that chrome://tracing / Perfetto load, giving a zoomable visual
+// timeline of scheduling decisions and device activity.
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace vgrid::report {
+
+/// Render trace records as a Chrome trace-event JSON array. Schedule ->
+/// preempt/block pairs become duration events on a per-thread row;
+/// device completions become instant events.
+std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records);
+
+/// Write the JSON to a file (open chrome://tracing and load it).
+/// Throws SystemError on I/O failure.
+void write_chrome_trace(const std::string& path,
+                        const std::vector<sim::TraceRecord>& records);
+
+}  // namespace vgrid::report

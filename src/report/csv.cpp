@@ -1,0 +1,17 @@
+#include "report/csv.hpp"
+
+#include <cerrno>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace vgrid::report {
+
+void write_csv(const std::string& path, const Table& table) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw util::SystemError("write_csv: cannot open " + path, errno);
+  out << table.csv();
+  if (!out) throw util::SystemError("write_csv: write failed " + path, errno);
+}
+
+}  // namespace vgrid::report

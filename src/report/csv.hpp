@@ -1,0 +1,14 @@
+#pragma once
+// CSV file output for the benches (every figure bench can dump its series
+// for external plotting).
+
+#include <string>
+
+#include "report/table.hpp"
+
+namespace vgrid::report {
+
+/// Write table.csv() to `path`. Throws SystemError on failure.
+void write_csv(const std::string& path, const Table& table);
+
+}  // namespace vgrid::report

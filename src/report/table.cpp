@@ -1,0 +1,93 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace vgrid::report {
+
+Table& Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+  return *this;
+}
+
+Table& Table::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+  return *this;
+}
+
+Table& Table::add_row(const std::string& label,
+                      const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (const double v : values) {
+    row.push_back(util::format_double(v, precision));
+  }
+  return add_row(std::move(row));
+}
+
+std::string Table::ascii() const {
+  std::vector<std::size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& row : rows_) grow(row);
+
+  auto render_row = [&widths](const std::vector<std::string>& row) {
+    std::string out;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out += "  ";
+      out += row[i];
+      out.append(widths[i] - row[i].size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+    return out;
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + '\n';
+  if (!header_.empty()) {
+    out += render_row(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      total += widths[i] + (i != 0 ? 2 : 0);
+    }
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Table::csv() const {
+  auto field = [](const std::string& raw) {
+    if (raw.find_first_of(",\"\n") == std::string::npos) return raw;
+    std::string quoted = "\"";
+    for (const char c : raw) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::string out;
+  auto render = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out += ',';
+      out += field(row[i]);
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) render(header_);
+  for (const auto& row : rows_) render(row);
+  return out;
+}
+
+}  // namespace vgrid::report

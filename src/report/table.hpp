@@ -1,0 +1,40 @@
+#pragma once
+// Result tables: what the figure benches print. Column-aligned ASCII with
+// an optional title, and CSV export for downstream plotting.
+
+#include <string>
+#include <vector>
+
+namespace vgrid::report {
+
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  Table& set_header(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> row);
+
+  /// Convenience: build a row from label + formatted numbers.
+  Table& add_row(const std::string& label, const std::vector<double>& values,
+                 int precision = 3);
+
+  const std::string& title() const noexcept { return title_; }
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
+  /// Column-aligned rendering with a separator under the header.
+  std::string ascii() const;
+
+  /// RFC-4180-ish CSV (quotes fields containing commas/quotes).
+  std::string csv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vgrid::report

@@ -1,0 +1,87 @@
+#include "report/timeline.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace vgrid::report {
+
+TimelineReport::TimelineReport(
+    const std::vector<sim::TraceRecord>& records) {
+  bool first = true;
+  for (const auto& record : records) {
+    if (first) {
+      span_begin_ = span_end_ = record.time;
+      first = false;
+    }
+    span_begin_ = std::min(span_begin_, record.time);
+    span_end_ = std::max(span_end_, record.time);
+    switch (record.kind) {
+      case sim::TraceKind::kDiskOp:
+        ++disk_ops_;
+        continue;
+      case sim::TraceKind::kNetOp:
+        ++net_ops_;
+        continue;
+      default: break;
+    }
+    ThreadActivity& activity = activities_[record.subject];
+    if (activity.name.empty()) {
+      activity.name = record.subject;
+      activity.first_event = record.time;
+    }
+    activity.last_event = record.time;
+    switch (record.kind) {
+      case sim::TraceKind::kSchedule:
+        ++activity.schedules;
+        schedule_records_.push_back(record);
+        break;
+      case sim::TraceKind::kPreempt: ++activity.preemptions; break;
+      case sim::TraceKind::kBlock: ++activity.blocks; break;
+      case sim::TraceKind::kWake: ++activity.wakes; break;
+      default: break;
+    }
+  }
+}
+
+std::string TimelineReport::ascii() const {
+  std::string out = util::format(
+      "%-24s %9s %9s %7s %6s %12s %12s\n", "thread", "schedules",
+      "preempts", "blocks", "wakes", "first (s)", "last (s)");
+  for (const auto& [name, activity] : activities_) {
+    out += util::format("%-24s %9zu %9zu %7zu %6zu %12.6f %12.6f\n",
+                        name.c_str(), activity.schedules,
+                        activity.preemptions, activity.blocks,
+                        activity.wakes,
+                        sim::to_seconds(activity.first_event),
+                        sim::to_seconds(activity.last_event));
+  }
+  out += util::format("device ops: disk %zu, net %zu\n", disk_ops_,
+                      net_ops_);
+  return out;
+}
+
+std::string TimelineReport::strip_chart(std::size_t columns) const {
+  if (columns == 0 || span_end_ <= span_begin_) return {};
+  const double bucket =
+      static_cast<double>(span_end_ - span_begin_) /
+      static_cast<double>(columns);
+  std::map<std::string, std::vector<bool>> strips;
+  for (const auto& record : schedule_records_) {
+    auto& strip = strips[record.subject];
+    if (strip.empty()) strip.assign(columns, false);
+    auto index = static_cast<std::size_t>(
+        static_cast<double>(record.time - span_begin_) / bucket);
+    index = std::min(index, columns - 1);
+    strip[index] = true;
+  }
+  std::string out;
+  for (const auto& [name, strip] : strips) {
+    out += util::format("%-24s |", name.c_str());
+    for (const bool active : strip) out += active ? '#' : '.';
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace vgrid::report

@@ -1,0 +1,53 @@
+#pragma once
+// Trace analysis: turn a simulation's Tracer records into per-thread
+// activity summaries and an ASCII timeline — the "what actually happened
+// on the cores" view used when debugging scheduling experiments.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace vgrid::report {
+
+struct ThreadActivity {
+  std::string name;
+  std::size_t schedules = 0;   ///< times placed on a core
+  std::size_t preemptions = 0;
+  std::size_t blocks = 0;      ///< I/O or sleep blocks
+  std::size_t wakes = 0;
+  sim::SimTime first_event = 0;
+  sim::SimTime last_event = 0;
+};
+
+class TimelineReport {
+ public:
+  /// Digest a trace (records of any kind; unknown subjects are grouped by
+  /// name).
+  explicit TimelineReport(const std::vector<sim::TraceRecord>& records);
+
+  const std::map<std::string, ThreadActivity>& activities() const noexcept {
+    return activities_;
+  }
+
+  std::size_t disk_ops() const noexcept { return disk_ops_; }
+  std::size_t net_ops() const noexcept { return net_ops_; }
+
+  /// Per-thread summary table.
+  std::string ascii() const;
+
+  /// ASCII strip chart: one row per subject, `columns` buckets over the
+  /// traced interval, '#' where the subject had scheduling activity.
+  std::string strip_chart(std::size_t columns = 64) const;
+
+ private:
+  std::map<std::string, ThreadActivity> activities_;
+  std::vector<sim::TraceRecord> schedule_records_;
+  std::size_t disk_ops_ = 0;
+  std::size_t net_ops_ = 0;
+  sim::SimTime span_begin_ = 0;
+  sim::SimTime span_end_ = 0;
+};
+
+}  // namespace vgrid::report

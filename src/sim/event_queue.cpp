@@ -1,0 +1,54 @@
+#include "sim/event_queue.hpp"
+
+#include "util/error.hpp"
+
+namespace vgrid::sim {
+
+EventId EventQueue::push(SimTime when, Callback cb) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id});
+  callbacks_.emplace(id, std::move(cb));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty() &&
+         callbacks_.find(heap_.top().id) == callbacks_.end()) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const noexcept { return live_count_ == 0; }
+
+SimTime EventQueue::next_time() {
+  drop_cancelled();
+  if (heap_.empty()) {
+    throw util::SimulationError("EventQueue::next_time on empty queue");
+  }
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  if (heap_.empty()) {
+    throw util::SimulationError("EventQueue::pop on empty queue");
+  }
+  const Entry top = heap_.top();
+  heap_.pop();
+  const auto it = callbacks_.find(top.id);
+  Fired fired{top.time, top.id, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_count_;
+  return fired;
+}
+
+}  // namespace vgrid::sim

@@ -1,0 +1,68 @@
+#pragma once
+// The pending-event set of the discrete-event kernel. Events fire in
+// (time, insertion order) order — FIFO among simultaneous events — which
+// makes runs fully deterministic. Events can be cancelled via their id
+// (lazy deletion: cancelled entries are skipped on pop).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vgrid::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Insert an event at absolute time `when`. Returns a handle usable with
+  /// cancel(). Never returns kInvalidEvent.
+  EventId push(SimTime when, Callback cb);
+
+  /// Cancel a pending event. Returns false if it already fired, was already
+  /// cancelled, or the id is unknown.
+  bool cancel(EventId id);
+
+  bool empty() const noexcept;
+
+  /// Time of the earliest pending (non-cancelled) event. Precondition:
+  /// !empty().
+  SimTime next_time();
+
+  /// Pop and return the earliest event. Precondition: !empty().
+  struct Fired {
+    SimTime time;
+    EventId id;
+    Callback callback;
+  };
+  Fired pop();
+
+  std::size_t pending_count() const noexcept { return live_count_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // ids are monotone, so this is insertion order
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace vgrid::sim

@@ -1,0 +1,62 @@
+#include "sim/simulator.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vgrid::sim {
+
+EventId Simulator::schedule(SimDuration delay, EventQueue::Callback cb) {
+  if (delay < 0) {
+    throw util::SimulationError(
+        util::format("schedule with negative delay %lld",
+                     static_cast<long long>(delay)));
+  }
+  return queue_.push(now_ + delay, std::move(cb));
+}
+
+EventId Simulator::schedule_at(SimTime when, EventQueue::Callback cb) {
+  if (when < now_) {
+    throw util::SimulationError(
+        util::format("schedule_at %lld is in the past (now %lld)",
+                     static_cast<long long>(when),
+                     static_cast<long long>(now_)));
+  }
+  return queue_.push(when, std::move(cb));
+}
+
+void Simulator::dispatch_one() {
+  auto fired = queue_.pop();
+  now_ = fired.time;
+  ++processed_;
+  fired.callback();
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (!stopped_ && !queue_.empty()) {
+    dispatch_one();
+    ++n;
+  }
+  return n;
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  std::uint64_t n = 0;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    dispatch_one();
+    ++n;
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+  return n;
+}
+
+std::uint64_t Simulator::step(std::uint64_t count) {
+  std::uint64_t n = 0;
+  while (n < count && !stopped_ && !queue_.empty()) {
+    dispatch_one();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace vgrid::sim

@@ -1,0 +1,65 @@
+#pragma once
+// Discrete-event simulator kernel. Single-threaded and deterministic:
+// identical inputs produce identical event orderings and results. Model
+// components hold a Simulator& and schedule callbacks on it.
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace vgrid::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule `cb` to run after `delay` (>= 0) from now.
+  EventId schedule(SimDuration delay, EventQueue::Callback cb);
+
+  /// Schedule `cb` at absolute time `when` (>= now()).
+  EventId schedule_at(SimTime when, EventQueue::Callback cb);
+
+  /// Cancel a pending event; false if it already fired or was cancelled.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Run until the event queue is empty or stop() is called.
+  /// Returns the number of events processed.
+  std::uint64_t run();
+
+  /// Run events with time <= deadline; afterwards now() == deadline unless
+  /// stopped early. Returns the number of events processed.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Process at most `count` events. Returns the number actually processed.
+  std::uint64_t step(std::uint64_t count = 1);
+
+  /// Request that run()/run_until() return after the current event.
+  void stop() noexcept { stopped_ = true; }
+  bool stopped() const noexcept { return stopped_; }
+
+  /// Clear the stop flag so the simulation can be resumed.
+  void clear_stop() noexcept { stopped_ = false; }
+
+  std::size_t pending_events() const noexcept {
+    return queue_.pending_count();
+  }
+
+  std::uint64_t processed_events() const noexcept { return processed_; }
+
+ private:
+  void dispatch_one();
+
+  EventQueue queue_;
+  SimTime now_ = kTimeZero;
+  bool stopped_ = false;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace vgrid::sim

@@ -1,0 +1,33 @@
+#pragma once
+// Simulated time. One tick = one nanosecond, stored as int64 — enough for
+// ~292 years of simulated time, far beyond any experiment here.
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace vgrid::sim {
+
+using SimTime = std::int64_t;      ///< absolute simulated time, ns
+using SimDuration = std::int64_t;  ///< simulated interval, ns
+
+inline constexpr SimTime kTimeZero = 0;
+inline constexpr SimDuration kNoDelay = 0;
+
+constexpr SimDuration from_seconds(double s) noexcept {
+  return util::seconds_to_ns(s);
+}
+
+constexpr double to_seconds(SimDuration d) noexcept {
+  return util::ns_to_seconds(d);
+}
+
+constexpr SimDuration from_millis(double ms) noexcept {
+  return static_cast<SimDuration>(ms * 1e6);
+}
+
+constexpr SimDuration from_micros(double us) noexcept {
+  return static_cast<SimDuration>(us * 1e3);
+}
+
+}  // namespace vgrid::sim

@@ -1,0 +1,49 @@
+#include "sim/trace.hpp"
+
+#include "util/strings.hpp"
+
+namespace vgrid::sim {
+
+namespace {
+const char* kind_name(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::kSchedule: return "schedule";
+    case TraceKind::kPreempt: return "preempt";
+    case TraceKind::kBlock: return "block";
+    case TraceKind::kWake: return "wake";
+    case TraceKind::kVmExit: return "vmexit";
+    case TraceKind::kDiskOp: return "disk";
+    case TraceKind::kNetOp: return "net";
+    case TraceKind::kCheckpoint: return "checkpoint";
+    case TraceKind::kCustom: return "custom";
+  }
+  return "?";
+}
+}  // namespace
+
+void Tracer::record(SimTime time, TraceKind kind, std::string subject,
+                    std::string detail) {
+  if (!enabled_) return;
+  records_.push_back(
+      TraceRecord{time, kind, std::move(subject), std::move(detail)});
+}
+
+std::size_t Tracer::count(TraceKind kind) const noexcept {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string Tracer::dump() const {
+  std::string out;
+  for (const auto& r : records_) {
+    out += util::format("%12.6f %-10s %-20s %s\n", to_seconds(r.time),
+                        kind_name(r.kind), r.subject.c_str(),
+                        r.detail.c_str());
+  }
+  return out;
+}
+
+}  // namespace vgrid::sim

@@ -1,0 +1,55 @@
+#pragma once
+// Lightweight event tracing for simulations: components append typed records
+// (thread scheduled, VM exit, disk op, ...) which tests and reports can
+// query. Disabled tracers drop records with no allocation.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vgrid::sim {
+
+enum class TraceKind : std::uint8_t {
+  kSchedule,    ///< a thread was placed on a core
+  kPreempt,     ///< a thread was preempted
+  kBlock,       ///< a thread blocked on I/O or sleep
+  kWake,        ///< a thread became runnable
+  kVmExit,      ///< guest trapped to the VMM
+  kDiskOp,      ///< disk request completed
+  kNetOp,       ///< network transfer completed
+  kCheckpoint,  ///< VM state saved
+  kCustom,
+};
+
+struct TraceRecord {
+  SimTime time;
+  TraceKind kind;
+  std::string subject;  ///< e.g. thread or device name
+  std::string detail;
+};
+
+class Tracer {
+ public:
+  void enable(bool on) noexcept { enabled_ = on; }
+  bool enabled() const noexcept { return enabled_; }
+
+  void record(SimTime time, TraceKind kind, std::string subject,
+              std::string detail = {});
+
+  const std::vector<TraceRecord>& records() const noexcept { return records_; }
+  void clear() noexcept { records_.clear(); }
+
+  /// Number of records of a given kind.
+  std::size_t count(TraceKind kind) const noexcept;
+
+  /// Render all records as text lines, one per record.
+  std::string dump() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace vgrid::sim

@@ -1,0 +1,36 @@
+#pragma once
+// Streaming (Welford) accumulator — O(1) memory summary for long simulations
+// where storing every sample would be wasteful (e.g. per-event latencies).
+
+#include <cstddef>
+
+namespace vgrid::stats {
+
+class Accumulator {
+ public:
+  void add(double value) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const Accumulator& other) noexcept;
+
+  void reset() noexcept { *this = Accumulator{}; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace vgrid::stats

@@ -1,0 +1,93 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/student_t.hpp"
+
+namespace vgrid::stats {
+
+double mean(std::span<const double> sample) noexcept {
+  if (sample.empty()) return 0.0;
+  double acc = 0.0;
+  for (const double v : sample) acc += v;
+  return acc / static_cast<double>(sample.size());
+}
+
+double sample_stddev(std::span<const double> sample) noexcept {
+  if (sample.size() < 2) return 0.0;
+  const double m = mean(sample);
+  double acc = 0.0;
+  for (const double v : sample) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(sample.size() - 1));
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) noexcept {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double median(std::span<const double> sample) {
+  if (sample.empty()) return 0.0;
+  std::vector<double> copy(sample.begin(), sample.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, 0.5);
+}
+
+double geometric_mean(std::span<const double> sample) noexcept {
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  for (const double v : sample) {
+    if (v > 0.0) {
+      log_sum += std::log(v);
+      ++n;
+    }
+  }
+  if (n == 0) return 0.0;
+  return std::exp(log_sum / static_cast<double>(n));
+}
+
+Summary summarize(std::span<const double> sample) {
+  Summary s;
+  if (sample.empty()) return s;
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  s.mean = mean(sorted);
+  s.stddev = sample_stddev(sorted);
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = quantile_sorted(sorted, 0.5);
+  s.p25 = quantile_sorted(sorted, 0.25);
+  s.p75 = quantile_sorted(sorted, 0.75);
+  if (s.count >= 2) {
+    const double t = t_critical(static_cast<int>(s.count) - 1, 0.95);
+    s.ci95_half_width = t * s.stddev / std::sqrt(static_cast<double>(s.count));
+  }
+  return s;
+}
+
+std::vector<double> tukey_filter(std::span<const double> sample, double k) {
+  if (sample.size() < 4) return {sample.begin(), sample.end()};
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double q1 = quantile_sorted(sorted, 0.25);
+  const double q3 = quantile_sorted(sorted, 0.75);
+  const double iqr = q3 - q1;
+  const double lo = q1 - k * iqr;
+  const double hi = q3 + k * iqr;
+  std::vector<double> out;
+  out.reserve(sample.size());
+  for (const double v : sample) {
+    if (v >= lo && v <= hi) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace vgrid::stats

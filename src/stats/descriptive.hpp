@@ -1,0 +1,52 @@
+#pragma once
+// Descriptive statistics over a sample. The paper runs every benchmark
+// "at least 50 times"; Summary is what the measurement harness reports for
+// each such run: location, spread and a Student-t confidence interval.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vgrid::stats {
+
+/// Full summary of one sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;   ///< sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+  double ci95_half_width = 0.0;  ///< half-width of 95% CI on the mean
+
+  double ci95_lo() const noexcept { return mean - ci95_half_width; }
+  double ci95_hi() const noexcept { return mean + ci95_half_width; }
+
+  /// Coefficient of variation (stddev / mean); 0 when mean is 0.
+  double cv() const noexcept { return mean != 0.0 ? stddev / mean : 0.0; }
+};
+
+/// Compute the full summary of a sample. Copies and sorts internally for the
+/// quantiles. Empty input yields a zeroed Summary.
+Summary summarize(std::span<const double> sample);
+
+double mean(std::span<const double> sample) noexcept;
+double sample_stddev(std::span<const double> sample) noexcept;
+
+/// Linear-interpolated quantile of a *sorted* sample, q in [0,1].
+double quantile_sorted(std::span<const double> sorted, double q) noexcept;
+
+/// Median (works on unsorted input; copies).
+double median(std::span<const double> sample);
+
+/// Geometric mean; requires strictly positive values (non-positive entries
+/// are skipped). Used for index aggregation, as NBench/ByteMark does.
+double geometric_mean(std::span<const double> sample) noexcept;
+
+/// Remove outliers beyond k*IQR from the quartiles (Tukey fence); returns the
+/// filtered sample. Used optionally by the benchmark runner.
+std::vector<double> tukey_filter(std::span<const double> sample, double k = 1.5);
+
+}  // namespace vgrid::stats

@@ -1,0 +1,63 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vgrid::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) {
+    throw util::ConfigError("Histogram: need hi > lo and bins > 0");
+  }
+}
+
+void Histogram::add(double value) noexcept {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((value - lo_) / bin_width_);
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+}
+
+void Histogram::add_all(std::span<const double> values) noexcept {
+  for (const double v : values) add(v);
+}
+
+double Histogram::bin_lo(std::size_t bin) const noexcept {
+  return lo_ + bin_width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const noexcept {
+  return bin_lo(bin) + bin_width_;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 1;
+  for (const std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar =
+        counts_[i] * width / peak;
+    out += util::format("[%10.4g, %10.4g) %8zu |", bin_lo(i), bin_hi(i),
+                        counts_[i]);
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (underflow_ != 0) out += util::format("underflow: %zu\n", underflow_);
+  if (overflow_ != 0) out += util::format("overflow:  %zu\n", overflow_);
+  return out;
+}
+
+}  // namespace vgrid::stats

@@ -1,0 +1,42 @@
+#pragma once
+// Fixed-bin histogram for distribution inspection in reports.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vgrid::stats {
+
+class Histogram {
+ public:
+  /// `bins` equal-width bins over [lo, hi). Values outside the range are
+  /// counted in underflow/overflow.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+  void add_all(std::span<const double> values) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  std::size_t total() const noexcept { return total_; }
+
+  double bin_lo(std::size_t bin) const noexcept;
+  double bin_hi(std::size_t bin) const noexcept;
+
+  /// ASCII rendering, one bin per line, bar scaled to `width` chars.
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace vgrid::stats

@@ -1,0 +1,84 @@
+#include "stats/mann_whitney.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace vgrid::stats {
+
+namespace {
+
+// Standard normal survival function via erfc.
+double normal_sf(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+
+}  // namespace
+
+MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                 std::span<const double> b) {
+  if (a.empty() || b.empty()) {
+    throw util::ConfigError("mann_whitney_u: both samples must be non-empty");
+  }
+  const std::size_t n1 = a.size();
+  const std::size_t n2 = b.size();
+
+  // Pool and rank with midranks for ties.
+  struct Tagged {
+    double value;
+    bool first;
+  };
+  std::vector<Tagged> pooled;
+  pooled.reserve(n1 + n2);
+  for (const double v : a) pooled.push_back({v, true});
+  for (const double v : b) pooled.push_back({v, false});
+  std::sort(pooled.begin(), pooled.end(),
+            [](const Tagged& x, const Tagged& y) { return x.value < y.value; });
+
+  double rank_sum_a = 0.0;
+  double tie_correction = 0.0;
+  std::size_t i = 0;
+  while (i < pooled.size()) {
+    std::size_t j = i;
+    while (j < pooled.size() && pooled[j].value == pooled[i].value) ++j;
+    const double midrank =
+        (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    const auto tie_size = static_cast<double>(j - i);
+    if (j - i > 1) {
+      tie_correction += tie_size * tie_size * tie_size - tie_size;
+    }
+    for (std::size_t k = i; k < j; ++k) {
+      if (pooled[k].first) rank_sum_a += midrank;
+    }
+    i = j;
+  }
+
+  const auto dn1 = static_cast<double>(n1);
+  const auto dn2 = static_cast<double>(n2);
+  const double u1 = rank_sum_a - dn1 * (dn1 + 1.0) / 2.0;
+
+  MannWhitneyResult result;
+  result.u_statistic = u1;
+  const double mean_u = dn1 * dn2 / 2.0;
+  const double n = dn1 + dn2;
+  const double variance =
+      dn1 * dn2 / 12.0 *
+      ((n + 1.0) - tie_correction / (n * (n - 1.0)));
+  if (variance > 0.0) {
+    // Continuity correction toward the mean.
+    const double shift = u1 > mean_u ? -0.5 : (u1 < mean_u ? 0.5 : 0.0);
+    result.z_score = (u1 - mean_u + shift) / std::sqrt(variance);
+    result.p_value_two_sided =
+        2.0 * normal_sf(std::abs(result.z_score));
+    result.p_value_two_sided = std::min(result.p_value_two_sided, 1.0);
+  }
+  result.effect_size = 2.0 * u1 / (dn1 * dn2) - 1.0;
+  return result;
+}
+
+bool significantly_different(std::span<const double> a,
+                             std::span<const double> b, double alpha) {
+  return mann_whitney_u(a, b).p_value_two_sided < alpha;
+}
+
+}  // namespace vgrid::stats

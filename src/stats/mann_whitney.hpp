@@ -1,0 +1,31 @@
+#pragma once
+// Mann-Whitney U test (Wilcoxon rank-sum) — the nonparametric test for
+// "is environment A significantly slower than B?" on repeated-measurement
+// samples, where normality cannot be assumed. Normal approximation with
+// tie correction; adequate for the paper's n >= 50 samples.
+
+#include <span>
+
+namespace vgrid::stats {
+
+struct MannWhitneyResult {
+  double u_statistic = 0.0;  ///< U of the first sample
+  double z_score = 0.0;      ///< normal-approximation z
+  double p_value_two_sided = 1.0;
+  /// Rank-biserial correlation in [-1, 1]: effect size and direction
+  /// (positive = first sample tends larger).
+  double effect_size = 0.0;
+};
+
+/// Compare two independent samples. Requires both non-empty; throws
+/// ConfigError otherwise.
+MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                 std::span<const double> b);
+
+/// Convenience: true when the two samples differ at the given significance
+/// level (two-sided).
+bool significantly_different(std::span<const double> a,
+                             std::span<const double> b,
+                             double alpha = 0.05);
+
+}  // namespace vgrid::stats

@@ -1,0 +1,34 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+
+namespace vgrid::stats {
+
+LinearFit fit_line(std::span<const double> xs,
+                   std::span<const double> ys) noexcept {
+  LinearFit fit;
+  const std::size_t n = xs.size();
+  if (n < 2 || ys.size() != n) return fit;
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+}  // namespace vgrid::stats

@@ -1,0 +1,21 @@
+#pragma once
+// Ordinary least-squares line fit, used by IOBench analysis (throughput vs
+// file size) and by calibration checks.
+
+#include <span>
+
+namespace vgrid::stats {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+
+  double at(double x) const noexcept { return slope * x + intercept; }
+};
+
+/// Fit y = slope*x + intercept. Requires xs.size() == ys.size() >= 2 with
+/// non-constant x; otherwise returns a zero fit.
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys) noexcept;
+
+}  // namespace vgrid::stats

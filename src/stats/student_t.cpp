@@ -1,0 +1,99 @@
+#include "stats/student_t.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace vgrid::stats {
+
+namespace {
+
+// Two-sided critical values, rows = dof 1..30.
+struct Row {
+  double t90, t95, t99;
+};
+constexpr std::array<Row, 30> kTable{{
+    {6.314, 12.706, 63.657}, {2.920, 4.303, 9.925},  {2.353, 3.182, 5.841},
+    {2.132, 2.776, 4.604},   {2.015, 2.571, 4.032},  {1.943, 2.447, 3.707},
+    {1.895, 2.365, 3.499},   {1.860, 2.306, 3.355},  {1.833, 2.262, 3.250},
+    {1.812, 2.228, 3.169},   {1.796, 2.201, 3.106},  {1.782, 2.179, 3.055},
+    {1.771, 2.160, 3.012},   {1.761, 2.145, 2.977},  {1.753, 2.131, 2.947},
+    {1.746, 2.120, 2.921},   {1.740, 2.110, 2.898},  {1.734, 2.101, 2.878},
+    {1.729, 2.093, 2.861},   {1.725, 2.086, 2.845},  {1.721, 2.080, 2.831},
+    {1.717, 2.074, 2.819},   {1.714, 2.069, 2.807},  {1.711, 2.064, 2.797},
+    {1.708, 2.060, 2.787},   {1.706, 2.056, 2.779},  {1.703, 2.052, 2.771},
+    {1.701, 2.048, 2.763},   {1.699, 2.045, 2.756},  {1.697, 2.042, 2.750},
+}};
+
+// Acklam-style inverse normal CDF approximation.
+double inverse_normal_cdf(double p) {
+  if (p <= 0.0) return -1e30;
+  if (p >= 1.0) return 1e30;
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  constexpr double phigh = 1 - plow;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p <= phigh) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+  }
+  q = std::sqrt(-2 * std::log(1 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+}
+
+// Cornish–Fisher expansion of t quantile in terms of the normal quantile.
+double t_from_normal(double z, double dof) {
+  const double g1 = (z * z * z + z) / 4.0;
+  const double g2 = (5 * std::pow(z, 5) + 16 * z * z * z + 3 * z) / 96.0;
+  const double g3 =
+      (3 * std::pow(z, 7) + 19 * std::pow(z, 5) + 17 * z * z * z - 15 * z) /
+      384.0;
+  return z + g1 / dof + g2 / (dof * dof) + g3 / (dof * dof * dof);
+}
+
+}  // namespace
+
+double z_critical(double confidence) {
+  const double p = 0.5 + confidence / 2.0;
+  return inverse_normal_cdf(p);
+}
+
+double t_critical(int dof, double confidence) {
+  if (dof < 1) dof = 1;
+  const bool is90 = std::abs(confidence - 0.90) < 1e-9;
+  const bool is95 = std::abs(confidence - 0.95) < 1e-9;
+  const bool is99 = std::abs(confidence - 0.99) < 1e-9;
+  if (dof <= 30 && (is90 || is95 || is99)) {
+    const Row& row = kTable[static_cast<std::size_t>(dof - 1)];
+    if (is90) return row.t90;
+    if (is95) return row.t95;
+    return row.t99;
+  }
+  const double z = z_critical(confidence);
+  if (dof > 200) return z;
+  return t_from_normal(z, static_cast<double>(dof));
+}
+
+}  // namespace vgrid::stats

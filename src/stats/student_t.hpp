@@ -1,0 +1,15 @@
+#pragma once
+// Student-t critical values for confidence intervals on small samples.
+
+namespace vgrid::stats {
+
+/// Two-sided critical value t* with `dof` degrees of freedom at the given
+/// confidence level (e.g. 0.95). Uses a table for dof <= 30 at 90/95/99%
+/// and the normal approximation beyond; other levels fall back to an
+/// inverse-CDF approximation.
+double t_critical(int dof, double confidence);
+
+/// Standard normal two-sided critical value (e.g. 1.96 for 95%).
+double z_critical(double confidence);
+
+}  // namespace vgrid::stats

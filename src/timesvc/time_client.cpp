@@ -1,0 +1,57 @@
+#include "timesvc/time_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "util/clock.hpp"
+#include "util/error.hpp"
+
+namespace vgrid::timesvc {
+
+TimeClient::TimeClient(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw util::SystemError("TimeClient: socket", errno);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    throw util::SystemError("TimeClient: connect", saved);
+  }
+  timeval tv{};
+  tv.tv_usec = 200'000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+TimeClient::~TimeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::int64_t TimeClient::server_time_ns() {
+  constexpr int kAttempts = 5;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    const char ping = 't';
+    const std::int64_t sent_at = util::monotonic_time_ns();
+    if (::send(fd_, &ping, 1, 0) != 1) continue;
+    unsigned char reply[8];
+    const ssize_t n = ::recv(fd_, reply, sizeof(reply), 0);
+    if (n != static_cast<ssize_t>(sizeof(reply))) continue;
+    last_rtt_ns_ = util::monotonic_time_ns() - sent_at;
+    std::uint64_t value = 0;
+    for (const unsigned char byte : reply) {
+      value = (value << 8) | byte;
+    }
+    return static_cast<std::int64_t>(value);
+  }
+  throw util::SystemError("TimeClient: server did not answer", ETIMEDOUT);
+}
+
+}  // namespace vgrid::timesvc

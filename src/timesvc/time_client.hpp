@@ -1,0 +1,47 @@
+#pragma once
+// Client side of the external time source: query the UDP time server and
+// time intervals against it — exactly how the paper timed executions in
+// guests whose own clocks drift under load.
+
+#include <cstdint>
+
+namespace vgrid::timesvc {
+
+class TimeClient {
+ public:
+  /// Connect (UDP) to the server on 127.0.0.1:`port`.
+  explicit TimeClient(std::uint16_t port);
+  ~TimeClient();
+  TimeClient(const TimeClient&) = delete;
+  TimeClient& operator=(const TimeClient&) = delete;
+
+  /// Ask the server for its monotonic time, nanoseconds. Retries a few
+  /// times on datagram loss; throws SystemError if the server never
+  /// answers.
+  std::int64_t server_time_ns();
+
+  /// Round-trip time of the last query, nanoseconds.
+  std::int64_t last_rtt_ns() const noexcept { return last_rtt_ns_; }
+
+ private:
+  int fd_ = -1;
+  std::int64_t last_rtt_ns_ = 0;
+};
+
+/// Stopwatch whose start/stop timestamps come from the external server, so
+/// the measured interval is immune to local (guest) clock distortion.
+class ExternalStopwatch {
+ public:
+  explicit ExternalStopwatch(TimeClient& client) : client_(client) {}
+
+  void start() { start_ns_ = client_.server_time_ns(); }
+
+  /// Elapsed server time since start(), nanoseconds.
+  std::int64_t stop() { return client_.server_time_ns() - start_ns_; }
+
+ private:
+  TimeClient& client_;
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace vgrid::timesvc

@@ -1,0 +1,81 @@
+#include "timesvc/time_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/clock.hpp"
+#include "util/error.hpp"
+
+namespace vgrid::timesvc {
+
+TimeServer::TimeServer(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw util::SystemError("TimeServer: socket", errno);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    throw util::SystemError("TimeServer: bind", saved);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  // Receive timeout so the serving thread notices stop() promptly.
+  timeval tv{};
+  tv.tv_usec = 50'000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  running_.store(true);
+  thread_ = std::thread([this] { serve(); });
+}
+
+TimeServer::~TimeServer() { stop(); }
+
+void TimeServer::stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TimeServer::serve() {
+  char request[64];
+  while (running_.load(std::memory_order_relaxed)) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    const ssize_t n =
+        ::recvfrom(fd_, request, sizeof(request), 0,
+                   reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        continue;
+      }
+      return;  // socket failed; shut down
+    }
+    // Reply: 8-byte big-endian monotonic nanoseconds.
+    const std::int64_t now = util::monotonic_time_ns();
+    unsigned char reply[8];
+    for (int i = 0; i < 8; ++i) {
+      reply[i] = static_cast<unsigned char>(
+          (static_cast<std::uint64_t>(now) >> (56 - 8 * i)) & 0xFF);
+    }
+    ::sendto(fd_, reply, sizeof(reply), 0,
+             reinterpret_cast<sockaddr*>(&peer), peer_len);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace vgrid::timesvc

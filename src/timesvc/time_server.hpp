@@ -1,0 +1,44 @@
+#pragma once
+// External UDP time server. The paper's methodology (§4): timekeeping
+// inside virtual machines is unreliable under load, so guest-side
+// measurements are timestamped by "a simple UDP time server running on the
+// host machine". This is that server: each datagram is answered with the
+// host's monotonic clock in nanoseconds.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace vgrid::timesvc {
+
+class TimeServer {
+ public:
+  /// Bind to 127.0.0.1:`port` (0 picks an ephemeral port) and start the
+  /// answering thread. Throws SystemError on failure.
+  explicit TimeServer(std::uint16_t port = 0);
+  ~TimeServer();
+  TimeServer(const TimeServer&) = delete;
+  TimeServer& operator=(const TimeServer&) = delete;
+
+  /// The port actually bound (useful with port = 0).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Number of requests answered so far.
+  std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Stop the server; implied by destruction.
+  void stop();
+
+ private:
+  void serve();
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace vgrid::timesvc

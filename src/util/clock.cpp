@@ -1,0 +1,31 @@
+#include "util/clock.hpp"
+
+#include <ctime>
+
+namespace vgrid::util {
+
+namespace {
+std::int64_t read_clock(clockid_t id) {
+  timespec ts{};
+  clock_gettime(id, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+}  // namespace
+
+void WallTimer::reset() { start_ns_ = monotonic_time_ns(); }
+
+std::int64_t WallTimer::elapsed_ns() const {
+  return monotonic_time_ns() - start_ns_;
+}
+
+double WallTimer::elapsed_seconds() const {
+  return static_cast<double>(elapsed_ns()) / 1e9;
+}
+
+std::int64_t process_cpu_time_ns() {
+  return read_clock(CLOCK_PROCESS_CPUTIME_ID);
+}
+
+std::int64_t monotonic_time_ns() { return read_clock(CLOCK_MONOTONIC); }
+
+}  // namespace vgrid::util

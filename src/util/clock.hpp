@@ -1,0 +1,32 @@
+#pragma once
+// Real (wall/CPU) clocks for native workload runs. Simulated time lives in
+// sim/; this header is only for measuring actual executions on the build
+// machine (examples, tests, native calibration runs).
+
+#include <cstdint>
+
+namespace vgrid::util {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { reset(); }
+
+  void reset();
+
+  /// Elapsed nanoseconds since construction or last reset().
+  std::int64_t elapsed_ns() const;
+
+  double elapsed_seconds() const;
+
+ private:
+  std::int64_t start_ns_ = 0;
+};
+
+/// Per-process CPU time (user+system), nanoseconds.
+std::int64_t process_cpu_time_ns();
+
+/// Monotonic wall clock, nanoseconds since an arbitrary epoch.
+std::int64_t monotonic_time_ns();
+
+}  // namespace vgrid::util

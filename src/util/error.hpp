@@ -1,0 +1,41 @@
+#pragma once
+// Exception hierarchy. The library throws on programmer error and on
+// unrecoverable environment failures (e.g. socket creation); expected
+// runtime conditions are reported through return values.
+
+#include <stdexcept>
+#include <string>
+
+namespace vgrid::util {
+
+/// Base class for all vgrid exceptions.
+class VgridError : public std::runtime_error {
+ public:
+  explicit VgridError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid configuration supplied by the caller.
+class ConfigError : public VgridError {
+ public:
+  explicit ConfigError(const std::string& what) : VgridError(what) {}
+};
+
+/// Simulation reached an inconsistent state (internal invariant broken).
+class SimulationError : public VgridError {
+ public:
+  explicit SimulationError(const std::string& what) : VgridError(what) {}
+};
+
+/// OS-level failure (sockets, files) with context.
+class SystemError : public VgridError {
+ public:
+  SystemError(const std::string& what, int errno_value)
+      : VgridError(what + " (errno=" + std::to_string(errno_value) + ")"),
+        errno_value_(errno_value) {}
+  int errno_value() const noexcept { return errno_value_; }
+
+ private:
+  int errno_value_;
+};
+
+}  // namespace vgrid::util

@@ -1,0 +1,68 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace vgrid::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_write_mutex;
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+LogLevel initial_level() noexcept {
+  if (const char* env = std::getenv("VGRID_LOG")) {
+    return Logger::parse_level(env);
+  }
+  return LogLevel::kWarn;
+}
+
+struct EnvInit {
+  EnvInit() { g_level.store(initial_level(), std::memory_order_relaxed); }
+};
+const EnvInit g_env_init;
+
+}  // namespace
+
+void Logger::set_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel Logger::level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
+
+LogLevel Logger::parse_level(std::string_view name) noexcept {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+void Logger::write(LogLevel level, std::string_view module,
+                   std::string_view message) {
+  if (Logger::level() > level) return;
+  const std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(module.size()), module.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace vgrid::util

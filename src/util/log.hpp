@@ -1,0 +1,60 @@
+#pragma once
+// Minimal leveled logger. Thread-safe, writes to stderr, level settable at
+// runtime (VGRID_LOG env var or Logger::set_level). Intentionally small:
+// benchmarks must not pay for logging they do not emit, so level checks are
+// inline and cheap.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace vgrid::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  /// Global minimum level; records below it are discarded.
+  static void set_level(LogLevel level) noexcept;
+  static LogLevel level() noexcept;
+
+  /// Parse "trace" / "debug" / "info" / "warn" / "error" / "off".
+  static LogLevel parse_level(std::string_view name) noexcept;
+
+  /// Emit one record (already formatted). Thread-safe.
+  static void write(LogLevel level, std::string_view module,
+                    std::string_view message);
+};
+
+/// Builder used by the VGRID_LOG_* macros; flushes on destruction.
+class LogRecord {
+ public:
+  LogRecord(LogLevel level, std::string_view module)
+      : level_(level), module_(module) {}
+  LogRecord(const LogRecord&) = delete;
+  LogRecord& operator=(const LogRecord&) = delete;
+  ~LogRecord() { Logger::write(level_, module_, stream_.str()); }
+
+  template <typename T>
+  LogRecord& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string module_;
+  std::ostringstream stream_;
+};
+
+}  // namespace vgrid::util
+
+#define VGRID_LOG(vgrid_level_, vgrid_module_)              \
+  if (::vgrid::util::Logger::level() <= (vgrid_level_))     \
+  ::vgrid::util::LogRecord{(vgrid_level_), (vgrid_module_)}
+
+#define VGRID_TRACE(module) VGRID_LOG(::vgrid::util::LogLevel::kTrace, module)
+#define VGRID_DEBUG(module) VGRID_LOG(::vgrid::util::LogLevel::kDebug, module)
+#define VGRID_INFO(module) VGRID_LOG(::vgrid::util::LogLevel::kInfo, module)
+#define VGRID_WARN(module) VGRID_LOG(::vgrid::util::LogLevel::kWarn, module)
+#define VGRID_ERROR(module) VGRID_LOG(::vgrid::util::LogLevel::kError, module)

@@ -1,0 +1,80 @@
+#pragma once
+// Deterministic pseudo-random number generation for simulations and
+// workload generators. Xoshiro256** is used instead of std::mt19937 because
+// it is faster, has a smaller state, and its output is identical across
+// standard-library implementations (reproducible experiments).
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace vgrid::util {
+
+/// SplitMix64 — used to seed Xoshiro from a single 64-bit value.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** — general-purpose 64-bit PRNG (Blackman & Vigna).
+/// Satisfies std::uniform_random_bit_generator, so it can drive
+/// <random> distributions as well as the helpers below.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+  result_type next() noexcept;
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Standard normal via Box–Muller (cached second value).
+  double normal() noexcept;
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Exponential with given rate (lambda).
+  double exponential(double rate) noexcept;
+
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p) noexcept;
+
+  /// Jump ahead 2^128 steps — yields a non-overlapping stream, for
+  /// giving each simulated entity its own independent generator.
+  void jump() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace vgrid::util

@@ -1,0 +1,67 @@
+#include "util/strings.hpp"
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+
+#include "util/units.hpp"
+
+namespace vgrid::util {
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  };
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string format(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string human_bytes(std::uint64_t bytes) {
+  if (bytes >= MiB && bytes % MiB == 0)
+    return format("%llu MB", static_cast<unsigned long long>(bytes / MiB));
+  if (bytes >= KiB && bytes % KiB == 0)
+    return format("%llu KB", static_cast<unsigned long long>(bytes / KiB));
+  return format("%llu B", static_cast<unsigned long long>(bytes));
+}
+
+std::string format_double(double value, int precision) {
+  return format("%.*f", precision, value);
+}
+
+}  // namespace vgrid::util

@@ -1,0 +1,29 @@
+#pragma once
+// Small string utilities shared by the report writers and CLI parsers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vgrid::util {
+
+/// Split on a delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text) noexcept;
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable byte size, e.g. "128 KB", "32 MB" (binary units,
+/// labelled the way the paper labels them).
+std::string human_bytes(std::uint64_t bytes);
+
+/// Fixed-precision double, e.g. format_double(1.2345, 2) == "1.23".
+std::string format_double(double value, int precision);
+
+}  // namespace vgrid::util

@@ -1,0 +1,54 @@
+#pragma once
+// Strongly-suggestive unit helpers. The simulator uses nanoseconds (int64)
+// for time and plain doubles for rates; these helpers keep the conversion
+// factors in one place and make call sites readable (e.g. `4 * MiB`,
+// `mbps_to_bytes_per_sec(100.0)`).
+
+#include <cstdint>
+
+namespace vgrid::util {
+
+// ---- byte sizes -----------------------------------------------------------
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+
+// Decimal units, used by network rates (100 Mbps Fast Ethernet is decimal).
+inline constexpr std::uint64_t KB = 1000ULL;
+inline constexpr std::uint64_t MB = 1000ULL * KB;
+
+// ---- time (nanoseconds as the base tick) ----------------------------------
+inline constexpr std::int64_t kNanosecond = 1;
+inline constexpr std::int64_t kMicrosecond = 1000;
+inline constexpr std::int64_t kMillisecond = 1000 * kMicrosecond;
+inline constexpr std::int64_t kSecond = 1000 * kMillisecond;
+
+constexpr double ns_to_seconds(std::int64_t ns) noexcept {
+  return static_cast<double>(ns) / static_cast<double>(kSecond);
+}
+
+constexpr std::int64_t seconds_to_ns(double s) noexcept {
+  return static_cast<std::int64_t>(s * static_cast<double>(kSecond));
+}
+
+// ---- rates -----------------------------------------------------------------
+/// Megabits per second -> bytes per second (decimal megabits, as used by
+/// network gear and by the paper's 100 Mbps Fast Ethernet).
+constexpr double mbps_to_bytes_per_sec(double mbps) noexcept {
+  return mbps * 1e6 / 8.0;
+}
+
+constexpr double bytes_per_sec_to_mbps(double bps) noexcept {
+  return bps * 8.0 / 1e6;
+}
+
+/// Time (ns) to move `bytes` at `bytes_per_sec`.
+constexpr std::int64_t transfer_time_ns(std::uint64_t bytes,
+                                        double bytes_per_sec) noexcept {
+  if (bytes_per_sec <= 0.0) return 0;
+  return static_cast<std::int64_t>(
+      static_cast<double>(bytes) / bytes_per_sec *
+      static_cast<double>(kSecond));
+}
+
+}  // namespace vgrid::util

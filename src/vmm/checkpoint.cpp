@@ -1,0 +1,59 @@
+#include "vmm/checkpoint.hpp"
+
+#include <cerrno>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vgrid::vmm {
+
+namespace {
+constexpr char kMagic[] = "vgrid-vm-image-v1";
+}
+
+void save_image(const std::string& path, const VmImage& image) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw util::SystemError("cannot open checkpoint file " + path, errno);
+  }
+  out << kMagic << '\n'
+      << image.vmm_name << '\n'
+      << image.ram_bytes << '\n'
+      << image.guest_kind << '\n'
+      << image.guest_state.size() << '\n'
+      << image.guest_state;
+  if (!out) {
+    throw util::SystemError("write failed for checkpoint file " + path,
+                            errno);
+  }
+}
+
+VmImage load_image(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw util::SystemError("cannot open checkpoint file " + path, errno);
+  }
+  std::string magic;
+  std::getline(in, magic);
+  if (magic != kMagic) {
+    throw util::ConfigError("not a vgrid VM image: " + path);
+  }
+  VmImage image;
+  std::getline(in, image.vmm_name);
+  std::string line;
+  std::getline(in, line);
+  image.ram_bytes = std::stoull(line);
+  std::getline(in, image.guest_kind);
+  std::getline(in, line);
+  const std::size_t state_size = std::stoull(line);
+  image.guest_state.resize(state_size);
+  in.read(image.guest_state.data(),
+          static_cast<std::streamsize>(state_size));
+  if (in.gcount() != static_cast<std::streamsize>(state_size)) {
+    throw util::ConfigError("truncated VM image: " + path);
+  }
+  return image;
+}
+
+}  // namespace vgrid::vmm

@@ -1,0 +1,40 @@
+#pragma once
+// VM checkpointing: the paper singles out transparent save/restore of guest
+// state as a key virtue of VM-based desktop grids (fault tolerance and
+// migration, §1). A guest program that implements CheckpointableProgram can
+// be snapshotted into a VmImage, persisted to a real file, and resumed on
+// any machine/scheduler — possibly under a different hypervisor.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "os/program.hpp"
+
+namespace vgrid::vmm {
+
+/// Guest programs that can serialize their progress. serialize() must
+/// capture everything needed to resume; the matching factory recreates the
+/// program from that state.
+class CheckpointableProgram : public os::Program {
+ public:
+  virtual std::string serialize() const = 0;
+};
+
+/// A saved virtual machine: enough to recreate the VM elsewhere and resume
+/// the guest workload where it left off.
+struct VmImage {
+  std::string vmm_name;         ///< profile the VM was running under
+  std::uint64_t ram_bytes = 0;  ///< configured guest RAM
+  std::string guest_kind;       ///< tag identifying the guest program type
+  std::string guest_state;      ///< CheckpointableProgram::serialize() output
+};
+
+/// Write an image to a file (simple line-oriented text format with
+/// length-prefixed state). Throws SystemError on I/O failure.
+void save_image(const std::string& path, const VmImage& image);
+
+/// Read an image back. Throws SystemError / ConfigError on bad input.
+VmImage load_image(const std::string& path);
+
+}  // namespace vgrid::vmm

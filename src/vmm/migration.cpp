@@ -1,0 +1,70 @@
+#include "vmm/migration.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vgrid::vmm {
+
+namespace {
+void validate(const MigrationConfig& config) {
+  if (config.ram_bytes == 0 || config.link_bps <= 0 ||
+      config.dirty_rate_bps < 0 || config.max_precopy_rounds < 1 ||
+      config.restore_overhead_seconds < 0) {
+    throw util::ConfigError("MigrationConfig: invalid parameters");
+  }
+}
+}  // namespace
+
+MigrationEstimate estimate_cold_migration(const MigrationConfig& config) {
+  validate(config);
+  MigrationEstimate estimate;
+  const double transfer =
+      static_cast<double>(config.ram_bytes) / config.link_bps;
+  estimate.total_seconds = transfer + config.restore_overhead_seconds;
+  estimate.downtime_seconds = estimate.total_seconds;
+  estimate.bytes_transferred = config.ram_bytes;
+  return estimate;
+}
+
+MigrationEstimate estimate_live_migration(const MigrationConfig& config) {
+  validate(config);
+  MigrationEstimate estimate;
+
+  // Round 0 ships all RAM; each subsequent round ships what was dirtied
+  // while the previous round was in flight.
+  double to_send = static_cast<double>(config.ram_bytes);
+  double total_time = 0.0;
+  double total_bytes = 0.0;
+  int round = 0;
+  while (true) {
+    ++round;
+    const double round_time = to_send / config.link_bps;
+    total_time += round_time;
+    total_bytes += to_send;
+    const double dirtied = config.dirty_rate_bps * round_time;
+    const double residual = std::min(
+        dirtied, static_cast<double>(config.ram_bytes));
+    if (residual <=
+            static_cast<double>(config.stop_copy_threshold_bytes) ||
+        round >= config.max_precopy_rounds) {
+      estimate.converged =
+          residual <=
+          static_cast<double>(config.stop_copy_threshold_bytes);
+      // Stop-and-copy the residual with the guest paused.
+      const double stop_copy = residual / config.link_bps;
+      estimate.downtime_seconds =
+          stop_copy + config.restore_overhead_seconds;
+      total_time += stop_copy + config.restore_overhead_seconds;
+      total_bytes += residual;
+      break;
+    }
+    to_send = residual;
+  }
+  estimate.total_seconds = total_time;
+  estimate.precopy_rounds = round;
+  estimate.bytes_transferred = static_cast<std::uint64_t>(total_bytes);
+  return estimate;
+}
+
+}  // namespace vgrid::vmm

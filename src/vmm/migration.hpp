@@ -1,0 +1,43 @@
+#pragma once
+// Migration cost models. The paper's §1 lists migration ("exportation of a
+// virtual environment to another physical machine, with the execution
+// being resumed at the remote machine") among the key virtues of VM-based
+// desktop grids. Two standard mechanisms are modelled:
+//
+//  - cold migration: suspend, ship the whole state, restore — downtime is
+//    the entire transfer;
+//  - live (pre-copy) migration: iteratively copy RAM while the guest keeps
+//    dirtying pages, then stop-and-copy the residual — the classic
+//    Clark et al. scheme the descendants of all four hypervisors adopted.
+
+#include <cstdint>
+
+namespace vgrid::vmm {
+
+struct MigrationConfig {
+  std::uint64_t ram_bytes = 300ull * 1024 * 1024;  ///< paper's VM size
+  double link_bps = 12.2e6;      ///< effective network path, bytes/second
+  double dirty_rate_bps = 2.0e6; ///< guest page-dirtying rate, bytes/second
+  int max_precopy_rounds = 8;
+  /// Stop-and-copy once the residual dirty set is below this many bytes.
+  std::uint64_t stop_copy_threshold_bytes = 8ull * 1024 * 1024;
+  double restore_overhead_seconds = 2.0;  ///< resume on the target
+};
+
+struct MigrationEstimate {
+  double total_seconds = 0.0;      ///< start of migration to resumed guest
+  double downtime_seconds = 0.0;   ///< guest paused
+  int precopy_rounds = 0;          ///< 0 for cold migration
+  std::uint64_t bytes_transferred = 0;
+  bool converged = true;  ///< false if pre-copy hit the round limit
+};
+
+/// Suspend + transfer everything + restore.
+MigrationEstimate estimate_cold_migration(const MigrationConfig& config);
+
+/// Iterative pre-copy. If the dirty rate is at or above the link rate the
+/// rounds cannot shrink the residual; the model then falls back to
+/// stop-and-copy after max_precopy_rounds (converged = false).
+MigrationEstimate estimate_live_migration(const MigrationConfig& config);
+
+}  // namespace vgrid::vmm

@@ -1,0 +1,28 @@
+#include "vmm/virtual_disk.hpp"
+
+#include <algorithm>
+
+namespace vgrid::vmm {
+
+std::vector<os::Step> VirtualDisk::translate(const os::DiskStep& guest) const {
+  const hw::DiskRequest probe{guest.op, guest.bytes, guest.sequential, {}};
+  const sim::SimDuration raw = machine_.disk().service_time(probe);
+  const auto overhead = static_cast<sim::SimDuration>(
+      static_cast<double>(raw) * (model_.path_multiplier - 1.0) +
+      model_.per_request_us * 1e3);
+  std::vector<os::Step> steps;
+  steps.emplace_back(guest);  // the physical transfer, same byte count
+  if (overhead > 0) steps.emplace_back(os::SleepStep{overhead});
+  return steps;
+}
+
+sim::SimDuration VirtualDisk::guest_service_time(
+    const os::DiskStep& guest) const {
+  const hw::DiskRequest probe{guest.op, guest.bytes, guest.sequential, {}};
+  const sim::SimDuration raw = machine_.disk().service_time(probe);
+  return static_cast<sim::SimDuration>(
+      static_cast<double>(raw) * model_.path_multiplier +
+      model_.per_request_us * 1e3);
+}
+
+}  // namespace vgrid::vmm

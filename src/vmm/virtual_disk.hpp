@@ -1,0 +1,36 @@
+#pragma once
+// Virtual disk path: guest block I/O is serviced through the hypervisor's
+// image file on the host disk. A guest request therefore costs the host's
+// raw service time times the profile's path multiplier (image-file
+// indirection, emulated IDE/SCSI controller, one VM exit per request), plus
+// a fixed controller-emulation latency.
+
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "os/program.hpp"
+#include "vmm/profile.hpp"
+
+namespace vgrid::vmm {
+
+class VirtualDisk {
+ public:
+  VirtualDisk(hw::Machine& machine, DiskModel model)
+      : machine_(machine), model_(model) {}
+
+  /// Expand one guest disk step into the host-level steps that realize it:
+  /// the physical transfer plus the emulation overhead (modelled as extra
+  /// blocked time — the vCPU is descheduled during its synchronous I/O).
+  std::vector<os::Step> translate(const os::DiskStep& guest) const;
+
+  /// Predicted total service time of a guest request on an idle disk.
+  sim::SimDuration guest_service_time(const os::DiskStep& guest) const;
+
+  const DiskModel& model() const noexcept { return model_; }
+
+ private:
+  hw::Machine& machine_;
+  DiskModel model_;
+};
+
+}  // namespace vgrid::vmm

@@ -1,0 +1,95 @@
+#include "vmm/virtual_machine.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vgrid::vmm {
+
+namespace {
+NetMode pick_net_mode(const VmmProfile& profile,
+                      const std::optional<NetMode>& requested) {
+  if (requested) {
+    if (!profile.supports(*requested)) {
+      throw util::ConfigError(profile.name + " does not support " +
+                              std::string(to_string(*requested)));
+    }
+    return *requested;
+  }
+  if (profile.supports(NetMode::kBridged)) return NetMode::kBridged;
+  return NetMode::kNat;
+}
+}  // namespace
+
+VirtualMachine::VirtualMachine(os::Scheduler& scheduler,
+                               VmmProfile profile, VmConfig config)
+    : scheduler_(scheduler), profile_(std::move(profile)),
+      config_(std::move(config)),
+      ram_bytes_(config_.ram_bytes != 0 ? config_.ram_bytes
+                                        : profile_.default_ram_bytes),
+      net_mode_(pick_net_mode(profile_, config_.net_mode)),
+      disk_(scheduler.machine(), profile_.disk),
+      nic_(scheduler.machine(), profile_.net(net_mode_), net_mode_) {}
+
+VirtualMachine::~VirtualMachine() {
+  if (powered_on_) power_off();
+}
+
+void VirtualMachine::power_on() {
+  if (powered_on_) return;
+  hw::Machine& machine = scheduler_.machine();
+  if (!machine.commit_ram(ram_bytes_)) {
+    throw util::ConfigError(
+        config_.name + ": host lacks RAM for the guest (" +
+        std::to_string(ram_bytes_ / (1024 * 1024)) + " MB needed, " +
+        std::to_string(machine.ram_free() / (1024 * 1024)) + " MB free)");
+  }
+  machine.set_service_demand(machine.service_demand() +
+                             profile_.host.service_demand_cores);
+  machine.set_uniform_service_demand(machine.uniform_service_demand() +
+                                     profile_.host.uniform_demand_cores);
+  powered_on_ = true;
+  scheduler_.notify_conditions_changed();
+}
+
+void VirtualMachine::power_off() {
+  if (!powered_on_) return;
+  hw::Machine& machine = scheduler_.machine();
+  machine.release_ram(ram_bytes_);
+  machine.set_service_demand(
+      std::max(0.0, machine.service_demand() -
+                        profile_.host.service_demand_cores));
+  machine.set_uniform_service_demand(
+      std::max(0.0, machine.uniform_service_demand() -
+                        profile_.host.uniform_demand_cores));
+  powered_on_ = false;
+  scheduler_.notify_conditions_changed();
+}
+
+os::HostThread& VirtualMachine::run_guest(
+    std::string guest_name, std::unique_ptr<os::Program> guest_program) {
+  if (!powered_on_) power_on();
+  auto program = std::make_unique<VmmProgram>(std::move(guest_program),
+                                              profile_.exec, disk_, &nic_);
+  active_program_ = program.get();
+  vcpu_ = &scheduler_.spawn(config_.name + "/" + guest_name,
+                            config_.priority, std::move(program),
+                            /*vm_owned=*/true);
+  return *vcpu_;
+}
+
+VmImage VirtualMachine::checkpoint(const std::string& guest_kind) const {
+  if (active_program_ == nullptr) {
+    throw util::ConfigError(config_.name + ": no guest program to checkpoint");
+  }
+  const auto* checkpointable =
+      dynamic_cast<const CheckpointableProgram*>(&active_program_->guest());
+  if (checkpointable == nullptr) {
+    throw util::ConfigError(config_.name +
+                            ": guest program is not checkpointable");
+  }
+  return VmImage{profile_.name, ram_bytes_, guest_kind,
+                 checkpointable->serialize()};
+}
+
+}  // namespace vgrid::vmm

@@ -1,0 +1,84 @@
+#pragma once
+// A running system-level virtual machine on the simulated host: commits its
+// configured RAM up front (paper §4.2.1), registers the hypervisor's
+// interrupt-level service load with the machine, and executes guest
+// programs on a vCPU host thread at a configurable Windows priority class
+// (the paper tests Normal and Idle).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "os/scheduler.hpp"
+#include "vmm/checkpoint.hpp"
+#include "vmm/profile.hpp"
+#include "vmm/virtual_disk.hpp"
+#include "vmm/virtual_nic.hpp"
+#include "vmm/vmm_program.hpp"
+
+namespace vgrid::vmm {
+
+struct VmConfig {
+  /// Guest RAM; 0 selects the profile default (300 MB, as in the paper).
+  std::uint64_t ram_bytes = 0;
+  /// Host priority of the vCPU thread. The paper runs its host-impact
+  /// experiments at both Normal and Idle.
+  os::PriorityClass priority = os::PriorityClass::kIdle;
+  /// Networking mode; unset picks bridged when supported, else NAT.
+  std::optional<NetMode> net_mode{};
+  std::string name = "vm";
+};
+
+class VirtualMachine {
+ public:
+  /// Throws ConfigError if the machine lacks RAM for the guest (the VM
+  /// commits all its memory when powered on) or the net mode is invalid.
+  VirtualMachine(os::Scheduler& scheduler, VmmProfile profile,
+                 VmConfig config = {});
+  ~VirtualMachine();
+  VirtualMachine(const VirtualMachine&) = delete;
+  VirtualMachine& operator=(const VirtualMachine&) = delete;
+
+  /// Commit RAM and register host service load. Idempotent.
+  void power_on();
+
+  /// Release RAM and deregister service load. The vCPU thread, if any,
+  /// stops making progress only via its own program; power_off does not
+  /// kill it (mirrors killing the VMM process being a separate act).
+  void power_off();
+
+  bool powered_on() const noexcept { return powered_on_; }
+
+  /// Execute a guest program on the vCPU. Returns the host thread driving
+  /// it. Only one guest program runs at a time in this model (the paper's
+  /// VMs are single-vCPU).
+  os::HostThread& run_guest(std::string guest_name,
+                            std::unique_ptr<os::Program> guest_program);
+
+  /// Snapshot the running guest. Requires run_guest to have been called
+  /// with a CheckpointableProgram; throws ConfigError otherwise.
+  VmImage checkpoint(const std::string& guest_kind) const;
+
+  const VmmProfile& profile() const noexcept { return profile_; }
+  const VmConfig& config() const noexcept { return config_; }
+  std::uint64_t ram_bytes() const noexcept { return ram_bytes_; }
+  NetMode net_mode() const noexcept { return net_mode_; }
+  const VirtualDisk& virtual_disk() const noexcept { return disk_; }
+  const VirtualNic& virtual_nic() const noexcept { return nic_; }
+  os::HostThread* vcpu() noexcept { return vcpu_; }
+
+ private:
+  os::Scheduler& scheduler_;
+  VmmProfile profile_;
+  VmConfig config_;
+  std::uint64_t ram_bytes_;
+  NetMode net_mode_;
+  VirtualDisk disk_;
+  VirtualNic nic_;
+  bool powered_on_ = false;
+  os::HostThread* vcpu_ = nullptr;
+  VmmProgram* active_program_ = nullptr;  // owned by the host thread
+};
+
+}  // namespace vgrid::vmm

@@ -1,0 +1,33 @@
+#include "vmm/virtual_nic.hpp"
+
+#include <algorithm>
+
+#include "util/units.hpp"
+
+namespace vgrid::vmm {
+
+double VirtualNic::effective_bps() const noexcept {
+  const double host_bps = machine_.nic().effective_bps();
+  const double cap_bps = util::mbps_to_bytes_per_sec(model_.cap_mbps);
+  return std::min(host_bps, cap_bps);
+}
+
+sim::SimDuration VirtualNic::guest_service_time(
+    const os::NetStep& guest) const {
+  return util::transfer_time_ns(guest.bytes, effective_bps()) +
+         static_cast<sim::SimDuration>(model_.per_transfer_us * 1e3);
+}
+
+std::vector<os::Step> VirtualNic::translate(const os::NetStep& guest) const {
+  const sim::SimDuration host_time =
+      machine_.nic().service_time(guest.bytes);
+  const sim::SimDuration total = guest_service_time(guest);
+  std::vector<os::Step> steps;
+  steps.emplace_back(guest);  // occupies the physical link
+  if (total > host_time) {
+    steps.emplace_back(os::SleepStep{total - host_time});
+  }
+  return steps;
+}
+
+}  // namespace vgrid::vmm

@@ -1,0 +1,51 @@
+#include "vmm/vmm_program.hpp"
+
+#include "util/error.hpp"
+
+namespace vgrid::vmm {
+
+VmmProgram::VmmProgram(std::unique_ptr<os::Program> guest,
+                       hw::ClassMultipliers exec, const VirtualDisk& disk,
+                       const VirtualNic* nic)
+    : guest_(std::move(guest)), exec_(exec), disk_(disk), nic_(nic) {}
+
+os::Step VmmProgram::next() {
+  if (!pending_.empty()) {
+    os::Step step = std::move(pending_.front());
+    pending_.pop_front();
+    return step;
+  }
+  os::Step step = guest_->next();
+  if (auto* compute = std::get_if<os::ComputeStep>(&step)) {
+    // Compose: a guest step may already carry multipliers (nested models);
+    // the hypervisor engine multiplies on top.
+    os::ComputeStep translated = *compute;
+    translated.multipliers.user_int *= exec_.user_int;
+    translated.multipliers.user_fp *= exec_.user_fp;
+    translated.multipliers.memory *= exec_.memory;
+    translated.multipliers.kernel *= exec_.kernel;
+    return translated;
+  }
+  if (const auto* io = std::get_if<os::DiskStep>(&step)) {
+    auto expanded = disk_.translate(*io);
+    for (auto& s : expanded) pending_.push_back(std::move(s));
+    os::Step first = std::move(pending_.front());
+    pending_.pop_front();
+    return first;
+  }
+  if (const auto* net = std::get_if<os::NetStep>(&step)) {
+    if (nic_ == nullptr) {
+      throw util::SimulationError(
+          "guest issued network I/O but the VM has no NIC configured");
+    }
+    auto expanded = nic_->translate(*net);
+    for (auto& s : expanded) pending_.push_back(std::move(s));
+    os::Step first = std::move(pending_.front());
+    pending_.pop_front();
+    return first;
+  }
+  // SleepStep / DoneStep pass through unchanged.
+  return step;
+}
+
+}  // namespace vgrid::vmm

@@ -1,0 +1,38 @@
+#pragma once
+// Step translation: the guest's program, as executed by the hypervisor.
+// Compute steps pick up the profile's per-class multipliers (binary
+// translation / trap-and-emulate costs); device steps are expanded through
+// the virtual disk and NIC paths.
+
+#include <deque>
+#include <memory>
+
+#include "os/program.hpp"
+#include "vmm/profile.hpp"
+#include "vmm/virtual_disk.hpp"
+#include "vmm/virtual_nic.hpp"
+
+namespace vgrid::vmm {
+
+class VmmProgram final : public os::Program {
+ public:
+  /// `nic` may be null when the VM has no network configured; a guest
+  /// NetStep then throws SimulationError.
+  VmmProgram(std::unique_ptr<os::Program> guest, hw::ClassMultipliers exec,
+             const VirtualDisk& disk, const VirtualNic* nic);
+
+  os::Step next() override;
+
+  /// The wrapped guest program (e.g. for checkpoint serialization).
+  os::Program& guest() noexcept { return *guest_; }
+  const os::Program& guest() const noexcept { return *guest_; }
+
+ private:
+  std::unique_ptr<os::Program> guest_;
+  hw::ClassMultipliers exec_;
+  const VirtualDisk& disk_;
+  const VirtualNic* nic_;
+  std::deque<os::Step> pending_;
+};
+
+}  // namespace vgrid::vmm

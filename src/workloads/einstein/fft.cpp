@@ -1,0 +1,64 @@
+#include "workloads/einstein/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace vgrid::workloads::einstein {
+
+bool is_power_of_two(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+void fft(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (!is_power_of_two(n)) {
+    throw util::ConfigError("fft: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Danielson-Lanczos butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) *
+        (inverse ? 1.0 : -1.0);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= scale;
+  }
+}
+
+std::vector<Complex> fft_real(std::span<const double> samples) {
+  std::vector<Complex> data(samples.begin(), samples.end());
+  fft(data, /*inverse=*/false);
+  return data;
+}
+
+std::vector<double> power_spectrum(std::span<const double> samples) {
+  const auto spectrum = fft_real(samples);
+  std::vector<double> power(samples.size() / 2 + 1);
+  for (std::size_t i = 0; i < power.size(); ++i) {
+    power[i] = std::norm(spectrum[i]);
+  }
+  return power;
+}
+
+}  // namespace vgrid::workloads::einstein

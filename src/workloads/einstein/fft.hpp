@@ -1,0 +1,28 @@
+#pragma once
+// Iterative radix-2 complex FFT — the numerical core of the synthetic
+// Einstein@home worker (gravitational-wave matched filtering is FFT-bound).
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vgrid::workloads::einstein {
+
+using Complex = std::complex<double>;
+
+/// True if n is a power of two (and nonzero).
+bool is_power_of_two(std::size_t n) noexcept;
+
+/// In-place FFT (inverse=false) / inverse FFT with 1/N scaling
+/// (inverse=true). data.size() must be a power of two; throws ConfigError
+/// otherwise.
+void fft(std::span<Complex> data, bool inverse);
+
+/// Convenience: forward FFT of real samples.
+std::vector<Complex> fft_real(std::span<const double> samples);
+
+/// Power spectrum |X_k|^2 of real samples (first N/2+1 bins).
+std::vector<double> power_spectrum(std::span<const double> samples);
+
+}  // namespace vgrid::workloads::einstein

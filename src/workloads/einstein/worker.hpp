@@ -1,0 +1,94 @@
+#pragma once
+// Synthetic Einstein@home worker. The real project searches LIGO strain
+// data for periodic gravitational-wave signals by matched filtering against
+// a bank of waveform templates. This worker reproduces that code path:
+// generate noisy strain with an injected sinusoidal signal, correlate it
+// (via FFT) against a frequency grid of templates, and report the
+// best-matching template. Progress is checkpointed per template batch in
+// BOINC style, which is what makes VM-level save/restore meaningful.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vmm/checkpoint.hpp"
+#include "workloads/workload.hpp"
+
+namespace vgrid::workloads::einstein {
+
+struct EinsteinConfig {
+  std::size_t samples = 16384;     ///< strain samples (power of two)
+  std::size_t template_count = 96; ///< frequency templates to test
+  double signal_frequency_bin = 371.25;  ///< injected signal (fractional bin)
+  double signal_amplitude = 0.35;
+  double noise_sigma = 1.0;
+  std::uint64_t seed = 2009;
+  std::size_t checkpoint_every = 8;  ///< templates per checkpoint batch
+};
+
+struct Detection {
+  std::size_t template_index = 0;
+  double frequency_bin = 0.0;
+  double snr = 0.0;  ///< matched-filter peak over noise floor
+};
+
+/// Compute estimated instructions for processing one template (three FFTs
+/// plus the correlation peak search) — drives the simulated program.
+double instructions_per_template(std::size_t samples) noexcept;
+
+class EinsteinWorker final : public Workload {
+ public:
+  explicit EinsteinWorker(EinsteinConfig config = {});
+
+  std::string name() const override { return "einstein-worker"; }
+
+  /// Real search over all templates. operations = templates processed.
+  NativeResult run_native() override;
+
+  /// Real search, returning the detection. `start_template` resumes from a
+  /// checkpoint.
+  Detection search(std::size_t start_template = 0,
+                   std::size_t* processed = nullptr) const;
+
+  std::unique_ptr<os::Program> make_program() const override;
+  double simulated_instructions() const override;
+
+  const EinsteinConfig& config() const noexcept { return config_; }
+
+ private:
+  EinsteinConfig config_;
+};
+
+/// Simulated, checkpointable guest program: one compute step per template
+/// batch; serialization captures the next template index. Runs either one
+/// workunit (finite) or continuously fetching new workunits (pegged — the
+/// paper's host-impact scenario where the BOINC client uses "100% of the
+/// virtual CPU").
+class EinsteinProgram final : public vmm::CheckpointableProgram {
+ public:
+  EinsteinProgram(EinsteinConfig config, bool continuous,
+                  std::size_t start_template = 0);
+
+  os::Step next() override;
+  std::string serialize() const override;
+
+  /// Recreate from serialize() output. Throws ConfigError on bad state.
+  static std::unique_ptr<EinsteinProgram> deserialize(
+      const EinsteinConfig& config, const std::string& state);
+
+  std::size_t next_template() const noexcept { return next_template_; }
+  std::uint64_t workunits_completed() const noexcept {
+    return workunits_completed_;
+  }
+
+  /// Tag stored in VmImage::guest_kind for this program type.
+  static constexpr const char* kGuestKind = "einstein-program-v1";
+
+ private:
+  EinsteinConfig config_;
+  bool continuous_;
+  std::size_t next_template_;
+  std::uint64_t workunits_completed_ = 0;
+};
+
+}  // namespace vgrid::workloads::einstein

@@ -1,0 +1,201 @@
+#include "workloads/iobench.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "util/clock.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace vgrid::workloads {
+
+namespace fs = std::filesystem;
+
+IoBench::IoBench(IoBenchConfig config) : config_(std::move(config)) {
+  if (config_.min_file_bytes == 0 ||
+      config_.max_file_bytes < config_.min_file_bytes ||
+      config_.block_bytes == 0) {
+    throw util::ConfigError("IoBench: invalid size configuration");
+  }
+}
+
+std::vector<std::uint64_t> IoBench::file_sizes() const {
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t s = config_.min_file_bytes; s <= config_.max_file_bytes;
+       s *= 2) {
+    sizes.push_back(s);
+  }
+  return sizes;
+}
+
+namespace {
+
+fs::path pick_temp_dir(const std::string& configured) {
+  if (!configured.empty()) return configured;
+  if (const char* env = std::getenv("TMPDIR")) return env;
+  return "/tmp";
+}
+
+class ScopedFd {
+ public:
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+  int get() const noexcept { return fd_; }
+
+ private:
+  int fd_;
+};
+
+void write_file(const fs::path& path, const std::vector<char>& data,
+                std::uint32_t block) {
+  ScopedFd fd(::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0600));
+  if (fd.get() < 0) {
+    throw util::SystemError("IOBench: open for write " + path.string(),
+                            errno);
+  }
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::size_t chunk = std::min<std::size_t>(block, data.size() - off);
+    const ssize_t n = ::write(fd.get(), data.data() + off, chunk);
+    if (n < 0) throw util::SystemError("IOBench: write", errno);
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd.get()) != 0) {
+    throw util::SystemError("IOBench: fsync", errno);
+  }
+}
+
+std::uint64_t read_file(const fs::path& path, std::uint32_t block) {
+  ScopedFd fd(::open(path.c_str(), O_RDONLY));
+  if (fd.get() < 0) {
+    throw util::SystemError("IOBench: open for read " + path.string(), errno);
+  }
+#ifdef POSIX_FADV_DONTNEED
+  // Best effort: ask the kernel to forget the pages we just wrote so the
+  // read actually measures the device (paper-equivalent behaviour).
+  ::posix_fadvise(fd.get(), 0, 0, POSIX_FADV_DONTNEED);
+#endif
+  std::vector<char> buffer(block);
+  std::uint64_t checksum = 0;
+  while (true) {
+    const ssize_t n = ::read(fd.get(), buffer.data(), buffer.size());
+    if (n < 0) throw util::SystemError("IOBench: read", errno);
+    if (n == 0) break;
+    for (ssize_t i = 0; i < n; i += 512) {
+      checksum += static_cast<unsigned char>(buffer[static_cast<std::size_t>(i)]);
+    }
+  }
+  return checksum;
+}
+
+}  // namespace
+
+std::vector<IoBenchRow> IoBench::run_native_rows() {
+  const fs::path dir =
+      pick_temp_dir(config_.temp_dir) /
+      util::format("vgrid-iobench-%d", static_cast<int>(::getpid()));
+  fs::create_directories(dir);
+  util::Xoshiro256 rng(config_.seed);
+
+  std::vector<IoBenchRow> rows;
+  for (const std::uint64_t size : file_sizes()) {
+    std::vector<char> data(size);
+    for (auto& c : data) {
+      c = static_cast<char>(rng.next() & 0xff);
+    }
+    const fs::path path = dir / util::format("f%llu.bin",
+                                             static_cast<unsigned long long>(
+                                                 size));
+    IoBenchRow row;
+    row.file_bytes = size;
+
+    util::WallTimer timer;
+    write_file(path, data, config_.block_bytes);
+    row.write_seconds = timer.elapsed_seconds();
+
+    timer.reset();
+    (void)read_file(path, config_.block_bytes);
+    row.read_seconds = timer.elapsed_seconds();
+
+    rows.push_back(row);
+    fs::remove(path);
+  }
+  fs::remove_all(dir);
+  return rows;
+}
+
+NativeResult IoBench::run_native() {
+  util::WallTimer timer;
+  const auto rows = run_native_rows();
+  double bytes = 0;
+  for (const auto& row : rows) {
+    bytes += 2.0 * static_cast<double>(row.file_bytes);
+  }
+  return NativeResult{timer.elapsed_seconds(), bytes, rows.size(),
+                      "bytes moved (write+read)"};
+}
+
+std::unique_ptr<os::Program> IoBench::make_program() const {
+  os::ProgramBuilder builder;
+  guest::GuestOs guest(guest_config_);
+  for (const std::uint64_t size : file_sizes()) {
+    const std::uint64_t ops =
+        (size + config_.block_bytes - 1) / config_.block_bytes;
+    const std::string file =
+        util::format("f%llu", static_cast<unsigned long long>(size));
+
+    // Write pass: syscall + copy CPU, then the device transfer.
+    builder.compute(guest.io_cpu_cost(ops, size).instructions,
+                    hw::mixes::io_bound());
+    if (config_.use_page_cache) {
+      const auto plan = guest.page_cache().plan_write(file, size);
+      std::uint64_t flushed = plan.disk_bytes;
+      if (config_.sync_every_file) {
+        flushed += guest.page_cache().flush(file);  // fsync
+      }
+      if (flushed > 0) builder.disk_write(flushed, /*sequential=*/true);
+    } else {
+      builder.disk_write(size, /*sequential=*/true);
+    }
+
+    // Read pass.
+    builder.compute(guest.io_cpu_cost(ops, size).instructions,
+                    hw::mixes::io_bound());
+    if (config_.use_page_cache) {
+      if (config_.sync_every_file) {
+        // Paper-equivalent: defeat the cache before re-reading.
+        guest.page_cache().drop_clean();
+      }
+      const auto plan = guest.page_cache().plan_read(file, size);
+      if (plan.disk_bytes > 0) {
+        builder.disk_read(plan.disk_bytes, /*sequential=*/true);
+      }
+    } else {
+      builder.disk_read(size, /*sequential=*/true);
+    }
+  }
+  return builder.build();
+}
+
+double IoBench::simulated_instructions() const {
+  guest::GuestOs guest(guest_config_);
+  double total = 0;
+  for (const std::uint64_t size : file_sizes()) {
+    const std::uint64_t ops =
+        (size + config_.block_bytes - 1) / config_.block_bytes;
+    total += 2.0 * guest.io_cpu_cost(ops, size).instructions;
+  }
+  return total;
+}
+
+}  // namespace vgrid::workloads

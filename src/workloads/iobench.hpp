@@ -1,0 +1,79 @@
+#pragma once
+// IOBench — the authors' disk benchmark (paper §2): write and then read
+// back randomly generated files whose sizes double from 128 KB to 32 MB.
+//
+// Native mode performs the real file I/O in a temporary directory (with
+// fsync to defeat the host cache, as the measured numbers in the paper are
+// clearly disk-bound). Simulation mode emits the same operation sequence as
+// a step program; by default it models direct (cache-defeating) I/O, with
+// an option to route through the guest page-cache model instead.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "guest/guest_os.hpp"
+#include "workloads/workload.hpp"
+
+namespace vgrid::workloads {
+
+struct IoBenchConfig {
+  std::uint64_t min_file_bytes = 128 * 1024;
+  std::uint64_t max_file_bytes = 32 * 1024 * 1024;
+  std::uint32_t block_bytes = 64 * 1024;  ///< request size per syscall
+  bool use_page_cache = false;  ///< route simulated I/O through the cache
+  /// With use_page_cache: fsync after each write pass and drop clean pages
+  /// before the read pass (the paper-equivalent, cache-defeating run).
+  /// false = let the cache absorb whatever fits (the ablation variant).
+  bool sync_every_file = true;
+  std::string temp_dir = "";    ///< native mode; empty picks $TMPDIR
+  std::uint64_t seed = 1234;
+};
+
+/// Per-file-size measurement, one row of the IOBench report.
+struct IoBenchRow {
+  std::uint64_t file_bytes = 0;
+  double write_seconds = 0.0;
+  double read_seconds = 0.0;
+
+  double write_mb_per_s() const noexcept {
+    return write_seconds > 0
+               ? static_cast<double>(file_bytes) / 1e6 / write_seconds
+               : 0.0;
+  }
+  double read_mb_per_s() const noexcept {
+    return read_seconds > 0
+               ? static_cast<double>(file_bytes) / 1e6 / read_seconds
+               : 0.0;
+  }
+};
+
+class IoBench final : public Workload {
+ public:
+  explicit IoBench(IoBenchConfig config = {});
+
+  std::string name() const override { return "iobench"; }
+
+  /// Real file I/O. operations = total bytes moved (read + written).
+  NativeResult run_native() override;
+
+  /// Native run with the per-size breakdown the paper's Figure 3 plots.
+  std::vector<IoBenchRow> run_native_rows();
+
+  /// Simulated program: per file size, blocked writes then reads plus the
+  /// kernel-mode CPU cost of the syscalls and copies.
+  std::unique_ptr<os::Program> make_program() const override;
+
+  double simulated_instructions() const override;
+
+  /// The file-size sweep (128 KB, 256 KB, ..., 32 MB).
+  std::vector<std::uint64_t> file_sizes() const;
+
+  const IoBenchConfig& config() const noexcept { return config_; }
+
+ private:
+  IoBenchConfig config_;
+  guest::GuestOsConfig guest_config_;
+};
+
+}  // namespace vgrid::workloads

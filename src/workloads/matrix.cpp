@@ -1,0 +1,73 @@
+#include "workloads/matrix.hpp"
+
+#include <cstring>
+
+#include "util/clock.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace vgrid::workloads {
+
+MatrixBenchmark::MatrixBenchmark(std::size_t n, std::uint64_t seed)
+    : n_(n), seed_(seed) {
+  if (n == 0) throw util::ConfigError("MatrixBenchmark: n must be positive");
+}
+
+std::string MatrixBenchmark::name() const {
+  return util::format("matrix-%zux%zu", n_, n_);
+}
+
+void MatrixBenchmark::multiply(const std::vector<double>& a,
+                               const std::vector<double>& b,
+                               std::vector<double>& c, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        acc += a[i * n + k] * b[k * n + j];
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+NativeResult MatrixBenchmark::run_native() {
+  util::Xoshiro256 rng(seed_);
+  std::vector<double> a(n_ * n_);
+  std::vector<double> b(n_ * n_);
+  std::vector<double> c(n_ * n_);
+  for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+
+  util::WallTimer timer;
+  multiply(a, b, c, n_);
+  const double elapsed = timer.elapsed_seconds();
+
+  // Fold the result into a checksum so the multiply cannot be elided.
+  std::uint64_t checksum = 0;
+  for (const double v : c) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    checksum ^= bits + 0x9e3779b97f4a7c15ULL + (checksum << 6);
+  }
+
+  const double flops = 2.0 * static_cast<double>(n_) *
+                       static_cast<double>(n_) * static_cast<double>(n_);
+  return NativeResult{elapsed, flops, checksum, "floating point operations"};
+}
+
+double MatrixBenchmark::simulated_instructions() const {
+  // Per inner iteration: multiply-add plus two loads and loop overhead —
+  // about 6 instructions for the unoptimized triple loop.
+  const double nd = static_cast<double>(n_);
+  return 6.0 * nd * nd * nd;
+}
+
+std::unique_ptr<os::Program> MatrixBenchmark::make_program() const {
+  os::ProgramBuilder builder;
+  builder.compute(simulated_instructions(), hw::mixes::matrix());
+  return builder.build();
+}
+
+}  // namespace vgrid::workloads

@@ -1,0 +1,36 @@
+#pragma once
+// The paper's Matrix benchmark: multiply two square matrices of doubles
+// with the linear (non-optimized) triple loop, sizes 512x512 and 1024x1024.
+// Evaluates floating-point CPU performance (paper §2).
+
+#include <cstddef>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace vgrid::workloads {
+
+class MatrixBenchmark final : public Workload {
+ public:
+  explicit MatrixBenchmark(std::size_t n = 512, std::uint64_t seed = 42);
+
+  std::string name() const override;
+  NativeResult run_native() override;
+  std::unique_ptr<os::Program> make_program() const override;
+  double simulated_instructions() const override;
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// The actual kernel — also usable directly: c = a * b, row-major n x n.
+  /// Plain ijk loop, exactly as the paper describes ("linear,
+  /// non-optimized").
+  static void multiply(const std::vector<double>& a,
+                       const std::vector<double>& b, std::vector<double>& c,
+                       std::size_t n);
+
+ private:
+  std::size_t n_;
+  std::uint64_t seed_;
+};
+
+}  // namespace vgrid::workloads

@@ -1,0 +1,37 @@
+#include "workloads/meter.hpp"
+
+#include "util/clock.hpp"
+#include "util/strings.hpp"
+
+namespace vgrid::workloads {
+
+ResourceProfile meter(Workload& workload) {
+  ResourceProfile profile;
+  profile.workload = workload.name();
+  const std::int64_t cpu_before = util::process_cpu_time_ns();
+  util::WallTimer timer;
+  const NativeResult result = workload.run_native();
+  profile.native_wall_seconds = timer.elapsed_seconds();
+  profile.native_cpu_seconds =
+      static_cast<double>(util::process_cpu_time_ns() - cpu_before) / 1e9;
+  profile.operations = result.operations;
+  profile.simulated_instructions = workload.simulated_instructions();
+  if (profile.native_wall_seconds > 0.0) {
+    profile.implied_native_ips =
+        profile.simulated_instructions / profile.native_wall_seconds;
+    profile.cpu_utilization =
+        profile.native_cpu_seconds / profile.native_wall_seconds;
+  }
+  return profile;
+}
+
+std::string describe(const ResourceProfile& profile) {
+  return util::format(
+      "%-16s wall %8.3f s  cpu %8.3f s (util %4.2f)  "
+      "sim budget %.3g instr  implied %.3g instr/s",
+      profile.workload.c_str(), profile.native_wall_seconds,
+      profile.native_cpu_seconds, profile.cpu_utilization,
+      profile.simulated_instructions, profile.implied_native_ips);
+}
+
+}  // namespace vgrid::workloads

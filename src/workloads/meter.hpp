@@ -1,0 +1,36 @@
+#pragma once
+// WorkloadMeter — the bridge between real executions and the simulator.
+// Runs a Workload natively on the build machine, measures wall/CPU time,
+// and derives a ResourceProfile: the instruction budget and effective
+// native rate that make the simulated program of the same workload
+// comparable to reality. Used by calibration tests and by anyone adding a
+// new workload (run it through the meter, read off the rate, pick a mix).
+
+#include <string>
+
+#include "workloads/workload.hpp"
+
+namespace vgrid::workloads {
+
+struct ResourceProfile {
+  std::string workload;
+  double native_wall_seconds = 0.0;
+  double native_cpu_seconds = 0.0;
+  double operations = 0.0;             ///< workload-defined unit
+  double simulated_instructions = 0.0; ///< the workload's sim budget
+  /// Effective native rate implied by the sim budget: sim instructions
+  /// per real second. Comparing this across workloads sanity-checks the
+  /// per-workload budgets (they should be within the same order).
+  double implied_native_ips = 0.0;
+  /// CPU utilization of the native run (cpu/wall); ~1 for CPU-bound work,
+  /// << 1 for I/O-bound work.
+  double cpu_utilization = 0.0;
+};
+
+/// Run the workload natively and derive its profile.
+ResourceProfile meter(Workload& workload);
+
+/// Render a profile as one readable line.
+std::string describe(const ResourceProfile& profile);
+
+}  // namespace vgrid::workloads

@@ -1,0 +1,95 @@
+// Assignment problem: minimum-cost assignment of tasks to agents on a
+// 101x101 cost matrix (ByteMark's assignment test size). Solved exactly
+// with the Kuhn-Munkres (Hungarian) algorithm in its O(n^3) potentials
+// form — array-scanning integer work, hence part of the MEM index.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+#include "workloads/nbench/kernels.hpp"
+
+namespace vgrid::workloads::nbench {
+
+namespace {
+
+constexpr std::size_t kN = 101;
+
+/// Hungarian algorithm with potentials; returns the minimum total cost.
+/// cost is row-major (kN+1 conceptual 1-based internally).
+std::int64_t solve_assignment(const std::vector<std::int32_t>& cost) {
+  const std::size_t n = kN;
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+  std::vector<std::int64_t> u(n + 1, 0), v(n + 1, 0);
+  std::vector<std::size_t> match(n + 1, 0);  // match[col] = row
+  std::vector<std::size_t> way(n + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    match[0] = i;
+    std::size_t j0 = 0;
+    std::vector<std::int64_t> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = match[j0];
+      std::int64_t delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const std::int64_t cur =
+            cost[(i0 - 1) * n + (j - 1)] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[match[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    do {
+      const std::size_t j1 = way[j0];
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::int64_t total = 0;
+  for (std::size_t j = 1; j <= n; ++j) {
+    total += cost[(match[j] - 1) * n + (j - 1)];
+  }
+  return total;
+}
+
+}  // namespace
+
+KernelResult run_assignment(std::uint64_t iterations, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  KernelResult result;
+  util::WallTimer timer;
+  for (std::uint64_t it = 0; it < iterations; ++it) {
+    std::vector<std::int32_t> cost(kN * kN);
+    for (auto& c : cost) {
+      c = static_cast<std::int32_t>(rng.below(10'000'000));
+    }
+    const std::int64_t best = solve_assignment(cost);
+    result.checksum ^= static_cast<std::uint64_t>(best) + it;
+    ++result.iterations;
+  }
+  result.elapsed_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace vgrid::workloads::nbench

@@ -1,0 +1,58 @@
+// Bitfield operations: set, clear and complement runs of bits in a large
+// bitmap, as in ByteMark's bitfield test.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+#include "workloads/nbench/kernels.hpp"
+
+namespace vgrid::workloads::nbench {
+
+namespace {
+
+constexpr std::size_t kBitmapWords = 8192;  // 8192 * 64 bits = 64 KiB map
+constexpr std::size_t kOpsPerIteration = 1024;
+
+enum class BitOp : std::uint8_t { kSet, kClear, kComplement };
+
+void apply(std::vector<std::uint64_t>& map, BitOp op, std::size_t start,
+           std::size_t count) {
+  const std::size_t total_bits = map.size() * 64;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t bit = (start + i) % total_bits;
+    const std::size_t word = bit / 64;
+    const std::uint64_t mask = 1ULL << (bit % 64);
+    switch (op) {
+      case BitOp::kSet: map[word] |= mask; break;
+      case BitOp::kClear: map[word] &= ~mask; break;
+      case BitOp::kComplement: map[word] ^= mask; break;
+    }
+  }
+}
+
+}  // namespace
+
+KernelResult run_bitfield(std::uint64_t iterations, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> bitmap(kBitmapWords, 0);
+  KernelResult result;
+  util::WallTimer timer;
+  for (std::uint64_t it = 0; it < iterations; ++it) {
+    for (std::size_t op = 0; op < kOpsPerIteration; ++op) {
+      const auto kind = static_cast<BitOp>(rng.below(3));
+      const std::size_t start = rng.below(kBitmapWords * 64);
+      const std::size_t count = 1 + rng.below(255);
+      apply(bitmap, kind, start, count);
+    }
+    std::uint64_t acc = 0;
+    for (const std::uint64_t w : bitmap) acc ^= w;
+    result.checksum ^= acc + it;
+    ++result.iterations;
+  }
+  result.elapsed_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace vgrid::workloads::nbench

@@ -1,0 +1,65 @@
+// Fourier coefficients: compute the first N coefficients of the series
+// approximating f(x) = (x+1)^x on [0, 2] via trapezoidal numerical
+// integration — the exact formulation of ByteMark's FOURIER test.
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "workloads/nbench/kernels.hpp"
+
+namespace vgrid::workloads::nbench {
+
+namespace {
+
+constexpr int kCoefficients = 100;
+constexpr int kIntegrationSteps = 200;
+constexpr double kInterval = 2.0;
+
+double func(double x) { return std::pow(x + 1.0, x); }
+
+/// Trapezoidal rule for func(x) * trig(n * pi * x / interval).
+double integrate(int n, bool cosine) {
+  const double omega = static_cast<double>(n) * std::numbers::pi / kInterval;
+  const double dx = kInterval / kIntegrationSteps;
+  auto term = [&](double x) {
+    const double angle = omega * x;
+    return func(x) * (cosine ? std::cos(angle) : std::sin(angle));
+  };
+  double sum = 0.5 * (term(0.0) + term(kInterval));
+  for (int i = 1; i < kIntegrationSteps; ++i) {
+    sum += term(dx * i);
+  }
+  return sum * dx;
+}
+
+}  // namespace
+
+KernelResult run_fourier(std::uint64_t iterations, std::uint64_t seed) {
+  (void)seed;  // deterministic integrand
+  KernelResult result;
+  util::WallTimer timer;
+  for (std::uint64_t it = 0; it < iterations; ++it) {
+    std::vector<double> a(kCoefficients);
+    std::vector<double> b(kCoefficients);
+    a[0] = integrate(0, true) / kInterval;
+    for (int n = 1; n < kCoefficients; ++n) {
+      a[static_cast<std::size_t>(n)] =
+          2.0 / kInterval * integrate(n, true);
+      b[static_cast<std::size_t>(n)] =
+          2.0 / kInterval * integrate(n, false);
+    }
+    double acc = 0.0;
+    for (int n = 0; n < kCoefficients; ++n) {
+      acc += a[static_cast<std::size_t>(n)] +
+             b[static_cast<std::size_t>(n)];
+    }
+    result.checksum ^= static_cast<std::uint64_t>(acc * 1e6) + it;
+    ++result.iterations;
+  }
+  result.elapsed_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace vgrid::workloads::nbench

@@ -1,0 +1,143 @@
+// Huffman compression: build a canonical Huffman tree over byte
+// frequencies, encode a 4 KB buffer to a bit stream, decode it back and
+// verify — as in ByteMark's Huffman test.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+#include "workloads/nbench/kernels.hpp"
+
+namespace vgrid::workloads::nbench {
+
+namespace {
+
+constexpr std::size_t kBufferBytes = 4096;
+
+struct Node {
+  std::uint64_t freq = 0;
+  int left = -1;
+  int right = -1;
+  int symbol = -1;  // leaf when >= 0
+};
+
+struct Code {
+  std::uint32_t bits = 0;
+  int length = 0;
+};
+
+// Build the tree and per-symbol codes; returns the root index.
+int build_tree(const std::array<std::uint64_t, 256>& freq,
+               std::vector<Node>& nodes) {
+  using HeapEntry = std::pair<std::uint64_t, int>;  // (freq, node)
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  for (int s = 0; s < 256; ++s) {
+    if (freq[static_cast<std::size_t>(s)] == 0) continue;
+    nodes.push_back(Node{freq[static_cast<std::size_t>(s)], -1, -1, s});
+    heap.emplace(nodes.back().freq, static_cast<int>(nodes.size()) - 1);
+  }
+  if (heap.size() == 1) {  // degenerate single-symbol input
+    nodes.push_back(Node{nodes[0].freq, 0, 0, -1});
+    return static_cast<int>(nodes.size()) - 1;
+  }
+  while (heap.size() > 1) {
+    const auto [fa, a] = heap.top();
+    heap.pop();
+    const auto [fb, b] = heap.top();
+    heap.pop();
+    nodes.push_back(Node{fa + fb, a, b, -1});
+    heap.emplace(fa + fb, static_cast<int>(nodes.size()) - 1);
+  }
+  return heap.top().second;
+}
+
+void assign_codes(const std::vector<Node>& nodes, int node,
+                  std::uint32_t bits, int depth,
+                  std::array<Code, 256>& codes) {
+  const Node& n = nodes[static_cast<std::size_t>(node)];
+  if (n.symbol >= 0) {
+    codes[static_cast<std::size_t>(n.symbol)] =
+        Code{bits, std::max(depth, 1)};
+    return;
+  }
+  assign_codes(nodes, n.left, bits << 1, depth + 1, codes);
+  assign_codes(nodes, n.right, (bits << 1) | 1u, depth + 1, codes);
+}
+
+}  // namespace
+
+KernelResult run_huffman(std::uint64_t iterations, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  // Skewed byte distribution so the tree is non-trivial.
+  std::vector<std::uint8_t> buffer(kBufferBytes);
+  for (auto& b : buffer) {
+    const std::uint64_t r = rng.next();
+    b = static_cast<std::uint8_t>((r & 0xF) < 12 ? (r >> 4) & 0x1F
+                                                 : (r >> 4) & 0xFF);
+  }
+
+  KernelResult result;
+  util::WallTimer timer;
+  for (std::uint64_t it = 0; it < iterations; ++it) {
+    std::array<std::uint64_t, 256> freq{};
+    for (const std::uint8_t b : buffer) ++freq[b];
+
+    std::vector<Node> nodes;
+    nodes.reserve(512);
+    const int root = build_tree(freq, nodes);
+    std::array<Code, 256> codes{};
+    assign_codes(nodes, root, 0, 0, codes);
+
+    // Encode.
+    std::vector<std::uint8_t> encoded;
+    encoded.reserve(buffer.size());
+    std::uint32_t acc = 0;
+    int acc_bits = 0;
+    for (const std::uint8_t b : buffer) {
+      const Code& code = codes[b];
+      acc = (acc << code.length) | code.bits;
+      acc_bits += code.length;
+      while (acc_bits >= 8) {
+        encoded.push_back(
+            static_cast<std::uint8_t>(acc >> (acc_bits - 8)));
+        acc_bits -= 8;
+      }
+    }
+    if (acc_bits > 0) {
+      encoded.push_back(static_cast<std::uint8_t>(acc << (8 - acc_bits)));
+    }
+
+    // Decode and verify.
+    std::vector<std::uint8_t> decoded;
+    decoded.reserve(buffer.size());
+    int node = root;
+    std::size_t bit_index = 0;
+    const std::size_t total_bits = encoded.size() * 8;
+    while (decoded.size() < buffer.size() && bit_index < total_bits) {
+      const int bit =
+          (encoded[bit_index / 8] >> (7 - bit_index % 8)) & 1;
+      ++bit_index;
+      node = bit ? nodes[static_cast<std::size_t>(node)].right
+                 : nodes[static_cast<std::size_t>(node)].left;
+      if (nodes[static_cast<std::size_t>(node)].symbol >= 0) {
+        decoded.push_back(static_cast<std::uint8_t>(
+            nodes[static_cast<std::size_t>(node)].symbol));
+        node = root;
+      }
+    }
+
+    result.checksum ^= encoded.size() + (decoded == buffer ? 0u : 0xBADu) +
+                       it;
+    ++result.iterations;
+  }
+  result.elapsed_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace vgrid::workloads::nbench

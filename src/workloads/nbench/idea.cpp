@@ -1,0 +1,159 @@
+// IDEA block cipher: 8.5-round encryption/decryption of 64-bit blocks with
+// multiplication modulo 65537 — the real algorithm, as in ByteMark's IDEA
+// test. Each iteration encrypts and decrypts a 4 KB buffer and verifies
+// the round-trip through the checksum.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+#include "workloads/nbench/kernels.hpp"
+
+namespace vgrid::workloads::nbench {
+
+namespace {
+
+constexpr int kRounds = 8;
+constexpr std::size_t kSubkeys = 6 * kRounds + 4;  // 52
+constexpr std::size_t kBufferBytes = 4096;
+
+using KeySchedule = std::array<std::uint16_t, kSubkeys>;
+
+/// Multiplication modulo 2^16 + 1, with 0 interpreted as 2^16.
+std::uint16_t mul(std::uint16_t a, std::uint16_t b) noexcept {
+  if (a == 0) return static_cast<std::uint16_t>(1 - b);      // 65536*b mod 65537
+  if (b == 0) return static_cast<std::uint16_t>(1 - a);
+  const std::uint32_t p = static_cast<std::uint32_t>(a) * b;
+  const std::uint16_t lo = static_cast<std::uint16_t>(p);
+  const std::uint16_t hi = static_cast<std::uint16_t>(p >> 16);
+  return static_cast<std::uint16_t>(lo - hi + (lo < hi ? 1 : 0));
+}
+
+/// Multiplicative inverse modulo 65537 (extended Euclid).
+std::uint16_t mul_inv(std::uint16_t x) noexcept {
+  if (x <= 1) return x;
+  std::int32_t t0 = 0, t1 = 1;
+  std::int32_t r0 = 65537, r1 = x;
+  while (r1 != 0) {
+    const std::int32_t q = r0 / r1;
+    const std::int32_t r2 = r0 - q * r1;
+    const std::int32_t t2 = t0 - q * t1;
+    r0 = r1; r1 = r2;
+    t0 = t1; t1 = t2;
+  }
+  if (t0 < 0) t0 += 65537;
+  return static_cast<std::uint16_t>(t0);
+}
+
+std::uint16_t add_inv(std::uint16_t x) noexcept {
+  return static_cast<std::uint16_t>(0x10000u - x);
+}
+
+KeySchedule expand_key(const std::array<std::uint16_t, 8>& key) {
+  KeySchedule ks{};
+  // Standard IDEA key schedule: 128-bit key rotated left by 25 bits.
+  std::array<std::uint16_t, 8> k = key;
+  std::size_t out = 0;
+  while (out < kSubkeys) {
+    for (std::size_t i = 0; i < 8 && out < kSubkeys; ++i) {
+      ks[out++] = k[i];
+    }
+    // rotate the 128-bit key left by 25 bits
+    std::array<std::uint16_t, 8> r{};
+    for (std::size_t i = 0; i < 8; ++i) {
+      r[i] = static_cast<std::uint16_t>(
+          (k[(i + 1) % 8] << 9) | (k[(i + 2) % 8] >> 7));
+    }
+    k = r;
+  }
+  return ks;
+}
+
+KeySchedule invert_key(const KeySchedule& ks) {
+  KeySchedule inv{};
+  // Output transform of decryption = inverse of encryption's final keys.
+  inv[0] = mul_inv(ks[48]);
+  inv[1] = add_inv(ks[49]);
+  inv[2] = add_inv(ks[50]);
+  inv[3] = mul_inv(ks[51]);
+  inv[4] = ks[46];
+  inv[5] = ks[47];
+  std::size_t o = 6;
+  for (int round = kRounds - 1; round >= 1; --round) {
+    const std::size_t base = static_cast<std::size_t>(round) * 6;
+    inv[o++] = mul_inv(ks[base + 0]);
+    inv[o++] = add_inv(ks[base + 2]);  // note the swap of the middle pair
+    inv[o++] = add_inv(ks[base + 1]);
+    inv[o++] = mul_inv(ks[base + 3]);
+    inv[o++] = ks[base - 2];
+    inv[o++] = ks[base - 1];
+  }
+  inv[48] = mul_inv(ks[0]);
+  inv[49] = add_inv(ks[1]);
+  inv[50] = add_inv(ks[2]);
+  inv[51] = mul_inv(ks[3]);
+  return inv;
+}
+
+void crypt_block(std::uint16_t block[4], const KeySchedule& ks) {
+  std::uint16_t x0 = block[0], x1 = block[1], x2 = block[2], x3 = block[3];
+  std::size_t k = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    x0 = mul(x0, ks[k++]);
+    x1 = static_cast<std::uint16_t>(x1 + ks[k++]);
+    x2 = static_cast<std::uint16_t>(x2 + ks[k++]);
+    x3 = mul(x3, ks[k++]);
+    const std::uint16_t t0 = static_cast<std::uint16_t>(x0 ^ x2);
+    const std::uint16_t t1 = static_cast<std::uint16_t>(x1 ^ x3);
+    const std::uint16_t t2 = mul(t0, ks[k++]);
+    const std::uint16_t t3 =
+        mul(static_cast<std::uint16_t>(t1 + t2), ks[k++]);
+    const std::uint16_t t4 = static_cast<std::uint16_t>(t2 + t3);
+    x0 = static_cast<std::uint16_t>(x0 ^ t3);
+    x2 = static_cast<std::uint16_t>(x2 ^ t3);
+    x1 = static_cast<std::uint16_t>(x1 ^ t4);
+    x3 = static_cast<std::uint16_t>(x3 ^ t4);
+    std::swap(x1, x2);
+  }
+  std::swap(x1, x2);  // undo the last round's swap
+  block[0] = mul(x0, ks[k++]);
+  block[1] = static_cast<std::uint16_t>(x1 + ks[k++]);
+  block[2] = static_cast<std::uint16_t>(x2 + ks[k++]);
+  block[3] = mul(x3, ks[k++]);
+}
+
+}  // namespace
+
+KernelResult run_idea(std::uint64_t iterations, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::array<std::uint16_t, 8> key{};
+  for (auto& k : key) k = static_cast<std::uint16_t>(rng.next());
+  const KeySchedule enc = expand_key(key);
+  const KeySchedule dec = invert_key(enc);
+
+  std::vector<std::uint16_t> buffer(kBufferBytes / 2);
+  for (auto& w : buffer) w = static_cast<std::uint16_t>(rng.next());
+  const std::vector<std::uint16_t> original = buffer;
+
+  KernelResult result;
+  util::WallTimer timer;
+  for (std::uint64_t it = 0; it < iterations; ++it) {
+    for (std::size_t b = 0; b + 4 <= buffer.size(); b += 4) {
+      crypt_block(&buffer[b], enc);
+    }
+    std::uint64_t acc = 0;
+    for (const std::uint16_t w : buffer) acc = acc * 31 + w;
+    for (std::size_t b = 0; b + 4 <= buffer.size(); b += 4) {
+      crypt_block(&buffer[b], dec);
+    }
+    // After decryption the buffer must equal the original.
+    result.checksum ^= acc + (buffer == original ? 0u : 0xBADu) + it;
+    ++result.iterations;
+  }
+  result.elapsed_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace vgrid::workloads::nbench

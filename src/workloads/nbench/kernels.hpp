@@ -1,0 +1,40 @@
+#pragma once
+// NBench (ByteMark) kernels — the host-side benchmark of the paper's
+// §4.2.2, ported from the classic suite: each kernel is the real algorithm
+// operating on pseudo-random data, returning a checksum (so work cannot be
+// elided) and the number of algorithm iterations performed.
+//
+// Index grouping follows nbench's composite indexes:
+//   MEMORY  : string sort, bitfield, assignment
+//   INTEGER : numeric sort, IDEA, Huffman
+//   FLOAT   : Fourier, neural net, LU decomposition
+
+#include <cstdint>
+
+namespace vgrid::workloads::nbench {
+
+struct KernelResult {
+  std::uint64_t iterations = 0;  ///< algorithm-defined unit of work
+  std::uint64_t checksum = 0;
+  double elapsed_seconds = 0.0;
+
+  double iterations_per_second() const noexcept {
+    return elapsed_seconds > 0.0
+               ? static_cast<double>(iterations) / elapsed_seconds
+               : 0.0;
+  }
+};
+
+// Each kernel runs `iterations` repetitions of its unit of work on data
+// derived from `seed`.
+KernelResult run_numeric_sort(std::uint64_t iterations, std::uint64_t seed);
+KernelResult run_string_sort(std::uint64_t iterations, std::uint64_t seed);
+KernelResult run_bitfield(std::uint64_t iterations, std::uint64_t seed);
+KernelResult run_assignment(std::uint64_t iterations, std::uint64_t seed);
+KernelResult run_idea(std::uint64_t iterations, std::uint64_t seed);
+KernelResult run_huffman(std::uint64_t iterations, std::uint64_t seed);
+KernelResult run_fourier(std::uint64_t iterations, std::uint64_t seed);
+KernelResult run_neural(std::uint64_t iterations, std::uint64_t seed);
+KernelResult run_lu_decomp(std::uint64_t iterations, std::uint64_t seed);
+
+}  // namespace vgrid::workloads::nbench

@@ -1,0 +1,131 @@
+// LU decomposition: factor dense 101x101 systems with partial pivoting and
+// solve — ByteMark's LU test.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+#include "workloads/nbench/kernels.hpp"
+
+namespace vgrid::workloads::nbench {
+
+namespace {
+
+constexpr std::size_t kN = 101;
+
+/// In-place LU with partial pivoting (Crout/Doolittle hybrid as in
+/// Numerical Recipes' ludcmp, which ByteMark uses). Returns the parity of
+/// row swaps, or 0 on a singular matrix.
+int lu_decompose(std::vector<double>& a, std::vector<std::size_t>& index) {
+  int parity = 1;
+  std::vector<double> scale(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    double big = 0.0;
+    for (std::size_t j = 0; j < kN; ++j) {
+      big = std::max(big, std::fabs(a[i * kN + j]));
+    }
+    if (big == 0.0) return 0;
+    scale[i] = 1.0 / big;
+  }
+  for (std::size_t j = 0; j < kN; ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      double sum = a[i * kN + j];
+      for (std::size_t k = 0; k < i; ++k) {
+        sum -= a[i * kN + k] * a[k * kN + j];
+      }
+      a[i * kN + j] = sum;
+    }
+    double big = 0.0;
+    std::size_t imax = j;
+    for (std::size_t i = j; i < kN; ++i) {
+      double sum = a[i * kN + j];
+      for (std::size_t k = 0; k < j; ++k) {
+        sum -= a[i * kN + k] * a[k * kN + j];
+      }
+      a[i * kN + j] = sum;
+      const double figure = scale[i] * std::fabs(sum);
+      if (figure >= big) {
+        big = figure;
+        imax = i;
+      }
+    }
+    if (j != imax) {
+      for (std::size_t k = 0; k < kN; ++k) {
+        std::swap(a[imax * kN + k], a[j * kN + k]);
+      }
+      parity = -parity;
+      scale[imax] = scale[j];
+    }
+    index[j] = imax;
+    if (a[j * kN + j] == 0.0) a[j * kN + j] = 1e-20;
+    if (j + 1 < kN) {
+      const double inv = 1.0 / a[j * kN + j];
+      for (std::size_t i = j + 1; i < kN; ++i) {
+        a[i * kN + j] *= inv;
+      }
+    }
+  }
+  return parity;
+}
+
+void lu_solve(const std::vector<double>& a,
+              const std::vector<std::size_t>& index, std::vector<double>& b) {
+  std::size_t nonzero = 0;
+  bool seen = false;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const std::size_t ip = index[i];
+    double sum = b[ip];
+    b[ip] = b[i];
+    if (seen) {
+      for (std::size_t j = nonzero; j < i; ++j) {
+        sum -= a[i * kN + j] * b[j];
+      }
+    } else if (sum != 0.0) {
+      nonzero = i;
+      seen = true;
+    }
+    b[i] = sum;
+  }
+  for (std::size_t i = kN; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t j = i + 1; j < kN; ++j) {
+      sum -= a[i * kN + j] * b[j];
+    }
+    b[i] = sum / a[i * kN + i];
+  }
+}
+
+}  // namespace
+
+KernelResult run_lu_decomp(std::uint64_t iterations, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  KernelResult result;
+  util::WallTimer timer;
+  for (std::uint64_t it = 0; it < iterations; ++it) {
+    std::vector<double> a(kN * kN);
+    for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+    // Make it diagonally dominant so it is never singular.
+    for (std::size_t i = 0; i < kN; ++i) {
+      a[i * kN + i] += static_cast<double>(kN);
+    }
+    std::vector<double> b(kN);
+    for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+
+    std::vector<std::size_t> index(kN);
+    const int parity = lu_decompose(a, index);
+    lu_solve(a, index, b);
+
+    double acc = 0.0;
+    for (const double v : b) acc += v;
+    result.checksum ^=
+        static_cast<std::uint64_t>(std::llround(acc * 1e6)) +
+        static_cast<std::uint64_t>(parity + 2) + it;
+    ++result.iterations;
+  }
+  result.elapsed_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace vgrid::workloads::nbench

@@ -1,0 +1,122 @@
+// Neural net: back-propagation training of a small feed-forward network
+// (35-8-8 in ByteMark; same shape here) on a fixed character-pattern set.
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+#include "workloads/nbench/kernels.hpp"
+
+namespace vgrid::workloads::nbench {
+
+namespace {
+
+constexpr std::size_t kInputs = 35;   // 5x7 character bitmap
+constexpr std::size_t kHidden = 8;
+constexpr std::size_t kOutputs = 8;
+constexpr std::size_t kPatterns = 26;
+constexpr double kLearningRate = 0.5;
+constexpr int kEpochsPerIteration = 50;
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+struct Network {
+  std::array<std::array<double, kInputs + 1>, kHidden> w_in{};
+  std::array<std::array<double, kHidden + 1>, kOutputs> w_out{};
+
+  void init(util::Xoshiro256& rng) {
+    for (auto& row : w_in) {
+      for (auto& w : row) w = rng.uniform(-0.5, 0.5);
+    }
+    for (auto& row : w_out) {
+      for (auto& w : row) w = rng.uniform(-0.5, 0.5);
+    }
+  }
+
+  /// One backprop pass; returns the squared output error.
+  double train(const std::array<double, kInputs>& input,
+               const std::array<double, kOutputs>& target) {
+    std::array<double, kHidden> hidden{};
+    for (std::size_t h = 0; h < kHidden; ++h) {
+      double acc = w_in[h][kInputs];  // bias
+      for (std::size_t i = 0; i < kInputs; ++i) {
+        acc += w_in[h][i] * input[i];
+      }
+      hidden[h] = sigmoid(acc);
+    }
+    std::array<double, kOutputs> output{};
+    for (std::size_t o = 0; o < kOutputs; ++o) {
+      double acc = w_out[o][kHidden];  // bias
+      for (std::size_t h = 0; h < kHidden; ++h) {
+        acc += w_out[o][h] * hidden[h];
+      }
+      output[o] = sigmoid(acc);
+    }
+
+    std::array<double, kOutputs> delta_out{};
+    double error = 0.0;
+    for (std::size_t o = 0; o < kOutputs; ++o) {
+      const double diff = target[o] - output[o];
+      error += diff * diff;
+      delta_out[o] = diff * output[o] * (1.0 - output[o]);
+    }
+    std::array<double, kHidden> delta_hidden{};
+    for (std::size_t h = 0; h < kHidden; ++h) {
+      double acc = 0.0;
+      for (std::size_t o = 0; o < kOutputs; ++o) {
+        acc += delta_out[o] * w_out[o][h];
+      }
+      delta_hidden[h] = acc * hidden[h] * (1.0 - hidden[h]);
+    }
+    for (std::size_t o = 0; o < kOutputs; ++o) {
+      for (std::size_t h = 0; h < kHidden; ++h) {
+        w_out[o][h] += kLearningRate * delta_out[o] * hidden[h];
+      }
+      w_out[o][kHidden] += kLearningRate * delta_out[o];
+    }
+    for (std::size_t h = 0; h < kHidden; ++h) {
+      for (std::size_t i = 0; i < kInputs; ++i) {
+        w_in[h][i] += kLearningRate * delta_hidden[h] * input[i];
+      }
+      w_in[h][kInputs] += kLearningRate * delta_hidden[h];
+    }
+    return error;
+  }
+};
+
+}  // namespace
+
+KernelResult run_neural(std::uint64_t iterations, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  // Fixed pseudo-random "character" patterns with binary targets.
+  std::vector<std::array<double, kInputs>> inputs(kPatterns);
+  std::vector<std::array<double, kOutputs>> targets(kPatterns);
+  for (std::size_t p = 0; p < kPatterns; ++p) {
+    for (auto& v : inputs[p]) v = rng.chance(0.5) ? 1.0 : 0.0;
+    for (std::size_t o = 0; o < kOutputs; ++o) {
+      targets[p][o] = ((p >> o) & 1u) != 0 ? 0.9 : 0.1;
+    }
+  }
+
+  KernelResult result;
+  util::WallTimer timer;
+  for (std::uint64_t it = 0; it < iterations; ++it) {
+    Network net;
+    net.init(rng);
+    double error = 0.0;
+    for (int epoch = 0; epoch < kEpochsPerIteration; ++epoch) {
+      error = 0.0;
+      for (std::size_t p = 0; p < kPatterns; ++p) {
+        error += net.train(inputs[p], targets[p]);
+      }
+    }
+    result.checksum ^= static_cast<std::uint64_t>(error * 1e9) + it;
+    ++result.iterations;
+  }
+  result.elapsed_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace vgrid::workloads::nbench

@@ -1,0 +1,69 @@
+// Numeric sort: heapsort of 32-bit integer arrays, as in the original
+// ByteMark numeric-sort test (arrays of 8111 longs there; 8191 here).
+
+#include <cstddef>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+#include "workloads/nbench/kernels.hpp"
+
+namespace vgrid::workloads::nbench {
+
+namespace {
+
+constexpr std::size_t kArraySize = 8191;
+
+void sift_down(std::vector<std::int32_t>& a, std::size_t start,
+               std::size_t end) {
+  std::size_t root = start;
+  while (root * 2 + 1 <= end) {
+    std::size_t child = root * 2 + 1;
+    if (child + 1 <= end && a[child] < a[child + 1]) ++child;
+    if (a[root] < a[child]) {
+      std::swap(a[root], a[child]);
+      root = child;
+    } else {
+      return;
+    }
+  }
+}
+
+void heapsort(std::vector<std::int32_t>& a) {
+  const std::size_t n = a.size();
+  if (n < 2) return;
+  for (std::size_t start = n / 2; start-- > 0;) {
+    sift_down(a, start, n - 1);
+  }
+  for (std::size_t end = n - 1; end > 0; --end) {
+    std::swap(a[0], a[end]);
+    sift_down(a, 0, end - 1);
+  }
+}
+
+}  // namespace
+
+KernelResult run_numeric_sort(std::uint64_t iterations, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  KernelResult result;
+  util::WallTimer timer;
+  for (std::uint64_t it = 0; it < iterations; ++it) {
+    std::vector<std::int32_t> data(kArraySize);
+    for (auto& v : data) v = static_cast<std::int32_t>(rng.next());
+    heapsort(data);
+    // Sortedness-sensitive checksum.
+    result.checksum ^= static_cast<std::uint64_t>(
+                           static_cast<std::uint32_t>(data.front())) ^
+                       (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                            data[kArraySize / 2]))
+                        << 16) ^
+                       (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                            data.back()))
+                        << 32);
+    ++result.iterations;
+  }
+  result.elapsed_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace vgrid::workloads::nbench

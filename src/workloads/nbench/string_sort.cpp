@@ -1,0 +1,51 @@
+// String sort: lexicographic sort of variable-length random strings —
+// pointer-chasing and byte moves, the most memory-bound of the MEM-index
+// kernels.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+#include "workloads/nbench/kernels.hpp"
+
+namespace vgrid::workloads::nbench {
+
+namespace {
+constexpr std::size_t kStringCount = 2048;
+constexpr std::size_t kMinLen = 4;
+constexpr std::size_t kMaxLen = 80;
+}  // namespace
+
+KernelResult run_string_sort(std::uint64_t iterations, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  KernelResult result;
+  util::WallTimer timer;
+  for (std::uint64_t it = 0; it < iterations; ++it) {
+    std::vector<std::string> strings;
+    strings.reserve(kStringCount);
+    for (std::size_t i = 0; i < kStringCount; ++i) {
+      const std::size_t len =
+          kMinLen + rng.below(kMaxLen - kMinLen + 1);
+      std::string s(len, '\0');
+      for (auto& c : s) {
+        c = static_cast<char>('A' + rng.below(26));
+      }
+      strings.push_back(std::move(s));
+    }
+    std::sort(strings.begin(), strings.end());
+    result.checksum ^= static_cast<std::uint64_t>(strings.front().size()) ^
+                       (static_cast<std::uint64_t>(
+                            strings[kStringCount / 2].front())
+                        << 8) ^
+                       (static_cast<std::uint64_t>(strings.back().back())
+                        << 16) ^
+                       (it << 24);
+    ++result.iterations;
+  }
+  result.elapsed_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace vgrid::workloads::nbench

@@ -1,0 +1,105 @@
+#include "workloads/nbench/suite.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/clock.hpp"
+#include "util/error.hpp"
+
+namespace vgrid::workloads::nbench {
+
+const char* to_string(Index index) noexcept {
+  switch (index) {
+    case Index::kMem: return "MEM";
+    case Index::kInt: return "INT";
+    case Index::kFp: return "FP";
+  }
+  return "?";
+}
+
+double SuiteResult::index_value(Index index) const noexcept {
+  switch (index) {
+    case Index::kMem: return mem_index;
+    case Index::kInt: return int_index;
+    case Index::kFp: return fp_index;
+  }
+  return 0.0;
+}
+
+SuiteResult run_suite(const SuiteConfig& config) {
+  using Runner = KernelResult (*)(std::uint64_t, std::uint64_t);
+  struct Entry {
+    const char* name;
+    Index index;
+    Runner runner;
+  };
+  static constexpr Entry kEntries[] = {
+      {"string_sort", Index::kMem, run_string_sort},
+      {"bitfield", Index::kMem, run_bitfield},
+      {"assignment", Index::kMem, run_assignment},
+      {"numeric_sort", Index::kInt, run_numeric_sort},
+      {"idea", Index::kInt, run_idea},
+      {"huffman", Index::kInt, run_huffman},
+      {"fourier", Index::kFp, run_fourier},
+      {"neural", Index::kFp, run_neural},
+      {"lu_decomp", Index::kFp, run_lu_decomp},
+  };
+
+  SuiteResult suite;
+  std::vector<double> mem_rates, int_rates, fp_rates;
+  for (const Entry& entry : kEntries) {
+    KernelScore score;
+    score.name = entry.name;
+    score.index = entry.index;
+    score.result = entry.runner(config.iterations, config.seed);
+    const double rate = score.result.iterations_per_second();
+    switch (entry.index) {
+      case Index::kMem: mem_rates.push_back(rate); break;
+      case Index::kInt: int_rates.push_back(rate); break;
+      case Index::kFp: fp_rates.push_back(rate); break;
+    }
+    suite.kernels.push_back(std::move(score));
+  }
+  suite.mem_index = stats::geometric_mean(mem_rates);
+  suite.int_index = stats::geometric_mean(int_rates);
+  suite.fp_index = stats::geometric_mean(fp_rates);
+  return suite;
+}
+
+NBenchIndexWorkload::NBenchIndexWorkload(Index index, double instructions)
+    : index_(index), instructions_(instructions) {
+  if (instructions <= 0.0) {
+    throw util::ConfigError("NBenchIndexWorkload: instructions must be > 0");
+  }
+}
+
+std::string NBenchIndexWorkload::name() const {
+  return std::string("nbench-") + to_string(index_);
+}
+
+NativeResult NBenchIndexWorkload::run_native() {
+  SuiteConfig config;
+  const SuiteResult suite = run_suite(config);
+  double elapsed = 0.0;
+  for (const auto& kernel : suite.kernels) {
+    if (kernel.index == index_) {
+      elapsed += kernel.result.elapsed_seconds;
+    }
+  }
+  return NativeResult{elapsed, suite.index_value(index_), 0,
+                      "composite index (iterations/s geo-mean)"};
+}
+
+std::unique_ptr<os::Program> NBenchIndexWorkload::make_program() const {
+  hw::InstructionMix mix;
+  switch (index_) {
+    case Index::kMem: mix = hw::mixes::nbench_mem(); break;
+    case Index::kInt: mix = hw::mixes::nbench_int(); break;
+    case Index::kFp: mix = hw::mixes::nbench_fp(); break;
+  }
+  os::ProgramBuilder builder;
+  builder.compute(instructions_, mix);
+  return builder.build();
+}
+
+}  // namespace vgrid::workloads::nbench

@@ -1,0 +1,64 @@
+#pragma once
+// NBench suite driver: runs the nine kernels, aggregates them into the
+// MEM / INT / FP composite indexes (geometric mean of per-kernel rates, as
+// nbench does), and provides the simulated-program equivalents used by the
+// host-impact experiments (Figures 5 and 6).
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "workloads/nbench/kernels.hpp"
+#include "workloads/workload.hpp"
+
+namespace vgrid::workloads::nbench {
+
+enum class Index { kMem, kInt, kFp };
+
+const char* to_string(Index index) noexcept;
+
+struct SuiteConfig {
+  /// Iterations per kernel; a small number keeps native runs fast while
+  /// remaining measurable.
+  std::uint64_t iterations = 2;
+  std::uint64_t seed = 99;
+};
+
+struct KernelScore {
+  std::string name;
+  Index index;
+  KernelResult result;
+};
+
+struct SuiteResult {
+  std::vector<KernelScore> kernels;
+  double mem_index = 0.0;  ///< geometric mean of MEM kernel rates
+  double int_index = 0.0;
+  double fp_index = 0.0;
+
+  double index_value(Index index) const noexcept;
+};
+
+/// Run the full suite natively.
+SuiteResult run_suite(const SuiteConfig& config = {});
+
+/// A single composite index as a simulation workload. The instruction
+/// budget approximates one suite pass over that index's kernels; the
+/// experiments only use completion-time ratios, so the budget cancels.
+class NBenchIndexWorkload final : public Workload {
+ public:
+  explicit NBenchIndexWorkload(Index index, double instructions = 2.0e9);
+
+  std::string name() const override;
+  NativeResult run_native() override;
+  std::unique_ptr<os::Program> make_program() const override;
+  double simulated_instructions() const override { return instructions_; }
+
+  Index index() const noexcept { return index_; }
+
+ private:
+  Index index_;
+  double instructions_;
+};
+
+}  // namespace vgrid::workloads::nbench

@@ -1,0 +1,187 @@
+#include "workloads/netbench.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace vgrid::workloads {
+
+NetBench::NetBench(NetBenchConfig config) : config_(config) {
+  if (config_.stream_bytes == 0 || config_.chunk_bytes == 0) {
+    throw util::ConfigError("NetBench: sizes must be positive");
+  }
+}
+
+namespace {
+
+class ScopedSocket {
+ public:
+  explicit ScopedSocket(int fd) : fd_(fd) {}
+  ~ScopedSocket() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  ScopedSocket(ScopedSocket&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  ScopedSocket(const ScopedSocket&) = delete;
+  ScopedSocket& operator=(const ScopedSocket&) = delete;
+  int get() const noexcept { return fd_; }
+
+ private:
+  int fd_;
+};
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+// Receive until the peer closes; returns bytes received.
+std::uint64_t drain_tcp(int fd, std::uint32_t chunk) {
+  std::vector<char> buffer(chunk);
+  std::uint64_t total = 0;
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw util::SystemError("NetBench: recv", errno);
+    }
+    if (n == 0) break;
+    total += static_cast<std::uint64_t>(n);
+  }
+  return total;
+}
+
+}  // namespace
+
+NativeResult NetBench::run_native() {
+  if (config_.protocol == NetProtocol::kUdp) {
+    // UDP loopback: datagrams of chunk size; receiver counts payload.
+    ScopedSocket server(::socket(AF_INET, SOCK_DGRAM, 0));
+    if (server.get() < 0) throw util::SystemError("NetBench: socket", errno);
+    sockaddr_in addr = loopback_addr(0);
+    if (::bind(server.get(), reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      throw util::SystemError("NetBench: bind", errno);
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(server.get(), reinterpret_cast<sockaddr*>(&addr), &len);
+
+    std::uint64_t received = 0;
+    std::thread receiver([&] {
+      std::vector<char> buffer(config_.chunk_bytes);
+      while (received < config_.stream_bytes) {
+        const ssize_t n =
+            ::recv(server.get(), buffer.data(), buffer.size(), 0);
+        if (n <= 0) break;
+        received += static_cast<std::uint64_t>(n);
+      }
+    });
+
+    ScopedSocket client(::socket(AF_INET, SOCK_DGRAM, 0));
+    std::vector<char> chunk(config_.chunk_bytes, 'x');
+    util::WallTimer timer;
+    std::uint64_t sent = 0;
+    while (sent < config_.stream_bytes) {
+      const std::size_t n = std::min<std::uint64_t>(
+          config_.chunk_bytes, config_.stream_bytes - sent);
+      const ssize_t w =
+          ::sendto(client.get(), chunk.data(), n, 0,
+                   reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+      if (w < 0) {
+        if (errno == EINTR || errno == ENOBUFS) continue;
+        throw util::SystemError("NetBench: sendto", errno);
+      }
+      sent += static_cast<std::uint64_t>(w);
+    }
+    const double elapsed = timer.elapsed_seconds();
+    // Unblock the receiver if datagrams were dropped.
+    ::shutdown(server.get(), SHUT_RDWR);
+    receiver.join();
+    return NativeResult{elapsed, static_cast<double>(sent), received,
+                        "payload bytes (UDP)"};
+  }
+
+  // TCP: server accepts one connection and drains it.
+  ScopedSocket listener(::socket(AF_INET, SOCK_STREAM, 0));
+  if (listener.get() < 0) throw util::SystemError("NetBench: socket", errno);
+  sockaddr_in addr = loopback_addr(0);
+  if (::bind(listener.get(), reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw util::SystemError("NetBench: bind", errno);
+  }
+  if (::listen(listener.get(), 1) != 0) {
+    throw util::SystemError("NetBench: listen", errno);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listener.get(), reinterpret_cast<sockaddr*>(&addr), &len);
+
+  std::uint64_t received = 0;
+  std::thread server([&] {
+    const int conn = ::accept(listener.get(), nullptr, nullptr);
+    if (conn < 0) return;
+    ScopedSocket scoped(conn);
+    received = drain_tcp(conn, config_.chunk_bytes);
+  });
+
+  ScopedSocket client(::socket(AF_INET, SOCK_STREAM, 0));
+  if (::connect(client.get(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throw util::SystemError("NetBench: connect", errno);
+  }
+  std::vector<char> chunk(config_.chunk_bytes, 'x');
+  util::WallTimer timer;
+  std::uint64_t sent = 0;
+  while (sent < config_.stream_bytes) {
+    const std::size_t n = std::min<std::uint64_t>(
+        config_.chunk_bytes, config_.stream_bytes - sent);
+    const ssize_t w = ::send(client.get(), chunk.data(), n, 0);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw util::SystemError("NetBench: send", errno);
+    }
+    sent += static_cast<std::uint64_t>(w);
+  }
+  ::shutdown(client.get(), SHUT_WR);
+  server.join();
+  const double elapsed = timer.elapsed_seconds();
+  return NativeResult{elapsed, static_cast<double>(sent), received,
+                      "payload bytes (TCP)"};
+}
+
+std::unique_ptr<os::Program> NetBench::make_program() const {
+  os::ProgramBuilder builder;
+  // Protocol-stack CPU cost, then the wire transfer.
+  builder.compute(simulated_instructions(), hw::mixes::io_bound());
+  builder.net(config_.stream_bytes);
+  return builder.build();
+}
+
+double NetBench::simulated_instructions() const {
+  // ~2500 instructions per packet for the TCP/IP stack plus one copy.
+  const double packets =
+      static_cast<double>(config_.stream_bytes) / 1448.0;  // MSS payload
+  return packets * 2500.0 +
+         static_cast<double>(config_.stream_bytes) * 0.5;
+}
+
+double NetBench::throughput_mbps(const NativeResult& result) noexcept {
+  if (result.elapsed_seconds <= 0.0) return 0.0;
+  return util::bytes_per_sec_to_mbps(result.operations /
+                                     result.elapsed_seconds);
+}
+
+}  // namespace vgrid::workloads

@@ -1,0 +1,46 @@
+#pragma once
+// NetBench — the paper's iperf wrapper (§2): measure the time to move a
+// 10 MB data stream over a TCP connection to a server. Native mode runs a
+// real TCP (or UDP) transfer over loopback sockets, mirroring iperf's
+// default mode; simulation mode emits the transfer as a NetStep against the
+// simulated 100 Mbps Fast Ethernet LAN.
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/workload.hpp"
+
+namespace vgrid::workloads {
+
+enum class NetProtocol : std::uint8_t { kTcp, kUdp };
+
+struct NetBenchConfig {
+  std::uint64_t stream_bytes = 10 * 1000 * 1000;  ///< iperf default window
+  std::uint32_t chunk_bytes = 64 * 1024;
+  NetProtocol protocol = NetProtocol::kTcp;
+};
+
+class NetBench final : public Workload {
+ public:
+  explicit NetBench(NetBenchConfig config = {});
+
+  std::string name() const override { return "netbench"; }
+
+  /// Real loopback transfer: an in-process server thread receives the
+  /// stream. operations = payload bytes; use throughput_mbps() helpers on
+  /// the result.
+  NativeResult run_native() override;
+
+  std::unique_ptr<os::Program> make_program() const override;
+  double simulated_instructions() const override;
+
+  const NetBenchConfig& config() const noexcept { return config_; }
+
+  /// Payload megabits/second from a NativeResult of this workload.
+  static double throughput_mbps(const NativeResult& result) noexcept;
+
+ private:
+  NetBenchConfig config_;
+};
+
+}  // namespace vgrid::workloads

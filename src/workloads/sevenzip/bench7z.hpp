@@ -1,0 +1,76 @@
+#pragma once
+// 7z benchmark mode (`7z b`): compress generated data, verify the
+// round-trip, and report an execution rate (MIPS) plus the share of CPU
+// the benchmark obtained. The -mmt thread switch the paper uses to probe
+// single- vs dual-threaded host impact is `threads` here.
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace vgrid::workloads {
+
+struct Bench7zConfig {
+  std::uint64_t data_bytes = 4 * 1024 * 1024;  ///< per thread
+  int threads = 1;                             ///< 7z's -mmt value
+  std::uint64_t seed = 7;
+  bool verify = true;  ///< decompress and compare (7z b always verifies)
+};
+
+struct Bench7zResult {
+  double elapsed_seconds = 0.0;       ///< compression wall time
+  double decompress_seconds = 0.0;    ///< decompression wall time
+  double total_cpu_seconds = 0.0;     ///< summed across threads, both phases
+  std::uint64_t input_bytes = 0;
+  std::uint64_t output_bytes = 0;
+  bool verified = false;
+
+  /// 7z-style instruction rate of the compression phase: estimated
+  /// instructions retired per second of wall time, in millions.
+  double mips() const noexcept;
+
+  /// Decompression rate (real `7z b` reports both directions; expansion
+  /// is typically several times faster than compression).
+  double decompress_mb_per_s() const noexcept {
+    return decompress_seconds > 0.0
+               ? static_cast<double>(input_bytes) / 1e6 /
+                     decompress_seconds
+               : 0.0;
+  }
+
+  /// %CPU obtained, 100 per fully-used core (the Figure 7 metric).
+  double cpu_percent() const noexcept {
+    const double wall = elapsed_seconds + decompress_seconds;
+    return wall > 0.0 ? 100.0 * total_cpu_seconds / wall : 0.0;
+  }
+};
+
+class SevenZipBench final : public Workload {
+ public:
+  /// Estimated instructions executed per input byte by the compressor
+  /// (drives both the MIPS metric and the simulated program's budget).
+  static constexpr double kInstructionsPerByte = 220.0;
+
+  explicit SevenZipBench(Bench7zConfig config = {});
+
+  std::string name() const override;
+  NativeResult run_native() override;
+  std::unique_ptr<os::Program> make_program() const override;
+  double simulated_instructions() const override;
+
+  /// Full-fidelity native run with the 7z-style metrics.
+  Bench7zResult run_benchmark();
+
+  /// Benchmark corpus generator: a mix of random data and repeated phrases
+  /// with roughly the compressibility of 7z's built-in generator.
+  static std::vector<std::uint8_t> generate_corpus(std::uint64_t bytes,
+                                                   std::uint64_t seed);
+
+  const Bench7zConfig& config() const noexcept { return config_; }
+
+ private:
+  Bench7zConfig config_;
+};
+
+}  // namespace vgrid::workloads

@@ -1,0 +1,159 @@
+#include "workloads/sevenzip/compressor.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <iterator>
+
+#include "util/error.hpp"
+#include "workloads/sevenzip/range_coder.hpp"
+
+namespace vgrid::workloads::sevenzip {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 4> kMagic{'v', 'g', '7', 'z'};
+constexpr int kLenBits = 8;       // length - kMinMatch in [0, 255]
+constexpr int kSlotBits = 6;      // 64 distance slots
+constexpr int kLiteralBits = 8;
+
+/// Probability model shared by encoder and decoder; identical update paths
+/// keep them in sync.
+struct Model {
+  BitProb is_match = kProbInit;
+  std::array<BitProb, 1u << (kLiteralBits + 1)> literal;
+  std::array<BitProb, 1u << (kLenBits + 1)> length;
+  std::array<BitProb, 1u << (kSlotBits + 1)> slot;
+
+  Model() {
+    literal.fill(kProbInit);
+    length.fill(kProbInit);
+    slot.fill(kProbInit);
+  }
+};
+
+/// Distance -> (slot, extra bits, extra value), LZMA's pos-slot scheme.
+struct DistSlot {
+  std::uint32_t slot;
+  int extra_bits;
+  std::uint32_t extra;
+};
+
+DistSlot distance_slot(std::uint32_t distance) noexcept {
+  const std::uint32_t d = distance - 1;
+  if (d < 4) return {d, 0, 0};
+  const int log = 31 - std::countl_zero(d);
+  const auto slot = static_cast<std::uint32_t>(
+      (log << 1) | static_cast<int>((d >> (log - 1)) & 1u));
+  const int extra_bits = log - 1;
+  const std::uint32_t extra = d & ((1u << extra_bits) - 1u);
+  return {slot, extra_bits, extra};
+}
+
+std::uint32_t distance_from_slot(std::uint32_t slot,
+                                 std::uint32_t extra) noexcept {
+  if (slot < 4) return slot + 1;
+  const int log = static_cast<int>(slot >> 1);
+  const std::uint32_t top = (2u | (slot & 1u)) << (log - 1);
+  return top + extra + 1;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
+  return static_cast<std::uint32_t>(in[at]) |
+         (static_cast<std::uint32_t>(in[at + 1]) << 8) |
+         (static_cast<std::uint32_t>(in[at + 2]) << 16) |
+         (static_cast<std::uint32_t>(in[at + 3]) << 24);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress(std::span<const std::uint8_t> data,
+                                   const MatchFinderConfig& config,
+                                   CompressStats* stats) {
+  MatchFinderStats finder_stats;
+  const std::vector<Token> tokens = tokenize(data, config, &finder_stats);
+
+  Model model;
+  RangeEncoder encoder;
+  for (const Token& token : tokens) {
+    if (token.is_match()) {
+      encoder.encode_bit(model.is_match, 1);
+      encoder.encode_bit_tree(model.length, token.length - kMinMatch,
+                              kLenBits);
+      const DistSlot ds = distance_slot(token.distance);
+      encoder.encode_bit_tree(model.slot, ds.slot, kSlotBits);
+      if (ds.extra_bits > 0) {
+        encoder.encode_direct_bits(ds.extra, ds.extra_bits);
+      }
+    } else {
+      encoder.encode_bit(model.is_match, 0);
+      encoder.encode_bit_tree(model.literal, token.literal, kLiteralBits);
+    }
+  }
+  encoder.finish();
+
+  const auto coded = encoder.take_output();
+  std::vector<std::uint8_t> out;
+  out.reserve(kMagic.size() + 4 + coded.size());
+  // push_back rather than range-insert: GCC 12's -Wstringop-overflow
+  // false-positives on the latter for freshly reserved vectors.
+  for (const std::uint8_t byte : kMagic) out.push_back(byte);
+  put_u32(out, static_cast<std::uint32_t>(data.size()));
+  std::copy(coded.begin(), coded.end(), std::back_inserter(out));
+
+  if (stats != nullptr) {
+    stats->input_bytes = data.size();
+    stats->output_bytes = out.size();
+    stats->finder = finder_stats;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> packed) {
+  if (packed.size() < kMagic.size() + 4 ||
+      !std::equal(kMagic.begin(), kMagic.end(), packed.begin())) {
+    throw util::VgridError("decompress: bad magic");
+  }
+  const std::uint32_t original_size = get_u32(packed, kMagic.size());
+  RangeDecoder decoder(packed.subspan(kMagic.size() + 4));
+
+  Model model;
+  std::vector<std::uint8_t> out;
+  out.reserve(original_size);
+  while (out.size() < original_size) {
+    if (decoder.underflow()) {
+      throw util::VgridError("decompress: truncated stream");
+    }
+    if (decoder.decode_bit(model.is_match) != 0) {
+      const std::uint32_t length =
+          decoder.decode_bit_tree(model.length, kLenBits) + kMinMatch;
+      const std::uint32_t slot = decoder.decode_bit_tree(model.slot,
+                                                         kSlotBits);
+      std::uint32_t extra = 0;
+      if (slot >= 4) {
+        extra = decoder.decode_direct_bits(static_cast<int>(slot >> 1) - 1);
+      }
+      const std::uint32_t distance = distance_from_slot(slot, extra);
+      if (distance > out.size() || out.size() + length > original_size) {
+        throw util::VgridError("decompress: corrupt match");
+      }
+      const std::size_t from = out.size() - distance;
+      for (std::uint32_t i = 0; i < length; ++i) {
+        out.push_back(out[from + i]);
+      }
+    } else {
+      out.push_back(static_cast<std::uint8_t>(
+          decoder.decode_bit_tree(model.literal, kLiteralBits)));
+    }
+  }
+  return out;
+}
+
+}  // namespace vgrid::workloads::sevenzip

@@ -1,0 +1,171 @@
+#include "workloads/sevenzip/lz77.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vgrid::workloads::sevenzip {
+
+namespace {
+
+class HashChains {
+ public:
+  HashChains(std::size_t data_size, int hash_bits)
+      : shift_(32 - hash_bits),
+        head_(std::size_t{1} << hash_bits, kNone),
+        prev_(data_size, kNone) {}
+
+  static std::uint32_t hash3(const std::uint8_t* p, int shift) noexcept {
+    const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                            (static_cast<std::uint32_t>(p[1]) << 8) |
+                            (static_cast<std::uint32_t>(p[2]) << 16);
+    return (v * 2654435761u) >> shift;
+  }
+
+  std::uint32_t candidates_head(const std::uint8_t* p) const noexcept {
+    return head_[hash3(p, shift_)];
+  }
+
+  std::uint32_t previous(std::uint32_t pos) const noexcept {
+    return prev_[pos];
+  }
+
+  void insert(const std::uint8_t* base, std::uint32_t pos) noexcept {
+    const std::uint32_t h = hash3(base + pos, shift_);
+    prev_[pos] = head_[h];
+    head_[h] = pos;
+  }
+
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+ private:
+  int shift_;
+  std::vector<std::uint32_t> head_;
+  std::vector<std::uint32_t> prev_;
+};
+
+std::uint32_t match_length(const std::uint8_t* a, const std::uint8_t* b,
+                           std::uint32_t limit) noexcept {
+  std::uint32_t n = 0;
+  while (n < limit && a[n] == b[n]) ++n;
+  return n;
+}
+
+struct BestMatch {
+  std::uint32_t length = 0;
+  std::uint32_t distance = 0;
+};
+
+BestMatch find_best(const std::uint8_t* base, std::uint32_t pos,
+                    std::uint32_t limit, const HashChains& chains,
+                    const MatchFinderConfig& config,
+                    MatchFinderStats* stats) {
+  BestMatch best;
+  if (limit < kMinMatch) return best;
+  std::uint32_t candidate = chains.candidates_head(base + pos);
+  std::uint32_t remaining = config.max_chain;
+  const std::uint32_t max_len = std::min(limit, kMaxMatch);
+  while (candidate != HashChains::kNone && candidate < pos &&
+         remaining-- > 0) {
+    if (stats != nullptr) ++stats->candidates_examined;
+    const std::uint32_t len =
+        match_length(base + pos, base + candidate, max_len);
+    if (len > best.length) {
+      best.length = len;
+      best.distance = pos - candidate;
+      if (len >= config.nice_length) break;
+    }
+    candidate = chains.previous(candidate);
+  }
+  if (best.length < kMinMatch) return BestMatch{};
+  return best;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::span<const std::uint8_t> data,
+                            const MatchFinderConfig& config,
+                            MatchFinderStats* stats) {
+  std::vector<Token> tokens;
+  if (data.empty()) return tokens;
+  const auto size = static_cast<std::uint32_t>(data.size());
+  tokens.reserve(size / 4);
+  HashChains chains(data.size(), config.hash_bits);
+  const std::uint8_t* base = data.data();
+
+  std::uint32_t pos = 0;
+  while (pos < size) {
+    if (stats != nullptr) ++stats->positions;
+    const std::uint32_t limit = size - pos;
+    BestMatch best;
+    if (limit >= kMinMatch) {
+      best = find_best(base, pos, limit, chains, config, stats);
+      // Lazy matching: if deferring one byte yields a longer match, emit a
+      // literal instead (same heuristic family as 7-Zip's normal mode).
+      if (config.lazy_matching && best.length >= kMinMatch &&
+          best.length < config.nice_length && limit > best.length + 1) {
+        chains.insert(base, pos);
+        const BestMatch next =
+            find_best(base, pos + 1, limit - 1, chains, config, stats);
+        if (next.length > best.length + 1) {
+          tokens.push_back(Token{0, 0, base[pos]});
+          if (stats != nullptr) ++stats->literals_emitted;
+          ++pos;
+          continue;
+        }
+        // fall through with `best`; pos already inserted
+        if (best.length != 0) {
+          const std::uint32_t end = pos + best.length;
+          ++pos;  // inserted above
+          for (; pos < end && pos + kMinMatch <= size; ++pos) {
+            chains.insert(base, pos);
+          }
+          pos = end;
+          tokens.push_back(Token{best.length, best.distance, 0});
+          if (stats != nullptr) ++stats->matches_emitted;
+          continue;
+        }
+      }
+    }
+    if (best.length >= kMinMatch) {
+      tokens.push_back(Token{best.length, best.distance, 0});
+      if (stats != nullptr) ++stats->matches_emitted;
+      const std::uint32_t end = pos + best.length;
+      for (; pos < end && pos + kMinMatch <= size; ++pos) {
+        chains.insert(base, pos);
+      }
+      pos = end;
+    } else {
+      tokens.push_back(Token{0, 0, base[pos]});
+      if (stats != nullptr) ++stats->literals_emitted;
+      if (pos + kMinMatch <= size) chains.insert(base, pos);
+      ++pos;
+    }
+  }
+  return tokens;
+}
+
+std::vector<std::uint8_t> detokenize(std::span<const Token> tokens,
+                                     std::size_t expected_size) {
+  std::vector<std::uint8_t> out;
+  out.reserve(expected_size);
+  for (const Token& token : tokens) {
+    if (!token.is_match()) {
+      out.push_back(token.literal);
+      continue;
+    }
+    if (token.distance == 0 || token.distance > out.size()) {
+      throw util::VgridError("detokenize: invalid match distance");
+    }
+    std::size_t from = out.size() - token.distance;
+    for (std::uint32_t i = 0; i < token.length; ++i) {
+      out.push_back(out[from + i]);  // overlapping copies are valid LZ77
+    }
+  }
+  if (out.size() != expected_size) {
+    throw util::VgridError("detokenize: size mismatch");
+  }
+  return out;
+}
+
+}  // namespace vgrid::workloads::sevenzip

@@ -1,0 +1,47 @@
+#pragma once
+// LZ77 match finder with hash chains — the dictionary half of the LZMA
+// family. Produces a stream of literal / (length, distance) tokens.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vgrid::workloads::sevenzip {
+
+inline constexpr std::uint32_t kMinMatch = 3;
+inline constexpr std::uint32_t kMaxMatch = 258;
+
+struct Token {
+  // literal when length == 0 (the byte is `literal`); match otherwise.
+  std::uint32_t length = 0;
+  std::uint32_t distance = 0;
+  std::uint8_t literal = 0;
+
+  bool is_match() const noexcept { return length != 0; }
+};
+
+struct MatchFinderConfig {
+  int hash_bits = 16;
+  std::uint32_t max_chain = 48;    ///< candidates examined per position
+  std::uint32_t nice_length = 128; ///< stop searching once this is found
+  bool lazy_matching = true;       ///< defer by one byte for longer matches
+};
+
+struct MatchFinderStats {
+  std::uint64_t positions = 0;
+  std::uint64_t candidates_examined = 0;
+  std::uint64_t matches_emitted = 0;
+  std::uint64_t literals_emitted = 0;
+};
+
+/// Tokenize `data`. The token stream plus `data.size()` fully determines
+/// the reconstruction.
+std::vector<Token> tokenize(std::span<const std::uint8_t> data,
+                            const MatchFinderConfig& config = {},
+                            MatchFinderStats* stats = nullptr);
+
+/// Reconstruct the original bytes from a token stream.
+std::vector<std::uint8_t> detokenize(std::span<const Token> tokens,
+                                     std::size_t expected_size);
+
+}  // namespace vgrid::workloads::sevenzip

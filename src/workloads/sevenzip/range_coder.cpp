@@ -1,0 +1,132 @@
+#include "workloads/sevenzip/range_coder.hpp"
+
+namespace vgrid::workloads::sevenzip {
+
+namespace {
+constexpr std::uint32_t kTopValue = 1u << 24;
+}
+
+// ---- encoder ----------------------------------------------------------------
+
+void RangeEncoder::shift_low() {
+  if (static_cast<std::uint32_t>(low_) < 0xFF000000u ||
+      static_cast<std::uint32_t>(low_ >> 32) != 0) {
+    std::uint8_t temp = cache_;
+    const auto carry = static_cast<std::uint8_t>(low_ >> 32);
+    do {
+      out_.push_back(static_cast<std::uint8_t>(temp + carry));
+      temp = 0xFF;
+    } while (--cache_size_ != 0);
+    cache_ = static_cast<std::uint8_t>(low_ >> 24);
+  }
+  ++cache_size_;
+  low_ = (low_ << 8) & 0xFFFFFFFFull;
+}
+
+void RangeEncoder::encode_bit(BitProb& prob, int bit) {
+  const std::uint32_t bound = (range_ >> kProbBits) * prob;
+  if (bit == 0) {
+    range_ = bound;
+    prob = static_cast<BitProb>(prob + (((1u << kProbBits) - prob) >>
+                                        kAdaptShift));
+  } else {
+    low_ += bound;
+    range_ -= bound;
+    prob = static_cast<BitProb>(prob - (prob >> kAdaptShift));
+  }
+  while (range_ < kTopValue) {
+    range_ <<= 8;
+    shift_low();
+  }
+}
+
+void RangeEncoder::encode_direct_bits(std::uint32_t value, int bit_count) {
+  for (int i = bit_count - 1; i >= 0; --i) {
+    range_ >>= 1;
+    if ((value >> i) & 1u) low_ += range_;
+    while (range_ < kTopValue) {
+      range_ <<= 8;
+      shift_low();
+    }
+  }
+}
+
+void RangeEncoder::encode_bit_tree(std::span<BitProb> probs,
+                                   std::uint32_t symbol, int bit_count) {
+  std::uint32_t m = 1;
+  for (int i = bit_count - 1; i >= 0; --i) {
+    const int bit = static_cast<int>((symbol >> i) & 1u);
+    encode_bit(probs[m], bit);
+    m = (m << 1) | static_cast<std::uint32_t>(bit);
+  }
+}
+
+void RangeEncoder::finish() {
+  for (int i = 0; i < 5; ++i) shift_low();
+}
+
+// ---- decoder ----------------------------------------------------------------
+
+RangeDecoder::RangeDecoder(std::span<const std::uint8_t> data) : data_(data) {
+  next_byte();  // the encoder's first output byte is always 0
+  for (int i = 0; i < 4; ++i) {
+    code_ = (code_ << 8) | next_byte();
+  }
+}
+
+std::uint8_t RangeDecoder::next_byte() {
+  if (pos_ >= data_.size()) {
+    underflow_ = true;
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+void RangeDecoder::normalize() {
+  while (range_ < kTopValue) {
+    range_ <<= 8;
+    code_ = (code_ << 8) | next_byte();
+  }
+}
+
+int RangeDecoder::decode_bit(BitProb& prob) {
+  const std::uint32_t bound = (range_ >> kProbBits) * prob;
+  int bit;
+  if (code_ < bound) {
+    range_ = bound;
+    prob = static_cast<BitProb>(prob + (((1u << kProbBits) - prob) >>
+                                        kAdaptShift));
+    bit = 0;
+  } else {
+    code_ -= bound;
+    range_ -= bound;
+    prob = static_cast<BitProb>(prob - (prob >> kAdaptShift));
+    bit = 1;
+  }
+  normalize();
+  return bit;
+}
+
+std::uint32_t RangeDecoder::decode_direct_bits(int bit_count) {
+  std::uint32_t result = 0;
+  for (int i = 0; i < bit_count; ++i) {
+    range_ >>= 1;
+    code_ -= range_;
+    const std::uint32_t t = 0u - (code_ >> 31);
+    code_ += range_ & t;
+    result = (result << 1) + (t + 1);
+    normalize();
+  }
+  return result;
+}
+
+std::uint32_t RangeDecoder::decode_bit_tree(std::span<BitProb> probs,
+                                            int bit_count) {
+  std::uint32_t m = 1;
+  for (int i = 0; i < bit_count; ++i) {
+    m = (m << 1) | static_cast<std::uint32_t>(decode_bit(probs[m]));
+  }
+  return m - (1u << bit_count);
+}
+
+}  // namespace vgrid::workloads::sevenzip

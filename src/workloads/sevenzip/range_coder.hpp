@@ -1,0 +1,69 @@
+#pragma once
+// Adaptive binary range coder, the entropy-coding half of the LZMA family
+// (Lempel-Ziv-Markov chain-Algorithm) that 7-Zip's default mode uses
+// (paper §2). Classic carry-propagating implementation: 32-bit range,
+// 11-bit adaptive probabilities, shift-5 adaptation.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vgrid::workloads::sevenzip {
+
+/// Adaptive probability of a zero bit, in [0, 2048).
+using BitProb = std::uint16_t;
+inline constexpr BitProb kProbInit = 1024;  ///< p(0) = 0.5
+inline constexpr int kProbBits = 11;
+inline constexpr int kAdaptShift = 5;
+
+class RangeEncoder {
+ public:
+  void encode_bit(BitProb& prob, int bit);
+  void encode_direct_bits(std::uint32_t value, int bit_count);
+
+  /// Encode `bit_count` bits of `symbol` MSB-first through a probability
+  /// tree of size 2^bit_count (probs[1..2^n-1] used).
+  void encode_bit_tree(std::span<BitProb> probs, std::uint32_t symbol,
+                       int bit_count);
+
+  /// Flush pending carries; call exactly once, then take the output.
+  void finish();
+
+  const std::vector<std::uint8_t>& output() const noexcept { return out_; }
+  std::vector<std::uint8_t> take_output() noexcept { return std::move(out_); }
+
+ private:
+  void shift_low();
+
+  std::uint64_t low_ = 0;
+  std::uint32_t range_ = 0xFFFFFFFFu;
+  std::uint8_t cache_ = 0;
+  std::uint64_t cache_size_ = 1;
+  std::vector<std::uint8_t> out_;
+};
+
+class RangeDecoder {
+ public:
+  /// The decoder consumes the encoder's byte stream (including its leading
+  /// zero byte).
+  explicit RangeDecoder(std::span<const std::uint8_t> data);
+
+  int decode_bit(BitProb& prob);
+  std::uint32_t decode_direct_bits(int bit_count);
+  std::uint32_t decode_bit_tree(std::span<BitProb> probs, int bit_count);
+
+  /// True if the input ran out prematurely (corrupt stream).
+  bool underflow() const noexcept { return underflow_; }
+
+ private:
+  std::uint8_t next_byte();
+  void normalize();
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::uint32_t range_ = 0xFFFFFFFFu;
+  std::uint32_t code_ = 0;
+  bool underflow_ = false;
+};
+
+}  // namespace vgrid::workloads::sevenzip

@@ -1,0 +1,4 @@
+#include "workloads/workload.hpp"
+
+// Currently interface-only; the translation unit anchors the vtable.
+namespace vgrid::workloads {}

@@ -1,0 +1,45 @@
+#pragma once
+// Common workload interface. Every benchmark of the paper exists in two
+// forms sharing one parameterization:
+//   - run_native(): the real computation, executed on the build machine
+//     (used by tests, examples and native calibration);
+//   - make_program(): the same work as a step program for the simulated
+//     machine, where it can run natively or inside a simulated VM.
+// The per-workload instruction budgets that make_program uses are the
+// bridge between the two; they are stated per workload and validated by
+// the calibration tests.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "os/program.hpp"
+
+namespace vgrid::workloads {
+
+/// Outcome of a real (native) run.
+struct NativeResult {
+  double elapsed_seconds = 0.0;
+  double operations = 0.0;       ///< workload-defined unit (see detail)
+  std::uint64_t checksum = 0;    ///< guards against dead-code elimination
+  std::string detail;            ///< human-readable unit / notes
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Execute the real computation on this machine.
+  virtual NativeResult run_native() = 0;
+
+  /// The same work as a simulation program.
+  virtual std::unique_ptr<os::Program> make_program() const = 0;
+
+  /// Total simulated instructions make_program() will execute (used to
+  /// convert simulated completion times into rates).
+  virtual double simulated_instructions() const = 0;
+};
+
+}  // namespace vgrid::workloads

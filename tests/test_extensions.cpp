@@ -1,0 +1,285 @@
+// Tests for the extension modules: VM image deployment strategies,
+// volunteer churn / checkpointing, migration cost models, and multi-VM
+// stacking.
+
+#include <gtest/gtest.h>
+
+#include "core/availability.hpp"
+#include "core/host_impact.hpp"
+#include "grid/deployment.hpp"
+#include "util/error.hpp"
+#include "vmm/migration.hpp"
+#include "vmm/profile.hpp"
+
+namespace vgrid {
+namespace {
+
+// ---- deployment -----------------------------------------------------------------
+
+grid::DeploymentConfig small_deploy() {
+  grid::DeploymentConfig config;
+  config.image_bytes = 1'000'000'000;
+  config.server_uplink_bps = 10e6;
+  config.volunteer_down_bps = 1e6;
+  config.volunteer_up_bps = 0.2e6;
+  config.volunteers = 100;
+  return config;
+}
+
+TEST(Deployment, CentralScalesLinearlyWithVolunteers) {
+  grid::DeploymentConfig config = small_deploy();
+  const auto at_100 = grid::estimate_deployment(
+      config, grid::DistributionStrategy::kCentralServer);
+  config.volunteers = 1000;
+  const auto at_1000 = grid::estimate_deployment(
+      config, grid::DistributionStrategy::kCentralServer);
+  EXPECT_NEAR(at_1000.makespan_seconds / at_100.makespan_seconds, 10.0,
+              0.5);
+}
+
+TEST(Deployment, FewVolunteersAreDownlinkBound) {
+  grid::DeploymentConfig config = small_deploy();
+  config.volunteers = 2;  // server uplink easily covers both
+  const auto estimate = grid::estimate_deployment(
+      config, grid::DistributionStrategy::kCentralServer);
+  EXPECT_NEAR(estimate.makespan_seconds,
+              static_cast<double>(config.image_bytes) /
+                  config.volunteer_down_bps,
+              1.0);
+}
+
+TEST(Deployment, MirrorsBeatCentralAtScale) {
+  const grid::DeploymentConfig config = small_deploy();
+  const auto central = grid::estimate_deployment(
+      config, grid::DistributionStrategy::kCentralServer);
+  const auto mirrored = grid::estimate_deployment(
+      config, grid::DistributionStrategy::kMirrored);
+  EXPECT_LT(mirrored.makespan_seconds, central.makespan_seconds);
+}
+
+TEST(Deployment, P2pMakespanNearlyScaleFree) {
+  grid::DeploymentConfig config = small_deploy();
+  const auto at_100 = grid::estimate_deployment(
+      config, grid::DistributionStrategy::kPeerToPeer);
+  config.volunteers = 10000;
+  const auto at_10k = grid::estimate_deployment(
+      config, grid::DistributionStrategy::kPeerToPeer);
+  EXPECT_LT(at_10k.makespan_seconds, at_100.makespan_seconds * 10.0);
+  EXPECT_LT(at_10k.makespan_seconds / at_100.makespan_seconds, 6.0);
+}
+
+TEST(Deployment, P2pMinimizesServerLoad) {
+  const grid::DeploymentConfig config = small_deploy();
+  const auto estimates = grid::compare_strategies(config);
+  ASSERT_EQ(estimates.size(), 3u);
+  const double central_load = estimates[0].server_bytes_sent;
+  const double p2p_load = estimates[2].server_bytes_sent;
+  EXPECT_DOUBLE_EQ(p2p_load, static_cast<double>(config.image_bytes));
+  EXPECT_GT(central_load, p2p_load * 50);
+}
+
+TEST(Deployment, P2pNeverBeatsDownlinkBound) {
+  const grid::DeploymentConfig config = small_deploy();
+  const auto estimate = grid::estimate_deployment(
+      config, grid::DistributionStrategy::kPeerToPeer);
+  EXPECT_GE(estimate.makespan_seconds,
+            static_cast<double>(config.image_bytes) /
+                config.volunteer_down_bps * 0.999);
+}
+
+TEST(Deployment, RejectsBadConfig) {
+  grid::DeploymentConfig config = small_deploy();
+  config.volunteers = 0;
+  EXPECT_THROW(grid::estimate_deployment(
+                   config, grid::DistributionStrategy::kCentralServer),
+               util::ConfigError);
+  config = small_deploy();
+  config.p2p_efficiency = 1.5;
+  EXPECT_THROW(grid::estimate_deployment(
+                   config, grid::DistributionStrategy::kPeerToPeer),
+               util::ConfigError);
+}
+
+// ---- availability / checkpointing ---------------------------------------------------
+
+core::AvailabilityConfig quick_churn() {
+  core::AvailabilityConfig config;
+  config.trials = 400;
+  return config;
+}
+
+TEST(Availability, CheckpointingBeatsLegacyUnderChurn) {
+  core::AvailabilityConfig config = quick_churn();
+  config.checkpointing_enabled = true;
+  const auto with = core::simulate_churn(config);
+  config.checkpointing_enabled = false;
+  const auto without = core::simulate_churn(config);
+  EXPECT_LT(with.completion_wall_seconds.mean,
+            without.completion_wall_seconds.mean * 0.7);
+  EXPECT_LT(with.cpu_overhead_factor, without.cpu_overhead_factor);
+}
+
+TEST(Availability, StableVolunteerFinishesInOnePass) {
+  core::AvailabilityConfig config = quick_churn();
+  config.mean_session_seconds = 1000.0 * config.workunit_cpu_seconds;
+  const auto result = core::simulate_churn(config);
+  EXPECT_LT(result.mean_interruptions, 0.1);
+  EXPECT_NEAR(result.cpu_overhead_factor, 1.0, 0.05);
+}
+
+TEST(Availability, OverheadFactorAtLeastOne) {
+  const auto result = core::simulate_churn(quick_churn());
+  EXPECT_GE(result.cpu_overhead_factor, 1.0);
+}
+
+TEST(Availability, SweepShowsUShapedTradeOff) {
+  core::AvailabilityConfig config = quick_churn();
+  const auto sweep = core::sweep_checkpoint_interval(
+      config, {30.0, 300.0, 9600.0});
+  ASSERT_EQ(sweep.size(), 3u);
+  const double frequent = sweep[0].second.completion_wall_seconds.mean;
+  const double moderate = sweep[1].second.completion_wall_seconds.mean;
+  const double rare = sweep[2].second.completion_wall_seconds.mean;
+  EXPECT_LT(moderate, frequent);
+  EXPECT_LT(moderate, rare);
+}
+
+TEST(Availability, DeterministicForSameSeed) {
+  const auto a = core::simulate_churn(quick_churn());
+  const auto b = core::simulate_churn(quick_churn());
+  EXPECT_DOUBLE_EQ(a.completion_wall_seconds.mean,
+                   b.completion_wall_seconds.mean);
+}
+
+TEST(Availability, RejectsBadConfig) {
+  core::AvailabilityConfig config = quick_churn();
+  config.workunit_cpu_seconds = 0;
+  EXPECT_THROW(core::simulate_churn(config), util::ConfigError);
+  config = quick_churn();
+  config.weibull_shape = 0.0;
+  EXPECT_THROW(core::simulate_churn(config), util::ConfigError);
+}
+
+TEST(Availability, WeibullSessionsSupported) {
+  core::AvailabilityConfig config = quick_churn();
+  config.session_distribution = core::SessionDistribution::kWeibull;
+  config.weibull_shape = 0.6;
+  const auto result = core::simulate_churn(config);
+  EXPECT_GT(result.completion_wall_seconds.mean, 0.0);
+  EXPECT_GE(result.cpu_overhead_factor, 1.0);
+}
+
+TEST(Availability, HeavyTailedSessionsHurtLegacyMore) {
+  // With shape < 1 there are many short sessions: a legacy app that
+  // restarts from scratch suffers disproportionately vs checkpointing.
+  core::AvailabilityConfig config = quick_churn();
+  config.session_distribution = core::SessionDistribution::kWeibull;
+  config.weibull_shape = 0.5;
+
+  config.checkpointing_enabled = true;
+  const double with_ckpt =
+      core::simulate_churn(config).completion_wall_seconds.median;
+  config.checkpointing_enabled = false;
+  const double without_ckpt =
+      core::simulate_churn(config).completion_wall_seconds.median;
+  EXPECT_GT(without_ckpt, with_ckpt * 1.5);
+}
+
+TEST(Availability, WeibullShapeOneMatchesExponentialClosely) {
+  // Weibull(k=1) *is* the exponential; the two paths must agree
+  // statistically.
+  core::AvailabilityConfig config = quick_churn();
+  config.trials = 1500;
+  config.session_distribution = core::SessionDistribution::kExponential;
+  const double exponential =
+      core::simulate_churn(config).completion_wall_seconds.mean;
+  config.session_distribution = core::SessionDistribution::kWeibull;
+  config.weibull_shape = 1.0;
+  const double weibull =
+      core::simulate_churn(config).completion_wall_seconds.mean;
+  EXPECT_NEAR(weibull / exponential, 1.0, 0.12);
+}
+
+// ---- migration -------------------------------------------------------------------------
+
+TEST(Migration, ColdDowntimeEqualsTotal) {
+  const vmm::MigrationConfig config;
+  const auto estimate = vmm::estimate_cold_migration(config);
+  EXPECT_DOUBLE_EQ(estimate.total_seconds, estimate.downtime_seconds);
+  EXPECT_EQ(estimate.bytes_transferred, config.ram_bytes);
+}
+
+TEST(Migration, LiveSlashesDowntime) {
+  const vmm::MigrationConfig config;
+  const auto cold = vmm::estimate_cold_migration(config);
+  const auto live = vmm::estimate_live_migration(config);
+  EXPECT_LT(live.downtime_seconds, cold.downtime_seconds / 5.0);
+  EXPECT_GT(live.bytes_transferred, cold.bytes_transferred);
+  EXPECT_TRUE(live.converged);
+}
+
+TEST(Migration, HighDirtyRateFailsToConverge) {
+  vmm::MigrationConfig config;
+  config.dirty_rate_bps = config.link_bps;  // dirties as fast as it copies
+  const auto live = vmm::estimate_live_migration(config);
+  EXPECT_FALSE(live.converged);
+  EXPECT_EQ(live.precopy_rounds, config.max_precopy_rounds);
+}
+
+TEST(Migration, ZeroDirtyRateConvergesInOneRound) {
+  vmm::MigrationConfig config;
+  config.dirty_rate_bps = 0.0;
+  const auto live = vmm::estimate_live_migration(config);
+  EXPECT_EQ(live.precopy_rounds, 1);
+  EXPECT_NEAR(live.downtime_seconds, config.restore_overhead_seconds,
+              1e-9);
+}
+
+TEST(Migration, FasterLinkShrinksEverything) {
+  vmm::MigrationConfig slow;
+  vmm::MigrationConfig fast = slow;
+  fast.link_bps = slow.link_bps * 10.0;
+  const auto a = vmm::estimate_live_migration(slow);
+  const auto b = vmm::estimate_live_migration(fast);
+  EXPECT_LT(b.total_seconds, a.total_seconds);
+  EXPECT_LE(b.downtime_seconds, a.downtime_seconds);
+}
+
+TEST(Migration, RejectsBadConfig) {
+  vmm::MigrationConfig config;
+  config.link_bps = 0;
+  EXPECT_THROW(vmm::estimate_live_migration(config), util::ConfigError);
+}
+
+// ---- multi-VM stacking --------------------------------------------------------------------
+
+TEST(MultiVm, EachAdditionalVmCostsMore) {
+  core::HostImpactConfig config;
+  config.runner.repetitions = 2;
+  config.runner.input_jitter = 0.0;
+  core::HostImpactExperiment experiment(config);
+  const auto profile = vmm::profiles::virtualbox();
+  const auto one = experiment.run_7z(2, &profile, 1);
+  const auto two = experiment.run_7z(2, &profile, 2);
+  const auto three = experiment.run_7z(2, &profile, 3);
+  EXPECT_GT(one.cpu_percent, two.cpu_percent);
+  EXPECT_GT(two.cpu_percent, three.cpu_percent);
+}
+
+TEST(MultiVm, RamLimitsVmCount) {
+  // A fourth 300 MB VM cannot commit on the 1 GB host.
+  core::HostImpactConfig config;
+  config.runner.repetitions = 1;
+  core::HostImpactExperiment experiment(config);
+  const auto profile = vmm::profiles::virtualpc();
+  EXPECT_THROW(experiment.run_7z(1, &profile, 4), util::ConfigError);
+}
+
+TEST(MultiVm, RejectsZeroCount) {
+  core::HostImpactExperiment experiment;
+  const auto profile = vmm::profiles::qemu();
+  EXPECT_THROW(experiment.run_7z(1, &profile, 0), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace vgrid

@@ -1,0 +1,181 @@
+// Tests for the Linux-CFS-style FairScheduler extension: weighted shares,
+// no starvation, and the contrast with the XP-style strict priorities.
+
+#include <gtest/gtest.h>
+
+#include "core/host_impact.hpp"
+#include "core/testbed.hpp"
+#include "hw/machine.hpp"
+#include "os/fair_scheduler.hpp"
+#include "os/program.hpp"
+#include "sim/simulator.hpp"
+#include "vmm/profile.hpp"
+
+namespace vgrid::os {
+namespace {
+
+struct FairBed {
+  sim::Simulator simulator;
+  hw::Machine machine{simulator};
+  FairScheduler scheduler{machine};
+
+  void run_all() {
+    while (!scheduler.all_done() && simulator.pending_events() > 0) {
+      simulator.step();
+    }
+  }
+
+  void run_for(double seconds) {
+    simulator.run_until(sim::from_seconds(seconds));
+  }
+};
+
+std::unique_ptr<Program> spin(double instructions) {
+  ProgramBuilder builder;
+  builder.compute(instructions, hw::mixes::idle_spin());
+  return builder.build();
+}
+
+TEST(FairScheduler, WeightsMatchKernelTable) {
+  EXPECT_DOUBLE_EQ(FairScheduler::weight_of(PriorityClass::kNormal),
+                   1024.0);
+  EXPECT_DOUBLE_EQ(FairScheduler::weight_of(PriorityClass::kIdle), 15.0);
+  EXPECT_GT(FairScheduler::weight_of(PriorityClass::kHigh), 1024.0);
+}
+
+TEST(FairScheduler, SingleThreadRunsToCompletion) {
+  FairBed bed;
+  auto& thread = bed.scheduler.spawn("t", PriorityClass::kNormal,
+                                     spin(1e9));
+  bed.run_all();
+  EXPECT_TRUE(thread.done());
+  EXPECT_NEAR(thread.instructions_done(), 1e9, 1.0);
+}
+
+TEST(FairScheduler, EqualWeightThreadsShareEqually) {
+  FairBed bed;
+  // Three equal threads on two cores: all must finish within a narrow
+  // window of each other.
+  std::vector<HostThread*> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.push_back(&bed.scheduler.spawn("t" + std::to_string(i),
+                                           PriorityClass::kNormal,
+                                           spin(2e9)));
+  }
+  bed.run_all();
+  double min_f = 1e18, max_f = 0;
+  for (const auto* thread : threads) {
+    EXPECT_TRUE(thread->done());
+    min_f = std::min(min_f, sim::to_seconds(thread->finish_time()));
+    max_f = std::max(max_f, sim::to_seconds(thread->finish_time()));
+  }
+  EXPECT_LT(max_f / min_f, 1.1);
+}
+
+TEST(FairScheduler, IdleThreadIsNotStarvedUnderLoad) {
+  // The key difference from XP strict priorities: with both cores loaded
+  // by Normal threads, an Idle (nice-19) thread still progresses.
+  FairBed bed;
+  auto& idle = bed.scheduler.spawn("idle", PriorityClass::kIdle,
+                                   spin(1e12));
+  bed.scheduler.spawn("n0", PriorityClass::kNormal, spin(1e12));
+  bed.scheduler.spawn("n1", PriorityClass::kNormal, spin(1e12));
+  bed.run_for(10.0);
+  EXPECT_GT(idle.instructions_done(), 0.0);
+  // And its share is roughly weight-proportional: 15/1039 of one of two
+  // cores' capacity; allow a broad band (quantum granularity).
+  const double share =
+      static_cast<double>(idle.cpu_time()) / sim::from_seconds(10.0);
+  EXPECT_GT(share, 0.005);
+  EXPECT_LT(share, 0.10);
+}
+
+TEST(FairScheduler, XpStrictPriorityStarvesIdleInSameScenario) {
+  // Control: same load under the paper's XP scheduler - the idle thread
+  // receives (almost) nothing while both cores are busy.
+  sim::Simulator simulator;
+  hw::Machine machine{simulator};
+  PriorityScheduler scheduler{machine};
+  auto& idle = scheduler.spawn("idle", PriorityClass::kIdle, spin(1e12));
+  scheduler.spawn("n0", PriorityClass::kNormal, spin(1e12));
+  scheduler.spawn("n1", PriorityClass::kNormal, spin(1e12));
+  simulator.run_until(sim::from_seconds(10.0));
+  EXPECT_LT(static_cast<double>(idle.cpu_time()),
+            0.001 * sim::from_seconds(10.0));
+}
+
+TEST(FairScheduler, HigherWeightGetsBiggerShare) {
+  FairBed bed;
+  auto& heavy = bed.scheduler.spawn("heavy", PriorityClass::kHigh,
+                                    spin(1e12));
+  auto& normal = bed.scheduler.spawn("n0", PriorityClass::kNormal,
+                                     spin(1e12));
+  bed.scheduler.spawn("n1", PriorityClass::kNormal, spin(1e12));
+  bed.run_for(5.0);
+  EXPECT_GT(heavy.instructions_done(), normal.instructions_done());
+}
+
+TEST(FairScheduler, VruntimeAdvancesInverselyToWeight) {
+  FairBed bed;
+  auto& idle = bed.scheduler.spawn("idle", PriorityClass::kIdle,
+                                   spin(1e12));
+  auto& normal = bed.scheduler.spawn("norm", PriorityClass::kNormal,
+                                     spin(1e12));
+  bed.scheduler.spawn("n1", PriorityClass::kNormal, spin(1e12));
+  bed.run_for(2.0);
+  // After running, the idle thread's vruntime per CPU-second is ~68x the
+  // normal thread's; both stay clustered because selection equalizes
+  // vruntime, not CPU time.
+  const double idle_vr = bed.scheduler.vruntime(idle);
+  const double norm_vr = bed.scheduler.vruntime(normal);
+  EXPECT_GT(idle_vr, 0.0);
+  EXPECT_GT(norm_vr, 0.0);
+  EXPECT_LT(std::abs(idle_vr - norm_vr) / std::max(idle_vr, norm_vr),
+            0.35);
+  EXPECT_GT(normal.cpu_time(), 10 * idle.cpu_time());
+}
+
+TEST(FairScheduler, BlockingAndWakingPreservesFairness) {
+  FairBed bed;
+  ProgramBuilder io;
+  io.compute(5e8, hw::mixes::io_bound());
+  io.disk_read(8 * 1024 * 1024);
+  io.compute(5e8, hw::mixes::io_bound());
+  auto& blocker = bed.scheduler.spawn("io", PriorityClass::kNormal,
+                                      io.build());
+  bed.scheduler.spawn("cpu", PriorityClass::kNormal, spin(4e9));
+  bed.run_all();
+  EXPECT_TRUE(blocker.done());
+}
+
+// ---- end-to-end: host impact under the Linux host --------------------------------
+
+TEST(LinuxHost, HostGivesUpSlightlyMoreThanXp) {
+  core::HostImpactConfig xp_config;
+  xp_config.runner.repetitions = 2;
+  xp_config.runner.input_jitter = 0.0;
+  core::HostImpactConfig cfs_config = xp_config;
+  cfs_config.host_os = core::HostOs::kLinuxCfs;
+
+  core::HostImpactExperiment xp(xp_config);
+  core::HostImpactExperiment cfs(cfs_config);
+  const auto profile = vmm::profiles::virtualbox();
+  const auto xp_metrics = xp.run_7z(2, &profile);
+  const auto cfs_metrics = cfs.run_7z(2, &profile);
+  // CFS grants the vCPU a small share, so the host gets a bit less...
+  EXPECT_LT(cfs_metrics.cpu_percent, xp_metrics.cpu_percent);
+  // ...but the difference is bounded by the nice-19 weight (~3%).
+  EXPECT_GT(cfs_metrics.cpu_percent, xp_metrics.cpu_percent * 0.90);
+}
+
+TEST(LinuxHost, TestbedReportsItsFlavour) {
+  core::Testbed xp;
+  EXPECT_EQ(xp.host_os(), core::HostOs::kWindowsXp);
+  core::Testbed cfs(core::paper_machine_config(), {},
+                    core::HostOs::kLinuxCfs);
+  EXPECT_EQ(cfs.host_os(), core::HostOs::kLinuxCfs);
+  EXPECT_STREQ(to_string(core::HostOs::kLinuxCfs), "linux-cfs");
+}
+
+}  // namespace
+}  // namespace vgrid::os

@@ -1,0 +1,373 @@
+// Tests for the mini-BOINC layer: wire protocol, quorum validation, and
+// end-to-end server/client flows over real loopback TCP.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "grid/client.hpp"
+#include "grid/messages.hpp"
+#include "grid/server.hpp"
+#include "grid/validator.hpp"
+#include "util/error.hpp"
+
+namespace vgrid::grid {
+namespace {
+
+// ---- message protocol ----------------------------------------------------------
+
+TEST(Messages, EscapeRoundTripsHostileFields) {
+  const std::string hostile = "a|b%c\nd|%7C";
+  EXPECT_EQ(unescape_field(escape_field(hostile)), hostile);
+}
+
+TEST(Messages, WorkRequestRoundTrip) {
+  const WorkRequest request{"client|with|pipes"};
+  const auto parsed = parse_work_request(serialize(request));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->client_id, request.client_id);
+}
+
+TEST(Messages, WorkResponseRoundTrip) {
+  WorkResponse response;
+  response.has_work = true;
+  response.workunit = Workunit{42, "einstein", "seed=7|x", 3, 2};
+  const auto parsed = parse_work_response(serialize(response));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->has_work);
+  EXPECT_EQ(parsed->workunit.id, 42u);
+  EXPECT_EQ(parsed->workunit.kind, "einstein");
+  EXPECT_EQ(parsed->workunit.payload, "seed=7|x");
+  EXPECT_EQ(parsed->workunit.replication, 3);
+  EXPECT_EQ(parsed->workunit.quorum, 2);
+}
+
+TEST(Messages, NoWorkRoundTrip) {
+  const auto parsed = parse_work_response(serialize(WorkResponse{}));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->has_work);
+}
+
+TEST(Messages, SubmitRoundTrip) {
+  SubmitRequest request;
+  request.result = Result{7, "alice", "template=3 snr=12.5", 1.25};
+  const auto parsed = parse_submit_request(serialize(request));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->result.workunit_id, 7u);
+  EXPECT_EQ(parsed->result.client_id, "alice");
+  EXPECT_EQ(parsed->result.output, "template=3 snr=12.5");
+  EXPECT_NEAR(parsed->result.cpu_seconds, 1.25, 1e-9);
+}
+
+TEST(Messages, SubmitResponseRoundTrip) {
+  const auto parsed =
+      parse_submit_response(serialize(SubmitResponse{true, true}));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->accepted);
+  EXPECT_TRUE(parsed->workunit_validated);
+}
+
+TEST(Messages, MalformedInputsRejected) {
+  EXPECT_FALSE(parse_work_request("WORK").has_value());
+  EXPECT_FALSE(parse_work_response("WU|x|y").has_value());
+  EXPECT_FALSE(parse_submit_request("SUBMIT|abc|a|b|notanumber").has_value());
+  EXPECT_FALSE(parse_submit_response("NACK|1|1").has_value());
+  EXPECT_EQ(request_tag("GARBAGE|x"), "");
+}
+
+// ---- validator ---------------------------------------------------------------------
+
+TEST(Validator, QuorumOfTwoAgreementValidates) {
+  QuorumValidator validator(2, 2);
+  EXPECT_FALSE(validator.add(Result{1, "a", "X", 1.0}).has_value());
+  const auto canonical = validator.add(Result{1, "b", "X", 1.0});
+  ASSERT_TRUE(canonical.has_value());
+  EXPECT_EQ(*canonical, "X");
+  EXPECT_TRUE(validator.validated());
+}
+
+TEST(Validator, MismatchDoesNotValidate) {
+  QuorumValidator validator(2, 2);
+  EXPECT_FALSE(validator.add(Result{1, "a", "X", 1.0}).has_value());
+  EXPECT_FALSE(validator.add(Result{1, "b", "Y", 1.0}).has_value());
+  EXPECT_FALSE(validator.validated());
+  EXPECT_TRUE(validator.exhausted());
+  EXPECT_EQ(validator.additional_instances_needed(), 1);
+}
+
+TEST(Validator, TieBrokenByThirdResult) {
+  QuorumValidator validator(2, 2);
+  (void)validator.add(Result{1, "a", "X", 1.0});
+  (void)validator.add(Result{1, "b", "Y", 1.0});
+  const auto canonical = validator.add(Result{1, "c", "X", 1.0});
+  ASSERT_TRUE(canonical.has_value());
+  EXPECT_EQ(*canonical, "X");
+}
+
+TEST(Validator, QuorumReportedOnlyOnce) {
+  QuorumValidator validator(3, 2);
+  (void)validator.add(Result{1, "a", "X", 1.0});
+  EXPECT_TRUE(validator.add(Result{1, "b", "X", 1.0}).has_value());
+  EXPECT_FALSE(validator.add(Result{1, "c", "X", 1.0}).has_value());
+  EXPECT_EQ(validator.results_received(), 3);
+}
+
+TEST(Validator, QuorumOfOneIsImmediate) {
+  QuorumValidator validator(1, 1);
+  EXPECT_TRUE(validator.add(Result{1, "a", "X", 1.0}).has_value());
+}
+
+TEST(Validator, RejectsBadConfig) {
+  EXPECT_THROW(QuorumValidator(1, 2), util::ConfigError);
+  EXPECT_THROW(QuorumValidator(2, 0), util::ConfigError);
+}
+
+class ValidatorQuorumSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ValidatorQuorumSweep, AgreementAlwaysValidates) {
+  const auto [replication, quorum] = GetParam();
+  QuorumValidator validator(replication, quorum);
+  bool validated = false;
+  for (int i = 0; i < replication; ++i) {
+    if (validator.add(Result{1, "c" + std::to_string(i), "same", 1.0})) {
+      validated = true;
+      EXPECT_EQ(validator.results_received(), quorum);
+    }
+  }
+  EXPECT_TRUE(validated);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ValidatorQuorumSweep,
+    ::testing::Values(std::pair{1, 1}, std::pair{2, 2}, std::pair{3, 2},
+                      std::pair{5, 3}, std::pair{4, 4}));
+
+// ---- server / client end-to-end ------------------------------------------------------
+
+TEST(ServerClient, SingleWorkunitFlow) {
+  ProjectServer server;
+  server.add_workunit(Workunit{0, "echo", "hello", 1, 1});
+
+  GridClient client(server.port(), "alice");
+  client.register_app("echo", [](const std::string& payload) {
+    return "echo:" + payload;
+  });
+  EXPECT_TRUE(client.run_once());
+  EXPECT_EQ(client.stats().workunits_completed, 1u);
+
+  const auto canonical = server.canonical_result(1);
+  ASSERT_TRUE(canonical.has_value());
+  EXPECT_EQ(*canonical, "echo:hello");
+  EXPECT_EQ(server.workunit_state(1), WorkunitState::kValidated);
+}
+
+TEST(ServerClient, NoWorkWhenQueueEmpty) {
+  ProjectServer server;
+  GridClient client(server.port(), "bob");
+  client.register_app("echo", [](const std::string&) { return ""; });
+  EXPECT_FALSE(client.run_once());
+  EXPECT_EQ(client.stats().no_work_replies, 1u);
+}
+
+TEST(ServerClient, ReplicationSendsSameWorkunitTwice) {
+  ProjectServer server;
+  server.add_workunit(Workunit{0, "echo", "p", 2, 2});
+  GridClient a(server.port(), "a");
+  GridClient b(server.port(), "b");
+  for (auto* client : {&a, &b}) {
+    client->register_app("echo",
+                         [](const std::string& payload) { return payload; });
+  }
+  EXPECT_TRUE(a.run_once());
+  // One of two instances out and one result in: not yet validated.
+  EXPECT_NE(server.workunit_state(1), WorkunitState::kValidated);
+  EXPECT_TRUE(b.run_once());
+  EXPECT_EQ(server.workunit_state(1), WorkunitState::kValidated);
+  EXPECT_EQ(server.stats().workunits_sent, 2u);
+}
+
+TEST(ServerClient, GeneratorRefillsQueue) {
+  ProjectServer server;
+  int generated = 0;
+  server.set_generator([&generated](Workunit& wu) {
+    if (generated >= 3) return false;
+    wu.kind = "echo";
+    wu.payload = std::to_string(generated++);
+    wu.replication = 1;
+    wu.quorum = 1;
+    return true;
+  });
+  GridClient client(server.port(), "c");
+  client.register_app("echo",
+                      [](const std::string& payload) { return payload; });
+  client.run(/*max_workunits=*/10, /*idle_limit=*/2);
+  EXPECT_EQ(client.stats().workunits_completed, 3u);
+  EXPECT_EQ(server.stats().workunits_validated, 3u);
+}
+
+TEST(ServerClient, MismatchTriggersExtraInstanceThenValidates) {
+  ProjectServer server;
+  server.add_workunit(Workunit{0, "vote", "", 2, 2});
+  std::atomic<int> calls{0};
+  const auto flaky = [&calls](const std::string&) {
+    // First client computes a wrong answer; later ones agree.
+    return (calls++ == 0) ? std::string("wrong") : std::string("right");
+  };
+  GridClient a(server.port(), "a");
+  GridClient b(server.port(), "b");
+  GridClient c(server.port(), "c");
+  for (auto* client : {&a, &b, &c}) client->register_app("vote", flaky);
+
+  EXPECT_TRUE(a.run_once());
+  EXPECT_TRUE(b.run_once());
+  EXPECT_EQ(server.workunit_state(1), WorkunitState::kInProgress);
+  EXPECT_TRUE(c.run_once());  // extra instance generated after mismatch
+  EXPECT_EQ(server.workunit_state(1), WorkunitState::kValidated);
+  EXPECT_EQ(server.canonical_result(1), "right");
+}
+
+TEST(ServerClient, CreditAccountsCpuSeconds) {
+  ProjectServer server;
+  server.add_workunit(Workunit{0, "spin", "", 1, 1});
+  GridClient client(server.port(), "worker");
+  client.register_app("spin", [](const std::string&) {
+    double acc = 0;
+    for (int i = 0; i < 5'000'000; ++i) acc += i;
+    return acc > 0 ? std::string("done") : std::string("?");
+  });
+  EXPECT_TRUE(client.run_once());
+  EXPECT_GT(server.stats().total_cpu_seconds, 0.0);
+  EXPECT_GT(client.stats().cpu_seconds, 0.0);
+}
+
+TEST(ServerClient, UnknownKindIsSkipped) {
+  ProjectServer server;
+  server.add_workunit(Workunit{0, "mystery", "", 1, 1});
+  GridClient client(server.port(), "d");
+  client.register_app("echo", [](const std::string&) { return ""; });
+  EXPECT_FALSE(client.run_once());
+  EXPECT_EQ(client.stats().workunits_completed, 0u);
+}
+
+TEST(Messages, StatsRoundTrip) {
+  const StatsRequest request{"alice|bob"};
+  const auto parsed_request = parse_stats_request(serialize(request));
+  ASSERT_TRUE(parsed_request.has_value());
+  EXPECT_EQ(parsed_request->client_id, "alice|bob");
+
+  const StatsResponse response{12, 345.5, 300.25};
+  const auto parsed = parse_stats_response(serialize(response));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->results_accepted, 12u);
+  EXPECT_NEAR(parsed->cpu_seconds, 345.5, 1e-6);
+  EXPECT_NEAR(parsed->credit, 300.25, 1e-6);
+}
+
+TEST(ServerClient, CreditGrantedOnlyToMatchingResults) {
+  ProjectServer server;
+  server.add_workunit(Workunit{0, "vote", "", 3, 2});
+  std::atomic<int> calls{0};
+  const auto app = [&calls](const std::string&) {
+    // First result disagrees; the next two agree and validate.
+    return (calls++ == 0) ? std::string("wrong") : std::string("right");
+  };
+  GridClient bad(server.port(), "bad");
+  GridClient good1(server.port(), "good1");
+  GridClient good2(server.port(), "good2");
+  for (auto* client : {&bad, &good1, &good2}) {
+    client->register_app("vote", app);
+  }
+  EXPECT_TRUE(bad.run_once());
+  EXPECT_TRUE(good1.run_once());
+  EXPECT_TRUE(good2.run_once());
+  EXPECT_EQ(server.workunit_state(1), WorkunitState::kValidated);
+
+  const StatsResponse bad_account = bad.fetch_account();
+  const StatsResponse good_account = good1.fetch_account();
+  EXPECT_EQ(bad_account.results_accepted, 1u);
+  EXPECT_DOUBLE_EQ(bad_account.credit, 0.0);  // mismatched: no credit
+  EXPECT_EQ(good_account.results_accepted, 1u);
+  EXPECT_GE(good_account.credit, 0.0);
+  EXPECT_DOUBLE_EQ(good_account.credit, good_account.cpu_seconds);
+}
+
+TEST(ServerClient, UnknownClientAccountIsEmpty) {
+  ProjectServer server;
+  GridClient stranger(server.port(), "stranger");
+  const StatsResponse account = stranger.fetch_account();
+  EXPECT_EQ(account.results_accepted, 0u);
+  EXPECT_DOUBLE_EQ(account.credit, 0.0);
+}
+
+TEST(ServerClient, DeadlineReissuesLostInstance) {
+  ProjectServer server;
+  Workunit wu{0, "echo", "payload", 1, 1};
+  wu.deadline_seconds = 0.05;
+  server.add_workunit(wu);
+
+  // Client A fetches the only instance and vanishes without submitting.
+  {
+    tcp::Fd conn = tcp::connect_loopback(server.port());
+    tcp::write_line(conn.get(), serialize(WorkRequest{"ghost"}));
+    std::string line;
+    ASSERT_TRUE(tcp::read_line(conn.get(), line));
+    const auto work = parse_work_response(line);
+    ASSERT_TRUE(work.has_value());
+    ASSERT_TRUE(work->has_work);
+  }
+
+  // Immediately after, there is nothing to hand out.
+  GridClient rescuer(server.port(), "rescuer");
+  rescuer.register_app("echo",
+                       [](const std::string& payload) { return payload; });
+  EXPECT_FALSE(rescuer.run_once());
+
+  // After the deadline passes, the instance is reissued and completes.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(rescuer.run_once());
+  EXPECT_EQ(server.workunit_state(1), WorkunitState::kValidated);
+  EXPECT_EQ(server.stats().instances_reissued, 1u);
+}
+
+TEST(ServerClient, NoDeadlineMeansNoReissue) {
+  ProjectServer server;
+  server.add_workunit(Workunit{0, "echo", "p", 1, 1});  // deadline 0
+  {
+    tcp::Fd conn = tcp::connect_loopback(server.port());
+    tcp::write_line(conn.get(), serialize(WorkRequest{"ghost"}));
+    std::string line;
+    ASSERT_TRUE(tcp::read_line(conn.get(), line));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  GridClient client(server.port(), "late");
+  client.register_app("echo",
+                      [](const std::string& payload) { return payload; });
+  EXPECT_FALSE(client.run_once());
+  EXPECT_EQ(server.stats().instances_reissued, 0u);
+}
+
+TEST(ServerClient, ParallelClientsDrainQueue) {
+  ProjectServer server;
+  for (int i = 0; i < 8; ++i) {
+    server.add_workunit(Workunit{0, "echo", std::to_string(i), 1, 1});
+  }
+  std::vector<std::thread> pool;
+  std::atomic<std::uint64_t> completed{0};
+  for (int c = 0; c < 4; ++c) {
+    pool.emplace_back([&server, &completed, c] {
+      GridClient client(server.port(), "p" + std::to_string(c));
+      client.register_app("echo",
+                          [](const std::string& payload) { return payload; });
+      client.run(/*max_workunits=*/8, /*idle_limit=*/2);
+      completed += client.stats().workunits_completed;
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(completed.load(), 8u);
+  EXPECT_EQ(server.stats().workunits_validated, 8u);
+}
+
+}  // namespace
+}  // namespace vgrid::grid

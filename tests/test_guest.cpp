@@ -1,0 +1,123 @@
+// Unit tests for the guest OS model: page cache semantics and I/O CPU
+// costing.
+
+#include <gtest/gtest.h>
+
+#include "guest/guest_os.hpp"
+#include "guest/page_cache.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace vgrid::guest {
+namespace {
+
+using util::MiB;
+
+TEST(PageCache, ColdReadGoesToDisk) {
+  PageCache cache(64 * MiB);
+  const auto plan = cache.plan_read("f", 8 * MiB);
+  EXPECT_EQ(plan.cached_bytes, 0u);
+  EXPECT_EQ(plan.disk_bytes, 8 * MiB);
+}
+
+TEST(PageCache, RereadHitsCache) {
+  PageCache cache(64 * MiB);
+  (void)cache.plan_read("f", 8 * MiB);
+  const auto plan = cache.plan_read("f", 8 * MiB);
+  EXPECT_EQ(plan.cached_bytes, 8 * MiB);
+  EXPECT_EQ(plan.disk_bytes, 0u);
+}
+
+TEST(PageCache, WriteAbsorbedUnderDirtyLimit) {
+  PageCache cache(100 * MiB, 0.4);
+  const auto plan = cache.plan_write("f", 10 * MiB);
+  EXPECT_EQ(plan.cached_bytes, 10 * MiB);
+  EXPECT_EQ(plan.disk_bytes, 0u);
+  EXPECT_EQ(cache.dirty(), 10 * MiB);
+}
+
+TEST(PageCache, WriteBeyondDirtyLimitIsSynchronous) {
+  PageCache cache(100 * MiB, 0.4);  // dirty limit = 40 MiB
+  const auto plan = cache.plan_write("f", 100 * MiB);
+  EXPECT_EQ(plan.cached_bytes, 40 * MiB);
+  EXPECT_EQ(plan.disk_bytes, 60 * MiB);
+}
+
+TEST(PageCache, FlushClearsDirty) {
+  PageCache cache(100 * MiB);
+  (void)cache.plan_write("f", 10 * MiB);
+  EXPECT_EQ(cache.flush("f"), 10 * MiB);
+  EXPECT_EQ(cache.dirty(), 0u);
+  EXPECT_EQ(cache.flush("f"), 0u);  // idempotent
+}
+
+TEST(PageCache, FlushAllCoversEveryFile) {
+  PageCache cache(100 * MiB);
+  (void)cache.plan_write("a", 5 * MiB);
+  (void)cache.plan_write("b", 7 * MiB);
+  EXPECT_EQ(cache.flush_all(), 12 * MiB);
+  EXPECT_EQ(cache.dirty(), 0u);
+}
+
+TEST(PageCache, LruEvictionUnderPressure) {
+  PageCache cache(16 * MiB);
+  (void)cache.plan_read("old", 8 * MiB);
+  (void)cache.plan_read("mid", 8 * MiB);
+  (void)cache.plan_read("new", 8 * MiB);  // evicts "old"
+  EXPECT_EQ(cache.cached_bytes("old"), 0u);
+  const auto plan = cache.plan_read("old", 8 * MiB);
+  EXPECT_EQ(plan.disk_bytes, 8 * MiB);
+}
+
+TEST(PageCache, TouchKeepsHotFileResident) {
+  PageCache cache(16 * MiB);
+  (void)cache.plan_read("hot", 8 * MiB);
+  (void)cache.plan_read("warm", 8 * MiB);
+  (void)cache.plan_read("hot", 1 * MiB);  // touch
+  (void)cache.plan_read("cold", 8 * MiB); // evicts "warm", not "hot"
+  EXPECT_GT(cache.cached_bytes("hot"), 0u);
+  EXPECT_EQ(cache.cached_bytes("warm"), 0u);
+}
+
+TEST(PageCache, DropCleanKeepsDirty) {
+  PageCache cache(100 * MiB);
+  (void)cache.plan_read("clean", 10 * MiB);
+  (void)cache.plan_write("dirty", 10 * MiB);
+  cache.drop_clean();
+  EXPECT_EQ(cache.cached_bytes("clean"), 0u);
+  EXPECT_EQ(cache.cached_bytes("dirty"), 10 * MiB);
+  EXPECT_EQ(cache.dirty(), 10 * MiB);
+}
+
+TEST(PageCache, UsedNeverExceedsCapacity) {
+  PageCache cache(10 * MiB);
+  for (int i = 0; i < 20; ++i) {
+    (void)cache.plan_read("f" + std::to_string(i), 3 * MiB);
+    EXPECT_LE(cache.used(), cache.capacity());
+  }
+}
+
+TEST(PageCache, RejectsBadConfig) {
+  EXPECT_THROW(PageCache(0), util::ConfigError);
+  EXPECT_THROW(PageCache(1024, 0.0), util::ConfigError);
+  EXPECT_THROW(PageCache(1024, 1.5), util::ConfigError);
+}
+
+TEST(GuestOs, CacheSizedFromRam) {
+  GuestOsConfig config;
+  config.ram_bytes = 300 * MiB;
+  config.cache_share = 0.5;
+  const GuestOs guest(config);
+  EXPECT_EQ(guest.page_cache().capacity(), 150 * MiB);
+}
+
+TEST(GuestOs, IoCpuCostScalesWithOpsAndBytes) {
+  const GuestOs guest;
+  const auto small = guest.io_cpu_cost(1, 4096);
+  const auto large = guest.io_cpu_cost(100, 4096 * 100);
+  EXPECT_GT(large.instructions, small.instructions * 50);
+  EXPECT_GT(small.mix.kernel, 0.5);  // I/O cost is kernel-mode work
+}
+
+}  // namespace
+}  // namespace vgrid::guest

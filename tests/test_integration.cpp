@@ -1,0 +1,249 @@
+// Integration tests: every figure of the paper reproduced end-to-end with
+// tolerance bands against the published values, the checkpoint/migration
+// flow across hypervisors, and the full desktop-grid stack (server +
+// client + Einstein + external timing) in one process.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "core/experiments.hpp"
+#include "core/testbed.hpp"
+#include "grid/client.hpp"
+#include "grid/server.hpp"
+#include "timesvc/time_client.hpp"
+#include "timesvc/time_server.hpp"
+#include "util/strings.hpp"
+#include "vmm/checkpoint.hpp"
+#include "vmm/profile.hpp"
+#include "vmm/virtual_machine.hpp"
+#include "workloads/einstein/worker.hpp"
+
+namespace vgrid {
+namespace {
+
+core::RunnerConfig test_runner() {
+  core::RunnerConfig config;
+  config.repetitions = 3;
+  config.input_jitter = 0.005;
+  return config;
+}
+
+std::map<std::string, core::FigureRow> rows_by_label(
+    const core::FigureResult& figure) {
+  std::map<std::string, core::FigureRow> map;
+  for (const auto& row : figure.rows) map[row.label] = row;
+  return map;
+}
+
+// ---- guest performance figures --------------------------------------------------
+
+TEST(Figures, Fig1SevenZipWithinBandOfPaper) {
+  const auto figure = core::fig1_7z(test_runner());
+  ASSERT_EQ(figure.rows.size(), 4u);
+  for (const auto& row : figure.rows) {
+    ASSERT_TRUE(row.paper.has_value());
+    // Shape criterion: within 10% of the paper's relative value.
+    EXPECT_NEAR(row.measured, *row.paper, *row.paper * 0.10) << row.label;
+  }
+}
+
+TEST(Figures, Fig2MatrixAllBelowQemu) {
+  const auto figure = core::fig2_matrix(test_runner());
+  ASSERT_EQ(figure.rows.size(), 8u);  // 4 environments x 2 sizes
+  const auto rows = rows_by_label(figure);
+  for (const char* size : {"512", "1024"}) {
+    const double qemu = rows.at(util::format("qemu-%s", size)).measured;
+    for (const char* env : {"vmplayer", "virtualbox", "virtualpc"}) {
+      const double v =
+          rows.at(util::format("%s-%s", env, size)).measured;
+      EXPECT_LT(v, 1.25) << env;  // paper: "below 20%" (approx)
+      EXPECT_LT(v, qemu);
+    }
+    EXPECT_NEAR(qemu, 1.30, 0.12);
+  }
+}
+
+TEST(Figures, Fig3IoBenchSeverity) {
+  const auto figure = core::fig3_iobench(test_runner());
+  const auto rows = rows_by_label(figure);
+  EXPECT_NEAR(rows.at("vmplayer").measured, 1.30, 0.15);
+  EXPECT_NEAR(rows.at("virtualbox").measured, 2.0, 0.25);
+  EXPECT_NEAR(rows.at("virtualpc").measured, 2.05, 0.25);
+  EXPECT_NEAR(rows.at("qemu").measured, 4.9, 0.5);
+}
+
+TEST(Figures, Fig4NetworkAbsoluteThroughputs) {
+  const auto figure = core::fig4_netbench(test_runner());
+  const auto rows = rows_by_label(figure);
+  // The paper reports these to two decimals; we require ~3%.
+  for (const auto& [label, row] : rows) {
+    ASSERT_TRUE(row.paper.has_value()) << label;
+    EXPECT_NEAR(row.measured, *row.paper, *row.paper * 0.03) << label;
+  }
+  // And the qualitative claims: bridged near native, VBox ~75x slower.
+  EXPECT_GT(rows.at("vmplayer-bridged").measured,
+            0.97 * rows.at("native").measured);
+  EXPECT_GT(rows.at("native").measured / rows.at("virtualbox").measured,
+            60.0);
+}
+
+// ---- host impact figures ----------------------------------------------------------
+
+TEST(Figures, Fig5MemOverheadUnderFivePercent) {
+  const auto figure = core::fig5_mem_index(test_runner());
+  ASSERT_EQ(figure.rows.size(), 8u);  // 4 envs x 2 priorities
+  for (const auto& row : figure.rows) {
+    EXPECT_GT(row.measured, 0.0) << row.label;
+    EXPECT_LT(row.measured, 5.0) << row.label;
+  }
+}
+
+TEST(Figures, Fig6IntAroundTwoPercentFpNearZero) {
+  const auto figure = core::fig6_int_fp_index(test_runner());
+  for (const auto& row : figure.rows) {
+    if (row.label.rfind("FP ", 0) == 0) {
+      // "practically no overhead": under 1% except QEMU, whose host-wide
+      // timer polling adds a uniform ~0.75% tax on top.
+      EXPECT_LT(row.measured, 1.5) << row.label;
+    } else {
+      EXPECT_NEAR(row.measured, 2.0, 1.5) << row.label;
+    }
+  }
+}
+
+TEST(Figures, Fig7CpuAvailability) {
+  const auto figure = core::fig7_cpu_available(test_runner());
+  const auto rows = rows_by_label(figure);
+  EXPECT_NEAR(rows.at("no-vm 1T").measured, 100.0, 1.0);
+  EXPECT_NEAR(rows.at("no-vm 2T").measured, 180.0, 8.0);
+  EXPECT_NEAR(rows.at("vmplayer 2T").measured, 120.0, 6.0);
+  for (const char* env : {"qemu", "virtualbox", "virtualpc"}) {
+    EXPECT_NEAR(rows.at(std::string(env) + " 2T").measured, 160.0, 6.0)
+        << env;
+    EXPECT_GT(rows.at(std::string(env) + " 1T").measured, 95.0) << env;
+  }
+}
+
+TEST(Figures, Fig8MipsRatios) {
+  const auto figure = core::fig8_mips_ratio(test_runner());
+  const auto rows = rows_by_label(figure);
+  EXPECT_NEAR(rows.at("vmplayer").measured, 0.70, 0.04);
+  for (const char* env : {"qemu", "virtualbox", "virtualpc"}) {
+    EXPECT_NEAR(rows.at(env).measured, 0.90, 0.04) << env;
+  }
+}
+
+TEST(Figures, Fig3BySizeSweepCoversAllSizesAndEnvironments) {
+  const auto figure = core::fig3_iobench_by_size(test_runner());
+  ASSERT_EQ(figure.rows.size(), 12u);  // 3 sizes x 4 environments
+  for (const auto& row : figure.rows) {
+    EXPECT_GT(row.measured, 1.0) << row.label;  // every VM is slower
+  }
+  // Small files pay the per-request emulation overhead on top of the
+  // bandwidth multiplier, so they are at least as slow as large files.
+  const auto rows = rows_by_label(figure);
+  for (const char* env : {"vmplayer", "qemu", "virtualbox", "virtualpc"}) {
+    const double small = rows.at(std::string(env) + " 128 KB").measured;
+    const double large = rows.at(std::string(env) + " 32 MB").measured;
+    EXPECT_GE(small, large * 0.99) << env;
+  }
+}
+
+TEST(Figures, AllFiguresProduceRows) {
+  const auto figures = core::all_figures(test_runner());
+  ASSERT_EQ(figures.size(), 8u);
+  for (const auto& figure : figures) {
+    EXPECT_FALSE(figure.rows.empty()) << figure.id;
+    EXPECT_FALSE(figure.title.empty()) << figure.id;
+  }
+}
+
+TEST(Figures, HeadlineCorrelationFastGuestHeavyHost) {
+  // The paper's central observation: the environment with the best guest
+  // performance (VmPlayer, Fig. 1) causes the highest host impact
+  // (Figs. 7/8).
+  const auto fig1 = core::fig1_7z(test_runner());
+  const auto fig8 = core::fig8_mips_ratio(test_runner());
+  const auto guests = rows_by_label(fig1);
+  const auto hosts = rows_by_label(fig8);
+  for (const char* other : {"qemu", "virtualbox", "virtualpc"}) {
+    EXPECT_LT(guests.at("vmplayer").measured, guests.at(other).measured);
+    EXPECT_LT(hosts.at("vmplayer").measured, hosts.at(other).measured);
+  }
+}
+
+// ---- checkpoint / migration --------------------------------------------------------
+
+TEST(Migration, GuestResumesOnSecondMachineUnderDifferentVmm) {
+  namespace einstein = workloads::einstein;
+  einstein::EinsteinConfig config;
+  config.template_count = 256;
+
+  core::Testbed machine_a;
+  vmm::VirtualMachine vm_a(machine_a.scheduler(),
+                           vmm::profiles::vmplayer());
+  auto* program = new einstein::EinsteinProgram(config, false);
+  vm_a.run_guest("wu", std::unique_ptr<einstein::EinsteinProgram>(program));
+  machine_a.simulator().run_until(sim::from_seconds(0.02));
+  const std::size_t done_before = program->next_template();
+  ASSERT_GT(done_before, 0u);
+  ASSERT_LT(done_before, config.template_count);
+
+  const auto path = std::filesystem::temp_directory_path() /
+                    "vgrid-integration-migration.vmimg";
+  vmm::save_image(path.string(),
+                  vm_a.checkpoint(einstein::EinsteinProgram::kGuestKind));
+  vm_a.power_off();
+
+  const vmm::VmImage image = vmm::load_image(path.string());
+  EXPECT_EQ(image.vmm_name, "vmplayer");
+  core::Testbed machine_b;
+  vmm::VirtualMachine vm_b(machine_b.scheduler(), vmm::profiles::qemu());
+  auto restored =
+      einstein::EinsteinProgram::deserialize(config, image.guest_state);
+  EXPECT_EQ(restored->next_template(), done_before);
+  auto& vcpu = vm_b.run_guest("wu", std::move(restored));
+  EXPECT_GT(machine_b.run_until_done(vcpu), 0.0);
+  std::filesystem::remove(path);
+}
+
+// ---- full desktop-grid stack ---------------------------------------------------------
+
+TEST(FullStack, GridCrunchWithExternalTiming) {
+  timesvc::TimeServer time_server;
+  timesvc::TimeClient time_client(time_server.port());
+  timesvc::ExternalStopwatch stopwatch(time_client);
+
+  grid::ProjectServer server;
+  server.add_workunit(grid::Workunit{0, "einstein", "seed=5", 2, 2});
+
+  const auto app = [](const std::string& payload) {
+    workloads::einstein::EinsteinConfig config;
+    config.samples = 1024;
+    config.template_count = 8;
+    config.seed = std::stoull(payload.substr(payload.find('=') + 1));
+    const workloads::einstein::EinsteinWorker worker(config);
+    const auto detection = worker.search();
+    return util::format("t=%zu", detection.template_index);
+  };
+
+  stopwatch.start();
+  grid::GridClient alice(server.port(), "alice");
+  alice.register_app("einstein", app);
+  grid::GridClient bob(server.port(), "bob");
+  bob.register_app("einstein", app);
+  EXPECT_TRUE(alice.run_once());
+  EXPECT_TRUE(bob.run_once());
+  const std::int64_t elapsed = stopwatch.stop();
+
+  EXPECT_GT(elapsed, 0);
+  EXPECT_EQ(server.stats().workunits_validated, 1u);
+  const auto canonical = server.canonical_result(1);
+  ASSERT_TRUE(canonical.has_value());
+  EXPECT_EQ(canonical->rfind("t=", 0), 0u);
+}
+
+}  // namespace
+}  // namespace vgrid

@@ -1,0 +1,336 @@
+// Unit tests for the host-OS model: thread programs and the XP-style
+// preemptive priority scheduler, including the timing identities the
+// experiments rely on.
+
+#include <gtest/gtest.h>
+
+#include "hw/machine.hpp"
+#include "os/program.hpp"
+#include "os/scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace vgrid::os {
+namespace {
+
+struct Bed {
+  sim::Simulator simulator;
+  hw::Machine machine{simulator};
+  PriorityScheduler scheduler{machine};
+
+  double run_all() {
+    while (!scheduler.all_done() && simulator.pending_events() > 0) {
+      simulator.step();
+    }
+    return sim::to_seconds(simulator.now());
+  }
+};
+
+struct SchedulerFixture : ::testing::Test, Bed {};
+
+std::unique_ptr<Program> compute_program(double instructions,
+                                         hw::InstructionMix mix =
+                                             hw::mixes::idle_spin()) {
+  ProgramBuilder builder;
+  builder.compute(instructions, mix);
+  return builder.build();
+}
+
+// ---- programs -----------------------------------------------------------------
+
+TEST(Program, StepListReturnsStepsThenDone) {
+  ProgramBuilder builder;
+  builder.compute(100, hw::mixes::idle_spin()).sleep(5);
+  auto program = builder.build();
+  EXPECT_TRUE(std::holds_alternative<ComputeStep>(program->next()));
+  EXPECT_TRUE(std::holds_alternative<SleepStep>(program->next()));
+  EXPECT_TRUE(std::holds_alternative<DoneStep>(program->next()));
+  EXPECT_TRUE(std::holds_alternative<DoneStep>(program->next()));
+}
+
+TEST(Program, BuilderRepeatLast) {
+  ProgramBuilder builder;
+  builder.disk_read(4096);
+  builder.repeat_last(3);
+  auto program = builder.build();
+  int disk_steps = 0;
+  while (std::holds_alternative<DiskStep>(program->next())) ++disk_steps;
+  EXPECT_EQ(disk_steps, 3);
+}
+
+TEST(Program, RepeatLastOnEmptyThrows) {
+  ProgramBuilder builder;
+  EXPECT_THROW(builder.repeat_last(2), util::ConfigError);
+}
+
+TEST(Program, InfiniteComputeNeverEnds) {
+  InfiniteComputeProgram program(1000, hw::mixes::einstein());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(std::holds_alternative<ComputeStep>(program.next()));
+  }
+}
+
+TEST(Program, GeneratorProgramDrivesFromCallable) {
+  int remaining = 2;
+  GeneratorProgram program([&]() -> Step {
+    if (remaining-- > 0) return ComputeStep{10, hw::mixes::idle_spin()};
+    return DoneStep{};
+  });
+  EXPECT_TRUE(std::holds_alternative<ComputeStep>(program.next()));
+  EXPECT_TRUE(std::holds_alternative<ComputeStep>(program.next()));
+  EXPECT_TRUE(std::holds_alternative<DoneStep>(program.next()));
+}
+
+// ---- scheduler: basic execution -------------------------------------------------
+
+TEST_F(SchedulerFixture, SingleThreadRunsToCompletion) {
+  auto& thread = scheduler.spawn("t0", PriorityClass::kNormal,
+                                 compute_program(1e9));
+  run_all();
+  EXPECT_TRUE(thread.done());
+  EXPECT_GT(thread.finish_time(), 0);
+  EXPECT_NEAR(thread.instructions_done(), 1e9, 1.0);
+}
+
+TEST_F(SchedulerFixture, SingleThreadDurationMatchesRate) {
+  const hw::InstructionMix mix = hw::mixes::idle_spin();
+  const double instructions = 2.4e9;
+  auto& thread = scheduler.spawn("t0", PriorityClass::kNormal,
+                                 compute_program(instructions, mix));
+  run_all();
+  const double expected =
+      instructions / machine.chip().native_ips(mix.normalized());
+  EXPECT_NEAR(sim::to_seconds(thread.finish_time()), expected,
+              expected * 1e-6);
+}
+
+TEST_F(SchedulerFixture, TwoThreadsUseBothCores) {
+  auto& a = scheduler.spawn("a", PriorityClass::kNormal,
+                            compute_program(1e9));
+  auto& b = scheduler.spawn("b", PriorityClass::kNormal,
+                            compute_program(1e9));
+  simulator.step();  // let placement happen
+  EXPECT_NE(a.core(), b.core());
+  run_all();
+  EXPECT_TRUE(a.done());
+  EXPECT_TRUE(b.done());
+}
+
+TEST_F(SchedulerFixture, CacheContentionSlowsCorunners) {
+  // One memory-heavy thread alone, then two together: each must be slower
+  // together than alone (the paper's 180%-of-200% effect).
+  const auto mix = hw::mixes::sevenzip();
+  auto& solo = scheduler.spawn("solo", PriorityClass::kNormal,
+                               compute_program(1e9, mix));
+  run_all();
+  const double solo_seconds = sim::to_seconds(solo.finish_time());
+
+  Bed second;
+  auto& a = second.scheduler.spawn("a", PriorityClass::kNormal,
+                                   compute_program(1e9, mix));
+  second.scheduler.spawn("b", PriorityClass::kNormal,
+                         compute_program(1e9, mix));
+  second.run_all();
+  const double pair_seconds = sim::to_seconds(a.finish_time());
+  EXPECT_GT(pair_seconds, solo_seconds * 1.05);
+  EXPECT_LT(pair_seconds, solo_seconds * 1.5);  // still mostly parallel
+}
+
+TEST_F(SchedulerFixture, ThreeThreadsShareTwoCoresFairly) {
+  std::vector<HostThread*> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.push_back(&scheduler.spawn("t" + std::to_string(i),
+                                       PriorityClass::kNormal,
+                                       compute_program(1e9)));
+  }
+  run_all();
+  // Round robin: all finish, with finish times within ~30% of each other.
+  double min_finish = 1e18, max_finish = 0;
+  for (const auto* thread : threads) {
+    EXPECT_TRUE(thread->done());
+    min_finish = std::min(min_finish,
+                          sim::to_seconds(thread->finish_time()));
+    max_finish = std::max(max_finish,
+                          sim::to_seconds(thread->finish_time()));
+  }
+  EXPECT_LT(max_finish / min_finish, 1.3);
+  EXPECT_GT(scheduler.context_switches(), 0u);
+}
+
+TEST_F(SchedulerFixture, IdleClassYieldsToNormal) {
+  // Two normal threads saturate both cores; an idle thread must wait.
+  auto& idle = scheduler.spawn("idle", PriorityClass::kIdle,
+                               compute_program(1e8));
+  auto& n0 = scheduler.spawn("n0", PriorityClass::kNormal,
+                             compute_program(1e9));
+  auto& n1 = scheduler.spawn("n1", PriorityClass::kNormal,
+                             compute_program(1e9));
+  run_all();
+  EXPECT_TRUE(idle.done());
+  EXPECT_GE(idle.finish_time(), n0.finish_time());
+  EXPECT_GE(idle.finish_time(), n1.finish_time());
+}
+
+TEST_F(SchedulerFixture, IdleClassRunsOnFreeCore) {
+  auto& idle = scheduler.spawn("idle", PriorityClass::kIdle,
+                               compute_program(1e8));
+  auto& normal = scheduler.spawn("n0", PriorityClass::kNormal,
+                                 compute_program(1e8));
+  run_all();
+  EXPECT_TRUE(idle.done());
+  // With a free core the idle thread finishes about when the normal does.
+  EXPECT_NEAR(sim::to_seconds(idle.finish_time()),
+              sim::to_seconds(normal.finish_time()),
+              sim::to_seconds(normal.finish_time()) * 0.2);
+}
+
+TEST_F(SchedulerFixture, HigherClassPreemptsRunningLower) {
+  auto& idle = scheduler.spawn("idle", PriorityClass::kIdle,
+                               compute_program(5e9));
+  scheduler.spawn("idle2", PriorityClass::kIdle, compute_program(5e9));
+  simulator.step();
+  EXPECT_EQ(idle.state(), ThreadState::kRunning);
+  // Two normal threads arrive and must take both cores.
+  auto& n0 = scheduler.spawn("n0", PriorityClass::kNormal,
+                             compute_program(1e8));
+  auto& n1 = scheduler.spawn("n1", PriorityClass::kNormal,
+                             compute_program(1e8));
+  EXPECT_EQ(n0.state(), ThreadState::kRunning);
+  EXPECT_EQ(n1.state(), ThreadState::kRunning);
+  EXPECT_NE(idle.state(), ThreadState::kRunning);
+  run_all();
+}
+
+TEST_F(SchedulerFixture, CpuTimeAccountedPerThread) {
+  auto& thread = scheduler.spawn("t0", PriorityClass::kNormal,
+                                 compute_program(1e9));
+  run_all();
+  // Alone on a core: cpu time equals wall time.
+  EXPECT_NEAR(static_cast<double>(thread.cpu_time()),
+              static_cast<double>(thread.finish_time() -
+                                  thread.start_time()),
+              1e3);
+}
+
+// ---- scheduler: blocking steps ---------------------------------------------------
+
+TEST_F(SchedulerFixture, DiskStepBlocksAndResumes) {
+  ProgramBuilder builder;
+  builder.compute(1e6, hw::mixes::io_bound());
+  builder.disk_read(10 * 1024 * 1024);
+  builder.compute(1e6, hw::mixes::io_bound());
+  auto& thread = scheduler.spawn("io", PriorityClass::kNormal,
+                                 builder.build());
+  run_all();
+  EXPECT_TRUE(thread.done());
+  // Blocked time (disk) is wall but not CPU.
+  EXPECT_LT(thread.cpu_time(),
+            thread.finish_time() - thread.start_time());
+  EXPECT_EQ(machine.disk().completed_ops(), 1u);
+}
+
+TEST_F(SchedulerFixture, NetStepUsesNic) {
+  ProgramBuilder builder;
+  builder.net(1000 * 1000);
+  auto& thread = scheduler.spawn("net", PriorityClass::kNormal,
+                                 builder.build());
+  run_all();
+  EXPECT_TRUE(thread.done());
+  EXPECT_EQ(machine.nic().bytes_transferred(), 1000u * 1000u);
+  // 1 MB at ~12.4 MB/s: roughly 80 ms.
+  EXPECT_NEAR(sim::to_seconds(thread.finish_time()), 0.081, 0.01);
+}
+
+TEST_F(SchedulerFixture, SleepStepDelaysCompletion) {
+  ProgramBuilder builder;
+  builder.sleep(sim::from_seconds(0.5));
+  auto& thread = scheduler.spawn("sleeper", PriorityClass::kNormal,
+                                 builder.build());
+  run_all();
+  EXPECT_NEAR(sim::to_seconds(thread.finish_time()), 0.5, 1e-9);
+  EXPECT_EQ(thread.cpu_time(), 0);
+}
+
+TEST_F(SchedulerFixture, BlockedThreadFreesCoreForOthers) {
+  ProgramBuilder io_builder;
+  io_builder.disk_read(50 * 1024 * 1024);  // long read
+  scheduler.spawn("io", PriorityClass::kNormal, io_builder.build());
+
+  auto& c0 = scheduler.spawn("c0", PriorityClass::kNormal,
+                             compute_program(1e8));
+  auto& c1 = scheduler.spawn("c1", PriorityClass::kNormal,
+                             compute_program(1e8));
+  simulator.step();
+  // The I/O thread blocked immediately, so both compute threads run.
+  EXPECT_EQ(c0.state(), ThreadState::kRunning);
+  EXPECT_EQ(c1.state(), ThreadState::kRunning);
+  run_all();
+}
+
+// ---- scheduler: callbacks & misc --------------------------------------------------
+
+TEST_F(SchedulerFixture, OnDoneFires) {
+  bool fired = false;
+  auto& thread = scheduler.spawn("t0", PriorityClass::kNormal,
+                                 compute_program(1e6));
+  thread.set_on_done([&](HostThread& t) {
+    fired = true;
+    EXPECT_EQ(&t, &thread);
+  });
+  run_all();
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(SchedulerFixture, OnDoneMaySpawnNewThread) {
+  auto& first = scheduler.spawn("first", PriorityClass::kNormal,
+                                compute_program(1e6));
+  HostThread* second = nullptr;
+  first.set_on_done([&](HostThread&) {
+    second = &scheduler.spawn("second", PriorityClass::kNormal,
+                              compute_program(1e6));
+  });
+  run_all();
+  ASSERT_NE(second, nullptr);
+  EXPECT_TRUE(second->done());
+}
+
+TEST_F(SchedulerFixture, EmptyProgramFinishesImmediately) {
+  ProgramBuilder builder;
+  auto& thread = scheduler.spawn("noop", PriorityClass::kNormal,
+                                 builder.build());
+  EXPECT_TRUE(thread.done());
+}
+
+TEST_F(SchedulerFixture, ZeroInstructionComputeStepsAreSkipped) {
+  ProgramBuilder builder;
+  builder.compute(0.0, hw::mixes::idle_spin());
+  builder.compute(1e6, hw::mixes::idle_spin());
+  auto& thread = scheduler.spawn("t", PriorityClass::kNormal,
+                                 builder.build());
+  run_all();
+  EXPECT_TRUE(thread.done());
+  EXPECT_NEAR(thread.instructions_done(), 1e6, 1.0);
+}
+
+TEST_F(SchedulerFixture, VmOwnedFlagPublishedToMachine) {
+  scheduler.spawn("vcpu", PriorityClass::kIdle,
+                  compute_program(1e9, hw::mixes::einstein()),
+                  /*vm_owned=*/true);
+  simulator.step();
+  bool vm_core_seen = false;
+  for (int core = 0; core < machine.core_count(); ++core) {
+    if (machine.occupancy(core).busy && machine.occupancy(core).vm_owned) {
+      vm_core_seen = true;
+    }
+  }
+  EXPECT_TRUE(vm_core_seen);
+}
+
+TEST_F(SchedulerFixture, BadQuantumRejected) {
+  SchedulerConfig config;
+  config.quantum = 0;
+  EXPECT_THROW(PriorityScheduler(machine, config), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace vgrid::os

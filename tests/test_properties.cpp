@@ -1,0 +1,241 @@
+// Property-based tests: invariants that must hold across swept parameter
+// spaces — scheduler work conservation, machine service-load accounting,
+// page-cache bookkeeping, wire-protocol robustness against arbitrary
+// bytes, and event-queue stress determinism.
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+#include "grid/messages.hpp"
+#include "guest/page_cache.hpp"
+#include "hw/machine.hpp"
+#include "os/scheduler.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace vgrid {
+namespace {
+
+// ---- scheduler work conservation ------------------------------------------------
+
+class SchedulerConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerConservation, WorkNeverExceedsMachineCapacity) {
+  // N competing threads on 2 cores: total instructions retired can never
+  // exceed cores x peak-rate x wall time, and every thread finishes.
+  const int n = GetParam();
+  core::Testbed testbed;
+  std::vector<os::HostThread*> threads;
+  const double work = 5e8;
+  for (int i = 0; i < n; ++i) {
+    os::ProgramBuilder builder;
+    builder.compute(work, hw::mixes::sevenzip());
+    threads.push_back(&testbed.scheduler().spawn(
+        "t" + std::to_string(i),
+        i % 2 == 0 ? os::PriorityClass::kNormal : os::PriorityClass::kIdle,
+        builder.build()));
+  }
+  testbed.run_all();
+  const double wall = sim::to_seconds(testbed.simulator().now());
+  const double peak_rate = testbed.machine().chip().native_ips(
+      hw::mixes::sevenzip().normalized());
+  double total = 0.0;
+  for (const auto* thread : threads) {
+    EXPECT_TRUE(thread->done());
+    EXPECT_NEAR(thread->instructions_done(), work, 1.0);
+    total += thread->instructions_done();
+  }
+  EXPECT_LE(total, 2.0 * peak_rate * wall * 1.0001);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, SchedulerConservation,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST(SchedulerConservation, CpuTimeBoundedByWallTimesCores) {
+  core::Testbed testbed;
+  std::vector<os::HostThread*> threads;
+  for (int i = 0; i < 6; ++i) {
+    os::ProgramBuilder builder;
+    builder.compute(3e8, hw::mixes::nbench_int());
+    threads.push_back(&testbed.scheduler().spawn(
+        "t" + std::to_string(i), os::PriorityClass::kNormal,
+        builder.build()));
+  }
+  testbed.run_all();
+  const auto wall = testbed.simulator().now();
+  sim::SimDuration total_cpu = 0;
+  for (const auto* thread : threads) total_cpu += thread->cpu_time();
+  EXPECT_LE(total_cpu, 2 * wall + 10);
+  // And the machine was actually busy: at least 95% utilized.
+  EXPECT_GE(static_cast<double>(total_cpu),
+            0.95 * 2.0 * static_cast<double>(wall));
+}
+
+// ---- machine service-load accounting ----------------------------------------------
+
+class ServiceLoadSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ServiceLoadSweep, SharesNeverExceedDemandOrCoreCapacity) {
+  const double demand = GetParam();
+  sim::Simulator simulator;
+  hw::Machine machine(simulator);
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(demand * 1000));
+  for (int combo = 0; combo < 16; ++combo) {
+    for (int core = 0; core < machine.core_count(); ++core) {
+      if (rng.chance(0.5)) {
+        machine.set_occupancy(
+            core, hw::CoreOccupancy{true, rng.uniform(0, 0.5),
+                                    rng.uniform(0, 0.7), rng.chance(0.3)});
+      } else {
+        machine.clear_occupancy(core);
+      }
+    }
+    machine.set_service_demand(demand);
+    double total_share = 0.0;
+    for (int core = 0; core < machine.core_count(); ++core) {
+      const double share = machine.interrupt_share(core);
+      EXPECT_GE(share, 0.0);
+      EXPECT_LE(share, 1.0);
+      total_share += share;
+    }
+    // The distributed share never exceeds the demand (capped per core).
+    EXPECT_LE(total_share, demand + 1e-9);
+    // Rate factors stay in (0, 1].
+    for (int core = 0; core < machine.core_count(); ++core) {
+      for (const bool vm_owned : {false, true}) {
+        const double factor = machine.rate_factor(core, 0.6, vm_owned);
+        EXPECT_GT(factor, 0.0);
+        EXPECT_LE(factor, 1.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Demands, ServiceLoadSweep,
+                         ::testing::Values(0.0, 0.1, 0.2, 0.6, 1.0, 1.8));
+
+// ---- page cache bookkeeping ---------------------------------------------------------
+
+class PageCacheSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(PageCacheSweep, InvariantsUnderRandomWorkload) {
+  const auto [capacity_mb, dirty_ratio] = GetParam();
+  guest::PageCache cache(capacity_mb * util::MiB, dirty_ratio);
+  util::Xoshiro256 rng(capacity_mb * 31 +
+                       static_cast<std::uint64_t>(dirty_ratio * 100));
+  for (int op = 0; op < 500; ++op) {
+    const std::string file = "f" + std::to_string(rng.below(12));
+    const std::uint64_t bytes = (1 + rng.below(8)) * util::MiB;
+    guest::AccessPlan plan;
+    switch (rng.below(4)) {
+      case 0: plan = cache.plan_read(file, bytes); break;
+      case 1: plan = cache.plan_write(file, bytes); break;
+      case 2: cache.flush(file); break;
+      default: cache.drop_clean(); break;
+    }
+    // Core invariants after every operation.
+    ASSERT_LE(cache.used(), cache.capacity());
+    ASSERT_LE(cache.dirty(), cache.used());
+    ASSERT_EQ(plan.cached_bytes + plan.disk_bytes,
+              plan.cached_bytes + plan.disk_bytes);  // plan is well-formed
+  }
+  cache.flush_all();
+  ASSERT_EQ(cache.dirty(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PageCacheSweep,
+    ::testing::Combine(::testing::Values(std::uint64_t{8},
+                                         std::uint64_t{64},
+                                         std::uint64_t{160}),
+                       ::testing::Values(0.2, 0.4, 0.9)));
+
+// ---- protocol robustness -------------------------------------------------------------
+
+TEST(ProtocolFuzz, RandomBytesNeverCrashParsers) {
+  util::Xoshiro256 rng(777);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string line;
+    const std::size_t length = rng.below(120);
+    for (std::size_t i = 0; i < length; ++i) {
+      line += static_cast<char>(rng.below(256));
+    }
+    // None of these may throw or crash; returning nullopt is fine.
+    (void)grid::parse_work_request(line);
+    (void)grid::parse_work_response(line);
+    (void)grid::parse_submit_request(line);
+    (void)grid::parse_submit_response(line);
+    (void)grid::request_tag(line);
+  }
+}
+
+TEST(ProtocolFuzz, EscapeUnescapeIdentityOnRandomStrings) {
+  util::Xoshiro256 rng(778);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string raw;
+    const std::size_t length = rng.below(200);
+    for (std::size_t i = 0; i < length; ++i) {
+      raw += static_cast<char>(rng.below(256));
+    }
+    ASSERT_EQ(grid::unescape_field(grid::escape_field(raw)), raw);
+    // Escaped form must be framing-safe.
+    const std::string escaped = grid::escape_field(raw);
+    EXPECT_EQ(escaped.find('|'), std::string::npos);
+    EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  }
+}
+
+// ---- event queue stress ----------------------------------------------------------------
+
+TEST(EventQueueStress, RandomInsertCancelKeepsOrder) {
+  util::Xoshiro256 rng(999);
+  sim::EventQueue queue;
+  std::vector<sim::EventId> live;
+  for (int op = 0; op < 5000; ++op) {
+    if (live.empty() || rng.chance(0.7)) {
+      live.push_back(queue.push(
+          static_cast<sim::SimTime>(rng.below(1'000'000)), [] {}));
+    } else {
+      const std::size_t index = rng.below(live.size());
+      queue.cancel(live[index]);
+      live.erase(live.begin() + static_cast<long>(index));
+    }
+  }
+  sim::SimTime previous = -1;
+  std::size_t popped = 0;
+  while (!queue.empty()) {
+    const auto fired = queue.pop();
+    ASSERT_GE(fired.time, previous);
+    previous = fired.time;
+    ++popped;
+  }
+  EXPECT_EQ(popped, live.size());
+}
+
+TEST(EventQueueStress, DeterministicAcrossRuns) {
+  auto run = [] {
+    util::Xoshiro256 rng(4321);
+    sim::Simulator simulator;
+    std::vector<sim::SimTime> fire_times;
+    std::function<void()> spawn = [&] {
+      fire_times.push_back(simulator.now());
+      if (fire_times.size() < 200) {
+        simulator.schedule(
+            static_cast<sim::SimDuration>(1 + rng.below(1000)), spawn);
+        if (rng.chance(0.3)) {
+          simulator.schedule(
+              static_cast<sim::SimDuration>(1 + rng.below(1000)), spawn);
+        }
+      }
+    };
+    simulator.schedule(1, spawn);
+    simulator.run_until(1'000'000'000);
+    return fire_times;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace vgrid

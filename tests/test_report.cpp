@@ -1,0 +1,145 @@
+// Tests for the report module: tables, CSV escaping, bar charts and CSV
+// file output.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "report/barchart.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "util/error.hpp"
+
+namespace vgrid::report {
+namespace {
+
+TEST(Table, AsciiAlignsColumns) {
+  Table table("Title");
+  table.set_header({"name", "value"});
+  table.add_row({"vmplayer", "1.15"});
+  table.add_row({"qemu", "2.10"});
+  const std::string out = table.ascii();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("vmplayer  1.15"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, NumericRowHelperFormats) {
+  Table table;
+  table.set_header({"env", "a", "b"});
+  table.add_row("x", {1.23456, 2.0}, 2);
+  EXPECT_NE(table.ascii().find("1.23"), std::string::npos);
+  EXPECT_EQ(table.rows().size(), 1u);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table table;
+  table.set_header({"label", "note"});
+  table.add_row({"a,b", "say \"hi\""});
+  const std::string csv = table.csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainFieldsUnquoted) {
+  Table table;
+  table.set_header({"x"});
+  table.add_row({"plain"});
+  EXPECT_EQ(table.csv(), "x\nplain\n");
+}
+
+TEST(BarChart, BarsScaleToMaximum) {
+  BarChart chart("demo", "Mbps");
+  chart.add("big", 100.0);
+  chart.add("small", 50.0);
+  const std::string out = chart.ascii(20);
+  // The big bar must be about twice the small one.
+  std::size_t big = 0, small = 0;
+  for (const auto& line : {out.substr(out.find("big")),
+                           out.substr(out.find("small"))}) {
+    const std::size_t hashes =
+        static_cast<std::size_t>(std::count(line.begin(),
+                                            line.begin() +
+                                                static_cast<long>(
+                                                    line.find('\n')),
+                                            '#'));
+    if (line.rfind("big", 0) == 0) big = hashes;
+    if (line.rfind("small", 0) == 0) small = hashes;
+  }
+  EXPECT_EQ(big, 20u);
+  EXPECT_EQ(small, 10u);
+}
+
+TEST(BarChart, ReferenceLineRendered) {
+  BarChart chart;
+  chart.set_reference(1.0, "native");
+  chart.add("vm", 1.5);
+  const std::string out = chart.ascii();
+  EXPECT_NE(out.find("native"), std::string::npos);
+}
+
+TEST(Csv, WritesFile) {
+  Table table("t");
+  table.set_header({"a"});
+  table.add_row({"1"});
+  const auto path =
+      std::filesystem::temp_directory_path() / "vgrid-test.csv";
+  write_csv(path.string(), table);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, FailsOnBadPath) {
+  Table table;
+  EXPECT_THROW(write_csv("/nonexistent-dir/x.csv", table),
+               util::SystemError);
+}
+
+TEST(Table, HeaderlessTableRendersRowsOnly) {
+  Table table;
+  table.add_row({"a", "b"});
+  const std::string out = table.ascii();
+  EXPECT_NE(out.find("a  b"), std::string::npos);
+  EXPECT_EQ(out.find("---"), std::string::npos);  // no separator
+}
+
+TEST(Table, EmptyTableIsJustTheTitle) {
+  Table table("only title");
+  EXPECT_EQ(table.ascii(), "only title\n");
+  EXPECT_EQ(table.csv(), "");
+}
+
+TEST(Table, RaggedRowsTolerated) {
+  Table table;
+  table.set_header({"a", "b", "c"});
+  table.add_row({"1"});
+  table.add_row({"1", "2", "3"});
+  const std::string out = table.ascii();
+  EXPECT_NE(out.find("3"), std::string::npos);
+}
+
+TEST(BarChart, AllZeroValuesDoNotDivideByZero) {
+  BarChart chart;
+  chart.add("x", 0.0);
+  chart.add("y", 0.0);
+  const std::string out = chart.ascii(10);
+  EXPECT_NE(out.find("x"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '#'), 0);
+}
+
+TEST(BarChart, NegativeAndEmptyInputsAreSafe) {
+  BarChart empty;
+  EXPECT_TRUE(empty.ascii().empty() || !empty.ascii().empty());
+  BarChart chart("t");
+  chart.add("neg", -5.0);
+  chart.add("pos", 5.0);
+  const std::string out = chart.ascii(10);
+  EXPECT_NE(out.find("pos"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vgrid::report

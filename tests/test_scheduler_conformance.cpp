@@ -1,0 +1,139 @@
+// Typed conformance suite: behaviors every Scheduler implementation must
+// share (the XP-style PriorityScheduler and the CFS-style FairScheduler),
+// run against both via gtest typed tests.
+
+#include <gtest/gtest.h>
+
+#include "hw/machine.hpp"
+#include "os/fair_scheduler.hpp"
+#include "os/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace vgrid::os {
+namespace {
+
+template <typename SchedulerT>
+class SchedulerConformance : public ::testing::Test {
+ protected:
+  sim::Simulator simulator;
+  hw::Machine machine{simulator};
+  SchedulerT scheduler{machine};
+
+  void run_all() {
+    while (!scheduler.all_done() && simulator.pending_events() > 0) {
+      simulator.step();
+    }
+  }
+
+  std::unique_ptr<Program> spin(double instructions) {
+    ProgramBuilder builder;
+    builder.compute(instructions, hw::mixes::idle_spin());
+    return builder.build();
+  }
+};
+
+using SchedulerTypes = ::testing::Types<PriorityScheduler, FairScheduler>;
+TYPED_TEST_SUITE(SchedulerConformance, SchedulerTypes);
+
+TYPED_TEST(SchedulerConformance, CompletesAllThreads) {
+  for (int i = 0; i < 5; ++i) {
+    this->scheduler.spawn("t" + std::to_string(i),
+                          i % 2 ? PriorityClass::kIdle
+                                : PriorityClass::kNormal,
+                          this->spin(3e8));
+  }
+  this->run_all();
+  EXPECT_TRUE(this->scheduler.all_done());
+  for (const auto& thread : this->scheduler.threads()) {
+    EXPECT_NEAR(thread->instructions_done(), 3e8, 1.0) << thread->name();
+  }
+}
+
+TYPED_TEST(SchedulerConformance, WorkConservation) {
+  for (int i = 0; i < 4; ++i) {
+    this->scheduler.spawn("t" + std::to_string(i), PriorityClass::kNormal,
+                          this->spin(5e8));
+  }
+  this->run_all();
+  const auto wall = this->simulator.now();
+  sim::SimDuration cpu = 0;
+  for (const auto& thread : this->scheduler.threads()) {
+    cpu += thread->cpu_time();
+  }
+  EXPECT_LE(cpu, 2 * wall + 10);                       // capacity bound
+  EXPECT_GE(static_cast<double>(cpu),
+            0.95 * 2.0 * static_cast<double>(wall));   // and busy
+}
+
+TYPED_TEST(SchedulerConformance, BlockingThreadResumes) {
+  ProgramBuilder builder;
+  builder.compute(1e8, hw::mixes::io_bound());
+  builder.disk_read(4 * 1024 * 1024);
+  builder.compute(1e8, hw::mixes::io_bound());
+  auto& thread = this->scheduler.spawn("io", PriorityClass::kNormal,
+                                       builder.build());
+  this->run_all();
+  EXPECT_TRUE(thread.done());
+  EXPECT_EQ(this->machine.disk().completed_ops(), 1u);
+}
+
+TYPED_TEST(SchedulerConformance, SleepHasNoCpuCost) {
+  ProgramBuilder builder;
+  builder.sleep(sim::from_seconds(0.25));
+  auto& thread = this->scheduler.spawn("zzz", PriorityClass::kNormal,
+                                       builder.build());
+  this->run_all();
+  EXPECT_NEAR(sim::to_seconds(thread.finish_time()), 0.25, 1e-9);
+  EXPECT_EQ(thread.cpu_time(), 0);
+}
+
+TYPED_TEST(SchedulerConformance, OnDoneCallbackFires) {
+  int fired = 0;
+  auto& thread = this->scheduler.spawn("t", PriorityClass::kNormal,
+                                       this->spin(1e6));
+  thread.set_on_done([&fired](HostThread&) { ++fired; });
+  this->run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+TYPED_TEST(SchedulerConformance, DeterministicAcrossIdenticalRuns) {
+  auto run_once = [] {
+    sim::Simulator fresh_simulator;
+    hw::Machine fresh_machine{fresh_simulator};
+    TypeParam fresh_scheduler{fresh_machine};
+    std::vector<sim::SimTime> finishes;
+    for (int i = 0; i < 4; ++i) {
+      ProgramBuilder builder;
+      builder.compute(2e8 + i * 7e7, hw::mixes::sevenzip());
+      auto& thread = fresh_scheduler.spawn("t" + std::to_string(i),
+                                           i % 2 ? PriorityClass::kIdle
+                                                 : PriorityClass::kNormal,
+                                           builder.build());
+      thread.set_on_done([&finishes](HostThread& t) {
+        finishes.push_back(t.finish_time());
+      });
+    }
+    while (!fresh_scheduler.all_done() &&
+           fresh_simulator.pending_events() > 0) {
+      fresh_simulator.step();
+    }
+    return finishes;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TYPED_TEST(SchedulerConformance, VmOwnedThreadExemptFromInterruptTax) {
+  this->machine.set_service_demand(0.5);
+  auto& vm_thread = this->scheduler.spawn(
+      "vcpu", PriorityClass::kNormal, this->spin(1e9), /*vm_owned=*/true);
+  this->run_all();
+  // Alone on the machine: its wall time must match the untaxed rate.
+  const double expected =
+      1e9 / this->machine.chip().native_ips(
+                hw::mixes::idle_spin().normalized());
+  EXPECT_NEAR(sim::to_seconds(vm_thread.finish_time()), expected,
+              expected * 0.02);
+}
+
+}  // namespace
+}  // namespace vgrid::os

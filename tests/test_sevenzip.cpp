@@ -1,0 +1,431 @@
+// Tests for the 7z-style compressor: range coder primitives, LZ77
+// tokenizer, full round-trips (including parameterized property sweeps)
+// and the benchmark mode.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workloads/sevenzip/bench7z.hpp"
+#include "workloads/sevenzip/compressor.hpp"
+#include "workloads/sevenzip/lz77.hpp"
+#include "workloads/sevenzip/range_coder.hpp"
+
+namespace vgrid::workloads::sevenzip {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+// ---- range coder -------------------------------------------------------------
+
+TEST(RangeCoder, SingleBitRoundTrip) {
+  for (const int bit : {0, 1}) {
+    RangeEncoder encoder;
+    BitProb prob = kProbInit;
+    encoder.encode_bit(prob, bit);
+    encoder.finish();
+    const auto data = encoder.take_output();
+    RangeDecoder decoder(data);
+    BitProb dprob = kProbInit;
+    EXPECT_EQ(decoder.decode_bit(dprob), bit);
+  }
+}
+
+TEST(RangeCoder, LongBitSequenceRoundTrip) {
+  util::Xoshiro256 rng(5);
+  std::vector<int> bits(20000);
+  for (auto& b : bits) b = rng.chance(0.85) ? 1 : 0;  // skewed
+
+  RangeEncoder encoder;
+  BitProb prob = kProbInit;
+  for (const int b : bits) encoder.encode_bit(prob, b);
+  encoder.finish();
+  const auto data = encoder.take_output();
+
+  RangeDecoder decoder(data);
+  BitProb dprob = kProbInit;
+  for (const int b : bits) {
+    ASSERT_EQ(decoder.decode_bit(dprob), b);
+  }
+  EXPECT_FALSE(decoder.underflow());
+}
+
+TEST(RangeCoder, SkewedBitsCompressBelowOneBitPerSymbol) {
+  util::Xoshiro256 rng(6);
+  const int n = 100000;
+  RangeEncoder encoder;
+  BitProb prob = kProbInit;
+  for (int i = 0; i < n; ++i) {
+    encoder.encode_bit(prob, rng.chance(0.95) ? 1 : 0);
+  }
+  encoder.finish();
+  // Entropy of p=0.95 is ~0.286 bits; adaptive coding should get close.
+  EXPECT_LT(encoder.output().size(), n / 8 / 2);
+}
+
+TEST(RangeCoder, DirectBitsRoundTrip) {
+  util::Xoshiro256 rng(7);
+  std::vector<std::pair<std::uint32_t, int>> values;
+  RangeEncoder encoder;
+  for (int i = 0; i < 2000; ++i) {
+    const int bits = 1 + static_cast<int>(rng.below(24));
+    const auto value =
+        static_cast<std::uint32_t>(rng.below(1ull << bits));
+    values.emplace_back(value, bits);
+    encoder.encode_direct_bits(value, bits);
+  }
+  encoder.finish();
+  RangeDecoder decoder(encoder.output());
+  for (const auto& [value, bits] : values) {
+    ASSERT_EQ(decoder.decode_direct_bits(bits), value);
+  }
+}
+
+TEST(RangeCoder, BitTreeRoundTrip) {
+  util::Xoshiro256 rng(8);
+  std::vector<BitProb> enc_probs(1 << 9, kProbInit);
+  std::vector<BitProb> dec_probs(1 << 9, kProbInit);
+  std::vector<std::uint32_t> symbols(5000);
+  RangeEncoder encoder;
+  for (auto& s : symbols) {
+    s = static_cast<std::uint32_t>(rng.below(256));
+    encoder.encode_bit_tree(enc_probs, s, 8);
+  }
+  encoder.finish();
+  RangeDecoder decoder(encoder.output());
+  for (const std::uint32_t s : symbols) {
+    ASSERT_EQ(decoder.decode_bit_tree(dec_probs, 8), s);
+  }
+}
+
+TEST(RangeCoder, DecoderReportsUnderflowOnTruncatedInput) {
+  RangeEncoder encoder;
+  BitProb prob = kProbInit;
+  for (int i = 0; i < 1000; ++i) encoder.encode_bit(prob, i & 1);
+  encoder.finish();
+  auto data = encoder.take_output();
+  data.resize(data.size() / 4);
+  RangeDecoder decoder(data);
+  BitProb dprob = kProbInit;
+  for (int i = 0; i < 1000; ++i) (void)decoder.decode_bit(dprob);
+  EXPECT_TRUE(decoder.underflow());
+}
+
+// ---- LZ77 -----------------------------------------------------------------------
+
+TEST(Lz77, EmptyInput) {
+  const auto tokens = tokenize({});
+  EXPECT_TRUE(tokens.empty());
+  EXPECT_TRUE(detokenize(tokens, 0).empty());
+}
+
+TEST(Lz77, AllLiteralsForShortInput) {
+  const auto data = bytes_of("ab");
+  const auto tokens = tokenize(data);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_FALSE(tokens[0].is_match());
+  EXPECT_EQ(detokenize(tokens, data.size()), data);
+}
+
+TEST(Lz77, FindsRepeats) {
+  const auto data = bytes_of("abcabcabcabcabcabc");
+  MatchFinderStats stats;
+  const auto tokens = tokenize(data, {}, &stats);
+  EXPECT_GT(stats.matches_emitted, 0u);
+  EXPECT_EQ(detokenize(tokens, data.size()), data);
+}
+
+TEST(Lz77, OverlappingMatchRle) {
+  // "aaaa..." forces distance-1 overlapping copies.
+  const std::vector<std::uint8_t> data(500, 'a');
+  const auto tokens = tokenize(data);
+  EXPECT_LT(tokens.size(), 20u);
+  EXPECT_EQ(detokenize(tokens, data.size()), data);
+}
+
+TEST(Lz77, MatchLengthCapRespected) {
+  const std::vector<std::uint8_t> data(10000, 'x');
+  for (const Token& token : tokenize(data)) {
+    if (token.is_match()) {
+      EXPECT_LE(token.length, kMaxMatch);
+      EXPECT_GE(token.length, kMinMatch);
+    }
+  }
+}
+
+TEST(Lz77, DetokenizeRejectsBadDistance) {
+  std::vector<Token> tokens;
+  tokens.push_back(Token{0, 0, 'a'});
+  tokens.push_back(Token{5, 9, 0});  // distance beyond output
+  EXPECT_THROW(detokenize(tokens, 6), util::VgridError);
+}
+
+TEST(Lz77, LazyMatchingNotWorseThanGreedy) {
+  const auto corpus = SevenZipBench::generate_corpus(64 * 1024, 99);
+  MatchFinderConfig lazy;
+  lazy.lazy_matching = true;
+  MatchFinderConfig greedy;
+  greedy.lazy_matching = false;
+  const auto lazy_tokens = tokenize(corpus, lazy);
+  const auto greedy_tokens = tokenize(corpus, greedy);
+  EXPECT_EQ(detokenize(lazy_tokens, corpus.size()), corpus);
+  EXPECT_EQ(detokenize(greedy_tokens, corpus.size()), corpus);
+  EXPECT_LE(lazy_tokens.size(), greedy_tokens.size() + 16);
+}
+
+// ---- compressor round-trips -----------------------------------------------------
+
+TEST(Compressor, EmptyRoundTrip) {
+  const auto packed = compress({});
+  EXPECT_TRUE(decompress(packed).empty());
+}
+
+TEST(Compressor, TextRoundTrip) {
+  const auto data = bytes_of(
+      "the quick brown fox jumps over the lazy dog; "
+      "the quick brown fox jumps over the lazy dog again and again");
+  const auto packed = compress(data);
+  EXPECT_EQ(decompress(packed), data);
+}
+
+TEST(Compressor, RepetitiveInputCompressesWell) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 1000; ++i) {
+    const auto chunk = bytes_of("desktop grid computing ");
+    data.insert(data.end(), chunk.begin(), chunk.end());
+  }
+  CompressStats stats;
+  const auto packed = compress(data, {}, &stats);
+  EXPECT_LT(stats.ratio(), 0.05);
+  EXPECT_EQ(decompress(packed), data);
+}
+
+TEST(Compressor, IncompressibleInputExpandsOnlySlightly) {
+  util::Xoshiro256 rng(3);
+  std::vector<std::uint8_t> data(64 * 1024);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  CompressStats stats;
+  const auto packed = compress(data, {}, &stats);
+  EXPECT_LT(stats.ratio(), 1.10);
+  EXPECT_EQ(decompress(packed), data);
+}
+
+TEST(Compressor, RejectsCorruptMagic) {
+  auto packed = compress(bytes_of("hello hello hello"));
+  packed[0] ^= 0xFF;
+  EXPECT_THROW(decompress(packed), util::VgridError);
+}
+
+TEST(Compressor, RejectsTruncatedStream) {
+  const auto data = SevenZipBench::generate_corpus(32 * 1024, 4);
+  auto packed = compress(data);
+  packed.resize(packed.size() / 2);
+  EXPECT_THROW(decompress(packed), util::VgridError);
+}
+
+// Property sweep: round-trip across seeds and sizes (parameterized, as the
+// repetition methodology prescribes).
+class CompressorRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(CompressorRoundTrip, Holds) {
+  const auto [seed, size] = GetParam();
+  const auto data = SevenZipBench::generate_corpus(size, seed);
+  CompressStats stats;
+  const auto packed = compress(data, {}, &stats);
+  EXPECT_EQ(stats.input_bytes, data.size());
+  EXPECT_EQ(decompress(packed), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndSizes, CompressorRoundTrip,
+    ::testing::Combine(::testing::Values(1, 2, 3, 17, 99),
+                       ::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{1000},
+                                         std::size_t{65536},
+                                         std::size_t{262144})));
+
+// Adversarial structured patterns: the classic trip-wires for LZ77 +
+// entropy-coder implementations (match extension at buffer end, distance
+// slot boundaries, overlapping copies, degenerate alphabets).
+class CompressorAdversarial : public ::testing::TestWithParam<int> {
+ public:
+  static std::vector<std::uint8_t> make_pattern(int kind) {
+    std::vector<std::uint8_t> data;
+    switch (kind) {
+      case 0:  // all zeros
+        data.assign(100'000, 0);
+        break;
+      case 1:  // single byte then repeats (distance 1 from the start)
+        data.assign(65'537, 'z');
+        break;
+      case 2:  // alternating two symbols
+        for (int i = 0; i < 50'000; ++i) {
+          data.push_back(i % 2 == 0 ? 'a' : 'b');
+        }
+        break;
+      case 3: {  // period exactly at a distance-slot boundary (2^k)
+        for (int i = 0; i < 60'000; ++i) {
+          data.push_back(static_cast<std::uint8_t>(i % 4096));
+        }
+        break;
+      }
+      case 4: {  // long runs separated by unique bytes
+        for (int block = 0; block < 100; ++block) {
+          data.insert(data.end(), 500, static_cast<std::uint8_t>(block));
+          data.push_back(static_cast<std::uint8_t>(255 - block));
+        }
+        break;
+      }
+      case 5: {  // ascending ramp (no 3-byte repeats at all)
+        for (int i = 0; i < 70'000; ++i) {
+          data.push_back(static_cast<std::uint8_t>(i * 7 + i / 256));
+        }
+        break;
+      }
+      case 6: {  // match that must end exactly at the buffer end
+        const std::string phrase = "endgame";
+        for (int i = 0; i < 1000; ++i) {
+          data.insert(data.end(), phrase.begin(), phrase.end());
+        }
+        break;
+      }
+      default:  // tiny inputs 0..kMinMatch bytes
+        data.assign(static_cast<std::size_t>(kind - 7), 'q');
+        break;
+    }
+    return data;
+  }
+};
+
+TEST_P(CompressorAdversarial, RoundTrips) {
+  const auto data = make_pattern(GetParam());
+  const auto packed = compress(data);
+  EXPECT_EQ(decompress(packed), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, CompressorAdversarial,
+                         ::testing::Range(0, 12));
+
+TEST(Compressor, HighlyPeriodicDataApproachesEntropyFloor) {
+  const auto data = CompressorAdversarial::make_pattern(0);  // zeros
+  CompressStats stats;
+  (void)compress(data, {}, &stats);
+  EXPECT_LT(stats.ratio(), 0.01);  // 100 KB of zeros -> < 1 KB
+}
+
+// ---- benchmark mode ----------------------------------------------------------------
+
+TEST(Bench7z, CorpusIsCompressibleButNotTrivial) {
+  const auto corpus = SevenZipBench::generate_corpus(256 * 1024, 42);
+  CompressStats stats;
+  (void)compress(corpus, {}, &stats);
+  EXPECT_GT(stats.ratio(), 0.15);
+  EXPECT_LT(stats.ratio(), 0.95);
+}
+
+TEST(Bench7z, SingleThreadRunVerifies) {
+  Bench7zConfig config;
+  config.data_bytes = 128 * 1024;
+  SevenZipBench bench(config);
+  const Bench7zResult result = bench.run_benchmark();
+  EXPECT_TRUE(result.verified);
+  EXPECT_GT(result.elapsed_seconds, 0.0);
+  EXPECT_GT(result.mips(), 0.0);
+  EXPECT_EQ(result.input_bytes, 128u * 1024u);
+}
+
+TEST(Bench7z, MultiThreadProcessesPerThreadData) {
+  Bench7zConfig config;
+  config.data_bytes = 64 * 1024;
+  config.threads = 2;
+  SevenZipBench bench(config);
+  const Bench7zResult result = bench.run_benchmark();
+  EXPECT_TRUE(result.verified);
+  EXPECT_EQ(result.input_bytes, 2u * 64u * 1024u);
+}
+
+TEST(Bench7z, WorkloadInterface) {
+  Bench7zConfig config;
+  config.data_bytes = 64 * 1024;
+  SevenZipBench bench(config);
+  EXPECT_EQ(bench.name(), "7z-b-mmt1");
+  const NativeResult native = bench.run_native();
+  EXPECT_GT(native.elapsed_seconds, 0.0);
+  EXPECT_GT(bench.simulated_instructions(), 0.0);
+  auto program = bench.make_program();
+  EXPECT_TRUE(std::holds_alternative<os::ComputeStep>(program->next()));
+}
+
+TEST(Bench7z, ReportsDecompressionRate) {
+  Bench7zConfig config;
+  config.data_bytes = 256 * 1024;
+  SevenZipBench bench(config);
+  const Bench7zResult result = bench.run_benchmark();
+  EXPECT_GT(result.decompress_seconds, 0.0);
+  EXPECT_GT(result.decompress_mb_per_s(), 0.0);
+  // Expansion is much cheaper than match finding.
+  EXPECT_LT(result.decompress_seconds, result.elapsed_seconds);
+}
+
+TEST(Bench7z, RejectsBadConfig) {
+  Bench7zConfig config;
+  config.threads = 0;
+  EXPECT_THROW(SevenZipBench{config}, util::ConfigError);
+}
+
+// Robustness: random single-bit corruption of a valid stream must never
+// crash, hang, or return more data than the header promises — either a
+// clean VgridError or bounded (garbage) output.
+class CompressorBitFlip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompressorBitFlip, CorruptionIsContained) {
+  const auto data = SevenZipBench::generate_corpus(32 * 1024, 21);
+  auto packed = compress(data);
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()));
+  for (int flip = 0; flip < 50; ++flip) {
+    auto corrupted = packed;
+    const std::size_t byte = rng.below(corrupted.size());
+    corrupted[byte] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+    try {
+      const auto out = decompress(corrupted);
+      EXPECT_LE(out.size(), data.size());
+    } catch (const util::VgridError&) {
+      // Clean rejection is equally acceptable.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressorBitFlip,
+                         ::testing::Values(1, 2, 3));
+
+TEST(Compressor, RandomBytesWithValidHeaderContained) {
+  util::Xoshiro256 rng(33);
+  for (int trial = 0; trial < 100; ++trial) {
+    // Valid magic + size header followed by random garbage.
+    std::vector<std::uint8_t> garbage{'v', 'g', '7', 'z'};
+    const std::uint32_t claimed = 4096;
+    for (int i = 0; i < 4; ++i) {
+      garbage.push_back(
+          static_cast<std::uint8_t>(claimed >> (8 * i)));
+    }
+    const std::size_t body = 16 + rng.below(256);
+    for (std::size_t i = 0; i < body; ++i) {
+      garbage.push_back(static_cast<std::uint8_t>(rng.next()));
+    }
+    try {
+      const auto out = decompress(garbage);
+      EXPECT_LE(out.size(), claimed);
+    } catch (const util::VgridError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vgrid::workloads::sevenzip

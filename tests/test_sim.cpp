@@ -1,0 +1,221 @@
+// Unit tests for the discrete-event kernel: event queue ordering and
+// cancellation, simulator execution modes, and tracing.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "util/error.hpp"
+
+namespace vgrid::sim {
+namespace {
+
+// ---- EventQueue ---------------------------------------------------------------
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.push(30, [&] { order.push_back(3); });
+  queue.push(10, [&] { order.push_back(1); });
+  queue.push(20, [&] { order.push_back(2); });
+  while (!queue.empty()) {
+    queue.pop().callback();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.push(100, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) queue.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsDelivery) {
+  EventQueue queue;
+  bool fired = false;
+  const EventId id = queue.push(10, [&] { fired = true; });
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue queue;
+  const EventId id = queue.push(10, [] {});
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_FALSE(queue.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.cancel(424242));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue queue;
+  const EventId early = queue.push(10, [] {});
+  queue.push(20, [] {});
+  queue.cancel(early);
+  EXPECT_EQ(queue.next_time(), 20);
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue queue;
+  EXPECT_THROW(queue.pop(), util::SimulationError);
+  EXPECT_THROW(queue.next_time(), util::SimulationError);
+}
+
+TEST(EventQueue, PendingCountTracksLiveEvents) {
+  EventQueue queue;
+  const EventId a = queue.push(1, [] {});
+  queue.push(2, [] {});
+  EXPECT_EQ(queue.pending_count(), 2u);
+  queue.cancel(a);
+  EXPECT_EQ(queue.pending_count(), 1u);
+}
+
+// ---- Simulator -------------------------------------------------------------------
+
+TEST(Simulator, RunsEventsAndAdvancesClock) {
+  Simulator simulator;
+  std::vector<SimTime> seen;
+  simulator.schedule(5, [&] { seen.push_back(simulator.now()); });
+  simulator.schedule(2, [&] { seen.push_back(simulator.now()); });
+  const auto processed = simulator.run();
+  EXPECT_EQ(processed, 2u);
+  EXPECT_EQ(seen, (std::vector<SimTime>{2, 5}));
+  EXPECT_EQ(simulator.now(), 5);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator simulator;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) simulator.schedule(1, recurse);
+  };
+  simulator.schedule(1, recurse);
+  simulator.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(simulator.now(), 10);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator simulator;
+  int fired = 0;
+  for (SimTime t = 10; t <= 100; t += 10) {
+    simulator.schedule(t, [&] { ++fired; });
+  }
+  simulator.run_until(50);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(simulator.now(), 50);
+  simulator.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  Simulator simulator;
+  simulator.run_until(1000);
+  EXPECT_EQ(simulator.now(), 1000);
+}
+
+TEST(Simulator, StepProcessesExactlyN) {
+  Simulator simulator;
+  int fired = 0;
+  for (int i = 1; i <= 5; ++i) {
+    simulator.schedule(i, [&] { ++fired; });
+  }
+  EXPECT_EQ(simulator.step(2), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(simulator.step(10), 3u);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.schedule(1, [&] {
+    ++fired;
+    simulator.stop();
+  });
+  simulator.schedule(2, [&] { ++fired; });
+  simulator.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(simulator.stopped());
+  simulator.clear_stop();
+  simulator.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelScheduledEvent) {
+  Simulator simulator;
+  bool fired = false;
+  const EventId id = simulator.schedule(5, [&] { fired = true; });
+  EXPECT_TRUE(simulator.cancel(id));
+  simulator.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator simulator;
+  EXPECT_THROW(simulator.schedule(-1, [] {}), util::SimulationError);
+}
+
+TEST(Simulator, ScheduleAtPastThrows) {
+  Simulator simulator;
+  simulator.schedule(10, [] {});
+  simulator.run();
+  EXPECT_EQ(simulator.now(), 10);
+  EXPECT_THROW(simulator.schedule_at(5, [] {}), util::SimulationError);
+}
+
+TEST(Simulator, ProcessedEventCounter) {
+  Simulator simulator;
+  for (int i = 0; i < 7; ++i) simulator.schedule(i + 1, [] {});
+  simulator.run();
+  EXPECT_EQ(simulator.processed_events(), 7u);
+}
+
+// ---- Tracer -----------------------------------------------------------------------
+
+TEST(Tracer, DisabledByDefault) {
+  Tracer tracer;
+  tracer.record(1, TraceKind::kSchedule, "t0");
+  EXPECT_TRUE(tracer.records().empty());
+}
+
+TEST(Tracer, RecordsWhenEnabled) {
+  Tracer tracer;
+  tracer.enable(true);
+  tracer.record(1, TraceKind::kSchedule, "t0", "core 0");
+  tracer.record(2, TraceKind::kDiskOp, "disk", "read 4096 bytes");
+  ASSERT_EQ(tracer.records().size(), 2u);
+  EXPECT_EQ(tracer.count(TraceKind::kSchedule), 1u);
+  EXPECT_EQ(tracer.count(TraceKind::kDiskOp), 1u);
+  EXPECT_EQ(tracer.count(TraceKind::kNetOp), 0u);
+}
+
+TEST(Tracer, DumpContainsSubjects) {
+  Tracer tracer;
+  tracer.enable(true);
+  tracer.record(1'000'000'000, TraceKind::kVmExit, "vm0", "io port");
+  const std::string dump = tracer.dump();
+  EXPECT_NE(dump.find("vm0"), std::string::npos);
+  EXPECT_NE(dump.find("vmexit"), std::string::npos);
+}
+
+TEST(Tracer, ClearEmptiesRecords) {
+  Tracer tracer;
+  tracer.enable(true);
+  tracer.record(1, TraceKind::kWake, "x");
+  tracer.clear();
+  EXPECT_TRUE(tracer.records().empty());
+}
+
+}  // namespace
+}  // namespace vgrid::sim

@@ -1,0 +1,86 @@
+// Tests for the external UDP time service (the paper's guest-timing
+// technique) — real sockets over loopback.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "timesvc/time_client.hpp"
+#include "timesvc/time_server.hpp"
+#include "util/clock.hpp"
+
+namespace vgrid::timesvc {
+namespace {
+
+TEST(TimeServer, BindsEphemeralPort) {
+  TimeServer server;
+  EXPECT_GT(server.port(), 0);
+}
+
+TEST(TimeService, AnswersQueries) {
+  TimeServer server;
+  TimeClient client(server.port());
+  const std::int64_t t = client.server_time_ns();
+  EXPECT_GT(t, 0);
+  EXPECT_GE(server.requests_served(), 1u);
+}
+
+TEST(TimeService, TimeIsMonotonic) {
+  TimeServer server;
+  TimeClient client(server.port());
+  std::int64_t previous = client.server_time_ns();
+  for (int i = 0; i < 20; ++i) {
+    const std::int64_t now = client.server_time_ns();
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+}
+
+TEST(TimeService, RttIsMeasuredAndSmallOnLoopback) {
+  TimeServer server;
+  TimeClient client(server.port());
+  (void)client.server_time_ns();
+  EXPECT_GT(client.last_rtt_ns(), 0);
+  EXPECT_LT(client.last_rtt_ns(), 100'000'000);  // < 100 ms
+}
+
+TEST(TimeService, ExternalStopwatchMeasuresSleep) {
+  TimeServer server;
+  TimeClient client(server.port());
+  ExternalStopwatch stopwatch(client);
+  stopwatch.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const std::int64_t elapsed = stopwatch.stop();
+  EXPECT_GE(elapsed, 25'000'000);
+  EXPECT_LT(elapsed, 2'000'000'000);
+}
+
+TEST(TimeService, MultipleClientsShareOneServer) {
+  TimeServer server;
+  TimeClient a(server.port());
+  TimeClient b(server.port());
+  EXPECT_GT(a.server_time_ns(), 0);
+  EXPECT_GT(b.server_time_ns(), 0);
+  EXPECT_GE(server.requests_served(), 2u);
+}
+
+TEST(TimeService, StopIsIdempotent) {
+  TimeServer server;
+  server.stop();
+  server.stop();
+}
+
+TEST(TimeService, ServerTimeTracksLocalMonotonicClock) {
+  // Same host: the server's clock and ours are the same physical clock,
+  // so the reading must land between our before/after samples.
+  TimeServer server;
+  TimeClient client(server.port());
+  const std::int64_t before = util::monotonic_time_ns();
+  const std::int64_t reading = client.server_time_ns();
+  const std::int64_t after = util::monotonic_time_ns();
+  EXPECT_GE(reading, before);
+  EXPECT_LE(reading, after);
+}
+
+}  // namespace
+}  // namespace vgrid::timesvc

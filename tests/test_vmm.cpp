@@ -1,0 +1,316 @@
+// Unit tests for the hypervisor layer: profiles, virtual devices, step
+// translation, the VirtualMachine lifecycle and checkpoint files.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/testbed.hpp"
+#include "os/program.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+#include "vmm/checkpoint.hpp"
+#include "vmm/profile.hpp"
+#include "vmm/virtual_disk.hpp"
+#include "vmm/virtual_machine.hpp"
+#include "vmm/virtual_nic.hpp"
+#include "vmm/vmm_program.hpp"
+
+namespace vgrid::vmm {
+namespace {
+
+// ---- profiles --------------------------------------------------------------------
+
+TEST(Profiles, AllFourEnvironmentsPresent) {
+  const auto profiles = profiles::all();
+  ASSERT_EQ(profiles.size(), 4u);
+  EXPECT_EQ(profiles[0].name, "vmplayer");
+  EXPECT_EQ(profiles[1].name, "qemu");
+  EXPECT_EQ(profiles[2].name, "virtualbox");
+  EXPECT_EQ(profiles[3].name, "virtualpc");
+}
+
+TEST(Profiles, ByNameAndAliases) {
+  EXPECT_TRUE(profiles::by_name("vmplayer").has_value());
+  EXPECT_TRUE(profiles::by_name("VMware").has_value());
+  EXPECT_TRUE(profiles::by_name("vbox").has_value());
+  EXPECT_TRUE(profiles::by_name("VPC").has_value());
+  EXPECT_FALSE(profiles::by_name("xen").has_value());
+}
+
+TEST(Profiles, KernelCostDominatesUserCost) {
+  // Full virtualization: privileged instructions are the expensive class
+  // in every environment (the Tanaka et al. mechanism the paper cites).
+  for (const auto& profile : profiles::all()) {
+    EXPECT_GT(profile.exec.kernel, profile.exec.user_int) << profile.name;
+    EXPECT_GT(profile.exec.kernel, profile.exec.user_fp) << profile.name;
+    EXPECT_GE(profile.exec.user_int, 1.0) << profile.name;
+  }
+}
+
+TEST(Profiles, VmPlayerFastestGuestHeaviestHost) {
+  // The paper's headline correlation: best guest performance, biggest
+  // host impact.
+  const auto vmplayer = profiles::vmplayer();
+  for (const auto& other :
+       {profiles::qemu(), profiles::virtualbox(), profiles::virtualpc()}) {
+    EXPECT_LE(vmplayer.exec.user_int, other.exec.user_int);
+    EXPECT_LT(vmplayer.disk.path_multiplier, other.disk.path_multiplier);
+    EXPECT_GT(vmplayer.host.service_demand_cores,
+              other.host.service_demand_cores);
+  }
+}
+
+TEST(Profiles, NetModeSupport) {
+  EXPECT_TRUE(profiles::vmplayer().supports(NetMode::kBridged));
+  EXPECT_TRUE(profiles::vmplayer().supports(NetMode::kNat));
+  EXPECT_FALSE(profiles::virtualbox().supports(NetMode::kBridged));
+  EXPECT_THROW(profiles::virtualbox().net(NetMode::kBridged),
+               util::ConfigError);
+}
+
+TEST(Profiles, DefaultRamIsPaperValue) {
+  for (const auto& profile : profiles::all()) {
+    EXPECT_EQ(profile.default_ram_bytes, 300 * util::MiB) << profile.name;
+  }
+}
+
+TEST(Profiles, ParavirtExtensionBeatsFullVirtualization) {
+  // The future-work profile: paravirtualization must dominate every full
+  // virtualization profile on every axis (that is its reason to exist).
+  const auto paravirt = profiles::paravirt();
+  for (const auto& full : profiles::all()) {
+    EXPECT_LT(paravirt.exec.kernel, full.exec.kernel) << full.name;
+    EXPECT_LE(paravirt.exec.user_int, full.exec.user_int) << full.name;
+    EXPECT_LT(paravirt.disk.path_multiplier, full.disk.path_multiplier)
+        << full.name;
+    EXPECT_LT(paravirt.host.service_demand_cores,
+              full.host.service_demand_cores)
+        << full.name;
+  }
+}
+
+TEST(Profiles, ParavirtNotInPaperEnsemble) {
+  for (const auto& profile : profiles::all()) {
+    EXPECT_NE(profile.name, "paravirt");
+  }
+  const auto extended = profiles::extended();
+  EXPECT_EQ(extended.size(), 5u);
+  EXPECT_EQ(extended.back().name, "paravirt");
+  EXPECT_TRUE(profiles::by_name("paravirt").has_value());
+}
+
+// ---- virtual disk -------------------------------------------------------------------
+
+TEST(VirtualDisk, GuestServiceTimeScaledByMultiplier) {
+  core::Testbed testbed;
+  DiskModel model{2.0, 100.0};
+  VirtualDisk vdisk(testbed.machine(), model);
+  const os::DiskStep step{hw::DiskOp::kRead, 1024 * 1024, true};
+  const auto raw = testbed.machine().disk().service_time(
+      hw::DiskRequest{step.op, step.bytes, step.sequential, {}});
+  const auto guest = vdisk.guest_service_time(step);
+  EXPECT_NEAR(static_cast<double>(guest),
+              static_cast<double>(raw) * 2.0 + 100e3, 1.0);
+}
+
+TEST(VirtualDisk, TranslationPreservesTransferAndAddsOverhead) {
+  core::Testbed testbed;
+  VirtualDisk vdisk(testbed.machine(), DiskModel{3.0, 0.0});
+  const os::DiskStep step{hw::DiskOp::kWrite, 4096, true};
+  const auto steps = vdisk.translate(step);
+  ASSERT_EQ(steps.size(), 2u);
+  const auto* disk = std::get_if<os::DiskStep>(&steps[0]);
+  ASSERT_NE(disk, nullptr);
+  EXPECT_EQ(disk->bytes, 4096u);
+  EXPECT_TRUE(std::holds_alternative<os::SleepStep>(steps[1]));
+}
+
+TEST(VirtualDisk, UnityMultiplierAddsNothing) {
+  core::Testbed testbed;
+  VirtualDisk vdisk(testbed.machine(), DiskModel{1.0, 0.0});
+  const auto steps =
+      vdisk.translate(os::DiskStep{hw::DiskOp::kRead, 4096, true});
+  EXPECT_EQ(steps.size(), 1u);
+}
+
+// ---- virtual nic --------------------------------------------------------------------
+
+TEST(VirtualNic, ThroughputCappedAtModelRate) {
+  core::Testbed testbed;
+  VirtualNic nic(testbed.machine(), NetModel{10.0, 0.0}, NetMode::kNat);
+  EXPECT_NEAR(util::bytes_per_sec_to_mbps(nic.effective_bps()), 10.0, 1e-9);
+}
+
+TEST(VirtualNic, BridgedAtWireSpeedWhenCapHigh) {
+  core::Testbed testbed;
+  VirtualNic nic(testbed.machine(), NetModel{1000.0, 0.0},
+                 NetMode::kBridged);
+  EXPECT_NEAR(nic.effective_bps(),
+              testbed.machine().nic().effective_bps(), 1.0);
+}
+
+TEST(VirtualNic, TranslationAddsSlowdownSleep) {
+  core::Testbed testbed;
+  VirtualNic nic(testbed.machine(), NetModel{1.0, 0.0}, NetMode::kNat);
+  const auto steps = nic.translate(os::NetStep{1000 * 1000});
+  ASSERT_EQ(steps.size(), 2u);
+  EXPECT_TRUE(std::holds_alternative<os::NetStep>(steps[0]));
+  const auto* sleep = std::get_if<os::SleepStep>(&steps[1]);
+  ASSERT_NE(sleep, nullptr);
+  EXPECT_GT(sleep->duration, 0);
+}
+
+// ---- VmmProgram ----------------------------------------------------------------------
+
+TEST(VmmProgram, ComposesMultipliersOnComputeSteps) {
+  core::Testbed testbed;
+  os::ProgramBuilder builder;
+  hw::ClassMultipliers inner;
+  inner.kernel = 2.0;
+  builder.compute(100, hw::mixes::io_bound(), inner);
+  VirtualDisk vdisk(testbed.machine(), DiskModel{});
+  hw::ClassMultipliers exec;
+  exec.kernel = 5.0;
+  exec.user_int = 1.5;
+  VmmProgram program(builder.build(), exec, vdisk, nullptr);
+  const os::Step step = program.next();
+  const auto* compute = std::get_if<os::ComputeStep>(&step);
+  ASSERT_NE(compute, nullptr);
+  EXPECT_DOUBLE_EQ(compute->multipliers.kernel, 10.0);
+  EXPECT_DOUBLE_EQ(compute->multipliers.user_int, 1.5);
+}
+
+TEST(VmmProgram, ExpandsDiskSteps) {
+  core::Testbed testbed;
+  os::ProgramBuilder builder;
+  builder.disk_read(8192);
+  VirtualDisk vdisk(testbed.machine(), DiskModel{4.0, 50.0});
+  VmmProgram program(builder.build(), hw::ClassMultipliers{}, vdisk,
+                     nullptr);
+  EXPECT_TRUE(std::holds_alternative<os::DiskStep>(program.next()));
+  EXPECT_TRUE(std::holds_alternative<os::SleepStep>(program.next()));
+  EXPECT_TRUE(std::holds_alternative<os::DoneStep>(program.next()));
+}
+
+TEST(VmmProgram, NetWithoutNicThrows) {
+  core::Testbed testbed;
+  os::ProgramBuilder builder;
+  builder.net(1000);
+  VirtualDisk vdisk(testbed.machine(), DiskModel{});
+  VmmProgram program(builder.build(), hw::ClassMultipliers{}, vdisk,
+                     nullptr);
+  EXPECT_THROW(program.next(), util::SimulationError);
+}
+
+// ---- VirtualMachine -------------------------------------------------------------------
+
+TEST(VirtualMachine, PowerOnCommitsRamAndServiceLoad) {
+  core::Testbed testbed;
+  VirtualMachine vm(testbed.scheduler(), profiles::vmplayer());
+  EXPECT_EQ(testbed.machine().ram_committed(), 0u);
+  vm.power_on();
+  EXPECT_EQ(testbed.machine().ram_committed(), 300 * util::MiB);
+  EXPECT_NEAR(testbed.machine().service_demand(), 0.60, 1e-12);
+  vm.power_off();
+  EXPECT_EQ(testbed.machine().ram_committed(), 0u);
+  EXPECT_NEAR(testbed.machine().service_demand(), 0.0, 1e-12);
+}
+
+TEST(VirtualMachine, PowerOnIsIdempotent) {
+  core::Testbed testbed;
+  VirtualMachine vm(testbed.scheduler(), profiles::qemu());
+  vm.power_on();
+  vm.power_on();
+  EXPECT_EQ(testbed.machine().ram_committed(), 300 * util::MiB);
+}
+
+TEST(VirtualMachine, TwoVmsStackServiceDemand) {
+  core::Testbed testbed;
+  VirtualMachine a(testbed.scheduler(), profiles::virtualbox());
+  VirtualMachine b(testbed.scheduler(), profiles::virtualpc());
+  a.power_on();
+  b.power_on();
+  EXPECT_NEAR(testbed.machine().service_demand(), 0.40, 1e-12);
+  EXPECT_EQ(testbed.machine().ram_committed(), 600 * util::MiB);
+}
+
+TEST(VirtualMachine, InsufficientRamThrows) {
+  hw::MachineConfig config = core::paper_machine_config();
+  config.ram_bytes = 200 * util::MiB;
+  core::Testbed testbed(config);
+  VirtualMachine vm(testbed.scheduler(), profiles::vmplayer());
+  EXPECT_THROW(vm.power_on(), util::ConfigError);
+}
+
+TEST(VirtualMachine, GuestRunsSlowerThanNative) {
+  // Fixed compute work: guest completion must be strictly slower than a
+  // native host thread doing the same work.
+  const double instructions = 1e9;
+  core::Testbed native;
+  os::ProgramBuilder native_builder;
+  native_builder.compute(instructions, hw::mixes::sevenzip());
+  auto& native_thread = native.scheduler().spawn(
+      "native", os::PriorityClass::kNormal, native_builder.build());
+  const double native_seconds = native.run_until_done(native_thread);
+
+  core::Testbed virt;
+  VirtualMachine vm(virt.scheduler(), profiles::virtualpc());
+  os::ProgramBuilder guest_builder;
+  guest_builder.compute(instructions, hw::mixes::sevenzip());
+  auto& vcpu = vm.run_guest("bench", guest_builder.build());
+  const double guest_seconds = virt.run_until_done(vcpu);
+
+  EXPECT_GT(guest_seconds, native_seconds * 1.2);
+  EXPECT_LT(guest_seconds, native_seconds * 2.0);
+}
+
+TEST(VirtualMachine, UnsupportedNetModeThrows) {
+  core::Testbed testbed;
+  VmConfig config;
+  config.net_mode = NetMode::kBridged;
+  EXPECT_THROW(
+      VirtualMachine(testbed.scheduler(), profiles::virtualbox(), config),
+      util::ConfigError);
+}
+
+TEST(VirtualMachine, CheckpointWithoutGuestThrows) {
+  core::Testbed testbed;
+  VirtualMachine vm(testbed.scheduler(), profiles::vmplayer());
+  EXPECT_THROW(vm.checkpoint("x"), util::ConfigError);
+}
+
+// ---- checkpoint files ------------------------------------------------------------------
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "vgrid-test-image.vmimg";
+  const VmImage image{"qemu", 300 * util::MiB, "einstein-program-v1",
+                      "12/96/3/1\nwith|weird%chars"};
+  save_image(path.string(), image);
+  const VmImage loaded = load_image(path.string());
+  EXPECT_EQ(loaded.vmm_name, image.vmm_name);
+  EXPECT_EQ(loaded.ram_bytes, image.ram_bytes);
+  EXPECT_EQ(loaded.guest_kind, image.guest_kind);
+  EXPECT_EQ(loaded.guest_state, image.guest_state);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, LoadRejectsBadMagic) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "vgrid-test-bad.vmimg";
+  {
+    std::ofstream out(path);
+    out << "not an image\n";
+  }
+  EXPECT_THROW(load_image(path.string()), util::ConfigError);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, LoadMissingFileThrows) {
+  EXPECT_THROW(load_image("/nonexistent/vgrid.vmimg"), util::SystemError);
+}
+
+}  // namespace
+}  // namespace vgrid::vmm

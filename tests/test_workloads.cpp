@@ -1,0 +1,395 @@
+// Tests for the remaining workloads: Matrix, IOBench (real file I/O),
+// NetBench (real loopback sockets), the FFT, and the Einstein worker with
+// its checkpointable program.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workloads/einstein/fft.hpp"
+#include "workloads/einstein/worker.hpp"
+#include "workloads/iobench.hpp"
+#include "workloads/matrix.hpp"
+#include "workloads/netbench.hpp"
+
+namespace vgrid::workloads {
+namespace {
+
+// ---- Matrix -----------------------------------------------------------------
+
+TEST(Matrix, MultiplyMatchesHandComputedResult) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{5, 6, 7, 8};
+  std::vector<double> c(4);
+  MatrixBenchmark::multiply(a, b, c, 2);
+  EXPECT_DOUBLE_EQ(c[0], 19);
+  EXPECT_DOUBLE_EQ(c[1], 22);
+  EXPECT_DOUBLE_EQ(c[2], 43);
+  EXPECT_DOUBLE_EQ(c[3], 50);
+}
+
+TEST(Matrix, IdentityIsNeutral) {
+  const std::size_t n = 16;
+  std::vector<double> identity(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) identity[i * n + i] = 1.0;
+  std::vector<double> b(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) b[i] = static_cast<double>(i);
+  std::vector<double> c(n * n);
+  MatrixBenchmark::multiply(identity, b, c, n);
+  EXPECT_EQ(c, b);
+}
+
+TEST(Matrix, NativeRunProducesChecksumAndTiming) {
+  MatrixBenchmark bench(64);
+  const NativeResult result = bench.run_native();
+  EXPECT_GT(result.elapsed_seconds, 0.0);
+  EXPECT_NE(result.checksum, 0u);
+  EXPECT_DOUBLE_EQ(result.operations, 2.0 * 64 * 64 * 64);
+}
+
+TEST(Matrix, DeterministicChecksumPerSeed) {
+  EXPECT_EQ(MatrixBenchmark(32, 9).run_native().checksum,
+            MatrixBenchmark(32, 9).run_native().checksum);
+  EXPECT_NE(MatrixBenchmark(32, 9).run_native().checksum,
+            MatrixBenchmark(32, 10).run_native().checksum);
+}
+
+TEST(Matrix, RejectsZeroSize) {
+  EXPECT_THROW(MatrixBenchmark(0), util::ConfigError);
+}
+
+TEST(Matrix, SimulatedInstructionsScaleCubically) {
+  EXPECT_NEAR(MatrixBenchmark(1024).simulated_instructions() /
+                  MatrixBenchmark(512).simulated_instructions(),
+              8.0, 1e-9);
+}
+
+// ---- IOBench -----------------------------------------------------------------
+
+TEST(IoBench, SweepDoublesFrom128KTo32M) {
+  const IoBench bench;
+  const auto sizes = bench.file_sizes();
+  ASSERT_EQ(sizes.size(), 9u);  // 128K .. 32M
+  EXPECT_EQ(sizes.front(), 128u * 1024u);
+  EXPECT_EQ(sizes.back(), 32u * 1024u * 1024u);
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_EQ(sizes[i], sizes[i - 1] * 2);
+  }
+}
+
+TEST(IoBench, NativeRowsMeasureRealFiles) {
+  IoBenchConfig config;
+  config.min_file_bytes = 64 * 1024;
+  config.max_file_bytes = 256 * 1024;  // keep the test fast
+  IoBench bench(config);
+  const auto rows = bench.run_native_rows();
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.write_seconds, 0.0);
+    EXPECT_GT(row.read_seconds, 0.0);
+    EXPECT_GT(row.write_mb_per_s(), 0.0);
+  }
+}
+
+TEST(IoBench, ProgramAlternatesCpuAndDiskSteps) {
+  IoBenchConfig config;
+  config.min_file_bytes = 128 * 1024;
+  config.max_file_bytes = 128 * 1024;
+  IoBench bench(config);
+  auto program = bench.make_program();
+  EXPECT_TRUE(std::holds_alternative<os::ComputeStep>(program->next()));
+  const os::Step write = program->next();
+  const auto* disk_write = std::get_if<os::DiskStep>(&write);
+  ASSERT_NE(disk_write, nullptr);
+  EXPECT_EQ(disk_write->op, hw::DiskOp::kWrite);
+  EXPECT_TRUE(std::holds_alternative<os::ComputeStep>(program->next()));
+  const os::Step read = program->next();
+  const auto* disk_read = std::get_if<os::DiskStep>(&read);
+  ASSERT_NE(disk_read, nullptr);
+  EXPECT_EQ(disk_read->op, hw::DiskOp::kRead);
+  EXPECT_TRUE(std::holds_alternative<os::DoneStep>(program->next()));
+}
+
+TEST(IoBench, PageCacheModeAbsorbsSmallReread) {
+  IoBenchConfig config;
+  config.min_file_bytes = 128 * 1024;
+  config.max_file_bytes = 128 * 1024;
+  config.use_page_cache = true;
+  IoBench bench(config);
+  auto program = bench.make_program();
+  // With caching the write is absorbed until fsync and the read after
+  // drop_clean still hits the disk; count the disk steps.
+  int disk_steps = 0;
+  while (true) {
+    const os::Step step = program->next();
+    if (std::holds_alternative<os::DoneStep>(step)) break;
+    if (std::holds_alternative<os::DiskStep>(step)) ++disk_steps;
+  }
+  EXPECT_GE(disk_steps, 1);
+}
+
+TEST(IoBench, AbsorbedModeSkipsDiskForCachedData) {
+  IoBenchConfig config;
+  config.min_file_bytes = 128 * 1024;
+  config.max_file_bytes = 128 * 1024;
+  config.use_page_cache = true;
+  config.sync_every_file = false;  // no fsync, warm cache
+  IoBench bench(config);
+  auto program = bench.make_program();
+  std::uint64_t disk_bytes = 0;
+  while (true) {
+    const os::Step step = program->next();
+    if (std::holds_alternative<os::DoneStep>(step)) break;
+    if (const auto* disk = std::get_if<os::DiskStep>(&step)) {
+      disk_bytes += disk->bytes;
+    }
+  }
+  // A 128 KB file fits entirely in the cache: no device traffic at all.
+  EXPECT_EQ(disk_bytes, 0u);
+}
+
+TEST(IoBench, SyncModeAlwaysReachesDisk) {
+  IoBenchConfig config;
+  config.min_file_bytes = 128 * 1024;
+  config.max_file_bytes = 128 * 1024;
+  config.use_page_cache = true;
+  config.sync_every_file = true;
+  IoBench bench(config);
+  auto program = bench.make_program();
+  std::uint64_t disk_bytes = 0;
+  while (true) {
+    const os::Step step = program->next();
+    if (std::holds_alternative<os::DoneStep>(step)) break;
+    if (const auto* disk = std::get_if<os::DiskStep>(&step)) {
+      disk_bytes += disk->bytes;
+    }
+  }
+  // fsync + drop-caches: both the write and the re-read hit the device.
+  EXPECT_EQ(disk_bytes, 2u * 128u * 1024u);
+}
+
+TEST(IoBench, RejectsBadConfig) {
+  IoBenchConfig config;
+  config.min_file_bytes = 0;
+  EXPECT_THROW(IoBench{config}, util::ConfigError);
+}
+
+// ---- NetBench ----------------------------------------------------------------
+
+TEST(NetBench, TcpLoopbackDeliversAllBytes) {
+  NetBenchConfig config;
+  config.stream_bytes = 1 * 1000 * 1000;
+  NetBench bench(config);
+  const NativeResult result = bench.run_native();
+  EXPECT_DOUBLE_EQ(result.operations, 1e6);   // bytes sent
+  EXPECT_EQ(result.checksum, 1000u * 1000u);  // bytes received
+  EXPECT_GT(NetBench::throughput_mbps(result), 0.0);
+}
+
+TEST(NetBench, UdpLoopbackTransfers) {
+  NetBenchConfig config;
+  config.stream_bytes = 256 * 1024;
+  config.chunk_bytes = 8 * 1024;
+  config.protocol = NetProtocol::kUdp;
+  NetBench bench(config);
+  const NativeResult result = bench.run_native();
+  EXPECT_DOUBLE_EQ(result.operations, 256.0 * 1024.0);
+  // UDP may drop datagrams; the receiver count is bounded by the send.
+  EXPECT_LE(result.checksum, 256u * 1024u);
+}
+
+TEST(NetBench, ProgramEmitsStackCpuThenTransfer) {
+  NetBench bench;
+  auto program = bench.make_program();
+  EXPECT_TRUE(std::holds_alternative<os::ComputeStep>(program->next()));
+  const os::Step step = program->next();
+  const auto* net = std::get_if<os::NetStep>(&step);
+  ASSERT_NE(net, nullptr);
+  EXPECT_EQ(net->bytes, 10u * 1000u * 1000u);
+}
+
+TEST(NetBench, RejectsBadConfig) {
+  NetBenchConfig config;
+  config.stream_bytes = 0;
+  EXPECT_THROW(NetBench{config}, util::ConfigError);
+}
+
+// ---- FFT --------------------------------------------------------------------
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<einstein::Complex> data(3);
+  EXPECT_THROW(einstein::fft(data, false), util::ConfigError);
+}
+
+TEST(Fft, ImpulseTransformsToFlatSpectrum) {
+  std::vector<einstein::Complex> data(8, 0.0);
+  data[0] = 1.0;
+  einstein::fft(data, false);
+  for (const auto& x : data) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, InverseRecoversInput) {
+  util::Xoshiro256 rng(44);
+  std::vector<einstein::Complex> data(256);
+  for (auto& x : data) x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  const auto original = data;
+  einstein::fft(data, false);
+  einstein::fft(data, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, SineShowsUpInItsBin) {
+  const std::size_t n = 1024;
+  std::vector<double> samples(n);
+  const double bin = 37.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    samples[i] = std::sin(2.0 * std::numbers::pi * bin *
+                          static_cast<double>(i) / static_cast<double>(n));
+  }
+  const auto power = einstein::power_spectrum(samples);
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < power.size(); ++i) {
+    if (power[i] > power[peak]) peak = i;
+  }
+  EXPECT_EQ(peak, 37u);
+}
+
+TEST(Fft, ParsevalHolds) {
+  util::Xoshiro256 rng(45);
+  std::vector<einstein::Complex> data(128);
+  double time_energy = 0;
+  for (auto& x : data) {
+    x = {rng.uniform(-1, 1), 0.0};
+    time_energy += std::norm(x);
+  }
+  einstein::fft(data, false);
+  double freq_energy = 0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / static_cast<double>(data.size()), time_energy,
+              1e-9);
+}
+
+// ---- Einstein worker -----------------------------------------------------------
+
+einstein::EinsteinConfig small_einstein() {
+  einstein::EinsteinConfig config;
+  config.samples = 2048;
+  config.template_count = 12;
+  config.signal_frequency_bin = 101.4;
+  config.signal_amplitude = 0.8;
+  return config;
+}
+
+TEST(Einstein, SearchDetectsInjectedSignal) {
+  // A dense enough template bank (spacing < 1 bin) must find the injected
+  // signal: mismatched sine templates decorrelate within ~1 bin.
+  einstein::EinsteinConfig config = small_einstein();
+  config.template_count = 49;  // +-24 bins -> 1-bin spacing
+  const einstein::EinsteinWorker worker(config);
+  const einstein::Detection detection = worker.search();
+  EXPECT_NEAR(detection.frequency_bin, 101.4, 2.0);
+  EXPECT_GT(detection.snr, 3.0);
+}
+
+TEST(Einstein, ResumedSearchCoversRemainingTemplates) {
+  const einstein::EinsteinWorker worker(small_einstein());
+  std::size_t processed = 0;
+  (void)worker.search(8, &processed);
+  EXPECT_EQ(processed, 4u);
+}
+
+TEST(Einstein, RejectsBadConfig) {
+  einstein::EinsteinConfig config;
+  config.samples = 1000;  // not a power of two
+  EXPECT_THROW(einstein::EinsteinWorker{config}, util::ConfigError);
+}
+
+TEST(EinsteinProgram, FiniteProgramEndsAfterAllTemplates) {
+  einstein::EinsteinProgram program(small_einstein(), false);
+  int compute_steps = 0;
+  while (std::holds_alternative<os::ComputeStep>(program.next())) {
+    ++compute_steps;
+  }
+  EXPECT_EQ(compute_steps, 2);  // 12 templates / checkpoint_every 8 -> 8+4
+}
+
+TEST(EinsteinProgram, ContinuousProgramFetchesNewWorkunits) {
+  einstein::EinsteinProgram program(small_einstein(), true);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(std::holds_alternative<os::ComputeStep>(program.next()));
+  }
+  EXPECT_GE(program.workunits_completed(), 1u);
+}
+
+TEST(EinsteinProgram, SerializeDeserializeRoundTrip) {
+  const auto config = small_einstein();
+  einstein::EinsteinProgram program(config, false);
+  (void)program.next();  // advance one batch
+  const std::string state = program.serialize();
+  const auto restored = einstein::EinsteinProgram::deserialize(config, state);
+  EXPECT_EQ(restored->next_template(), program.next_template());
+}
+
+TEST(EinsteinProgram, DeserializeRejectsMismatchedConfig) {
+  const auto config = small_einstein();
+  einstein::EinsteinProgram program(config, false);
+  const std::string state = program.serialize();
+  einstein::EinsteinConfig other = config;
+  other.template_count = 99;
+  EXPECT_THROW(einstein::EinsteinProgram::deserialize(other, state),
+               util::ConfigError);
+}
+
+TEST(EinsteinProgram, DeserializeRejectsGarbage) {
+  EXPECT_THROW(
+      einstein::EinsteinProgram::deserialize(small_einstein(), "nonsense"),
+      util::ConfigError);
+}
+
+// Detection must hold across signal strengths down to a realistic floor.
+class EinsteinAmplitudeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EinsteinAmplitudeSweep, FindsSignalNearInjection) {
+  einstein::EinsteinConfig config = small_einstein();
+  config.template_count = 49;  // 1-bin spacing
+  config.signal_amplitude = GetParam();
+  config.samples = 4096;       // more integration for the weak signals
+  const einstein::EinsteinWorker worker(config);
+  const einstein::Detection detection = worker.search();
+  EXPECT_NEAR(detection.frequency_bin, config.signal_frequency_bin, 2.0)
+      << "amplitude " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Amplitudes, EinsteinAmplitudeSweep,
+                         ::testing::Values(0.3, 0.5, 0.8, 1.5));
+
+TEST(Einstein, SnrGrowsWithAmplitude) {
+  einstein::EinsteinConfig config = small_einstein();
+  config.template_count = 49;
+  config.signal_amplitude = 0.4;
+  const double weak = einstein::EinsteinWorker(config).search().snr;
+  config.signal_amplitude = 1.2;
+  const double strong = einstein::EinsteinWorker(config).search().snr;
+  EXPECT_GT(strong, weak * 1.5);
+}
+
+TEST(Einstein, WorkloadInterfaceConsistency) {
+  einstein::EinsteinWorker worker(small_einstein());
+  EXPECT_EQ(worker.name(), "einstein-worker");
+  EXPECT_GT(worker.simulated_instructions(), 0.0);
+  auto program = worker.make_program();
+  EXPECT_TRUE(std::holds_alternative<os::ComputeStep>(program->next()));
+}
+
+}  // namespace
+}  // namespace vgrid::workloads

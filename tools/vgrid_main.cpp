@@ -1,0 +1,387 @@
+// vgrid — command-line front end of the library.
+//
+//   vgrid figures   [--reps N] [fig1 ... fig8]    reproduce paper figures
+//   vgrid guest     <7z|matrix|iobench|netbench> [--env NAME] [--reps N]
+//   vgrid host      [--env NAME] [--threads N] [--priority idle|normal]
+//                   [--vms N] [--reps N]
+//   vgrid suite     [--iterations N]              native NBench suite
+//   vgrid compress  <input> <output>              real LZMA-family codec
+//   vgrid decompress <input> <output>
+//   vgrid deploy    [--volunteers N] [--image-mb M]
+//   vgrid churn     [--workunit-hours H] [--session-hours H] [--no-checkpoint]
+//   vgrid migrate   [--ram-mb M] [--dirty-mbps R]
+//   vgrid profiles                               list hypervisor profiles
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "util/cli_args.hpp"
+#include "core/availability.hpp"
+#include "core/testbed.hpp"
+#include "core/experiments.hpp"
+#include "core/guest_perf.hpp"
+#include "core/host_impact.hpp"
+#include "grid/deployment.hpp"
+#include "report/chrome_trace.hpp"
+#include "report/table.hpp"
+#include "report/timeline.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "vmm/migration.hpp"
+#include "vmm/virtual_machine.hpp"
+#include "vmm/profile.hpp"
+#include "workloads/einstein/worker.hpp"
+#include "workloads/iobench.hpp"
+#include "workloads/matrix.hpp"
+#include "workloads/netbench.hpp"
+#include "workloads/nbench/suite.hpp"
+#include "workloads/sevenzip/bench7z.hpp"
+#include "workloads/sevenzip/compressor.hpp"
+
+namespace vgrid::cli {
+namespace {
+
+using util::Args;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: vgrid <command> [options]\n"
+      "  figures    [--reps N] [fig1..fig8]   reproduce the paper's figures\n"
+      "  guest      <7z|matrix|iobench|netbench> [--env NAME] [--reps N]\n"
+      "  host       [--env NAME] [--threads N] [--priority idle|normal]\n"
+      "             [--vms N] [--os xp|linux] [--reps N]\n"
+      "  suite      [--iterations N]          run the native NBench suite\n"
+      "  compress   <input> <output>          compress a real file\n"
+      "  decompress <input> <output>\n"
+      "  deploy     [--volunteers N] [--image-mb M]\n"
+      "  churn      [--workunit-hours H] [--session-hours H] "
+      "[--no-checkpoint]\n"
+      "  migrate    [--ram-mb M] [--dirty-mbps R]\n"
+      "  timeline   [--env NAME] [--threads N] [--os xp|linux]\n"
+      "             [--out trace.json]        trace the Fig. 7 scenario\n"
+      "  profiles                             list hypervisor profiles\n");
+  return 2;
+}
+
+core::RunnerConfig runner_config(const Args& args) {
+  core::RunnerConfig runner = core::figure_runner_config();
+  runner.repetitions =
+      static_cast<int>(args.get_long("reps", runner.repetitions));
+  return runner;
+}
+
+void print_figure(const core::FigureResult& figure) {
+  report::Table table(figure.id + ": " + figure.title);
+  table.set_header({"environment", "measured", "paper"});
+  for (const auto& row : figure.rows) {
+    table.add_row({row.label, util::format_double(row.measured, 3),
+                   row.paper ? util::format_double(*row.paper, 3)
+                             : std::string("-")});
+  }
+  std::printf("%s  [%s]\n\n", table.ascii().c_str(), figure.unit.c_str());
+}
+
+int cmd_figures(const Args& args) {
+  const core::RunnerConfig runner = runner_config(args);
+  struct Entry {
+    const char* id;
+    core::FigureResult (*fn)(core::RunnerConfig);
+  };
+  static constexpr Entry kFigures[] = {
+      {"fig1", core::fig1_7z},           {"fig2", core::fig2_matrix},
+      {"fig3", core::fig3_iobench},      {"fig4", core::fig4_netbench},
+      {"fig5", core::fig5_mem_index},    {"fig6", core::fig6_int_fp_index},
+      {"fig7", core::fig7_cpu_available}, {"fig8", core::fig8_mips_ratio},
+  };
+  const auto& wanted = args.positional();
+  bool any = false;
+  for (const Entry& entry : kFigures) {
+    const bool selected =
+        wanted.empty() ||
+        std::find(wanted.begin(), wanted.end(), entry.id) != wanted.end();
+    if (!selected) continue;
+    any = true;
+    print_figure(entry.fn(runner));
+  }
+  if (!any) {
+    std::fprintf(stderr, "no such figure; use fig1..fig8\n");
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_guest(const Args& args) {
+  if (args.positional().empty()) return usage();
+  const std::string workload = args.positional()[0];
+  const core::RunnerConfig runner = runner_config(args);
+
+  core::GuestPerfExperiment::ProgramFactory factory;
+  if (workload == "7z") {
+    factory = [] {
+      return workloads::SevenZipBench(workloads::Bench7zConfig{})
+          .make_program();
+    };
+  } else if (workload == "matrix") {
+    factory = [] { return workloads::MatrixBenchmark(1024).make_program(); };
+  } else if (workload == "iobench") {
+    factory = [] { return workloads::IoBench().make_program(); };
+  } else if (workload == "netbench") {
+    factory = [] { return workloads::NetBench().make_program(); };
+  } else {
+    std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
+    return 2;
+  }
+
+  core::GuestPerfExperiment experiment(factory, runner);
+  report::Table table("Guest slowdown for " + workload +
+                      " (1.0 = native)");
+  table.set_header({"environment", "slowdown"});
+  const auto env = args.get("env");
+  for (const auto& profile : vmm::profiles::all()) {
+    if (env && profile.name != *env) continue;
+    table.add_row(profile.name, {experiment.slowdown(profile)});
+  }
+  std::printf("%s", table.ascii().c_str());
+  return 0;
+}
+
+int cmd_host(const Args& args) {
+  core::HostImpactConfig config;
+  config.runner = runner_config(args);
+  config.vm_priority = args.get_or("priority", "idle") == "normal"
+                           ? os::PriorityClass::kNormal
+                           : os::PriorityClass::kIdle;
+  config.host_os = args.get_or("os", "xp") == "linux"
+                       ? core::HostOs::kLinuxCfs
+                       : core::HostOs::kWindowsXp;
+  core::HostImpactExperiment experiment(config);
+  const int threads = static_cast<int>(args.get_long("threads", 2));
+  const int vms = static_cast<int>(args.get_long("vms", 1));
+
+  report::Table table(util::format(
+      "Host impact: 7z with %d thread(s), %d pegged VM(s), %s priority, "
+      "%s host",
+      threads, vms, os::to_string(config.vm_priority),
+      to_string(config.host_os)));
+  table.set_header({"environment", "%CPU", "MIPS ratio"});
+  const auto baseline = experiment.run_7z(threads, nullptr);
+  table.add_row("no-vm", {baseline.cpu_percent, 1.0});
+  const auto env = args.get("env");
+  for (const auto& profile : vmm::profiles::all()) {
+    if (env && profile.name != *env) continue;
+    const auto metrics = experiment.run_7z(threads, &profile, vms);
+    table.add_row(profile.name,
+                  {metrics.cpu_percent, metrics.mips / baseline.mips});
+  }
+  std::printf("%s", table.ascii().c_str());
+  return 0;
+}
+
+int cmd_suite(const Args& args) {
+  workloads::nbench::SuiteConfig config;
+  config.iterations =
+      static_cast<std::uint64_t>(args.get_long("iterations", 2));
+  const auto suite = workloads::nbench::run_suite(config);
+  report::Table table("NBench suite (native, this machine)");
+  table.set_header({"kernel", "index", "iterations/s"});
+  for (const auto& kernel : suite.kernels) {
+    table.add_row({kernel.name, to_string(kernel.index),
+                   util::format_double(
+                       kernel.result.iterations_per_second(), 2)});
+  }
+  table.add_row({"MEM index", "", util::format_double(suite.mem_index, 2)});
+  table.add_row({"INT index", "", util::format_double(suite.int_index, 2)});
+  table.add_row({"FP index", "", util::format_double(suite.fp_index, 2)});
+  std::printf("%s", table.ascii().c_str());
+  return 0;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::SystemError("cannot open " + path, errno);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw util::SystemError("cannot open " + path, errno);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw util::SystemError("write failed: " + path, errno);
+}
+
+int cmd_compress(const Args& args, bool decompress) {
+  if (args.positional().size() != 2) return usage();
+  const auto input = read_file(args.positional()[0]);
+  std::vector<std::uint8_t> output;
+  if (decompress) {
+    output = workloads::sevenzip::decompress(input);
+  } else {
+    workloads::sevenzip::CompressStats stats;
+    output = workloads::sevenzip::compress(input, {}, &stats);
+    std::printf("%zu -> %zu bytes (ratio %.3f, %llu matches)\n",
+                input.size(), output.size(), stats.ratio(),
+                static_cast<unsigned long long>(
+                    stats.finder.matches_emitted));
+  }
+  write_file(args.positional()[1], output);
+  return 0;
+}
+
+int cmd_deploy(const Args& args) {
+  grid::DeploymentConfig config;
+  config.volunteers = static_cast<int>(args.get_long("volunteers", 100));
+  config.image_bytes = static_cast<std::uint64_t>(
+                           args.get_long("image-mb", 1400)) *
+                       1000 * 1000;
+  report::Table table(util::format(
+      "Deploying a %ld MB image to %d volunteers",
+      args.get_long("image-mb", 1400), config.volunteers));
+  table.set_header({"strategy", "makespan (h)", "server GB sent"});
+  for (const auto& estimate : grid::compare_strategies(config)) {
+    table.add_row({to_string(estimate.strategy),
+                   util::format_double(estimate.makespan_seconds / 3600.0,
+                                       2),
+                   util::format_double(estimate.server_bytes_sent / 1e9,
+                                       1)});
+  }
+  std::printf("%s", table.ascii().c_str());
+  return 0;
+}
+
+int cmd_churn(const Args& args) {
+  core::AvailabilityConfig config;
+  config.workunit_cpu_seconds =
+      args.get_double("workunit-hours", 4.0) * 3600.0;
+  config.mean_session_seconds =
+      args.get_double("session-hours", 2.0) * 3600.0;
+  config.checkpointing_enabled = !args.has("no-checkpoint");
+  const auto result = core::simulate_churn(config);
+  std::printf(
+      "workunit %.1f CPU-hours, sessions ~%.1f h, checkpointing %s\n"
+      "  mean completion: %.2f h (95%% CI +-%.2f h)\n"
+      "  CPU overhead factor: %.2f\n"
+      "  mean interruptions: %.1f\n",
+      config.workunit_cpu_seconds / 3600.0,
+      config.mean_session_seconds / 3600.0,
+      config.checkpointing_enabled ? "on" : "off",
+      result.completion_wall_seconds.mean / 3600.0,
+      result.completion_wall_seconds.ci95_half_width / 3600.0,
+      result.cpu_overhead_factor, result.mean_interruptions);
+  return 0;
+}
+
+int cmd_migrate(const Args& args) {
+  vmm::MigrationConfig config;
+  config.ram_bytes = static_cast<std::uint64_t>(
+                         args.get_long("ram-mb", 300)) *
+                     1024 * 1024;
+  config.dirty_rate_bps = args.get_double("dirty-mbps", 2.0) * 1e6;
+  const auto cold = vmm::estimate_cold_migration(config);
+  const auto live = vmm::estimate_live_migration(config);
+  std::printf("cold: total %.1f s, downtime %.1f s\n"
+              "live: total %.1f s, downtime %.2f s, %d pre-copy rounds%s\n",
+              cold.total_seconds, cold.downtime_seconds,
+              live.total_seconds, live.downtime_seconds,
+              live.precopy_rounds,
+              live.converged ? "" : " (did not converge)");
+  return 0;
+}
+
+int cmd_timeline(const Args& args) {
+  // Recreate the Figure 7 scenario, trace it, and emit both the ASCII
+  // strip chart and a Chrome trace JSON.
+  const core::HostOs host_os = args.get_or("os", "xp") == "linux"
+                                   ? core::HostOs::kLinuxCfs
+                                   : core::HostOs::kWindowsXp;
+  const std::string env = args.get_or("env", "vmplayer");
+  const auto profile = vmm::profiles::by_name(env);
+  if (!profile) {
+    std::fprintf(stderr, "unknown environment '%s'\n", env.c_str());
+    return 2;
+  }
+
+  core::Testbed testbed(core::paper_machine_config(), {}, host_os);
+  testbed.tracer().enable(true);
+  vmm::VmConfig vm_config;
+  vm_config.name = profile->name;
+  vm_config.priority = os::PriorityClass::kIdle;
+  vmm::VirtualMachine vm(testbed.scheduler(), *profile, vm_config);
+  vm.run_guest("einstein",
+               std::make_unique<workloads::einstein::EinsteinProgram>(
+                   workloads::einstein::EinsteinConfig{},
+                   /*continuous=*/true));
+  const workloads::SevenZipBench bench{workloads::Bench7zConfig{}};
+  const int threads = static_cast<int>(args.get_long("threads", 2));
+  os::HostThread* last = nullptr;
+  for (int i = 0; i < threads; ++i) {
+    last = &testbed.scheduler().spawn("7z-" + std::to_string(i),
+                                      os::PriorityClass::kNormal,
+                                      bench.make_program());
+  }
+  (void)testbed.run_until_done(*last);
+
+  const report::TimelineReport timeline(testbed.tracer().records());
+  std::printf("%s\n%s", timeline.ascii().c_str(),
+              timeline.strip_chart(72).c_str());
+  const std::string out = args.get_or("out", "");
+  if (!out.empty()) {
+    report::write_chrome_trace(out, testbed.tracer().records());
+    std::printf("\nChrome trace written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_profiles() {
+  report::Table table("Hypervisor profiles (calibrated against the paper)");
+  table.set_header({"name", "int", "fp", "mem", "kernel", "disk x",
+                    "service (cores)"});
+  for (const auto& profile : vmm::profiles::all()) {
+    table.add_row({profile.name,
+                   util::format_double(profile.exec.user_int, 2),
+                   util::format_double(profile.exec.user_fp, 2),
+                   util::format_double(profile.exec.memory, 2),
+                   util::format_double(profile.exec.kernel, 1),
+                   util::format_double(profile.disk.path_multiplier, 2),
+                   util::format_double(
+                       profile.host.service_demand_cores, 2)});
+  }
+  std::printf("%s", table.ascii().c_str());
+  return 0;
+}
+
+int dispatch(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  if (command == "figures") return cmd_figures(args);
+  if (command == "guest") return cmd_guest(args);
+  if (command == "host") return cmd_host(args);
+  if (command == "suite") return cmd_suite(args);
+  if (command == "compress") return cmd_compress(args, false);
+  if (command == "decompress") return cmd_compress(args, true);
+  if (command == "deploy") return cmd_deploy(args);
+  if (command == "churn") return cmd_churn(args);
+  if (command == "migrate") return cmd_migrate(args);
+  if (command == "timeline") return cmd_timeline(args);
+  if (command == "profiles") return cmd_profiles();
+  return usage();
+}
+
+}  // namespace
+}  // namespace vgrid::cli
+
+int main(int argc, char** argv) {
+  try {
+    return vgrid::cli::dispatch(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "vgrid: %s\n", error.what());
+    return 1;
+  }
+}
