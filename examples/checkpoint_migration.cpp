@@ -36,10 +36,10 @@ int main() {
   config_a.name = "vm-a";
   vmm::VirtualMachine vm_a(machine_a.scheduler(),
                            vmm::profiles::vmplayer(), config_a);
-  auto* program_a = new einstein::EinsteinProgram(einstein_config,
-                                                  /*continuous=*/false);
-  vm_a.run_guest("einstein",
-                 std::unique_ptr<einstein::EinsteinProgram>(program_a));
+  auto owned_program = std::make_unique<einstein::EinsteinProgram>(
+      einstein_config, /*continuous=*/false);
+  einstein::EinsteinProgram* program_a = owned_program.get();
+  vm_a.run_guest("einstein", std::move(owned_program));
 
   // Let it crunch briefly, then "the machine fails" mid-workunit.
   machine_a.simulator().run_until(sim::from_seconds(0.1));

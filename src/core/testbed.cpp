@@ -24,15 +24,30 @@ hw::MachineConfig paper_machine_config() {
   return config;
 }
 
+namespace {
+// Destination of the determinism-audit capture; nullptr when disabled.
+std::string* g_trace_capture = nullptr;
+}  // namespace
+
+void set_trace_capture(std::string* sink) { g_trace_capture = sink; }
+
 Testbed::Testbed(hw::MachineConfig machine_config,
                  os::SchedulerConfig scheduler_config, HostOs host_os)
     : machine_(simulator_, machine_config, &tracer_), host_os_(host_os) {
+  if (g_trace_capture != nullptr) tracer_.enable(true);
   if (host_os == HostOs::kLinuxCfs) {
     scheduler_ =
         std::make_unique<os::FairScheduler>(machine_, scheduler_config);
   } else {
     scheduler_ =
         std::make_unique<os::PriorityScheduler>(machine_, scheduler_config);
+  }
+}
+
+Testbed::~Testbed() {
+  if (g_trace_capture != nullptr) {
+    g_trace_capture->append("=== testbed trace ===\n");
+    g_trace_capture->append(tracer_.dump());
   }
 }
 

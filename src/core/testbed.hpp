@@ -22,11 +22,19 @@ enum class HostOs { kWindowsXp, kLinuxCfs };
 
 const char* to_string(HostOs host_os) noexcept;
 
+/// Determinism-audit hook: while `sink` is non-null, every Testbed enables
+/// its tracer at construction and appends the full trace dump to `sink` at
+/// destruction. Two same-seed experiment runs must produce byte-identical
+/// sinks (`vgrid determinism-audit`). Pass nullptr to disable. Simulations
+/// are single-threaded; the hook is not thread-safe by design.
+void set_trace_capture(std::string* sink);
+
 class Testbed {
  public:
   explicit Testbed(hw::MachineConfig machine_config = paper_machine_config(),
                    os::SchedulerConfig scheduler_config = {},
                    HostOs host_os = HostOs::kWindowsXp);
+  ~Testbed();
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;
 

@@ -6,8 +6,8 @@
 
 #include <cstdint>
 #include <list>
+#include <map>
 #include <string>
-#include <unordered_map>
 
 namespace vgrid::guest {
 
@@ -62,7 +62,10 @@ class PageCache {
   double dirty_ratio_;
   std::uint64_t used_ = 0;
   std::uint64_t dirty_ = 0;
-  std::unordered_map<std::string, Entry> entries_;
+  // Ordered map, deliberately: flush_all()/drop_clean() iterate it, and an
+  // unordered container would let hash order leak into the write-back
+  // sequence (vgrid-lint det-unordered-iter). N is tens of files.
+  std::map<std::string, Entry> entries_;
   std::list<std::string> lru_;  // front = most recently used
 };
 

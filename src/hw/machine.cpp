@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/audit.hpp"
 #include "util/error.hpp"
 
 namespace vgrid::hw {
@@ -139,13 +140,24 @@ double Machine::rate_factor(int core, double sensitivity,
   }
   // Interrupt-level service work also thrashes the shared cache a little.
   corunner_pressure += 0.03 * service_demand_;
-  const double tax = vm_owned ? 1.0 : 1.0 - interrupt_share_.at(self);
-  return tax * chip_.interference_factor(sensitivity, corunner_pressure);
+  const double share = interrupt_share_.at(self);
+  VGRID_AUDIT(share >= 0.0 && share < 1.0,
+              "interrupt share %g on core %d outside [0,1)", share, core);
+  const double tax = vm_owned ? 1.0 : 1.0 - share;
+  const double factor =
+      tax * chip_.interference_factor(sensitivity, corunner_pressure);
+  VGRID_AUDIT(factor > 0.0 && factor <= 1.0,
+              "rate factor %g on core %d outside (0,1]", factor, core);
+  return factor;
 }
 
 bool Machine::commit_ram(std::uint64_t bytes) {
   if (bytes > ram_free()) return false;
   ram_committed_ += bytes;
+  VGRID_AUDIT(ram_committed_ <= config_.ram_bytes,
+              "committed RAM %llu exceeds machine RAM %llu",
+              static_cast<unsigned long long>(ram_committed_),
+              static_cast<unsigned long long>(config_.ram_bytes));
   return true;
 }
 

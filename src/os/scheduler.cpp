@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/trace.hpp"
+#include "util/audit.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -153,6 +154,16 @@ double BaseScheduler::rate_for(const HostThread& thread, int core) const {
 }
 
 void BaseScheduler::publish_occupancy() {
+  // Occupancy conservation: each core holds at most one thread (by
+  // construction of on_core_) and no thread sits on two cores at once, so
+  // Σ core occupancy never exceeds the core count.
+  for (std::size_t a = 0; a < on_core_.size(); ++a) {
+    for (std::size_t b = a + 1; b < on_core_.size(); ++b) {
+      VGRID_AUDIT(on_core_[a] == nullptr || on_core_[a] != on_core_[b],
+                  "thread '%s' occupies cores %zu and %zu simultaneously",
+                  on_core_[a]->name().c_str(), a, b);
+    }
+  }
   for (int core = 0; core < machine_.core_count(); ++core) {
     const HostThread* thread = on_core_[static_cast<std::size_t>(core)];
     if (thread == nullptr) {
@@ -205,6 +216,9 @@ void BaseScheduler::resched_pass() {
   // Ask the policy for the threads that should run now.
   const auto cores = static_cast<std::size_t>(machine_.core_count());
   const std::vector<HostThread*> selected = policy_select(cores);
+  VGRID_AUDIT(selected.size() <= cores,
+              "policy selected %zu threads for %zu cores", selected.size(),
+              cores);
 
   // Keep affine placements; evict running threads that were not selected.
   for (std::size_t core = 0; core < on_core_.size(); ++core) {
@@ -249,6 +263,9 @@ void BaseScheduler::resched_pass() {
     if (thread == nullptr) continue;
     thread->segment_start_ = simulator().now();
     thread->segment_rate_ips_ = rate_for(*thread, static_cast<int>(core));
+    VGRID_AUDIT(thread->segment_rate_ips_ > 0.0,
+                "thread '%s' scheduled at non-positive rate %g on core %zu",
+                thread->name().c_str(), thread->segment_rate_ips_, core);
     const double seconds_to_finish =
         thread->remaining_instructions_ / thread->segment_rate_ips_;
     const sim::SimTime completion =

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include "util/audit.hpp"
 #include "util/error.hpp"
 
 namespace vgrid::sim {
@@ -44,6 +45,17 @@ EventQueue::Fired EventQueue::pop() {
   }
   const Entry top = heap_.top();
   heap_.pop();
+  VGRID_AUDIT(top.time >= last_pop_time_,
+              "event time ran backwards: popped %lld after %lld",
+              static_cast<long long>(top.time),
+              static_cast<long long>(last_pop_time_));
+  VGRID_AUDIT(top.time > last_pop_time_ || top.id > last_pop_id_,
+              "FIFO tie-break violated at t=%lld: popped id %llu after %llu",
+              static_cast<long long>(top.time),
+              static_cast<unsigned long long>(top.id),
+              static_cast<unsigned long long>(last_pop_id_));
+  last_pop_time_ = top.time;
+  last_pop_id_ = top.id;
   const auto it = callbacks_.find(top.id);
   Fired fired{top.time, top.id, std::move(it->second)};
   callbacks_.erase(it);

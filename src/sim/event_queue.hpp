@@ -60,9 +60,16 @@ class EventQueue {
   void drop_cancelled();
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Keyed by the queue's own monotonically assigned EventId (never a
+  // pointer) and looked up, never iterated — hash order cannot leak into
+  // event order.
   std::unordered_map<EventId, Callback> callbacks_;
   EventId next_id_ = 1;
   std::size_t live_count_ = 0;
+  // Audit state (VGRID_AUDIT): the (time, id) of the last pop, to assert
+  // time monotonicity and FIFO stability among simultaneous events.
+  SimTime last_pop_time_ = kTimeZero;
+  EventId last_pop_id_ = kInvalidEvent;
 };
 
 }  // namespace vgrid::sim

@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include "util/audit.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -26,6 +27,10 @@ EventId Simulator::schedule_at(SimTime when, EventQueue::Callback cb) {
 
 void Simulator::dispatch_one() {
   auto fired = queue_.pop();
+  VGRID_AUDIT(fired.time >= now_,
+              "simulated time ran backwards: event at %lld, now %lld",
+              static_cast<long long>(fired.time),
+              static_cast<long long>(now_));
   now_ = fired.time;
   ++processed_;
   fired.callback();

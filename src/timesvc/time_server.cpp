@@ -72,9 +72,11 @@ void TimeServer::serve() {
       reply[i] = static_cast<unsigned char>(
           (static_cast<std::uint64_t>(now) >> (56 - 8 * i)) & 0xFF);
     }
+    // Count before replying: a client that has its answer in hand must
+    // never observe requests_served() lagging behind it.
+    requests_.fetch_add(1, std::memory_order_relaxed);
     ::sendto(fd_, reply, sizeof(reply), 0,
              reinterpret_cast<sockaddr*>(&peer), peer_len);
-    requests_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

@@ -1,0 +1,19 @@
+#include "util/audit.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace vgrid::util {
+
+void audit_fail(const char* file, int line, const char* expr,
+                const std::string& detail) {
+  const std::string what = format("audit failed at %s:%d: (%s) — %s", file,
+                                  line, expr, detail.c_str());
+  // Also print to stderr: audits fire deep inside simulations and the
+  // exception may be swallowed by a test harness's catch-all.
+  std::fprintf(stderr, "vgrid: %s\n", what.c_str());
+  throw AuditError(what);
+}
+
+}  // namespace vgrid::util

@@ -1,0 +1,42 @@
+#pragma once
+// Runtime invariant audits (ARCHITECTURE.md §7). VGRID_AUDIT guards the
+// simulation's load-bearing invariants — event-time monotonicity and FIFO
+// tie-break stability, scheduler occupancy conservation, rate factors in
+// (0,1] — and throws util::AuditError with file/line/expression context
+// when one breaks. Audits are compiled in when VGRID_AUDITS_ENABLED is
+// defined (the default build: CMake option VGRID_AUDITS, ON unless
+// explicitly disabled) and compile to nothing otherwise, so hot paths can
+// carry them without a release-mode cost.
+//
+// Usage:
+//   VGRID_AUDIT(when >= now_, "event at %lld before now %lld", when, now_);
+//
+// The message is util::format-style (printf). Keep audits cheap: they run
+// on every scheduling event in every test.
+
+#include <string>
+
+#include "util/strings.hpp"
+
+namespace vgrid::util {
+
+/// Throws AuditError. Out-of-line so the macro expansion stays small.
+[[noreturn]] void audit_fail(const char* file, int line, const char* expr,
+                             const std::string& detail);
+
+}  // namespace vgrid::util
+
+#if defined(VGRID_AUDITS_ENABLED)
+#define VGRID_AUDIT(condition, ...)                                         \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      ::vgrid::util::audit_fail(__FILE__, __LINE__, #condition,             \
+                                ::vgrid::util::format(__VA_ARGS__));        \
+    }                                                                       \
+  } while (false)
+#else
+#define VGRID_AUDIT(condition, ...) \
+  do {                              \
+    (void)sizeof(condition);        \
+  } while (false)
+#endif

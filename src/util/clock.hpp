@@ -2,6 +2,15 @@
 // Real (wall/CPU) clocks for native workload runs. Simulated time lives in
 // sim/; this header is only for measuring actual executions on the build
 // machine (examples, tests, native calibration runs).
+//
+// THE SANCTIONED TIME GATEWAY. This file (and its .cpp) is the only place
+// in src/ allowed to read a real clock — vgrid-lint's `det-wall-clock`
+// rule bans clock_gettime / std::chrono clocks / time() everywhere else,
+// and its allowlist points here. Simulation code must take time from
+// sim::Simulator::now(); code that genuinely needs wall time (native
+// benchmark modes, the real-I/O subsystems) goes through WallTimer /
+// monotonic_time_ns / process_cpu_time_ns so every real-clock read in the
+// tree is greppable from this one definition site.
 
 #include <cstdint>
 

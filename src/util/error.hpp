@@ -26,6 +26,13 @@ class SimulationError : public VgridError {
   explicit SimulationError(const std::string& what) : VgridError(what) {}
 };
 
+/// A runtime invariant audit (VGRID_AUDIT, util/audit.hpp) failed: the
+/// simulation violated one of its load-bearing invariants. Always a bug.
+class AuditError : public VgridError {
+ public:
+  explicit AuditError(const std::string& what) : VgridError(what) {}
+};
+
 /// OS-level failure (sockets, files) with context.
 class SystemError : public VgridError {
  public:

@@ -25,6 +25,9 @@ const char* level_name(LogLevel level) noexcept {
 }
 
 LogLevel initial_level() noexcept {
+  // vgrid-lint: allow(det-getenv): diagnostics verbosity only — the log
+  // level can never influence a simulation result, and an env toggle must
+  // work without rebuilding.
   if (const char* env = std::getenv("VGRID_LOG")) {
     return Logger::parse_level(env);
   }

@@ -3,6 +3,14 @@
 // workload generators. Xoshiro256** is used instead of std::mt19937 because
 // it is faster, has a smaller state, and its output is identical across
 // standard-library implementations (reproducible experiments).
+//
+// THE SANCTIONED RANDOMNESS GATEWAY. This file (and its .cpp) is the only
+// place in src/ allowed to define randomness — vgrid-lint's
+// `det-random-device` and `det-libc-rand` rules ban std::random_device and
+// libc rand()/srand() everywhere else, and its allowlist points here. All
+// randomness must flow from an explicitly seeded Xoshiro256 (seeds come
+// from RunnerConfig/experiment config), which is what makes same-seed runs
+// byte-identical (`vgrid determinism-audit`).
 
 #include <array>
 #include <cstdint>

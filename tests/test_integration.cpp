@@ -7,6 +7,8 @@
 
 #include <filesystem>
 #include <map>
+#include <memory>
+#include <utility>
 
 #include "core/experiments.hpp"
 #include "core/testbed.hpp"
@@ -184,8 +186,9 @@ TEST(Migration, GuestResumesOnSecondMachineUnderDifferentVmm) {
   core::Testbed machine_a;
   vmm::VirtualMachine vm_a(machine_a.scheduler(),
                            vmm::profiles::vmplayer());
-  auto* program = new einstein::EinsteinProgram(config, false);
-  vm_a.run_guest("wu", std::unique_ptr<einstein::EinsteinProgram>(program));
+  auto owned = std::make_unique<einstein::EinsteinProgram>(config, false);
+  auto* program = owned.get();
+  vm_a.run_guest("wu", std::move(owned));
   machine_a.simulator().run_until(sim::from_seconds(0.02));
   const std::size_t done_before = program->next_template();
   ASSERT_GT(done_before, 0u);

@@ -1,0 +1,395 @@
+// vgrid-lint's own test suite: fixture sources with seeded violations must
+// each produce the expected rule-id diagnostic, clean code must stay
+// silent, and the suppression grammar must behave. The fixtures live in
+// raw strings — the scanner blanks string literals before matching, so
+// this file itself lints clean (lint.vgrid covers tests/ too).
+
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+
+#include "vgrid_lint/lint.hpp"
+
+namespace lint = vgrid::lint;
+
+namespace {
+
+std::vector<std::string> rules_of(const std::vector<lint::Diagnostic>& ds) {
+  std::vector<std::string> rules;
+  rules.reserve(ds.size());
+  for (const auto& d : ds) rules.push_back(d.rule);
+  return rules;
+}
+
+}  // namespace
+
+// --- determinism rules -------------------------------------------------------
+
+TEST(LintDeterminism, FlagsRandomDevice) {
+  const auto ds = lint::lint_file("src/sim/bad.cpp", R"cpp(
+#include <random>
+int seed_source() { std::random_device rd; return static_cast<int>(rd()); }
+)cpp");
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule, "det-random-device");
+  EXPECT_EQ(ds[0].line, 3);
+}
+
+TEST(LintDeterminism, FlagsLibcRand) {
+  const auto ds = lint::lint_file("src/os/bad.cpp", R"cpp(
+int pick() { return rand(); }
+void reseed(unsigned s) { srand(s); }
+)cpp");
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds[0].rule, "det-libc-rand");
+  EXPECT_EQ(ds[1].rule, "det-libc-rand");
+}
+
+TEST(LintDeterminism, FlagsWallClockReads) {
+  const auto ds = lint::lint_file("src/hw/bad.cpp", R"cpp(
+#include <chrono>
+#include <ctime>
+auto a = std::chrono::system_clock::now();
+auto b = std::chrono::steady_clock::now();
+long c = time(nullptr);
+)cpp");
+  EXPECT_EQ(rules_of(ds),
+            (std::vector<std::string>{"det-wall-clock", "det-wall-clock",
+                                      "det-wall-clock"}));
+}
+
+TEST(LintDeterminism, FlagsGetenv) {
+  const auto ds = lint::lint_file("src/vmm/bad.cpp", R"cpp(
+#include <cstdlib>
+const char* home() { return std::getenv("HOME"); }
+)cpp");
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule, "det-getenv");
+}
+
+TEST(LintDeterminism, FlagsPointerKeyedUnordered) {
+  const auto ds = lint::lint_file("src/core/bad.hpp", R"cpp(
+#include <unordered_map>
+struct Thread;
+std::unordered_map<Thread*, int> priorities;
+)cpp");
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule, "det-unordered-ptr-key");
+}
+
+TEST(LintDeterminism, FlagsUnorderedIteration) {
+  const auto ds = lint::lint_file("src/sim/bad.cpp", R"cpp(
+#include <unordered_map>
+std::unordered_map<int, double> table_;
+double sum() {
+  double total = 0.0;
+  for (const auto& [key, value] : table_) total += value;
+  return total;
+}
+)cpp");
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule, "det-unordered-iter");
+  EXPECT_EQ(ds[0].line, 6);
+}
+
+TEST(LintDeterminism, LookupWithoutIterationIsClean) {
+  const auto ds = lint::lint_file("src/sim/good.cpp", R"cpp(
+#include <unordered_map>
+std::unordered_map<int, double> table_;
+double get(int key) {
+  const auto it = table_.find(key);
+  return it != table_.end() ? it->second : 0.0;
+}
+)cpp");
+  EXPECT_TRUE(ds.empty());
+}
+
+TEST(LintDeterminism, OutOfScopeDirsAreExempt) {
+  // bench/ and tools/ are front-ends that may time real execution.
+  const std::string source = "long t = time(nullptr);\n";
+  EXPECT_TRUE(lint::lint_file("bench/fig1_7z.cpp", source).empty());
+  EXPECT_FALSE(lint::lint_file("src/sim/x.cpp", source).empty());
+}
+
+TEST(LintDeterminism, GatewaysAreAllowlisted) {
+  // util/clock.* and util/rng.* are the sanctioned entry points.
+  EXPECT_TRUE(lint::lint_file("src/util/clock.cpp",
+                              "long t = clock_gettime(0, nullptr);\n")
+                  .empty());
+  EXPECT_TRUE(
+      lint::lint_file("src/util/rng.cpp", "int x = rand();\n").empty());
+  EXPECT_FALSE(
+      lint::lint_file("src/util/strings.cpp", "int x = rand();\n").empty());
+}
+
+TEST(LintDeterminism, TokensInStringsAndCommentsAreIgnored) {
+  const auto ds = lint::lint_file("src/sim/good.cpp", R"cpp(
+// rand() and system_clock are banned; this comment must not trip the rule.
+const char* kMessage = "do not call srand( or time(nullptr) here";
+)cpp");
+  EXPECT_TRUE(ds.empty());
+}
+
+// --- safety rules ------------------------------------------------------------
+
+TEST(LintSafety, FlagsRawNewAndDelete) {
+  const auto ds = lint::lint_file("examples/bad.cpp", R"cpp(
+int* leak() { return new int(7); }
+void drop(int* p) { delete p; }
+)cpp");
+  EXPECT_EQ(rules_of(ds), (std::vector<std::string>{"safety-raw-new",
+                                                    "safety-raw-delete"}));
+}
+
+TEST(LintSafety, DeletedFunctionsAreNotRawDelete) {
+  const auto ds = lint::lint_file("src/sim/good.hpp", R"cpp(
+class Simulator {
+ public:
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+};
+)cpp");
+  EXPECT_TRUE(ds.empty());
+}
+
+TEST(LintSafety, FlagsCStyleCast) {
+  const auto ds = lint::lint_file("src/stats/bad.cpp", R"cpp(
+double narrow(long v) { return (double)v; }
+)cpp");
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule, "safety-c-cast");
+}
+
+TEST(LintSafety, SizeofAndCastlessParensAreClean) {
+  const auto ds = lint::lint_file("src/stats/good.cpp", R"cpp(
+unsigned long bytes = sizeof(double) * 8;
+double widen(long v) { return static_cast<double>(v); }
+void discard(int x) { (void)x; }
+)cpp");
+  EXPECT_TRUE(ds.empty());
+}
+
+TEST(LintSafety, FlagsCatchByValue) {
+  const auto ds = lint::lint_file("tools/bad.cpp", R"cpp(
+#include <stdexcept>
+void f() {
+  try {
+    g();
+  } catch (std::runtime_error error) {
+  }
+}
+)cpp");
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule, "safety-catch-value");
+}
+
+TEST(LintSafety, CatchByReferenceAndEllipsisAreClean) {
+  const auto ds = lint::lint_file("tools/good.cpp", R"cpp(
+void f() {
+  try {
+    g();
+  } catch (const std::exception& error) {
+  } catch (...) {
+  }
+}
+)cpp");
+  EXPECT_TRUE(ds.empty());
+}
+
+TEST(LintSafety, FlagsOmpWithoutSeedNote) {
+  const auto ds = lint::lint_file("src/workloads/bad.cpp", R"cpp(
+void scale(double* data, int n) {
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) data[i] *= 2.0;
+}
+)cpp");
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule, "safety-omp-seed");
+}
+
+TEST(LintSafety, OmpWithSeedNoteIsClean) {
+  const auto ds = lint::lint_file("src/workloads/good.cpp", R"cpp(
+void scale(double* data, int n) {
+  // Deterministic: no RNG in the loop body, so no per-thread seed needed.
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) data[i] *= 2.0;
+}
+)cpp");
+  EXPECT_TRUE(ds.empty());
+}
+
+TEST(LintSafety, FlagsRedundantVirtualOnOverride) {
+  const auto ds = lint::lint_file("src/os/bad.hpp", R"cpp(
+class Base {
+ public:
+  virtual void step() = 0;
+};
+class Derived : public Base {
+ public:
+  virtual void step() override;
+};
+)cpp");
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule, "safety-override");
+}
+
+TEST(LintSafety, FlagsVirtualDtorInDerivedClass) {
+  const auto ds = lint::lint_file("src/os/bad.hpp", R"cpp(
+class Base {
+ public:
+  virtual ~Base() = default;
+};
+class Derived : public Base {
+ public:
+  virtual ~Derived();
+};
+)cpp");
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule, "safety-override");
+  EXPECT_EQ(ds[0].line, 8);
+}
+
+TEST(LintSafety, VirtualDtorInBaseClassIsClean) {
+  const auto ds = lint::lint_file("src/os/good.hpp", R"cpp(
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual void tick() = 0;
+};
+)cpp");
+  EXPECT_TRUE(ds.empty());
+}
+
+// --- layering ----------------------------------------------------------------
+
+TEST(LintLayering, SimMustNotIncludeUpperLayers) {
+  const auto ds = lint::lint_file("src/sim/bad.cpp",
+                                  "#include \"os/scheduler.hpp\"\n"
+                                  "#include \"vmm/profile.hpp\"\n"
+                                  "#include \"core/testbed.hpp\"\n");
+  EXPECT_EQ(rules_of(ds),
+            (std::vector<std::string>{"layer-include", "layer-include",
+                                      "layer-include"}));
+}
+
+TEST(LintLayering, FoundationsMustNotIncludeAnything) {
+  EXPECT_FALSE(lint::lint_file("src/util/bad.cpp",
+                               "#include \"sim/time.hpp\"\n")
+                   .empty());
+  EXPECT_FALSE(lint::lint_file("src/stats/bad.cpp",
+                               "#include \"hw/machine.hpp\"\n")
+                   .empty());
+}
+
+TEST(LintLayering, DocumentedEdgesAreAllowed) {
+  // report renders sim::TraceRecord streams; os sits on hw and sim.
+  EXPECT_TRUE(lint::lint_file("src/report/chrome_trace.cpp",
+                              "#include \"sim/trace.hpp\"\n")
+                  .empty());
+  EXPECT_TRUE(lint::lint_file("src/os/scheduler.cpp",
+                              "#include \"hw/machine.hpp\"\n")
+                  .empty());
+  // System includes and front-end files are never layering violations.
+  EXPECT_TRUE(
+      lint::lint_file("src/sim/simulator.cpp", "#include <vector>\n")
+          .empty());
+  EXPECT_TRUE(lint::lint_file("tools/vgrid_main.cpp",
+                              "#include \"core/testbed.hpp\"\n")
+                  .empty());
+}
+
+// --- suppressions ------------------------------------------------------------
+
+TEST(LintSuppression, AllowWithReasonSilencesLineAndNext) {
+  const auto ds = lint::lint_file("src/sim/x.cpp", R"cpp(
+// vgrid-lint: allow(det-libc-rand): calibrating against libc for a test.
+int x = rand();
+)cpp");
+  EXPECT_TRUE(ds.empty());
+}
+
+TEST(LintSuppression, AllowSpansItsCommentBlockOntoTheCode) {
+  // Real reasons wrap over several comment lines; the allow must reach the
+  // first code line after the block, but not past it.
+  const auto ds = lint::lint_file("src/sim/x.cpp", R"cpp(
+// vgrid-lint: allow(det-libc-rand): a reason that wraps across several
+// comment lines because the justification genuinely needs the space to
+// explain itself properly.
+int covered = rand();
+int uncovered = rand();
+)cpp");
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule, "det-libc-rand");
+  EXPECT_EQ(ds[0].line, 6);
+}
+
+TEST(LintSuppression, AllowFileCoversWholeFile) {
+  const auto ds = lint::lint_file("src/grid/x.cpp", R"cpp(
+// vgrid-lint: allow-file(det-wall-clock): real-socket RPC measures real
+// time by design (ARCHITECTURE.md real-I/O subsystems).
+long a = time(nullptr);
+long later = time(nullptr);
+)cpp");
+  EXPECT_TRUE(ds.empty());
+}
+
+TEST(LintSuppression, AllowWithoutReasonIsItselfAViolation) {
+  const auto ds = lint::lint_file(
+      "src/sim/x.cpp", "// vgrid-lint: allow(det-libc-rand)\nint x = rand();\n");
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds[0].rule, "lint-allow");
+  EXPECT_EQ(ds[1].rule, "det-libc-rand");  // and it does NOT suppress
+}
+
+TEST(LintSuppression, AllowUnknownRuleIsAViolation) {
+  const auto ds = lint::lint_file(
+      "src/sim/x.cpp", "// vgrid-lint: allow(not-a-rule): whatever\n");
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule, "lint-allow");
+}
+
+// --- diagnostics format and tree walk ---------------------------------------
+
+TEST(LintFormat, FileLineRuleMessage) {
+  lint::Diagnostic d{"src/sim/event_queue.cpp", 42, "det-libc-rand", "no"};
+  EXPECT_EQ(lint::format(d), "src/sim/event_queue.cpp:42: det-libc-rand: no");
+}
+
+TEST(LintTree, WalksFixtureTreeAndReportsEverySeededViolation) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::temp_directory_path() / "vgrid_lint_tree_fixture";
+  fs::remove_all(root);
+  fs::create_directories(root / "src" / "sim");
+  fs::create_directories(root / "src" / "util");
+  {
+    std::ofstream out(root / "src" / "sim" / "bad.cpp");
+    out << "#include \"core/testbed.hpp\"\n"   // layer-include
+        << "int x = rand();\n";                 // det-libc-rand
+  }
+  {
+    std::ofstream out(root / "src" / "sim" / "good.cpp");
+    out << "int answer() { return 42; }\n";
+  }
+  {
+    std::ofstream out(root / "src" / "util" / "ok.cpp");
+    out << "int triple(int v) { return 3 * v; }\n";
+  }
+  const auto ds = lint::lint_tree(root.string());
+  EXPECT_EQ(rules_of(ds),
+            (std::vector<std::string>{"layer-include", "det-libc-rand"}));
+  EXPECT_EQ(ds[0].file, "src/sim/bad.cpp");
+  fs::remove_all(root);
+}
+
+TEST(LintTree, TheRealTreeIsClean) {
+  // The same invariant ctest `lint.vgrid` enforces, reachable from the
+  // GTest suite: the repository itself must lint clean. VGRID_SOURCE_DIR
+  // is injected as a compile definition by tests/CMakeLists.txt.
+#ifdef VGRID_SOURCE_DIR
+  const auto ds = lint::lint_tree(VGRID_SOURCE_DIR);
+  for (const auto& d : ds) ADD_FAILURE() << lint::format(d);
+#else
+  GTEST_SKIP() << "VGRID_SOURCE_DIR not defined";
+#endif
+}

@@ -1,0 +1,59 @@
+#pragma once
+// vgrid-lint: the repo's own static-analysis pass (no libclang — a
+// line/token-level scanner with a per-directory policy). It enforces the
+// three invariant families ARCHITECTURE.md §7 documents:
+//
+//   determinism  — simulation code must draw all time from sim::Simulator
+//                  and all randomness from util::Xoshiro256; wall clocks,
+//                  libc rand, getenv and unordered-container iteration are
+//                  banned in src/ (the real-I/O subsystems carry explicit
+//                  file-scoped suppressions).
+//   safety       — no raw new/delete, no C casts, no catch-by-value, no
+//                  unseeded OpenMP pragmas, no redundant virtual.
+//   layering     — each src/ directory may include only the layers at or
+//                  below it (ARCHITECTURE.md §1).
+//
+// Suppressions: `// vgrid-lint: allow(<rule>): reason` silences the rule
+// on that comment block and the first code line after it;
+// `allow-file(<rule>): reason` silences it for the whole file. The reason
+// is mandatory — a bare allow is itself a violation (rule `lint-allow`).
+
+#include <string>
+#include <vector>
+
+namespace vgrid::lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;  ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+struct Options {
+  bool determinism = true;
+  bool safety = true;
+  bool layering = true;
+};
+
+/// "file:line: rule-id: message" — the format the ctest driver greps.
+std::string format(const Diagnostic& diagnostic);
+
+/// All rule ids the scanner knows, for allow() validation and --list-rules.
+const std::vector<std::string>& known_rules();
+
+/// Lint one translation unit. `path` must be repo-relative with forward
+/// slashes (e.g. "src/sim/event_queue.cpp") — rule scoping keys off it.
+std::vector<Diagnostic> lint_file(const std::string& path,
+                                  const std::string& content,
+                                  const Options& options = {});
+
+/// Walk `root` (a repo checkout) and lint every C++ source under the
+/// standard roots (src, bench, tools, examples, tests), skipping any
+/// directory named `lint_fixtures`. Paths are visited in sorted order so
+/// output is deterministic. Files that cannot be read produce a
+/// `lint-io` diagnostic.
+std::vector<Diagnostic> lint_tree(const std::string& root,
+                                  const Options& options = {});
+
+}  // namespace vgrid::lint

@@ -1,0 +1,103 @@
+// vgrid_lint — command-line driver of the repo's static-analysis pass.
+//
+//   vgrid_lint [--root DIR] [--no-determinism] [--no-safety]
+//              [--no-layering] [--list-rules] [FILE...]
+//
+// With no FILE arguments it walks src/, bench/, tools/, examples/ and
+// tests/ under --root (default: the current directory). Exits 0 when
+// clean, 1 when any diagnostic fired, 2 on usage errors. Registered as the
+// tier-1 ctest `lint.vgrid`.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "vgrid_lint/lint.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vgrid_lint [--root DIR] [--no-determinism] "
+               "[--no-safety] [--no-layering] [--list-rules] [FILE...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  vgrid::lint::Options options;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) return usage();
+      root = argv[++i];
+    } else if (arg == "--no-determinism") {
+      options.determinism = false;
+    } else if (arg == "--no-safety") {
+      options.safety = false;
+    } else if (arg == "--no-layering") {
+      options.layering = false;
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : vgrid::lint::known_rules()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  std::vector<vgrid::lint::Diagnostic> diagnostics;
+  if (files.empty()) {
+    // A missing root must not silently "lint clean" (a typo'd CI --root
+    // would otherwise always pass).
+    if (!std::filesystem::is_directory(root)) {
+      std::fprintf(stderr, "vgrid_lint: --root %s is not a directory\n",
+                   root.c_str());
+      return 2;
+    }
+    diagnostics = vgrid::lint::lint_tree(root, options);
+  } else {
+    for (const auto& file : files) {
+      std::ifstream in(file, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "vgrid_lint: cannot read %s\n", file.c_str());
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      // Lint explicit files under their repo-relative path when possible so
+      // directory scoping applies; fall back to the path as given.
+      std::string relative = file;
+      std::error_code ec;
+      const auto rel =
+          std::filesystem::relative(file, root, ec).generic_string();
+      if (!ec && !rel.empty() && rel.rfind("..", 0) != 0) relative = rel;
+      for (auto& diagnostic :
+           vgrid::lint::lint_file(relative, buffer.str(), options)) {
+        diagnostics.push_back(std::move(diagnostic));
+      }
+    }
+  }
+
+  for (const auto& diagnostic : diagnostics) {
+    std::printf("%s\n", vgrid::lint::format(diagnostic).c_str());
+  }
+  if (!diagnostics.empty()) {
+    std::fprintf(stderr, "vgrid_lint: %zu violation(s)\n",
+                 diagnostics.size());
+    return 1;
+  }
+  return 0;
+}

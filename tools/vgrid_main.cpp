@@ -11,7 +11,11 @@
 //   vgrid churn     [--workunit-hours H] [--session-hours H] [--no-checkpoint]
 //   vgrid migrate   [--ram-mb M] [--dirty-mbps R]
 //   vgrid profiles                               list hypervisor profiles
+//   vgrid determinism-audit [fig1..fig8] [--reps N] [--seed S]
+//                   run a figure twice with the same seed and byte-diff
+//                   the two result+trace streams (exit 1 on divergence)
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iterator>
@@ -63,7 +67,9 @@ int usage() {
       "  migrate    [--ram-mb M] [--dirty-mbps R]\n"
       "  timeline   [--env NAME] [--threads N] [--os xp|linux]\n"
       "             [--out trace.json]        trace the Fig. 7 scenario\n"
-      "  profiles                             list hypervisor profiles\n");
+      "  profiles                             list hypervisor profiles\n"
+      "  determinism-audit [fig1..fig8] [--reps N] [--seed S]\n"
+      "             same-seed double run, byte-diff results and traces\n");
   return 2;
 }
 
@@ -338,6 +344,86 @@ int cmd_timeline(const Args& args) {
   return 0;
 }
 
+// --- determinism-audit -------------------------------------------------------
+// ARCHITECTURE.md §5 promises "runs are exactly reproducible given a seed";
+// this subcommand enforces it end to end: run one figure experiment twice
+// with identical RunnerConfig, capture every testbed's event trace plus the
+// figure's numeric rows at full precision, and byte-diff the two streams.
+
+core::FigureResult (*figure_fn(const std::string& id))(core::RunnerConfig) {
+  struct Entry {
+    const char* id;
+    core::FigureResult (*fn)(core::RunnerConfig);
+  };
+  static constexpr Entry kFigures[] = {
+      {"fig1", core::fig1_7z},            {"fig2", core::fig2_matrix},
+      {"fig3", core::fig3_iobench},       {"fig4", core::fig4_netbench},
+      {"fig5", core::fig5_mem_index},     {"fig6", core::fig6_int_fp_index},
+      {"fig7", core::fig7_cpu_available}, {"fig8", core::fig8_mips_ratio},
+  };
+  for (const Entry& entry : kFigures) {
+    if (id == entry.id) return entry.fn;
+  }
+  return nullptr;
+}
+
+std::string run_captured(core::FigureResult (*fn)(core::RunnerConfig),
+                         const core::RunnerConfig& runner) {
+  std::string stream;
+  core::set_trace_capture(&stream);
+  const core::FigureResult figure = fn(runner);
+  core::set_trace_capture(nullptr);
+  stream += "=== figure " + figure.id + ": " + figure.title + " [" +
+            figure.unit + "] ===\n";
+  for (const auto& row : figure.rows) {
+    // %a: hex floats — every mantissa bit survives the round-trip, so a
+    // one-ulp divergence between the runs is a diff, not a rounding blur.
+    stream += util::format("%s measured=%a paper=%a\n", row.label.c_str(),
+                           row.measured, row.paper.value_or(-1.0));
+  }
+  return stream;
+}
+
+int cmd_determinism_audit(const Args& args) {
+  const std::string id =
+      args.positional().empty() ? "fig5" : args.positional()[0];
+  auto* fn = figure_fn(id);
+  if (fn == nullptr) {
+    std::fprintf(stderr, "no such figure '%s'; use fig1..fig8\n",
+                 id.c_str());
+    return 2;
+  }
+  core::RunnerConfig runner = core::figure_runner_config();
+  // Two full runs of a figure: default to a handful of repetitions — any
+  // nondeterminism shows up regardless of the repetition count.
+  runner.repetitions = static_cast<int>(args.get_long("reps", 5));
+  runner.seed = static_cast<std::uint64_t>(
+      args.get_long("seed", static_cast<long>(runner.seed)));
+
+  const std::string first = run_captured(fn, runner);
+  const std::string second = run_captured(fn, runner);
+  if (first == second) {
+    std::printf(
+        "determinism-audit PASS: %s byte-identical across two seed=%llu "
+        "runs (%zu bytes, %d repetitions)\n",
+        id.c_str(), static_cast<unsigned long long>(runner.seed),
+        first.size(), runner.repetitions);
+    return 0;
+  }
+  const std::size_t limit = std::min(first.size(), second.size());
+  std::size_t offset = 0;
+  while (offset < limit && first[offset] == second[offset]) ++offset;
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < offset; ++i) {
+    if (first[i] == '\n') ++line;
+  }
+  std::fprintf(stderr,
+               "determinism-audit FAIL: %s diverges at byte %zu (line %zu; "
+               "sizes %zu vs %zu)\n",
+               id.c_str(), offset, line, first.size(), second.size());
+  return 1;
+}
+
 int cmd_profiles() {
   report::Table table("Hypervisor profiles (calibrated against the paper)");
   table.set_header({"name", "int", "fp", "mem", "kernel", "disk x",
@@ -371,6 +457,7 @@ int dispatch(int argc, char** argv) {
   if (command == "migrate") return cmd_migrate(args);
   if (command == "timeline") return cmd_timeline(args);
   if (command == "profiles") return cmd_profiles();
+  if (command == "determinism-audit") return cmd_determinism_audit(args);
   return usage();
 }
 
