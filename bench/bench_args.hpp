@@ -1,19 +1,25 @@
 #pragma once
 // Common argv handling for the benches: [repetitions] overrides the
-// paper's default of 50.
+// paper's default of 50, and --jobs N sizes the parallel experiment
+// engine's worker pool (default: one worker per hardware thread; --jobs 1
+// forces the legacy serial path). Results are byte-identical for any
+// jobs value — the flag only changes wall-clock time.
 
 #include <cstdlib>
 
 #include "core/experiments.hpp"
+#include "util/cli_args.hpp"
 
 namespace vgrid::bench {
 
 inline core::RunnerConfig runner_from_args(int argc, char** argv) {
+  const util::Args args(argc, argv, 1);
   core::RunnerConfig runner = core::figure_runner_config();
-  if (argc > 1) {
-    const int reps = std::atoi(argv[1]);
+  if (!args.positional().empty()) {
+    const int reps = std::atoi(args.positional()[0].c_str());
     if (reps >= 1) runner.repetitions = reps;
   }
+  runner.jobs = static_cast<int>(args.get_long("jobs", 0));  // 0 = hardware
   return runner;
 }
 

@@ -1,13 +1,13 @@
 // Reproduces Figure 3 of the paper (IOBench relative performance), plus
 // the per-file-size sweep underlying it. Usage: ./fig3_iobench
-// [repetitions] (default: the paper's 50 repetitions).
+// [repetitions] [--jobs N] (default: the paper's 50 repetitions).
 
 #include "figure_bench.hpp"
 
 int main(int argc, char** argv) {
   const auto runner = vgrid::bench::runner_from_args(argc, argv);
   const int status =
-      vgrid::bench::run_figure_bench(vgrid::core::fig3_iobench(runner));
+      vgrid::bench::run_figure_bench(vgrid::core::fig3_iobench, runner);
   // Supporting detail beyond the paper's single bar per environment:
   // small files are dominated by per-request emulation overhead, large
   // files by the bandwidth multiplier.

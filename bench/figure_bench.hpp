@@ -1,19 +1,24 @@
 #pragma once
 // Shared driver for the figure-reproduction benches: run one figure of the
-// paper with the full 50-repetition methodology (overridable via argv[1]),
-// print the paper-vs-measured table with deltas and an ASCII bar chart,
-// and drop a CSV next to the binary for external plotting.
+// paper with the full 50-repetition methodology (overridable via argv[1])
+// on the parallel experiment engine (--jobs N workers, byte-identical
+// results for any N), print the paper-vs-measured table with deltas and an
+// ASCII bar chart, and drop a CSV — plus a per-worker chrome-trace
+// timeline of the pool (<fig>.workers.json) — next to the binary.
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "bench_args.hpp"
 #include "core/experiments.hpp"
+#include "core/task_pool.hpp"
 #include "report/barchart.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
+#include "util/clock.hpp"
 #include "util/strings.hpp"
 
 namespace vgrid::bench {
@@ -47,6 +52,35 @@ inline int run_figure_bench(const core::FigureResult& figure) {
     // Read-only working directory: the printed table is the deliverable.
   }
   return 0;
+}
+
+/// Run one figure on the parallel engine, timing the whole computation and
+/// capturing the pool's per-worker spans into <fig>.workers.json (a
+/// chrome://tracing timeline of which worker ran which testbed when).
+inline int run_figure_bench(core::FigureResult (*figure_fn)(core::RunnerConfig),
+                            const core::RunnerConfig& runner) {
+  std::vector<report::WorkerSpan> spans;
+  core::set_worker_span_capture(&spans);
+  const util::WallTimer timer;
+  const core::FigureResult figure = figure_fn(runner);
+  const double seconds = timer.elapsed_seconds();
+  core::set_worker_span_capture(nullptr);
+
+  const int rc = run_figure_bench(figure);
+  const int jobs =
+      runner.jobs > 0 ? runner.jobs : core::TaskPool::hardware_jobs();
+  std::printf("wall clock: %.3f s  (%d repetitions, --jobs %d)\n",
+              seconds, runner.repetitions, jobs);
+  if (!spans.empty()) {
+    const std::string trace_path = figure.id + ".workers.json";
+    try {
+      report::write_worker_trace(trace_path, spans);
+      std::printf("worker timeline written to %s\n", trace_path.c_str());
+    } catch (const std::exception&) {
+      // Read-only working directory: skip the timeline, keep the table.
+    }
+  }
+  return rc;
 }
 
 }  // namespace vgrid::bench

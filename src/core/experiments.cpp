@@ -1,7 +1,11 @@
 #include "core/experiments.hpp"
 
+#include <functional>
+#include <iterator>
+
 #include "core/guest_perf.hpp"
 #include "core/host_impact.hpp"
+#include "core/task_pool.hpp"
 #include "util/strings.hpp"
 #include "vmm/profile.hpp"
 #include "workloads/iobench.hpp"
@@ -20,6 +24,20 @@ struct PaperRef {
   const char* name;
   double value;
 };
+
+/// Cross-testbed scheduler: run one task per figure row on a TaskPool of
+/// `runner.jobs` workers. Every task builds its own Testbed(s) and writes
+/// into its own preallocated FigureRow slot, so the row vector — and the
+/// determinism-audit trace capture, which the pool reassembles in task
+/// order — is byte-identical to a serial (--jobs 1) run. Tasks that
+/// internally repeat via ParallelRunner execute those repetitions inline
+/// on their worker (nested pools never over-subscribe).
+void sweep_rows(const RunnerConfig& runner, std::size_t count,
+                const std::string& label,
+                const std::function<void(std::size_t)>& task) {
+  TaskPool pool(runner.jobs);
+  pool.run(count, task, nullptr, label);
+}
 
 }  // namespace
 
@@ -42,13 +60,18 @@ FigureResult fig1_7z(RunnerConfig runner) {
             .make_program();
       },
       runner);
+  // Shared native baseline first (repetitions run on the pool), then the
+  // four environments concurrently.
+  (void)experiment.measure_native();
   FigureResult figure{"fig1", "Relative performance of 7z on virtual machines",
                       "slowdown vs native (1.0 = native)", {}};
-  for (const PaperRef& ref : kPaper) {
+  figure.rows.resize(std::size(kPaper));
+  sweep_rows(runner, figure.rows.size(), "fig1", [&](std::size_t i) {
+    const PaperRef& ref = kPaper[i];
     const VmmProfile profile = *vmm::profiles::by_name(ref.name);
-    figure.rows.push_back(
-        FigureRow{ref.name, experiment.slowdown(profile), ref.value});
-  }
+    figure.rows[i] =
+        FigureRow{ref.name, experiment.slowdown(profile), ref.value};
+  });
   return figure;
 }
 
@@ -65,12 +88,16 @@ FigureResult fig2_matrix(RunnerConfig runner) {
     GuestPerfExperiment experiment(
         [n] { return workloads::MatrixBenchmark(n).make_program(); },
         runner);
-    for (const PaperRef& ref : kPaper) {
+    (void)experiment.measure_native();
+    const std::size_t base = figure.rows.size();
+    figure.rows.resize(base + std::size(kPaper));
+    sweep_rows(runner, std::size(kPaper), "fig2", [&](std::size_t i) {
+      const PaperRef& ref = kPaper[i];
       const VmmProfile profile = *vmm::profiles::by_name(ref.name);
-      figure.rows.push_back(
+      figure.rows[base + i] =
           FigureRow{util::format("%s-%zu", ref.name, n),
-                    experiment.slowdown(profile), ref.value});
-    }
+                    experiment.slowdown(profile), ref.value};
+    });
   }
   return figure;
 }
@@ -83,14 +110,17 @@ FigureResult fig3_iobench(RunnerConfig runner) {
       {"qemu", 4.90}};
   GuestPerfExperiment experiment(
       [] { return workloads::IoBench().make_program(); }, runner);
+  (void)experiment.measure_native();
   FigureResult figure{"fig3",
                       "Relative performance of IOBench on virtual machines",
                       "slowdown vs native (1.0 = native)", {}};
-  for (const PaperRef& ref : kPaper) {
+  figure.rows.resize(std::size(kPaper));
+  sweep_rows(runner, figure.rows.size(), "fig3", [&](std::size_t i) {
+    const PaperRef& ref = kPaper[i];
     const VmmProfile profile = *vmm::profiles::by_name(ref.name);
-    figure.rows.push_back(
-        FigureRow{ref.name, experiment.slowdown(profile), ref.value});
-  }
+    figure.rows[i] =
+        FigureRow{ref.name, experiment.slowdown(profile), ref.value};
+  });
   return figure;
 }
 
@@ -107,12 +137,18 @@ FigureResult fig3_iobench_by_size(RunnerConfig runner) {
     GuestPerfExperiment experiment(
         [config] { return workloads::IoBench(config).make_program(); },
         runner);
-    for (const VmmProfile& profile : vmm::profiles::all()) {
-      figure.rows.push_back(FigureRow{
-          util::format("%s %s", profile.name.c_str(),
-                       util::human_bytes(size).c_str()),
-          experiment.slowdown(profile), std::nullopt});
-    }
+    (void)experiment.measure_native();
+    const auto& profiles = vmm::profiles::all();
+    const std::size_t base = figure.rows.size();
+    figure.rows.resize(base + profiles.size());
+    sweep_rows(runner, profiles.size(), "fig3-by-size",
+               [&](std::size_t i) {
+                 const VmmProfile& profile = profiles[i];
+                 figure.rows[base + i] = FigureRow{
+                     util::format("%s %s", profile.name.c_str(),
+                                  util::human_bytes(size).c_str()),
+                     experiment.slowdown(profile), std::nullopt};
+               });
   }
   return figure;
 }
@@ -127,29 +163,36 @@ FigureResult fig4_netbench(RunnerConfig runner) {
       runner);
   FigureResult figure{"fig4", "Absolute performance for NetBench",
                       "Mbps (higher is better)", {}};
-  figure.rows.push_back(FigureRow{
-      "native", experiment.throughput_mbps(bytes, nullptr), 97.60});
 
   struct Entry {
     const char* label;
-    const char* profile;
+    const char* profile;  // nullptr = native
     NetMode mode;
     double paper;
   };
   static constexpr Entry kEntries[] = {
+      {"native", nullptr, NetMode::kBridged, 97.60},
       {"vmplayer-bridged", "vmplayer", NetMode::kBridged, 96.02},
       {"vmplayer-nat", "vmplayer", NetMode::kNat, 3.68},
       {"qemu", "qemu", NetMode::kNat, 65.91},
       {"virtualpc", "virtualpc", NetMode::kNat, 35.56},
       {"virtualbox", "virtualbox", NetMode::kNat, 1.30},
   };
-  for (const Entry& entry : kEntries) {
+  figure.rows.resize(std::size(kEntries));
+  sweep_rows(runner, figure.rows.size(), "fig4", [&](std::size_t i) {
+    const Entry& entry = kEntries[i];
+    if (entry.profile == nullptr) {
+      figure.rows[i] = FigureRow{
+          entry.label, experiment.throughput_mbps(bytes, nullptr),
+          entry.paper};
+      return;
+    }
     const VmmProfile profile = *vmm::profiles::by_name(entry.profile);
-    figure.rows.push_back(FigureRow{
+    figure.rows[i] = FigureRow{
         entry.label,
         experiment.throughput_mbps(bytes, &profile, entry.mode),
-        entry.paper});
-  }
+        entry.paper};
+  });
   return figure;
 }
 
@@ -159,19 +202,33 @@ FigureResult nbench_figure(const std::string& id, const std::string& title,
                            workloads::nbench::Index index, double paper_value,
                            RunnerConfig runner) {
   FigureResult figure{id, title, "% overhead on host (lower is better)", {}};
+  // Cross-testbed sweep over (priority, environment): each cell owns its
+  // HostImpactExperiment, so the 2 x |profiles| grid runs concurrently.
+  struct Cell {
+    os::PriorityClass priority;
+    const VmmProfile* profile;
+  };
+  const std::vector<VmmProfile> profiles = vmm::profiles::all();
+  std::vector<Cell> cells;
   for (const os::PriorityClass priority :
        {os::PriorityClass::kNormal, os::PriorityClass::kIdle}) {
-    HostImpactConfig config;
-    config.vm_priority = priority;
-    config.runner = runner;
-    HostImpactExperiment experiment(config);
-    for (const VmmProfile& profile : vmm::profiles::all()) {
-      figure.rows.push_back(FigureRow{
-          util::format("%s (%s)", profile.name.c_str(),
-                       os::to_string(priority)),
-          experiment.nbench_overhead_percent(index, profile), paper_value});
+    for (const VmmProfile& profile : profiles) {
+      cells.push_back(Cell{priority, &profile});
     }
   }
+  figure.rows.resize(cells.size());
+  sweep_rows(runner, cells.size(), id, [&](std::size_t i) {
+    const Cell& cell = cells[i];
+    HostImpactConfig config;
+    config.vm_priority = cell.priority;
+    config.runner = runner;
+    HostImpactExperiment experiment(config);
+    figure.rows[i] = FigureRow{
+        util::format("%s (%s)", cell.profile->name.c_str(),
+                     os::to_string(cell.priority)),
+        experiment.nbench_overhead_percent(index, *cell.profile),
+        paper_value};
+  });
   return figure;
 }
 
@@ -203,11 +260,6 @@ FigureResult fig6_int_fp_index(RunnerConfig runner) {
 FigureResult fig7_cpu_available(RunnerConfig runner) {
   // Paper §4.2.3: no VM: 100% / 180%; QEMU, VirtualBox and VirtualPC leave
   // ~160% to a dual-threaded 7z; VmPlayer only ~120%.
-  HostImpactConfig config;
-  config.vm_priority = os::PriorityClass::kIdle;  // the paper's setting
-  config.runner = runner;
-  HostImpactExperiment experiment(config);
-
   FigureResult figure{"fig7",
                       "Available % CPU for host OS (guest at 100% vCPU)",
                       "% CPU obtained by 7z (200 = both cores)", {}};
@@ -229,16 +281,22 @@ FigureResult fig7_cpu_available(RunnerConfig runner) {
       {"virtualpc 1T", "virtualpc", 1, 100.0},
       {"virtualpc 2T", "virtualpc", 2, 160.0},
   };
-  for (const Entry& entry : kEntries) {
+  figure.rows.resize(std::size(kEntries));
+  sweep_rows(runner, figure.rows.size(), "fig7", [&](std::size_t i) {
+    const Entry& entry = kEntries[i];
+    HostImpactConfig config;
+    config.vm_priority = os::PriorityClass::kIdle;  // the paper's setting
+    config.runner = runner;
+    HostImpactExperiment experiment(config);
     std::optional<VmmProfile> profile;
     if (entry.profile != nullptr) {
       profile = vmm::profiles::by_name(entry.profile);
     }
     const SevenZipHostMetrics metrics =
         experiment.run_7z(entry.threads, profile ? &*profile : nullptr);
-    figure.rows.push_back(
-        FigureRow{entry.label, metrics.cpu_percent, entry.paper});
-  }
+    figure.rows[i] =
+        FigureRow{entry.label, metrics.cpu_percent, entry.paper};
+  });
   return figure;
 }
 
@@ -248,21 +306,26 @@ FigureResult fig8_mips_ratio(RunnerConfig runner) {
   HostImpactConfig config;
   config.vm_priority = os::PriorityClass::kIdle;
   config.runner = runner;
-  HostImpactExperiment experiment(config);
 
-  const SevenZipHostMetrics baseline = experiment.run_7z(2, nullptr);
+  // Baseline first (its trace must precede the environments'), then the
+  // four environments concurrently.
+  const SevenZipHostMetrics baseline =
+      HostImpactExperiment(config).run_7z(2, nullptr);
   FigureResult figure{"fig8",
                       "MIPS for host 7z when guest runs at 100% (2 threads)",
                       "MIPS ratio vs no-VM run", {}};
   static constexpr PaperRef kPaper[] = {
       {"vmplayer", 0.70}, {"qemu", 0.90}, {"virtualbox", 0.90},
       {"virtualpc", 0.90}};
-  for (const PaperRef& ref : kPaper) {
+  figure.rows.resize(std::size(kPaper));
+  sweep_rows(runner, figure.rows.size(), "fig8", [&](std::size_t i) {
+    const PaperRef& ref = kPaper[i];
     const VmmProfile profile = *vmm::profiles::by_name(ref.name);
-    const SevenZipHostMetrics metrics = experiment.run_7z(2, &profile);
-    figure.rows.push_back(
-        FigureRow{ref.name, metrics.mips / baseline.mips, ref.value});
-  }
+    const SevenZipHostMetrics metrics =
+        HostImpactExperiment(config).run_7z(2, &profile);
+    figure.rows[i] =
+        FigureRow{ref.name, metrics.mips / baseline.mips, ref.value};
+  });
   return figure;
 }
 

@@ -5,6 +5,15 @@
 //
 // Paper values marked "read from plot" are approximate — the paper gives
 // exact numbers only in the text for some series.
+//
+// Every figure runs on the parallel experiment engine: a cross-testbed
+// scheduler fans the figure's rows (native + the four hypervisors, or the
+// priority x environment grid) out over a core::TaskPool of
+// `RunnerConfig::jobs` workers, and shared baselines repeat on a
+// core::ParallelRunner. Seed partitioning (util::Rng::fork) makes every
+// row a pure function of the config, so results — including the
+// determinism-audit trace capture — are byte-identical for any jobs
+// value; jobs only changes wall-clock time.
 
 #include <optional>
 #include <string>
@@ -28,7 +37,8 @@ struct FigureResult {
 };
 
 /// Default repetition settings for figure reproduction: the paper's 50
-/// repetitions with ~1% input variation.
+/// repetitions with ~1% input variation (jobs = 1; the benches and the
+/// CLI override jobs from --jobs, defaulting to hardware concurrency).
 RunnerConfig figure_runner_config();
 
 FigureResult fig1_7z(RunnerConfig runner = figure_runner_config());

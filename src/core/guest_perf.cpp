@@ -1,5 +1,6 @@
 #include "core/guest_perf.hpp"
 
+#include "core/parallel_runner.hpp"
 #include "core/scaled_program.hpp"
 #include "core/testbed.hpp"
 #include "util/units.hpp"
@@ -33,8 +34,9 @@ double GuestPerfExperiment::run_one(double scale,
 }
 
 stats::Summary GuestPerfExperiment::measure_native() {
+  const std::lock_guard<std::mutex> lock(native_mutex_);
   if (native_cache_) return *native_cache_;
-  Runner runner(runner_config_);
+  ParallelRunner runner(runner_config_);
   native_cache_ =
       runner.measure([this](double scale) { return run_one(scale, nullptr, {}); });
   return *native_cache_;
@@ -42,7 +44,7 @@ stats::Summary GuestPerfExperiment::measure_native() {
 
 stats::Summary GuestPerfExperiment::measure_under(
     const vmm::VmmProfile& profile, std::optional<vmm::NetMode> net_mode) {
-  Runner runner(runner_config_);
+  ParallelRunner runner(runner_config_);
   return runner.measure([this, &profile, net_mode](double scale) {
     return run_one(scale, &profile, net_mode);
   });
@@ -58,7 +60,7 @@ double GuestPerfExperiment::slowdown(const vmm::VmmProfile& profile,
 double GuestPerfExperiment::throughput_mbps(
     std::uint64_t bytes, const vmm::VmmProfile* profile,
     std::optional<vmm::NetMode> net_mode) {
-  Runner runner(runner_config_);
+  ParallelRunner runner(runner_config_);
   const stats::Summary summary =
       runner.measure([this, profile, net_mode](double scale) {
         return run_one(scale, profile, net_mode);

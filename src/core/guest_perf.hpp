@@ -6,6 +6,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -25,6 +26,11 @@ class GuestPerfExperiment {
   GuestPerfExperiment(ProgramFactory factory, RunnerConfig runner = {});
 
   /// Native execution times on the simulated machine (no VMM layer).
+  /// Computed once and cached; thread-safe. The cross-testbed scheduler in
+  /// core/experiments prefetches this *before* fanning environments out to
+  /// the TaskPool so the native trace lands at a deterministic position in
+  /// the determinism-audit capture (concurrent first callers are safe but
+  /// would capture the native trace under whichever task got there first).
   stats::Summary measure_native();
 
   /// Execution times of the same program as the guest of `profile`.
@@ -47,6 +53,7 @@ class GuestPerfExperiment {
 
   ProgramFactory factory_;
   RunnerConfig runner_config_;
+  std::mutex native_mutex_;  ///< guards native_cache_ population
   std::optional<stats::Summary> native_cache_;
 };
 

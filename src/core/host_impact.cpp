@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "core/parallel_runner.hpp"
 #include "core/scaled_program.hpp"
 #include "core/testbed.hpp"
 #include "util/error.hpp"
@@ -53,7 +54,9 @@ double HostImpactExperiment::nbench_run_seconds(
 
 double HostImpactExperiment::nbench_overhead_percent(
     workloads::nbench::Index index, const vmm::VmmProfile& profile) {
-  Runner runner(config_.runner);
+  // One runner, two measure() calls: solo and loaded draw uncorrelated
+  // jitter streams (per-call stream forking, see core::repetition_scale).
+  ParallelRunner runner(config_.runner);
   const stats::Summary solo = runner.measure([&](double scale) {
     return nbench_run_seconds(index, nullptr, scale);
   });

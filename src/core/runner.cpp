@@ -7,6 +7,15 @@
 
 namespace vgrid::core {
 
+double repetition_scale(const RunnerConfig& config,
+                        std::uint64_t measure_call,
+                        int repetition) noexcept {
+  util::Rng rng = util::Rng::fork(
+      util::Rng::fork_seed(config.seed, measure_call),
+      static_cast<std::uint64_t>(repetition));
+  return std::max(0.01, rng.normal(1.0, config.input_jitter));
+}
+
 Runner::Runner(RunnerConfig config) : config_(config) {
   if (config_.repetitions < 1) {
     throw util::ConfigError("Runner: repetitions >= 1 required");
@@ -15,16 +24,14 @@ Runner::Runner(RunnerConfig config) : config_(config) {
 
 stats::Summary Runner::measure(
     const std::function<double(double scale)>& fn) {
-  util::Xoshiro256 rng(config_.seed);
+  const std::uint64_t call = measure_calls_++;
   for (int i = 0; i < config_.warmup; ++i) {
     (void)fn(1.0);
   }
   std::vector<double> samples;
   samples.reserve(static_cast<std::size_t>(config_.repetitions));
   for (int i = 0; i < config_.repetitions; ++i) {
-    const double scale =
-        std::max(0.01, rng.normal(1.0, config_.input_jitter));
-    samples.push_back(fn(scale));
+    samples.push_back(fn(repetition_scale(config_, call, i)));
   }
   if (config_.tukey_outlier_filter) {
     const auto filtered = stats::tukey_filter(samples);

@@ -3,6 +3,7 @@
 // every quantity is measured over repeated runs (the paper uses >= 50) on
 // varied inputs, and reported as a full statistical summary.
 
+#include <cstdint>
 #include <functional>
 
 #include "stats/descriptive.hpp"
@@ -16,7 +17,26 @@ struct RunnerConfig {
   double input_jitter = 0.01;  ///< relative sigma of per-run input scaling
   std::uint64_t seed = 7777;
   bool tukey_outlier_filter = false;
+  /// Worker count for ParallelRunner: 1 = legacy serial execution,
+  /// 0 = one worker per hardware thread. The serial Runner ignores it.
+  /// Any value yields byte-identical results (deterministic seed
+  /// partitioning); jobs only changes wall-clock time.
+  int jobs = 1;
 };
+
+/// Input-scale factor of repetition `repetition` within measure() call
+/// number `measure_call` of a Runner/ParallelRunner built from `config`.
+///
+/// The RNG stream is partitioned two levels deep with util::Rng::fork:
+/// each measure() call gets stream fork(seed, call) — so two successive
+/// measure() calls on one runner draw *uncorrelated* jitter (they used to
+/// re-seed identically and produce the same sequence) — and within a call
+/// each repetition gets its own sub-stream fork(call_stream, i), so the
+/// scale of repetition i is a pure function of (config, call, i) and does
+/// not depend on which worker executes it or in what order. This is what
+/// makes ParallelRunner byte-identical to the serial Runner.
+double repetition_scale(const RunnerConfig& config,
+                        std::uint64_t measure_call, int repetition) noexcept;
 
 class Runner {
  public:
@@ -24,13 +44,15 @@ class Runner {
 
   /// Measure fn(scale) `repetitions` times; `scale` models the run's input
   /// variation (1.0 +- jitter, strictly positive). Returns the summary of
-  /// the returned values (typically seconds).
+  /// the returned values (typically seconds). Successive measure() calls
+  /// on one Runner use distinct jitter streams (see repetition_scale).
   stats::Summary measure(const std::function<double(double scale)>& fn);
 
   const RunnerConfig& config() const noexcept { return config_; }
 
  private:
   RunnerConfig config_;
+  std::uint64_t measure_calls_ = 0;
 };
 
 }  // namespace vgrid::core

@@ -26,10 +26,14 @@ hw::MachineConfig paper_machine_config() {
 
 namespace {
 // Destination of the determinism-audit capture; nullptr when disabled.
-std::string* g_trace_capture = nullptr;
+// Thread-local so concurrent TaskPool workers each capture into their own
+// per-task buffer (reassembled in task order by the pool).
+thread_local std::string* g_trace_capture = nullptr;
 }  // namespace
 
 void set_trace_capture(std::string* sink) { g_trace_capture = sink; }
+
+std::string* trace_capture() noexcept { return g_trace_capture; }
 
 Testbed::Testbed(hw::MachineConfig machine_config,
                  os::SchedulerConfig scheduler_config, HostOs host_os)

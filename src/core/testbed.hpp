@@ -22,12 +22,21 @@ enum class HostOs { kWindowsXp, kLinuxCfs };
 
 const char* to_string(HostOs host_os) noexcept;
 
-/// Determinism-audit hook: while `sink` is non-null, every Testbed enables
-/// its tracer at construction and appends the full trace dump to `sink` at
-/// destruction. Two same-seed experiment runs must produce byte-identical
-/// sinks (`vgrid determinism-audit`). Pass nullptr to disable. Simulations
-/// are single-threaded; the hook is not thread-safe by design.
+/// Determinism-audit hook: while `sink` is non-null, every Testbed built
+/// on the *calling thread* enables its tracer at construction and appends
+/// the full trace dump to `sink` at destruction. Two same-seed experiment
+/// runs must produce byte-identical sinks (`vgrid determinism-audit`).
+/// Pass nullptr to disable.
+///
+/// The hook is thread-local: each simulation still runs single-threaded,
+/// but core::TaskPool runs many independent simulations concurrently and
+/// routes each task's capture into a per-slot buffer via this hook, then
+/// reassembles the buffers in task order — so the captured stream is
+/// byte-identical regardless of worker count or completion order.
 void set_trace_capture(std::string* sink);
+
+/// The calling thread's current capture sink (nullptr when disabled).
+std::string* trace_capture() noexcept;
 
 class Testbed {
  public:

@@ -14,6 +14,9 @@ std::string escape_field(const std::string& raw) {
       case '%': out += "%25"; break;
       case '|': out += "%7C"; break;
       case '\n': out += "%0A"; break;
+      // NUL would silently truncate the frame in the printf-style
+      // serializers (found by the protocol fuzzer, test_messages_fuzz).
+      case '\0': out += "%00"; break;
       default: out += c;
     }
   }
@@ -29,6 +32,7 @@ std::string unescape_field(const std::string& escaped) {
       if (hex == "25") { out += '%'; i += 2; continue; }
       if (hex == "7C") { out += '|'; i += 2; continue; }
       if (hex == "0A") { out += '\n'; i += 2; continue; }
+      if (hex == "00") { out += '\0'; i += 2; continue; }
     }
     out += escaped[i];
   }

@@ -11,7 +11,7 @@
 
 namespace vgrid::grid {
 
-/// Escape '|', '%', '\n' for safe embedding in a message field.
+/// Escape '|', '%', '\n', and NUL for safe embedding in a message field.
 std::string escape_field(const std::string& raw);
 std::string unescape_field(const std::string& escaped);
 

@@ -110,4 +110,40 @@ void write_chrome_trace(const std::string& path,
   }
 }
 
+std::string worker_trace_json(const std::vector<WorkerSpan>& spans) {
+  std::int64_t origin = 0;
+  for (const WorkerSpan& span : spans) {
+    if (origin == 0 || span.start_ns < origin) origin = span.start_ns;
+  }
+  std::string out = "[\n";
+  bool first = true;
+  for (const WorkerSpan& span : spans) {
+    if (!first) out += ",\n";
+    first = false;
+    out += util::format(
+        "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+        "\"pid\":\"experiment-pool\",\"tid\":\"worker %d\"}",
+        json_escape(span.label).c_str(),
+        static_cast<double>(span.start_ns - origin) / 1e3,
+        static_cast<double>(span.end_ns - span.start_ns) / 1e3,
+        span.worker);
+  }
+  out += "\n]\n";
+  return out;
+}
+
+void write_worker_trace(const std::string& path,
+                        const std::vector<WorkerSpan>& spans) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw util::SystemError("write_worker_trace: cannot open " + path,
+                            errno);
+  }
+  out << worker_trace_json(spans);
+  if (!out) {
+    throw util::SystemError("write_worker_trace: write failed " + path,
+                            errno);
+  }
+}
+
 }  // namespace vgrid::report

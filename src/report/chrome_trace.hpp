@@ -20,4 +20,24 @@ std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records);
 void write_chrome_trace(const std::string& path,
                         const std::vector<sim::TraceRecord>& records);
 
+/// One task executed by a core::TaskPool worker: real (wall-clock) timing
+/// of a repetition or environment measurement, for visualizing how the
+/// parallel experiment engine fills its workers. Observability only —
+/// wall-clock values never feed back into measured results.
+struct WorkerSpan {
+  int worker = 0;            ///< worker index within the pool
+  std::string label;         ///< e.g. "fig5:vmplayer (idle)" or "rep 17"
+  std::int64_t start_ns = 0; ///< util::monotonic_time_ns at task start
+  std::int64_t end_ns = 0;   ///< ... and at task end
+};
+
+/// Render worker spans as Chrome trace-event JSON: one row per worker
+/// (pid "experiment-pool"), timestamps normalized to the earliest span.
+std::string worker_trace_json(const std::vector<WorkerSpan>& spans);
+
+/// Write the per-worker timeline next to a bench run. Throws SystemError
+/// on I/O failure.
+void write_worker_trace(const std::string& path,
+                        const std::vector<WorkerSpan>& spans);
+
 }  // namespace vgrid::report

@@ -103,4 +103,21 @@ void Xoshiro256::jump() noexcept {
   state_ = acc;
 }
 
+std::uint64_t Xoshiro256::fork_seed(std::uint64_t seed,
+                                    std::uint64_t stream) noexcept {
+  // Two SplitMix64 rounds: the first whitens the parent seed, the second
+  // mixes in the stream index (offset so stream 0 is not the parent's own
+  // first output). Collisions between (seed, i) and (seed, j), i != j,
+  // would need a SplitMix64 cycle shorter than 2^64 — there is none.
+  SplitMix64 parent(seed);
+  SplitMix64 child(parent.next() ^
+                   (stream + 1) * 0xbf58476d1ce4e5b9ULL);
+  return child.next();
+}
+
+Xoshiro256 Xoshiro256::fork(std::uint64_t seed,
+                            std::uint64_t stream) noexcept {
+  return Xoshiro256(fork_seed(seed, stream));
+}
+
 }  // namespace vgrid::util

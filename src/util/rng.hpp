@@ -79,10 +79,26 @@ class Xoshiro256 {
   /// giving each simulated entity its own independent generator.
   void jump() noexcept;
 
+  /// Derive the seed of child stream `stream` from `seed`: a SplitMix64
+  /// finalizer over (seed, stream), so every (seed, stream) pair maps to a
+  /// statistically independent child seed. This is the deterministic seed
+  /// partitioning used by core::ParallelRunner — repetition i always draws
+  /// from stream fork(seed, i) no matter which worker executes it, which
+  /// is what makes parallel runs byte-identical to serial runs.
+  static std::uint64_t fork_seed(std::uint64_t seed,
+                                 std::uint64_t stream) noexcept;
+
+  /// Generator for child stream `stream` of `seed` (see fork_seed).
+  static Xoshiro256 fork(std::uint64_t seed, std::uint64_t stream) noexcept;
+
  private:
   std::array<std::uint64_t, 4> state_{};
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;
 };
+
+/// The library's canonical generator name: `util::Rng::fork(seed, i)` is
+/// the spelling the experiment engine uses for stream splits.
+using Rng = Xoshiro256;
 
 }  // namespace vgrid::util

@@ -1,0 +1,250 @@
+// ProjectServer soak test: 64 concurrent clients hammering one server
+// over real TCP, workunits fed by a generator, with a block of "dying"
+// clients that fetch instances and vanish without submitting (the
+// volunteer-churn failure mode of the paper's desktop-grid setting). The
+// deadline transitioner must reissue every abandoned instance, every
+// workunit must still reach quorum validation, and the credit ledger must
+// balance exactly — no lost and no duplicated credit. Run under
+// ASan/UBSan and TSan in CI (thread-safety of the server is the point).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "grid/client.hpp"
+#include "grid/messages.hpp"
+#include "grid/server.hpp"
+#include "grid/tcp_util.hpp"
+#include "grid/workunit.hpp"
+#include "util/clock.hpp"
+#include "util/strings.hpp"
+
+namespace vgrid {
+namespace {
+
+using grid::GridClient;
+using grid::ProjectServer;
+using grid::Result;
+using grid::ServerStats;
+using grid::StatsResponse;
+using grid::Workunit;
+using grid::WorkunitState;
+
+/// Protocol-level client: unlike GridClient it can fetch an instance and
+/// *not* submit (a dying volunteer), and it pins the claimed CPU time, so
+/// the credit ledger is exactly predictable.
+class RawClient {
+ public:
+  RawClient(std::uint16_t port, std::string id)
+      : port_(port), id_(std::move(id)) {}
+
+  std::optional<Workunit> fetch() {
+    const auto reply =
+        round_trip(grid::serialize(grid::WorkRequest{id_}),
+                   grid::parse_work_response);
+    if (!reply || !reply->has_work) return std::nullopt;
+    return reply->workunit;
+  }
+
+  bool submit(const Workunit& workunit, double cpu_seconds) {
+    const Result result{workunit.id, id_, "echo:" + workunit.payload,
+                        cpu_seconds};
+    const auto reply =
+        round_trip(grid::serialize(grid::SubmitRequest{result}),
+                   grid::parse_submit_response);
+    return reply && reply->accepted;
+  }
+
+  const std::string& id() const noexcept { return id_; }
+
+ private:
+  template <typename Parser>
+  auto round_trip(const std::string& request, Parser parse)
+      -> decltype(parse(std::string())) {
+    grid::tcp::Fd conn = grid::tcp::connect_loopback(port_);
+    if (!grid::tcp::write_line(conn.get(), request)) return std::nullopt;
+    std::string line;
+    if (!grid::tcp::read_line(conn.get(), line)) return std::nullopt;
+    return parse(line);
+  }
+
+  std::uint16_t port_;
+  std::string id_;
+};
+
+constexpr std::uint64_t kWorkunits = 96;
+constexpr int kReplication = 2;
+constexpr int kQuorum = 2;
+constexpr int kWorkers = 48;
+constexpr int kDying = 16;  // fetch an instance each, never submit
+constexpr double kCpuPerResult = 1.0;
+constexpr double kSoakBudgetSeconds = 60.0;
+
+void install_generator(ProjectServer& server,
+                       std::atomic<std::uint64_t>& generated,
+                       double deadline_seconds) {
+  server.set_generator([&generated, deadline_seconds](Workunit& workunit) {
+    const std::uint64_t n = generated.fetch_add(1);
+    if (n >= kWorkunits) return false;
+    workunit.kind = "echo";
+    workunit.payload =
+        util::format("payload-%llu", static_cast<unsigned long long>(n));
+    workunit.replication = kReplication;
+    workunit.quorum = kQuorum;
+    workunit.deadline_seconds = deadline_seconds;
+    return true;
+  });
+}
+
+TEST(GridStress, SixtyFourClientsWithDeathsValidateEverythingExactlyOnce) {
+  ProjectServer server;
+  std::atomic<std::uint64_t> generated{0};
+  // Short server-side deadline so instances abandoned by the dying
+  // clients are reissued within the test's budget.
+  install_generator(server, generated, /*deadline_seconds=*/0.2);
+
+  // Phase 1 — the dying clients: each fetches one instance concurrently,
+  // then disappears without submitting. Those instances can only come
+  // back through the deadline transitioner.
+  std::atomic<std::uint64_t> abandoned{0};
+  {
+    std::vector<std::thread> dying;
+    dying.reserve(kDying);
+    for (int i = 0; i < kDying; ++i) {
+      dying.emplace_back([&server, &abandoned, i] {
+        RawClient client(server.port(), util::format("dying-%02d", i));
+        if (client.fetch()) abandoned.fetch_add(1);
+      });
+    }
+    for (auto& thread : dying) thread.join();
+  }
+  ASSERT_EQ(abandoned.load(), static_cast<std::uint64_t>(kDying));
+
+  // Phase 2 — the surviving workers: fetch/execute/submit until every
+  // workunit validated (their requests also drive the transitioner).
+  std::atomic<bool> done{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (int i = 0; i < kWorkers; ++i) {
+    workers.emplace_back([&server, &done, i] {
+      RawClient client(server.port(), util::format("worker-%02d", i));
+      while (!done.load(std::memory_order_relaxed)) {
+        const auto workunit = client.fetch();
+        if (!workunit) {
+          // Queue dry but workunits still in flight: an abandoned
+          // instance may not have expired yet — back off and retry.
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          continue;
+        }
+        client.submit(*workunit, kCpuPerResult);
+      }
+    });
+  }
+
+  const util::WallTimer timer;
+  while (server.stats().workunits_validated < kWorkunits &&
+         timer.elapsed_seconds() < kSoakBudgetSeconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  done.store(true);
+  for (auto& thread : workers) thread.join();
+
+  const ServerStats stats = server.stats();
+  ASSERT_EQ(stats.workunits_validated, kWorkunits)
+      << "soak did not converge within " << kSoakBudgetSeconds << "s";
+  EXPECT_EQ(stats.workunits_invalid, 0u);
+
+  // Every workunit reached kValidated with the echo executor's canonical
+  // output (ids are dense: the generator runs under the server's lock).
+  for (std::uint64_t id = 1; id <= kWorkunits; ++id) {
+    ASSERT_EQ(server.workunit_state(id), WorkunitState::kValidated)
+        << "workunit " << id;
+    const auto canonical = server.canonical_result(id);
+    ASSERT_TRUE(canonical.has_value());
+    EXPECT_EQ(canonical->rfind("echo:payload-", 0), 0u) << *canonical;
+  }
+
+  // Every instance abandoned by a dying client had to be reissued for its
+  // workunit to validate. (Reissues can exceed the deaths: a slow-but-live
+  // instance may also expire; that workunit just collects a spare result.)
+  EXPECT_GE(stats.instances_reissued, abandoned.load());
+
+  // Credit ledger balances exactly — BOINC's rule grants credit once, at
+  // validation time, to the quorum of matching results, and every result
+  // claimed exactly kCpuPerResult seconds:
+  //   no lost credit:        total == quorum x validated x claim
+  //   no duplicated credit:  (same equality, from above)
+  //   per-result accounting: accepted results and CPU all reach accounts.
+  double total_credit = 0.0;
+  double total_cpu = 0.0;
+  std::uint64_t total_accepted = 0;
+  for (int i = 0; i < kWorkers; ++i) {
+    const StatsResponse account =
+        server.client_account(util::format("worker-%02d", i));
+    total_credit += account.credit;
+    total_cpu += account.cpu_seconds;
+    total_accepted += account.results_accepted;
+    EXPECT_LE(account.credit, account.cpu_seconds)
+        << "worker-" << i << " granted more credit than it claimed";
+  }
+  for (int i = 0; i < kDying; ++i) {
+    const StatsResponse account =
+        server.client_account(util::format("dying-%02d", i));
+    EXPECT_EQ(account.results_accepted, 0u);
+    EXPECT_EQ(account.credit, 0.0);
+  }
+  EXPECT_EQ(total_accepted, stats.results_received);
+  EXPECT_DOUBLE_EQ(total_cpu, stats.total_cpu_seconds);
+  EXPECT_DOUBLE_EQ(total_credit,
+                   static_cast<double>(kQuorum) *
+                       static_cast<double>(kWorkunits) * kCpuPerResult);
+
+  server.stop();
+}
+
+TEST(GridStress, ConcurrentGridClientsDrainGeneratorCleanly) {
+  // The real client API under concurrency: no deaths, no deadlines — just
+  // eight GridClients racing run() against one generator-fed server.
+  ProjectServer server;
+  std::atomic<std::uint64_t> generated{0};
+  install_generator(server, generated, /*deadline_seconds=*/0.0);
+
+  constexpr int kClients = 8;
+  std::vector<std::unique_ptr<GridClient>> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.push_back(std::make_unique<GridClient>(
+        server.port(), util::format("client-%02d", i)));
+    clients.back()->register_app("echo", [](const std::string& payload) {
+      return "echo:" + payload;
+    });
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (auto& client : clients) {
+    threads.emplace_back(
+        [&client] { client->run(kWorkunits, /*idle_limit=*/5); });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.workunits_validated, kWorkunits);
+  EXPECT_EQ(stats.workunits_invalid, 0u);
+  EXPECT_EQ(stats.instances_reissued, 0u);
+  std::uint64_t completed = 0;
+  for (const auto& client : clients) {
+    completed += client->stats().workunits_completed;
+    EXPECT_EQ(client->stats().rejected_results, 0u);
+  }
+  EXPECT_EQ(completed, stats.results_received);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace vgrid

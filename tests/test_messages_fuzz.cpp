@@ -1,0 +1,240 @@
+// Seeded structure-aware fuzzing of the grid wire protocol
+// (grid/messages): randomly generated messages — with hostile field
+// content, framing bytes, escape-sequence fragments, NULs, high bytes —
+// must survive a serialize -> parse round trip intact, and every parser
+// must reject truncated, mutated, or outright garbage frames by returning
+// nullopt (or a well-formed struct), never by crashing or reading out of
+// bounds. Deterministic by construction (util::Xoshiro256, fixed seed);
+// the ASan/UBSan and TSan CI jobs turn "never UB" into a hard check.
+
+#include <cstdint>
+#include <iterator>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "grid/messages.hpp"
+#include "grid/workunit.hpp"
+#include "util/rng.hpp"
+
+namespace vgrid {
+namespace {
+
+using util::Xoshiro256;
+
+constexpr std::uint64_t kSeed = 0xf00df00dULL;
+constexpr int kRounds = 400;
+
+/// A random field value biased toward protocol-hostile content: framing
+/// bytes ('|', '\n'), the escape introducer '%', complete and truncated
+/// escape sequences, NUL and high bytes.
+std::string hostile_string(Xoshiro256& rng) {
+  static const char* const kFragments[] = {
+      "|", "%", "\n", "%25", "%7C", "%0A", "%2", "%%", "||", "\r",
+      "WORK", "SUBMIT", "WU", "NO_WORK", "ACK", "CREDIT",
+  };
+  std::string out;
+  const int pieces = static_cast<int>(rng.below(8));
+  for (int i = 0; i < pieces; ++i) {
+    switch (rng.below(3)) {
+      case 0:
+        out += kFragments[rng.below(std::size(kFragments))];
+        break;
+      case 1:  // a short run of arbitrary bytes, NUL and >0x7f included
+        for (std::uint64_t n = rng.below(6); n > 0; --n) {
+          out += static_cast<char>(rng.below(256));
+        }
+        break;
+      default:  // plain text
+        for (std::uint64_t n = rng.below(10); n > 0; --n) {
+          out += static_cast<char>('a' + rng.below(26));
+        }
+    }
+  }
+  return out;
+}
+
+/// Claimed CPU times survive the wire's %.6f formatting exactly when they
+/// are multiples of 1/64 (dyadic rationals with few fraction bits).
+double exact_cpu(Xoshiro256& rng) {
+  return static_cast<double>(rng.below(1 << 20)) / 64.0;
+}
+
+void parse_with_everything(const std::string& line) {
+  // None of these may crash, whatever `line` holds; results are free to
+  // be nullopt or any well-formed struct.
+  (void)grid::parse_work_request(line);
+  (void)grid::parse_submit_request(line);
+  (void)grid::parse_stats_request(line);
+  (void)grid::parse_work_response(line);
+  (void)grid::parse_submit_response(line);
+  (void)grid::parse_stats_response(line);
+  (void)grid::request_tag(line);
+  (void)grid::unescape_field(line);
+}
+
+TEST(MessagesFuzz, EscapeRoundTripsArbitraryBytes) {
+  Xoshiro256 rng(kSeed);
+  for (int round = 0; round < kRounds; ++round) {
+    std::string raw;
+    for (std::uint64_t n = rng.below(64); n > 0; --n) {
+      raw += static_cast<char>(rng.below(256));
+    }
+    const std::string escaped = grid::escape_field(raw);
+    EXPECT_EQ(escaped.find('|'), std::string::npos);
+    EXPECT_EQ(escaped.find('\n'), std::string::npos);
+    EXPECT_EQ(grid::unescape_field(escaped), raw);
+  }
+}
+
+TEST(MessagesFuzz, WorkRequestRoundTripsHostileFields) {
+  Xoshiro256 rng(kSeed + 1);
+  for (int round = 0; round < kRounds; ++round) {
+    const grid::WorkRequest request{hostile_string(rng)};
+    const auto parsed =
+        grid::parse_work_request(grid::serialize(request));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->client_id, request.client_id);
+  }
+}
+
+TEST(MessagesFuzz, SubmitRequestRoundTripsHostileFields) {
+  Xoshiro256 rng(kSeed + 2);
+  for (int round = 0; round < kRounds; ++round) {
+    grid::SubmitRequest request;
+    request.result.workunit_id = rng.next();
+    request.result.client_id = hostile_string(rng);
+    request.result.output = hostile_string(rng);
+    request.result.cpu_seconds = exact_cpu(rng);
+    const auto parsed =
+        grid::parse_submit_request(grid::serialize(request));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->result.workunit_id, request.result.workunit_id);
+    EXPECT_EQ(parsed->result.client_id, request.result.client_id);
+    EXPECT_EQ(parsed->result.output, request.result.output);
+    EXPECT_DOUBLE_EQ(parsed->result.cpu_seconds,
+                     request.result.cpu_seconds);
+  }
+}
+
+TEST(MessagesFuzz, WorkResponseRoundTripsHostileFields) {
+  Xoshiro256 rng(kSeed + 3);
+  for (int round = 0; round < kRounds; ++round) {
+    grid::WorkResponse response;
+    response.has_work = true;
+    response.workunit.id = rng.next();
+    response.workunit.kind = hostile_string(rng);
+    response.workunit.payload = hostile_string(rng);
+    response.workunit.replication =
+        static_cast<int>(rng.uniform_int(1, 64));
+    response.workunit.quorum = static_cast<int>(rng.uniform_int(1, 64));
+    const auto parsed =
+        grid::parse_work_response(grid::serialize(response));
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_TRUE(parsed->has_work);
+    EXPECT_EQ(parsed->workunit.id, response.workunit.id);
+    EXPECT_EQ(parsed->workunit.kind, response.workunit.kind);
+    EXPECT_EQ(parsed->workunit.payload, response.workunit.payload);
+    EXPECT_EQ(parsed->workunit.replication, response.workunit.replication);
+    EXPECT_EQ(parsed->workunit.quorum, response.workunit.quorum);
+  }
+}
+
+TEST(MessagesFuzz, StatsMessagesRoundTrip) {
+  Xoshiro256 rng(kSeed + 4);
+  for (int round = 0; round < kRounds; ++round) {
+    const grid::StatsRequest request{hostile_string(rng)};
+    const auto parsed_request =
+        grid::parse_stats_request(grid::serialize(request));
+    ASSERT_TRUE(parsed_request.has_value());
+    EXPECT_EQ(parsed_request->client_id, request.client_id);
+
+    grid::StatsResponse response;
+    response.results_accepted = rng.below(1'000'000);
+    response.cpu_seconds = exact_cpu(rng);
+    response.credit = exact_cpu(rng);
+    const auto parsed_response =
+        grid::parse_stats_response(grid::serialize(response));
+    ASSERT_TRUE(parsed_response.has_value());
+    EXPECT_EQ(parsed_response->results_accepted,
+              response.results_accepted);
+    EXPECT_DOUBLE_EQ(parsed_response->cpu_seconds, response.cpu_seconds);
+    EXPECT_DOUBLE_EQ(parsed_response->credit, response.credit);
+  }
+}
+
+TEST(MessagesFuzz, TruncatedFramesNeverCrash) {
+  Xoshiro256 rng(kSeed + 5);
+  for (int round = 0; round < 64; ++round) {
+    grid::SubmitRequest submit;
+    submit.result.workunit_id = rng.next();
+    submit.result.client_id = hostile_string(rng);
+    submit.result.output = hostile_string(rng);
+    submit.result.cpu_seconds = exact_cpu(rng);
+    grid::WorkResponse work;
+    work.has_work = true;
+    work.workunit.kind = hostile_string(rng);
+    work.workunit.payload = hostile_string(rng);
+    const std::string frames[] = {
+        grid::serialize(grid::WorkRequest{hostile_string(rng)}),
+        grid::serialize(submit),
+        grid::serialize(work),
+        grid::serialize(grid::SubmitResponse{true, true}),
+        grid::serialize(grid::StatsResponse{7, 1.5, 0.5}),
+    };
+    for (const std::string& frame : frames) {
+      for (std::size_t len = 0; len <= frame.size(); ++len) {
+        parse_with_everything(frame.substr(0, len));
+      }
+    }
+  }
+}
+
+TEST(MessagesFuzz, MutatedFramesParseOrRejectWithoutUb) {
+  Xoshiro256 rng(kSeed + 6);
+  for (int round = 0; round < kRounds; ++round) {
+    grid::SubmitRequest submit;
+    submit.result.workunit_id = rng.next();
+    submit.result.client_id = hostile_string(rng);
+    submit.result.output = hostile_string(rng);
+    submit.result.cpu_seconds = exact_cpu(rng);
+    std::string frame = grid::serialize(submit);
+    // A handful of random point mutations: substitute, insert, delete.
+    for (int mutation = 0; mutation < 4 && !frame.empty(); ++mutation) {
+      const std::size_t at = rng.below(frame.size());
+      switch (rng.below(3)) {
+        case 0:
+          frame[at] = static_cast<char>(rng.below(256));
+          break;
+        case 1:
+          frame.insert(at, 1, static_cast<char>(rng.below(256)));
+          break;
+        default:
+          frame.erase(at, 1);
+      }
+    }
+    parse_with_everything(frame);
+  }
+}
+
+TEST(MessagesFuzz, RandomGarbageIsRejectedWithoutUb) {
+  Xoshiro256 rng(kSeed + 7);
+  for (int round = 0; round < kRounds; ++round) {
+    std::string garbage;
+    for (std::uint64_t n = rng.below(96); n > 0; --n) {
+      garbage += static_cast<char>(rng.below(256));
+    }
+    parse_with_everything(garbage);
+    // The dispatch tag on garbage is either empty or one of the three
+    // request verbs (when the garbage legitimately starts with one).
+    const std::string tag = grid::request_tag(garbage);
+    EXPECT_TRUE(tag.empty() || tag == "WORK" || tag == "SUBMIT" ||
+                tag == "STATS")
+        << tag;
+  }
+}
+
+}  // namespace
+}  // namespace vgrid

@@ -1,9 +1,9 @@
 // vgrid — command-line front end of the library.
 //
-//   vgrid figures   [--reps N] [fig1 ... fig8]    reproduce paper figures
+//   vgrid figures   [--reps N] [--jobs N] [fig1 ... fig8]   paper figures
 //   vgrid guest     <7z|matrix|iobench|netbench> [--env NAME] [--reps N]
 //   vgrid host      [--env NAME] [--threads N] [--priority idle|normal]
-//                   [--vms N] [--reps N]
+//                   [--vms N] [--reps N] [--jobs N]
 //   vgrid suite     [--iterations N]              native NBench suite
 //   vgrid compress  <input> <output>              real LZMA-family codec
 //   vgrid decompress <input> <output>
@@ -11,9 +11,10 @@
 //   vgrid churn     [--workunit-hours H] [--session-hours H] [--no-checkpoint]
 //   vgrid migrate   [--ram-mb M] [--dirty-mbps R]
 //   vgrid profiles                               list hypervisor profiles
-//   vgrid determinism-audit [fig1..fig8] [--reps N] [--seed S]
-//                   run a figure twice with the same seed and byte-diff
-//                   the two result+trace streams (exit 1 on divergence)
+//   vgrid determinism-audit [fig1..fig8] [--reps N] [--seed S] [--jobs N]
+//                   run a figure twice with the same seed — serially, then
+//                   on N workers — and byte-diff the two result+trace
+//                   streams (exit 1 on divergence)
 
 #include <algorithm>
 #include <cstdio>
@@ -54,10 +55,10 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: vgrid <command> [options]\n"
-      "  figures    [--reps N] [fig1..fig8]   reproduce the paper's figures\n"
+      "  figures    [--reps N] [--jobs N] [fig1..fig8]   paper figures\n"
       "  guest      <7z|matrix|iobench|netbench> [--env NAME] [--reps N]\n"
       "  host       [--env NAME] [--threads N] [--priority idle|normal]\n"
-      "             [--vms N] [--os xp|linux] [--reps N]\n"
+      "             [--vms N] [--os xp|linux] [--reps N] [--jobs N]\n"
       "  suite      [--iterations N]          run the native NBench suite\n"
       "  compress   <input> <output>          compress a real file\n"
       "  decompress <input> <output>\n"
@@ -68,8 +69,9 @@ int usage() {
       "  timeline   [--env NAME] [--threads N] [--os xp|linux]\n"
       "             [--out trace.json]        trace the Fig. 7 scenario\n"
       "  profiles                             list hypervisor profiles\n"
-      "  determinism-audit [fig1..fig8] [--reps N] [--seed S]\n"
-      "             same-seed double run, byte-diff results and traces\n");
+      "  determinism-audit [fig1..fig8] [--reps N] [--seed S] [--jobs N]\n"
+      "             same-seed serial vs N-worker run, byte-diff results\n"
+      "             and traces\n");
   return 2;
 }
 
@@ -77,6 +79,10 @@ core::RunnerConfig runner_config(const Args& args) {
   core::RunnerConfig runner = core::figure_runner_config();
   runner.repetitions =
       static_cast<int>(args.get_long("reps", runner.repetitions));
+  // 0 = one worker per hardware thread; results are byte-identical for
+  // any jobs value (see core/task_pool.hpp), so defaulting to parallel
+  // is safe even for the audit-style commands.
+  runner.jobs = static_cast<int>(args.get_long("jobs", 0));
   return runner;
 }
 
@@ -399,15 +405,23 @@ int cmd_determinism_audit(const Args& args) {
   runner.repetitions = static_cast<int>(args.get_long("reps", 5));
   runner.seed = static_cast<std::uint64_t>(
       args.get_long("seed", static_cast<long>(runner.seed)));
+  // --jobs N audits the parallel engine: the first run is always the
+  // legacy serial path, the second fans out over N workers, and the two
+  // streams must still byte-match — the ISSUE's "parallel == serial"
+  // contract, enforced end to end. --jobs 1 (the default) degenerates to
+  // the classic same-config double run.
+  const int jobs = static_cast<int>(args.get_long("jobs", 1));
 
+  runner.jobs = 1;
   const std::string first = run_captured(fn, runner);
+  runner.jobs = jobs;
   const std::string second = run_captured(fn, runner);
   if (first == second) {
     std::printf(
         "determinism-audit PASS: %s byte-identical across two seed=%llu "
-        "runs (%zu bytes, %d repetitions)\n",
+        "runs (%zu bytes, %d repetitions, serial vs %d jobs)\n",
         id.c_str(), static_cast<unsigned long long>(runner.seed),
-        first.size(), runner.repetitions);
+        first.size(), runner.repetitions, jobs);
     return 0;
   }
   const std::size_t limit = std::min(first.size(), second.size());
@@ -419,8 +433,8 @@ int cmd_determinism_audit(const Args& args) {
   }
   std::fprintf(stderr,
                "determinism-audit FAIL: %s diverges at byte %zu (line %zu; "
-               "sizes %zu vs %zu)\n",
-               id.c_str(), offset, line, first.size(), second.size());
+               "sizes %zu vs %zu; serial vs %d jobs)\n",
+               id.c_str(), offset, line, first.size(), second.size(), jobs);
   return 1;
 }
 
