@@ -1,11 +1,14 @@
 #pragma once
 // Common argv handling for the benches: [repetitions] overrides the
-// paper's default of 50, and --jobs N sizes the parallel experiment
-// engine's worker pool (default: one worker per hardware thread; --jobs 1
-// forces the legacy serial path). Results are byte-identical for any
-// jobs value — the flag only changes wall-clock time.
+// paper's default of 50, --jobs N sizes the parallel experiment engine's
+// worker pool (default: one worker per hardware thread; --jobs 1 forces
+// the legacy serial path), and --metrics-out FILE drops the obs registry
+// snapshot (FILE JSON + FILE.prom Prometheus text) next to the CSV.
+// Results and snapshots are byte-identical for any jobs value — the flag
+// only changes wall-clock time.
 
 #include <cstdlib>
+#include <string>
 
 #include "core/experiments.hpp"
 #include "util/cli_args.hpp"
@@ -21,6 +24,12 @@ inline core::RunnerConfig runner_from_args(int argc, char** argv) {
   }
   runner.jobs = static_cast<int>(args.get_long("jobs", 0));  // 0 = hardware
   return runner;
+}
+
+/// --metrics-out FILE, or "" when the bench should not collect metrics.
+inline std::string metrics_out_from_args(int argc, char** argv) {
+  const util::Args args(argc, argv, 1);
+  return args.get_or("metrics-out", "");
 }
 
 }  // namespace vgrid::bench

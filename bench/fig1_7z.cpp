@@ -1,9 +1,8 @@
-// Reproduces Figure 1 of the paper (7z guest performance). Usage: ./fig1_7z [repetitions] [--jobs N]
+// Reproduces Figure 1 of the paper (7z guest performance). Usage: ./fig1_7z [repetitions] [--jobs N] [--metrics-out FILE]
 // (default: the paper's 50 repetitions).
 
 #include "figure_bench.hpp"
 
 int main(int argc, char** argv) {
-  const auto runner = vgrid::bench::runner_from_args(argc, argv);
-  return vgrid::bench::run_figure_bench(vgrid::core::fig1_7z, runner);
+  return vgrid::bench::figure_bench_main(vgrid::core::fig1_7z, argc, argv);
 }

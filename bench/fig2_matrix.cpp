@@ -1,9 +1,8 @@
-// Reproduces Figure 2 of the paper (Matrix guest performance). Usage: ./fig2_matrix [repetitions] [--jobs N]
+// Reproduces Figure 2 of the paper (Matrix guest performance). Usage: ./fig2_matrix [repetitions] [--jobs N] [--metrics-out FILE]
 // (default: the paper's 50 repetitions).
 
 #include "figure_bench.hpp"
 
 int main(int argc, char** argv) {
-  const auto runner = vgrid::bench::runner_from_args(argc, argv);
-  return vgrid::bench::run_figure_bench(vgrid::core::fig2_matrix, runner);
+  return vgrid::bench::figure_bench_main(vgrid::core::fig2_matrix, argc, argv);
 }

@@ -1,17 +1,38 @@
 // Reproduces Figure 3 of the paper (IOBench relative performance), plus
 // the per-file-size sweep underlying it. Usage: ./fig3_iobench
-// [repetitions] [--jobs N] (default: the paper's 50 repetitions).
+// [repetitions] [--jobs N] [--metrics-out FILE] (default: the paper's 50
+// repetitions).
 
 #include "figure_bench.hpp"
 
 int main(int argc, char** argv) {
   const auto runner = vgrid::bench::runner_from_args(argc, argv);
-  const int status =
-      vgrid::bench::run_figure_bench(vgrid::core::fig3_iobench, runner);
-  // Supporting detail beyond the paper's single bar per environment:
-  // small files are dominated by per-request emulation overhead, large
-  // files by the bandwidth multiplier.
-  vgrid::bench::run_figure_bench(
-      vgrid::core::fig3_iobench_by_size(runner));
+  const auto metrics_out = vgrid::bench::metrics_out_from_args(argc, argv);
+  vgrid::obs::Registry registry;
+  vgrid::obs::register_defaults(registry);
+  int status;
+  {
+    // One registry spans both the figure and the supporting sweep, so the
+    // snapshot covers the whole bench run.
+    vgrid::obs::ScopedRegistry metrics_scope(
+        metrics_out.empty() ? nullptr : &registry);
+    status = vgrid::bench::run_figure_bench(vgrid::core::fig3_iobench,
+                                            runner);
+    // Supporting detail beyond the paper's single bar per environment:
+    // small files are dominated by per-request emulation overhead, large
+    // files by the bandwidth multiplier.
+    vgrid::bench::run_figure_bench(
+        vgrid::core::fig3_iobench_by_size(runner));
+  }
+  if (!metrics_out.empty()) {
+    try {
+      vgrid::obs::write_snapshot(registry, metrics_out);
+      std::printf("metrics written to %s (JSON) and %s.prom (Prometheus)\n",
+                  metrics_out.c_str(), metrics_out.c_str());
+    } catch (const std::exception&) {
+      // Read-only working directory: the printed tables are the
+      // deliverable.
+    }
+  }
   return status;
 }

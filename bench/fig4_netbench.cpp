@@ -1,9 +1,8 @@
-// Reproduces Figure 4 of the paper (NetBench absolute throughput). Usage: ./fig4_netbench [repetitions] [--jobs N]
+// Reproduces Figure 4 of the paper (NetBench absolute throughput). Usage: ./fig4_netbench [repetitions] [--jobs N] [--metrics-out FILE]
 // (default: the paper's 50 repetitions).
 
 #include "figure_bench.hpp"
 
 int main(int argc, char** argv) {
-  const auto runner = vgrid::bench::runner_from_args(argc, argv);
-  return vgrid::bench::run_figure_bench(vgrid::core::fig4_netbench, runner);
+  return vgrid::bench::figure_bench_main(vgrid::core::fig4_netbench, argc, argv);
 }

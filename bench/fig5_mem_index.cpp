@@ -1,9 +1,8 @@
-// Reproduces Figure 5 of the paper (host NBench MEM-index overhead). Usage: ./fig5_mem_index [repetitions] [--jobs N]
+// Reproduces Figure 5 of the paper (host NBench MEM-index overhead). Usage: ./fig5_mem_index [repetitions] [--jobs N] [--metrics-out FILE]
 // (default: the paper's 50 repetitions).
 
 #include "figure_bench.hpp"
 
 int main(int argc, char** argv) {
-  const auto runner = vgrid::bench::runner_from_args(argc, argv);
-  return vgrid::bench::run_figure_bench(vgrid::core::fig5_mem_index, runner);
+  return vgrid::bench::figure_bench_main(vgrid::core::fig5_mem_index, argc, argv);
 }

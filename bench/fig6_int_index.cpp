@@ -1,9 +1,8 @@
-// Reproduces Figure 6 of the paper (host NBench INT overhead; FP series appended). Usage: ./fig6_int_index [repetitions] [--jobs N]
+// Reproduces Figure 6 of the paper (host NBench INT overhead; FP series appended). Usage: ./fig6_int_index [repetitions] [--jobs N] [--metrics-out FILE]
 // (default: the paper's 50 repetitions).
 
 #include "figure_bench.hpp"
 
 int main(int argc, char** argv) {
-  const auto runner = vgrid::bench::runner_from_args(argc, argv);
-  return vgrid::bench::run_figure_bench(vgrid::core::fig6_int_fp_index, runner);
+  return vgrid::bench::figure_bench_main(vgrid::core::fig6_int_fp_index, argc, argv);
 }

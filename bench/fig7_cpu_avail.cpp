@@ -1,9 +1,8 @@
-// Reproduces Figure 7 of the paper (%CPU available to host 7z). Usage: ./fig7_cpu_avail [repetitions] [--jobs N]
+// Reproduces Figure 7 of the paper (%CPU available to host 7z). Usage: ./fig7_cpu_avail [repetitions] [--jobs N] [--metrics-out FILE]
 // (default: the paper's 50 repetitions).
 
 #include "figure_bench.hpp"
 
 int main(int argc, char** argv) {
-  const auto runner = vgrid::bench::runner_from_args(argc, argv);
-  return vgrid::bench::run_figure_bench(vgrid::core::fig7_cpu_available, runner);
+  return vgrid::bench::figure_bench_main(vgrid::core::fig7_cpu_available, argc, argv);
 }

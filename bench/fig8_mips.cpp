@@ -1,9 +1,8 @@
-// Reproduces Figure 8 of the paper (host 7z MIPS ratio). Usage: ./fig8_mips [repetitions] [--jobs N]
+// Reproduces Figure 8 of the paper (host 7z MIPS ratio). Usage: ./fig8_mips [repetitions] [--jobs N] [--metrics-out FILE]
 // (default: the paper's 50 repetitions).
 
 #include "figure_bench.hpp"
 
 int main(int argc, char** argv) {
-  const auto runner = vgrid::bench::runner_from_args(argc, argv);
-  return vgrid::bench::run_figure_bench(vgrid::core::fig8_mips_ratio, runner);
+  return vgrid::bench::figure_bench_main(vgrid::core::fig8_mips_ratio, argc, argv);
 }

@@ -15,6 +15,7 @@
 #include "bench_args.hpp"
 #include "core/experiments.hpp"
 #include "core/task_pool.hpp"
+#include "obs/registry.hpp"
 #include "report/barchart.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
@@ -78,6 +79,33 @@ inline int run_figure_bench(core::FigureResult (*figure_fn)(core::RunnerConfig),
       std::printf("worker timeline written to %s\n", trace_path.c_str());
     } catch (const std::exception&) {
       // Read-only working directory: skip the timeline, keep the table.
+    }
+  }
+  return rc;
+}
+
+/// The whole main() of a figure bench: parse [repetitions] / --jobs /
+/// --metrics-out, run the figure under an obs registry when metrics were
+/// requested, and drop the snapshot (JSON + Prometheus) next to the CSV.
+inline int figure_bench_main(core::FigureResult (*figure_fn)(core::RunnerConfig),
+                             int argc, char** argv) {
+  const core::RunnerConfig runner = runner_from_args(argc, argv);
+  const std::string metrics_out = metrics_out_from_args(argc, argv);
+  obs::Registry registry;
+  obs::register_defaults(registry);
+  int rc;
+  {
+    obs::ScopedRegistry metrics_scope(
+        metrics_out.empty() ? nullptr : &registry);
+    rc = run_figure_bench(figure_fn, runner);
+  }
+  if (!metrics_out.empty()) {
+    try {
+      obs::write_snapshot(registry, metrics_out);
+      std::printf("metrics written to %s (JSON) and %s.prom (Prometheus)\n",
+                  metrics_out.c_str(), metrics_out.c_str());
+    } catch (const std::exception&) {
+      // Read-only working directory: the printed table is the deliverable.
     }
   }
   return rc;

@@ -6,6 +6,7 @@
 #include "core/guest_perf.hpp"
 #include "core/host_impact.hpp"
 #include "core/task_pool.hpp"
+#include "obs/registry.hpp"
 #include "util/strings.hpp"
 #include "vmm/profile.hpp"
 #include "workloads/iobench.hpp"
@@ -35,6 +36,8 @@ struct PaperRef {
 void sweep_rows(const RunnerConfig& runner, std::size_t count,
                 const std::string& label,
                 const std::function<void(std::size_t)>& task) {
+  // One profiling span per figure sweep (wall time; observability only).
+  obs::ScopedSpan span("sweep " + label);
   TaskPool pool(runner.jobs);
   pool.run(count, task, nullptr, label);
 }

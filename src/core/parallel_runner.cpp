@@ -2,7 +2,9 @@
 
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace vgrid::core {
 
@@ -17,6 +19,8 @@ stats::Summary ParallelRunner::measure(
     const std::function<double(double scale)>& fn,
     const std::atomic<bool>* cancel) {
   const std::uint64_t call = measure_calls_++;
+  obs::ScopedSpan span(util::format(
+      "runner.measure %llu", static_cast<unsigned long long>(call)));
   for (int i = 0; i < config_.warmup; ++i) {
     (void)fn(1.0);
   }

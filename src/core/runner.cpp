@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace vgrid::core {
 
@@ -25,6 +27,8 @@ Runner::Runner(RunnerConfig config) : config_(config) {
 stats::Summary Runner::measure(
     const std::function<double(double scale)>& fn) {
   const std::uint64_t call = measure_calls_++;
+  obs::ScopedSpan span(util::format(
+      "runner.measure %llu", static_cast<unsigned long long>(call)));
   for (int i = 0; i < config_.warmup; ++i) {
     (void)fn(1.0);
   }

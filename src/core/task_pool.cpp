@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <exception>
 #include <iterator>
+#include <memory>
 #include <thread>
 #include <utility>
 
 #include "core/testbed.hpp"
+#include "obs/registry.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -59,11 +61,20 @@ void TaskPool::run(std::size_t count,
                    const std::string& label) {
   if (count == 0) return;
   std::string* parent_sink = trace_capture();
+  obs::Registry* parent_registry = obs::current();
   const bool top_level = !t_inside_worker;
 
-  // Per-task slots: capture buffers, spans, and exceptions are all indexed
-  // by task so no output depends on completion order.
+  // Per-task slots: capture buffers, metric sub-registries, spans, and
+  // exceptions are all indexed by task so no output depends on completion
+  // order.
   std::vector<std::string> buffers(parent_sink != nullptr ? count : 0);
+  std::vector<std::unique_ptr<obs::Registry>> registries;
+  if (parent_registry != nullptr) {
+    registries.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      registries.push_back(std::make_unique<obs::Registry>());
+    }
+  }
   std::vector<report::WorkerSpan> spans(count);
   std::vector<std::exception_ptr> errors(count);
   std::atomic<bool> failed{false};
@@ -76,6 +87,11 @@ void TaskPool::run(std::size_t count,
     try {
       CaptureGuard guard(parent_sink != nullptr ? &buffers[index]
                                                 : nullptr);
+      // Metrics route into a per-task registry on BOTH the inline and the
+      // threaded path, then merge in task order below — so snapshots are
+      // byte-identical for any --jobs value.
+      obs::ScopedRegistry obs_guard(
+          parent_registry != nullptr ? registries[index].get() : nullptr);
       task(index);
     } catch (...) {
       errors[index] = std::current_exception();
@@ -133,6 +149,11 @@ void TaskPool::run(std::size_t count,
   // to a serial run — and publish the spans.
   if (parent_sink != nullptr) {
     for (const std::string& buffer : buffers) parent_sink->append(buffer);
+  }
+  if (parent_registry != nullptr) {
+    for (const auto& registry : registries) {
+      parent_registry->merge_from(*registry);
+    }
   }
   if (top_level && t_span_sink != nullptr) {
     t_span_sink->insert(t_span_sink->end(),

@@ -8,7 +8,17 @@
 namespace vgrid::grid {
 
 GridClient::GridClient(std::uint16_t server_port, std::string client_id)
-    : server_port_(server_port), client_id_(std::move(client_id)) {}
+    : server_port_(server_port), client_id_(std::move(client_id)) {
+  obs_client_latency_ = obs::maybe_histogram("grid.client.rpc_latency_us",
+                                             obs::rpc_latency_buckets_us(),
+                                             {{"client", client_id_}});
+}
+
+void GridClient::record_rpc_latency(std::int64_t wall_ns) {
+  const std::int64_t us = wall_ns / 1000;
+  if (obs_latency_) obs_latency_->observe(us);
+  if (obs_client_latency_) obs_client_latency_->observe(us);
+}
 
 void GridClient::register_app(const std::string& kind, Executor executor) {
   executors_[kind] = std::move(executor);
@@ -18,6 +28,8 @@ bool GridClient::run_once() {
   // Scheduler RPC 1: request work.
   WorkResponse work;
   {
+    if (obs_requests_) obs_requests_->add();
+    util::WallTimer rpc_timer;
     tcp::Fd conn = tcp::connect_loopback(server_port_);
     if (!tcp::write_line(conn.get(), serialize(WorkRequest{client_id_}))) {
       throw util::SystemError("GridClient: send work request failed", 0);
@@ -26,6 +38,7 @@ bool GridClient::run_once() {
     if (!tcp::read_line(conn.get(), line)) {
       throw util::SystemError("GridClient: no scheduler reply", 0);
     }
+    record_rpc_latency(rpc_timer.elapsed_ns());
     const auto parsed = parse_work_response(line);
     if (!parsed) throw util::VgridError("GridClient: bad scheduler reply");
     work = *parsed;
@@ -48,6 +61,8 @@ bool GridClient::run_once() {
 
   // Scheduler RPC 2: submit the result.
   Result result{work.workunit.id, client_id_, output, cpu_seconds};
+  if (obs_requests_) obs_requests_->add();
+  util::WallTimer rpc_timer;
   tcp::Fd conn = tcp::connect_loopback(server_port_);
   if (!tcp::write_line(conn.get(), serialize(SubmitRequest{result}))) {
     throw util::SystemError("GridClient: submit failed", 0);
@@ -56,6 +71,7 @@ bool GridClient::run_once() {
   if (!tcp::read_line(conn.get(), line)) {
     throw util::SystemError("GridClient: no submit reply", 0);
   }
+  record_rpc_latency(rpc_timer.elapsed_ns());
   const auto ack = parse_submit_response(line);
   if (!ack || !ack->accepted) {
     ++stats_.rejected_results;

@@ -11,6 +11,7 @@
 
 #include "grid/messages.hpp"
 #include "grid/workunit.hpp"
+#include "obs/registry.hpp"
 
 namespace vgrid::grid {
 
@@ -47,10 +48,18 @@ class GridClient {
   const std::string& client_id() const noexcept { return client_id_; }
 
  private:
+  /// Record one scheduler-RPC round trip (wall time, microseconds) into
+  /// the aggregate and per-client latency histograms.
+  void record_rpc_latency(std::int64_t wall_ns);
+
   std::uint16_t server_port_;
   std::string client_id_;
   std::map<std::string, Executor> executors_;
   ClientStats stats_;
+  obs::Counter* obs_requests_ = obs::maybe_counter("grid.client.requests");
+  obs::Histogram* obs_latency_ = obs::maybe_histogram(
+      "grid.client.rpc_latency_us", obs::rpc_latency_buckets_us());
+  obs::Histogram* obs_client_latency_ = nullptr;  // labeled; set in ctor
 };
 
 }  // namespace vgrid::grid

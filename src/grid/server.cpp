@@ -96,6 +96,7 @@ WorkResponse ProjectServer::next_work(const WorkRequest& request) {
   if (Tracked* expired = find_expired_instance()) {
     expired->outstanding.push_back(util::monotonic_time_ns());
     ++stats_.instances_reissued;
+    if (obs_reissues_) obs_reissues_->add();
     ++stats_.workunits_sent;
     return WorkResponse{true, expired->workunit};
   }
@@ -185,20 +186,24 @@ void ProjectServer::handle_connection(int fd) {
   const std::string tag = request_tag(line);
   if (tag == "WORK") {
     if (const auto request = parse_work_request(line)) {
+      if (obs_work_messages_) obs_work_messages_->add();
       tcp::write_line(fd, serialize(next_work(*request)));
       return;
     }
   } else if (tag == "SUBMIT") {
     if (const auto request = parse_submit_request(line)) {
+      if (obs_submit_messages_) obs_submit_messages_->add();
       tcp::write_line(fd, serialize(accept_result(*request)));
       return;
     }
   } else if (tag == "STATS") {
     if (const auto request = parse_stats_request(line)) {
+      if (obs_stats_messages_) obs_stats_messages_->add();
       tcp::write_line(fd, serialize(client_account(request->client_id)));
       return;
     }
   }
+  if (obs_malformed_messages_) obs_malformed_messages_->add();
   tcp::write_line(fd, "ERR|bad request");
 }
 

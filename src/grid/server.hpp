@@ -17,6 +17,7 @@
 #include "grid/tcp_util.hpp"
 #include "grid/validator.hpp"
 #include "grid/workunit.hpp"
+#include "obs/registry.hpp"
 
 namespace vgrid::grid {
 
@@ -97,6 +98,17 @@ class ProjectServer {
   Generator generator_;
   ServerStats stats_;
   std::map<std::string, StatsResponse> accounts_;
+  // Resolved on the constructing thread; the serving thread only updates
+  // the (atomic) instruments through these pointers.
+  obs::Counter* obs_work_messages_ =
+      obs::maybe_counter("grid.server.messages", {{"type", "work"}});
+  obs::Counter* obs_submit_messages_ =
+      obs::maybe_counter("grid.server.messages", {{"type", "submit"}});
+  obs::Counter* obs_stats_messages_ =
+      obs::maybe_counter("grid.server.messages", {{"type", "stats"}});
+  obs::Counter* obs_malformed_messages_ =
+      obs::maybe_counter("grid.server.messages", {{"type", "malformed"}});
+  obs::Counter* obs_reissues_ = obs::maybe_counter("grid.server.reissues");
 };
 
 }  // namespace vgrid::grid

@@ -47,6 +47,8 @@ AccessPlan PageCache::plan_read(const std::string& file,
   const std::uint64_t cached = it != entries_.end() ? it->second.bytes : 0;
   plan.cached_bytes = std::min(bytes, cached);
   plan.disk_bytes = bytes - plan.cached_bytes;
+  if (obs_hit_bytes_) obs_hit_bytes_->add(plan.cached_bytes);
+  if (obs_miss_bytes_) obs_miss_bytes_->add(plan.disk_bytes);
   if (plan.disk_bytes > 0) {
     ensure_room(plan.disk_bytes);
     auto& entry = entries_[file];
@@ -71,6 +73,8 @@ AccessPlan PageCache::plan_write(const std::string& file,
       dirty_ >= dirty_limit ? 0 : std::min(bytes, dirty_limit - dirty_);
   plan.cached_bytes = absorbable;
   plan.disk_bytes = bytes - absorbable;
+  if (obs_hit_bytes_) obs_hit_bytes_->add(plan.cached_bytes);
+  if (obs_writeback_bytes_) obs_writeback_bytes_->add(plan.disk_bytes);
 
   ensure_room(bytes);
   auto& entry = entries_[file];
@@ -90,6 +94,7 @@ std::uint64_t PageCache::flush(const std::string& file) {
   const std::uint64_t flushed = it->second.dirty_bytes;
   dirty_ -= flushed;
   it->second.dirty_bytes = 0;
+  if (obs_writeback_bytes_) obs_writeback_bytes_->add(flushed);
   return flushed;
 }
 
@@ -100,6 +105,7 @@ std::uint64_t PageCache::flush_all() {
     entry.dirty_bytes = 0;
   }
   dirty_ = 0;
+  if (obs_writeback_bytes_) obs_writeback_bytes_->add(flushed);
   return flushed;
 }
 

@@ -9,6 +9,8 @@
 #include <map>
 #include <string>
 
+#include "obs/registry.hpp"
+
 namespace vgrid::guest {
 
 struct AccessPlan {
@@ -67,6 +69,14 @@ class PageCache {
   // sequence (vgrid-lint det-unordered-iter). N is tens of files.
   std::map<std::string, Entry> entries_;
   std::list<std::string> lru_;  // front = most recently used
+  // Hit ratio = hit_bytes / (hit_bytes + miss_bytes), computed by snapshot
+  // readers — integer counters keep cross-task merges exact.
+  obs::Counter* obs_hit_bytes_ =
+      obs::maybe_counter("guest.page_cache.hit_bytes");
+  obs::Counter* obs_miss_bytes_ =
+      obs::maybe_counter("guest.page_cache.miss_bytes");
+  obs::Counter* obs_writeback_bytes_ =
+      obs::maybe_counter("guest.page_cache.writeback_bytes");
 };
 
 }  // namespace vgrid::guest

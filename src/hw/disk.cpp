@@ -22,6 +22,11 @@ sim::SimDuration Disk::service_time(const DiskRequest& request) const noexcept {
 
 void Disk::submit(DiskRequest request) {
   queue_.push_back(std::move(request));
+  if (obs_queue_high_water_) {
+    // Count the in-flight request too, so occupancy reflects the device.
+    obs_queue_high_water_->update_max(
+        static_cast<std::int64_t>(queue_.size()) + (busy_ ? 1 : 0));
+  }
   if (!busy_) start_next();
 }
 
@@ -38,8 +43,12 @@ void Disk::start_next() {
     ++completed_ops_;
     if (request.op == DiskOp::kRead) {
       bytes_read_ += request.bytes;
+      if (obs_read_ops_) obs_read_ops_->add();
+      if (obs_read_bytes_) obs_read_bytes_->add(request.bytes);
     } else {
       bytes_written_ += request.bytes;
+      if (obs_write_ops_) obs_write_ops_->add();
+      if (obs_write_bytes_) obs_write_bytes_->add(request.bytes);
     }
     if (tracer_ != nullptr) {
       tracer_->record(simulator_.now(), sim::TraceKind::kDiskOp, name_,

@@ -8,6 +8,7 @@
 #include <functional>
 #include <string>
 
+#include "obs/registry.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
@@ -60,6 +61,16 @@ class Disk {
   std::uint64_t completed_ops_ = 0;
   std::uint64_t bytes_read_ = 0;
   std::uint64_t bytes_written_ = 0;
+  obs::Counter* obs_read_ops_ =
+      obs::maybe_counter("hw.disk.ops", {{"op", "read"}});
+  obs::Counter* obs_write_ops_ =
+      obs::maybe_counter("hw.disk.ops", {{"op", "write"}});
+  obs::Counter* obs_read_bytes_ =
+      obs::maybe_counter("hw.disk.bytes", {{"op", "read"}});
+  obs::Counter* obs_write_bytes_ =
+      obs::maybe_counter("hw.disk.bytes", {{"op", "write"}});
+  obs::Gauge* obs_queue_high_water_ =
+      obs::maybe_gauge("hw.disk.queue_high_water");
 };
 
 }  // namespace vgrid::hw

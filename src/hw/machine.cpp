@@ -52,6 +52,17 @@ Machine::Machine(sim::Simulator& simulator, MachineConfig config,
 
 void Machine::set_occupancy(int core, const CoreOccupancy& occupancy) {
   occupancy_.at(static_cast<std::size_t>(core)) = occupancy;
+  if (obs_occupancy_updates_) obs_occupancy_updates_->add();
+  if (obs_contended_placements_ && occupancy.busy) {
+    // A placement contends for the shared L2/bus when another core is
+    // already busy — the §4.2 co-runner interference situation.
+    for (std::size_t i = 0; i < occupancy_.size(); ++i) {
+      if (static_cast<int>(i) != core && occupancy_[i].busy) {
+        obs_contended_placements_->add();
+        break;
+      }
+    }
+  }
   redistribute_service_load();
 }
 
@@ -154,6 +165,10 @@ double Machine::rate_factor(int core, double sensitivity,
 bool Machine::commit_ram(std::uint64_t bytes) {
   if (bytes > ram_free()) return false;
   ram_committed_ += bytes;
+  if (obs_ram_high_water_) {
+    obs_ram_high_water_->update_max(
+        static_cast<std::int64_t>(ram_committed_));
+  }
   VGRID_AUDIT(ram_committed_ <= config_.ram_bytes,
               "committed RAM %llu exceeds machine RAM %llu",
               static_cast<unsigned long long>(ram_committed_),

@@ -19,6 +19,7 @@
 #include "hw/cpu_chip.hpp"
 #include "hw/disk.hpp"
 #include "hw/nic.hpp"
+#include "obs/registry.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 #include "util/units.hpp"
@@ -120,6 +121,12 @@ class Machine {
   double service_demand_ = 0.0;
   double uniform_demand_ = 0.0;
   std::uint64_t ram_committed_ = 0;
+  obs::Counter* obs_occupancy_updates_ =
+      obs::maybe_counter("hw.cpu.occupancy_updates");
+  obs::Counter* obs_contended_placements_ =
+      obs::maybe_counter("hw.bus.contended_placements");
+  obs::Gauge* obs_ram_high_water_ =
+      obs::maybe_gauge("hw.ram.committed_high_water");
 };
 
 }  // namespace vgrid::hw

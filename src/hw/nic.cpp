@@ -25,6 +25,10 @@ sim::SimDuration Nic::service_time(std::uint64_t bytes) const noexcept {
 
 void Nic::submit(NetTransfer transfer) {
   queue_.push_back(std::move(transfer));
+  if (obs_queue_high_water_) {
+    obs_queue_high_water_->update_max(
+        static_cast<std::int64_t>(queue_.size()) + (busy_ ? 1 : 0));
+  }
   if (!busy_) start_next();
 }
 
@@ -39,6 +43,8 @@ void Nic::start_next() {
   const sim::SimDuration duration = service_time(transfer.bytes);
   simulator_.schedule(duration, [this, transfer = std::move(transfer)]() {
     bytes_total_ += transfer.bytes;
+    if (obs_transfers_) obs_transfers_->add();
+    if (obs_bytes_) obs_bytes_->add(transfer.bytes);
     if (tracer_ != nullptr) {
       tracer_->record(simulator_.now(), sim::TraceKind::kNetOp, name_,
                       util::format("%llu bytes",

@@ -9,6 +9,7 @@
 #include <functional>
 #include <string>
 
+#include "obs/registry.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
@@ -54,6 +55,10 @@ class Nic {
   std::deque<NetTransfer> queue_;
   bool busy_ = false;
   std::uint64_t bytes_total_ = 0;
+  obs::Counter* obs_transfers_ = obs::maybe_counter("hw.nic.transfers");
+  obs::Counter* obs_bytes_ = obs::maybe_counter("hw.nic.bytes");
+  obs::Gauge* obs_queue_high_water_ =
+      obs::maybe_gauge("hw.nic.queue_high_water");
 };
 
 }  // namespace vgrid::hw

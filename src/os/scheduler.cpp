@@ -23,6 +23,13 @@ BaseScheduler::BaseScheduler(hw::Machine& machine, SchedulerConfig config)
   if (config_.quantum <= 0) {
     throw util::ConfigError("scheduler: quantum must be positive");
   }
+  obs_context_switches_ = obs::maybe_counter("os.sched.context_switches");
+  obs_preemptions_ = obs::maybe_counter("os.sched.preemptions");
+  for (int cls = 0; cls < kPriorityClassCount; ++cls) {
+    obs_runtime_ns_[static_cast<std::size_t>(cls)] = obs::maybe_counter(
+        "os.sched.runtime_ns",
+        {{"priority", to_string(static_cast<PriorityClass>(cls))}});
+  }
 }
 
 HostThread& BaseScheduler::spawn(std::string name, PriorityClass priority,
@@ -128,6 +135,10 @@ void BaseScheduler::accrue(HostThread& thread) {
     thread.instructions_done_ += progress;
     thread.remaining_instructions_ -= progress;
     thread.cpu_time_ += ran;
+    if (auto* runtime =
+            obs_runtime_ns_[static_cast<std::size_t>(thread.priority())]) {
+      runtime->add(static_cast<std::uint64_t>(ran));
+    }
     policy_account(thread, ran);
   }
   thread.segment_start_ = now;
@@ -230,6 +241,8 @@ void BaseScheduler::resched_pass() {
       thread->core_ = -1;
       on_core_[core] = nullptr;
       ++context_switches_;
+      if (obs_context_switches_) obs_context_switches_->add();
+      if (obs_preemptions_) obs_preemptions_->add();
       if (auto* tracer = machine_.tracer()) {
         tracer->record(simulator().now(), sim::TraceKind::kPreempt,
                        thread->name());
@@ -287,6 +300,7 @@ void BaseScheduler::on_segment_event(HostThread* thread) {
       simulator().now() >= thread->quantum_deadline_) {
     policy_quantum_expired(*thread);
     ++context_switches_;
+    if (obs_context_switches_) obs_context_switches_->add();
     thread->quantum_deadline_ = simulator().now() + config_.quantum;
   }
   resched();

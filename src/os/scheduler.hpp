@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "hw/machine.hpp"
+#include "obs/registry.hpp"
 #include "os/thread.hpp"
 
 namespace vgrid::os {
@@ -116,6 +117,10 @@ class BaseScheduler : public Scheduler {
   std::uint64_t context_switches_ = 0;
   bool in_resched_ = false;
   bool resched_pending_ = false;
+  // Instruments (resolved in the constructor; null when metrics are off).
+  obs::Counter* obs_context_switches_ = nullptr;
+  obs::Counter* obs_preemptions_ = nullptr;
+  std::array<obs::Counter*, kPriorityClassCount> obs_runtime_ns_{};
 };
 
 /// Windows-XP-style strict priority classes with round-robin inside a

@@ -11,24 +11,7 @@ namespace vgrid::report {
 
 namespace {
 
-std::string json_escape(const std::string& raw) {
-  std::string out;
-  out.reserve(raw.size());
-  for (const char c : raw) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += util::format("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+using util::json_escape;
 
 double micros(sim::SimTime time) {
   return static_cast<double>(time) / 1e3;  // ns -> us (Chrome's unit)
@@ -143,6 +126,73 @@ void write_worker_trace(const std::string& path,
   if (!out) {
     throw util::SystemError("write_worker_trace: write failed " + path,
                             errno);
+  }
+}
+
+std::string obs_trace_json(const std::vector<obs::SpanRecord>& spans,
+                           const std::vector<sim::TraceRecord>& records) {
+  std::int64_t wall_origin = 0;
+  for (const obs::SpanRecord& span : spans) {
+    if (wall_origin == 0 || span.wall_start_ns < wall_origin) {
+      wall_origin = span.wall_start_ns;
+    }
+  }
+  std::string out = "[\n";
+  bool first = true;
+  auto emit = [&](const std::string& event) {
+    if (!first) out += ",\n";
+    first = false;
+    out += event;
+  };
+  for (const obs::SpanRecord& span : spans) {
+    const std::string name = json_escape(span.name);
+    emit(util::format(
+        "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+        "\"pid\":\"wall-time\",\"tid\":\"obs\"}",
+        name.c_str(),
+        static_cast<double>(span.wall_start_ns - wall_origin) / 1e3,
+        static_cast<double>(span.wall_end_ns - span.wall_start_ns) / 1e3));
+    if (span.has_sim_time) {
+      emit(util::format(
+          "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+          "\"pid\":\"sim-time\",\"tid\":\"obs\"}",
+          name.c_str(), micros(span.sim_start_ns),
+          micros(span.sim_end_ns - span.sim_start_ns)));
+    }
+  }
+  // Splice in the simulation timeline (strip chrome_trace_json's own
+  // array brackets) so one file shows both clock domains.
+  if (!records.empty()) {
+    std::string sim_json = chrome_trace_json(records);
+    const std::size_t open = sim_json.find('[');
+    const std::size_t close = sim_json.rfind(']');
+    if (open != std::string::npos && close != std::string::npos &&
+        close > open + 1) {
+      std::string body = sim_json.substr(open + 1, close - open - 1);
+      while (!body.empty() &&
+             (body.front() == '\n' || body.front() == ' ')) {
+        body.erase(body.begin());
+      }
+      while (!body.empty() && (body.back() == '\n' || body.back() == ' ')) {
+        body.pop_back();
+      }
+      if (!body.empty()) emit(body);
+    }
+  }
+  out += "\n]\n";
+  return out;
+}
+
+void write_obs_trace(const std::string& path,
+                     const std::vector<obs::SpanRecord>& spans,
+                     const std::vector<sim::TraceRecord>& records) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw util::SystemError("write_obs_trace: cannot open " + path, errno);
+  }
+  out << obs_trace_json(spans, records);
+  if (!out) {
+    throw util::SystemError("write_obs_trace: write failed " + path, errno);
   }
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "sim/trace.hpp"
 
 namespace vgrid::report {
@@ -39,5 +40,20 @@ std::string worker_trace_json(const std::vector<WorkerSpan>& spans);
 /// on I/O failure.
 void write_worker_trace(const std::string& path,
                         const std::vector<WorkerSpan>& spans);
+
+/// Render obs profiling spans AND simulation trace records into ONE
+/// Chrome trace: obs spans on pid "wall-time" rows (wall-clock, and a
+/// second "sim-time" row for spans that carried a sim clock), simulation
+/// records on pid 1 exactly as chrome_trace_json renders them. Lets a
+/// reader line up "where the wall time went" against "what the simulated
+/// machine was doing".
+std::string obs_trace_json(const std::vector<obs::SpanRecord>& spans,
+                           const std::vector<sim::TraceRecord>& records);
+
+/// Write the combined obs + simulation trace. Throws SystemError on I/O
+/// failure.
+void write_obs_trace(const std::string& path,
+                     const std::vector<obs::SpanRecord>& spans,
+                     const std::vector<sim::TraceRecord>& records);
 
 }  // namespace vgrid::report

@@ -10,6 +10,10 @@ EventId EventQueue::push(SimTime when, Callback cb) {
   heap_.push(Entry{when, id});
   callbacks_.emplace(id, std::move(cb));
   ++live_count_;
+  if (obs_depth_high_water_) {
+    obs_depth_high_water_->update_max(
+        static_cast<std::int64_t>(live_count_));
+  }
   return id;
 }
 
@@ -18,6 +22,7 @@ bool EventQueue::cancel(EventId id) {
   if (it == callbacks_.end()) return false;
   callbacks_.erase(it);
   --live_count_;
+  if (obs_cancelled_) obs_cancelled_->add();
   return true;
 }
 
@@ -60,6 +65,7 @@ EventQueue::Fired EventQueue::pop() {
   Fired fired{top.time, top.id, std::move(it->second)};
   callbacks_.erase(it);
   --live_count_;
+  if (obs_dispatched_) obs_dispatched_->add();
   return fired;
 }
 

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "sim/time.hpp"
 
 namespace vgrid::sim {
@@ -66,6 +67,12 @@ class EventQueue {
   std::unordered_map<EventId, Callback> callbacks_;
   EventId next_id_ = 1;
   std::size_t live_count_ = 0;
+  // Instruments resolved once from the registry current at construction
+  // (null when metrics are off — recording is a single branch).
+  obs::Counter* obs_dispatched_ = obs::maybe_counter("sim.events.dispatched");
+  obs::Counter* obs_cancelled_ = obs::maybe_counter("sim.events.cancelled");
+  obs::Gauge* obs_depth_high_water_ =
+      obs::maybe_gauge("sim.event_queue.depth_high_water");
   // Audit state (VGRID_AUDIT): the (time, id) of the last pop, to assert
   // time monotonicity and FIFO stability among simultaneous events.
   SimTime last_pop_time_ = kTimeZero;

@@ -24,6 +24,12 @@ const char* kind_name(TraceKind kind) noexcept {
 void Tracer::record(SimTime time, TraceKind kind, std::string subject,
                     std::string detail) {
   if (!enabled_) return;
+  if (obs_records_) obs_records_->add();
+  if (records_.size() >= record_cap_) {
+    ++dropped_;
+    if (obs_dropped_) obs_dropped_->add();
+    return;
+  }
   records_.push_back(
       TraceRecord{time, kind, std::move(subject), std::move(detail)});
 }

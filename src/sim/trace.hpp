@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "sim/time.hpp"
 
 namespace vgrid::sim {
@@ -32,16 +33,33 @@ struct TraceRecord {
 
 class Tracer {
  public:
+  /// Default bound on retained records. Long soaks used to grow the record
+  /// vector without limit (a 10^9-event run is ~100 GB of strings); now
+  /// records beyond the cap are counted in dropped() instead of stored.
+  static constexpr std::size_t kDefaultRecordCap = 1u << 20;
+
   void enable(bool on) noexcept { enabled_ = on; }
   bool enabled() const noexcept { return enabled_; }
+
+  /// Retain at most `cap` records; subsequent records only bump dropped().
+  /// Lowering the cap below the current size keeps existing records.
+  void set_record_cap(std::size_t cap) noexcept { record_cap_ = cap; }
+  std::size_t record_cap() const noexcept { return record_cap_; }
+
+  /// Records discarded because the cap was reached (also exported as the
+  /// `sim.trace.records_dropped` counter).
+  std::uint64_t dropped() const noexcept { return dropped_; }
 
   void record(SimTime time, TraceKind kind, std::string subject,
               std::string detail = {});
 
   const std::vector<TraceRecord>& records() const noexcept { return records_; }
-  void clear() noexcept { records_.clear(); }
+  void clear() noexcept {
+    records_.clear();
+    dropped_ = 0;
+  }
 
-  /// Number of records of a given kind.
+  /// Number of retained records of a given kind.
   std::size_t count(TraceKind kind) const noexcept;
 
   /// Render all records as text lines, one per record.
@@ -49,7 +67,12 @@ class Tracer {
 
  private:
   bool enabled_ = false;
+  std::size_t record_cap_ = kDefaultRecordCap;
+  std::uint64_t dropped_ = 0;
   std::vector<TraceRecord> records_;
+  obs::Counter* obs_records_ = obs::maybe_counter("sim.trace.records");
+  obs::Counter* obs_dropped_ =
+      obs::maybe_counter("sim.trace.records_dropped");
 };
 
 }  // namespace vgrid::sim

@@ -63,6 +63,8 @@ void Logger::write(LogLevel level, std::string_view module,
                    std::string_view message) {
   if (Logger::level() > level) return;
   const std::lock_guard<std::mutex> lock(g_write_mutex);
+  // vgrid-lint: allow(obs-stdio): Logger IS the sanctioned stderr gateway
+  // for library diagnostics.
   std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
                static_cast<int>(module.size()), module.data(),
                static_cast<int>(message.size()), message.data());

@@ -26,4 +26,10 @@ std::string human_bytes(std::uint64_t bytes);
 /// Fixed-precision double, e.g. format_double(1.2345, 2) == "1.23".
 std::string format_double(double value, int precision);
 
+/// Escape a string for embedding inside a JSON string literal: quotes,
+/// backslashes, and control characters (\n, \t, ... and \u00XX for the
+/// rest). Shared by the report writers and the obs snapshot emitters so
+/// span/instrument names with quotes or backslashes cannot break a trace.
+std::string json_escape(std::string_view raw);
+
 }  // namespace vgrid::util

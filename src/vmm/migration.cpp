@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
 #include "util/error.hpp"
 
 namespace vgrid::vmm {
@@ -14,6 +15,17 @@ void validate(const MigrationConfig& config) {
     throw util::ConfigError("MigrationConfig: invalid parameters");
   }
 }
+
+// Free functions resolve their instruments per call — estimation is far
+// from any hot path.
+void record_migration(const MigrationEstimate& estimate) {
+  if (auto* bytes = obs::maybe_counter("vmm.migration.bytes")) {
+    bytes->add(estimate.bytes_transferred);
+  }
+  if (auto* rounds = obs::maybe_counter("vmm.migration.precopy_rounds")) {
+    rounds->add(static_cast<std::uint64_t>(estimate.precopy_rounds));
+  }
+}
 }  // namespace
 
 MigrationEstimate estimate_cold_migration(const MigrationConfig& config) {
@@ -24,6 +36,7 @@ MigrationEstimate estimate_cold_migration(const MigrationConfig& config) {
   estimate.total_seconds = transfer + config.restore_overhead_seconds;
   estimate.downtime_seconds = estimate.total_seconds;
   estimate.bytes_transferred = config.ram_bytes;
+  record_migration(estimate);
   return estimate;
 }
 
@@ -64,6 +77,7 @@ MigrationEstimate estimate_live_migration(const MigrationConfig& config) {
   estimate.total_seconds = total_time;
   estimate.precopy_rounds = round;
   estimate.bytes_transferred = static_cast<std::uint64_t>(total_bytes);
+  record_migration(estimate);
   return estimate;
 }
 

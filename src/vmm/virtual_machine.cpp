@@ -49,6 +49,7 @@ void VirtualMachine::power_on() {
   machine.set_uniform_service_demand(machine.uniform_service_demand() +
                                      profile_.host.uniform_demand_cores);
   powered_on_ = true;
+  if (obs_power_ons_) obs_power_ons_->add();
   scheduler_.notify_conditions_changed();
 }
 
@@ -88,8 +89,12 @@ VmImage VirtualMachine::checkpoint(const std::string& guest_kind) const {
     throw util::ConfigError(config_.name +
                             ": guest program is not checkpointable");
   }
-  return VmImage{profile_.name, ram_bytes_, guest_kind,
-                 checkpointable->serialize()};
+  VmImage image{profile_.name, ram_bytes_, guest_kind,
+                checkpointable->serialize()};
+  if (obs_checkpoint_bytes_) {
+    obs_checkpoint_bytes_->add(image.guest_state.size());
+  }
+  return image;
 }
 
 }  // namespace vgrid::vmm

@@ -10,6 +10,7 @@
 #include <optional>
 #include <string>
 
+#include "obs/registry.hpp"
 #include "os/scheduler.hpp"
 #include "vmm/checkpoint.hpp"
 #include "vmm/profile.hpp"
@@ -79,6 +80,9 @@ class VirtualMachine {
   bool powered_on_ = false;
   os::HostThread* vcpu_ = nullptr;
   VmmProgram* active_program_ = nullptr;  // owned by the host thread
+  obs::Counter* obs_power_ons_ = obs::maybe_counter("vmm.power_ons");
+  obs::Counter* obs_checkpoint_bytes_ =
+      obs::maybe_counter("vmm.checkpoint.bytes");
 };
 
 }  // namespace vgrid::vmm

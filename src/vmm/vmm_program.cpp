@@ -1,5 +1,7 @@
 #include "vmm/vmm_program.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace vgrid::vmm {
@@ -24,9 +26,24 @@ os::Step VmmProgram::next() {
     translated.multipliers.user_fp *= exec_.user_fp;
     translated.multipliers.memory *= exec_.memory;
     translated.multipliers.kernel *= exec_.kernel;
+    if (obs_overhead_instructions_) {
+      // Extra work the execution engine performs over native, weighted by
+      // the step's mix — the per-step share of "virtualization overhead
+      // cycles". Rounded to whole instructions so merges stay exact.
+      const hw::InstructionMix mix = translated.mix.normalized();
+      const double weighted =
+          mix.user_int * exec_.user_int + mix.user_fp * exec_.user_fp +
+          mix.memory * exec_.memory + mix.kernel * exec_.kernel;
+      const double overhead = translated.instructions * (weighted - 1.0);
+      if (overhead > 0.0) {
+        obs_overhead_instructions_->add(
+            static_cast<std::uint64_t>(std::llround(overhead)));
+      }
+    }
     return translated;
   }
   if (const auto* io = std::get_if<os::DiskStep>(&step)) {
+    if (obs_disk_exits_) obs_disk_exits_->add();
     auto expanded = disk_.translate(*io);
     for (auto& s : expanded) pending_.push_back(std::move(s));
     os::Step first = std::move(pending_.front());
@@ -38,6 +55,7 @@ os::Step VmmProgram::next() {
       throw util::SimulationError(
           "guest issued network I/O but the VM has no NIC configured");
     }
+    if (obs_net_exits_) obs_net_exits_->add();
     auto expanded = nic_->translate(*net);
     for (auto& s : expanded) pending_.push_back(std::move(s));
     os::Step first = std::move(pending_.front());

@@ -7,6 +7,7 @@
 #include <deque>
 #include <memory>
 
+#include "obs/registry.hpp"
 #include "os/program.hpp"
 #include "vmm/profile.hpp"
 #include "vmm/virtual_disk.hpp"
@@ -33,6 +34,12 @@ class VmmProgram final : public os::Program {
   const VirtualDisk& disk_;
   const VirtualNic* nic_;
   std::deque<os::Step> pending_;
+  obs::Counter* obs_overhead_instructions_ =
+      obs::maybe_counter("vmm.overhead_instructions");
+  obs::Counter* obs_disk_exits_ =
+      obs::maybe_counter("vmm.vm_exits", {{"reason", "disk"}});
+  obs::Counter* obs_net_exits_ =
+      obs::maybe_counter("vmm.vm_exits", {{"reason", "net"}});
 };
 
 }  // namespace vgrid::vmm

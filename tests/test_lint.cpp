@@ -298,6 +298,48 @@ TEST(LintLayering, DocumentedEdgesAreAllowed) {
                   .empty());
 }
 
+// --- observability -----------------------------------------------------------
+
+TEST(LintObservability, FlagsDirectStdioInLibraryCode) {
+  const auto ds = lint::lint_file("src/vmm/bad.cpp", R"cpp(
+#include <cstdio>
+#include <iostream>
+void report_progress(int pct) {
+  std::printf("progress %d\n", pct);
+  std::cout << pct;
+}
+)cpp");
+  EXPECT_EQ(rules_of(ds),
+            (std::vector<std::string>{"obs-stdio", "obs-stdio"}));
+}
+
+TEST(LintObservability, ReportObsAndFrontEndsAreExempt) {
+  const std::string source = "void f() { std::printf(\"x\\n\"); }\n";
+  EXPECT_TRUE(lint::lint_file("src/report/table.cpp", source).empty());
+  EXPECT_TRUE(lint::lint_file("src/obs/registry.cpp", source).empty());
+  EXPECT_TRUE(lint::lint_file("tools/vgrid_main.cpp", source).empty());
+  EXPECT_TRUE(lint::lint_file("bench/fig1_7z.cpp", source).empty());
+}
+
+TEST(LintObservability, FormattingIntoBuffersIsNotStdio) {
+  // snprintf writes to memory, not a stream; only stream writes bypass
+  // the obs/report layers.
+  const auto ds = lint::lint_file("src/hw/fmt.cpp", R"cpp(
+#include <cstdio>
+void render(char* buffer, int n) { std::snprintf(buffer, 8, "%d", n); }
+)cpp");
+  EXPECT_TRUE(ds.empty());
+}
+
+TEST(LintObservability, AllowSilencesSanctionedGateway) {
+  const auto ds = lint::lint_file("src/util/bad_log.cpp", R"cpp(
+// vgrid-lint: allow(obs-stdio): this fixture plays the sanctioned
+// stderr gateway.
+void log_line() { std::fprintf(stderr, "x\n"); }
+)cpp");
+  EXPECT_TRUE(ds.empty());
+}
+
 // --- suppressions ------------------------------------------------------------
 
 TEST(LintSuppression, AllowWithReasonSilencesLineAndNext) {

@@ -7,9 +7,11 @@
 #include <fstream>
 
 #include "report/barchart.hpp"
+#include "report/chrome_trace.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace vgrid::report {
 namespace {
@@ -139,6 +141,49 @@ TEST(BarChart, NegativeAndEmptyInputsAreSafe) {
   chart.add("pos", 5.0);
   const std::string out = chart.ascii(10);
   EXPECT_NE(out.find("pos"), std::string::npos);
+}
+
+TEST(JsonEscape, HandlesQuotesBackslashesAndControlCharacters) {
+  EXPECT_EQ(util::json_escape("plain"), "plain");
+  EXPECT_EQ(util::json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(util::json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(util::json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(util::json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(ChromeTrace, EscapesQuotesAndBackslashesInNames) {
+  std::vector<sim::TraceRecord> records;
+  records.push_back({0, sim::TraceKind::kSchedule,
+                     "thread \"7z\\main\"", "detail \"quoted\""});
+  records.push_back({1000, sim::TraceKind::kPreempt,
+                     "thread \"7z\\main\"", ""});
+  const std::string json = report::chrome_trace_json(records);
+  // Raw quotes/backslashes inside JSON string values would make the
+  // document unparseable; they must come out escaped.
+  EXPECT_NE(json.find("thread \\\"7z\\\\main\\\""), std::string::npos);
+  EXPECT_EQ(json.find("\"thread \"7z"), std::string::npos);
+}
+
+TEST(ObsTrace, RendersWallAndSimRowsNextToSimRecords) {
+  std::vector<obs::SpanRecord> spans;
+  obs::SpanRecord span;
+  span.name = "measure \"q\"";
+  span.wall_start_ns = 5000;
+  span.wall_end_ns = 9000;
+  span.has_sim_time = true;
+  span.sim_start_ns = 0;
+  span.sim_end_ns = 2000;
+  spans.push_back(span);
+  std::vector<sim::TraceRecord> records;
+  records.push_back({0, sim::TraceKind::kSchedule, "t0", ""});
+  records.push_back({2000, sim::TraceKind::kBlock, "t0", ""});
+  const std::string json = report::obs_trace_json(spans, records);
+  EXPECT_NE(json.find("wall-time"), std::string::npos);
+  EXPECT_NE(json.find("sim-time"), std::string::npos);
+  EXPECT_NE(json.find("measure \\\"q\\\""), std::string::npos);
+  // Sim trace records are spliced in alongside the spans.
+  EXPECT_NE(json.find("t0"), std::string::npos);
+  EXPECT_EQ(json.find("\"measure \"q"), std::string::npos);
 }
 
 }  // namespace

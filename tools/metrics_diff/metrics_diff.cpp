@@ -1,0 +1,379 @@
+#include "metrics_diff/metrics_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace vgrid::tools {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for one instrument line. Supports exactly what
+// obs::Registry::snapshot_json emits: objects, arrays, strings with the
+// escapes util::json_escape produces, integers, and booleans.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kObject, kArray, kString, kNumber, kBool };
+  Kind kind = Kind::kNumber;
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+  std::string string;
+  std::int64_t number = 0;
+  bool boolean = false;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_space();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("metrics_diff: JSON error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_space();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (c == 't' || c == 'f') return parse_bool();
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      JsonValue key = parse_string();
+      expect(':');
+      value.object[key.string] = parse_value();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return value;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return value;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  JsonValue parse_string() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kString;
+    expect('"');
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return value;
+      if (c != '\\') {
+        value.string.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': value.string.push_back('"'); break;
+        case '\\': value.string.push_back('\\'); break;
+        case '/': value.string.push_back('/'); break;
+        case 'n': value.string.push_back('\n'); break;
+        case 't': value.string.push_back('\t'); break;
+        case 'r': value.string.push_back('\r'); break;
+        case 'b': value.string.push_back('\b'); break;
+        case 'f': value.string.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          const long code = std::strtol(hex.c_str(), nullptr, 16);
+          if (code > 0xFF) fail("\\u escape beyond latin-1 unsupported");
+          value.string.push_back(static_cast<char>(code));
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_bool() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      value.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      value.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("expected true/false");
+    }
+    return value;
+  }
+
+  JsonValue parse_number() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a number");
+    value.number = std::strtoll(text_.substr(start, pos_ - start).c_str(),
+                                nullptr, 10);
+    return value;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue& field(const JsonValue& object, const std::string& name) {
+  const auto it = object.object.find(name);
+  if (it == object.object.end()) {
+    throw std::runtime_error("metrics_diff: instrument missing field '" +
+                             name + "'");
+  }
+  return it->second;
+}
+
+ParsedInstrument parse_instrument(const std::string& line, int line_no) {
+  try {
+    const JsonValue value = JsonParser(line).parse();
+    ParsedInstrument instrument;
+    instrument.name = field(value, "name").string;
+    for (const auto& [key, label] : field(value, "labels").object) {
+      instrument.labels[key] = label.string;
+    }
+    instrument.type = field(value, "type").string;
+    if (instrument.type == "counter") {
+      instrument.value = field(value, "value").number;
+    } else if (instrument.type == "gauge") {
+      instrument.value = field(value, "value").number;
+      instrument.agg = field(value, "agg").string;
+      instrument.set = field(value, "set").boolean;
+    } else if (instrument.type == "histogram") {
+      for (const auto& bound : field(value, "bounds").array) {
+        instrument.bounds.push_back(bound.number);
+      }
+      for (const auto& count : field(value, "counts").array) {
+        instrument.counts.push_back(
+            static_cast<std::uint64_t>(count.number));
+      }
+      instrument.count =
+          static_cast<std::uint64_t>(field(value, "count").number);
+      instrument.sum = field(value, "sum").number;
+      instrument.min = field(value, "min").number;
+      instrument.max = field(value, "max").number;
+    } else {
+      throw std::runtime_error("metrics_diff: unknown instrument type '" +
+                               instrument.type + "'");
+    }
+    return instrument;
+  } catch (const std::runtime_error& error) {
+    throw std::runtime_error("line " + std::to_string(line_no) + ": " +
+                             error.what());
+  }
+}
+
+std::string instrument_id(const ParsedInstrument& instrument) {
+  std::string id = instrument.name;
+  if (!instrument.labels.empty()) {
+    id += "{";
+    bool first = true;
+    for (const auto& [key, value] : instrument.labels) {
+      if (!first) id += ",";
+      first = false;
+      id += key + "=" + value;
+    }
+    id += "}";
+  }
+  return id;
+}
+
+}  // namespace
+
+ParsedSnapshot parse_snapshot(const std::string& text) {
+  ParsedSnapshot snapshot;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  bool in_instruments = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line == "{" || line == "}" || line == "]") continue;
+    if (line.rfind("\"vgrid_metrics_version\":", 0) == 0) {
+      snapshot.version = std::atoi(
+          line.c_str() + std::string("\"vgrid_metrics_version\":").size());
+      continue;
+    }
+    if (line == "\"instruments\":[") {
+      in_instruments = true;
+      continue;
+    }
+    if (!in_instruments) {
+      throw std::runtime_error("metrics_diff: line " +
+                               std::to_string(line_no) +
+                               ": unexpected content before instruments");
+    }
+    if (line.back() == ',') line.pop_back();
+    snapshot.instruments.push_back(parse_instrument(line, line_no));
+  }
+  if (snapshot.version != 1) {
+    throw std::runtime_error(
+        "metrics_diff: unsupported or missing vgrid_metrics_version (got " +
+        std::to_string(snapshot.version) + ")");
+  }
+  return snapshot;
+}
+
+bool within_tolerance(double a, double b, const DiffOptions& options) {
+  const double band =
+      options.abs_tol +
+      options.rel_tol * std::max(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= band;
+}
+
+std::vector<Difference> diff_snapshots(const ParsedSnapshot& a,
+                                       const ParsedSnapshot& b,
+                                       const DiffOptions& options) {
+  std::vector<Difference> differences;
+  // Index both sides by (name, labels); std::map keeps the report sorted.
+  using Id = std::pair<std::string, std::map<std::string, std::string>>;
+  std::map<Id, const ParsedInstrument*> left;
+  std::map<Id, const ParsedInstrument*> right;
+  for (const auto& instrument : a.instruments) {
+    left[{instrument.name, instrument.labels}] = &instrument;
+  }
+  for (const auto& instrument : b.instruments) {
+    right[{instrument.name, instrument.labels}] = &instrument;
+  }
+
+  auto note = [&](const ParsedInstrument& instrument,
+                  const std::string& detail) {
+    differences.push_back({instrument_id(instrument), detail});
+  };
+  auto compare_scalar = [&](const ParsedInstrument& instrument,
+                            const std::string& what, double lhs,
+                            double rhs) {
+    if (within_tolerance(lhs, rhs, options)) return;
+    std::ostringstream detail;
+    detail << what << " " << static_cast<std::int64_t>(lhs) << " vs "
+           << static_cast<std::int64_t>(rhs);
+    note(instrument, detail.str());
+  };
+
+  for (const auto& [id, lhs] : left) {
+    const auto it = right.find(id);
+    if (it == right.end()) {
+      note(*lhs, "only in first snapshot");
+      continue;
+    }
+    const ParsedInstrument& rhs = *it->second;
+    if (lhs->type != rhs.type) {
+      note(*lhs, "type " + lhs->type + " vs " + rhs.type);
+      continue;
+    }
+    if (lhs->type == "counter") {
+      compare_scalar(*lhs, "value",
+                     static_cast<double>(lhs->value),
+                     static_cast<double>(rhs.value));
+    } else if (lhs->type == "gauge") {
+      if (lhs->agg != rhs.agg) {
+        note(*lhs, "agg " + lhs->agg + " vs " + rhs.agg);
+        continue;
+      }
+      if (lhs->set != rhs.set) {
+        note(*lhs, std::string("set ") + (lhs->set ? "true" : "false") +
+                       " vs " + (rhs.set ? "true" : "false"));
+        continue;
+      }
+      compare_scalar(*lhs, "value",
+                     static_cast<double>(lhs->value),
+                     static_cast<double>(rhs.value));
+    } else {
+      // Histogram: the bucket layout is schema, not noise — exact match
+      // required; everything else honours the tolerance band.
+      if (lhs->bounds != rhs.bounds) {
+        note(*lhs, "bucket bounds differ");
+        continue;
+      }
+      for (std::size_t i = 0; i < lhs->counts.size(); ++i) {
+        if (i < rhs.counts.size() &&
+            !within_tolerance(static_cast<double>(lhs->counts[i]),
+                              static_cast<double>(rhs.counts[i]),
+                              options)) {
+          std::ostringstream detail;
+          detail << "bucket[" << i << "] " << lhs->counts[i] << " vs "
+                 << rhs.counts[i];
+          note(*lhs, detail.str());
+        }
+      }
+      compare_scalar(*lhs, "count", static_cast<double>(lhs->count),
+                     static_cast<double>(rhs.count));
+      compare_scalar(*lhs, "sum", static_cast<double>(lhs->sum),
+                     static_cast<double>(rhs.sum));
+      compare_scalar(*lhs, "min", static_cast<double>(lhs->min),
+                     static_cast<double>(rhs.min));
+      compare_scalar(*lhs, "max", static_cast<double>(lhs->max),
+                     static_cast<double>(rhs.max));
+    }
+  }
+  for (const auto& [id, rhs] : right) {
+    if (left.find(id) == left.end()) {
+      note(*rhs, "only in second snapshot");
+    }
+  }
+  return differences;
+}
+
+}  // namespace vgrid::tools

@@ -1,0 +1,74 @@
+#pragma once
+// metrics_diff — compare two vgrid metrics snapshots (the canonical JSON
+// written by `--metrics-out` / `vgrid metrics --out`) with optional
+// tolerance bands.
+//
+// The parser is deliberately specialized to the snapshot format
+// (obs::Registry::snapshot_json: a versioned header and one instrument
+// object per line, sorted by name/labels) rather than being a general JSON
+// reader: the format is produced by this repo only, and the line
+// discipline makes positions in error messages exact.
+//
+// Comparison semantics:
+//  - instruments present in only one snapshot are always differences;
+//  - counter/gauge values and histogram count/sum/min/max compare within
+//    the tolerance band: |a - b| <= abs_tol + rel_tol * max(|a|, |b|);
+//  - histogram bucket layouts must match exactly (a layout change is a
+//    schema change, not noise), bucket counts use the band;
+//  - abs_tol = rel_tol = 0 (the default) demands byte-equal values — the
+//    determinism gate.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vgrid::tools {
+
+struct ParsedInstrument {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  std::string type;  // "counter" | "gauge" | "histogram"
+  // counter / gauge
+  std::int64_t value = 0;
+  std::string agg;    // gauges only
+  bool set = false;   // gauges only
+  // histogram
+  std::vector<std::int64_t> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 (+Inf last)
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+};
+
+struct ParsedSnapshot {
+  int version = 0;
+  // Sorted by (name, labels) — the order snapshot_json writes them in.
+  std::vector<ParsedInstrument> instruments;
+};
+
+/// Parses a snapshot document. Throws std::runtime_error with a
+/// line-qualified message on malformed input.
+ParsedSnapshot parse_snapshot(const std::string& text);
+
+struct DiffOptions {
+  double abs_tol = 0.0;
+  double rel_tol = 0.0;
+};
+
+struct Difference {
+  std::string instrument;  // "name{k=v,...}"
+  std::string detail;      // human-readable mismatch description
+};
+
+/// All differences between two snapshots under the tolerance band; empty
+/// means the snapshots agree.
+std::vector<Difference> diff_snapshots(const ParsedSnapshot& a,
+                                       const ParsedSnapshot& b,
+                                       const DiffOptions& options);
+
+/// True when |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
+bool within_tolerance(double a, double b, const DiffOptions& options);
+
+}  // namespace vgrid::tools

@@ -1,0 +1,30 @@
+# ctest gate `metrics.diff.fig5.jobs`: run the same seeded figure twice —
+# serial and fanned out over 8 workers — and require metrics_diff to accept
+# the two snapshots at zero tolerance.
+if(NOT DEFINED VGRID OR NOT DEFINED METRICS_DIFF OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "run_gate.cmake needs -DVGRID, -DMETRICS_DIFF, -DWORK_DIR")
+endif()
+
+set(m1 "${WORK_DIR}/metrics_gate_jobs1.json")
+set(m8 "${WORK_DIR}/metrics_gate_jobs8.json")
+
+execute_process(
+  COMMAND "${VGRID}" metrics fig5 --reps 2 --jobs 1 --out "${m1}"
+  RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "vgrid metrics --jobs 1 failed (${rc1})")
+endif()
+
+execute_process(
+  COMMAND "${VGRID}" metrics fig5 --reps 2 --jobs 8 --out "${m8}"
+  RESULT_VARIABLE rc8)
+if(NOT rc8 EQUAL 0)
+  message(FATAL_ERROR "vgrid metrics --jobs 8 failed (${rc8})")
+endif()
+
+execute_process(
+  COMMAND "${METRICS_DIFF}" "${m1}" "${m8}"
+  RESULT_VARIABLE rc_diff)
+if(NOT rc_diff EQUAL 0)
+  message(FATAL_ERROR "metrics_diff found divergences between --jobs 1 and --jobs 8 (${rc_diff})")
+endif()

@@ -190,7 +190,8 @@ const std::vector<std::string> kRules = {
     "det-getenv",        "det-unordered-ptr-key", "det-unordered-iter",
     "safety-raw-new",    "safety-raw-delete",     "safety-c-cast",
     "safety-omp-seed",   "safety-catch-value",    "safety-override",
-    "layer-include",     "lint-allow",            "lint-io",
+    "layer-include",     "obs-stdio",             "lint-allow",
+    "lint-io",
 };
 
 bool starts_with(const std::string& s, const std::string& prefix) {
@@ -212,6 +213,18 @@ bool determinism_scope(const std::string& path) {
   return true;
 }
 
+/// The obs-stdio rule applies to library code (src/) only: direct stdout/
+/// stderr writes bypass the metrics/report layer, so instrumented code
+/// must go through obs instruments or report renderers. src/report (the
+/// rendering layer) and src/obs (the metrics layer) are exempt by
+/// construction; util/log.* and util/audit.* are sanctioned gateways that
+/// carry explicit allow() suppressions instead, so a new print there is a
+/// conscious decision.
+bool obs_stdio_scope(const std::string& path) {
+  if (!starts_with(path, "src/")) return false;
+  return !starts_with(path, "src/report/") && !starts_with(path, "src/obs/");
+}
+
 std::string top_dir(const std::string& include_path) {
   const auto slash = include_path.find('/');
   return slash == std::string::npos ? std::string()
@@ -223,22 +236,26 @@ std::string top_dir(const std::string& include_path) {
 /// sim (it renders sim::TraceRecord streams); everything else follows the
 /// diagram bottom-up.
 const std::map<std::string, std::set<std::string>>& layer_policy() {
+  // obs sits just above util (it must be linkable from every layer), so
+  // every instrumented directory lists it.
   static const std::map<std::string, std::set<std::string>> kPolicy = {
       {"util", {"util"}},
+      {"obs", {"obs", "util"}},
       {"stats", {"stats", "util"}},
-      {"sim", {"sim", "util"}},
-      {"report", {"report", "sim", "stats", "util"}},
-      {"hw", {"hw", "sim", "util"}},
-      {"os", {"os", "hw", "sim", "util"}},
-      {"guest", {"guest", "hw", "os", "sim", "util"}},
-      {"vmm", {"vmm", "guest", "hw", "os", "sim", "util"}},
+      {"sim", {"sim", "obs", "util"}},
+      {"report", {"report", "obs", "sim", "stats", "util"}},
+      {"hw", {"hw", "obs", "sim", "util"}},
+      {"os", {"os", "hw", "obs", "sim", "util"}},
+      {"guest", {"guest", "hw", "obs", "os", "sim", "util"}},
+      {"vmm", {"vmm", "guest", "hw", "obs", "os", "sim", "util"}},
       {"workloads",
-       {"workloads", "guest", "hw", "os", "sim", "stats", "util", "vmm"}},
-      {"grid", {"grid", "stats", "util"}},
+       {"workloads", "guest", "hw", "obs", "os", "sim", "stats", "util",
+        "vmm"}},
+      {"grid", {"grid", "obs", "stats", "util"}},
       {"timesvc", {"timesvc", "util"}},
       {"core",
-       {"core", "grid", "guest", "hw", "os", "report", "sim", "stats",
-        "timesvc", "util", "vmm", "workloads"}},
+       {"core", "grid", "guest", "hw", "obs", "os", "report", "sim",
+        "stats", "timesvc", "util", "vmm", "workloads"}},
   };
   return kPolicy;
 }
@@ -533,6 +550,9 @@ std::vector<Diagnostic> lint_file(const std::string& path,
   const auto policy_it = layer_policy().find(dir);
 
   static const std::regex kInclude(R"rx(#\s*include\s+"([^"]+)")rx");
+  static const std::regex kStdio(
+      R"(\b(?:printf|fprintf|puts|fputs)\s*\(|\bstd::c(?:out|err)\b)");
+  const bool stdio_scope = obs_stdio_scope(path);
   static const std::regex kOmp(R"(#\s*pragma\s+omp\b)");
   static const std::regex kRedundantVirtual(R"(\bvirtual\b.*\boverride\b)");
   static const std::regex kVirtualDtor(R"(\bvirtual\s+~)");
@@ -560,6 +580,16 @@ std::vector<Diagnostic> lint_file(const std::string& path,
                    " (ARCHITECTURE.md layering)"});
         }
       }
+    }
+
+    // --- observability ----------------------------------------------------
+    if (stdio_scope && std::regex_search(code, kStdio) &&
+        !suppressed(sup, line_no, "obs-stdio")) {
+      diagnostics.push_back(
+          {path, line_no, "obs-stdio",
+           "direct stdout/stderr write in library code; record metrics via "
+           "obs instruments and render text via src/report (util/log and "
+           "util/audit are the sanctioned gateways)"});
     }
 
     // --- determinism ------------------------------------------------------

@@ -12,6 +12,11 @@
 //                  unseeded OpenMP pragmas, no redundant virtual.
 //   layering     — each src/ directory may include only the layers at or
 //                  below it (ARCHITECTURE.md §1).
+//   observability — library code (src/) must not print to stdout/stderr
+//                  directly; metrics go through obs instruments and
+//                  human-facing text through report renderers. src/report
+//                  and src/obs are exempt; util/log and util/audit are the
+//                  sanctioned gateways (explicit allow() suppressions).
 //
 // Suppressions: `// vgrid-lint: allow(<rule>): reason` silences the rule
 // on that comment block and the first code line after it;

@@ -1,6 +1,8 @@
 // vgrid — command-line front end of the library.
 //
-//   vgrid figures   [--reps N] [--jobs N] [fig1 ... fig8]   paper figures
+//   vgrid figures   [--reps N] [--jobs N] [--metrics-out FILE] [fig1..fig8]
+//   vgrid metrics   [fig1..fig8] [--reps N] [--jobs N] [--format json|prom]
+//                   [--out FILE]                 metrics snapshot of a run
 //   vgrid guest     <7z|matrix|iobench|netbench> [--env NAME] [--reps N]
 //   vgrid host      [--env NAME] [--threads N] [--priority idle|normal]
 //                   [--vms N] [--reps N] [--jobs N]
@@ -25,6 +27,7 @@
 
 #include "util/cli_args.hpp"
 #include "core/availability.hpp"
+#include "obs/registry.hpp"
 #include "core/testbed.hpp"
 #include "core/experiments.hpp"
 #include "core/guest_perf.hpp"
@@ -55,7 +58,9 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: vgrid <command> [options]\n"
-      "  figures    [--reps N] [--jobs N] [fig1..fig8]   paper figures\n"
+      "  figures    [--reps N] [--jobs N] [--metrics-out FILE] [fig1..fig8]\n"
+      "  metrics    [fig1..fig8] [--reps N] [--jobs N] [--format json|prom]\n"
+      "             [--out FILE]              metrics snapshot of a run\n"
       "  guest      <7z|matrix|iobench|netbench> [--env NAME] [--reps N]\n"
       "  host       [--env NAME] [--threads N] [--priority idle|normal]\n"
       "             [--vms N] [--os xp|linux] [--reps N] [--jobs N]\n"
@@ -70,8 +75,8 @@ int usage() {
       "             [--out trace.json]        trace the Fig. 7 scenario\n"
       "  profiles                             list hypervisor profiles\n"
       "  determinism-audit [fig1..fig8] [--reps N] [--seed S] [--jobs N]\n"
-      "             same-seed serial vs N-worker run, byte-diff results\n"
-      "             and traces\n");
+      "             [--metrics-only]          same-seed serial vs N-worker\n"
+      "             run, byte-diff results, traces, and metric snapshots\n");
   return 2;
 }
 
@@ -110,19 +115,97 @@ int cmd_figures(const Args& args) {
       {"fig7", core::fig7_cpu_available}, {"fig8", core::fig8_mips_ratio},
   };
   const auto& wanted = args.positional();
+  // --metrics-out FILE: collect the obs registry snapshot across every
+  // selected figure and drop the canonical JSON (plus FILE.prom) next to
+  // the tables. The registry is pre-seeded with the full taxonomy so all
+  // instrumented subsystems appear even when a figure skips some layers.
+  const std::string metrics_out = args.get_or("metrics-out", "");
+  obs::Registry registry;
+  obs::register_defaults(registry);
   bool any = false;
-  for (const Entry& entry : kFigures) {
-    const bool selected =
-        wanted.empty() ||
-        std::find(wanted.begin(), wanted.end(), entry.id) != wanted.end();
-    if (!selected) continue;
-    any = true;
-    print_figure(entry.fn(runner));
+  {
+    obs::ScopedRegistry metrics_scope(
+        metrics_out.empty() ? nullptr : &registry);
+    for (const Entry& entry : kFigures) {
+      const bool selected =
+          wanted.empty() ||
+          std::find(wanted.begin(), wanted.end(), entry.id) != wanted.end();
+      if (!selected) continue;
+      any = true;
+      print_figure(entry.fn(runner));
+    }
   }
   if (!any) {
     std::fprintf(stderr, "no such figure; use fig1..fig8\n");
     return 2;
   }
+  if (!metrics_out.empty()) {
+    obs::write_snapshot(registry, metrics_out);
+    std::printf("metrics written to %s (JSON) and %s.prom (Prometheus)\n",
+                metrics_out.c_str(), metrics_out.c_str());
+  }
+  return 0;
+}
+
+// --- metrics -----------------------------------------------------------------
+// Run one or more figures purely for their metrics: the tables are
+// suppressed and the obs registry snapshot is the output (stdout or
+// --out FILE). Defaults to fig5 with a handful of repetitions — enough to
+// exercise every layer without the paper's full 50-repetition methodology.
+
+int cmd_metrics(const Args& args) {
+  struct Entry {
+    const char* id;
+    core::FigureResult (*fn)(core::RunnerConfig);
+  };
+  static constexpr Entry kFigures[] = {
+      {"fig1", core::fig1_7z},            {"fig2", core::fig2_matrix},
+      {"fig3", core::fig3_iobench},       {"fig4", core::fig4_netbench},
+      {"fig5", core::fig5_mem_index},     {"fig6", core::fig6_int_fp_index},
+      {"fig7", core::fig7_cpu_available}, {"fig8", core::fig8_mips_ratio},
+  };
+  core::RunnerConfig runner = core::figure_runner_config();
+  runner.repetitions = static_cast<int>(args.get_long("reps", 3));
+  runner.jobs = static_cast<int>(args.get_long("jobs", 0));
+  runner.seed = static_cast<std::uint64_t>(
+      args.get_long("seed", static_cast<long>(runner.seed)));
+  const std::string format = args.get_or("format", "json");
+  if (format != "json" && format != "prom") {
+    std::fprintf(stderr, "unknown --format '%s'; use json or prom\n",
+                 format.c_str());
+    return 2;
+  }
+  const auto& wanted =
+      args.positional().empty() ? std::vector<std::string>{"fig5"}
+                                : args.positional();
+  obs::Registry registry;
+  obs::register_defaults(registry);
+  {
+    obs::ScopedRegistry metrics_scope(&registry);
+    for (const std::string& id : wanted) {
+      bool found = false;
+      for (const Entry& entry : kFigures) {
+        if (id != entry.id) continue;
+        found = true;
+        (void)entry.fn(runner);
+      }
+      if (!found) {
+        std::fprintf(stderr, "no such figure '%s'; use fig1..fig8\n",
+                     id.c_str());
+        return 2;
+      }
+    }
+  }
+  const std::string out_path = args.get_or("out", "");
+  if (!out_path.empty()) {
+    obs::write_snapshot(registry, out_path);
+    std::printf("metrics written to %s (JSON) and %s.prom (Prometheus)\n",
+                out_path.c_str(), out_path.c_str());
+    return 0;
+  }
+  const std::string body = format == "prom" ? registry.snapshot_prometheus()
+                                            : registry.snapshot_json();
+  std::fputs(body.c_str(), stdout);
   return 0;
 }
 
@@ -374,19 +457,35 @@ core::FigureResult (*figure_fn(const std::string& id))(core::RunnerConfig) {
 }
 
 std::string run_captured(core::FigureResult (*fn)(core::RunnerConfig),
-                         const core::RunnerConfig& runner) {
+                         const core::RunnerConfig& runner,
+                         bool metrics_only) {
+  // The metric snapshot always joins the byte-diffed stream: a counter that
+  // depends on worker interleaving is as much a determinism bug as a
+  // diverging trace. --metrics-only narrows the stream to the snapshot
+  // alone (no trace capture, no result rows) for a cheap focused gate.
   std::string stream;
-  core::set_trace_capture(&stream);
-  const core::FigureResult figure = fn(runner);
-  core::set_trace_capture(nullptr);
-  stream += "=== figure " + figure.id + ": " + figure.title + " [" +
-            figure.unit + "] ===\n";
-  for (const auto& row : figure.rows) {
-    // %a: hex floats — every mantissa bit survives the round-trip, so a
-    // one-ulp divergence between the runs is a diff, not a rounding blur.
-    stream += util::format("%s measured=%a paper=%a\n", row.label.c_str(),
-                           row.measured, row.paper.value_or(-1.0));
+  obs::Registry registry;
+  obs::register_defaults(registry);
+  {
+    obs::ScopedRegistry metrics_scope(&registry);
+    if (!metrics_only) core::set_trace_capture(&stream);
+    const core::FigureResult figure = fn(runner);
+    if (!metrics_only) {
+      core::set_trace_capture(nullptr);
+      stream += "=== figure " + figure.id + ": " + figure.title + " [" +
+                figure.unit + "] ===\n";
+      for (const auto& row : figure.rows) {
+        // %a: hex floats — every mantissa bit survives the round-trip, so a
+        // one-ulp divergence between the runs is a diff, not a rounding
+        // blur.
+        stream += util::format("%s measured=%a paper=%a\n",
+                               row.label.c_str(), row.measured,
+                               row.paper.value_or(-1.0));
+      }
+    }
   }
+  stream += "=== metrics ===\n";
+  stream += registry.snapshot_json();
   return stream;
 }
 
@@ -411,17 +510,19 @@ int cmd_determinism_audit(const Args& args) {
   // contract, enforced end to end. --jobs 1 (the default) degenerates to
   // the classic same-config double run.
   const int jobs = static_cast<int>(args.get_long("jobs", 1));
+  const bool metrics_only = args.has("metrics-only");
 
   runner.jobs = 1;
-  const std::string first = run_captured(fn, runner);
+  const std::string first = run_captured(fn, runner, metrics_only);
   runner.jobs = jobs;
-  const std::string second = run_captured(fn, runner);
+  const std::string second = run_captured(fn, runner, metrics_only);
   if (first == second) {
     std::printf(
-        "determinism-audit PASS: %s byte-identical across two seed=%llu "
+        "determinism-audit PASS: %s %sbyte-identical across two seed=%llu "
         "runs (%zu bytes, %d repetitions, serial vs %d jobs)\n",
-        id.c_str(), static_cast<unsigned long long>(runner.seed),
-        first.size(), runner.repetitions, jobs);
+        id.c_str(), metrics_only ? "metric snapshots " : "",
+        static_cast<unsigned long long>(runner.seed), first.size(),
+        runner.repetitions, jobs);
     return 0;
   }
   const std::size_t limit = std::min(first.size(), second.size());
@@ -461,6 +562,7 @@ int dispatch(int argc, char** argv) {
   const std::string command = argv[1];
   const Args args(argc, argv, 2);
   if (command == "figures") return cmd_figures(args);
+  if (command == "metrics") return cmd_metrics(args);
   if (command == "guest") return cmd_guest(args);
   if (command == "host") return cmd_host(args);
   if (command == "suite") return cmd_suite(args);
