@@ -1,23 +1,46 @@
 #pragma once
-// Common argv handling for the benches: [repetitions] overrides the
-// paper's default of 50, --jobs N sizes the parallel experiment engine's
-// worker pool (default: one worker per hardware thread; --jobs 1 forces
-// the legacy serial path), and --metrics-out FILE drops the obs registry
-// snapshot (FILE JSON + FILE.prom Prometheus text) next to the CSV.
-// Results and snapshots are byte-identical for any jobs value — the flag
-// only changes wall-clock time.
+// Common argv handling for the benches: --scenario NAME|FILE selects the
+// testbed (default: the embedded `paper`), [repetitions] overrides the
+// scenario's sweep default (the paper's 50), --jobs N sizes the parallel
+// experiment engine's worker pool (default: one worker per hardware
+// thread; --jobs 1 forces the legacy serial path), and --metrics-out FILE
+// drops the obs registry snapshot (FILE JSON + FILE.prom Prometheus text)
+// next to the CSV. Results and snapshots are byte-identical for any jobs
+// value — the flag only changes wall-clock time.
 
 #include <cstdlib>
 #include <string>
 
 #include "core/experiments.hpp"
+#include "scenario/scenario.hpp"
 #include "util/cli_args.hpp"
 
 namespace vgrid::bench {
 
+/// --scenario NAME|FILE (default `paper`). Throws util::ConfigError with
+/// a precise "<source>:<line>:" diagnostic on malformed input.
+inline scenario::Scenario scenario_from_args(int argc, char** argv) {
+  const util::Args args(argc, argv, 1);
+  return scenario::load(args.get_or("scenario", "paper"));
+}
+
 inline core::RunnerConfig runner_from_args(int argc, char** argv) {
   const util::Args args(argc, argv, 1);
   core::RunnerConfig runner = core::figure_runner_config();
+  if (!args.positional().empty()) {
+    const int reps = std::atoi(args.positional()[0].c_str());
+    if (reps >= 1) runner.repetitions = reps;
+  }
+  runner.jobs = static_cast<int>(args.get_long("jobs", 0));  // 0 = hardware
+  return runner;
+}
+
+/// Repetition settings seeded from the scenario's [sweep] section, then
+/// overridden by [repetitions] / --jobs as usual.
+inline core::RunnerConfig runner_from_args(int argc, char** argv,
+                                           const scenario::Scenario& scenario) {
+  const util::Args args(argc, argv, 1);
+  core::RunnerConfig runner = core::figure_runner_config(scenario);
   if (!args.positional().empty()) {
     const int reps = std::atoi(args.positional()[0].c_str());
     if (reps >= 1) runner.repetitions = reps;

@@ -1,4 +1,4 @@
-// Reproduces Figure 1 of the paper (7z guest performance). Usage: ./fig1_7z [repetitions] [--jobs N] [--metrics-out FILE]
+// Reproduces Figure 1 of the paper (7z guest performance). Usage: ./fig1_7z [repetitions] [--scenario NAME|FILE] [--jobs N] [--metrics-out FILE]
 // (default: the paper's 50 repetitions).
 
 #include "figure_bench.hpp"

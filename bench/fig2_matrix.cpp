@@ -1,4 +1,4 @@
-// Reproduces Figure 2 of the paper (Matrix guest performance). Usage: ./fig2_matrix [repetitions] [--jobs N] [--metrics-out FILE]
+// Reproduces Figure 2 of the paper (Matrix guest performance). Usage: ./fig2_matrix [repetitions] [--scenario NAME|FILE] [--jobs N] [--metrics-out FILE]
 // (default: the paper's 50 repetitions).
 
 #include "figure_bench.hpp"

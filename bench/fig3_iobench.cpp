@@ -1,15 +1,25 @@
 // Reproduces Figure 3 of the paper (IOBench relative performance), plus
 // the per-file-size sweep underlying it. Usage: ./fig3_iobench
-// [repetitions] [--jobs N] [--metrics-out FILE] (default: the paper's 50
-// repetitions).
+// [repetitions] [--scenario NAME|FILE] [--jobs N] [--metrics-out FILE]
+// (default: the paper's 50 repetitions).
 
 #include "figure_bench.hpp"
 
 int main(int argc, char** argv) {
-  const auto runner = vgrid::bench::runner_from_args(argc, argv);
+  vgrid::scenario::Scenario scenario;
+  try {
+    scenario = vgrid::bench::scenario_from_args(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], error.what());
+    return 2;
+  }
+  const auto runner = vgrid::bench::runner_from_args(argc, argv, scenario);
   const auto metrics_out = vgrid::bench::metrics_out_from_args(argc, argv);
+  std::printf("scenario: %s (hash %s)\n", scenario.name.c_str(),
+              scenario.hash_hex().c_str());
   vgrid::obs::Registry registry;
   vgrid::obs::register_defaults(registry);
+  vgrid::bench::record_scenario_info(registry, scenario);
   int status;
   {
     // One registry spans both the figure and the supporting sweep, so the
@@ -17,12 +27,12 @@ int main(int argc, char** argv) {
     vgrid::obs::ScopedRegistry metrics_scope(
         metrics_out.empty() ? nullptr : &registry);
     status = vgrid::bench::run_figure_bench(vgrid::core::fig3_iobench,
-                                            runner);
+                                            scenario, runner);
     // Supporting detail beyond the paper's single bar per environment:
     // small files are dominated by per-request emulation overhead, large
     // files by the bandwidth multiplier.
     vgrid::bench::run_figure_bench(
-        vgrid::core::fig3_iobench_by_size(runner));
+        vgrid::core::fig3_iobench_by_size(scenario, runner));
   }
   if (!metrics_out.empty()) {
     try {

@@ -1,4 +1,4 @@
-// Reproduces Figure 4 of the paper (NetBench absolute throughput). Usage: ./fig4_netbench [repetitions] [--jobs N] [--metrics-out FILE]
+// Reproduces Figure 4 of the paper (NetBench absolute throughput). Usage: ./fig4_netbench [repetitions] [--scenario NAME|FILE] [--jobs N] [--metrics-out FILE]
 // (default: the paper's 50 repetitions).
 
 #include "figure_bench.hpp"

@@ -1,4 +1,4 @@
-// Reproduces Figure 5 of the paper (host NBench MEM-index overhead). Usage: ./fig5_mem_index [repetitions] [--jobs N] [--metrics-out FILE]
+// Reproduces Figure 5 of the paper (host NBench MEM-index overhead). Usage: ./fig5_mem_index [repetitions] [--scenario NAME|FILE] [--jobs N] [--metrics-out FILE]
 // (default: the paper's 50 repetitions).
 
 #include "figure_bench.hpp"

@@ -1,4 +1,4 @@
-// Reproduces Figure 6 of the paper (host NBench INT overhead; FP series appended). Usage: ./fig6_int_index [repetitions] [--jobs N] [--metrics-out FILE]
+// Reproduces Figure 6 of the paper (host NBench INT overhead; FP series appended). Usage: ./fig6_int_index [repetitions] [--scenario NAME|FILE] [--jobs N] [--metrics-out FILE]
 // (default: the paper's 50 repetitions).
 
 #include "figure_bench.hpp"

@@ -1,4 +1,4 @@
-// Reproduces Figure 7 of the paper (%CPU available to host 7z). Usage: ./fig7_cpu_avail [repetitions] [--jobs N] [--metrics-out FILE]
+// Reproduces Figure 7 of the paper (%CPU available to host 7z). Usage: ./fig7_cpu_avail [repetitions] [--scenario NAME|FILE] [--jobs N] [--metrics-out FILE]
 // (default: the paper's 50 repetitions).
 
 #include "figure_bench.hpp"

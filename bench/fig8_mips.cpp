@@ -1,4 +1,4 @@
-// Reproduces Figure 8 of the paper (host 7z MIPS ratio). Usage: ./fig8_mips [repetitions] [--jobs N] [--metrics-out FILE]
+// Reproduces Figure 8 of the paper (host 7z MIPS ratio). Usage: ./fig8_mips [repetitions] [--scenario NAME|FILE] [--jobs N] [--metrics-out FILE]
 // (default: the paper's 50 repetitions).
 
 #include "figure_bench.hpp"

@@ -55,15 +55,20 @@ inline int run_figure_bench(const core::FigureResult& figure) {
   return 0;
 }
 
+/// A scenario-driven figure function (core::fig1_7z and friends).
+using ScenarioFigureFn = core::FigureResult (*)(const scenario::Scenario&,
+                                                core::RunnerConfig);
+
 /// Run one figure on the parallel engine, timing the whole computation and
 /// capturing the pool's per-worker spans into <fig>.workers.json (a
 /// chrome://tracing timeline of which worker ran which testbed when).
-inline int run_figure_bench(core::FigureResult (*figure_fn)(core::RunnerConfig),
+inline int run_figure_bench(ScenarioFigureFn figure_fn,
+                            const scenario::Scenario& scenario,
                             const core::RunnerConfig& runner) {
   std::vector<report::WorkerSpan> spans;
   core::set_worker_span_capture(&spans);
   const util::WallTimer timer;
-  const core::FigureResult figure = figure_fn(runner);
+  const core::FigureResult figure = figure_fn(scenario, runner);
   const double seconds = timer.elapsed_seconds();
   core::set_worker_span_capture(nullptr);
 
@@ -84,20 +89,44 @@ inline int run_figure_bench(core::FigureResult (*figure_fn)(core::RunnerConfig),
   return rc;
 }
 
-/// The whole main() of a figure bench: parse [repetitions] / --jobs /
-/// --metrics-out, run the figure under an obs registry when metrics were
-/// requested, and drop the snapshot (JSON + Prometheus) next to the CSV.
-inline int figure_bench_main(core::FigureResult (*figure_fn)(core::RunnerConfig),
-                             int argc, char** argv) {
-  const core::RunnerConfig runner = runner_from_args(argc, argv);
+/// Record a scenario's identity in the snapshot: `scenario.info` is a
+/// constant 1 whose labels carry the name and content hash, so snapshots
+/// from different scenarios can never be confused (metrics_diff treats a
+/// label difference as a missing/extra instrument).
+inline void record_scenario_info(obs::Registry& registry,
+                                 const scenario::Scenario& scenario) {
+  registry
+      .gauge("scenario.info",
+             {{"hash", scenario.hash_hex()}, {"name", scenario.name}},
+             obs::Gauge::Agg::kLast)
+      .set(1);
+}
+
+/// The whole main() of a figure bench: parse --scenario / [repetitions] /
+/// --jobs / --metrics-out, run the figure under an obs registry when
+/// metrics were requested, and drop the snapshot (JSON + Prometheus) next
+/// to the CSV. A malformed scenario is a diagnostic on stderr and exit 2.
+inline int figure_bench_main(ScenarioFigureFn figure_fn, int argc,
+                             char** argv) {
+  scenario::Scenario scenario;
+  try {
+    scenario = scenario_from_args(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], error.what());
+    return 2;
+  }
+  const core::RunnerConfig runner = runner_from_args(argc, argv, scenario);
   const std::string metrics_out = metrics_out_from_args(argc, argv);
+  std::printf("scenario: %s (hash %s)\n", scenario.name.c_str(),
+              scenario.hash_hex().c_str());
   obs::Registry registry;
   obs::register_defaults(registry);
+  record_scenario_info(registry, scenario);
   int rc;
   {
     obs::ScopedRegistry metrics_scope(
         metrics_out.empty() ? nullptr : &registry);
-    rc = run_figure_bench(figure_fn, runner);
+    rc = run_figure_bench(figure_fn, scenario, runner);
   }
   if (!metrics_out.empty()) {
     try {

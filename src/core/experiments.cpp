@@ -1,7 +1,9 @@
 #include "core/experiments.hpp"
 
+#include <algorithm>
 #include <functional>
-#include <iterator>
+#include <initializer_list>
+#include <map>
 
 #include "core/guest_perf.hpp"
 #include "core/host_impact.hpp"
@@ -21,10 +23,46 @@ namespace {
 using vmm::NetMode;
 using vmm::VmmProfile;
 
-struct PaperRef {
-  const char* name;
-  double value;
-};
+using PaperRefs = std::map<std::string, double>;
+
+/// The paper's reported bar for `label` — attached only when the run is
+/// the `paper` scenario; on any other testbed the paper's numbers are not
+/// comparable and the column stays empty.
+std::optional<double> paper_ref(const scenario::Scenario& scenario,
+                                const PaperRefs& refs,
+                                const std::string& label) {
+  if (scenario.name != "paper") return std::nullopt;
+  const auto found = refs.find(label);
+  if (found == refs.end()) return std::nullopt;
+  return found->second;
+}
+
+std::optional<double> paper_ref(const scenario::Scenario& scenario,
+                                double value) {
+  if (scenario.name != "paper") return std::nullopt;
+  return value;
+}
+
+/// The scenario's profiles reordered to the paper's bar order where the
+/// paper fixes one: names in `preferred` come first (skipping any the
+/// scenario does not list), every remaining profile follows in scenario
+/// order. Pointers into scenario.profiles — keep the scenario alive.
+std::vector<const VmmProfile*> ordered_profiles(
+    const scenario::Scenario& scenario,
+    std::initializer_list<const char*> preferred) {
+  std::vector<const VmmProfile*> out;
+  for (const char* name : preferred) {
+    if (const VmmProfile* profile = scenario.profile_by_name(name)) {
+      out.push_back(profile);
+    }
+  }
+  for (const VmmProfile& profile : scenario.profiles) {
+    if (std::find(out.begin(), out.end(), &profile) == out.end()) {
+      out.push_back(&profile);
+    }
+  }
+  return out;
+}
 
 /// Cross-testbed scheduler: run one task per figure row on a TaskPool of
 /// `runner.jobs` workers. Every task builds its own Testbed(s) and writes
@@ -51,97 +89,119 @@ RunnerConfig figure_runner_config() {
   return config;
 }
 
-FigureResult fig1_7z(RunnerConfig runner) {
+RunnerConfig figure_runner_config(const scenario::Scenario& scenario) {
+  RunnerConfig config;
+  config.repetitions = scenario.sweep.repetitions;
+  config.input_jitter = scenario.sweep.input_jitter;
+  return config;
+}
+
+FigureResult fig1_7z(const scenario::Scenario& scenario, RunnerConfig runner) {
   // Paper §4.1: VmPlayer 15% drop, VirtualBox 20%, VirtualPC 36%, QEMU
   // "more than twice slower".
-  static constexpr PaperRef kPaper[] = {
-      {"vmplayer", 1.15}, {"virtualbox", 1.20}, {"virtualpc", 1.36},
-      {"qemu", 2.10}};
+  static const PaperRefs kPaper = {{"vmplayer", 1.15},
+                                   {"virtualbox", 1.20},
+                                   {"virtualpc", 1.36},
+                                   {"qemu", 2.10}};
+  const std::uint64_t bytes = scenario.workloads.sevenzip_bytes;
   GuestPerfExperiment experiment(
-      [] {
-        return workloads::SevenZipBench(workloads::Bench7zConfig{})
-            .make_program();
+      [bytes] {
+        workloads::Bench7zConfig config;
+        config.data_bytes = bytes;
+        return workloads::SevenZipBench(config).make_program();
       },
-      runner);
+      scenario, runner);
   // Shared native baseline first (repetitions run on the pool), then the
-  // four environments concurrently.
+  // environments concurrently.
   (void)experiment.measure_native();
+  const auto profiles = ordered_profiles(
+      scenario, {"vmplayer", "virtualbox", "virtualpc", "qemu"});
   FigureResult figure{"fig1", "Relative performance of 7z on virtual machines",
                       "slowdown vs native (1.0 = native)", {}};
-  figure.rows.resize(std::size(kPaper));
+  figure.rows.resize(profiles.size());
   sweep_rows(runner, figure.rows.size(), "fig1", [&](std::size_t i) {
-    const PaperRef& ref = kPaper[i];
-    const VmmProfile profile = *vmm::profiles::by_name(ref.name);
-    figure.rows[i] =
-        FigureRow{ref.name, experiment.slowdown(profile), ref.value};
+    const VmmProfile& profile = *profiles[i];
+    figure.rows[i] = FigureRow{profile.name, experiment.slowdown(profile),
+                               paper_ref(scenario, kPaper, profile.name)};
   });
   return figure;
 }
 
-FigureResult fig2_matrix(RunnerConfig runner) {
+FigureResult fig2_matrix(const scenario::Scenario& scenario,
+                         RunnerConfig runner) {
   // Paper §4.1: all environments below 20% except QEMU at ~30% (values
   // read from plot for the individual bars).
-  static constexpr PaperRef kPaper[] = {
-      {"vmplayer", 1.10}, {"virtualbox", 1.15}, {"virtualpc", 1.19},
-      {"qemu", 1.30}};
+  static const PaperRefs kPaper = {{"vmplayer", 1.10},
+                                   {"virtualbox", 1.15},
+                                   {"virtualpc", 1.19},
+                                   {"qemu", 1.30}};
+  const auto profiles = ordered_profiles(
+      scenario, {"vmplayer", "virtualbox", "virtualpc", "qemu"});
   FigureResult figure{"fig2",
                       "Relative performance of Matrix on virtual machines",
                       "slowdown vs native (1.0 = native)", {}};
-  for (const std::size_t n : {std::size_t{512}, std::size_t{1024}}) {
+  for (const std::uint64_t size : scenario.workloads.matrix_sizes) {
+    const std::size_t n = static_cast<std::size_t>(size);
     GuestPerfExperiment experiment(
         [n] { return workloads::MatrixBenchmark(n).make_program(); },
-        runner);
+        scenario, runner);
     (void)experiment.measure_native();
     const std::size_t base = figure.rows.size();
-    figure.rows.resize(base + std::size(kPaper));
-    sweep_rows(runner, std::size(kPaper), "fig2", [&](std::size_t i) {
-      const PaperRef& ref = kPaper[i];
-      const VmmProfile profile = *vmm::profiles::by_name(ref.name);
+    figure.rows.resize(base + profiles.size());
+    sweep_rows(runner, profiles.size(), "fig2", [&](std::size_t i) {
+      const VmmProfile& profile = *profiles[i];
       figure.rows[base + i] =
-          FigureRow{util::format("%s-%zu", ref.name, n),
-                    experiment.slowdown(profile), ref.value};
+          FigureRow{util::format("%s-%zu", profile.name.c_str(), n),
+                    experiment.slowdown(profile),
+                    paper_ref(scenario, kPaper, profile.name)};
     });
   }
   return figure;
 }
 
-FigureResult fig3_iobench(RunnerConfig runner) {
+FigureResult fig3_iobench(const scenario::Scenario& scenario,
+                          RunnerConfig runner) {
   // Paper §4.1: VmPlayer 30% slower; VirtualBox and VirtualPC roughly
   // twice slower; QEMU nearly five times slower.
-  static constexpr PaperRef kPaper[] = {
-      {"vmplayer", 1.30}, {"virtualbox", 2.00}, {"virtualpc", 2.05},
-      {"qemu", 4.90}};
+  static const PaperRefs kPaper = {{"vmplayer", 1.30},
+                                   {"virtualbox", 2.00},
+                                   {"virtualpc", 2.05},
+                                   {"qemu", 4.90}};
+  workloads::IoBenchConfig io_config;
+  io_config.min_file_bytes = scenario.workloads.iobench_file_bytes.front();
+  io_config.max_file_bytes = scenario.workloads.iobench_file_bytes.back();
   GuestPerfExperiment experiment(
-      [] { return workloads::IoBench().make_program(); }, runner);
+      [io_config] { return workloads::IoBench(io_config).make_program(); },
+      scenario, runner);
   (void)experiment.measure_native();
+  const auto profiles = ordered_profiles(
+      scenario, {"vmplayer", "virtualbox", "virtualpc", "qemu"});
   FigureResult figure{"fig3",
                       "Relative performance of IOBench on virtual machines",
                       "slowdown vs native (1.0 = native)", {}};
-  figure.rows.resize(std::size(kPaper));
+  figure.rows.resize(profiles.size());
   sweep_rows(runner, figure.rows.size(), "fig3", [&](std::size_t i) {
-    const PaperRef& ref = kPaper[i];
-    const VmmProfile profile = *vmm::profiles::by_name(ref.name);
-    figure.rows[i] =
-        FigureRow{ref.name, experiment.slowdown(profile), ref.value};
+    const VmmProfile& profile = *profiles[i];
+    figure.rows[i] = FigureRow{profile.name, experiment.slowdown(profile),
+                               paper_ref(scenario, kPaper, profile.name)};
   });
   return figure;
 }
 
-FigureResult fig3_iobench_by_size(RunnerConfig runner) {
+FigureResult fig3_iobench_by_size(const scenario::Scenario& scenario,
+                                  RunnerConfig runner) {
   FigureResult figure{"fig3-by-size",
                       "IOBench slowdown by file size (supporting detail)",
                       "slowdown vs native (1.0 = native)", {}};
-  static constexpr std::uint64_t kSizes[] = {
-      128 * 1024, 2 * 1024 * 1024, 32 * 1024 * 1024};
-  for (const std::uint64_t size : kSizes) {
+  for (const std::uint64_t size : scenario.workloads.iobench_file_bytes) {
     workloads::IoBenchConfig config;
     config.min_file_bytes = size;
     config.max_file_bytes = size;
     GuestPerfExperiment experiment(
         [config] { return workloads::IoBench(config).make_program(); },
-        runner);
+        scenario, runner);
     (void)experiment.measure_native();
-    const auto& profiles = vmm::profiles::all();
+    const auto& profiles = scenario.profiles;
     const std::size_t base = figure.rows.size();
     figure.rows.resize(base + profiles.size());
     sweep_rows(runner, profiles.size(), "fig3-by-size",
@@ -156,103 +216,112 @@ FigureResult fig3_iobench_by_size(RunnerConfig runner) {
   return figure;
 }
 
-FigureResult fig4_netbench(RunnerConfig runner) {
-  const workloads::NetBenchConfig net_config{};
+FigureResult fig4_netbench(const scenario::Scenario& scenario,
+                           RunnerConfig runner) {
+  static const PaperRefs kPaper = {
+      {"native", 97.60},          {"vmplayer-bridged", 96.02},
+      {"vmplayer-nat", 3.68},     {"qemu", 65.91},
+      {"virtualpc", 35.56},       {"virtualbox", 1.30}};
+  workloads::NetBenchConfig net_config;
+  net_config.stream_bytes = scenario.workloads.net_stream_bytes;
   const std::uint64_t bytes = net_config.stream_bytes;
   GuestPerfExperiment experiment(
       [net_config] {
         return workloads::NetBench(net_config).make_program();
       },
-      runner);
+      scenario, runner);
   FigureResult figure{"fig4", "Absolute performance for NetBench",
                       "Mbps (higher is better)", {}};
 
+  // One row per (profile, supported net mode): a profile with both modes
+  // gets "<name>-bridged" and "<name>-nat" bars, a single-mode profile
+  // keeps its bare name — the paper's Figure 4 labelling.
   struct Entry {
-    const char* label;
-    const char* profile;  // nullptr = native
-    NetMode mode;
-    double paper;
+    std::string label;
+    const VmmProfile* profile;  // nullptr = native
+    std::optional<NetMode> mode;
   };
-  static constexpr Entry kEntries[] = {
-      {"native", nullptr, NetMode::kBridged, 97.60},
-      {"vmplayer-bridged", "vmplayer", NetMode::kBridged, 96.02},
-      {"vmplayer-nat", "vmplayer", NetMode::kNat, 3.68},
-      {"qemu", "qemu", NetMode::kNat, 65.91},
-      {"virtualpc", "virtualpc", NetMode::kNat, 35.56},
-      {"virtualbox", "virtualbox", NetMode::kNat, 1.30},
-  };
-  figure.rows.resize(std::size(kEntries));
-  sweep_rows(runner, figure.rows.size(), "fig4", [&](std::size_t i) {
-    const Entry& entry = kEntries[i];
-    if (entry.profile == nullptr) {
-      figure.rows[i] = FigureRow{
-          entry.label, experiment.throughput_mbps(bytes, nullptr),
-          entry.paper};
-      return;
+  std::vector<Entry> entries;
+  entries.push_back(Entry{"native", nullptr, std::nullopt});
+  for (const VmmProfile* profile : ordered_profiles(
+           scenario, {"vmplayer", "qemu", "virtualpc", "virtualbox"})) {
+    const bool both = profile->bridged.has_value() && profile->nat.has_value();
+    if (profile->bridged) {
+      entries.push_back(Entry{
+          both ? profile->name + "-bridged" : profile->name, profile,
+          NetMode::kBridged});
     }
-    const VmmProfile profile = *vmm::profiles::by_name(entry.profile);
+    if (profile->nat) {
+      entries.push_back(Entry{both ? profile->name + "-nat" : profile->name,
+                              profile, NetMode::kNat});
+    }
+  }
+  figure.rows.resize(entries.size());
+  sweep_rows(runner, figure.rows.size(), "fig4", [&](std::size_t i) {
+    const Entry& entry = entries[i];
     figure.rows[i] = FigureRow{
         entry.label,
-        experiment.throughput_mbps(bytes, &profile, entry.mode),
-        entry.paper};
+        experiment.throughput_mbps(bytes, entry.profile, entry.mode),
+        paper_ref(scenario, kPaper, entry.label)};
   });
   return figure;
 }
 
 namespace {
 
-FigureResult nbench_figure(const std::string& id, const std::string& title,
+FigureResult nbench_figure(const scenario::Scenario& scenario,
+                           const std::string& id, const std::string& title,
                            workloads::nbench::Index index, double paper_value,
                            RunnerConfig runner) {
   FigureResult figure{id, title, "% overhead on host (lower is better)", {}};
   // Cross-testbed sweep over (priority, environment): each cell owns its
-  // HostImpactExperiment, so the 2 x |profiles| grid runs concurrently.
+  // HostImpactExperiment, so the |priorities| x |profiles| grid runs
+  // concurrently.
   struct Cell {
     os::PriorityClass priority;
     const VmmProfile* profile;
   };
-  const std::vector<VmmProfile> profiles = vmm::profiles::all();
   std::vector<Cell> cells;
-  for (const os::PriorityClass priority :
-       {os::PriorityClass::kNormal, os::PriorityClass::kIdle}) {
-    for (const VmmProfile& profile : profiles) {
+  for (const os::PriorityClass priority : scenario.sweep.vm_priorities) {
+    for (const VmmProfile& profile : scenario.profiles) {
       cells.push_back(Cell{priority, &profile});
     }
   }
   figure.rows.resize(cells.size());
   sweep_rows(runner, cells.size(), id, [&](std::size_t i) {
     const Cell& cell = cells[i];
-    HostImpactConfig config;
-    config.vm_priority = cell.priority;
-    config.runner = runner;
-    HostImpactExperiment experiment(config);
+    HostImpactExperiment experiment(
+        host_impact_config(scenario, cell.priority, runner));
     figure.rows[i] = FigureRow{
         util::format("%s (%s)", cell.profile->name.c_str(),
                      os::to_string(cell.priority)),
         experiment.nbench_overhead_percent(index, *cell.profile),
-        paper_value};
+        paper_ref(scenario, paper_value)};
   });
   return figure;
 }
 
 }  // namespace
 
-FigureResult fig5_mem_index(RunnerConfig runner) {
+FigureResult fig5_mem_index(const scenario::Scenario& scenario,
+                            RunnerConfig runner) {
   // Paper §4.2.2: the MEM index shows the highest overhead, "under 5%"
   // even in the worst case; 4.0 approximates the plotted bars.
-  return nbench_figure("fig5", "Relative performance (MEM index)",
+  return nbench_figure(scenario, "fig5", "Relative performance (MEM index)",
                        workloads::nbench::Index::kMem, 4.0, runner);
 }
 
-FigureResult fig6_int_fp_index(RunnerConfig runner) {
+FigureResult fig6_int_fp_index(const scenario::Scenario& scenario,
+                               RunnerConfig runner) {
   // Paper §4.2.2: INT overhead "averages 2%"; FP shows "practically no
   // overhead" (plot omitted in the paper to conserve space).
   FigureResult figure =
-      nbench_figure("fig6", "Relative performance (INT index; FP series "
-                            "appended)",
+      nbench_figure(scenario, "fig6",
+                    "Relative performance (INT index; FP series appended)",
                     workloads::nbench::Index::kInt, 2.0, runner);
-  FigureResult fp = nbench_figure("fig6-fp", "FP",
-                                  workloads::nbench::Index::kFp, 0.3, runner);
+  FigureResult fp =
+      nbench_figure(scenario, "fig6-fp", "FP", workloads::nbench::Index::kFp,
+                    0.3, runner);
   for (auto& row : fp.rows) {
     row.label = "FP " + row.label;
     figure.rows.push_back(row);
@@ -260,83 +329,124 @@ FigureResult fig6_int_fp_index(RunnerConfig runner) {
   return figure;
 }
 
-FigureResult fig7_cpu_available(RunnerConfig runner) {
+FigureResult fig7_cpu_available(const scenario::Scenario& scenario,
+                                RunnerConfig runner) {
   // Paper §4.2.3: no VM: 100% / 180%; QEMU, VirtualBox and VirtualPC leave
   // ~160% to a dual-threaded 7z; VmPlayer only ~120%.
+  static const PaperRefs kPaper = {
+      {"no-vm 1T", 100.0},      {"no-vm 2T", 180.0},
+      {"vmplayer 1T", 100.0},   {"vmplayer 2T", 120.0},
+      {"qemu 1T", 99.0},        {"qemu 2T", 160.0},
+      {"virtualbox 1T", 100.0}, {"virtualbox 2T", 160.0},
+      {"virtualpc 1T", 100.0},  {"virtualpc 2T", 160.0}};
   FigureResult figure{"fig7",
                       "Available % CPU for host OS (guest at 100% vCPU)",
                       "% CPU obtained by 7z (200 = both cores)", {}};
   struct Entry {
-    const char* label;
-    const char* profile;  // nullptr = no VM
+    std::string label;
+    const VmmProfile* profile;  // nullptr = no VM
     int threads;
-    double paper;
   };
-  static constexpr Entry kEntries[] = {
-      {"no-vm 1T", nullptr, 1, 100.0},
-      {"no-vm 2T", nullptr, 2, 180.0},
-      {"vmplayer 1T", "vmplayer", 1, 100.0},
-      {"vmplayer 2T", "vmplayer", 2, 120.0},
-      {"qemu 1T", "qemu", 1, 99.0},
-      {"qemu 2T", "qemu", 2, 160.0},
-      {"virtualbox 1T", "virtualbox", 1, 100.0},
-      {"virtualbox 2T", "virtualbox", 2, 160.0},
-      {"virtualpc 1T", "virtualpc", 1, 100.0},
-      {"virtualpc 2T", "virtualpc", 2, 160.0},
-  };
-  figure.rows.resize(std::size(kEntries));
-  sweep_rows(runner, figure.rows.size(), "fig7", [&](std::size_t i) {
-    const Entry& entry = kEntries[i];
-    HostImpactConfig config;
-    config.vm_priority = os::PriorityClass::kIdle;  // the paper's setting
-    config.runner = runner;
-    HostImpactExperiment experiment(config);
-    std::optional<VmmProfile> profile;
-    if (entry.profile != nullptr) {
-      profile = vmm::profiles::by_name(entry.profile);
+  std::vector<Entry> entries;
+  for (const int threads : scenario.sweep.sevenzip_threads) {
+    entries.push_back(
+        Entry{util::format("no-vm %dT", threads), nullptr, threads});
+  }
+  for (const VmmProfile* profile : ordered_profiles(
+           scenario, {"vmplayer", "qemu", "virtualbox", "virtualpc"})) {
+    for (const int threads : scenario.sweep.sevenzip_threads) {
+      entries.push_back(
+          Entry{util::format("%s %dT", profile->name.c_str(), threads),
+                profile, threads});
     }
-    const SevenZipHostMetrics metrics =
-        experiment.run_7z(entry.threads, profile ? &*profile : nullptr);
-    figure.rows[i] =
-        FigureRow{entry.label, metrics.cpu_percent, entry.paper};
+  }
+  figure.rows.resize(entries.size());
+  sweep_rows(runner, figure.rows.size(), "fig7", [&](std::size_t i) {
+    const Entry& entry = entries[i];
+    HostImpactExperiment experiment(host_impact_config(
+        scenario, os::PriorityClass::kIdle /* the paper's setting */,
+        runner));
+    const SevenZipHostMetrics metrics = experiment.run_7z(
+        entry.threads, entry.profile, scenario.sweep.vm_count);
+    figure.rows[i] = FigureRow{entry.label, metrics.cpu_percent,
+                               paper_ref(scenario, kPaper, entry.label)};
   });
   return figure;
 }
 
-FigureResult fig8_mips_ratio(RunnerConfig runner) {
+FigureResult fig8_mips_ratio(const scenario::Scenario& scenario,
+                             RunnerConfig runner) {
   // Paper §4.2.3: VmPlayer reduces host 7z MIPS by ~30%; the other three
   // environments cause a near 10% degradation (dual-threaded 7z).
-  HostImpactConfig config;
-  config.vm_priority = os::PriorityClass::kIdle;
-  config.runner = runner;
+  static const PaperRefs kPaper = {{"vmplayer", 0.70},
+                                   {"qemu", 0.90},
+                                   {"virtualbox", 0.90},
+                                   {"virtualpc", 0.90}};
+  const int threads = scenario.sweep.sevenzip_threads.back();
+  const HostImpactConfig config =
+      host_impact_config(scenario, os::PriorityClass::kIdle, runner);
 
   // Baseline first (its trace must precede the environments'), then the
-  // four environments concurrently.
+  // environments concurrently.
   const SevenZipHostMetrics baseline =
-      HostImpactExperiment(config).run_7z(2, nullptr);
-  FigureResult figure{"fig8",
-                      "MIPS for host 7z when guest runs at 100% (2 threads)",
-                      "MIPS ratio vs no-VM run", {}};
-  static constexpr PaperRef kPaper[] = {
-      {"vmplayer", 0.70}, {"qemu", 0.90}, {"virtualbox", 0.90},
-      {"virtualpc", 0.90}};
-  figure.rows.resize(std::size(kPaper));
+      HostImpactExperiment(config).run_7z(threads, nullptr);
+  FigureResult figure{
+      "fig8",
+      util::format("MIPS for host 7z when guest runs at 100%% (%d threads)",
+                   threads),
+      "MIPS ratio vs no-VM run", {}};
+  const auto profiles = ordered_profiles(
+      scenario, {"vmplayer", "qemu", "virtualbox", "virtualpc"});
+  figure.rows.resize(profiles.size());
   sweep_rows(runner, figure.rows.size(), "fig8", [&](std::size_t i) {
-    const PaperRef& ref = kPaper[i];
-    const VmmProfile profile = *vmm::profiles::by_name(ref.name);
-    const SevenZipHostMetrics metrics =
-        HostImpactExperiment(config).run_7z(2, &profile);
-    figure.rows[i] =
-        FigureRow{ref.name, metrics.mips / baseline.mips, ref.value};
+    const VmmProfile& profile = *profiles[i];
+    const SevenZipHostMetrics metrics = HostImpactExperiment(config).run_7z(
+        threads, &profile, scenario.sweep.vm_count);
+    figure.rows[i] = FigureRow{profile.name, metrics.mips / baseline.mips,
+                               paper_ref(scenario, kPaper, profile.name)};
   });
   return figure;
 }
 
+std::vector<FigureResult> all_figures(const scenario::Scenario& scenario,
+                                      RunnerConfig runner) {
+  return {fig1_7z(scenario, runner),          fig2_matrix(scenario, runner),
+          fig3_iobench(scenario, runner),     fig4_netbench(scenario, runner),
+          fig5_mem_index(scenario, runner),   fig6_int_fp_index(scenario, runner),
+          fig7_cpu_available(scenario, runner), fig8_mips_ratio(scenario, runner)};
+}
+
+// ---- historical forms: the same figures on the embedded `paper` scenario.
+
+FigureResult fig1_7z(RunnerConfig runner) {
+  return fig1_7z(scenario::paper(), runner);
+}
+FigureResult fig2_matrix(RunnerConfig runner) {
+  return fig2_matrix(scenario::paper(), runner);
+}
+FigureResult fig3_iobench(RunnerConfig runner) {
+  return fig3_iobench(scenario::paper(), runner);
+}
+FigureResult fig3_iobench_by_size(RunnerConfig runner) {
+  return fig3_iobench_by_size(scenario::paper(), runner);
+}
+FigureResult fig4_netbench(RunnerConfig runner) {
+  return fig4_netbench(scenario::paper(), runner);
+}
+FigureResult fig5_mem_index(RunnerConfig runner) {
+  return fig5_mem_index(scenario::paper(), runner);
+}
+FigureResult fig6_int_fp_index(RunnerConfig runner) {
+  return fig6_int_fp_index(scenario::paper(), runner);
+}
+FigureResult fig7_cpu_available(RunnerConfig runner) {
+  return fig7_cpu_available(scenario::paper(), runner);
+}
+FigureResult fig8_mips_ratio(RunnerConfig runner) {
+  return fig8_mips_ratio(scenario::paper(), runner);
+}
 std::vector<FigureResult> all_figures(RunnerConfig runner) {
-  return {fig1_7z(runner),          fig2_matrix(runner),
-          fig3_iobench(runner),     fig4_netbench(runner),
-          fig5_mem_index(runner),   fig6_int_fp_index(runner),
-          fig7_cpu_available(runner), fig8_mips_ratio(runner)};
+  return all_figures(scenario::paper(), runner);
 }
 
 }  // namespace vgrid::core

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/runner.hpp"
+#include "scenario/scenario.hpp"
 
 namespace vgrid::core {
 
@@ -41,23 +42,53 @@ struct FigureResult {
 /// CLI override jobs from --jobs, defaulting to hardware concurrency).
 RunnerConfig figure_runner_config();
 
+/// Repetition settings from a scenario's [sweep] section (jobs stays 1;
+/// front ends still override jobs from --jobs).
+RunnerConfig figure_runner_config(const scenario::Scenario& scenario);
+
+// Each figure comes in two forms: the scenario-driven one (machine, OS,
+// profile set, workload budgets and sweep grid all read from `scenario`;
+// the paper's reference bars attach only when the scenario is `paper`),
+// and the historical RunnerConfig-only form, which is exactly the former
+// on scenario::paper(). Row labels derive from the scenario's profile
+// names, reordered to the paper's bar order where the paper fixes one.
+
+FigureResult fig1_7z(const scenario::Scenario& scenario, RunnerConfig runner);
 FigureResult fig1_7z(RunnerConfig runner = figure_runner_config());
+FigureResult fig2_matrix(const scenario::Scenario& scenario,
+                         RunnerConfig runner);
 FigureResult fig2_matrix(RunnerConfig runner = figure_runner_config());
+FigureResult fig3_iobench(const scenario::Scenario& scenario,
+                          RunnerConfig runner);
 FigureResult fig3_iobench(RunnerConfig runner = figure_runner_config());
 
 /// Figure 3's underlying sweep: per-file-size slowdown for each
 /// environment (small files are dominated by per-request emulation
 /// overhead, large files by the bandwidth multiplier). Not a separate
 /// figure in the paper; the fig3 bench prints it as supporting detail.
+FigureResult fig3_iobench_by_size(const scenario::Scenario& scenario,
+                                  RunnerConfig runner);
 FigureResult fig3_iobench_by_size(
     RunnerConfig runner = figure_runner_config());
+FigureResult fig4_netbench(const scenario::Scenario& scenario,
+                           RunnerConfig runner);
 FigureResult fig4_netbench(RunnerConfig runner = figure_runner_config());
+FigureResult fig5_mem_index(const scenario::Scenario& scenario,
+                            RunnerConfig runner);
 FigureResult fig5_mem_index(RunnerConfig runner = figure_runner_config());
+FigureResult fig6_int_fp_index(const scenario::Scenario& scenario,
+                               RunnerConfig runner);
 FigureResult fig6_int_fp_index(RunnerConfig runner = figure_runner_config());
+FigureResult fig7_cpu_available(const scenario::Scenario& scenario,
+                                RunnerConfig runner);
 FigureResult fig7_cpu_available(RunnerConfig runner = figure_runner_config());
+FigureResult fig8_mips_ratio(const scenario::Scenario& scenario,
+                             RunnerConfig runner);
 FigureResult fig8_mips_ratio(RunnerConfig runner = figure_runner_config());
 
 /// All eight figures, in paper order.
+std::vector<FigureResult> all_figures(const scenario::Scenario& scenario,
+                                      RunnerConfig runner);
 std::vector<FigureResult> all_figures(
     RunnerConfig runner = figure_runner_config());
 

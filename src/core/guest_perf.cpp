@@ -12,10 +12,19 @@ GuestPerfExperiment::GuestPerfExperiment(ProgramFactory factory,
                                          RunnerConfig runner)
     : factory_(std::move(factory)), runner_config_(runner) {}
 
+GuestPerfExperiment::GuestPerfExperiment(ProgramFactory factory,
+                                         const scenario::Scenario& scenario,
+                                         RunnerConfig runner)
+    : factory_(std::move(factory)),
+      runner_config_(runner),
+      machine_(scenario.machine),
+      scheduler_config_(scenario.scheduler),
+      host_os_(scenario.host_os) {}
+
 double GuestPerfExperiment::run_one(double scale,
                                     const vmm::VmmProfile* profile,
                                     std::optional<vmm::NetMode> net_mode) {
-  Testbed testbed;
+  Testbed testbed(machine_, scheduler_config_, host_os_);
   auto program =
       std::make_unique<ScaledProgram>(factory_(), scale);
   if (profile == nullptr) {

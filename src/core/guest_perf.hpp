@@ -11,7 +11,9 @@
 #include <string>
 
 #include "core/runner.hpp"
+#include "core/testbed.hpp"
 #include "os/program.hpp"
+#include "scenario/scenario.hpp"
 #include "stats/descriptive.hpp"
 #include "vmm/profile.hpp"
 
@@ -22,8 +24,14 @@ class GuestPerfExperiment {
   using ProgramFactory = std::function<std::unique_ptr<os::Program>()>;
 
   /// `factory` builds one instance of the workload's program (fresh per
-  /// repetition).
+  /// repetition). Runs on the paper's machine.
   GuestPerfExperiment(ProgramFactory factory, RunnerConfig runner = {});
+
+  /// Same, but every repetition's testbed (machine, scheduler quantum,
+  /// host OS flavour) is built from `scenario`.
+  GuestPerfExperiment(ProgramFactory factory,
+                      const scenario::Scenario& scenario,
+                      RunnerConfig runner);
 
   /// Native execution times on the simulated machine (no VMM layer).
   /// Computed once and cached; thread-safe. The cross-testbed scheduler in
@@ -53,6 +61,9 @@ class GuestPerfExperiment {
 
   ProgramFactory factory_;
   RunnerConfig runner_config_;
+  hw::MachineConfig machine_ = paper_machine_config();
+  os::SchedulerConfig scheduler_config_{};
+  HostOs host_os_ = HostOs::kWindowsXp;
   std::mutex native_mutex_;  ///< guards native_cache_ population
   std::optional<stats::Summary> native_cache_;
 };

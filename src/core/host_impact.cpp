@@ -18,13 +18,13 @@ namespace {
 /// Attach a VM pegged by a continuous Einstein workload to the testbed.
 std::unique_ptr<vmm::VirtualMachine> attach_pegged_vm(
     Testbed& testbed, const vmm::VmmProfile& profile,
-    os::PriorityClass priority) {
+    os::PriorityClass priority,
+    const workloads::einstein::EinsteinConfig& einstein_config) {
   vmm::VmConfig config;
   config.name = profile.name;
   config.priority = priority;
   auto vm = std::make_unique<vmm::VirtualMachine>(testbed.scheduler(),
                                                   profile, config);
-  workloads::einstein::EinsteinConfig einstein_config;
   vm->run_guest("einstein",
                 std::make_unique<workloads::einstein::EinsteinProgram>(
                     einstein_config, /*continuous=*/true));
@@ -33,16 +33,36 @@ std::unique_ptr<vmm::VirtualMachine> attach_pegged_vm(
 
 }  // namespace
 
+HostImpactConfig host_impact_config(const scenario::Scenario& scenario,
+                                    os::PriorityClass vm_priority,
+                                    RunnerConfig runner) {
+  HostImpactConfig config;
+  config.vm_priority = vm_priority;
+  config.runner = runner;
+  config.machine = scenario.machine;
+  config.host_os = scenario.host_os;
+  config.scheduler = scenario.scheduler;
+  config.vm_count = scenario.sweep.vm_count;
+  config.einstein.samples =
+      static_cast<std::size_t>(scenario.workloads.einstein_samples);
+  config.einstein.template_count =
+      static_cast<std::size_t>(scenario.workloads.einstein_templates);
+  return config;
+}
+
 HostImpactExperiment::HostImpactExperiment(HostImpactConfig config)
     : config_(config) {}
 
 double HostImpactExperiment::nbench_run_seconds(
     workloads::nbench::Index index, const vmm::VmmProfile* profile,
     double scale) {
-  Testbed testbed(config_.machine, {}, config_.host_os);
-  std::unique_ptr<vmm::VirtualMachine> vm;
+  Testbed testbed(config_.machine, config_.scheduler, config_.host_os);
+  std::vector<std::unique_ptr<vmm::VirtualMachine>> vms;
   if (profile != nullptr) {
-    vm = attach_pegged_vm(testbed, *profile, config_.vm_priority);
+    for (int i = 0; i < config_.vm_count; ++i) {
+      vms.push_back(attach_pegged_vm(testbed, *profile, config_.vm_priority,
+                                     config_.einstein));
+    }
   }
   workloads::nbench::NBenchIndexWorkload workload(index);
   auto program = std::make_unique<ScaledProgram>(workload.make_program(),
@@ -73,12 +93,12 @@ SevenZipHostMetrics HostImpactExperiment::run_7z(
     int threads, const vmm::VmmProfile* profile, int vm_count) {
   if (threads < 1) throw util::ConfigError("run_7z: threads >= 1");
   if (vm_count < 1) throw util::ConfigError("run_7z: vm_count >= 1");
-  Testbed testbed(config_.machine, {}, config_.host_os);
+  Testbed testbed(config_.machine, config_.scheduler, config_.host_os);
   std::vector<std::unique_ptr<vmm::VirtualMachine>> vms;
   if (profile != nullptr) {
     for (int i = 0; i < vm_count; ++i) {
-      vms.push_back(
-          attach_pegged_vm(testbed, *profile, config_.vm_priority));
+      vms.push_back(attach_pegged_vm(testbed, *profile, config_.vm_priority,
+                                     config_.einstein));
     }
   }
 

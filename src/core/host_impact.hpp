@@ -15,7 +15,9 @@
 #include "core/runner.hpp"
 #include "core/testbed.hpp"
 #include "os/thread.hpp"
+#include "scenario/scenario.hpp"
 #include "vmm/profile.hpp"
+#include "workloads/einstein/worker.hpp"
 #include "workloads/nbench/suite.hpp"
 
 namespace vgrid::core {
@@ -29,7 +31,21 @@ struct HostImpactConfig {
   hw::MachineConfig machine = paper_machine_config();
   /// Host OS flavour: the paper's XP or the Linux-CFS extension.
   HostOs host_os = HostOs::kWindowsXp;
+  /// Scheduler parameters (quantum) for the host OS.
+  os::SchedulerConfig scheduler{};
+  /// Pegged VMs stacked during the NBench runs (scenario sweep.vm_count);
+  /// the 7z figures pass their count to run_7z explicitly.
+  int vm_count = 1;
+  /// The guest workload pegging each VM.
+  workloads::einstein::EinsteinConfig einstein{};
 };
+
+/// Build a HostImpactConfig from a scenario: machine, OS flavour,
+/// scheduler quantum, VM count and Einstein budgets all come from the
+/// scenario; `vm_priority` and `runner` stay per-experiment inputs.
+HostImpactConfig host_impact_config(const scenario::Scenario& scenario,
+                                    os::PriorityClass vm_priority,
+                                    RunnerConfig runner);
 
 /// Result of one 7z-on-host measurement (Figures 7 and 8).
 struct SevenZipHostMetrics {
@@ -55,7 +71,8 @@ class HostImpactExperiment {
   /// 7z benchmark on the host with `threads` threads; `profile` null = the
   /// paper's "no VM" control. `vm_count` stacks several pegged VMs of the
   /// same profile (Csaba et al., cited in §5, run one instance per core) —
-  /// each commits its own 300 MB and adds its own service load.
+  /// each commits its own 300 MB and adds its own service load. The
+  /// figures pass their scenario's sweep.vm_count here.
   SevenZipHostMetrics run_7z(int threads, const vmm::VmmProfile* profile,
                              int vm_count = 1);
 

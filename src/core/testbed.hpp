@@ -1,26 +1,28 @@
 #pragma once
 // The simulated testbed: one physical machine + host OS scheduler wired to
-// a fresh simulator. The default configuration reproduces the paper's
-// machine — Core 2 Duo 6600 @ 2.40 GHz, 1 GB DDR2, Windows XP SP2 host —
-// and every experiment builds a fresh Testbed so runs are independent.
+// a fresh simulator. The default configuration is the embedded `paper`
+// scenario (src/scenario/builtins.cpp) — the single source of truth for
+// the paper's hardware; run `vgrid scenarios --show paper` for the exact
+// values — and every experiment builds a fresh Testbed so runs are
+// independent.
 
 #include <memory>
 
 #include "hw/machine.hpp"
+#include "os/host_os.hpp"
 #include "os/scheduler.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
 namespace vgrid::core {
 
-/// The paper's hardware (§4).
+/// The paper's hardware (§4): scenario::paper().machine.
 hw::MachineConfig paper_machine_config();
 
-/// Host OS flavour: the paper's Windows XP (strict priorities) or the
-/// Linux-CFS extension (weighted fair).
-enum class HostOs { kWindowsXp, kLinuxCfs };
-
-const char* to_string(HostOs host_os) noexcept;
+/// Host OS flavour (paper's Windows XP vs the Linux-CFS extension) —
+/// defined in the os layer, re-exported here for the experiment code.
+using HostOs = os::HostOs;
 
 /// Determinism-audit hook: while `sink` is non-null, every Testbed built
 /// on the *calling thread* enables its tracer at construction and appends
@@ -43,6 +45,8 @@ class Testbed {
   explicit Testbed(hw::MachineConfig machine_config = paper_machine_config(),
                    os::SchedulerConfig scheduler_config = {},
                    HostOs host_os = HostOs::kWindowsXp);
+  /// Build the machine, scheduler config and OS flavour from a scenario.
+  explicit Testbed(const scenario::Scenario& scenario);
   ~Testbed();
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;

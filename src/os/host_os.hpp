@@ -1,0 +1,20 @@
+#pragma once
+// Host OS flavour: the paper's Windows XP host (strict priority classes,
+// os::PriorityScheduler) or the Linux-CFS extension (weighted fair,
+// os::FairScheduler). The flavour is part of a scenario's identity, so it
+// lives here in the os layer where both schedulers are defined;
+// core::Testbed picks the scheduler implementation from it.
+
+namespace vgrid::os {
+
+enum class HostOs { kWindowsXp, kLinuxCfs };
+
+constexpr const char* to_string(HostOs host_os) noexcept {
+  switch (host_os) {
+    case HostOs::kWindowsXp: return "windows-xp";
+    case HostOs::kLinuxCfs: return "linux-cfs";
+  }
+  return "?";
+}
+
+}  // namespace vgrid::os

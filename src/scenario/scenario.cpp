@@ -1,0 +1,675 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace vgrid::scenario {
+
+namespace {
+
+// ---- small helpers ----------------------------------------------------------
+
+std::optional<os::HostOs> host_os_from(const std::string& text) {
+  if (text == "windows-xp" || text == "xp" || text == "windows") {
+    return os::HostOs::kWindowsXp;
+  }
+  if (text == "linux-cfs" || text == "linux" || text == "cfs") {
+    return os::HostOs::kLinuxCfs;
+  }
+  return std::nullopt;
+}
+
+std::optional<os::PriorityClass> priority_from(const std::string& text) {
+  if (text == "idle") return os::PriorityClass::kIdle;
+  if (text == "normal") return os::PriorityClass::kNormal;
+  if (text == "high") return os::PriorityClass::kHigh;
+  return std::nullopt;
+}
+
+/// Shortest decimal form that strtod parses back to exactly `value` —
+/// the serialization half of the byte-exact round-trip contract (strtod
+/// is correctly rounded, so "2.4" -> the double nearest 2.4 -> "2.4").
+std::string fmt_double(double value) {
+  if (!std::isfinite(value)) {
+    throw util::ConfigError("scenario: cannot serialize non-finite value");
+  }
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    return util::format("%.0f", value);
+  }
+  for (int precision = 1; precision <= 17; ++precision) {
+    const std::string candidate = util::format("%.*g", precision, value);
+    if (std::strtod(candidate.c_str(), nullptr) == value) return candidate;
+  }
+  return util::format("%.17g", value);
+}
+
+bool valid_name(const std::string& name) {
+  return !name.empty() &&
+         name.find_first_not_of(
+             "abcdefghijklmnopqrstuvwxyz0123456789_-") == std::string::npos;
+}
+
+// ---- parser -----------------------------------------------------------------
+
+/// One pass over the text with strict per-key validation. Every failure
+/// throws util::ConfigError with a "<source>:<line>:" prefix.
+class Parser {
+ public:
+  Parser(const std::string& text, const std::string& source)
+      : text_(text), source_(source) {}
+
+  Scenario run() {
+    std::istringstream stream(text_);
+    std::string raw;
+    while (std::getline(stream, raw)) {
+      ++line_;
+      if (!raw.empty() && raw.back() == '\r') raw.pop_back();
+      const std::string line = strip_comment(raw);
+      if (line.empty()) continue;
+      if (line.front() == '[') {
+        enter_section(line);
+      } else {
+        handle_key_value(line);
+      }
+    }
+    finalize();
+    return scenario_;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw util::ConfigError(source_ + ":" + std::to_string(line_) + ": " +
+                            message);
+  }
+
+  static std::string strip_comment(const std::string& line) {
+    const auto hash = line.find('#');
+    const std::string body =
+        hash == std::string::npos ? line : line.substr(0, hash);
+    return std::string(util::trim(body));
+  }
+
+  void enter_section(const std::string& line) {
+    if (line.back() != ']') {
+      fail("unterminated section header '" + line + "'");
+    }
+    const std::string header(util::trim(line.substr(1, line.size() - 2)));
+    if (!seen_sections_.insert(header).second) {
+      fail("duplicate section [" + header + "]");
+    }
+    section_ = header;
+    if (util::starts_with(header, "profile ")) {
+      const std::string name(util::trim(header.substr(8)));
+      if (!valid_name(name)) {
+        fail("invalid profile name '" + name +
+             "' (use lowercase letters, digits, '-', '_')");
+      }
+      profile_ = &user_profiles_[name];
+      profile_->profile.name = name;
+      profile_order_.push_back(name);
+      return;
+    }
+    profile_ = nullptr;
+    static const std::set<std::string> kSections = {
+        "scenario", "machine", "os", "vmm", "workloads", "sweep"};
+    if (kSections.count(header) == 0) {
+      fail("unknown section [" + header +
+           "]; use [scenario], [machine], [os], [vmm], [workloads], "
+           "[sweep] or [profile NAME]");
+    }
+  }
+
+  void handle_key_value(const std::string& line) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      fail("expected 'key = value' or '[section]', got '" + line + "'");
+    }
+    const std::string key(util::trim(line.substr(0, eq)));
+    const std::string value(util::trim(line.substr(eq + 1)));
+    if (key.empty()) fail("missing key before '='");
+    if (section_.empty()) {
+      fail("key '" + key + "' before any [section] header");
+    }
+    if (!seen_keys_.insert(section_ + "\n" + key).second) {
+      fail("duplicate key '" + key + "' in [" + section_ + "]");
+    }
+    if (profile_ != nullptr) {
+      profile_key(key, value);
+    } else if (section_ == "scenario") {
+      scenario_key(key, value);
+    } else if (section_ == "machine") {
+      machine_key(key, value);
+    } else if (section_ == "os") {
+      os_key(key, value);
+    } else if (section_ == "vmm") {
+      vmm_key(key, value);
+    } else if (section_ == "workloads") {
+      workloads_key(key, value);
+    } else {
+      sweep_key(key, value);
+    }
+  }
+
+  [[noreturn]] void unknown_key(const std::string& key) const {
+    fail("unknown key '" + key + "' in [" + section_ + "]");
+  }
+
+  double to_double(const std::string& key, const std::string& value,
+                   double lo, double hi) const {
+    if (value.empty()) fail(key + ": empty value");
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end != value.c_str() + value.size() || errno == ERANGE ||
+        !std::isfinite(parsed)) {
+      fail(key + ": '" + value + "' is not a finite number");
+    }
+    if (parsed < lo || parsed > hi) {
+      fail(key + ": " + value + " out of range [" + fmt_double(lo) + ", " +
+           fmt_double(hi) + "]");
+    }
+    return parsed;
+  }
+
+  std::uint64_t to_u64(const std::string& key, const std::string& value,
+                       std::uint64_t lo, std::uint64_t hi) const {
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+      fail(key + ": '" + value + "' is not an unsigned integer");
+    }
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(value.c_str(), nullptr, 10);
+    if (errno == ERANGE || parsed < lo || parsed > hi) {
+      fail(key + ": " + value + " out of range [" + std::to_string(lo) +
+           ", " + std::to_string(hi) + "]");
+    }
+    return static_cast<std::uint64_t>(parsed);
+  }
+
+  std::vector<std::string> to_list(const std::string& key,
+                                   const std::string& value) const {
+    std::vector<std::string> items;
+    for (const std::string& item : util::split(value, ' ')) {
+      if (!item.empty()) items.push_back(item);
+    }
+    if (items.empty()) fail(key + ": empty list");
+    return items;
+  }
+
+  std::vector<std::uint64_t> to_u64_list(const std::string& key,
+                                         const std::string& value,
+                                         std::uint64_t lo,
+                                         std::uint64_t hi) const {
+    std::vector<std::uint64_t> items;
+    for (const std::string& item : to_list(key, value)) {
+      items.push_back(to_u64(key, item, lo, hi));
+    }
+    return items;
+  }
+
+  void scenario_key(const std::string& key, const std::string& value) {
+    if (key == "name") {
+      if (!valid_name(value)) {
+        fail("name: '" + value +
+             "' (use lowercase letters, digits, '-', '_')");
+      }
+      scenario_.name = value;
+      have_name_ = true;
+      return;
+    }
+    unknown_key(key);
+  }
+
+  void machine_key(const std::string& key, const std::string& value) {
+    hw::MachineConfig& machine = scenario_.machine;
+    if (key == "cores") {
+      machine.chip.cores = static_cast<int>(to_u64(key, value, 1, 256));
+    } else if (key == "frequency_ghz") {
+      machine.chip.frequency_hz = to_double(key, value, 0.01, 100.0) * 1e9;
+    } else if (key == "ipc_user_int") {
+      machine.chip.ipc_user_int = to_double(key, value, 0.01, 64.0);
+    } else if (key == "ipc_user_fp") {
+      machine.chip.ipc_user_fp = to_double(key, value, 0.01, 64.0);
+    } else if (key == "ipc_memory") {
+      machine.chip.ipc_memory = to_double(key, value, 0.01, 64.0);
+    } else if (key == "ipc_kernel") {
+      machine.chip.ipc_kernel = to_double(key, value, 0.01, 64.0);
+    } else if (key == "interference_cap") {
+      machine.chip.interference_cap = to_double(key, value, 0.0, 1.0);
+    } else if (key == "ram_mib") {
+      machine.ram_bytes = to_u64(key, value, 16, 16 * 1024 * 1024) * util::MiB;
+    } else if (key == "disk_read_mbps") {
+      machine.disk.sustained_read_bps =
+          to_double(key, value, 0.1, 100000.0) * 1e6;
+    } else if (key == "disk_write_mbps") {
+      machine.disk.sustained_write_bps =
+          to_double(key, value, 0.1, 100000.0) * 1e6;
+    } else {
+      unknown_key(key);
+    }
+  }
+
+  void os_key(const std::string& key, const std::string& value) {
+    if (key == "flavour") {
+      const auto parsed = host_os_from(value);
+      if (!parsed) {
+        fail("flavour: unknown host OS '" + value +
+             "'; use windows-xp or linux-cfs");
+      }
+      scenario_.host_os = *parsed;
+    } else if (key == "quantum_ms") {
+      scenario_.scheduler.quantum =
+          sim::from_millis(to_double(key, value, 0.1, 1000.0));
+    } else {
+      unknown_key(key);
+    }
+  }
+
+  void vmm_key(const std::string& key, const std::string& value) {
+    if (key == "profiles") {
+      profile_refs_ = to_list(key, value);
+      return;
+    }
+    unknown_key(key);
+  }
+
+  void workloads_key(const std::string& key, const std::string& value) {
+    Workloads& workloads = scenario_.workloads;
+    if (key == "sevenzip_bytes") {
+      workloads.sevenzip_bytes = to_u64(key, value, 1024, util::GiB);
+    } else if (key == "matrix_sizes") {
+      workloads.matrix_sizes = to_u64_list(key, value, 16, 8192);
+    } else if (key == "iobench_file_bytes") {
+      workloads.iobench_file_bytes = to_u64_list(key, value, 4096, util::GiB);
+      if (!std::is_sorted(workloads.iobench_file_bytes.begin(),
+                          workloads.iobench_file_bytes.end())) {
+        fail(key + ": sizes must be nondecreasing (fig3 sweeps the "
+             "[first, last] range)");
+      }
+    } else if (key == "net_stream_bytes") {
+      workloads.net_stream_bytes =
+          to_u64(key, value, 100 * 1000, 10ull * 1000 * 1000 * 1000);
+    } else if (key == "einstein_samples") {
+      workloads.einstein_samples = to_u64(key, value, 256, 1ull << 20);
+      if ((workloads.einstein_samples &
+           (workloads.einstein_samples - 1)) != 0) {
+        fail(key + ": " + value + " is not a power of two");
+      }
+    } else if (key == "einstein_templates") {
+      workloads.einstein_templates = to_u64(key, value, 1, 4096);
+    } else {
+      unknown_key(key);
+    }
+  }
+
+  void sweep_key(const std::string& key, const std::string& value) {
+    Sweep& sweep = scenario_.sweep;
+    if (key == "repetitions") {
+      sweep.repetitions = static_cast<int>(to_u64(key, value, 1, 100000));
+    } else if (key == "input_jitter") {
+      sweep.input_jitter = to_double(key, value, 0.0, 0.5);
+    } else if (key == "vm_count") {
+      sweep.vm_count = static_cast<int>(to_u64(key, value, 1, 64));
+    } else if (key == "vm_priorities") {
+      sweep.vm_priorities.clear();
+      for (const std::string& item : to_list(key, value)) {
+        const auto priority = priority_from(item);
+        if (!priority) {
+          fail(key + ": unknown priority '" + item +
+               "'; use idle, normal or high");
+        }
+        sweep.vm_priorities.push_back(*priority);
+      }
+    } else if (key == "sevenzip_threads") {
+      sweep.sevenzip_threads.clear();
+      for (const std::uint64_t threads : to_u64_list(key, value, 1, 64)) {
+        sweep.sevenzip_threads.push_back(static_cast<int>(threads));
+      }
+    } else {
+      unknown_key(key);
+    }
+  }
+
+  void profile_key(const std::string& key, const std::string& value) {
+    vmm::VmmProfile& profile = profile_->profile;
+    if (key == "user_int") {
+      profile.exec.user_int = to_double(key, value, 0.01, 1000.0);
+    } else if (key == "user_fp") {
+      profile.exec.user_fp = to_double(key, value, 0.01, 1000.0);
+    } else if (key == "memory") {
+      profile.exec.memory = to_double(key, value, 0.01, 1000.0);
+    } else if (key == "kernel") {
+      profile.exec.kernel = to_double(key, value, 0.01, 1000.0);
+    } else if (key == "disk_path_multiplier") {
+      profile.disk.path_multiplier = to_double(key, value, 1.0, 1000.0);
+    } else if (key == "disk_per_request_us") {
+      profile.disk.per_request_us = to_double(key, value, 0.0, 100000.0);
+    } else if (key == "bridged_cap_mbps") {
+      bridged(profile).cap_mbps = to_double(key, value, 0.001, 100000.0);
+    } else if (key == "bridged_per_transfer_us") {
+      bridged(profile).per_transfer_us = to_double(key, value, 0.0, 1e6);
+    } else if (key == "nat_cap_mbps") {
+      nat(profile).cap_mbps = to_double(key, value, 0.001, 100000.0);
+    } else if (key == "nat_per_transfer_us") {
+      nat(profile).per_transfer_us = to_double(key, value, 0.0, 1e6);
+    } else if (key == "service_demand_cores") {
+      profile.host.service_demand_cores = to_double(key, value, 0.0, 256.0);
+    } else if (key == "uniform_demand_cores") {
+      profile.host.uniform_demand_cores = to_double(key, value, 0.0, 256.0);
+    } else if (key == "ram_mib") {
+      profile.default_ram_bytes =
+          to_u64(key, value, 16, 1024 * 1024) * util::MiB;
+    } else {
+      unknown_key(key);
+    }
+  }
+
+  static vmm::NetModel& bridged(vmm::VmmProfile& profile) {
+    if (!profile.bridged) profile.bridged = vmm::NetModel{};
+    return *profile.bridged;
+  }
+  static vmm::NetModel& nat(vmm::VmmProfile& profile) {
+    if (!profile.nat) profile.nat = vmm::NetModel{};
+    return *profile.nat;
+  }
+
+  void finalize() {
+    // Cross-field validation reports at the end of the file — every
+    // per-line problem was already thrown with its own line number.
+    static const char* const kRequired[] = {"scenario", "machine",  "os",
+                                            "vmm",      "workloads", "sweep"};
+    for (const char* section : kRequired) {
+      if (seen_sections_.count(section) == 0) {
+        fail(std::string("missing required section [") + section + "]");
+      }
+    }
+    if (!have_name_) fail("missing required key 'name' in [scenario]");
+    if (profile_refs_.empty()) {
+      fail("[vmm] must list at least one profile (profiles = name ...)");
+    }
+
+    std::set<std::string> listed;
+    for (const std::string& ref : profile_refs_) {
+      const auto user = user_profiles_.find(ref);
+      if (user != user_profiles_.end()) {
+        user->second.referenced = true;
+        validate_user_profile(user->second.profile);
+        scenario_.profiles.push_back(user->second.profile);
+      } else {
+        const auto builtin = vmm::profiles::by_name(ref);
+        if (!builtin) {
+          fail("profiles: unknown profile '" + ref +
+               "'; built-ins are vmplayer, virtualbox, virtualpc, qemu, "
+               "paravirt — or add a [profile " + ref + "] section");
+        }
+        scenario_.profiles.push_back(*builtin);
+      }
+      if (!listed.insert(scenario_.profiles.back().name).second) {
+        fail("profiles: '" + scenario_.profiles.back().name +
+             "' listed twice");
+      }
+    }
+    for (const std::string& name : profile_order_) {
+      if (!user_profiles_[name].referenced) {
+        fail("[profile " + name +
+             "] is defined but not listed in [vmm] profiles");
+      }
+    }
+
+    std::uint64_t max_vm_ram = 0;
+    for (const vmm::VmmProfile& profile : scenario_.profiles) {
+      max_vm_ram = std::max(max_vm_ram, profile.default_ram_bytes);
+    }
+    const std::uint64_t committed =
+        max_vm_ram * static_cast<std::uint64_t>(scenario_.sweep.vm_count);
+    if (committed > scenario_.machine.ram_bytes) {
+      fail(util::format(
+          "%d VM(s) of %s guest RAM exceed the machine's %s",
+          scenario_.sweep.vm_count, util::human_bytes(max_vm_ram).c_str(),
+          util::human_bytes(scenario_.machine.ram_bytes).c_str()));
+    }
+  }
+
+  void validate_user_profile(const vmm::VmmProfile& profile) const {
+    if (!profile.bridged && !profile.nat) {
+      fail("[profile " + profile.name +
+           "] must define a bridged_* or nat_* network model");
+    }
+    if (profile.bridged && profile.bridged->cap_mbps <= 0.0) {
+      fail("[profile " + profile.name +
+           "] bridged_cap_mbps required when bridged_* keys are present");
+    }
+    if (profile.nat && profile.nat->cap_mbps <= 0.0) {
+      fail("[profile " + profile.name +
+           "] nat_cap_mbps required when nat_* keys are present");
+    }
+  }
+
+  struct UserProfile {
+    vmm::VmmProfile profile{};
+    bool referenced = false;
+  };
+
+  const std::string& text_;
+  const std::string& source_;
+  int line_ = 0;
+  std::string section_;
+  UserProfile* profile_ = nullptr;  // non-null inside a [profile] section
+  std::set<std::string> seen_sections_;
+  std::set<std::string> seen_keys_;
+  std::map<std::string, UserProfile> user_profiles_;
+  std::vector<std::string> profile_order_;
+  std::vector<std::string> profile_refs_;
+  bool have_name_ = false;
+  Scenario scenario_{.profiles = {}};
+};
+
+void append_kv(std::string& out, const char* key, const std::string& value) {
+  out += key;
+  out += " = ";
+  out += value;
+  out += '\n';
+}
+
+std::string join_u64(const std::vector<std::uint64_t>& values) {
+  std::string out;
+  for (const std::uint64_t value : values) {
+    if (!out.empty()) out += ' ';
+    out += std::to_string(value);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- serialization ----------------------------------------------------------
+
+std::string Scenario::canonical_text() const {
+  std::string out;
+  out += "# scenario '" + name + "' — canonical form (vgrid scenario v1)\n";
+  out += "[scenario]\n";
+  append_kv(out, "name", name);
+
+  out += "\n[machine]\n";
+  append_kv(out, "cores", std::to_string(machine.chip.cores));
+  append_kv(out, "disk_read_mbps",
+            fmt_double(machine.disk.sustained_read_bps / 1e6));
+  append_kv(out, "disk_write_mbps",
+            fmt_double(machine.disk.sustained_write_bps / 1e6));
+  append_kv(out, "frequency_ghz", fmt_double(machine.chip.frequency_hz / 1e9));
+  append_kv(out, "interference_cap", fmt_double(machine.chip.interference_cap));
+  append_kv(out, "ipc_kernel", fmt_double(machine.chip.ipc_kernel));
+  append_kv(out, "ipc_memory", fmt_double(machine.chip.ipc_memory));
+  append_kv(out, "ipc_user_fp", fmt_double(machine.chip.ipc_user_fp));
+  append_kv(out, "ipc_user_int", fmt_double(machine.chip.ipc_user_int));
+  append_kv(out, "ram_mib", std::to_string(machine.ram_bytes / util::MiB));
+
+  out += "\n[os]\n";
+  append_kv(out, "flavour", os::to_string(host_os));
+  append_kv(out, "quantum_ms",
+            fmt_double(static_cast<double>(scheduler.quantum) / 1e6));
+
+  std::vector<const vmm::VmmProfile*> sorted;
+  sorted.reserve(profiles.size());
+  for (const vmm::VmmProfile& profile : profiles) sorted.push_back(&profile);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const vmm::VmmProfile* a, const vmm::VmmProfile* b) {
+              return a->name < b->name;
+            });
+  for (const vmm::VmmProfile* profile : sorted) {
+    out += "\n[profile " + profile->name + "]\n";
+    if (profile->bridged) {
+      append_kv(out, "bridged_cap_mbps", fmt_double(profile->bridged->cap_mbps));
+      append_kv(out, "bridged_per_transfer_us",
+                fmt_double(profile->bridged->per_transfer_us));
+    }
+    append_kv(out, "disk_path_multiplier",
+              fmt_double(profile->disk.path_multiplier));
+    append_kv(out, "disk_per_request_us",
+              fmt_double(profile->disk.per_request_us));
+    append_kv(out, "kernel", fmt_double(profile->exec.kernel));
+    append_kv(out, "memory", fmt_double(profile->exec.memory));
+    if (profile->nat) {
+      append_kv(out, "nat_cap_mbps", fmt_double(profile->nat->cap_mbps));
+      append_kv(out, "nat_per_transfer_us",
+                fmt_double(profile->nat->per_transfer_us));
+    }
+    append_kv(out, "ram_mib",
+              std::to_string(profile->default_ram_bytes / util::MiB));
+    append_kv(out, "service_demand_cores",
+              fmt_double(profile->host.service_demand_cores));
+    append_kv(out, "uniform_demand_cores",
+              fmt_double(profile->host.uniform_demand_cores));
+    append_kv(out, "user_fp", fmt_double(profile->exec.user_fp));
+    append_kv(out, "user_int", fmt_double(profile->exec.user_int));
+  }
+
+  out += "\n[sweep]\n";
+  append_kv(out, "input_jitter", fmt_double(sweep.input_jitter));
+  append_kv(out, "repetitions", std::to_string(sweep.repetitions));
+  {
+    std::string threads;
+    for (const int count : sweep.sevenzip_threads) {
+      if (!threads.empty()) threads += ' ';
+      threads += std::to_string(count);
+    }
+    append_kv(out, "sevenzip_threads", threads);
+  }
+  append_kv(out, "vm_count", std::to_string(sweep.vm_count));
+  {
+    std::string priorities;
+    for (const os::PriorityClass priority : sweep.vm_priorities) {
+      if (!priorities.empty()) priorities += ' ';
+      priorities += os::to_string(priority);
+    }
+    append_kv(out, "vm_priorities", priorities);
+  }
+
+  out += "\n[vmm]\n";
+  {
+    std::string refs;
+    for (const vmm::VmmProfile& profile : profiles) {
+      if (!refs.empty()) refs += ' ';
+      refs += profile.name;
+    }
+    append_kv(out, "profiles", refs);
+  }
+
+  out += "\n[workloads]\n";
+  append_kv(out, "einstein_samples",
+            std::to_string(workloads.einstein_samples));
+  append_kv(out, "einstein_templates",
+            std::to_string(workloads.einstein_templates));
+  append_kv(out, "iobench_file_bytes", join_u64(workloads.iobench_file_bytes));
+  append_kv(out, "matrix_sizes", join_u64(workloads.matrix_sizes));
+  append_kv(out, "net_stream_bytes",
+            std::to_string(workloads.net_stream_bytes));
+  append_kv(out, "sevenzip_bytes", std::to_string(workloads.sevenzip_bytes));
+  return out;
+}
+
+std::uint64_t Scenario::content_hash() const {
+  // FNV-1a 64 over the canonical serialization: stable across platforms
+  // because the text itself is deterministic.
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : canonical_text()) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string Scenario::hash_hex() const {
+  return util::format("%016llx",
+                      static_cast<unsigned long long>(content_hash()));
+}
+
+const vmm::VmmProfile* Scenario::profile_by_name(
+    const std::string& profile_name) const noexcept {
+  for (const vmm::VmmProfile& profile : profiles) {
+    if (profile.name == profile_name) return &profile;
+  }
+  return nullptr;
+}
+
+// ---- entry points -----------------------------------------------------------
+
+Scenario parse(const std::string& text, const std::string& source_name) {
+  return Parser(text, source_name).run();
+}
+
+Scenario load(const std::string& name_or_path) {
+  if (const char* text = builtin_text(name_or_path)) {
+    return parse(text, name_or_path);
+  }
+  std::ifstream in(name_or_path, std::ios::binary);
+  if (!in) {
+    std::string known;
+    for (const std::string& builtin : builtin_names()) {
+      if (!known.empty()) known += ", ";
+      known += builtin;
+    }
+    throw util::ConfigError("scenario '" + name_or_path +
+                            "': not a built-in (" + known +
+                            ") and not a readable file");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str(), name_or_path);
+}
+
+const Scenario& paper() {
+  static const Scenario cached = load("paper");
+  return cached;
+}
+
+os::HostOs parse_host_os(const std::string& text) {
+  const auto parsed = host_os_from(text);
+  if (!parsed) {
+    throw util::ConfigError("unknown host OS '" + text +
+                            "'; use windows-xp or linux-cfs");
+  }
+  return *parsed;
+}
+
+os::PriorityClass parse_priority(const std::string& text) {
+  const auto parsed = priority_from(text);
+  if (!parsed) {
+    throw util::ConfigError("unknown priority '" + text +
+                            "'; use idle, normal or high");
+  }
+  return *parsed;
+}
+
+}  // namespace vgrid::scenario

@@ -1,0 +1,135 @@
+#pragma once
+// vgrid::scenario — declarative, validated testbed configurations.
+//
+// A Scenario bundles everything an experiment needs to know about the
+// world it runs in: the machine topology (cores, clock, IPC table,
+// contention cap, RAM, disk rates), the host OS flavour and scheduler
+// quantum, the hypervisor profile set (built-in calibrated profiles by
+// name, or user-defined class-multiplier profiles), the workload input
+// budgets, and the per-figure sweep parameters (repetitions, jitter, VM
+// count, priorities, 7z thread counts). Figures, benches and the vgrid
+// CLI build their testbeds *from* a Scenario instead of compile-time
+// constants; the paper's testbed is the embedded `paper` scenario and
+// stays the default everywhere.
+//
+// The text format is a strict, comment-friendly INI dialect:
+//
+//   # comment
+//   [scenario]
+//   name = quadcore
+//   [machine]
+//   cores = 4
+//   frequency_ghz = 2.66
+//   ...
+//
+// Parsing is strict by design: an unknown section or key, an out-of-range
+// value, a duplicate, or a missing required section is a
+// util::ConfigError carrying a precise "<source>:<line>:" prefix — never
+// UB, never a silent default. canonical_text() serializes a Scenario
+// deterministically (fixed section order, sorted keys, shortest
+// round-trip doubles, profiles expanded to full [profile] sections), and
+// content_hash() is the FNV-1a 64 of that text — the identity recorded in
+// run reports and as an obs metrics label so snapshots from different
+// scenarios can never be confused. parse(canonical_text()) round-trips
+// byte-for-byte (enforced by tests/test_scenario.cpp).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "os/host_os.hpp"
+#include "os/scheduler.hpp"
+#include "os/thread.hpp"
+#include "vmm/profile.hpp"
+
+namespace vgrid::scenario {
+
+/// Workload input budgets. Defaults are the paper's: the 4 MB 7z corpus,
+/// the 512/1024 Matrix sizes, the 128 KB - 32 MB IOBench file range, the
+/// 10 MB NetBench stream and the Einstein@home search dimensions.
+struct Workloads {
+  std::uint64_t sevenzip_bytes = 4 * 1024 * 1024;
+  std::vector<std::uint64_t> matrix_sizes = {512, 1024};
+  /// IOBench file sizes: fig3 sweeps the [front, back] range, the
+  /// by-size detail runs each size separately.
+  std::vector<std::uint64_t> iobench_file_bytes = {
+      128 * 1024, 2 * 1024 * 1024, 32 * 1024 * 1024};
+  std::uint64_t net_stream_bytes = 10 * 1000 * 1000;
+  std::uint64_t einstein_samples = 16384;
+  std::uint64_t einstein_templates = 96;
+};
+
+/// Per-figure sweep parameters. Defaults are the paper's methodology: 50
+/// repetitions with ~1% input variation, one pegged VM, the Normal and
+/// Idle host-priority settings, and 1-/2-threaded host 7z.
+struct Sweep {
+  int repetitions = 50;
+  double input_jitter = 0.01;
+  /// Pegged VMs stacked in the host-impact experiments (Figs 5-8). The
+  /// `dual-vm` built-in raises this to 2 for a harder intrusiveness sweep.
+  int vm_count = 1;
+  std::vector<os::PriorityClass> vm_priorities = {os::PriorityClass::kNormal,
+                                                  os::PriorityClass::kIdle};
+  /// Host 7z thread counts for Figure 7; Figure 8 uses the last entry.
+  std::vector<int> sevenzip_threads = {1, 2};
+};
+
+struct Scenario {
+  std::string name = "paper";
+  hw::MachineConfig machine{};
+  os::HostOs host_os = os::HostOs::kWindowsXp;
+  os::SchedulerConfig scheduler{};
+  /// The hypervisor environments this scenario sweeps, in scenario order
+  /// (figures reorder per-figure to match the paper's bar order where the
+  /// paper reports one). Never empty after parse()/load().
+  std::vector<vmm::VmmProfile> profiles;
+  Workloads workloads{};
+  Sweep sweep{};
+
+  /// Deterministic serialization: fixed section order, sorted keys,
+  /// shortest round-trip doubles, every profile expanded to a full
+  /// [profile] section. parse(canonical_text()) reproduces this Scenario.
+  std::string canonical_text() const;
+
+  /// FNV-1a 64 of canonical_text() — the scenario's content identity.
+  std::uint64_t content_hash() const;
+
+  /// content_hash() as 16 lowercase hex digits.
+  std::string hash_hex() const;
+
+  /// Profile by exact name, or nullptr.
+  const vmm::VmmProfile* profile_by_name(const std::string& name) const noexcept;
+};
+
+/// Parse scenario text. `source_name` seeds the "<source>:<line>:"
+/// diagnostic prefix. Throws util::ConfigError on any malformed input.
+Scenario parse(const std::string& text, const std::string& source_name);
+
+/// Resolve a built-in scenario by name, else read `name_or_path` as a
+/// file. Throws util::ConfigError when it is neither.
+Scenario load(const std::string& name_or_path);
+
+/// Names of the embedded scenarios: paper, quadcore, bigram, dual-vm.
+const std::vector<std::string>& builtin_names();
+
+/// Source text of a built-in (nullptr when unknown) — what
+/// `vgrid scenarios --show NAME` prints next to the canonical form.
+const char* builtin_text(const std::string& name) noexcept;
+
+/// The embedded default: the paper's testbed (§4) — Core 2 Duo E6600,
+/// 2x2.40 GHz, 1 GB DDR2, Windows XP host, the four calibrated profiles.
+/// Parsed once and cached; core::paper_machine_config() returns its
+/// machine, making this the single source of truth for those constants.
+const Scenario& paper();
+
+/// Strict host-OS spelling shared by every front end ("windows-xp"/"xp"/
+/// "windows" and "linux-cfs"/"linux"/"cfs"). Throws util::ConfigError on
+/// anything else — no silent defaults.
+os::HostOs parse_host_os(const std::string& text);
+
+/// Strict priority-class spelling ("idle"/"normal"/"high"); throws
+/// util::ConfigError on anything else.
+os::PriorityClass parse_priority(const std::string& text);
+
+}  // namespace vgrid::scenario

@@ -298,6 +298,39 @@ TEST(LintLayering, DocumentedEdgesAreAllowed) {
                   .empty());
 }
 
+TEST(LintLayering, ScenarioSpeaksHwOsVmmVocabulary) {
+  // scenario is declarative data over the hw/os/vmm vocabulary, and core
+  // builds testbeds from it — both directions of the documented edge.
+  EXPECT_TRUE(lint::lint_file("src/scenario/scenario.cpp",
+                              "#include \"hw/machine.hpp\"\n"
+                              "#include \"os/scheduler.hpp\"\n"
+                              "#include \"vmm/profile.hpp\"\n"
+                              "#include \"util/error.hpp\"\n")
+                  .empty());
+  EXPECT_TRUE(lint::lint_file("src/core/experiments.cpp",
+                              "#include \"scenario/scenario.hpp\"\n")
+                  .empty());
+  // Front ends may consume scenarios directly.
+  EXPECT_TRUE(lint::lint_file("bench/bench_args.hpp",
+                              "#include \"scenario/scenario.hpp\"\n")
+                  .empty());
+}
+
+TEST(LintLayering, ScenarioMustNotReachUpOrBeReachedFromBelow) {
+  // scenario must not depend on the experiment engine or rendering...
+  EXPECT_EQ(rules_of(lint::lint_file("src/scenario/bad.cpp",
+                                     "#include \"core/experiments.hpp\"\n"
+                                     "#include \"report/table.hpp\"\n")),
+            (std::vector<std::string>{"layer-include", "layer-include"}));
+  // ...and the layers it describes must not know about it.
+  EXPECT_EQ(rules_of(lint::lint_file("src/hw/bad.cpp",
+                                     "#include \"scenario/scenario.hpp\"\n")),
+            (std::vector<std::string>{"layer-include"}));
+  EXPECT_EQ(rules_of(lint::lint_file("src/vmm/bad.cpp",
+                                     "#include \"scenario/scenario.hpp\"\n")),
+            (std::vector<std::string>{"layer-include"}));
+}
+
 // --- observability -----------------------------------------------------------
 
 TEST(LintObservability, FlagsDirectStdioInLibraryCode) {

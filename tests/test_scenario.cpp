@@ -1,0 +1,370 @@
+// Tests for vgrid::scenario — the declarative testbed subsystem.
+//
+// Three families:
+//  - identity: the embedded `paper` scenario IS the paper's testbed
+//    (single source of truth for the constants core used to hardcode);
+//  - round-trip: parse(canonical_text()) is byte-stable for every
+//    built-in, and the content hash separates them;
+//  - rejection: every malformed input is a util::ConfigError with a
+//    precise "<source>:<line>:" diagnostic — never UB, never a silent
+//    default — including deterministic truncation/mutation fuzzing.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/testbed.hpp"
+#include "scenario/scenario.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+#include "vmm/profile.hpp"
+
+namespace vgrid {
+namespace {
+
+// Expect parse() to throw a ConfigError whose message carries the given
+// fragment (and the source:line prefix when `line` > 0).
+void expect_rejected(const std::string& text, const std::string& fragment,
+                     int line = 0) {
+  try {
+    (void)scenario::parse(text, "test.scn");
+    FAIL() << "expected ConfigError containing '" << fragment << "'";
+  } catch (const util::ConfigError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find(fragment), std::string::npos) << what;
+    EXPECT_EQ(what.rfind("test.scn:", 0), 0u) << what;
+    if (line > 0) {
+      EXPECT_NE(what.find("test.scn:" + std::to_string(line) + ":"),
+                std::string::npos)
+          << what;
+    }
+  }
+}
+
+std::string valid_minimal() {
+  return "[scenario]\nname = mini\n"
+         "[machine]\n[os]\n[workloads]\n[sweep]\n"
+         "[vmm]\nprofiles = vmplayer\n";
+}
+
+// --- identity: the embedded paper scenario -----------------------------------
+
+TEST(ScenarioPaper, ConstantsMatchThePaperTestbed) {
+  const scenario::Scenario& paper = scenario::paper();
+  // §4 of the paper: Core 2 Duo E6600, 2x2.40 GHz, 1 GB DDR2, Windows XP.
+  EXPECT_EQ(paper.machine.chip.cores, 2);
+  EXPECT_EQ(paper.machine.chip.frequency_hz, 2.4e9);
+  EXPECT_EQ(paper.machine.ram_bytes, 1 * util::GiB);
+  EXPECT_EQ(paper.host_os, os::HostOs::kWindowsXp);
+  // The methodology: 50 repetitions with ~1% input variation.
+  EXPECT_EQ(paper.sweep.repetitions, 50);
+  EXPECT_EQ(paper.sweep.input_jitter, 0.01);
+  EXPECT_EQ(paper.sweep.vm_count, 1);
+}
+
+TEST(ScenarioPaper, IsTheSingleSourceOfPaperMachineConfig) {
+  // core::paper_machine_config() returns the embedded scenario's machine;
+  // the two must be bit-equal in every rate-relevant field.
+  const hw::MachineConfig from_core = core::paper_machine_config();
+  const hw::MachineConfig& from_scenario = scenario::paper().machine;
+  EXPECT_EQ(from_core.chip.cores, from_scenario.chip.cores);
+  EXPECT_EQ(from_core.chip.frequency_hz, from_scenario.chip.frequency_hz);
+  EXPECT_EQ(from_core.chip.ipc_user_int, from_scenario.chip.ipc_user_int);
+  EXPECT_EQ(from_core.chip.ipc_user_fp, from_scenario.chip.ipc_user_fp);
+  EXPECT_EQ(from_core.chip.ipc_memory, from_scenario.chip.ipc_memory);
+  EXPECT_EQ(from_core.chip.ipc_kernel, from_scenario.chip.ipc_kernel);
+  EXPECT_EQ(from_core.chip.interference_cap,
+            from_scenario.chip.interference_cap);
+  EXPECT_EQ(from_core.ram_bytes, from_scenario.ram_bytes);
+  EXPECT_EQ(from_core.disk.sustained_read_bps,
+            from_scenario.disk.sustained_read_bps);
+  EXPECT_EQ(from_core.disk.sustained_write_bps,
+            from_scenario.disk.sustained_write_bps);
+}
+
+TEST(ScenarioPaper, ProfilesBitEqualTheCalibratedBuiltins) {
+  const scenario::Scenario& paper = scenario::paper();
+  const std::vector<std::string> expected = {"vmplayer", "qemu",
+                                             "virtualbox", "virtualpc"};
+  ASSERT_EQ(paper.profiles.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const vmm::VmmProfile& parsed = paper.profiles[i];
+    const auto builtin = vmm::profiles::by_name(expected[i]);
+    ASSERT_TRUE(builtin) << expected[i];
+    EXPECT_EQ(parsed.name, builtin->name);
+    EXPECT_EQ(parsed.exec.user_int, builtin->exec.user_int);
+    EXPECT_EQ(parsed.exec.user_fp, builtin->exec.user_fp);
+    EXPECT_EQ(parsed.exec.memory, builtin->exec.memory);
+    EXPECT_EQ(parsed.exec.kernel, builtin->exec.kernel);
+    EXPECT_EQ(parsed.disk.path_multiplier, builtin->disk.path_multiplier);
+    EXPECT_EQ(parsed.disk.per_request_us, builtin->disk.per_request_us);
+    EXPECT_EQ(parsed.bridged.has_value(), builtin->bridged.has_value());
+    if (parsed.bridged) {
+      EXPECT_EQ(parsed.bridged->cap_mbps, builtin->bridged->cap_mbps);
+      EXPECT_EQ(parsed.bridged->per_transfer_us,
+                builtin->bridged->per_transfer_us);
+    }
+    EXPECT_EQ(parsed.nat.has_value(), builtin->nat.has_value());
+    if (parsed.nat) {
+      EXPECT_EQ(parsed.nat->cap_mbps, builtin->nat->cap_mbps);
+      EXPECT_EQ(parsed.nat->per_transfer_us, builtin->nat->per_transfer_us);
+    }
+    EXPECT_EQ(parsed.host.service_demand_cores,
+              builtin->host.service_demand_cores);
+    EXPECT_EQ(parsed.host.uniform_demand_cores,
+              builtin->host.uniform_demand_cores);
+    EXPECT_EQ(parsed.default_ram_bytes, builtin->default_ram_bytes);
+  }
+}
+
+// --- round-trip and identity hash ---------------------------------------------
+
+TEST(ScenarioRoundTrip, CanonicalTextIsAParseFixedPoint) {
+  for (const std::string& name : scenario::builtin_names()) {
+    const scenario::Scenario first = scenario::load(name);
+    const std::string canonical = first.canonical_text();
+    const scenario::Scenario second =
+        scenario::parse(canonical, name + ".canonical");
+    EXPECT_EQ(second.canonical_text(), canonical) << name;
+    EXPECT_EQ(second.content_hash(), first.content_hash()) << name;
+  }
+}
+
+TEST(ScenarioRoundTrip, BuiltinHashesAreDistinct) {
+  std::vector<std::uint64_t> hashes;
+  for (const std::string& name : scenario::builtin_names()) {
+    hashes.push_back(scenario::load(name).content_hash());
+  }
+  for (std::size_t i = 0; i < hashes.size(); ++i) {
+    for (std::size_t j = i + 1; j < hashes.size(); ++j) {
+      EXPECT_NE(hashes[i], hashes[j]);
+    }
+  }
+}
+
+TEST(ScenarioRoundTrip, HashHexIsSixteenLowercaseDigits) {
+  const std::string hex = scenario::paper().hash_hex();
+  ASSERT_EQ(hex.size(), 16u);
+  for (const char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+  }
+}
+
+TEST(ScenarioRoundTrip, LoadReadsAFileWhenNotABuiltin) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "vgrid-scenario-test.scn";
+  {
+    std::ofstream out(path);
+    out << scenario::load("quadcore").canonical_text();
+  }
+  const scenario::Scenario from_file = scenario::load(path.string());
+  EXPECT_EQ(from_file.content_hash(),
+            scenario::load("quadcore").content_hash());
+  std::filesystem::remove(path);
+}
+
+TEST(ScenarioRoundTrip, UserProfileSurvivesTheRoundTrip) {
+  const std::string text =
+      "[scenario]\nname = custom\n"
+      "[machine]\ncores = 4\nram_mib = 2048\n"
+      "[os]\nflavour = linux-cfs\n[workloads]\n[sweep]\n"
+      "[vmm]\nprofiles = myvmm vmplayer\n"
+      "[profile myvmm]\n"
+      "user_int = 1.25\nuser_fp = 1.5\nmemory = 2\nkernel = 10\n"
+      "disk_path_multiplier = 3\nbridged_cap_mbps = 80\n";
+  const scenario::Scenario first = scenario::parse(text, "custom.scn");
+  ASSERT_EQ(first.profiles.size(), 2u);
+  EXPECT_EQ(first.profiles[0].name, "myvmm");
+  EXPECT_EQ(first.profiles[0].exec.user_int, 1.25);
+  const scenario::Scenario second =
+      scenario::parse(first.canonical_text(), "custom.canonical");
+  EXPECT_EQ(second.canonical_text(), first.canonical_text());
+}
+
+// --- rejection ----------------------------------------------------------------
+
+TEST(ScenarioReject, UnknownSection) {
+  expect_rejected(valid_minimal() + "[bogus]\n", "unknown section [bogus]",
+                  9);
+}
+
+TEST(ScenarioReject, UnknownKey) {
+  expect_rejected("[scenario]\nname = x\ncolour = blue\n",
+                  "unknown key 'colour' in [scenario]", 3);
+}
+
+TEST(ScenarioReject, KeyBeforeAnySection) {
+  expect_rejected("name = x\n", "before any [section] header", 1);
+}
+
+TEST(ScenarioReject, UnterminatedSectionHeader) {
+  expect_rejected("[scenario\nname = x\n", "unterminated section header",
+                  1);
+}
+
+TEST(ScenarioReject, DuplicateSection) {
+  expect_rejected("[scenario]\nname = x\n[scenario]\n",
+                  "duplicate section [scenario]", 3);
+}
+
+TEST(ScenarioReject, DuplicateKey) {
+  expect_rejected("[scenario]\nname = x\nname = y\n", "duplicate key 'name'",
+                  3);
+}
+
+TEST(ScenarioReject, OutOfRangeCores) {
+  expect_rejected("[machine]\ncores = 0\n", "out of range");
+  expect_rejected("[machine]\ncores = 1000\n", "out of range");
+}
+
+TEST(ScenarioReject, NonNumericValue) {
+  expect_rejected("[machine]\nfrequency_ghz = fast\n",
+                  "not a finite number", 2);
+  expect_rejected("[machine]\ncores = 2.5\n", "not an unsigned integer", 2);
+}
+
+TEST(ScenarioReject, UnknownHostOs) {
+  expect_rejected("[os]\nflavour = beos\n", "unknown host OS 'beos'", 2);
+}
+
+TEST(ScenarioReject, MissingRequiredSection) {
+  expect_rejected("[scenario]\nname = x\n", "missing required section");
+}
+
+TEST(ScenarioReject, MissingName) {
+  expect_rejected(
+      "[scenario]\n[machine]\n[os]\n[workloads]\n[sweep]\n"
+      "[vmm]\nprofiles = vmplayer\n",
+      "missing required key 'name'");
+}
+
+TEST(ScenarioReject, EmptyProfileList) {
+  expect_rejected(
+      "[scenario]\nname = x\n[machine]\n[os]\n[workloads]\n[sweep]\n"
+      "[vmm]\n",
+      "must list at least one profile");
+}
+
+TEST(ScenarioReject, UnknownProfileReference) {
+  expect_rejected(
+      "[scenario]\nname = x\n[machine]\n[os]\n[workloads]\n[sweep]\n"
+      "[vmm]\nprofiles = xen\n",
+      "unknown profile 'xen'");
+}
+
+TEST(ScenarioReject, ProfileListedTwice) {
+  expect_rejected(
+      "[scenario]\nname = x\n[machine]\n[os]\n[workloads]\n[sweep]\n"
+      "[vmm]\nprofiles = vmplayer vmplayer\n",
+      "listed twice");
+}
+
+TEST(ScenarioReject, UnreferencedUserProfile) {
+  expect_rejected(valid_minimal() +
+                      "[profile ghost]\nuser_int = 1\nuser_fp = 1\nmemory = 1\n"
+                      "kernel = 1\nbridged_cap_mbps = 10\n",
+                  "defined but not listed");
+}
+
+TEST(ScenarioReject, UserProfileWithoutNetworkModel) {
+  expect_rejected(
+      "[scenario]\nname = x\n[machine]\n[os]\n[workloads]\n[sweep]\n"
+      "[vmm]\nprofiles = p\n"
+      "[profile p]\nuser_int = 1\nuser_fp = 1\nmemory = 1\nkernel = 1\n",
+      "bridged_* or nat_* network model");
+}
+
+TEST(ScenarioReject, RamOvercommit) {
+  // 4 VMs x 300 MB default guest RAM > 1 GB machine.
+  expect_rejected(
+      "[scenario]\nname = x\n[machine]\n[os]\n[workloads]\n"
+      "[sweep]\nvm_count = 4\n"
+      "[vmm]\nprofiles = vmplayer\n",
+      "exceed the machine's");
+}
+
+TEST(ScenarioReject, IobenchSizesMustBeNondecreasing) {
+  expect_rejected("[workloads]\niobench_file_bytes = 2097152 131072\n",
+                  "nondecreasing");
+}
+
+TEST(ScenarioReject, EinsteinSamplesMustBePowerOfTwo) {
+  expect_rejected("[workloads]\neinstein_samples = 10000\n",
+                  "not a power of two");
+}
+
+TEST(ScenarioReject, UnknownSweepPriority) {
+  expect_rejected("[sweep]\nvm_priorities = idle background\n",
+                  "unknown priority 'background'");
+}
+
+TEST(ScenarioReject, LoadOnNonsenseNamesTheBuiltins) {
+  try {
+    (void)scenario::load("no-such-scenario");
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("paper"), std::string::npos) << what;
+    EXPECT_NE(what.find("quadcore"), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioReject, StrictHostOsAndPrioritySpellings) {
+  EXPECT_EQ(scenario::parse_host_os("xp"), os::HostOs::kWindowsXp);
+  EXPECT_EQ(scenario::parse_host_os("windows-xp"), os::HostOs::kWindowsXp);
+  EXPECT_EQ(scenario::parse_host_os("linux"), os::HostOs::kLinuxCfs);
+  EXPECT_EQ(scenario::parse_host_os("linux-cfs"), os::HostOs::kLinuxCfs);
+  EXPECT_THROW((void)scenario::parse_host_os("win95"), util::ConfigError);
+  EXPECT_EQ(scenario::parse_priority("idle"), os::PriorityClass::kIdle);
+  EXPECT_EQ(scenario::parse_priority("normal"), os::PriorityClass::kNormal);
+  EXPECT_EQ(scenario::parse_priority("high"), os::PriorityClass::kHigh);
+  EXPECT_THROW((void)scenario::parse_priority("realtime"),
+               util::ConfigError);
+}
+
+// --- deterministic fuzzing ------------------------------------------------------
+// No input derived from valid text may crash, hang, or succeed with
+// inconsistent state: the parser either returns a validated Scenario or
+// throws ConfigError. Seeds are fixed — same failures on every run.
+
+TEST(ScenarioFuzz, TruncationAtEveryByteIsParseOrConfigError) {
+  const std::string text = scenario::paper().canonical_text();
+  for (std::size_t cut = 0; cut < text.size(); ++cut) {
+    try {
+      const scenario::Scenario partial =
+          scenario::parse(text.substr(0, cut), "truncated.scn");
+      // A prefix that still parses must still be internally consistent.
+      EXPECT_FALSE(partial.profiles.empty());
+    } catch (const util::ConfigError&) {
+      // expected for most prefixes
+    }
+  }
+}
+
+TEST(ScenarioFuzz, SingleByteMutationsNeverCrash) {
+  const std::string text = scenario::paper().canonical_text();
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;  // fixed seed, xorshift64*
+  auto next = [&state] {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dull;
+  };
+  for (int round = 0; round < 512; ++round) {
+    std::string mutated = text;
+    const std::size_t pos = next() % mutated.size();
+    mutated[pos] = static_cast<char>(next() % 256);
+    try {
+      (void)scenario::parse(mutated, "mutated.scn");
+    } catch (const util::ConfigError&) {
+      // rejection is fine; crashing or UB is not (ASan/UBSan CI enforces)
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vgrid

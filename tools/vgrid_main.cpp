@@ -1,11 +1,17 @@
 // vgrid — command-line front end of the library.
 //
-//   vgrid figures   [--reps N] [--jobs N] [--metrics-out FILE] [fig1..fig8]
-//   vgrid metrics   [fig1..fig8] [--reps N] [--jobs N] [--format json|prom]
-//                   [--out FILE]                 metrics snapshot of a run
-//   vgrid guest     <7z|matrix|iobench|netbench> [--env NAME] [--reps N]
-//   vgrid host      [--env NAME] [--threads N] [--priority idle|normal]
-//                   [--vms N] [--reps N] [--jobs N]
+// Every figure-running command accepts --scenario NAME|FILE (default: the
+// embedded `paper` testbed; `vgrid scenarios` lists the built-ins).
+//
+//   vgrid figures   [--scenario S] [--reps N] [--jobs N]
+//                   [--metrics-out FILE] [fig1..fig8]
+//   vgrid metrics   [fig1..fig8] [--scenario S] [--reps N] [--jobs N]
+//                   [--format json|prom] [--out FILE]
+//   vgrid guest     <7z|matrix|iobench|netbench> [--scenario S] [--env NAME]
+//                   [--reps N]
+//   vgrid host      [--scenario S] [--env NAME] [--threads N]
+//                   [--priority idle|normal|high] [--vms N] [--reps N]
+//                   [--jobs N]
 //   vgrid suite     [--iterations N]              native NBench suite
 //   vgrid compress  <input> <output>              real LZMA-family codec
 //   vgrid decompress <input> <output>
@@ -13,7 +19,9 @@
 //   vgrid churn     [--workunit-hours H] [--session-hours H] [--no-checkpoint]
 //   vgrid migrate   [--ram-mb M] [--dirty-mbps R]
 //   vgrid profiles                               list hypervisor profiles
-//   vgrid determinism-audit [fig1..fig8] [--reps N] [--seed S] [--jobs N]
+//   vgrid scenarios [--show NAME|FILE]           list / print scenarios
+//   vgrid determinism-audit [fig1..fig8] [--scenario S] [--reps N]
+//                   [--seed S] [--jobs N]
 //                   run a figure twice with the same seed — serially, then
 //                   on N workers — and byte-diff the two result+trace
 //                   streams (exit 1 on divergence)
@@ -36,6 +44,7 @@
 #include "report/chrome_trace.hpp"
 #include "report/table.hpp"
 #include "report/timeline.hpp"
+#include "scenario/scenario.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "vmm/migration.hpp"
@@ -58,12 +67,19 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: vgrid <command> [options]\n"
-      "  figures    [--reps N] [--jobs N] [--metrics-out FILE] [fig1..fig8]\n"
-      "  metrics    [fig1..fig8] [--reps N] [--jobs N] [--format json|prom]\n"
-      "             [--out FILE]              metrics snapshot of a run\n"
-      "  guest      <7z|matrix|iobench|netbench> [--env NAME] [--reps N]\n"
-      "  host       [--env NAME] [--threads N] [--priority idle|normal]\n"
-      "             [--vms N] [--os xp|linux] [--reps N] [--jobs N]\n"
+      "(figure-running commands accept --scenario NAME|FILE; default "
+      "`paper`)\n"
+      "  figures    [--scenario S] [--reps N] [--jobs N] [--metrics-out "
+      "FILE]\n"
+      "             [fig1..fig8]\n"
+      "  metrics    [fig1..fig8] [--scenario S] [--reps N] [--jobs N]\n"
+      "             [--format json|prom] [--out FILE]\n"
+      "  guest      <7z|matrix|iobench|netbench> [--scenario S] [--env "
+      "NAME]\n"
+      "             [--reps N]\n"
+      "  host       [--scenario S] [--env NAME] [--threads N]\n"
+      "             [--priority idle|normal|high] [--vms N] [--os xp|linux]\n"
+      "             [--reps N] [--jobs N]\n"
       "  suite      [--iterations N]          run the native NBench suite\n"
       "  compress   <input> <output>          compress a real file\n"
       "  decompress <input> <output>\n"
@@ -71,17 +87,30 @@ int usage() {
       "  churn      [--workunit-hours H] [--session-hours H] "
       "[--no-checkpoint]\n"
       "  migrate    [--ram-mb M] [--dirty-mbps R]\n"
-      "  timeline   [--env NAME] [--threads N] [--os xp|linux]\n"
-      "             [--out trace.json]        trace the Fig. 7 scenario\n"
-      "  profiles                             list hypervisor profiles\n"
-      "  determinism-audit [fig1..fig8] [--reps N] [--seed S] [--jobs N]\n"
-      "             [--metrics-only]          same-seed serial vs N-worker\n"
+      "  timeline   [--scenario S] [--env NAME] [--threads N] [--os "
+      "xp|linux]\n"
+      "             [--out trace.json]        trace the Fig. 7 sweep\n"
+      "  profiles   [--scenario S]            list hypervisor profiles\n"
+      "  scenarios  [--show NAME|FILE]        list built-in scenarios /\n"
+      "             print one in canonical form with its content hash\n"
+      "  determinism-audit [fig1..fig8] [--scenario S] [--reps N] [--seed "
+      "S]\n"
+      "             [--jobs N] [--metrics-only]  same-seed serial vs "
+      "N-worker\n"
       "             run, byte-diff results, traces, and metric snapshots\n");
   return 2;
 }
 
-core::RunnerConfig runner_config(const Args& args) {
-  core::RunnerConfig runner = core::figure_runner_config();
+/// --scenario NAME|FILE, default the embedded `paper`. Malformed input
+/// throws util::ConfigError with a "<source>:<line>:" diagnostic, which
+/// main() reports on stderr with a nonzero exit.
+scenario::Scenario scenario_from(const Args& args) {
+  return scenario::load(args.get_or("scenario", "paper"));
+}
+
+core::RunnerConfig runner_config(const Args& args,
+                                 const scenario::Scenario& scenario) {
+  core::RunnerConfig runner = core::figure_runner_config(scenario);
   runner.repetitions =
       static_cast<int>(args.get_long("reps", runner.repetitions));
   // 0 = one worker per hardware thread; results are byte-identical for
@@ -89,6 +118,40 @@ core::RunnerConfig runner_config(const Args& args) {
   // is safe even for the audit-style commands.
   runner.jobs = static_cast<int>(args.get_long("jobs", 0));
   return runner;
+}
+
+/// Pin the scenario's identity into a snapshot: a constant gauge whose
+/// labels carry the name and FNV-1a content hash, so snapshots from
+/// different scenarios can never be confused.
+void record_scenario_info(obs::Registry& registry,
+                          const scenario::Scenario& scenario) {
+  registry
+      .gauge("scenario.info",
+             {{"hash", scenario.hash_hex()}, {"name", scenario.name}},
+             obs::Gauge::Agg::kLast)
+      .set(1);
+}
+
+/// One row per scenario-aware figure function, shared by `figures`,
+/// `metrics` and `determinism-audit`.
+using ScenarioFigureFn = core::FigureResult (*)(const scenario::Scenario&,
+                                                core::RunnerConfig);
+
+ScenarioFigureFn figure_fn(const std::string& id) {
+  struct Entry {
+    const char* id;
+    ScenarioFigureFn fn;
+  };
+  static constexpr Entry kFigures[] = {
+      {"fig1", core::fig1_7z},            {"fig2", core::fig2_matrix},
+      {"fig3", core::fig3_iobench},       {"fig4", core::fig4_netbench},
+      {"fig5", core::fig5_mem_index},     {"fig6", core::fig6_int_fp_index},
+      {"fig7", core::fig7_cpu_available}, {"fig8", core::fig8_mips_ratio},
+  };
+  for (const Entry& entry : kFigures) {
+    if (id == entry.id) return entry.fn;
+  }
+  return nullptr;
 }
 
 void print_figure(const core::FigureResult& figure) {
@@ -103,16 +166,10 @@ void print_figure(const core::FigureResult& figure) {
 }
 
 int cmd_figures(const Args& args) {
-  const core::RunnerConfig runner = runner_config(args);
-  struct Entry {
-    const char* id;
-    core::FigureResult (*fn)(core::RunnerConfig);
-  };
-  static constexpr Entry kFigures[] = {
-      {"fig1", core::fig1_7z},           {"fig2", core::fig2_matrix},
-      {"fig3", core::fig3_iobench},      {"fig4", core::fig4_netbench},
-      {"fig5", core::fig5_mem_index},    {"fig6", core::fig6_int_fp_index},
-      {"fig7", core::fig7_cpu_available}, {"fig8", core::fig8_mips_ratio},
+  const scenario::Scenario scenario = scenario_from(args);
+  const core::RunnerConfig runner = runner_config(args, scenario);
+  static constexpr const char* kFigureIds[] = {
+      "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
   };
   const auto& wanted = args.positional();
   // --metrics-out FILE: collect the obs registry snapshot across every
@@ -122,17 +179,20 @@ int cmd_figures(const Args& args) {
   const std::string metrics_out = args.get_or("metrics-out", "");
   obs::Registry registry;
   obs::register_defaults(registry);
+  record_scenario_info(registry, scenario);
+  std::printf("scenario: %s (hash %s)\n\n", scenario.name.c_str(),
+              scenario.hash_hex().c_str());
   bool any = false;
   {
     obs::ScopedRegistry metrics_scope(
         metrics_out.empty() ? nullptr : &registry);
-    for (const Entry& entry : kFigures) {
+    for (const char* id : kFigureIds) {
       const bool selected =
           wanted.empty() ||
-          std::find(wanted.begin(), wanted.end(), entry.id) != wanted.end();
+          std::find(wanted.begin(), wanted.end(), id) != wanted.end();
       if (!selected) continue;
       any = true;
-      print_figure(entry.fn(runner));
+      print_figure(figure_fn(id)(scenario, runner));
     }
   }
   if (!any) {
@@ -154,17 +214,8 @@ int cmd_figures(const Args& args) {
 // exercise every layer without the paper's full 50-repetition methodology.
 
 int cmd_metrics(const Args& args) {
-  struct Entry {
-    const char* id;
-    core::FigureResult (*fn)(core::RunnerConfig);
-  };
-  static constexpr Entry kFigures[] = {
-      {"fig1", core::fig1_7z},            {"fig2", core::fig2_matrix},
-      {"fig3", core::fig3_iobench},       {"fig4", core::fig4_netbench},
-      {"fig5", core::fig5_mem_index},     {"fig6", core::fig6_int_fp_index},
-      {"fig7", core::fig7_cpu_available}, {"fig8", core::fig8_mips_ratio},
-  };
-  core::RunnerConfig runner = core::figure_runner_config();
+  const scenario::Scenario scenario = scenario_from(args);
+  core::RunnerConfig runner = core::figure_runner_config(scenario);
   runner.repetitions = static_cast<int>(args.get_long("reps", 3));
   runner.jobs = static_cast<int>(args.get_long("jobs", 0));
   runner.seed = static_cast<std::uint64_t>(
@@ -180,20 +231,17 @@ int cmd_metrics(const Args& args) {
                                 : args.positional();
   obs::Registry registry;
   obs::register_defaults(registry);
+  record_scenario_info(registry, scenario);
   {
     obs::ScopedRegistry metrics_scope(&registry);
     for (const std::string& id : wanted) {
-      bool found = false;
-      for (const Entry& entry : kFigures) {
-        if (id != entry.id) continue;
-        found = true;
-        (void)entry.fn(runner);
-      }
-      if (!found) {
+      ScenarioFigureFn fn = figure_fn(id);
+      if (fn == nullptr) {
         std::fprintf(stderr, "no such figure '%s'; use fig1..fig8\n",
                      id.c_str());
         return 2;
       }
+      (void)fn(scenario, runner);
     }
   }
   const std::string out_path = args.get_or("out", "");
@@ -212,31 +260,41 @@ int cmd_metrics(const Args& args) {
 int cmd_guest(const Args& args) {
   if (args.positional().empty()) return usage();
   const std::string workload = args.positional()[0];
-  const core::RunnerConfig runner = runner_config(args);
+  const scenario::Scenario scenario = scenario_from(args);
+  const core::RunnerConfig runner = runner_config(args, scenario);
+  const scenario::Workloads& budgets = scenario.workloads;
 
   core::GuestPerfExperiment::ProgramFactory factory;
   if (workload == "7z") {
-    factory = [] {
-      return workloads::SevenZipBench(workloads::Bench7zConfig{})
-          .make_program();
+    workloads::Bench7zConfig config;
+    config.data_bytes = budgets.sevenzip_bytes;
+    factory = [config] {
+      return workloads::SevenZipBench(config).make_program();
     };
   } else if (workload == "matrix") {
-    factory = [] { return workloads::MatrixBenchmark(1024).make_program(); };
+    const std::size_t n =
+        static_cast<std::size_t>(budgets.matrix_sizes.back());
+    factory = [n] { return workloads::MatrixBenchmark(n).make_program(); };
   } else if (workload == "iobench") {
-    factory = [] { return workloads::IoBench().make_program(); };
+    workloads::IoBenchConfig config;
+    config.min_file_bytes = budgets.iobench_file_bytes.front();
+    config.max_file_bytes = budgets.iobench_file_bytes.back();
+    factory = [config] { return workloads::IoBench(config).make_program(); };
   } else if (workload == "netbench") {
-    factory = [] { return workloads::NetBench().make_program(); };
+    workloads::NetBenchConfig config;
+    config.stream_bytes = budgets.net_stream_bytes;
+    factory = [config] { return workloads::NetBench(config).make_program(); };
   } else {
     std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
     return 2;
   }
 
-  core::GuestPerfExperiment experiment(factory, runner);
+  core::GuestPerfExperiment experiment(factory, scenario, runner);
   report::Table table("Guest slowdown for " + workload +
                       " (1.0 = native)");
   table.set_header({"environment", "slowdown"});
   const auto env = args.get("env");
-  for (const auto& profile : vmm::profiles::all()) {
+  for (const auto& profile : scenario.profiles) {
     if (env && profile.name != *env) continue;
     table.add_row(profile.name, {experiment.slowdown(profile)});
   }
@@ -245,17 +303,20 @@ int cmd_guest(const Args& args) {
 }
 
 int cmd_host(const Args& args) {
-  core::HostImpactConfig config;
-  config.runner = runner_config(args);
-  config.vm_priority = args.get_or("priority", "idle") == "normal"
-                           ? os::PriorityClass::kNormal
-                           : os::PriorityClass::kIdle;
-  config.host_os = args.get_or("os", "xp") == "linux"
-                       ? core::HostOs::kLinuxCfs
-                       : core::HostOs::kWindowsXp;
+  const scenario::Scenario scenario = scenario_from(args);
+  // --priority / --os override the scenario; both reuse the scenario
+  // grammar, so a typo is a diagnostic instead of a silent default.
+  core::HostImpactConfig config = core::host_impact_config(
+      scenario, scenario::parse_priority(args.get_or("priority", "idle")),
+      runner_config(args, scenario));
+  if (const auto os_flag = args.get("os")) {
+    config.host_os = scenario::parse_host_os(*os_flag);
+  }
+  const int threads = static_cast<int>(
+      args.get_long("threads", scenario.sweep.sevenzip_threads.back()));
+  const int vms =
+      static_cast<int>(args.get_long("vms", config.vm_count));
   core::HostImpactExperiment experiment(config);
-  const int threads = static_cast<int>(args.get_long("threads", 2));
-  const int vms = static_cast<int>(args.get_long("vms", 1));
 
   report::Table table(util::format(
       "Host impact: 7z with %d thread(s), %d pegged VM(s), %s priority, "
@@ -266,7 +327,7 @@ int cmd_host(const Args& args) {
   const auto baseline = experiment.run_7z(threads, nullptr);
   table.add_row("no-vm", {baseline.cpu_percent, 1.0});
   const auto env = args.get("env");
-  for (const auto& profile : vmm::profiles::all()) {
+  for (const auto& profile : scenario.profiles) {
     if (env && profile.name != *env) continue;
     const auto metrics = experiment.run_7z(threads, &profile, vms);
     table.add_row(profile.name,
@@ -390,30 +451,40 @@ int cmd_migrate(const Args& args) {
 }
 
 int cmd_timeline(const Args& args) {
-  // Recreate the Figure 7 scenario, trace it, and emit both the ASCII
-  // strip chart and a Chrome trace JSON.
-  const core::HostOs host_os = args.get_or("os", "xp") == "linux"
-                                   ? core::HostOs::kLinuxCfs
-                                   : core::HostOs::kWindowsXp;
-  const std::string env = args.get_or("env", "vmplayer");
-  const auto profile = vmm::profiles::by_name(env);
+  // Recreate the Figure 7 sweep on the selected testbed, trace it, and
+  // emit both the ASCII strip chart and a Chrome trace JSON.
+  const scenario::Scenario scenario = scenario_from(args);
+  core::HostOs host_os = scenario.host_os;
+  if (const auto os_flag = args.get("os")) {
+    host_os = scenario::parse_host_os(*os_flag);
+  }
+  const std::string env =
+      args.get_or("env", scenario.profiles.front().name);
+  const auto* profile = scenario.profile_by_name(env);
   if (!profile) {
     std::fprintf(stderr, "unknown environment '%s'\n", env.c_str());
     return 2;
   }
 
-  core::Testbed testbed(core::paper_machine_config(), {}, host_os);
+  core::Testbed testbed(scenario.machine, scenario.scheduler, host_os);
   testbed.tracer().enable(true);
   vmm::VmConfig vm_config;
   vm_config.name = profile->name;
   vm_config.priority = os::PriorityClass::kIdle;
   vmm::VirtualMachine vm(testbed.scheduler(), *profile, vm_config);
+  workloads::einstein::EinsteinConfig einstein;
+  einstein.samples =
+      static_cast<std::size_t>(scenario.workloads.einstein_samples);
+  einstein.template_count =
+      static_cast<std::size_t>(scenario.workloads.einstein_templates);
   vm.run_guest("einstein",
                std::make_unique<workloads::einstein::EinsteinProgram>(
-                   workloads::einstein::EinsteinConfig{},
-                   /*continuous=*/true));
-  const workloads::SevenZipBench bench{workloads::Bench7zConfig{}};
-  const int threads = static_cast<int>(args.get_long("threads", 2));
+                   einstein, /*continuous=*/true));
+  workloads::Bench7zConfig bench_config;
+  bench_config.data_bytes = scenario.workloads.sevenzip_bytes;
+  const workloads::SevenZipBench bench{bench_config};
+  const int threads = static_cast<int>(
+      args.get_long("threads", scenario.sweep.sevenzip_threads.back()));
   os::HostThread* last = nullptr;
   for (int i = 0; i < threads; ++i) {
     last = &testbed.scheduler().spawn("7z-" + std::to_string(i),
@@ -439,37 +510,25 @@ int cmd_timeline(const Args& args) {
 // with identical RunnerConfig, capture every testbed's event trace plus the
 // figure's numeric rows at full precision, and byte-diff the two streams.
 
-core::FigureResult (*figure_fn(const std::string& id))(core::RunnerConfig) {
-  struct Entry {
-    const char* id;
-    core::FigureResult (*fn)(core::RunnerConfig);
-  };
-  static constexpr Entry kFigures[] = {
-      {"fig1", core::fig1_7z},            {"fig2", core::fig2_matrix},
-      {"fig3", core::fig3_iobench},       {"fig4", core::fig4_netbench},
-      {"fig5", core::fig5_mem_index},     {"fig6", core::fig6_int_fp_index},
-      {"fig7", core::fig7_cpu_available}, {"fig8", core::fig8_mips_ratio},
-  };
-  for (const Entry& entry : kFigures) {
-    if (id == entry.id) return entry.fn;
-  }
-  return nullptr;
-}
-
-std::string run_captured(core::FigureResult (*fn)(core::RunnerConfig),
+std::string run_captured(ScenarioFigureFn fn,
+                         const scenario::Scenario& scenario,
                          const core::RunnerConfig& runner,
                          bool metrics_only) {
   // The metric snapshot always joins the byte-diffed stream: a counter that
   // depends on worker interleaving is as much a determinism bug as a
   // diverging trace. --metrics-only narrows the stream to the snapshot
   // alone (no trace capture, no result rows) for a cheap focused gate.
-  std::string stream;
+  // The scenario header pins the testbed's identity, so streams from two
+  // different scenarios can never byte-match by accident.
+  std::string stream =
+      "=== scenario " + scenario.name + " " + scenario.hash_hex() + " ===\n";
   obs::Registry registry;
   obs::register_defaults(registry);
+  record_scenario_info(registry, scenario);
   {
     obs::ScopedRegistry metrics_scope(&registry);
     if (!metrics_only) core::set_trace_capture(&stream);
-    const core::FigureResult figure = fn(runner);
+    const core::FigureResult figure = fn(scenario, runner);
     if (!metrics_only) {
       core::set_trace_capture(nullptr);
       stream += "=== figure " + figure.id + ": " + figure.title + " [" +
@@ -492,13 +551,14 @@ std::string run_captured(core::FigureResult (*fn)(core::RunnerConfig),
 int cmd_determinism_audit(const Args& args) {
   const std::string id =
       args.positional().empty() ? "fig5" : args.positional()[0];
-  auto* fn = figure_fn(id);
+  ScenarioFigureFn fn = figure_fn(id);
   if (fn == nullptr) {
     std::fprintf(stderr, "no such figure '%s'; use fig1..fig8\n",
                  id.c_str());
     return 2;
   }
-  core::RunnerConfig runner = core::figure_runner_config();
+  const scenario::Scenario scenario = scenario_from(args);
+  core::RunnerConfig runner = core::figure_runner_config(scenario);
   // Two full runs of a figure: default to a handful of repetitions — any
   // nondeterminism shows up regardless of the repetition count.
   runner.repetitions = static_cast<int>(args.get_long("reps", 5));
@@ -513,14 +573,17 @@ int cmd_determinism_audit(const Args& args) {
   const bool metrics_only = args.has("metrics-only");
 
   runner.jobs = 1;
-  const std::string first = run_captured(fn, runner, metrics_only);
+  const std::string first = run_captured(fn, scenario, runner, metrics_only);
   runner.jobs = jobs;
-  const std::string second = run_captured(fn, runner, metrics_only);
+  const std::string second =
+      run_captured(fn, scenario, runner, metrics_only);
   if (first == second) {
     std::printf(
-        "determinism-audit PASS: %s %sbyte-identical across two seed=%llu "
-        "runs (%zu bytes, %d repetitions, serial vs %d jobs)\n",
-        id.c_str(), metrics_only ? "metric snapshots " : "",
+        "determinism-audit PASS: %s [scenario %s %s] %sbyte-identical "
+        "across two seed=%llu runs (%zu bytes, %d repetitions, serial vs "
+        "%d jobs)\n",
+        id.c_str(), scenario.name.c_str(), scenario.hash_hex().c_str(),
+        metrics_only ? "metric snapshots " : "",
         static_cast<unsigned long long>(runner.seed), first.size(),
         runner.repetitions, jobs);
     return 0;
@@ -539,11 +602,15 @@ int cmd_determinism_audit(const Args& args) {
   return 1;
 }
 
-int cmd_profiles() {
-  report::Table table("Hypervisor profiles (calibrated against the paper)");
+int cmd_profiles(const Args& args) {
+  const scenario::Scenario scenario = scenario_from(args);
+  report::Table table(
+      scenario.name == "paper"
+          ? std::string("Hypervisor profiles (calibrated against the paper)")
+          : "Hypervisor profiles (scenario '" + scenario.name + "')");
   table.set_header({"name", "int", "fp", "mem", "kernel", "disk x",
                     "service (cores)"});
-  for (const auto& profile : vmm::profiles::all()) {
+  for (const auto& profile : scenario.profiles) {
     table.add_row({profile.name,
                    util::format_double(profile.exec.user_int, 2),
                    util::format_double(profile.exec.user_fp, 2),
@@ -552,6 +619,40 @@ int cmd_profiles() {
                    util::format_double(profile.disk.path_multiplier, 2),
                    util::format_double(
                        profile.host.service_demand_cores, 2)});
+  }
+  std::printf("%s", table.ascii().c_str());
+  return 0;
+}
+
+// --- scenarios ---------------------------------------------------------------
+// `vgrid scenarios` lists the built-in testbeds; `--show NAME|FILE` prints
+// one in canonical form (the exact byte stream the content hash covers),
+// so a user-written file can be diffed against what the parser understood.
+
+int cmd_scenarios(const Args& args) {
+  if (const auto show = args.get("show")) {
+    const scenario::Scenario scenario = scenario::load(*show);
+    std::printf("# content hash %s\n%s", scenario.hash_hex().c_str(),
+                scenario.canonical_text().c_str());
+    return 0;
+  }
+  report::Table table(
+      "Built-in scenarios (--scenario NAME, or a file path)");
+  table.set_header({"name", "hash", "machine", "host os", "profiles"});
+  for (const std::string& name : scenario::builtin_names()) {
+    const scenario::Scenario scenario = scenario::load(name);
+    std::string profiles;
+    for (const auto& profile : scenario.profiles) {
+      if (!profiles.empty()) profiles += " ";
+      profiles += profile.name;
+    }
+    table.add_row(
+        {scenario.name, scenario.hash_hex(),
+         util::format("%d cores @ %.2f GHz, %s",
+                      scenario.machine.chip.cores,
+                      scenario.machine.chip.frequency_hz / 1e9,
+                      util::human_bytes(scenario.machine.ram_bytes).c_str()),
+         os::to_string(scenario.host_os), profiles});
   }
   std::printf("%s", table.ascii().c_str());
   return 0;
@@ -572,7 +673,8 @@ int dispatch(int argc, char** argv) {
   if (command == "churn") return cmd_churn(args);
   if (command == "migrate") return cmd_migrate(args);
   if (command == "timeline") return cmd_timeline(args);
-  if (command == "profiles") return cmd_profiles();
+  if (command == "profiles") return cmd_profiles(args);
+  if (command == "scenarios") return cmd_scenarios(args);
   if (command == "determinism-audit") return cmd_determinism_audit(args);
   return usage();
 }
