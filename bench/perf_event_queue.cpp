@@ -1,0 +1,47 @@
+// Event-queue throughput: the discrete-event kernel's hot inner loop.
+// Pushes a pseudo-random (but seeded) schedule of events, pops them all,
+// and exercises cancel() on a slice — the mix the simulator produces.
+
+#include <cstddef>
+
+#include "perf_harness.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace vgrid::perf {
+
+void register_event_queue_benches(Suite& suite) {
+  suite.add("sim.event_queue.push_pop", [](const BenchConfig& config) {
+    const std::size_t events = config.quick ? 20'000 : 200'000;
+    sim::EventQueue queue;
+    util::Rng rng(0x5eedULL);
+    std::uint64_t fired = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      const sim::SimTime when =
+          static_cast<sim::SimTime>(rng.below(1'000'000'000ULL));
+      queue.push(when, [&fired] { ++fired; });
+    }
+    while (!queue.empty()) queue.pop().callback();
+    return static_cast<double>(2 * events);  // one push + one pop each
+  });
+
+  suite.add("sim.event_queue.cancel_mix", [](const BenchConfig& config) {
+    const std::size_t events = config.quick ? 20'000 : 200'000;
+    sim::EventQueue queue;
+    util::Rng rng(0xcafeULL);
+    std::vector<sim::EventId> ids;
+    ids.reserve(events);
+    std::uint64_t fired = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      const sim::SimTime when =
+          static_cast<sim::SimTime>(rng.below(1'000'000'000ULL));
+      ids.push_back(queue.push(when, [&fired] { ++fired; }));
+    }
+    // Cancel every third event — lazy deletion makes pop() skip them.
+    for (std::size_t i = 0; i < ids.size(); i += 3) queue.cancel(ids[i]);
+    while (!queue.empty()) queue.pop().callback();
+    return static_cast<double>(2 * events);
+  });
+}
+
+}  // namespace vgrid::perf

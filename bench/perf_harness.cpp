@@ -1,0 +1,131 @@
+#include "perf_harness.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <fstream>
+#include <thread>
+#include <utility>
+
+#include "util/clock.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vgrid::perf {
+
+namespace {
+
+std::string compiler_fingerprint() {
+#if defined(__clang__)
+  return util::format("clang %d.%d.%d", __clang_major__, __clang_minor__,
+                      __clang_patchlevel__);
+#elif defined(__GNUC__)
+  return util::format("gcc %d.%d.%d", __GNUC__, __GNUC_MINOR__,
+                      __GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+/// Shortest %g form — benchmarks report counts and rates, where sub-ppm
+/// digits are noise, not information.
+std::string format_number(double value) {
+  return util::format("%.6g", value);
+}
+
+}  // namespace
+
+int harness_reps(const BenchConfig& config) noexcept {
+  return config.quick ? 3 : 7;
+}
+
+void Suite::add(std::string name, BenchFn fn) {
+  entries_.push_back({std::move(name), std::move(fn)});
+}
+
+std::vector<BenchResult> Suite::run(
+    const BenchConfig& config,
+    const std::function<void(const BenchResult&)>& progress) const {
+  const int reps = harness_reps(config);
+  std::vector<BenchResult> results;
+  results.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    std::vector<std::int64_t> samples;
+    samples.reserve(static_cast<std::size_t>(reps));
+    double ops = 0.0;
+    // One untimed warmup so first-touch costs (page faults, lazy
+    // allocations) do not pollute the minimum.
+    (void)entry.fn(config);
+    for (int i = 0; i < reps; ++i) {
+      const std::int64_t start = util::monotonic_time_ns();
+      ops = entry.fn(config);
+      samples.push_back(util::monotonic_time_ns() - start);
+    }
+    std::sort(samples.begin(), samples.end());
+    const std::size_t mid = samples.size() / 2;
+    const std::int64_t median =
+        samples.size() % 2 == 1
+            ? samples[mid]
+            : (samples[mid - 1] + samples[mid]) / 2;
+    BenchResult result;
+    result.name = entry.name;
+    result.reps = reps;
+    result.ops = ops;
+    result.median_ns = std::max<std::int64_t>(median, 1);
+    result.min_ns = std::max<std::int64_t>(samples.front(), 1);
+    result.ops_per_sec =
+        ops / (static_cast<double>(result.median_ns) / 1e9);
+    if (progress) progress(result);
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+Suite default_suite() {
+  Suite suite;
+  register_event_queue_benches(suite);
+  register_scheduler_benches(suite);
+  register_message_benches(suite);
+  register_fig5_bench(suite);
+  return suite;
+}
+
+std::string bench_json(const std::vector<BenchResult>& results,
+                       const BenchConfig& config) {
+  // Canonical layout: version first (matching the metrics snapshot), the
+  // remaining top-level keys and every object's keys in sorted order, one
+  // benchmark per line — so two documents diff line-by-line.
+  std::string out = "{\"vgrid_bench_version\":1,\n";
+  out += "\"benchmarks\":[";
+  bool first = true;
+  for (const BenchResult& result : results) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += util::format(
+        "{\"median_ns\":%lld,\"min_ns\":%lld,\"name\":\"%s\","
+        "\"ops\":%s,\"ops_per_sec\":%s,\"reps\":%d}",
+        static_cast<long long>(result.median_ns),
+        static_cast<long long>(result.min_ns),
+        util::json_escape(result.name).c_str(),
+        format_number(result.ops).c_str(),
+        format_number(result.ops_per_sec).c_str(), result.reps);
+  }
+  out += "\n],\n";
+  const unsigned cores = std::thread::hardware_concurrency();
+  out += util::format("\"host\":{\"compiler\":\"%s\",\"cores\":%u},\n",
+                      util::json_escape(compiler_fingerprint()).c_str(),
+                      cores == 0 ? 1 : cores);
+  out += util::format("\"quick\":%s,\n", config.quick ? "true" : "false");
+  out += util::format("\"scenario\":{\"hash\":\"%s\",\"name\":\"%s\"}}\n",
+                      config.scenario.hash_hex().c_str(),
+                      util::json_escape(config.scenario.name).c_str());
+  return out;
+}
+
+void write_bench_json(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw util::SystemError("cannot open " + path, errno);
+  out << body;
+  if (!out) throw util::SystemError("write failed: " + path, errno);
+}
+
+}  // namespace vgrid::perf

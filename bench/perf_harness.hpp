@@ -1,0 +1,93 @@
+#pragma once
+// Macro-benchmark harness behind `vgrid bench`.
+//
+// These are *wall-clock* benchmarks (unlike the figures, whose numbers are
+// simulated time): each registered benchmark runs one repetition of a real
+// workload — event-queue churn, scheduler ticks, message round-trips, a
+// full fig5 run — and reports how many operations it performed. The
+// harness times the repetition with util::monotonic_time_ns(), repeats it,
+// and keeps the median and minimum, which are far more stable than the
+// mean under CI noise.
+//
+// Output is a canonical JSON document (`BENCH_vgrid.json`): sorted keys,
+// one benchmark per line, versioned with "vgrid_bench_version", stamped
+// with a host fingerprint (core count + compiler) and the scenario content
+// hash so a diff against a baseline from a different machine or testbed is
+// visibly apples-to-oranges. tools/bench_diff compares two such documents
+// with tolerance bands and a --gate mode for CI.
+//
+// Benchmarks register through explicit registrar functions (one per
+// perf_*.cpp) rather than static initializers: this code links into the
+// vgrid CLI as a static library, and the linker would silently drop a TU
+// whose only entry point is a global constructor.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace vgrid::perf {
+
+struct BenchConfig {
+  /// Fewer repetitions and smaller workloads — for CI smoke runs.
+  bool quick = false;
+  /// Worker threads for the end-to-end benchmarks (0 = hardware).
+  int jobs = 1;
+  scenario::Scenario scenario;  ///< testbed for the sim-backed benchmarks
+};
+
+/// Repetition count the harness uses for every benchmark.
+int harness_reps(const BenchConfig& config) noexcept;
+
+struct BenchResult {
+  std::string name;
+  int reps = 0;
+  double ops = 0.0;  ///< operations per repetition (events, RPCs, ...)
+  std::int64_t median_ns = 0;
+  std::int64_t min_ns = 0;
+  double ops_per_sec = 0.0;  ///< ops / median seconds
+};
+
+/// One benchmark: run a single repetition, return the operation count.
+using BenchFn = std::function<double(const BenchConfig&)>;
+
+class Suite {
+ public:
+  /// Register a benchmark under `name` (registration order is run order).
+  void add(std::string name, BenchFn fn);
+
+  /// Run every benchmark harness_reps(config) times; `progress` (optional)
+  /// fires after each benchmark completes.
+  std::vector<BenchResult> run(
+      const BenchConfig& config,
+      const std::function<void(const BenchResult&)>& progress = {}) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    BenchFn fn;
+  };
+  std::vector<Entry> entries_;
+};
+
+// Registrars, one per perf_*.cpp.
+void register_event_queue_benches(Suite& suite);
+void register_scheduler_benches(Suite& suite);
+void register_message_benches(Suite& suite);
+void register_fig5_bench(Suite& suite);
+
+/// Suite with every benchmark above, in stable order.
+Suite default_suite();
+
+/// Canonical JSON: versioned, sorted keys, one benchmark per line.
+std::string bench_json(const std::vector<BenchResult>& results,
+                       const BenchConfig& config);
+
+/// Write `body` to `path` (throws util::SystemError on failure).
+void write_bench_json(const std::string& path, const std::string& body);
+
+}  // namespace vgrid::perf

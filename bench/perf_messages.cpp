@@ -1,0 +1,45 @@
+// Grid RPC codec throughput: serialize/parse round-trips of the wire
+// messages the mini-BOINC server and client exchange. Pure CPU — no
+// sockets — so this isolates the codec from kernel networking noise.
+
+#include <cstddef>
+
+#include "grid/messages.hpp"
+#include "perf_harness.hpp"
+#include "util/error.hpp"
+
+namespace vgrid::perf {
+
+void register_message_benches(Suite& suite) {
+  suite.add("grid.messages.round_trip", [](const BenchConfig& config) {
+    const std::size_t round_trips = config.quick ? 5'000 : 50'000;
+    grid::WorkRequest work{"volunteer-042"};
+    grid::Workunit workunit;
+    workunit.id = 7;
+    workunit.kind = "einstein";
+    workunit.payload = "batch|7%3";  // exercises field escaping
+    workunit.replication = 3;
+    workunit.quorum = 2;
+    grid::WorkResponse response{true, workunit};
+    grid::SubmitRequest submit;
+    submit.result.workunit_id = 7;
+    submit.result.client_id = "volunteer-042";
+    submit.result.cpu_seconds = 123.5;
+    submit.result.output = "0123456789abcdef";
+    grid::StatsResponse stats{12, 3456.0, 2400.0};
+    std::size_t parsed = 0;
+    for (std::size_t i = 0; i < round_trips; ++i) {
+      if (grid::parse_work_request(grid::serialize(work))) ++parsed;
+      if (grid::parse_work_response(grid::serialize(response))) ++parsed;
+      if (grid::parse_submit_request(grid::serialize(submit))) ++parsed;
+      if (grid::parse_stats_response(grid::serialize(stats))) ++parsed;
+    }
+    if (parsed != 4 * round_trips) {
+      throw util::SimulationError(
+          "perf_messages: codec round-trip failed");
+    }
+    return static_cast<double>(parsed);
+  });
+}
+
+}  // namespace vgrid::perf

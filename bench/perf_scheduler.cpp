@@ -1,0 +1,42 @@
+// Scheduler throughput: how fast the host-OS scheduler model burns
+// through scheduling passes. A testbed with more runnable threads than
+// cores keeps the quantum rotation busy, so context switches per wall
+// second measures the resched/accrue/publish-occupancy pipeline — the
+// inner loop every figure spends most of its simulated time in.
+
+#include <cstddef>
+
+#include "core/testbed.hpp"
+#include "os/thread.hpp"
+#include "perf_harness.hpp"
+#include "util/error.hpp"
+#include "workloads/sevenzip/bench7z.hpp"
+
+namespace vgrid::perf {
+
+void register_scheduler_benches(Suite& suite) {
+  suite.add("os.scheduler.passes", [](const BenchConfig& config) {
+    workloads::Bench7zConfig bench;
+    bench.data_bytes = config.quick ? 192 * 1024 : 1024 * 1024;
+    const workloads::SevenZipBench sevenzip{bench};
+    core::Testbed testbed(config.scenario);
+    // Oversubscribe: cores + 2 competing threads keeps every quantum
+    // expiry a real rotation instead of a no-op.
+    const int threads = config.scenario.machine.chip.cores + 2;
+    for (int i = 0; i < threads; ++i) {
+      testbed.scheduler().spawn("7z-" + std::to_string(i),
+                                os::PriorityClass::kNormal,
+                                sevenzip.make_program());
+    }
+    testbed.run_all();
+    const auto* scheduler =
+        dynamic_cast<const os::BaseScheduler*>(&testbed.scheduler());
+    if (scheduler == nullptr || scheduler->context_switches() == 0) {
+      throw util::SimulationError(
+          "perf_scheduler: expected context switches");
+    }
+    return static_cast<double>(scheduler->context_switches());
+  });
+}
+
+}  // namespace vgrid::perf

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -19,6 +20,7 @@ stats::Summary ParallelRunner::measure(
     const std::function<double(double scale)>& fn,
     const std::atomic<bool>* cancel) {
   const std::uint64_t call = measure_calls_++;
+  PROF_SCOPE("core.parallel_runner.measure");
   obs::ScopedSpan span(util::format(
       "runner.measure %llu", static_cast<unsigned long long>(call)));
   for (int i = 0; i < config_.warmup; ++i) {
@@ -31,6 +33,7 @@ stats::Summary ParallelRunner::measure(
   pool_.run(
       samples.size(),
       [&](std::size_t i) {
+        PROF_SCOPE("core.runner.repetition");
         samples[i] =
             fn(repetition_scale(config_, call, static_cast<int>(i)));
       },

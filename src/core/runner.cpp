@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -27,6 +28,7 @@ Runner::Runner(RunnerConfig config) : config_(config) {
 stats::Summary Runner::measure(
     const std::function<double(double scale)>& fn) {
   const std::uint64_t call = measure_calls_++;
+  PROF_SCOPE("core.runner.measure");
   obs::ScopedSpan span(util::format(
       "runner.measure %llu", static_cast<unsigned long long>(call)));
   for (int i = 0; i < config_.warmup; ++i) {
@@ -35,6 +37,7 @@ stats::Summary Runner::measure(
   std::vector<double> samples;
   samples.reserve(static_cast<std::size_t>(config_.repetitions));
   for (int i = 0; i < config_.repetitions; ++i) {
+    PROF_SCOPE("core.runner.repetition");
     samples.push_back(fn(repetition_scale(config_, call, i)));
   }
   if (config_.tukey_outlier_filter) {

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/testbed.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
@@ -62,17 +63,25 @@ void TaskPool::run(std::size_t count,
   if (count == 0) return;
   std::string* parent_sink = trace_capture();
   obs::Registry* parent_registry = obs::current();
+  obs::Profiler* parent_profiler = obs::current_profiler();
   const bool top_level = !t_inside_worker;
 
-  // Per-task slots: capture buffers, metric sub-registries, spans, and
-  // exceptions are all indexed by task so no output depends on completion
-  // order.
+  // Per-task slots: capture buffers, metric sub-registries, profilers,
+  // spans, and exceptions are all indexed by task so no output depends on
+  // completion order.
   std::vector<std::string> buffers(parent_sink != nullptr ? count : 0);
   std::vector<std::unique_ptr<obs::Registry>> registries;
   if (parent_registry != nullptr) {
     registries.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
       registries.push_back(std::make_unique<obs::Registry>());
+    }
+  }
+  std::vector<std::unique_ptr<obs::Profiler>> profilers;
+  if (parent_profiler != nullptr) {
+    profilers.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      profilers.push_back(std::make_unique<obs::Profiler>());
     }
   }
   std::vector<report::WorkerSpan> spans(count);
@@ -92,6 +101,10 @@ void TaskPool::run(std::size_t count,
       // byte-identical for any --jobs value.
       obs::ScopedRegistry obs_guard(
           parent_registry != nullptr ? registries[index].get() : nullptr);
+      // Same routing for profiling scopes: a Profiler is thread-confined,
+      // so each task records into its own tree, merged in task order.
+      obs::ScopedProfiler prof_guard(
+          parent_profiler != nullptr ? profilers[index].get() : nullptr);
       task(index);
     } catch (...) {
       errors[index] = std::current_exception();
@@ -153,6 +166,11 @@ void TaskPool::run(std::size_t count,
   if (parent_registry != nullptr) {
     for (const auto& registry : registries) {
       parent_registry->merge_from(*registry);
+    }
+  }
+  if (parent_profiler != nullptr) {
+    for (const auto& profiler : profilers) {
+      parent_profiler->merge_from(*profiler);
     }
   }
   if (top_level && t_span_sink != nullptr) {

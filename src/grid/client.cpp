@@ -9,9 +9,15 @@ namespace vgrid::grid {
 
 GridClient::GridClient(std::uint16_t server_port, std::string client_id)
     : server_port_(server_port), client_id_(std::move(client_id)) {
-  obs_client_latency_ = obs::maybe_histogram("grid.client.rpc_latency_us",
-                                             obs::rpc_latency_buckets_us(),
-                                             {{"client", client_id_}});
+  if (obs::Registry* registry = obs::current()) {
+    obs_requests_ = &registry->counter("grid.client.requests");
+    obs_latency_ = &registry->histogram("grid.client.rpc_latency_us",
+                                        obs::rpc_latency_buckets_us());
+    obs_client_latency_ =
+        &registry->histogram("grid.client.rpc_latency_us",
+                             obs::rpc_latency_buckets_us(),
+                             {{"client", client_id_}});
+  }
 }
 
 void GridClient::record_rpc_latency(std::int64_t wall_ns) {

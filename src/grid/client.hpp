@@ -56,10 +56,13 @@ class GridClient {
   std::string client_id_;
   std::map<std::string, Executor> executors_;
   ClientStats stats_;
-  obs::Counter* obs_requests_ = obs::maybe_counter("grid.client.requests");
-  obs::Histogram* obs_latency_ = obs::maybe_histogram(
-      "grid.client.rpc_latency_us", obs::rpc_latency_buckets_us());
-  obs::Histogram* obs_client_latency_ = nullptr;  // labeled; set in ctor
+  // All three handles are resolved together in the constructor from ONE
+  // obs::current() read, so the aggregate and per-client latency series
+  // can never split across two registries (the labeled handle needs
+  // client_id_, which member initializers don't have yet).
+  obs::Counter* obs_requests_ = nullptr;
+  obs::Histogram* obs_latency_ = nullptr;
+  obs::Histogram* obs_client_latency_ = nullptr;
 };
 
 }  // namespace vgrid::grid

@@ -15,6 +15,9 @@ ProjectServer::ProjectServer(std::uint16_t port) {
   tv.tv_usec = 50'000;
   ::setsockopt(listener_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   running_.store(true);
+  if (parent_profiler_ != nullptr) {
+    serve_profiler_ = std::make_unique<obs::Profiler>();
+  }
   thread_ = std::thread([this] { serve(); });
 }
 
@@ -24,6 +27,12 @@ void ProjectServer::stop() {
   if (!running_.exchange(false)) return;
   if (thread_.joinable()) thread_.join();
   listener_.close();
+  // The serve thread has joined; merging its profile tree into the
+  // constructing thread's profiler is now race-free.
+  if (parent_profiler_ != nullptr && serve_profiler_ != nullptr) {
+    parent_profiler_->merge_from(*serve_profiler_);
+    serve_profiler_.reset();
+  }
 }
 
 WorkunitId ProjectServer::add_workunit(Workunit workunit) {
@@ -181,6 +190,7 @@ StatsResponse ProjectServer::client_account(
 }
 
 void ProjectServer::handle_connection(int fd) {
+  PROF_SCOPE("grid.server.handle_connection");
   std::string line;
   if (!tcp::read_line(fd, line)) return;
   const std::string tag = request_tag(line);
@@ -208,6 +218,7 @@ void ProjectServer::handle_connection(int fd) {
 }
 
 void ProjectServer::serve() {
+  obs::ScopedProfiler prof_guard(serve_profiler_.get());
   while (running_.load(std::memory_order_relaxed)) {
     const int conn = ::accept(listener_.get(), nullptr, nullptr);
     if (conn < 0) continue;  // timeout or transient error

@@ -13,10 +13,13 @@
 #include <thread>
 #include <vector>
 
+#include <memory>
+
 #include "grid/messages.hpp"
 #include "grid/tcp_util.hpp"
 #include "grid/validator.hpp"
 #include "grid/workunit.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 
 namespace vgrid::grid {
@@ -109,6 +112,12 @@ class ProjectServer {
   obs::Counter* obs_malformed_messages_ =
       obs::maybe_counter("grid.server.messages", {{"type", "malformed"}});
   obs::Counter* obs_reissues_ = obs::maybe_counter("grid.server.reissues");
+  // Profiling: a Profiler is thread-confined, so the serve thread records
+  // into its own tree (created when the constructing thread had one
+  // installed) and stop() merges it into the parent after the join — the
+  // same task-ordered merge discipline core::TaskPool uses.
+  obs::Profiler* parent_profiler_ = obs::current_profiler();
+  std::unique_ptr<obs::Profiler> serve_profiler_;
 };
 
 }  // namespace vgrid::grid

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hpp"
 #include "util/audit.hpp"
 #include "util/error.hpp"
 
@@ -94,6 +95,7 @@ void Machine::set_uniform_service_demand(double cores_worth) {
 }
 
 void Machine::redistribute_service_load() {
+  PROF_SCOPE("hw.machine.redistribute_service_load");
   // Interrupt/DPC-level work lands on cores with spare capacity first: idle
   // cores, or cores running the VM's own threads (there it preempts the
   // vCPU, costing the guest, not the host). It spills onto cores running

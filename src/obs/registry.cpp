@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <fstream>
 #include <utility>
 
@@ -126,6 +127,41 @@ void Histogram::observe(std::int64_t value) noexcept {
          !max_.compare_exchange_weak(seen, value,
                                      std::memory_order_relaxed)) {
   }
+}
+
+std::int64_t Histogram::percentile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  const std::int64_t lo = min();
+  const std::int64_t hi = max();
+  // Continuous rank in [0, count]; q=0 hits the lower edge of the first
+  // occupied bucket, q=1 its upper edge (clamped to max below).
+  double rank = q * static_cast<double>(total);
+  if (rank < 0.0) rank = 0.0;
+  if (rank > static_cast<double>(total)) rank = static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const double in_bucket = static_cast<double>(bucket_count(i));
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= rank) {
+      // Interpolate linearly inside this bucket. The first and +Inf
+      // buckets have no finite edge on one side; the tracked extremes
+      // stand in, and the final clamp keeps every estimate inside
+      // [min, max].
+      const double lower = (i == 0) ? static_cast<double>(lo)
+                                    : static_cast<double>(bounds_[i - 1]);
+      const double upper = (i == bounds_.size())
+                               ? static_cast<double>(hi)
+                               : static_cast<double>(bounds_[i]);
+      const double fraction = (rank - cumulative) / in_bucket;
+      double value = lower + (upper - lower) * fraction;
+      if (value < static_cast<double>(lo)) value = static_cast<double>(lo);
+      if (value > static_cast<double>(hi)) value = static_cast<double>(hi);
+      return std::llround(value);
+    }
+    cumulative += in_bucket;
+  }
+  return hi;
 }
 
 // ---- Registry ---------------------------------------------------------------
@@ -336,12 +372,16 @@ std::string Registry::snapshot_json() const {
       out += util::format(
           "{\"name\":\"%s\",\"labels\":%s,\"type\":\"histogram\","
           "\"bounds\":%s,\"counts\":%s,\"count\":%llu,\"sum\":%lld,"
-          "\"min\":%lld,\"max\":%lld}",
+          "\"min\":%lld,\"max\":%lld,"
+          "\"p50\":%lld,\"p90\":%lld,\"p99\":%lld}",
           name.c_str(), labels.c_str(), bounds.c_str(), counts.c_str(),
           static_cast<unsigned long long>(histogram.count()),
           static_cast<long long>(histogram.sum()),
           static_cast<long long>(any ? histogram.min() : 0),
-          static_cast<long long>(any ? histogram.max() : 0));
+          static_cast<long long>(any ? histogram.max() : 0),
+          static_cast<long long>(histogram.percentile(0.50)),
+          static_cast<long long>(histogram.percentile(0.90)),
+          static_cast<long long>(histogram.percentile(0.99)));
     }
   }
   out += "\n]\n}\n";
@@ -395,6 +435,22 @@ std::string Registry::snapshot_prometheus() const {
       out += name + "_count" + prometheus_labels(key.labels) +
              util::format(" %llu\n", static_cast<unsigned long long>(
                                          histogram.count()));
+      // Derived quantile estimates (bucket interpolation, clamped to the
+      // tracked min/max) as Summary-style series next to the raw buckets.
+      struct Quantile {
+        const char* label;
+        double q;
+      };
+      constexpr Quantile kQuantiles[] = {
+          {"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}};
+      for (const Quantile& quantile : kQuantiles) {
+        out += name +
+               prometheus_labels(
+                   key.labels,
+                   util::format("quantile=\"%s\"", quantile.label)) +
+               util::format(" %lld\n", static_cast<long long>(
+                                           histogram.percentile(quantile.q)));
+      }
     }
     last_name = key.name;
   }

@@ -117,6 +117,13 @@ class Histogram {
     return max_.load(std::memory_order_relaxed);
   }
 
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+  /// bucket holding the ceil(q*count)-th observation, clamped to
+  /// [min, max] so the tracked extremes bound the estimate even in the
+  /// open-ended +Inf bucket. Integer counts in, integer estimate out —
+  /// deterministic for a deterministic workload. Returns 0 when empty.
+  std::int64_t percentile(double q) const noexcept;
+
  private:
   friend class Registry;
   explicit Histogram(std::vector<std::int64_t> bounds);

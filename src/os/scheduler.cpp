@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hpp"
 #include "sim/trace.hpp"
 #include "util/audit.hpp"
 #include "util/error.hpp"
@@ -206,6 +207,7 @@ void BaseScheduler::resched() {
 }
 
 void BaseScheduler::resched_pass() {
+  PROF_SCOPE("os.scheduler.resched_pass");
   accrue_all_running();
 
   // Any running thread whose step completed during accrual advances its

@@ -1,0 +1,149 @@
+#include "report/profile_export.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <fstream>
+#include <map>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vgrid::report {
+
+namespace {
+
+using obs::Profiler;
+
+std::int64_t clamped_exclusive(const Profiler& profiler,
+                               std::int32_t index) {
+  return std::max<std::int64_t>(0, profiler.exclusive_ns(index));
+}
+
+/// Children of `index` sorted by name — the canonical export order (the
+/// in-memory order is creation order, which depends on which code path
+/// ran first).
+std::vector<std::int32_t> sorted_children(const Profiler& profiler,
+                                          std::int32_t index) {
+  std::vector<std::int32_t> children =
+      profiler.nodes()[static_cast<std::size_t>(index)].children;
+  std::sort(children.begin(), children.end(),
+            [&](std::int32_t a, std::int32_t b) {
+              return profiler.nodes()[static_cast<std::size_t>(a)].name <
+                     profiler.nodes()[static_cast<std::size_t>(b)].name;
+            });
+  return children;
+}
+
+void append_node_json(const Profiler& profiler, std::int32_t index,
+                      std::string* out) {
+  const Profiler::Node& node =
+      profiler.nodes()[static_cast<std::size_t>(index)];
+  *out += util::format(
+      "{\"name\":\"%s\",\"count\":%llu,\"incl_ns\":%lld,\"excl_ns\":%lld,"
+      "\"children\":[",
+      util::json_escape(node.name).c_str(),
+      static_cast<unsigned long long>(node.count),
+      static_cast<long long>(node.inclusive_ns),
+      static_cast<long long>(clamped_exclusive(profiler, index)));
+  bool first = true;
+  for (const std::int32_t child : sorted_children(profiler, index)) {
+    if (!first) *out += ",";
+    first = false;
+    append_node_json(profiler, child, out);
+  }
+  *out += "]}";
+}
+
+void append_folded(const Profiler& profiler, std::int32_t index,
+                   const std::string& prefix,
+                   std::vector<std::string>* lines) {
+  const Profiler::Node& node =
+      profiler.nodes()[static_cast<std::size_t>(index)];
+  const std::string path =
+      prefix.empty() ? node.name : prefix + ";" + node.name;
+  const std::int64_t exclusive = clamped_exclusive(profiler, index);
+  if (exclusive > 0) {
+    lines->push_back(
+        path + util::format(" %lld", static_cast<long long>(exclusive)));
+  }
+  for (const std::int32_t child : sorted_children(profiler, index)) {
+    append_folded(profiler, child, path, lines);
+  }
+}
+
+void write_text(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw util::SystemError("cannot open " + path, errno);
+  out << body;
+  if (!out) throw util::SystemError("write failed: " + path, errno);
+}
+
+}  // namespace
+
+std::string profile_json(const Profiler& profiler) {
+  std::string out = util::format(
+      "{\n\"vgrid_profile_version\":1,\n\"total_ns\":%lld,\n\"roots\":[",
+      static_cast<long long>(profiler.total_ns()));
+  bool first = true;
+  for (const std::int32_t root : sorted_children(profiler, 0)) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+    append_node_json(profiler, root, &out);
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+std::string profile_folded(const Profiler& profiler) {
+  std::vector<std::string> lines;
+  for (const std::int32_t root : sorted_children(profiler, 0)) {
+    append_folded(profiler, root, "", &lines);
+  }
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<ProfileRow> top_exclusive(const Profiler& profiler,
+                                      std::size_t limit) {
+  // Aggregate by scope name: one PROF_SCOPE site can appear at several
+  // tree positions (e.g. event-queue pops under every figure), and the
+  // table answers "which scope costs the most" rather than "which path".
+  std::map<std::string, ProfileRow> by_name;
+  const auto& nodes = profiler.nodes();
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    ProfileRow& row = by_name[nodes[i].name];
+    row.name = nodes[i].name;
+    row.count += nodes[i].count;
+    row.exclusive_ns +=
+        clamped_exclusive(profiler, static_cast<std::int32_t>(i));
+    row.inclusive_ns += nodes[i].inclusive_ns;
+  }
+  std::vector<ProfileRow> rows;
+  rows.reserve(by_name.size());
+  for (const auto& [name, row] : by_name) rows.push_back(row);
+  std::sort(rows.begin(), rows.end(),
+            [](const ProfileRow& a, const ProfileRow& b) {
+              if (a.exclusive_ns != b.exclusive_ns) {
+                return a.exclusive_ns > b.exclusive_ns;
+              }
+              return a.name < b.name;
+            });
+  if (rows.size() > limit) rows.resize(limit);
+  return rows;
+}
+
+void write_profile_json(const std::string& path, const Profiler& profiler) {
+  write_text(path, profile_json(profiler));
+}
+
+void write_profile_folded(const std::string& path,
+                          const Profiler& profiler) {
+  write_text(path, profile_folded(profiler));
+}
+
+}  // namespace vgrid::report

@@ -1,0 +1,57 @@
+#pragma once
+// Renderers for obs::Profiler trees — the "where did our wall time go"
+// side of the observability layer. Three shapes:
+//
+//  profile_json    — canonical sorted JSON tree (children ordered by
+//                    name at every level), schema-versioned; the shape a
+//                    future PR diffs, even though the ns values are wall
+//                    clock and vary run to run.
+//  profile_folded  — Brendan Gregg folded-stack lines
+//                    ("a;b;c <exclusive_ns>"), directly consumable by
+//                    flamegraph.pl or speedscope.
+//  top_exclusive   — the top-N self-time rows behind `vgrid profile`.
+//
+// Values are nanoseconds; exporters clamp marginally-negative exclusive
+// times (timer granularity) at zero so downstream tools never see a
+// negative sample.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/profiler.hpp"
+
+namespace vgrid::report {
+
+/// Canonical JSON profile: {"vgrid_profile_version":1,"total_ns":...,
+/// "roots":[{"name":...,"count":...,"incl_ns":...,"excl_ns":...,
+/// "children":[...]},...]} with children sorted by name at every level.
+std::string profile_json(const obs::Profiler& profiler);
+
+/// Folded stacks, one line per tree node with nonzero exclusive time:
+/// "parent;child;leaf <exclusive_ns>\n", sorted by path.
+std::string profile_folded(const obs::Profiler& profiler);
+
+struct ProfileRow {
+  std::string name;        ///< scope name (tree position ignored)
+  std::uint64_t count = 0;
+  std::int64_t exclusive_ns = 0;
+  std::int64_t inclusive_ns = 0;
+};
+
+/// Top-`limit` scopes by exclusive time, aggregated by scope NAME across
+/// tree positions (a scope that appears under several parents reports one
+/// row). Ties break by name so the table is deterministic.
+std::vector<ProfileRow> top_exclusive(const obs::Profiler& profiler,
+                                      std::size_t limit);
+
+/// Write profile_json to `path`. Throws util::SystemError on I/O failure.
+void write_profile_json(const std::string& path,
+                        const obs::Profiler& profiler);
+
+/// Write profile_folded to `path`. Throws util::SystemError on I/O
+/// failure.
+void write_profile_folded(const std::string& path,
+                          const obs::Profiler& profiler);
+
+}  // namespace vgrid::report

@@ -10,6 +10,7 @@
 #include <set>
 #include <sstream>
 
+#include "obs/profiler.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/units.hpp"
@@ -626,6 +627,7 @@ const vmm::VmmProfile* Scenario::profile_by_name(
 // ---- entry points -----------------------------------------------------------
 
 Scenario parse(const std::string& text, const std::string& source_name) {
+  PROF_SCOPE("scenario.parse");
   return Parser(text, source_name).run();
 }
 

@@ -1,11 +1,13 @@
 #include "sim/event_queue.hpp"
 
+#include "obs/profiler.hpp"
 #include "util/audit.hpp"
 #include "util/error.hpp"
 
 namespace vgrid::sim {
 
 EventId EventQueue::push(SimTime when, Callback cb) {
+  PROF_SCOPE("sim.event_queue.push");
   const EventId id = next_id_++;
   heap_.push(Entry{when, id});
   callbacks_.emplace(id, std::move(cb));
@@ -44,6 +46,7 @@ SimTime EventQueue::next_time() {
 }
 
 EventQueue::Fired EventQueue::pop() {
+  PROF_SCOPE("sim.event_queue.pop");
   drop_cancelled();
   if (heap_.empty()) {
     throw util::SimulationError("EventQueue::pop on empty queue");

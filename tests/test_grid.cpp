@@ -8,6 +8,7 @@
 
 #include "grid/client.hpp"
 #include "grid/messages.hpp"
+#include "obs/registry.hpp"
 #include "grid/server.hpp"
 #include "grid/validator.hpp"
 #include "util/error.hpp"
@@ -367,6 +368,40 @@ TEST(ServerClient, ParallelClientsDrainQueue) {
   for (auto& t : pool) t.join();
   EXPECT_EQ(completed.load(), 8u);
   EXPECT_EQ(server.stats().workunits_validated, 8u);
+}
+
+// ---- client metrics wiring ---------------------------------------------------
+
+// Regression: the client's aggregate counter/histogram and the per-client
+// labeled histogram must all resolve from the SAME ambient registry at
+// construction. They used to resolve in two places (member initializers
+// vs. ctor body), which let the series split across registries.
+TEST(ServerClient, ClientResolvesAllInstrumentsFromOneRegistry) {
+  ProjectServer server;
+  obs::Registry registry;
+  {
+    obs::ScopedRegistry metrics_scope(&registry);
+    GridClient client(server.port(), "alice");
+  }
+  // grid.client.requests + unlabeled and {client=alice} latency histograms.
+  EXPECT_EQ(registry.instrument_count(), 3u);
+  const std::string snapshot = registry.snapshot_json();
+  EXPECT_NE(snapshot.find("grid.client.requests"), std::string::npos);
+  EXPECT_NE(snapshot.find("\"client\":\"alice\""), std::string::npos);
+}
+
+// A registry installed only AFTER construction must see nothing: the
+// handles are resolved once, not per call.
+TEST(ServerClient, ClientIgnoresRegistryInstalledAfterConstruction) {
+  ProjectServer server;
+  server.add_workunit(Workunit{0, "echo", "ping", 1, 1});
+  GridClient client(server.port(), "bob");
+  client.register_app("echo",
+                      [](const std::string& payload) { return payload; });
+  obs::Registry late;
+  obs::ScopedRegistry metrics_scope(&late);
+  EXPECT_TRUE(client.run_once());
+  EXPECT_EQ(late.instrument_count(), 0u);
 }
 
 }  // namespace

@@ -354,6 +354,17 @@ TEST(LintObservability, ReportObsAndFrontEndsAreExempt) {
   EXPECT_TRUE(lint::lint_file("bench/fig1_7z.cpp", source).empty());
 }
 
+TEST(LintObservability, ProfScopeInstrumentationIsNotStdio) {
+  // PROF_SCOPE is the sanctioned profiling macro — instrumenting a hot
+  // path must not trip the stdio rule, and sim code may include the
+  // profiler header (obs is a documented lateral edge).
+  const auto ds = lint::lint_file("src/sim/event_queue.cpp", R"cpp(
+#include "obs/profiler.hpp"
+void pop_event() { PROF_SCOPE("sim.event_queue.pop"); }
+)cpp");
+  EXPECT_TRUE(ds.empty());
+}
+
 TEST(LintObservability, FormattingIntoBuffersIsNotStdio) {
   // snprintf writes to memory, not a stream; only stream writes bypass
   // the obs/report layers.

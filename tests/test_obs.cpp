@@ -137,6 +137,74 @@ TEST(Registry, MergeCombinesHistogramsAndCounters) {
   EXPECT_EQ(merged.bucket_count(1), 1u);
 }
 
+TEST(Histogram, PercentilesInterpolateInsideBuckets) {
+  Registry registry;
+  Histogram& histogram = registry.histogram("pct.lat", {100, 200, 400});
+  // 100 observations spread 0..99: all land in the first bucket, which
+  // spans [min=0, bound=100] for interpolation.
+  for (std::int64_t v = 0; v < 100; ++v) histogram.observe(v);
+  EXPECT_EQ(histogram.percentile(0.50), 50);
+  EXPECT_EQ(histogram.percentile(0.90), 90);
+  // Extremes clamp to the tracked min/max.
+  EXPECT_EQ(histogram.percentile(0.0), 0);
+  EXPECT_EQ(histogram.percentile(1.0), 99);
+}
+
+TEST(Histogram, PercentileTailUsesTrackedMaxInInfBucket) {
+  Registry registry;
+  Histogram& histogram = registry.histogram("pct.tail", {10});
+  for (int i = 0; i < 99; ++i) histogram.observe(5);
+  histogram.observe(5000);  // lone outlier in the +Inf bucket
+  // p99 rank (99) still lands in the first bucket; p100 reaches the
+  // outlier but can never exceed the tracked max.
+  EXPECT_LE(histogram.percentile(0.99), 10);
+  EXPECT_EQ(histogram.percentile(1.0), 5000);
+}
+
+TEST(Histogram, PercentileOfEmptyHistogramIsZero) {
+  Registry registry;
+  Histogram& histogram = registry.histogram("pct.empty", {10});
+  EXPECT_EQ(histogram.percentile(0.5), 0);
+}
+
+TEST(Registry, SnapshotCarriesPercentilesThroughDiffParser) {
+  Registry registry;
+  Histogram& histogram = registry.histogram("pct.snap", {100});
+  for (std::int64_t v = 1; v <= 10; ++v) histogram.observe(v * 10);
+  const auto snapshot = tools::parse_snapshot(registry.snapshot_json());
+  ASSERT_EQ(snapshot.instruments.size(), 1u);
+  EXPECT_EQ(snapshot.instruments[0].p50, histogram.percentile(0.50));
+  EXPECT_EQ(snapshot.instruments[0].p90, histogram.percentile(0.90));
+  EXPECT_EQ(snapshot.instruments[0].p99, histogram.percentile(0.99));
+
+  // A tail shift beyond the band is called out as a p-line difference.
+  Registry other;
+  Histogram& shifted = other.histogram("pct.snap", {100});
+  for (std::int64_t v = 1; v <= 10; ++v) shifted.observe(v * 10 + 40);
+  const auto moved = tools::parse_snapshot(other.snapshot_json());
+  const auto differences =
+      tools::diff_snapshots(snapshot, moved, {/*abs_tol=*/0.0,
+                                              /*rel_tol=*/0.0});
+  bool p90_flagged = false;
+  for (const auto& difference : differences) {
+    if (difference.detail.rfind("p90", 0) == 0) p90_flagged = true;
+  }
+  EXPECT_TRUE(p90_flagged);
+}
+
+TEST(Registry, PrometheusExportsQuantileSeries) {
+  Registry registry;
+  Histogram& histogram = registry.histogram("quant.lat", {100});
+  for (std::int64_t v = 0; v < 100; ++v) histogram.observe(v);
+  const std::string text = registry.snapshot_prometheus();
+  EXPECT_NE(text.find("vgrid_quant_lat{quantile=\"0.5\"} 50"),
+            std::string::npos);
+  EXPECT_NE(text.find("vgrid_quant_lat{quantile=\"0.9\"} 90"),
+            std::string::npos);
+  EXPECT_NE(text.find("vgrid_quant_lat{quantile=\"0.99\"} 99"),
+            std::string::npos);
+}
+
 TEST(Registry, SnapshotRoundTripsThroughMetricsDiffParser) {
   Registry registry;
   registry.counter("round.trip", {{"path", "say \"hi\"\\n"}}).add(17);

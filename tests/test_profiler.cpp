@@ -1,0 +1,334 @@
+// Tests for the self-profiling layer: obs::Profiler tree accounting,
+// deterministic cross-thread merge via core::TaskPool, the configure-time
+// off switch, the report/profile_export renderers, and the bench_diff
+// perf-gate semantics on in-memory BENCH documents.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_diff/bench_diff.hpp"
+#include "core/task_pool.hpp"
+#include "obs/profiler.hpp"
+#include "report/profile_export.hpp"
+
+// Defined in test_profiler_forceoff.cpp, which is compiled with
+// VGRID_PROFILE_FORCE_OFF: its PROF_SCOPE must expand to nothing even
+// while a profiler is installed.
+namespace vgrid::obs::testing {
+void run_force_off_scope();
+}
+
+namespace vgrid::obs {
+namespace {
+
+// ---- tree accounting ---------------------------------------------------------
+
+TEST(Profiler, NestedScopesAccumulateInclusiveAndExclusiveTime) {
+  Profiler profiler;
+  const std::int32_t outer = profiler.enter("outer");
+  const std::int32_t inner_a = profiler.enter("inner");
+  profiler.leave(inner_a, 30);
+  const std::int32_t inner_b = profiler.enter("inner");
+  profiler.leave(inner_b, 20);
+  profiler.leave(outer, 100);
+
+  // The two "inner" scopes under the same parent share one node.
+  EXPECT_EQ(inner_a, inner_b);
+  ASSERT_EQ(profiler.nodes().size(), 3u);  // root + outer + inner
+  const Profiler::Node& outer_node = profiler.nodes()[outer];
+  const Profiler::Node& inner_node = profiler.nodes()[inner_a];
+  EXPECT_EQ(outer_node.count, 1u);
+  EXPECT_EQ(outer_node.inclusive_ns, 100);
+  EXPECT_EQ(inner_node.count, 2u);
+  EXPECT_EQ(inner_node.inclusive_ns, 50);
+  // Exclusive = inclusive minus the children's inclusive.
+  EXPECT_EQ(profiler.exclusive_ns(outer), 50);
+  EXPECT_EQ(profiler.exclusive_ns(inner_a), 50);
+  EXPECT_EQ(profiler.total_ns(), 100);
+  EXPECT_FALSE(profiler.empty());
+}
+
+TEST(Profiler, SameNameUnderDifferentParentsIsDistinctNodes) {
+  Profiler profiler;
+  const std::int32_t a = profiler.enter("a");
+  const std::int32_t leaf_under_a = profiler.enter("leaf");
+  profiler.leave(leaf_under_a, 1);
+  profiler.leave(a, 2);
+  const std::int32_t b = profiler.enter("b");
+  const std::int32_t leaf_under_b = profiler.enter("leaf");
+  profiler.leave(leaf_under_b, 3);
+  profiler.leave(b, 4);
+  EXPECT_NE(leaf_under_a, leaf_under_b);
+  EXPECT_EQ(profiler.nodes()[leaf_under_a].parent, a);
+  EXPECT_EQ(profiler.nodes()[leaf_under_b].parent, b);
+}
+
+TEST(Profiler, ProfScopeRecordsIntoAmbientProfiler) {
+  Profiler profiler;
+  {
+    ScopedProfiler install(&profiler);
+    PROF_SCOPE("ambient.outer");
+    PROF_SCOPE("ambient.inner");
+  }
+  // Both scopes opened in the same block: inner nests under outer
+  // (declaration order), both completed on block exit.
+  ASSERT_EQ(profiler.nodes().size(), 3u);
+  EXPECT_EQ(profiler.nodes()[1].name, "ambient.outer");
+  EXPECT_EQ(profiler.nodes()[2].name, "ambient.inner");
+  EXPECT_EQ(profiler.nodes()[2].parent, 1);
+  EXPECT_EQ(profiler.nodes()[1].count, 1u);
+  EXPECT_GE(profiler.nodes()[1].inclusive_ns,
+            profiler.nodes()[2].inclusive_ns);
+}
+
+TEST(Profiler, ProfScopeWithoutProfilerIsInert) {
+  ASSERT_EQ(current_profiler(), nullptr);
+  PROF_SCOPE("nobody.listening");  // must not crash or allocate a tree
+  EXPECT_EQ(current_profiler(), nullptr);
+}
+
+TEST(Profiler, ForceOffTranslationUnitRecordsNothing) {
+  Profiler profiler;
+  {
+    ScopedProfiler install(&profiler);
+    testing::run_force_off_scope();
+  }
+  EXPECT_TRUE(profiler.empty());
+}
+
+// ---- merge -------------------------------------------------------------------
+
+TEST(Profiler, MergeMatchesByPathAndAddsCounts) {
+  Profiler target;
+  const std::int32_t a = target.enter("a");
+  const std::int32_t b = target.enter("b");
+  target.leave(b, 10);
+  target.leave(a, 30);
+
+  Profiler source;
+  const std::int32_t a2 = source.enter("a");
+  const std::int32_t b2 = source.enter("b");
+  source.leave(b2, 5);
+  source.leave(a2, 15);
+  const std::int32_t c = source.enter("c");
+  source.leave(c, 7);
+
+  target.merge_from(source);
+  ASSERT_EQ(target.nodes().size(), 4u);  // root, a, b, c
+  EXPECT_EQ(target.nodes()[a].count, 2u);
+  EXPECT_EQ(target.nodes()[a].inclusive_ns, 45);
+  EXPECT_EQ(target.nodes()[b].count, 2u);
+  EXPECT_EQ(target.nodes()[b].inclusive_ns, 15);
+  EXPECT_EQ(target.nodes()[3].name, "c");
+  EXPECT_EQ(target.nodes()[3].parent, 0);
+  EXPECT_EQ(target.total_ns(), 45 + 7);
+}
+
+TEST(Profiler, MergedTreeOutlivesSourceProfiler) {
+  // merge_from must not keep pointers into the (dying) source: the
+  // fast-path name pointers have to be repointed at the target's own
+  // strings.
+  Profiler target;
+  {
+    Profiler source;
+    const std::int32_t node = source.enter(std::string("heap.name").c_str());
+    source.leave(node, 3);
+    target.merge_from(source);
+  }
+  const std::int32_t again = target.enter("heap.name");
+  target.leave(again, 4);
+  ASSERT_EQ(target.nodes().size(), 2u);
+  EXPECT_EQ(target.nodes()[1].count, 2u);
+  EXPECT_EQ(target.nodes()[1].inclusive_ns, 7);
+}
+
+/// The tentpole contract: scopes recorded inside TaskPool tasks merge in
+/// task order, so the profile STRUCTURE (paths, counts) is identical for
+/// any --jobs value; only the wall-clock ns differ.
+std::vector<std::pair<std::string, std::uint64_t>> pooled_structure(
+    int jobs) {
+  Profiler profiler;
+  ScopedProfiler install(&profiler);
+  core::TaskPool pool(jobs);
+  pool.run(24, [](std::size_t i) {
+    PROF_SCOPE("pool.task");
+    if (i % 3 == 0) {
+      PROF_SCOPE("pool.third");
+    }
+  });
+  std::vector<std::pair<std::string, std::uint64_t>> structure;
+  for (const Profiler::Node& node : profiler.nodes()) {
+    structure.emplace_back(node.name, node.count);
+  }
+  return structure;
+}
+
+TEST(Profiler, TaskPoolMergeStructureIsIdenticalAcrossJobCounts) {
+  const auto serial = pooled_structure(1);
+  const auto parallel = pooled_structure(8);
+  EXPECT_EQ(serial, parallel);
+  ASSERT_EQ(serial.size(), 3u);  // root + pool.task + pool.third
+  EXPECT_EQ(serial[1], (std::pair<std::string, std::uint64_t>(
+                           "pool.task", 24u)));
+  EXPECT_EQ(serial[2], (std::pair<std::string, std::uint64_t>(
+                           "pool.third", 8u)));
+}
+
+// ---- exporters ---------------------------------------------------------------
+
+Profiler& sample_profile(Profiler& profiler) {
+  const std::int32_t run = profiler.enter("run");
+  const std::int32_t parse = profiler.enter("parse");
+  profiler.leave(parse, 40);
+  const std::int32_t exec = profiler.enter("exec");
+  profiler.leave(exec, 50);
+  profiler.leave(run, 100);
+  return profiler;
+}
+
+TEST(ProfileExport, JsonIsVersionedAndSortsChildrenByName) {
+  Profiler profiler;
+  const std::string json = report::profile_json(sample_profile(profiler));
+  EXPECT_NE(json.find("\"vgrid_profile_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"total_ns\":100"), std::string::npos);
+  // Children of "run" sort by name: exec before parse despite creation
+  // order.
+  EXPECT_LT(json.find("\"name\":\"exec\""), json.find("\"name\":\"parse\""));
+  EXPECT_NE(json.find("\"excl_ns\":10"), std::string::npos);
+}
+
+TEST(ProfileExport, FoldedStacksRoundTripPathsAndExclusiveTime) {
+  Profiler profiler;
+  const std::string folded =
+      report::profile_folded(sample_profile(profiler));
+  // Parse the folded lines back: "path ns" per line, nonzero-only.
+  std::istringstream in(folded);
+  std::string line;
+  std::int64_t total = 0;
+  std::vector<std::string> paths;
+  while (std::getline(in, line)) {
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    paths.push_back(line.substr(0, space));
+    total += std::stoll(line.substr(space + 1));
+  }
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0], "run");
+  EXPECT_EQ(paths[1], "run;exec");
+  EXPECT_EQ(paths[2], "run;parse");
+  // Folded exclusive times partition the total inclusive time.
+  EXPECT_EQ(total, 100);
+}
+
+TEST(ProfileExport, TopExclusiveAggregatesByScopeName) {
+  Profiler profiler;
+  const std::int32_t a = profiler.enter("a");
+  const std::int32_t leaf1 = profiler.enter("leaf");
+  profiler.leave(leaf1, 30);
+  profiler.leave(a, 30);
+  const std::int32_t b = profiler.enter("b");
+  const std::int32_t leaf2 = profiler.enter("leaf");
+  profiler.leave(leaf2, 25);
+  profiler.leave(b, 40);
+
+  const auto rows = report::top_exclusive(profiler, 2);
+  ASSERT_EQ(rows.size(), 2u);
+  // "leaf" appears under both parents but reports one aggregated row.
+  EXPECT_EQ(rows[0].name, "leaf");
+  EXPECT_EQ(rows[0].count, 2u);
+  EXPECT_EQ(rows[0].exclusive_ns, 55);
+  EXPECT_EQ(rows[1].name, "b");
+  EXPECT_EQ(rows[1].exclusive_ns, 15);
+}
+
+// ---- bench_diff gate ---------------------------------------------------------
+
+std::string bench_doc(std::int64_t round_trip_ns, bool with_extra) {
+  std::ostringstream out;
+  out << "{\"vgrid_bench_version\":1,\n\"benchmarks\":[\n"
+      << "{\"median_ns\":" << round_trip_ns
+      << ",\"min_ns\":" << round_trip_ns - 100
+      << ",\"name\":\"grid.messages.round_trip\",\"ops\":1000,"
+      << "\"ops_per_sec\":1e6,\"reps\":3}";
+  if (with_extra) {
+    out << ",\n{\"median_ns\":500000,\"min_ns\":400000,"
+        << "\"name\":\"sim.event_queue.push_pop\",\"ops\":100,"
+        << "\"ops_per_sec\":2e5,\"reps\":3}";
+  }
+  out << "\n],\n\"host\":{\"compiler\":\"gcc 12\",\"cores\":4},\n"
+      << "\"quick\":true,\n"
+      << "\"scenario\":{\"hash\":\"abc\",\"name\":\"paper\"}}\n";
+  return out.str();
+}
+
+TEST(BenchDiff, WithinBandPasses) {
+  const auto baseline = tools::parse_bench(bench_doc(1'000'000, true));
+  const auto candidate = tools::parse_bench(bench_doc(1'100'000, true));
+  tools::BenchDiffOptions options;
+  options.rel_tol = 0.25;
+  const auto report = tools::diff_bench(baseline, candidate, options);
+  EXPECT_FALSE(report.gate_failed);
+}
+
+TEST(BenchDiff, RegressionBeyondBandFailsGate) {
+  const auto baseline = tools::parse_bench(bench_doc(1'000'000, true));
+  const auto candidate = tools::parse_bench(bench_doc(2'000'000, true));
+  tools::BenchDiffOptions options;
+  options.rel_tol = 0.25;
+  options.abs_ns = 0;
+  const auto report = tools::diff_bench(baseline, candidate, options);
+  EXPECT_TRUE(report.gate_failed);
+  bool flagged = false;
+  for (const auto& finding : report.findings) {
+    if (finding.regression &&
+        finding.name == "grid.messages.round_trip") {
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(BenchDiff, MissingBenchmarkIsARegressionNewOneIsANote) {
+  const auto baseline = tools::parse_bench(bench_doc(1'000'000, true));
+  const auto candidate = tools::parse_bench(bench_doc(1'000'000, false));
+  const auto shrunk = tools::diff_bench(baseline, candidate, {});
+  EXPECT_TRUE(shrunk.gate_failed);
+
+  const auto grown = tools::diff_bench(candidate, baseline, {});
+  EXPECT_FALSE(grown.gate_failed);
+  bool noted = false;
+  for (const auto& finding : grown.findings) {
+    if (!finding.regression &&
+        finding.name == "sim.event_queue.push_pop") {
+      noted = true;
+    }
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(BenchDiff, AbsNsFloorShieldsMicrosecondBenchesFromJitter) {
+  // 10us -> 40us is 4x, but under a 50us absolute floor it is noise.
+  const auto baseline = tools::parse_bench(bench_doc(10'000, false));
+  const auto candidate = tools::parse_bench(bench_doc(40'000, false));
+  tools::BenchDiffOptions options;  // default abs_ns = 50'000
+  options.rel_tol = 0.0;
+  const auto report = tools::diff_bench(baseline, candidate, options);
+  EXPECT_FALSE(report.gate_failed);
+}
+
+TEST(BenchDiff, ParserRejectsWrongVersionAndMalformedEntries) {
+  EXPECT_THROW(
+      tools::parse_bench("{\"vgrid_bench_version\":2,\"benchmarks\":[],"
+                         "\"host\":{\"compiler\":\"g\",\"cores\":1},"
+                         "\"quick\":true,"
+                         "\"scenario\":{\"hash\":\"h\",\"name\":\"n\"}}"),
+      std::runtime_error);
+  EXPECT_THROW(tools::parse_bench("not json"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vgrid::obs

@@ -1,0 +1,13 @@
+// Compiled with VGRID_PROFILE_FORCE_OFF (see tests/CMakeLists.txt): the
+// PROF_SCOPE below must expand to `static_cast<void>(0)` — the caller
+// asserts the installed profiler stays empty.
+
+#include "obs/profiler.hpp"
+
+namespace vgrid::obs::testing {
+
+void run_force_off_scope() {
+  PROF_SCOPE("forceoff.should_not_exist");
+}
+
+}  // namespace vgrid::obs::testing

@@ -1,0 +1,328 @@
+#include "bench_diff/bench_diff.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace vgrid::tools {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for the bench document. Unlike metrics_diff's
+// line-oriented parser this one reads the whole (multi-line) document, and
+// numbers may be floating point (%g-formatted ops / ops_per_sec).
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kObject, kArray, kString, kNumber, kBool };
+  Kind kind = Kind::kNumber;
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+  std::string string;
+  double number = 0.0;
+  bool boolean = false;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_space();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("bench_diff: JSON error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_space();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (c == 't' || c == 'f') return parse_bool();
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      JsonValue key = parse_string();
+      expect(':');
+      value.object[key.string] = parse_value();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return value;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return value;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  JsonValue parse_string() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kString;
+    expect('"');
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return value;
+      if (c != '\\') {
+        value.string.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': value.string.push_back('"'); break;
+        case '\\': value.string.push_back('\\'); break;
+        case '/': value.string.push_back('/'); break;
+        case 'n': value.string.push_back('\n'); break;
+        case 't': value.string.push_back('\t'); break;
+        case 'r': value.string.push_back('\r'); break;
+        case 'b': value.string.push_back('\b'); break;
+        case 'f': value.string.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          const long code = std::strtol(hex.c_str(), nullptr, 16);
+          if (code > 0xFF) fail("\\u escape beyond latin-1 unsupported");
+          value.string.push_back(static_cast<char>(code));
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_bool() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      value.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      value.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("expected true/false");
+    }
+    return value;
+  }
+
+  JsonValue parse_number() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    const std::size_t start = pos_;
+    auto accept = [&](auto pred) {
+      while (pos_ < text_.size() && pred(text_[pos_])) ++pos_;
+    };
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    accept([](char c) {
+      return (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+             c == '+' || c == '-';
+    });
+    if (pos_ == start) fail("expected a number");
+    value.number =
+        std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return value;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue& field(const JsonValue& object, const std::string& name) {
+  const auto it = object.object.find(name);
+  if (it == object.object.end()) {
+    throw std::runtime_error("bench_diff: document missing field '" + name +
+                             "'");
+  }
+  return it->second;
+}
+
+std::string format_ns(std::int64_t ns) {
+  std::ostringstream out;
+  if (ns >= 1'000'000'000) {
+    out << static_cast<double>(ns) / 1e9 << " s";
+  } else if (ns >= 1'000'000) {
+    out << static_cast<double>(ns) / 1e6 << " ms";
+  } else if (ns >= 1'000) {
+    out << static_cast<double>(ns) / 1e3 << " us";
+  } else {
+    out << ns << " ns";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+BenchDoc parse_bench(const std::string& text) {
+  const JsonValue root = JsonParser(text).parse();
+  BenchDoc doc;
+  doc.version =
+      static_cast<int>(field(root, "vgrid_bench_version").number);
+  if (doc.version != 1) {
+    throw std::runtime_error(
+        "bench_diff: unsupported vgrid_bench_version " +
+        std::to_string(doc.version));
+  }
+  const JsonValue& host = field(root, "host");
+  doc.compiler = field(host, "compiler").string;
+  doc.cores = static_cast<std::int64_t>(field(host, "cores").number);
+  doc.quick = field(root, "quick").boolean;
+  const JsonValue& scenario = field(root, "scenario");
+  doc.scenario_name = field(scenario, "name").string;
+  doc.scenario_hash = field(scenario, "hash").string;
+  for (const JsonValue& entry : field(root, "benchmarks").array) {
+    BenchEntry bench;
+    bench.name = field(entry, "name").string;
+    bench.reps = static_cast<int>(field(entry, "reps").number);
+    bench.ops = field(entry, "ops").number;
+    bench.median_ns =
+        static_cast<std::int64_t>(field(entry, "median_ns").number);
+    bench.min_ns = static_cast<std::int64_t>(field(entry, "min_ns").number);
+    bench.ops_per_sec = field(entry, "ops_per_sec").number;
+    if (bench.name.empty() || bench.median_ns <= 0 || bench.reps <= 0) {
+      throw std::runtime_error(
+          "bench_diff: malformed benchmark entry '" + bench.name + "'");
+    }
+    doc.benchmarks.push_back(std::move(bench));
+  }
+  return doc;
+}
+
+BenchDiffReport diff_bench(const BenchDoc& baseline,
+                           const BenchDoc& candidate,
+                           const BenchDiffOptions& options) {
+  BenchDiffReport report;
+  auto note = [&](const std::string& name, const std::string& detail,
+                  bool regression) {
+    report.findings.push_back({name, detail, regression});
+    if (regression) report.gate_failed = true;
+  };
+
+  // Document-level compatibility notes: never failures, always visible.
+  if (baseline.quick != candidate.quick) {
+    note("(document)",
+         std::string("quick-mode mismatch: baseline ") +
+             (baseline.quick ? "quick" : "full") + " vs candidate " +
+             (candidate.quick ? "quick" : "full") +
+             " — workload sizes differ, timings are apples-to-oranges",
+         false);
+  }
+  if (baseline.scenario_hash != candidate.scenario_hash) {
+    note("(document)",
+         "scenario mismatch: baseline " + baseline.scenario_name + " (" +
+             baseline.scenario_hash + ") vs candidate " +
+             candidate.scenario_name + " (" + candidate.scenario_hash + ")",
+         false);
+  }
+  if (baseline.compiler != candidate.compiler ||
+      baseline.cores != candidate.cores) {
+    note("(document)",
+         "host fingerprint differs: baseline " + baseline.compiler + "/" +
+             std::to_string(baseline.cores) + " cores vs candidate " +
+             candidate.compiler + "/" + std::to_string(candidate.cores) +
+             " cores",
+         false);
+  }
+
+  std::map<std::string, const BenchEntry*> in_candidate;
+  for (const BenchEntry& entry : candidate.benchmarks) {
+    in_candidate[entry.name] = &entry;
+  }
+  std::map<std::string, const BenchEntry*> in_baseline;
+  for (const BenchEntry& entry : baseline.benchmarks) {
+    in_baseline[entry.name] = &entry;
+  }
+
+  for (const BenchEntry& base : baseline.benchmarks) {
+    const auto it = in_candidate.find(base.name);
+    if (it == in_candidate.end()) {
+      note(base.name, "missing from candidate (coverage shrank)", true);
+      continue;
+    }
+    const BenchEntry& cand = *it->second;
+    const double band =
+        static_cast<double>(base.median_ns) * (1.0 + options.rel_tol) +
+        static_cast<double>(options.abs_ns);
+    if (static_cast<double>(cand.median_ns) > band) {
+      std::ostringstream detail;
+      detail << "median " << format_ns(cand.median_ns) << " vs baseline "
+             << format_ns(base.median_ns) << " ("
+             << static_cast<double>(cand.median_ns) /
+                    static_cast<double>(base.median_ns)
+             << "x, band " << format_ns(static_cast<std::int64_t>(band))
+             << ")";
+      note(base.name, detail.str(), true);
+    } else if (static_cast<double>(cand.median_ns) * (1.0 + options.rel_tol) +
+                   static_cast<double>(options.abs_ns) <
+               static_cast<double>(base.median_ns)) {
+      std::ostringstream detail;
+      detail << "improved: median " << format_ns(cand.median_ns)
+             << " vs baseline " << format_ns(base.median_ns)
+             << " — consider refreshing the committed baseline";
+      note(base.name, detail.str(), false);
+    }
+  }
+  for (const BenchEntry& cand : candidate.benchmarks) {
+    if (in_baseline.find(cand.name) == in_baseline.end()) {
+      note(cand.name, "new benchmark (not in baseline)", false);
+    }
+  }
+  return report;
+}
+
+}  // namespace vgrid::tools

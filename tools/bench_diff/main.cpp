@@ -1,0 +1,91 @@
+// bench_diff CLI — compare two BENCH_vgrid.json documents.
+//
+//   bench_diff <baseline.json> <candidate.json>
+//              [--rel-tol F] [--abs-ns N] [--gate]
+//
+// Exit status: 0 when no regression (notes are fine), 1 when --gate is
+// set and a regression was found, 2 on usage/parse error. Without --gate
+// the exit is always 0/2 — reporting mode for reading a trajectory.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_diff/bench_diff.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff <baseline.json> <candidate.json> "
+               "[--rel-tol F] [--abs-ns N] [--gate]\n");
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("bench_diff: cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  vgrid::tools::BenchDiffOptions options;
+  bool gate = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rel-tol" && i + 1 < argc) {
+      options.rel_tol = std::atof(argv[++i]);
+    } else if (arg == "--abs-ns" && i + 1 < argc) {
+      options.abs_ns = std::atoll(argv[++i]);
+    } else if (arg == "--gate") {
+      gate = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 2) return usage();
+  try {
+    const auto baseline = vgrid::tools::parse_bench(read_file(files[0]));
+    const auto candidate = vgrid::tools::parse_bench(read_file(files[1]));
+    const auto report =
+        vgrid::tools::diff_bench(baseline, candidate, options);
+    for (const auto& finding : report.findings) {
+      std::fprintf(finding.regression ? stderr : stdout,
+                   "bench_diff: %s: %s: %s\n",
+                   finding.regression ? "REGRESSION" : "note",
+                   finding.name.c_str(), finding.detail.c_str());
+    }
+    if (report.gate_failed) {
+      std::fprintf(stderr,
+                   "bench_diff: %s vs %s: gate %s (rel-tol %g, abs-ns "
+                   "%lld)\n",
+                   files[0].c_str(), files[1].c_str(),
+                   gate ? "FAILED" : "would fail (no --gate)",
+                   options.rel_tol,
+                   static_cast<long long>(options.abs_ns));
+      return gate ? 1 : 0;
+    }
+    std::printf(
+        "bench_diff: %s vs %s: no regression across %zu baseline "
+        "benchmark(s) (rel-tol %g, abs-ns %lld)\n",
+        files[0].c_str(), files[1].c_str(),
+        baseline.benchmarks.size(), options.rel_tol,
+        static_cast<long long>(options.abs_ns));
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return 2;
+  }
+}

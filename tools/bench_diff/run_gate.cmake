@@ -1,0 +1,46 @@
+# ctest gate `bench.gate.quick`: the perf-regression loop, self-contained
+# on one machine. Two same-host `vgrid bench --quick` runs must pass the
+# gate against each other under a generous band (the machine is the same;
+# only scheduler noise separates them), and the candidate must parse and
+# compare cleanly against the committed BENCH_vgrid.json trajectory entry
+# in reporting mode (no --gate: the committed baseline comes from another
+# host, so its timings are advisory here — CI's perf-smoke job owns the
+# strict gate on a stable runner class).
+if(NOT DEFINED VGRID OR NOT DEFINED BENCH_DIFF OR NOT DEFINED WORK_DIR OR
+   NOT DEFINED BASELINE)
+  message(FATAL_ERROR
+          "run_gate.cmake needs -DVGRID, -DBENCH_DIFF, -DWORK_DIR, -DBASELINE")
+endif()
+
+set(a "${WORK_DIR}/BENCH_a.tmp")
+set(b "${WORK_DIR}/BENCH_b.tmp")
+
+execute_process(
+  COMMAND "${VGRID}" bench --quick --out "${a}"
+  RESULT_VARIABLE rc_a)
+if(NOT rc_a EQUAL 0)
+  message(FATAL_ERROR "vgrid bench --quick (run A) failed (${rc_a})")
+endif()
+
+execute_process(
+  COMMAND "${VGRID}" bench --quick --out "${b}"
+  RESULT_VARIABLE rc_b)
+if(NOT rc_b EQUAL 0)
+  message(FATAL_ERROR "vgrid bench --quick (run B) failed (${rc_b})")
+endif()
+
+execute_process(
+  COMMAND "${BENCH_DIFF}" "${a}" "${b}" --gate --rel-tol 4.0
+  RESULT_VARIABLE rc_self)
+if(NOT rc_self EQUAL 0)
+  message(FATAL_ERROR
+          "bench_diff gate failed between two same-host quick runs (${rc_self})")
+endif()
+
+execute_process(
+  COMMAND "${BENCH_DIFF}" "${BASELINE}" "${a}"
+  RESULT_VARIABLE rc_baseline)
+if(NOT rc_baseline EQUAL 0)
+  message(FATAL_ERROR
+          "bench_diff could not compare against the committed baseline (${rc_baseline})")
+endif()

@@ -213,6 +213,9 @@ ParsedInstrument parse_instrument(const std::string& line, int line_no) {
       instrument.sum = field(value, "sum").number;
       instrument.min = field(value, "min").number;
       instrument.max = field(value, "max").number;
+      instrument.p50 = field(value, "p50").number;
+      instrument.p90 = field(value, "p90").number;
+      instrument.p99 = field(value, "p99").number;
     } else {
       throw std::runtime_error("metrics_diff: unknown instrument type '" +
                                instrument.type + "'");
@@ -366,6 +369,15 @@ std::vector<Difference> diff_snapshots(const ParsedSnapshot& a,
                      static_cast<double>(rhs.min));
       compare_scalar(*lhs, "max", static_cast<double>(lhs->max),
                      static_cast<double>(rhs.max));
+      // Derived percentiles are functions of the buckets, but a reader of
+      // the diff wants to see tail movement called out directly — compare
+      // them under the same band as the raw aggregates.
+      compare_scalar(*lhs, "p50", static_cast<double>(lhs->p50),
+                     static_cast<double>(rhs.p50));
+      compare_scalar(*lhs, "p90", static_cast<double>(lhs->p90),
+                     static_cast<double>(rhs.p90));
+      compare_scalar(*lhs, "p99", static_cast<double>(lhs->p99),
+                     static_cast<double>(rhs.p99));
     }
   }
   for (const auto& [id, rhs] : right) {

@@ -40,6 +40,11 @@ struct ParsedInstrument {
   std::int64_t sum = 0;
   std::int64_t min = 0;
   std::int64_t max = 0;
+  // Derived quantile estimates (bucket interpolation) — compared under the
+  // same tolerance band as the raw aggregates.
+  std::int64_t p50 = 0;
+  std::int64_t p90 = 0;
+  std::int64_t p99 = 0;
 };
 
 struct ParsedSnapshot {

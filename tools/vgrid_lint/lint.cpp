@@ -256,7 +256,7 @@ const std::map<std::string, std::set<std::string>>& layer_policy() {
       // scenario is declarative data over the hardware/OS/VMM vocabulary:
       // it may name things those layers define, but must not reach up into
       // the experiment engine (core) or rendering (report).
-      {"scenario", {"scenario", "hw", "os", "vmm", "util"}},
+      {"scenario", {"scenario", "hw", "obs", "os", "vmm", "util"}},
       {"core",
        {"core", "grid", "guest", "hw", "obs", "os", "report", "scenario",
         "sim", "stats", "timesvc", "util", "vmm", "workloads"}},

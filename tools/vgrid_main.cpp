@@ -20,11 +20,22 @@
 //   vgrid migrate   [--ram-mb M] [--dirty-mbps R]
 //   vgrid profiles                               list hypervisor profiles
 //   vgrid scenarios [--show NAME|FILE]           list / print scenarios
+//   vgrid profile   [fig1..fig8] [--scenario S] [--reps N] [--jobs N]
+//                   [--top N] [--out FILE] [--folded FILE]
+//                   run one figure with the wall-clock profiler installed
+//                   and print the top-N exclusive-time table; --out writes
+//                   the canonical JSON tree, --folded a flamegraph.pl /
+//                   speedscope folded-stack file
+//   vgrid bench     [--quick] [--jobs N] [--scenario S] [--out FILE]
+//                   run the macro-benchmark suite and write the canonical
+//                   BENCH_vgrid.json (compare runs with tools/bench_diff)
 //   vgrid determinism-audit [fig1..fig8] [--scenario S] [--reps N]
-//                   [--seed S] [--jobs N]
+//                   [--seed S] [--jobs N] [--profile]
 //                   run a figure twice with the same seed — serially, then
 //                   on N workers — and byte-diff the two result+trace
-//                   streams (exit 1 on divergence)
+//                   streams (exit 1 on divergence); --profile keeps the
+//                   wall-clock profiler installed during both runs to prove
+//                   profiling never perturbs the byte stream
 
 #include <algorithm>
 #include <cstdio>
@@ -35,7 +46,10 @@
 
 #include "util/cli_args.hpp"
 #include "core/availability.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
+#include "perf_harness.hpp"
+#include "report/profile_export.hpp"
 #include "core/testbed.hpp"
 #include "core/experiments.hpp"
 #include "core/guest_perf.hpp"
@@ -93,11 +107,19 @@ int usage() {
       "  profiles   [--scenario S]            list hypervisor profiles\n"
       "  scenarios  [--show NAME|FILE]        list built-in scenarios /\n"
       "             print one in canonical form with its content hash\n"
+      "  profile    [fig1..fig8] [--scenario S] [--reps N] [--jobs N]\n"
+      "             [--top N] [--out FILE] [--folded FILE]\n"
+      "             profile one figure run; top-N self-time table, JSON\n"
+      "             tree (--out), folded stacks for flamegraph.pl "
+      "(--folded)\n"
+      "  bench      [--quick] [--jobs N] [--scenario S] [--out FILE]\n"
+      "             macro-benchmark suite -> canonical BENCH_vgrid.json\n"
       "  determinism-audit [fig1..fig8] [--scenario S] [--reps N] [--seed "
       "S]\n"
-      "             [--jobs N] [--metrics-only]  same-seed serial vs "
-      "N-worker\n"
-      "             run, byte-diff results, traces, and metric snapshots\n");
+      "             [--jobs N] [--metrics-only] [--profile]  same-seed "
+      "serial\n"
+      "             vs N-worker run, byte-diff results, traces, and metric\n"
+      "             snapshots (--profile: with the profiler installed)\n");
   return 2;
 }
 
@@ -504,6 +526,109 @@ int cmd_timeline(const Args& args) {
   return 0;
 }
 
+// --- profile -----------------------------------------------------------------
+// Run one figure with the wall-clock profiler installed and report where
+// the reproduction's own time went — the paper's methodology applied to
+// the measurement system itself. The table aggregates by scope name; the
+// JSON tree (--out) and folded stacks (--folded) keep the full nesting.
+
+int cmd_profile(const Args& args) {
+  const std::string id =
+      args.positional().empty() ? "fig5" : args.positional()[0];
+  ScenarioFigureFn fn = figure_fn(id);
+  if (fn == nullptr) {
+    std::fprintf(stderr, "no such figure '%s'; use fig1..fig8\n",
+                 id.c_str());
+    return 2;
+  }
+  const scenario::Scenario scenario = scenario_from(args);
+  core::RunnerConfig runner = core::figure_runner_config(scenario);
+  runner.repetitions = static_cast<int>(args.get_long("reps", 3));
+  runner.jobs = static_cast<int>(args.get_long("jobs", 0));
+
+  obs::Profiler profiler;
+  {
+    obs::ScopedProfiler prof_scope(&profiler);
+    (void)fn(scenario, runner);
+  }
+  if (profiler.empty()) {
+    std::fprintf(stderr,
+                 "vgrid profile: no scopes recorded — this binary was "
+                 "built with -DVGRID_PROFILE=OFF\n");
+    return 1;
+  }
+
+  const auto top_n = static_cast<std::size_t>(args.get_long("top", 10));
+  const std::int64_t total = profiler.total_ns();
+  report::Table table(util::format(
+      "%s on '%s': top %zu scopes by self time (total %.1f ms wall)",
+      id.c_str(), scenario.name.c_str(), top_n,
+      static_cast<double>(total) / 1e6));
+  table.set_header({"scope", "count", "self ms", "incl ms", "self %"});
+  for (const auto& row : report::top_exclusive(profiler, top_n)) {
+    table.add_row(
+        {row.name, util::format("%llu",
+                                static_cast<unsigned long long>(row.count)),
+         util::format_double(static_cast<double>(row.exclusive_ns) / 1e6, 3),
+         util::format_double(static_cast<double>(row.inclusive_ns) / 1e6, 3),
+         util::format_double(
+             total > 0 ? 100.0 * static_cast<double>(row.exclusive_ns) /
+                             static_cast<double>(total)
+                       : 0.0,
+             1)});
+  }
+  std::printf("%s", table.ascii().c_str());
+
+  const std::string out = args.get_or("out", "");
+  if (!out.empty()) {
+    report::write_profile_json(out, profiler);
+    std::printf("profile JSON written to %s\n", out.c_str());
+  }
+  const std::string folded = args.get_or("folded", "");
+  if (!folded.empty()) {
+    report::write_profile_folded(folded, profiler);
+    std::printf("folded stacks written to %s "
+                "(flamegraph.pl %s > flame.svg)\n",
+                folded.c_str(), folded.c_str());
+  }
+  return 0;
+}
+
+// --- bench -------------------------------------------------------------------
+// The wall-clock macro-benchmark suite: event-queue throughput, scheduler
+// passes, message round-trips, fig5 end-to-end. Emits the canonical
+// BENCH_vgrid.json that tools/bench_diff compares across commits — the
+// repo's perf trajectory.
+
+int cmd_bench(const Args& args) {
+  perf::BenchConfig config;
+  config.quick = args.has("quick");
+  config.jobs = static_cast<int>(args.get_long("jobs", 1));
+  config.scenario = scenario_from(args);
+  const std::string out = args.get_or("out", "BENCH_vgrid.json");
+
+  const perf::Suite suite = perf::default_suite();
+  std::printf("vgrid bench: %zu benchmark(s), %d timed rep(s) each%s, "
+              "scenario %s (hash %s)\n",
+              suite.size(), perf::harness_reps(config),
+              config.quick ? " [--quick]" : "",
+              config.scenario.name.c_str(),
+              config.scenario.hash_hex().c_str());
+  const auto results =
+      suite.run(config, [](const perf::BenchResult& result) {
+        std::printf("  %-28s median %10.3f ms  min %10.3f ms  %12.0f "
+                    "ops/s\n",
+                    result.name.c_str(),
+                    static_cast<double>(result.median_ns) / 1e6,
+                    static_cast<double>(result.min_ns) / 1e6,
+                    result.ops_per_sec);
+        std::fflush(stdout);
+      });
+  perf::write_bench_json(out, perf::bench_json(results, config));
+  std::printf("bench results written to %s\n", out.c_str());
+  return 0;
+}
+
 // --- determinism-audit -------------------------------------------------------
 // ARCHITECTURE.md §5 promises "runs are exactly reproducible given a seed";
 // this subcommand enforces it end to end: run one figure experiment twice
@@ -571,6 +696,13 @@ int cmd_determinism_audit(const Args& args) {
   // the classic same-config double run.
   const int jobs = static_cast<int>(args.get_long("jobs", 1));
   const bool metrics_only = args.has("metrics-only");
+  // --profile installs the wall-clock profiler for both runs. The profile
+  // itself never joins the byte stream (wall times are not deterministic);
+  // the point is that *having it on* must not perturb the stream — the
+  // scopes read only the monotonic clock and touch no sim state.
+  const bool profile = args.has("profile");
+  obs::Profiler profiler;
+  obs::ScopedProfiler prof_scope(profile ? &profiler : nullptr);
 
   runner.jobs = 1;
   const std::string first = run_captured(fn, scenario, runner, metrics_only);
@@ -581,11 +713,12 @@ int cmd_determinism_audit(const Args& args) {
     std::printf(
         "determinism-audit PASS: %s [scenario %s %s] %sbyte-identical "
         "across two seed=%llu runs (%zu bytes, %d repetitions, serial vs "
-        "%d jobs)\n",
+        "%d jobs%s)\n",
         id.c_str(), scenario.name.c_str(), scenario.hash_hex().c_str(),
         metrics_only ? "metric snapshots " : "",
         static_cast<unsigned long long>(runner.seed), first.size(),
-        runner.repetitions, jobs);
+        runner.repetitions, jobs,
+        profile ? ", profiling on" : "");
     return 0;
   }
   const std::size_t limit = std::min(first.size(), second.size());
@@ -675,6 +808,8 @@ int dispatch(int argc, char** argv) {
   if (command == "timeline") return cmd_timeline(args);
   if (command == "profiles") return cmd_profiles(args);
   if (command == "scenarios") return cmd_scenarios(args);
+  if (command == "profile") return cmd_profile(args);
+  if (command == "bench") return cmd_bench(args);
   if (command == "determinism-audit") return cmd_determinism_audit(args);
   return usage();
 }
