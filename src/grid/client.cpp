@@ -1,6 +1,7 @@
 #include "grid/client.hpp"
 
 #include "grid/tcp_util.hpp"
+#include "mc/transition.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -53,6 +54,8 @@ bool GridClient::run_once() {
     ++stats_.no_work_replies;
     return false;
   }
+  mc::notify(mc::TransitionPoint::kClientFetched, work.workunit.id,
+             client_id_);
 
   const auto executor = executors_.find(work.workunit.kind);
   if (executor == executors_.end()) {
@@ -83,6 +86,8 @@ bool GridClient::run_once() {
     ++stats_.rejected_results;
     return true;
   }
+  mc::notify(mc::TransitionPoint::kClientSubmitted, result.workunit_id,
+             client_id_, cpu_seconds);
   ++stats_.workunits_completed;
   stats_.cpu_seconds += cpu_seconds;
   return true;

@@ -37,156 +37,54 @@ void ProjectServer::stop() {
 
 WorkunitId ProjectServer::add_workunit(Workunit workunit) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (workunit.id == 0) workunit.id = next_id_++;
-  const WorkunitId id = workunit.id;
-  next_id_ = std::max(next_id_, id + 1);
-  workunits_.emplace(id, Tracked(std::move(workunit)));
-  dispatchable_.push_back(id);
-  return id;
+  return logic_.add_workunit(std::move(workunit));
 }
 
 void ProjectServer::set_generator(Generator generator) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  generator_ = std::move(generator);
+  logic_.set_generator(std::move(generator));
 }
 
 ServerStats ProjectServer::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  return logic_.stats();
 }
 
 std::optional<std::string> ProjectServer::canonical_result(
     WorkunitId id) const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = workunits_.find(id);
-  if (it == workunits_.end() || !it->second.validator.validated()) {
-    return std::nullopt;
-  }
-  return it->second.validator.canonical();
+  return logic_.canonical_result(id);
 }
 
 std::optional<WorkunitState> ProjectServer::workunit_state(
     WorkunitId id) const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = workunits_.find(id);
-  if (it == workunits_.end()) return std::nullopt;
-  return it->second.state;
-}
-
-ProjectServer::Tracked* ProjectServer::find_expired_instance() {
-  const std::int64_t now = util::monotonic_time_ns();
-  for (auto& [id, tracked] : workunits_) {
-    if (tracked.state != WorkunitState::kInProgress &&
-        tracked.state != WorkunitState::kUnsent) {
-      continue;
-    }
-    if (tracked.workunit.deadline_seconds <= 0.0 ||
-        tracked.outstanding.empty()) {
-      continue;
-    }
-    const double age =
-        static_cast<double>(now - tracked.outstanding.front()) / 1e9;
-    if (age >= tracked.workunit.deadline_seconds) {
-      // The volunteer holding this instance is presumed gone; its slot is
-      // consumed and a fresh instance will be issued.
-      tracked.outstanding.pop_front();
-      return &tracked;
-    }
-  }
-  return nullptr;
+  return logic_.workunit_state(id);
 }
 
 WorkResponse ProjectServer::next_work(const WorkRequest& request) {
-  (void)request;  // a full BOINC server would match platform/app here
   const std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.work_requests;
-
-  // Recover instances whose volunteers missed the deadline.
-  if (Tracked* expired = find_expired_instance()) {
-    expired->outstanding.push_back(util::monotonic_time_ns());
-    ++stats_.instances_reissued;
-    if (obs_reissues_) obs_reissues_->add();
-    ++stats_.workunits_sent;
-    return WorkResponse{true, expired->workunit};
-  }
-
-  while (true) {
-    // Find a workunit with instances still to hand out.
-    while (!dispatchable_.empty()) {
-      const WorkunitId id = dispatchable_.front();
-      auto& tracked = workunits_.at(id);
-      if (tracked.instances_sent >= tracked.workunit.replication) {
-        dispatchable_.pop_front();
-        if (tracked.state == WorkunitState::kUnsent) {
-          tracked.state = WorkunitState::kInProgress;
-        }
-        continue;
-      }
-      ++tracked.instances_sent;
-      tracked.outstanding.push_back(util::monotonic_time_ns());
-      if (tracked.instances_sent >= tracked.workunit.replication) {
-        tracked.state = WorkunitState::kInProgress;
-        dispatchable_.pop_front();
-      }
-      ++stats_.workunits_sent;
-      return WorkResponse{true, tracked.workunit};
-    }
-    // Queue dry: ask the generator for more.
-    if (!generator_) return WorkResponse{};
-    Workunit wu;
-    if (!generator_(wu)) return WorkResponse{};
-    if (wu.id == 0) wu.id = next_id_++;
-    next_id_ = std::max(next_id_, wu.id + 1);
-    const WorkunitId id = wu.id;
-    workunits_.emplace(id, Tracked(std::move(wu)));
-    dispatchable_.push_back(id);
-  }
+  // Time enters the protocol core only here: the transport stamps the
+  // request with the monotonic clock, so ServerLogic itself stays pure
+  // (the model checker drives the same code on a logical clock).
+  const std::uint64_t reissued_before = logic_.stats().instances_reissued;
+  WorkResponse response =
+      logic_.next_work(request, util::monotonic_time_ns());
+  const std::uint64_t reissued =
+      logic_.stats().instances_reissued - reissued_before;
+  if (obs_reissues_ && reissued > 0) obs_reissues_->add(reissued);
+  return response;
 }
 
 SubmitResponse ProjectServer::accept_result(const SubmitRequest& request) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = workunits_.find(request.result.workunit_id);
-  if (it == workunits_.end()) return SubmitResponse{false, false};
-  Tracked& tracked = it->second;
-  ++stats_.results_received;
-  stats_.total_cpu_seconds += request.result.cpu_seconds;
-  StatsResponse& account = accounts_[request.result.client_id];
-  ++account.results_accepted;
-  account.cpu_seconds += request.result.cpu_seconds;
-  if (!tracked.outstanding.empty()) tracked.outstanding.pop_front();
-  const auto canonical = tracked.validator.add(request.result);
-  if (canonical) {
-    tracked.state = WorkunitState::kValidated;
-    ++stats_.workunits_validated;
-    // Grant credit to every contributor whose output matched.
-    for (const Result& result : tracked.validator.results()) {
-      if (result.output == *canonical) {
-        accounts_[result.client_id].credit += result.cpu_seconds;
-      }
-    }
-    return SubmitResponse{true, true};
-  }
-  if (tracked.validator.exhausted()) {
-    // BOINC would send extra instances; we cap at one extra round, then
-    // mark invalid if agreement is impossible.
-    const int extra = tracked.validator.additional_instances_needed();
-    if (tracked.instances_sent <
-        tracked.workunit.replication + tracked.workunit.quorum) {
-      tracked.workunit.replication += extra;
-      dispatchable_.push_back(tracked.workunit.id);
-    } else {
-      tracked.state = WorkunitState::kInvalid;
-      ++stats_.workunits_invalid;
-    }
-  }
-  return SubmitResponse{true, false};
+  return logic_.accept_result(request);
 }
 
 StatsResponse ProjectServer::client_account(
     const std::string& client_id) const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = accounts_.find(client_id);
-  return it != accounts_.end() ? it->second : StatsResponse{};
+  return logic_.client_account(client_id);
 }
 
 void ProjectServer::handle_connection(int fd) {

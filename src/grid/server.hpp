@@ -1,44 +1,34 @@
 #pragma once
-// Mini-BOINC project server: hands out replicated workunits over the
-// scheduler RPC, collects results, and validates by quorum. Runs its
-// accept loop on a background thread; all public methods are thread-safe.
+// Mini-BOINC project server: the TCP transport + threading shell around
+// grid::ServerLogic, the socket-free protocol core (server_logic.hpp).
+// This class owns the listener socket, the serve thread, the mutex, and
+// the obs instruments; every protocol decision (issue/reissue/validate/
+// credit) lives in ServerLogic, where the model checker (src/mc) can
+// explore it one transition at a time. Runs its accept loop on a
+// background thread; all public methods are thread-safe.
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
-#include <vector>
-
-#include <memory>
 
 #include "grid/messages.hpp"
+#include "grid/server_logic.hpp"
 #include "grid/tcp_util.hpp"
-#include "grid/validator.hpp"
 #include "grid/workunit.hpp"
 #include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 
 namespace vgrid::grid {
 
-struct ServerStats {
-  std::uint64_t work_requests = 0;
-  std::uint64_t workunits_sent = 0;
-  std::uint64_t results_received = 0;
-  std::uint64_t workunits_validated = 0;
-  std::uint64_t workunits_invalid = 0;
-  std::uint64_t instances_reissued = 0;  ///< deadline expirations recovered
-  double total_cpu_seconds = 0.0;        ///< granted credit basis
-};
-
 class ProjectServer {
  public:
   /// Optional generator invoked when the queue runs dry; return false to
   /// stop generating (clients then receive NO_WORK).
-  using Generator = std::function<bool(Workunit&)>;
+  using Generator = ServerLogic::Generator;
 
   explicit ProjectServer(std::uint16_t port = 0);
   ~ProjectServer();
@@ -68,26 +58,10 @@ class ProjectServer {
   void stop();
 
  private:
-  struct Tracked {
-    Workunit workunit;
-    WorkunitState state = WorkunitState::kUnsent;
-    int instances_sent = 0;
-    QuorumValidator validator;
-    /// Issue times (monotonic ns) of instances still awaiting a result.
-    std::deque<std::int64_t> outstanding;
-
-    Tracked(Workunit wu)
-        : workunit(std::move(wu)),
-          validator(workunit.replication, workunit.quorum) {}
-  };
-
   void serve();
   void handle_connection(int fd);
   WorkResponse next_work(const WorkRequest& request);
   SubmitResponse accept_result(const SubmitRequest& request);
-  /// An in-progress workunit with an instance past its deadline, if any
-  /// (the expired issue slot is consumed). Caller holds the mutex.
-  Tracked* find_expired_instance();
 
   tcp::Fd listener_;
   std::uint16_t port_ = 0;
@@ -95,12 +69,7 @@ class ProjectServer {
   std::thread thread_;
 
   mutable std::mutex mutex_;
-  std::map<WorkunitId, Tracked> workunits_;
-  std::deque<WorkunitId> dispatchable_;  // ids with instances still to send
-  WorkunitId next_id_ = 1;
-  Generator generator_;
-  ServerStats stats_;
-  std::map<std::string, StatsResponse> accounts_;
+  ServerLogic logic_;
   // Resolved on the constructing thread; the serving thread only updates
   // the (atomic) instruments through these pointers.
   obs::Counter* obs_work_messages_ =

@@ -1,0 +1,264 @@
+#include "grid/server_logic.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "mc/transition.hpp"
+
+namespace vgrid::grid {
+
+const char* to_string(InjectedFault fault) noexcept {
+  switch (fault) {
+    case InjectedFault::kNone: return "none";
+    case InjectedFault::kDoubleCredit: return "double_credit";
+    case InjectedFault::kLostWorkunit: return "lost_workunit";
+  }
+  return "?";
+}
+
+std::optional<InjectedFault> parse_injected_fault(const std::string& name) {
+  if (name == "none") return InjectedFault::kNone;
+  if (name == "double_credit") return InjectedFault::kDoubleCredit;
+  if (name == "lost_workunit") return InjectedFault::kLostWorkunit;
+  return std::nullopt;
+}
+
+WorkunitId ServerLogic::add_workunit(Workunit workunit) {
+  if (workunit.id == 0) workunit.id = next_id_++;
+  const WorkunitId id = workunit.id;
+  next_id_ = std::max(next_id_, id + 1);
+  workunits_.emplace(id, Tracked(std::move(workunit)));
+  dispatchable_.push_back(id);
+  return id;
+}
+
+void ServerLogic::set_generator(Generator generator) {
+  generator_ = std::move(generator);
+}
+
+namespace {
+
+/// BOINC's one_result_per_user_per_wu rule: a client that already
+/// contributed a result to a workunit never receives another instance of
+/// it. Without this, one client could reach quorum alone — and earn one
+/// credit per matching result — which would make the model checker's
+/// at-most-once-credit invariant false even for correct schedules.
+bool has_result_from(const ServerLogic::Tracked& tracked,
+                     const std::string& client_id) {
+  for (const Result& result : tracked.validator.results()) {
+    if (result.client_id == client_id) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+WorkunitId ServerLogic::find_deadline_expired(std::int64_t now_ns) const {
+  WorkunitId best = 0;
+  std::int64_t best_expiry = std::numeric_limits<std::int64_t>::max();
+  for (const auto& [id, tracked] : workunits_) {
+    if (tracked.state != WorkunitState::kInProgress &&
+        tracked.state != WorkunitState::kUnsent) {
+      continue;
+    }
+    if (tracked.workunit.deadline_seconds <= 0.0 ||
+        tracked.outstanding.empty()) {
+      continue;
+    }
+    const std::int64_t expiry =
+        tracked.outstanding.front() +
+        static_cast<std::int64_t>(tracked.workunit.deadline_seconds * 1e9);
+    // Earliest expiry wins (ties fall to the lower id via map order), so
+    // recovery order is a protocol property, not a map-scan incidental.
+    if (now_ns >= expiry && expiry < best_expiry) {
+      best = id;
+      best_expiry = expiry;
+    }
+  }
+  return best;
+}
+
+bool ServerLogic::expire_instance(WorkunitId id) {
+  const auto it = workunits_.find(id);
+  if (it == workunits_.end()) return false;
+  Tracked& tracked = it->second;
+  if (tracked.state != WorkunitState::kInProgress &&
+      tracked.state != WorkunitState::kUnsent) {
+    return false;
+  }
+  if (tracked.outstanding.empty()) return false;
+  // The volunteer holding this instance is presumed gone; its slot is
+  // consumed and a fresh instance will be issued on the next work request.
+  tracked.outstanding.pop_front();
+  mc::notify(mc::TransitionPoint::kInstanceExpired, id);
+  if (fault_ == InjectedFault::kLostWorkunit) {
+    // Seeded bug (mutation fixture): drop the workunit instead of
+    // scheduling the reissue — it can never validate now.
+    mc::notify(mc::TransitionPoint::kWorkunitDropped, id);
+    dispatchable_.erase(
+        std::remove(dispatchable_.begin(), dispatchable_.end(), id),
+        dispatchable_.end());
+    workunits_.erase(it);
+    return true;
+  }
+  ++tracked.reissues_pending;
+  return true;
+}
+
+WorkResponse ServerLogic::take_pending_reissue(std::int64_t now_ns,
+                                               const std::string& client_id) {
+  for (auto& [id, tracked] : workunits_) {
+    if (tracked.reissues_pending <= 0) continue;
+    if (tracked.state != WorkunitState::kInProgress &&
+        tracked.state != WorkunitState::kUnsent) {
+      // Validated/invalid while a reissue was pending: nothing to recover.
+      tracked.reissues_pending = 0;
+      continue;
+    }
+    if (has_result_from(tracked, client_id)) continue;
+    --tracked.reissues_pending;
+    tracked.outstanding.push_back(now_ns);
+    ++stats_.instances_reissued;
+    ++stats_.workunits_sent;
+    mc::notify(mc::TransitionPoint::kInstanceReissued, id, client_id);
+    return WorkResponse{true, tracked.workunit};
+  }
+  return WorkResponse{};
+}
+
+WorkResponse ServerLogic::next_work(const WorkRequest& request,
+                                    std::int64_t now_ns) {
+  ++stats_.work_requests;
+
+  // Recover at most one instance whose volunteer missed the deadline —
+  // the longest-overdue one — then hand out any pending reissue.
+  if (const WorkunitId due = find_deadline_expired(now_ns)) {
+    expire_instance(due);
+  }
+  if (WorkResponse reissued = take_pending_reissue(now_ns, request.client_id);
+      reissued.has_work) {
+    return reissued;
+  }
+
+  while (true) {
+    // Find a workunit with instances still to hand out. Entries this
+    // client already contributed to are stepped over, not popped — other
+    // clients may still take them (one_result_per_user_per_wu).
+    for (auto it = dispatchable_.begin(); it != dispatchable_.end();) {
+      const WorkunitId id = *it;
+      Tracked& tracked = workunits_.at(id);
+      if (tracked.state == WorkunitState::kValidated ||
+          tracked.state == WorkunitState::kInvalid) {
+        // Finished while queued (extra-instance round overtaken by a late
+        // matching result): issuing more instances would regress the state
+        // machine and waste volunteer time.
+        it = dispatchable_.erase(it);
+        continue;
+      }
+      if (tracked.instances_sent >= tracked.workunit.replication) {
+        it = dispatchable_.erase(it);
+        advance_state(tracked.state, WorkunitState::kInProgress, id);
+        continue;
+      }
+      if (has_result_from(tracked, request.client_id)) {
+        ++it;
+        continue;
+      }
+      ++tracked.instances_sent;
+      tracked.outstanding.push_back(now_ns);
+      if (tracked.instances_sent >= tracked.workunit.replication) {
+        advance_state(tracked.state, WorkunitState::kInProgress, id);
+        dispatchable_.erase(it);
+      }
+      ++stats_.workunits_sent;
+      mc::notify(mc::TransitionPoint::kWorkIssued, id, request.client_id);
+      return WorkResponse{true, tracked.workunit};
+    }
+    // Queue dry (for this client): ask the generator for more.
+    if (!generator_) return WorkResponse{};
+    Workunit wu;
+    if (!generator_(wu)) return WorkResponse{};
+    if (wu.id == 0) wu.id = next_id_++;
+    next_id_ = std::max(next_id_, wu.id + 1);
+    const WorkunitId id = wu.id;
+    workunits_.emplace(id, Tracked(std::move(wu)));
+    dispatchable_.push_back(id);
+  }
+}
+
+SubmitResponse ServerLogic::accept_result(const SubmitRequest& request) {
+  const auto it = workunits_.find(request.result.workunit_id);
+  if (it == workunits_.end()) return SubmitResponse{false, false};
+  Tracked& tracked = it->second;
+  const WorkunitId id = tracked.workunit.id;
+  ++stats_.results_received;
+  stats_.total_cpu_seconds += request.result.cpu_seconds;
+  StatsResponse& account = accounts_[request.result.client_id];
+  ++account.results_accepted;
+  account.cpu_seconds += request.result.cpu_seconds;
+  if (!tracked.outstanding.empty()) tracked.outstanding.pop_front();
+  mc::notify(mc::TransitionPoint::kResultAccepted, id,
+             request.result.client_id, request.result.cpu_seconds);
+
+  const bool was_validated = tracked.validator.validated();
+  const auto canonical = tracked.validator.add(request.result);
+  if (fault_ == InjectedFault::kDoubleCredit && was_validated &&
+      request.result.output == tracked.validator.canonical()) {
+    // Seeded bug (mutation fixture): a duplicate submission matching the
+    // canonical output is credited again after validation already paid out.
+    accounts_[request.result.client_id].credit += request.result.cpu_seconds;
+    mc::notify(mc::TransitionPoint::kCreditGranted, id,
+               request.result.client_id, request.result.cpu_seconds);
+    return SubmitResponse{true, false};
+  }
+  if (canonical) {
+    advance_state(tracked.state, WorkunitState::kValidated, id);
+    ++stats_.workunits_validated;
+    // Grant credit to every contributor whose output matched.
+    for (const Result& result : tracked.validator.results()) {
+      if (result.output == *canonical) {
+        accounts_[result.client_id].credit += result.cpu_seconds;
+        mc::notify(mc::TransitionPoint::kCreditGranted, id, result.client_id,
+                   result.cpu_seconds);
+      }
+    }
+    return SubmitResponse{true, true};
+  }
+  if (tracked.validator.exhausted()) {
+    // BOINC would send extra instances; we cap at one extra round, then
+    // mark invalid if agreement is impossible.
+    const int extra = tracked.validator.additional_instances_needed();
+    if (tracked.instances_sent <
+        tracked.workunit.replication + tracked.workunit.quorum) {
+      tracked.workunit.replication += extra;
+      dispatchable_.push_back(id);
+    } else {
+      advance_state(tracked.state, WorkunitState::kInvalid, id);
+      ++stats_.workunits_invalid;
+    }
+  }
+  return SubmitResponse{true, false};
+}
+
+StatsResponse ServerLogic::client_account(const std::string& client_id) const {
+  const auto it = accounts_.find(client_id);
+  return it != accounts_.end() ? it->second : StatsResponse{};
+}
+
+std::optional<std::string> ServerLogic::canonical_result(
+    WorkunitId id) const {
+  const auto it = workunits_.find(id);
+  if (it == workunits_.end() || !it->second.validator.validated()) {
+    return std::nullopt;
+  }
+  return it->second.validator.canonical();
+}
+
+std::optional<WorkunitState> ServerLogic::workunit_state(
+    WorkunitId id) const {
+  const auto it = workunits_.find(id);
+  if (it == workunits_.end()) return std::nullopt;
+  return it->second.state;
+}
+
+}  // namespace vgrid::grid

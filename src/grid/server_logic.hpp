@@ -1,0 +1,151 @@
+#pragma once
+// Socket-free protocol core of the mini-BOINC project server: workunit
+// issue/reissue, quorum validation, and the credit ledger, extracted from
+// ProjectServer so the same state machine can be driven two ways:
+//
+//   * ProjectServer wraps it with a mutex and the TCP transport (the
+//     production path — see grid/server.hpp);
+//   * mc::GridModel drives it directly on a logical clock, one transition
+//     at a time, so mc::Explorer can enumerate causally distinct orderings
+//     of client death x reissue x validation x credit grant.
+//
+// Purity contract (enforced by vgrid-lint's `mc-*` rule family): no wall
+// clocks — time enters exclusively through `now_ns` arguments — no
+// sockets, and no unordered containers. Every protocol step is announced
+// through the mc::TransitionPoint seam (mc/transition.hpp).
+//
+// Methods are NOT thread-safe; the caller owns synchronization.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "grid/messages.hpp"
+#include "grid/validator.hpp"
+#include "grid/workunit.hpp"
+
+namespace vgrid::grid {
+
+struct ServerStats {
+  std::uint64_t work_requests = 0;
+  std::uint64_t workunits_sent = 0;
+  std::uint64_t results_received = 0;
+  std::uint64_t workunits_validated = 0;
+  std::uint64_t workunits_invalid = 0;
+  std::uint64_t instances_reissued = 0;  ///< deadline expirations recovered
+  double total_cpu_seconds = 0.0;        ///< granted credit basis
+};
+
+/// Deliberately seeded protocol bugs, the model checker's mutation
+/// fixtures: each must be found by mc::Explorer within a bounded state
+/// count (ctests mc.finds.double_credit / mc.finds.lost_workunit). This is
+/// a test-only hook — production callers never enable a fault, and
+/// ProjectServer does not expose it over the transport.
+enum class InjectedFault : std::uint8_t {
+  kNone = 0,
+  /// A matching result arriving after validation is granted credit again —
+  /// breaks at-most-once credit per (workunit, client).
+  kDoubleCredit,
+  /// Instance expiry drops the whole workunit from tracking instead of
+  /// scheduling a reissue — the workunit is lost.
+  kLostWorkunit,
+};
+
+const char* to_string(InjectedFault fault) noexcept;
+
+/// Parse "none" / "double_credit" / "lost_workunit"; nullopt otherwise.
+std::optional<InjectedFault> parse_injected_fault(const std::string& name);
+
+class ServerLogic {
+ public:
+  /// Optional generator invoked when the queue runs dry; return false to
+  /// stop generating (clients then receive NO_WORK).
+  using Generator = std::function<bool(Workunit&)>;
+
+  /// One tracked workunit. Public so the invariant checker and the
+  /// canonical state hash (src/mc) can inspect protocol state read-only.
+  struct Tracked {
+    Workunit workunit;
+    WorkunitState state = WorkunitState::kUnsent;
+    int instances_sent = 0;
+    /// Instances consumed by expiry that still need to be handed out again.
+    int reissues_pending = 0;
+    QuorumValidator validator;
+    /// Issue times (caller-supplied now_ns) of instances awaiting a result.
+    std::deque<std::int64_t> outstanding;
+
+    explicit Tracked(Workunit wu)
+        : workunit(std::move(wu)),
+          validator(workunit.replication, workunit.quorum) {}
+  };
+
+  /// Enqueue a workunit (id 0 assigns the next id). Returns the id.
+  WorkunitId add_workunit(Workunit workunit);
+
+  void set_generator(Generator generator);
+
+  /// Arm a seeded protocol bug (test-only; see InjectedFault).
+  void set_injected_fault(InjectedFault fault) noexcept { fault_ = fault; }
+  InjectedFault injected_fault() const noexcept { return fault_; }
+
+  /// Serve one work request at time `now_ns`: recover deadline-expired
+  /// instances, then reissue pending losses, then dispatch fresh instances
+  /// (asking the generator when the queue runs dry). A client never
+  /// receives a second instance of a workunit it already returned a result
+  /// for (BOINC's one_result_per_user_per_wu) — quorum therefore counts
+  /// distinct volunteers, which is what makes at-most-once credit per
+  /// (workunit, client) an invariant rather than a hope.
+  WorkResponse next_work(const WorkRequest& request, std::int64_t now_ns);
+
+  /// Record one submitted result: account it, feed the validator, grant
+  /// credit at quorum, and schedule extra instances on mismatch.
+  SubmitResponse accept_result(const SubmitRequest& request);
+
+  /// Protocol-level instance loss: consume the oldest outstanding slot of
+  /// `id` and schedule a reissue (the transitioner's deadline path and the
+  /// model checker's client-death transition share this single mechanism).
+  /// Returns false if the workunit is unknown, finished, or has no
+  /// outstanding instance.
+  bool expire_instance(WorkunitId id);
+
+  StatsResponse client_account(const std::string& client_id) const;
+  std::optional<std::string> canonical_result(WorkunitId id) const;
+  std::optional<WorkunitState> workunit_state(WorkunitId id) const;
+  const ServerStats& stats() const noexcept { return stats_; }
+
+  // Read-only inspection for mc::InvariantChecker / state hashing.
+  const std::map<WorkunitId, Tracked>& tracked() const noexcept {
+    return workunits_;
+  }
+  const std::map<std::string, StatsResponse>& accounts() const noexcept {
+    return accounts_;
+  }
+  const std::deque<WorkunitId>& dispatchable() const noexcept {
+    return dispatchable_;
+  }
+
+ private:
+  /// The in-progress workunit whose oldest outstanding instance has the
+  /// earliest *expiry* time (issue + deadline) at `now_ns`, if any past
+  /// due. Earliest-expiry order (ties by id) keeps reissue independent of
+  /// std::map iteration incidentals — the lowest-id-first scan it replaces
+  /// starved later, longer-overdue workunits.
+  WorkunitId find_deadline_expired(std::int64_t now_ns) const;
+
+  /// Hand out one pending reissue, lowest workunit id first.
+  WorkResponse take_pending_reissue(std::int64_t now_ns,
+                                    const std::string& client_id);
+
+  std::map<WorkunitId, Tracked> workunits_;
+  std::deque<WorkunitId> dispatchable_;  // ids with instances still to send
+  WorkunitId next_id_ = 1;
+  Generator generator_;
+  ServerStats stats_;
+  std::map<std::string, StatsResponse> accounts_;
+  InjectedFault fault_ = InjectedFault::kNone;
+};
+
+}  // namespace vgrid::grid

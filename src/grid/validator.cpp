@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "mc/transition.hpp"
 #include "util/error.hpp"
 
 namespace vgrid::grid {
@@ -25,6 +26,11 @@ std::optional<std::string> QuorumValidator::add(const Result& result) {
     if (count >= quorum_) {
       validated_ = true;
       canonical_ = output;
+      // Announce quorum exactly once, from the validator itself — the
+      // model checker's at-most-once-validation invariant audits this
+      // seam, not the caller's bookkeeping.
+      mc::notify(mc::TransitionPoint::kQuorumReached, result.workunit_id,
+                 result.client_id);
       return output;
     }
   }

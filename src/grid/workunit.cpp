@@ -1,5 +1,7 @@
 #include "grid/workunit.hpp"
 
+#include "mc/transition.hpp"
+
 namespace vgrid::grid {
 
 const char* to_string(WorkunitState state) noexcept {
@@ -10,6 +12,23 @@ const char* to_string(WorkunitState state) noexcept {
     case WorkunitState::kInvalid: return "invalid";
   }
   return "?";
+}
+
+bool advance_state(WorkunitState& state, WorkunitState next, WorkunitId id) {
+  if (state == next) return true;
+  const bool legal =
+      (state == WorkunitState::kUnsent &&
+       (next == WorkunitState::kInProgress ||
+        next == WorkunitState::kValidated ||
+        next == WorkunitState::kInvalid)) ||
+      (state == WorkunitState::kInProgress &&
+       (next == WorkunitState::kValidated ||
+        next == WorkunitState::kInvalid));
+  if (!legal) return false;
+  state = next;
+  mc::notify(mc::TransitionPoint::kStateChanged, id, std::string(),
+             static_cast<double>(static_cast<std::uint8_t>(next)));
+  return true;
 }
 
 }  // namespace vgrid::grid

@@ -39,4 +39,12 @@ enum class WorkunitState : std::uint8_t {
 
 const char* to_string(WorkunitState state) noexcept;
 
+/// Advance a workunit's lifecycle state along the monotone state machine
+///   kUnsent -> kInProgress -> {kValidated | kInvalid}
+/// announcing the move through the mc::TransitionPoint seam. A same-state
+/// call is a silent no-op; an illegal move (e.g. leaving a terminal state)
+/// returns false and leaves `state` untouched — the model checker's
+/// monotonicity invariant then has a single enforcement point to audit.
+bool advance_state(WorkunitState& state, WorkunitState next, WorkunitId id);
+
 }  // namespace vgrid::grid

@@ -1,0 +1,352 @@
+#include "mc/explorer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "mc/transition.hpp"
+
+namespace vgrid::mc {
+namespace {
+
+Action decode(std::uint16_t encoded) {
+  return Action{static_cast<int>(encoded / 4),
+                static_cast<ActionKind>(encoded % 4)};
+}
+
+std::optional<ActionKind> parse_kind(const std::string& name) {
+  if (name == "fetch") return ActionKind::kFetch;
+  if (name == "compute") return ActionKind::kCompute;
+  if (name == "submit") return ActionKind::kSubmit;
+  if (name == "die") return ActionKind::kDie;
+  return std::nullopt;
+}
+
+std::string onoff(bool value) { return value ? "on" : "off"; }
+std::string yesno(bool value) { return value ? "yes" : "no"; }
+
+std::string action_text(const Action& action) {
+  return GridModel::client_id(action.client) + " " + to_string(action.kind);
+}
+
+/// One DFS node: a snapshot of the system plus its audit history, the
+/// actions still to branch on, and the actions put to sleep here.
+struct Frame {
+  GridModel model;
+  InvariantChecker checker;
+  std::vector<Action> candidates;
+  std::size_t next = 0;
+  std::set<std::uint16_t> sleep;
+  /// This state's explored-action record in the cache (nullptr when the
+  /// cache is off). std::map nodes are stable, so the pointer survives
+  /// later insertions.
+  std::set<std::uint16_t>* record = nullptr;
+
+  Frame(GridModel m, InvariantChecker c)
+      : model(std::move(m)), checker(std::move(c)) {}
+};
+
+}  // namespace
+
+ExploreResult Explorer::run() {
+  ExploreResult result;
+  // hash -> actions already explored from that canonical state.
+  std::map<std::uint64_t, std::set<std::uint16_t>> cache;
+  std::vector<Frame> stack;
+  std::vector<Action> path;  // actions from the root to the top frame
+
+  // Expand a snapshot into a frame; returns false (and counts the leaf)
+  // when the node has nothing left to branch on or hits the depth bound.
+  const auto push = [&](GridModel&& model, InvariantChecker&& checker,
+                        std::set<std::uint16_t>&& sleep) -> bool {
+    ++result.states_visited;
+    const int depth = static_cast<int>(path.size());
+    result.max_depth_reached = std::max(result.max_depth_reached, depth);
+
+    std::set<std::uint16_t>* record = nullptr;
+    if (config_.use_state_cache) {
+      record = &cache[model.state_hash()];
+    }
+    const std::vector<Action> enabled = model.enabled();
+    if (enabled.empty()) {
+      ++result.terminal_states;
+      ++result.interleavings;
+      return false;
+    }
+    if (depth >= config_.max_depth) {
+      result.depth_bound_hit = true;
+      ++result.interleavings;
+      return false;
+    }
+    std::vector<Action> candidates;
+    for (const Action& action : enabled) {
+      const std::uint16_t encoded = action.encode();
+      if (config_.use_sleep_sets && sleep.count(encoded) != 0) {
+        ++result.sleep_pruned;
+        continue;
+      }
+      if (record != nullptr && record->count(encoded) != 0) {
+        ++result.visited_pruned;
+        continue;
+      }
+      candidates.push_back(action);
+    }
+    if (candidates.empty()) {
+      ++result.interleavings;  // everything here was already covered
+      return false;
+    }
+    Frame frame(std::move(model), std::move(checker));
+    frame.candidates = std::move(candidates);
+    frame.sleep = std::move(sleep);
+    frame.record = record;
+    stack.push_back(std::move(frame));
+    return true;
+  };
+
+  {
+    GridModel root(config_.model);
+    InvariantChecker checker;
+    if (auto violation = checker.check(root)) {
+      result.violation = std::move(violation);
+      return result;
+    }
+    push(std::move(root), std::move(checker), {});
+  }
+
+  while (!stack.empty()) {
+    if (result.states_visited >= config_.max_states) {
+      result.state_bound_hit = true;
+      break;
+    }
+    Frame& frame = stack.back();
+    if (frame.next >= frame.candidates.size()) {
+      stack.pop_back();
+      path.resize(stack.empty() ? 0 : stack.size() - 1);
+      continue;
+    }
+    const Action action = frame.candidates[frame.next++];
+    if (frame.record != nullptr) frame.record->insert(action.encode());
+
+    GridModel child_model = frame.model;
+    InvariantChecker child_checker = frame.checker;
+    {
+      ScopedObserver guard(&child_checker);
+      child_model.execute(action);
+    }
+    ++result.transitions;
+    path.push_back(action);
+
+    if (auto violation = child_checker.check(child_model)) {
+      result.violation = std::move(violation);
+      result.violating_schedule = path;
+      break;
+    }
+
+    std::set<std::uint16_t> child_sleep;
+    if (config_.use_sleep_sets) {
+      // A sleeping action stays asleep across `action` only if the two
+      // commute; then this branch is put to sleep for later siblings.
+      for (const std::uint16_t encoded : frame.sleep) {
+        if (independent(decode(encoded), action)) child_sleep.insert(encoded);
+      }
+      frame.sleep.insert(action.encode());
+    }
+    // NOTE: push may reallocate the stack — `frame` is dead after this.
+    if (!push(std::move(child_model), std::move(child_checker),
+              std::move(child_sleep))) {
+      path.pop_back();
+    }
+  }
+
+  result.distinct_states = cache.size();
+  return result;
+}
+
+std::string format_summary(const ExploreConfig& config,
+                           const ExploreResult& result) {
+  const ModelConfig& m = config.model;
+  std::string out = "vgrid-mc summary v1\n";
+  out += "model clients=" + std::to_string(m.clients) +
+         " workunits=" + std::to_string(m.workunits) +
+         " replication=" + std::to_string(m.replication) +
+         " quorum=" + std::to_string(m.quorum) +
+         " deaths=" + std::to_string(m.max_deaths) +
+         " fault=" + grid::to_string(m.fault) + "\n";
+  out += "search max-depth=" + std::to_string(config.max_depth) +
+         " max-states=" + std::to_string(config.max_states) +
+         " sleep-sets=" + onoff(config.use_sleep_sets) +
+         " state-cache=" + onoff(config.use_state_cache) + "\n";
+  out += "states visited=" + std::to_string(result.states_visited) +
+         " distinct=" + std::to_string(result.distinct_states) +
+         " transitions=" + std::to_string(result.transitions) + "\n";
+  out += "interleavings total=" + std::to_string(result.interleavings) +
+         " terminal=" + std::to_string(result.terminal_states) + "\n";
+  out += "pruned sleep=" + std::to_string(result.sleep_pruned) +
+         " visited=" + std::to_string(result.visited_pruned) + "\n";
+  out += "depth reached=" + std::to_string(result.max_depth_reached) +
+         " depth-bound=" + yesno(result.depth_bound_hit) +
+         " state-bound=" + yesno(result.state_bound_hit) + "\n";
+  if (result.violation) {
+    out += "verdict violation " + result.violation->invariant + "\n";
+    out += "violation detail: " + result.violation->detail + "\n";
+    out += "violation schedule steps=" +
+           std::to_string(result.violating_schedule.size()) + "\n";
+  } else {
+    out += "verdict pass\n";
+  }
+  return out;
+}
+
+std::string render_schedule(const ModelConfig& model,
+                            const std::vector<Action>& steps,
+                            const Violation* violation) {
+  std::string out = "vgrid-mc-schedule v1\n";
+  out += "clients=" + std::to_string(model.clients) +
+         " workunits=" + std::to_string(model.workunits) +
+         " replication=" + std::to_string(model.replication) +
+         " quorum=" + std::to_string(model.quorum) +
+         " deaths=" + std::to_string(model.max_deaths) +
+         " fault=" + grid::to_string(model.fault) + "\n";
+  for (const Action& action : steps) {
+    out += "step " + action_text(action) + "\n";
+  }
+  if (violation != nullptr) {
+    out += "violation " + violation->invariant + ": " + violation->detail +
+           "\n";
+  }
+  return out;
+}
+
+std::optional<Schedule> parse_schedule(const std::string& text,
+                                       std::string* error) {
+  const auto fail = [&](const std::string& why) -> std::optional<Schedule> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "vgrid-mc-schedule v1") {
+    return fail("bad magic: expected 'vgrid-mc-schedule v1'");
+  }
+  if (!std::getline(in, line)) return fail("missing config line");
+  Schedule schedule;
+  {
+    std::istringstream tokens(line);
+    std::string token;
+    while (tokens >> token) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos) {
+        return fail("bad config token '" + token + "'");
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "fault") {
+        const auto fault = grid::parse_injected_fault(value);
+        if (!fault) return fail("unknown fault '" + value + "'");
+        schedule.model.fault = *fault;
+        continue;
+      }
+      int number = 0;
+      try {
+        number = std::stoi(value);
+      } catch (...) {
+        return fail("bad config value '" + token + "'");
+      }
+      if (key == "clients") {
+        schedule.model.clients = number;
+      } else if (key == "workunits") {
+        schedule.model.workunits = number;
+      } else if (key == "replication") {
+        schedule.model.replication = number;
+      } else if (key == "quorum") {
+        schedule.model.quorum = number;
+      } else if (key == "deaths") {
+        schedule.model.max_deaths = number;
+      } else {
+        return fail("unknown config key '" + key + "'");
+      }
+    }
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream tokens(line);
+    std::string tag;
+    tokens >> tag;
+    if (tag == "step") {
+      std::string client, kind_name;
+      if (!(tokens >> client >> kind_name)) {
+        return fail("bad step line '" + line + "'");
+      }
+      if (client.size() < 2 || client[0] != 'c') {
+        return fail("bad client id '" + client + "'");
+      }
+      int index = 0;
+      try {
+        index = std::stoi(client.substr(1));
+      } catch (...) {
+        return fail("bad client id '" + client + "'");
+      }
+      const auto kind = parse_kind(kind_name);
+      if (!kind) return fail("unknown action '" + kind_name + "'");
+      if (index < 0 || index >= schedule.model.clients) {
+        return fail("client index out of range in '" + line + "'");
+      }
+      schedule.steps.push_back(Action{index, *kind});
+    } else if (tag == "violation") {
+      // "violation <invariant>: <detail>"
+      std::string invariant;
+      if (!(tokens >> invariant) || invariant.empty() ||
+          invariant.back() != ':') {
+        return fail("bad violation line '" + line + "'");
+      }
+      invariant.pop_back();
+      std::string detail;
+      std::getline(tokens, detail);
+      if (!detail.empty() && detail.front() == ' ') detail.erase(0, 1);
+      schedule.violation = Violation{invariant, detail};
+    } else {
+      return fail("unknown line '" + line + "'");
+    }
+  }
+  return schedule;
+}
+
+ReplayResult replay_schedule(const Schedule& schedule) {
+  GridModel model(schedule.model);
+  InvariantChecker checker;
+  for (std::size_t i = 0; i < schedule.steps.size(); ++i) {
+    const Action& action = schedule.steps[i];
+    const std::vector<Action> enabled = model.enabled();
+    if (std::find(enabled.begin(), enabled.end(), action) == enabled.end()) {
+      return {false, "step " + std::to_string(i + 1) + " (" +
+                         action_text(action) + ") is not enabled"};
+    }
+    {
+      ScopedObserver guard(&checker);
+      model.execute(action);
+    }
+    if (const auto violation = checker.check(model)) {
+      const bool at_recorded_point =
+          schedule.violation && i + 1 == schedule.steps.size() &&
+          violation->invariant == schedule.violation->invariant;
+      if (at_recorded_point) {
+        return {true, "reproduced violation " + violation->invariant +
+                          " at step " + std::to_string(i + 1) + ": " +
+                          violation->detail};
+      }
+      return {false, "unexpected violation " + violation->invariant +
+                         " at step " + std::to_string(i + 1) + ": " +
+                         violation->detail};
+    }
+  }
+  if (schedule.violation) {
+    return {false, "recorded violation " + schedule.violation->invariant +
+                       " did not reproduce"};
+  }
+  return {true, "replayed " + std::to_string(schedule.steps.size()) +
+                    " steps; all invariants hold"};
+}
+
+}  // namespace vgrid::mc

@@ -1,0 +1,115 @@
+#pragma once
+// mc::Explorer — exhaustive DFS over the interleavings of GridModel, the
+// repo's mini model checker (ARCHITECTURE.md §mc). Because GridModel is a
+// value, backtracking is a copy, not a replay: each DFS frame snapshots the
+// model and its InvariantChecker, executes one enabled action into a child
+// snapshot, and audits the child.
+//
+// Two prunings keep the search tractable, both optional so tests can
+// measure them:
+//  * visited-state cache — states are canonicalized (client-symmetry
+//    reduction included) and hashed; per state the cache records which
+//    actions were already explored FROM it, and a revisit only explores
+//    the remainder. Recording actions rather than a bare "seen" bit is
+//    what keeps the cache sound in combination with sleep sets: a later
+//    visit arriving with a smaller sleep set still gets to run the
+//    actions the earlier visit skipped.
+//  * sleep sets (DPOR) — after exploring action a at state s, a is put to
+//    sleep for s's remaining branches; children inherit the sleeping
+//    actions that are independent of the action taken. Executions that
+//    differ only by commuting adjacent independent steps (see
+//    mc::independent) are explored once.
+//
+// Everything here is deterministic by construction: actions expand in
+// canonical order, containers are ordered, and no clock or randomness is
+// consulted — the same config always yields the same counters, byte for
+// byte (the CI model-check job diffs repeated summaries).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mc/invariants.hpp"
+#include "mc/model.hpp"
+
+namespace vgrid::mc {
+
+struct ExploreConfig {
+  ModelConfig model;
+  /// Longest schedule explored; deeper paths count as bound hits.
+  int max_depth = 96;
+  /// Node expansion budget; the search stops (reported, not silent) when
+  /// exhausted.
+  std::uint64_t max_states = 2'000'000;
+  bool use_sleep_sets = true;
+  bool use_state_cache = true;
+};
+
+struct ExploreResult {
+  std::uint64_t states_visited = 0;   ///< DFS nodes expanded
+  std::uint64_t distinct_states = 0;  ///< canonical-hash cache size
+  std::uint64_t transitions = 0;      ///< actions executed
+  /// Maximal executions explored: paths ending in a terminal state, a
+  /// fully pruned frontier, or the depth bound.
+  std::uint64_t interleavings = 0;
+  std::uint64_t terminal_states = 0;  ///< ... of which truly terminal
+  std::uint64_t sleep_pruned = 0;     ///< actions skipped by sleep sets
+  std::uint64_t visited_pruned = 0;   ///< actions skipped by the cache
+  int max_depth_reached = 0;
+  bool depth_bound_hit = false;
+  bool state_bound_hit = false;
+  std::optional<Violation> violation;
+  /// The schedule reaching the violation (empty when none): replayable via
+  /// render_schedule / replay_schedule.
+  std::vector<Action> violating_schedule;
+};
+
+class Explorer {
+ public:
+  explicit Explorer(ExploreConfig config) : config_(std::move(config)) {}
+
+  /// Run the search to completion (or first violation / bound).
+  ExploreResult run();
+
+  const ExploreConfig& config() const noexcept { return config_; }
+
+ private:
+  ExploreConfig config_;
+};
+
+/// Byte-stable, line-oriented report of one exploration — identical runs
+/// produce identical bytes (the determinism audit diffs this).
+std::string format_summary(const ExploreConfig& config,
+                           const ExploreResult& result);
+
+/// A parsed schedule file: the model it ran against, the action sequence,
+/// and the violation it ended in (if any).
+struct Schedule {
+  ModelConfig model;
+  std::vector<Action> steps;
+  std::optional<Violation> violation;
+};
+
+/// Render a replayable schedule file ("vgrid-mc-schedule v1" format).
+std::string render_schedule(const ModelConfig& model,
+                            const std::vector<Action>& steps,
+                            const Violation* violation);
+
+/// Parse a schedule file; on failure returns nullopt and, when `error` is
+/// non-null, a one-line reason.
+std::optional<Schedule> parse_schedule(const std::string& text,
+                                       std::string* error);
+
+struct ReplayResult {
+  bool ok = false;       ///< recorded outcome reproduced exactly
+  std::string message;   ///< what happened (shown by the CLI)
+};
+
+/// Re-execute a schedule step by step on a fresh model, auditing
+/// invariants after every step. ok iff the run reproduces the recorded
+/// outcome: the recorded violation fires (same invariant) where recorded,
+/// or the run stays clean when none was recorded.
+ReplayResult replay_schedule(const Schedule& schedule);
+
+}  // namespace vgrid::mc

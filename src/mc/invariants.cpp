@@ -1,0 +1,141 @@
+#include "mc/invariants.hpp"
+
+#include <cmath>
+
+namespace vgrid::mc {
+namespace {
+
+std::string wu_tag(std::uint64_t workunit_id) {
+  return "wu " + std::to_string(workunit_id);
+}
+
+}  // namespace
+
+void InvariantChecker::on_transition(TransitionPoint point,
+                                     std::uint64_t workunit_id,
+                                     const std::string& client_id,
+                                     double detail) {
+  switch (point) {
+    case TransitionPoint::kCreditGranted: {
+      total_granted_ += detail;
+      ++wu_grants_[workunit_id];
+      int& count = grants_[{workunit_id, client_id}];
+      ++count;
+      if (count > 1 && !pending_) {
+        pending_ = Violation{
+            "at-most-once-credit",
+            wu_tag(workunit_id) + " granted credit to client " + client_id +
+                " " + std::to_string(count) + " times"};
+      }
+      if (quorum_count_[workunit_id] == 0 && !pending_) {
+        pending_ = Violation{
+            "credit-before-quorum",
+            wu_tag(workunit_id) + " granted credit to client " + client_id +
+                " before any quorum was announced"};
+      }
+      break;
+    }
+    case TransitionPoint::kQuorumReached: {
+      int& count = quorum_count_[workunit_id];
+      ++count;
+      if (count > 1 && !pending_) {
+        pending_ = Violation{
+            "quorum-at-most-once",
+            wu_tag(workunit_id) + " announced quorum " +
+                std::to_string(count) + " times"};
+      }
+      break;
+    }
+    case TransitionPoint::kStateChanged: {
+      // detail carries the numeric WorkunitState (see grid::advance_state).
+      // Order: kUnsent(0) < kInProgress(1) < {kValidated(2), kInvalid(3)}
+      // where 2 and 3 are both terminal.
+      const auto next = static_cast<std::uint8_t>(detail);
+      const auto it = last_state_.find(workunit_id);
+      const std::uint8_t last = it != last_state_.end() ? it->second : 0;
+      if ((last >= 2 || next <= last || next == 0) && !pending_) {
+        pending_ = Violation{
+            "monotone-state",
+            wu_tag(workunit_id) + " announced state change " +
+                std::to_string(static_cast<int>(last)) + " -> " +
+                std::to_string(static_cast<int>(next))};
+      }
+      last_state_[workunit_id] = next;
+      break;
+    }
+    default:
+      break;  // other points carry no invariant bookkeeping
+  }
+}
+
+std::optional<Violation> InvariantChecker::check(const GridModel& model) const {
+  if (pending_) return pending_;
+  const grid::ServerLogic& server = model.server();
+
+  // credit-conservation: the ledger's total equals the announced grants.
+  double ledger_total = 0.0;
+  for (const auto& [client_id, account] : server.accounts()) {
+    ledger_total += account.credit;
+  }
+  if (std::abs(ledger_total - total_granted_) > 1e-9) {
+    return Violation{
+        "credit-conservation",
+        "account ledger holds " + std::to_string(ledger_total) +
+            " credit but " + std::to_string(total_granted_) +
+            " was announced as granted"};
+  }
+
+  // workunit-conservation: ids 1..W were added once and must all remain.
+  const int expected = model.config().workunits;
+  if (static_cast<int>(server.tracked().size()) != expected) {
+    return Violation{
+        "workunit-conservation",
+        "server tracks " + std::to_string(server.tracked().size()) +
+            " workunits, expected " + std::to_string(expected)};
+  }
+  for (int w = 1; w <= expected; ++w) {
+    if (server.tracked().count(static_cast<grid::WorkunitId>(w)) == 0) {
+      return Violation{"workunit-conservation",
+                       wu_tag(static_cast<std::uint64_t>(w)) +
+                           " vanished from the server's tracking map"};
+    }
+  }
+
+  // credit-quorum-bound: validation credits exactly the matching results
+  // present at the quorum instant — never more than quorum of them.
+  for (const auto& [id, count] : wu_grants_) {
+    if (count > model.config().quorum) {
+      return Violation{
+          "credit-quorum-bound",
+          wu_tag(id) + " granted credit " + std::to_string(count) +
+              " times, quorum is " +
+              std::to_string(model.config().quorum)};
+    }
+  }
+
+  const int instance_cap =
+      model.config().replication + model.config().quorum;
+  for (const auto& [id, tracked] : server.tracked()) {
+    // monotone-state: the model's actual state must be exactly the last
+    // announced one (all writes funnel through grid::advance_state).
+    const auto it = last_state_.find(id);
+    const std::uint8_t announced = it != last_state_.end() ? it->second : 0;
+    if (static_cast<std::uint8_t>(tracked.state) != announced) {
+      return Violation{
+          "monotone-state",
+          wu_tag(id) + " is in state " + grid::to_string(tracked.state) +
+              " but the last announced state was " +
+              std::to_string(static_cast<int>(announced))};
+    }
+    // instance-bound: at most one extra round beyond initial replication.
+    if (tracked.instances_sent > instance_cap) {
+      return Violation{
+          "instance-bound",
+          wu_tag(id) + " sent " + std::to_string(tracked.instances_sent) +
+              " instances, cap is " + std::to_string(instance_cap)};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace vgrid::mc

@@ -1,0 +1,80 @@
+#pragma once
+// mc::InvariantChecker — the safety properties of the grid credit protocol,
+// audited against every state the explorer reaches. The checker is a
+// TransitionObserver: it rides along each explored transition (installed
+// thread-locally around GridModel::execute) accumulating what the protocol
+// *announced* — credit grants, quorum events, state changes — and check()
+// then cross-examines those announcements against the model's actual state.
+// A violation therefore means the protocol's behavior and its own ledger
+// disagree, not merely that an event looked odd in isolation.
+//
+// The checker is a value type: the DFS explorer snapshots it alongside the
+// model when branching, so each path carries exactly the history of its own
+// schedule.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "mc/model.hpp"
+#include "mc/transition.hpp"
+
+namespace vgrid::mc {
+
+/// One falsified safety property.
+struct Violation {
+  std::string invariant;  ///< stable kebab-case name (see check())
+  std::string detail;     ///< human-readable evidence
+};
+
+/// Checked invariants (names as reported in Violation::invariant):
+///  * credit-conservation   — sum of all account credit equals the sum of
+///                            announced kCreditGranted amounts (the ledger
+///                            never invents or leaks credit);
+///  * at-most-once-credit   — each (workunit, client) pair is granted
+///                            credit at most once (sound because the
+///                            server enforces one result per client per
+///                            workunit);
+///  * credit-quorum-bound   — a workunit grants credit to at most `quorum`
+///                            results (validation credits exactly the
+///                            matching results present at the quorum
+///                            instant, and late arrivals earn nothing);
+///  * credit-before-quorum  — credit is only granted after the workunit's
+///                            quorum was announced;
+///  * quorum-at-most-once   — a workunit reaches quorum at most once;
+///  * workunit-conservation — every workunit ever added is still tracked:
+///                            none lost, none duplicated;
+///  * monotone-state        — workunit lifecycle states only move forward
+///                            (kUnsent -> kInProgress -> terminal), and the
+///                            model's state matches the announced one;
+///  * instance-bound        — instances_sent never exceeds the cap of
+///                            replication + quorum (one extra round).
+class InvariantChecker : public TransitionObserver {
+ public:
+  void on_transition(TransitionPoint point, std::uint64_t workunit_id,
+                     const std::string& client_id, double detail) override;
+
+  /// Audit `model` against the accumulated event history. Returns the
+  /// first violation found (event-level ones detected mid-transition take
+  /// precedence), or nullopt when every invariant holds.
+  std::optional<Violation> check(const GridModel& model) const;
+
+  double total_granted() const noexcept { return total_granted_; }
+
+ private:
+  /// Grant count per (workunit, client).
+  std::map<std::pair<std::uint64_t, std::string>, int> grants_;
+  /// Grant count per workunit (bounded by quorum).
+  std::map<std::uint64_t, int> wu_grants_;
+  double total_granted_ = 0.0;
+  std::map<std::uint64_t, int> quorum_count_;
+  /// Last announced WorkunitState per workunit (absent: never changed,
+  /// i.e. still kUnsent).
+  std::map<std::uint64_t, std::uint8_t> last_state_;
+  /// First event-level violation, caught as the event fired.
+  std::optional<Violation> pending_;
+};
+
+}  // namespace vgrid::mc

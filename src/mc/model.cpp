@@ -1,0 +1,257 @@
+#include "mc/model.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vgrid::mc {
+namespace {
+
+/// FNV-1a 64 — the same stable content hash the scenario subsystem uses.
+std::uint64_t fnv1a(const std::string& text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string format_amount(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+const char* to_string(ActionKind kind) noexcept {
+  switch (kind) {
+    case ActionKind::kFetch: return "fetch";
+    case ActionKind::kCompute: return "compute";
+    case ActionKind::kSubmit: return "submit";
+    case ActionKind::kDie: return "die";
+  }
+  return "?";
+}
+
+const char* to_string(ClientPhase phase) noexcept {
+  switch (phase) {
+    case ClientPhase::kIdle: return "idle";
+    case ClientPhase::kHasWork: return "has-work";
+    case ClientPhase::kComputed: return "computed";
+    case ClientPhase::kDone: return "done";
+    case ClientPhase::kDead: return "dead";
+  }
+  return "?";
+}
+
+bool independent(const Action& a, const Action& b) noexcept {
+  if (a.client == b.client) return false;  // same process: ordered
+  // The compute step touches only client-local state; every other action
+  // mutates the shared server, so different-client pairs commute exactly
+  // when at least one side is a compute.
+  return a.kind == ActionKind::kCompute || b.kind == ActionKind::kCompute;
+}
+
+GridModel::GridModel(const ModelConfig& config) : config_(config) {
+  server_.set_injected_fault(config.fault);
+  for (int w = 0; w < config.workunits; ++w) {
+    grid::Workunit wu;
+    wu.kind = "echo";
+    wu.payload = "payload-" + std::to_string(w);
+    wu.replication = config.replication;
+    wu.quorum = config.quorum;
+    // Deadlines stay off: instance loss is the explicit death transition,
+    // not a clock race, so the logical clock never has to advance.
+    wu.deadline_seconds = 0.0;
+    server_.add_workunit(wu);
+  }
+  clients_.resize(static_cast<std::size_t>(config.clients));
+}
+
+std::string GridModel::client_id(int index) {
+  return "c" + std::to_string(index);
+}
+
+std::vector<Action> GridModel::enabled() const {
+  std::vector<Action> actions;
+  const bool deaths_left = deaths_used_ < config_.max_deaths;
+  for (int i = 0; i < static_cast<int>(clients_.size()); ++i) {
+    switch (clients_[static_cast<std::size_t>(i)].phase) {
+      case ClientPhase::kIdle:
+        actions.push_back({i, ActionKind::kFetch});
+        break;
+      case ClientPhase::kHasWork:
+        actions.push_back({i, ActionKind::kCompute});
+        if (deaths_left) actions.push_back({i, ActionKind::kDie});
+        break;
+      case ClientPhase::kComputed:
+        actions.push_back({i, ActionKind::kSubmit});
+        if (deaths_left) actions.push_back({i, ActionKind::kDie});
+        break;
+      case ClientPhase::kDone:
+      case ClientPhase::kDead:
+        break;
+    }
+  }
+  return actions;
+}
+
+void GridModel::execute(const Action& action) {
+  ClientState& client = clients_.at(static_cast<std::size_t>(action.client));
+  const std::string id = client_id(action.client);
+  switch (action.kind) {
+    case ActionKind::kFetch: {
+      const grid::WorkResponse response =
+          server_.next_work(grid::WorkRequest{id}, /*now_ns=*/0);
+      if (response.has_work) {
+        client.phase = ClientPhase::kHasWork;
+        client.work = response.workunit;
+      } else {
+        client.phase = ClientPhase::kDone;
+      }
+      break;
+    }
+    case ActionKind::kCompute:
+      client.output = "echo:" + client.work.payload;
+      client.phase = ClientPhase::kComputed;
+      break;
+    case ActionKind::kSubmit:
+      server_.accept_result(grid::SubmitRequest{grid::Result{
+          client.work.id, id, client.output, /*cpu_seconds=*/1.0}});
+      client.phase = ClientPhase::kIdle;
+      client.work = grid::Workunit{};
+      client.output.clear();
+      break;
+    case ActionKind::kDie:
+      server_.expire_instance(client.work.id);
+      client.phase = ClientPhase::kDead;
+      ++deaths_used_;
+      break;
+  }
+}
+
+bool GridModel::terminal() const { return enabled().empty(); }
+
+std::string GridModel::canonical_state() const {
+  const int n = static_cast<int>(clients_.size());
+  // 1. Per-client signature, independent of the client's index: local
+  //    phase + held work + account + the multiset of results it submitted.
+  std::vector<std::string> signatures(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const ClientState& client = clients_[static_cast<std::size_t>(i)];
+    std::string sig = std::string("phase=") + to_string(client.phase);
+    sig += " wu=" + std::to_string(client.phase == ClientPhase::kHasWork ||
+                                           client.phase ==
+                                               ClientPhase::kComputed
+                                       ? client.work.id
+                                       : 0);
+    sig += " out=" + client.output;
+    const grid::StatsResponse account =
+        server_.client_account(client_id(i));
+    sig += " acct=" + std::to_string(account.results_accepted) + "/" +
+           format_amount(account.cpu_seconds) + "/" +
+           format_amount(account.credit);
+    std::vector<std::string> submitted;
+    for (const auto& [wu_id, tracked] : server_.tracked()) {
+      for (const grid::Result& result : tracked.validator.results()) {
+        if (result.client_id == client_id(i)) {
+          submitted.push_back(std::to_string(wu_id) + ":" + result.output +
+                              ":" + format_amount(result.cpu_seconds));
+        }
+      }
+    }
+    std::sort(submitted.begin(), submitted.end());
+    sig += " submitted=[";
+    for (const std::string& entry : submitted) sig += entry + ";";
+    sig += "]";
+    signatures[static_cast<std::size_t>(i)] = sig;
+  }
+  // 2. Rename clients to the rank of their signature: states that are
+  //    client-permutations of each other become byte-identical. Clients
+  //    with equal signatures are interchangeable, so ties are harmless.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return signatures[static_cast<std::size_t>(a)] <
+           signatures[static_cast<std::size_t>(b)];
+  });
+  std::vector<std::string> rename(static_cast<std::size_t>(n));
+  for (int rank = 0; rank < n; ++rank) {
+    rename[static_cast<std::size_t>(order[static_cast<std::size_t>(rank)])] =
+        "C" + std::to_string(rank);
+  }
+  const auto renamed = [&](const std::string& raw_id) -> std::string {
+    for (int i = 0; i < n; ++i) {
+      if (raw_id == client_id(i)) {
+        return rename[static_cast<std::size_t>(i)];
+      }
+    }
+    return raw_id;  // unknown submitter (not produced by this model)
+  };
+
+  // 3. Server state, with client ids abstracted and per-workunit result
+  //    multisets sorted. Issue timestamps are deliberately absent: only
+  //    the *count* of outstanding instances is protocol state here.
+  std::string out = "mc-state v1\n";
+  const grid::ServerStats& stats = server_.stats();
+  out += "stats req=" + std::to_string(stats.work_requests) +
+         " sent=" + std::to_string(stats.workunits_sent) +
+         " recv=" + std::to_string(stats.results_received) +
+         " valid=" + std::to_string(stats.workunits_validated) +
+         " invalid=" + std::to_string(stats.workunits_invalid) +
+         " reissued=" + std::to_string(stats.instances_reissued) +
+         " cpu=" + format_amount(stats.total_cpu_seconds) + "\n";
+  for (const auto& [id, tracked] : server_.tracked()) {
+    out += "wu " + std::to_string(id) +
+           " state=" + grid::to_string(tracked.state) +
+           " sent=" + std::to_string(tracked.instances_sent) +
+           " outstanding=" + std::to_string(tracked.outstanding.size()) +
+           " pending=" + std::to_string(tracked.reissues_pending) +
+           " repl=" + std::to_string(tracked.workunit.replication) +
+           " results=[";
+    std::vector<std::string> entries;
+    for (const grid::Result& result : tracked.validator.results()) {
+      entries.push_back(renamed(result.client_id) + ":" + result.output +
+                        ":" + format_amount(result.cpu_seconds));
+    }
+    std::sort(entries.begin(), entries.end());
+    for (const std::string& entry : entries) out += entry + ";";
+    out += "]";
+    if (tracked.validator.validated()) {
+      out += " canonical=" + tracked.validator.canonical();
+    }
+    out += "\n";
+  }
+  out += "dispatch=[";
+  for (const grid::WorkunitId id : server_.dispatchable()) {
+    out += std::to_string(id) + ";";
+  }
+  out += "]\n";
+  std::vector<std::string> account_lines;
+  for (const auto& [raw_id, account] : server_.accounts()) {
+    account_lines.push_back(
+        "acct " + renamed(raw_id) + " " +
+        std::to_string(account.results_accepted) + "/" +
+        format_amount(account.cpu_seconds) + "/" +
+        format_amount(account.credit));
+  }
+  std::sort(account_lines.begin(), account_lines.end());
+  for (const std::string& line : account_lines) out += line + "\n";
+  // 4. The sorted client signatures themselves.
+  for (int rank = 0; rank < n; ++rank) {
+    out += "client C" + std::to_string(rank) + " " +
+           signatures[static_cast<std::size_t>(
+               order[static_cast<std::size_t>(rank)])] +
+           "\n";
+  }
+  out += "deaths=" + std::to_string(deaths_used_) +
+         " fault=" + grid::to_string(config_.fault) + "\n";
+  return out;
+}
+
+std::uint64_t GridModel::state_hash() const {
+  return fnv1a(canonical_state());
+}
+
+}  // namespace vgrid::mc

@@ -1,0 +1,119 @@
+#pragma once
+// mc::GridModel — the explored system: one grid::ServerLogic plus a small
+// fleet of deterministic model clients, advanced one transition at a time.
+// Each client is a three-phase volunteer (fetch -> compute -> submit, loop)
+// that may also die while holding work (its instance is then lost and must
+// be recovered through the reissue path). The model is a *value*: copying
+// it snapshots the whole protocol state, which is how the DFS explorer
+// backtracks without replay.
+//
+// Time never advances: the server runs on a constant logical clock and
+// deadline expiry is modeled as the explicit death transition, so two
+// states that differ only in when steps happened are the same state —
+// exactly what visited-state pruning needs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grid/server_logic.hpp"
+
+namespace vgrid::mc {
+
+struct ModelConfig {
+  int clients = 3;
+  int workunits = 3;
+  int replication = 2;
+  int quorum = 2;
+  /// Total death transitions permitted across one execution (a budget,
+  /// not per-client).
+  int max_deaths = 1;
+  grid::InjectedFault fault = grid::InjectedFault::kNone;
+};
+
+enum class ActionKind : std::uint8_t {
+  kFetch = 0,  ///< request work (Idle -> HasWork, or Idle -> Done on dry)
+  kCompute,    ///< run the executor locally (HasWork -> Computed)
+  kSubmit,     ///< submit the result (Computed -> Idle)
+  kDie,        ///< vanish holding work; the instance is lost (-> Dead)
+};
+
+const char* to_string(ActionKind kind) noexcept;
+
+/// One schedulable transition: client `client` performs `kind`.
+struct Action {
+  int client = 0;
+  ActionKind kind = ActionKind::kFetch;
+
+  bool operator==(const Action& other) const noexcept {
+    return client == other.client && kind == other.kind;
+  }
+  /// Dense encoding for sleep sets / explored-action records.
+  std::uint16_t encode() const noexcept {
+    return static_cast<std::uint16_t>(client * 4 +
+                                      static_cast<int>(kind));
+  }
+};
+
+/// Two transitions are independent when they commute from every state:
+/// actions of different clients where at least one is the purely local
+/// compute step (everything else touches shared server state).
+bool independent(const Action& a, const Action& b) noexcept;
+
+enum class ClientPhase : std::uint8_t {
+  kIdle = 0,  ///< ready to request work
+  kHasWork,   ///< holds an instance, not yet executed
+  kComputed,  ///< holds a finished result, not yet submitted
+  kDone,      ///< saw NO_WORK; retired
+  kDead,      ///< died holding work; never acts again
+};
+
+const char* to_string(ClientPhase phase) noexcept;
+
+struct ClientState {
+  ClientPhase phase = ClientPhase::kIdle;
+  grid::Workunit work;  ///< valid in kHasWork / kComputed
+  std::string output;   ///< valid in kComputed
+};
+
+class GridModel {
+ public:
+  explicit GridModel(const ModelConfig& config);
+
+  const ModelConfig& config() const noexcept { return config_; }
+  const grid::ServerLogic& server() const noexcept { return server_; }
+  const std::vector<ClientState>& clients() const noexcept {
+    return clients_;
+  }
+  int deaths_used() const noexcept { return deaths_used_; }
+
+  static std::string client_id(int index);
+
+  /// Enabled transitions in canonical order (client index, then kind) —
+  /// the DFS expansion order, so exploration is deterministic.
+  std::vector<Action> enabled() const;
+
+  /// Execute one transition (must be enabled). Protocol steps announced
+  /// through the mc::TransitionPoint seam fire synchronously, so install a
+  /// ScopedObserver first to audit them.
+  void execute(const Action& action);
+
+  bool terminal() const;
+
+  /// Canonical rendering of the full explored state. Client identities are
+  /// abstracted away: per-client signatures are sorted and clients renamed
+  /// to their rank, so states that are client-permutations of each other
+  /// render identically (symmetry reduction for free).
+  std::string canonical_state() const;
+
+  /// FNV-1a 64 of canonical_state().
+  std::uint64_t state_hash() const;
+
+ private:
+  ModelConfig config_;
+  grid::ServerLogic server_;
+  std::vector<ClientState> clients_;
+  int deaths_used_ = 0;
+};
+
+}  // namespace vgrid::mc

@@ -1,0 +1,42 @@
+#include "mc/transition.hpp"
+
+namespace vgrid::mc {
+namespace {
+
+thread_local TransitionObserver* g_observer = nullptr;
+
+}  // namespace
+
+const char* to_string(TransitionPoint point) noexcept {
+  switch (point) {
+    case TransitionPoint::kWorkIssued: return "work-issued";
+    case TransitionPoint::kInstanceReissued: return "instance-reissued";
+    case TransitionPoint::kInstanceExpired: return "instance-expired";
+    case TransitionPoint::kResultAccepted: return "result-accepted";
+    case TransitionPoint::kQuorumReached: return "quorum-reached";
+    case TransitionPoint::kCreditGranted: return "credit-granted";
+    case TransitionPoint::kStateChanged: return "state-changed";
+    case TransitionPoint::kWorkunitDropped: return "workunit-dropped";
+    case TransitionPoint::kClientFetched: return "client-fetched";
+    case TransitionPoint::kClientSubmitted: return "client-submitted";
+  }
+  return "?";
+}
+
+TransitionObserver* current_observer() noexcept { return g_observer; }
+
+void notify(TransitionPoint point, std::uint64_t workunit_id,
+            const std::string& client_id, double detail) {
+  if (g_observer != nullptr) {
+    g_observer->on_transition(point, workunit_id, client_id, detail);
+  }
+}
+
+ScopedObserver::ScopedObserver(TransitionObserver* observer) noexcept
+    : previous_(g_observer) {
+  g_observer = observer;
+}
+
+ScopedObserver::~ScopedObserver() { g_observer = previous_; }
+
+}  // namespace vgrid::mc

@@ -1,0 +1,71 @@
+#pragma once
+// mc::TransitionPoint — the instrumentation seam between the grid protocol
+// and the model checker (ARCHITECTURE.md §mc). Protocol code announces each
+// semantically atomic step (instance issued, result accepted, credit
+// granted, ...) through notify(); normal runs have no observer installed,
+// so the seam costs one thread-local load and a branch. The explorer
+// installs a thread-local TransitionObserver around each transition it
+// executes, turning socket/timing accidents into schedulable, auditable
+// protocol events.
+//
+// This header sits *below* src/grid in the layer diagram (grid includes
+// it); the explorer proper (mc/explorer.hpp) sits above grid. Keep this
+// file dependency-light: util-level includes only.
+
+#include <cstdint>
+#include <string>
+
+namespace vgrid::mc {
+
+/// Semantically atomic steps of the grid protocol, announced by the
+/// instrumented code in src/grid (server_logic, validator, client).
+enum class TransitionPoint : std::uint8_t {
+  kWorkIssued = 0,    ///< fresh instance handed to a requesting client
+  kInstanceReissued,  ///< lost instance handed out again
+  kInstanceExpired,   ///< outstanding instance declared lost (death/deadline)
+  kResultAccepted,    ///< submitted result entered the validator
+  kQuorumReached,     ///< a result group reached quorum (validator-level)
+  kCreditGranted,     ///< credit granted to one client for one workunit
+  kStateChanged,      ///< a workunit advanced its lifecycle state
+  kWorkunitDropped,   ///< a workunit left the server's tracking map
+  kClientFetched,     ///< client-side: work response received over the wire
+  kClientSubmitted,   ///< client-side: submit acknowledged over the wire
+};
+
+const char* to_string(TransitionPoint point) noexcept;
+
+/// Receives protocol events. Installed thread-locally (ScopedObserver), so
+/// the server's real serve thread — which never installs one — is
+/// unaffected by an explorer running on another thread.
+class TransitionObserver {
+ public:
+  virtual ~TransitionObserver() = default;
+  /// `detail` carries the point-specific scalar: credit amount for
+  /// kCreditGranted, the new state's numeric value for kStateChanged,
+  /// 0 otherwise.
+  virtual void on_transition(TransitionPoint point,
+                             std::uint64_t workunit_id,
+                             const std::string& client_id, double detail) = 0;
+};
+
+/// The observer installed on this thread, or nullptr.
+TransitionObserver* current_observer() noexcept;
+
+/// Announce one protocol step to the current observer (no-op when none).
+void notify(TransitionPoint point, std::uint64_t workunit_id,
+            const std::string& client_id = std::string(),
+            double detail = 0.0);
+
+/// RAII install/restore of the thread-local observer.
+class ScopedObserver {
+ public:
+  explicit ScopedObserver(TransitionObserver* observer) noexcept;
+  ~ScopedObserver();
+  ScopedObserver(const ScopedObserver&) = delete;
+  ScopedObserver& operator=(const ScopedObserver&) = delete;
+
+ private:
+  TransitionObserver* previous_;
+};
+
+}  // namespace vgrid::mc

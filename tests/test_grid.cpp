@@ -10,6 +10,7 @@
 #include "grid/messages.hpp"
 #include "obs/registry.hpp"
 #include "grid/server.hpp"
+#include "grid/server_logic.hpp"
 #include "grid/validator.hpp"
 #include "util/error.hpp"
 
@@ -402,6 +403,90 @@ TEST(ServerClient, ClientIgnoresRegistryInstalledAfterConstruction) {
   obs::ScopedRegistry metrics_scope(&late);
   EXPECT_TRUE(client.run_once());
   EXPECT_EQ(late.instrument_count(), 0u);
+}
+
+// ---- ServerLogic dispatch/reissue ordering regressions -----------------------
+// These pin the properties the model checker relies on: issue and reissue
+// decisions are protocol rules, not incidentals of map iteration or queue
+// position. Each test failed (or was unpinnable) before the ordering fix.
+
+TEST(ServerLogicOrdering, OneResultPerClientPerWorkunit) {
+  // BOINC's one_result_per_user_per_wu: a client that already contributed
+  // a result never receives another instance of the same workunit — so a
+  // single client can never reach quorum (and double credit) alone.
+  ServerLogic logic;
+  const WorkunitId id = logic.add_workunit(Workunit{0, "echo", "p", 2, 2});
+  EXPECT_TRUE(logic.next_work({"solo"}, 0).has_work);
+  EXPECT_TRUE(logic.accept_result({Result{id, "solo", "out", 1.0}}).accepted);
+  EXPECT_FALSE(logic.next_work({"solo"}, 0).has_work);
+  const WorkResponse other = logic.next_work({"other"}, 0);
+  ASSERT_TRUE(other.has_work);
+  EXPECT_EQ(other.workunit.id, id);
+}
+
+TEST(ServerLogicOrdering, BlockedClientStepsOverButOthersStillServed) {
+  // The dispatch scan must step over an entry this client is blocked on,
+  // not pop it: the blocked client gets the next workunit, and the skipped
+  // instance stays available to everyone else.
+  ServerLogic logic;
+  const WorkunitId first =
+      logic.add_workunit(Workunit{0, "echo", "one", 2, 2});
+  const WorkunitId second =
+      logic.add_workunit(Workunit{0, "echo", "two", 2, 2});
+  EXPECT_EQ(logic.next_work({"a"}, 0).workunit.id, first);
+  EXPECT_TRUE(logic.accept_result({Result{first, "a", "out", 1.0}}).accepted);
+  const WorkResponse for_a = logic.next_work({"a"}, 0);
+  ASSERT_TRUE(for_a.has_work);
+  EXPECT_EQ(for_a.workunit.id, second);
+  const WorkResponse for_b = logic.next_work({"b"}, 0);
+  ASSERT_TRUE(for_b.has_work);
+  EXPECT_EQ(for_b.workunit.id, first);
+}
+
+TEST(ServerLogicOrdering, ValidatedWorkunitIsNeverReissued) {
+  // replication 2 / quorum 1: validation lands while an instance is still
+  // queued. The leftover must be dropped at dispatch — issuing it would
+  // regress the state machine and waste a volunteer.
+  ServerLogic logic;
+  const WorkunitId id = logic.add_workunit(Workunit{0, "echo", "p", 2, 1});
+  EXPECT_TRUE(logic.next_work({"a"}, 0).has_work);
+  const SubmitResponse submit =
+      logic.accept_result({Result{id, "a", "out", 1.0}});
+  EXPECT_TRUE(submit.workunit_validated);
+  EXPECT_FALSE(logic.next_work({"b"}, 0).has_work);
+  EXPECT_EQ(logic.workunit_state(id), WorkunitState::kValidated);
+  EXPECT_FALSE(logic.expire_instance(id));
+}
+
+TEST(ServerLogicOrdering, LongestOverdueInstanceIsRecoveredFirst) {
+  // Two overdue instances: the lower-id workunit expired at t=6s, the
+  // higher-id one at t=1s. Recovery must pick the earliest expiry, not the
+  // lowest id the old map scan happened to reach first.
+  ServerLogic logic;
+  Workunit proto{0, "echo", "one", 1, 1};
+  proto.deadline_seconds = 1.0;
+  const WorkunitId first = logic.add_workunit(proto);
+  proto.payload = "two";
+  const WorkunitId second = logic.add_workunit(proto);
+  EXPECT_EQ(logic.next_work({"a"}, 5'000'000'000).workunit.id, first);
+  EXPECT_EQ(logic.next_work({"b"}, 0).workunit.id, second);
+  const WorkResponse rescued = logic.next_work({"c"}, 10'000'000'000);
+  ASSERT_TRUE(rescued.has_work);
+  EXPECT_EQ(rescued.workunit.id, second);
+}
+
+TEST(ServerLogicOrdering, ReissueSkipsClientsThatAlreadyContributed) {
+  ServerLogic logic;
+  const WorkunitId id = logic.add_workunit(Workunit{0, "echo", "p", 2, 2});
+  EXPECT_TRUE(logic.next_work({"a"}, 0).has_work);
+  EXPECT_TRUE(logic.next_work({"b"}, 0).has_work);
+  EXPECT_TRUE(logic.accept_result({Result{id, "a", "out", 1.0}}).accepted);
+  EXPECT_TRUE(logic.expire_instance(id));  // b vanished holding its instance
+  // a already returned a result; the reissue must wait for someone else.
+  EXPECT_FALSE(logic.next_work({"a"}, 0).has_work);
+  const WorkResponse rescued = logic.next_work({"c"}, 0);
+  ASSERT_TRUE(rescued.has_work);
+  EXPECT_EQ(rescued.workunit.id, id);
 }
 
 }  // namespace

@@ -384,6 +384,65 @@ void log_line() { std::fprintf(stderr, "x\n"); }
   EXPECT_TRUE(ds.empty());
 }
 
+// --- mc-purity ---------------------------------------------------------------
+
+TEST(LintMcPurity, FlagsSanctionedClockGatewaysInModelCheckedCode) {
+  // det-wall-clock already bans std clocks everywhere in src/; the mc rule
+  // additionally bans the util/clock gateways, which are legal elsewhere.
+  const auto ds = lint::lint_file("src/mc/bad.cpp", R"cpp(
+#include "util/clock.hpp"
+long stamp() { return vgrid::util::monotonic_time_ns(); }
+)cpp");
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule, "mc-wall-clock");
+  EXPECT_EQ(ds[0].line, 3);
+}
+
+TEST(LintMcPurity, FlagsRealSocketCallsInProtocolCore) {
+  const auto ds = lint::lint_file("src/grid/server_logic.cpp", R"cpp(
+int listen_on(int fd) { return listen(fd, 8); }
+)cpp");
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule, "mc-real-socket");
+}
+
+TEST(LintMcPurity, FlagsUnorderedContainersEvenWithoutIteration) {
+  // The determinism family only flags unordered containers on iteration or
+  // pointer keys; in model-checked code the *declaration* is already wrong
+  // because canonical state hashing needs ordered traversal. The #include
+  // itself is flagged too — the header has no legitimate use in scope.
+  const auto ds = lint::lint_file("src/mc/bad.hpp", R"cpp(
+#include <unordered_map>
+std::unordered_map<int, int> grants_;
+)cpp");
+  EXPECT_EQ(rules_of(ds),
+            (std::vector<std::string>{"mc-unordered", "mc-unordered"}));
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds[0].line, 2);
+  EXPECT_EQ(ds[1].line, 3);
+}
+
+TEST(LintMcPurity, RealRpcWrappersStayOutOfScope) {
+  // grid/server and grid/client own the sockets and clocks by design —
+  // only the logic the explorer drives must be pure.
+  const std::string clock_read =
+      "long t = vgrid::util::monotonic_time_ns();\n";
+  EXPECT_TRUE(lint::lint_file("src/grid/server.cpp", clock_read).empty());
+  EXPECT_TRUE(lint::lint_file("src/grid/client.cpp", clock_read).empty());
+  EXPECT_FALSE(
+      lint::lint_file("src/grid/validator.cpp", clock_read).empty());
+  EXPECT_FALSE(
+      lint::lint_file("src/grid/workunit.hpp", clock_read).empty());
+}
+
+TEST(LintMcPurity, AllowSilencesWithReason) {
+  const auto ds = lint::lint_file("src/mc/x.cpp", R"cpp(
+// vgrid-lint: allow(mc-unordered): fixture exercising the suppression.
+std::unordered_set<int> scratch_;
+)cpp");
+  EXPECT_TRUE(ds.empty());
+}
+
 // --- suppressions ------------------------------------------------------------
 
 TEST(LintSuppression, AllowWithReasonSilencesLineAndNext) {

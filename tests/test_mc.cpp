@@ -1,0 +1,249 @@
+// The mc subsystem's own suite: canonical-state symmetry reduction, the
+// determinism of the DFS counters, the seeded-fault fixtures, schedule
+// round-trips, and the search bounds. The expensive full explorations here
+// are the same configs the `vgrid mc` ctests run — a few thousand states,
+// well under a second each.
+
+#include <gtest/gtest.h>
+
+#include "mc/explorer.hpp"
+#include "mc/invariants.hpp"
+#include "mc/model.hpp"
+
+namespace vgrid::mc {
+namespace {
+
+ModelConfig small_config() {
+  ModelConfig config;
+  config.clients = 2;
+  config.workunits = 1;
+  config.replication = 2;
+  config.quorum = 2;
+  config.max_deaths = 0;
+  return config;
+}
+
+// --- canonical state & symmetry ---------------------------------------------
+
+TEST(McModel, PermutedClientsHashIdentically) {
+  // The same protocol history performed by different (but disjoint) clients
+  // must canonicalize to the same state: client identity is renamed away.
+  ModelConfig config;  // 3 clients, 3 workunits
+  GridModel a(config);
+  GridModel b(config);
+  a.execute({0, ActionKind::kFetch});
+  a.execute({0, ActionKind::kCompute});
+  b.execute({2, ActionKind::kFetch});
+  b.execute({2, ActionKind::kCompute});
+  EXPECT_EQ(a.canonical_state(), b.canonical_state());
+  EXPECT_EQ(a.state_hash(), b.state_hash());
+}
+
+TEST(McModel, PermutedSubmissionOrderHashesIdentically) {
+  // Two clients fetch+compute+submit the same workunit in either order:
+  // after both submissions the states are client-permutations.
+  const ModelConfig config = small_config();
+  GridModel a(config);
+  GridModel b(config);
+  auto run = [](GridModel& model, int first, int second) {
+    model.execute({first, ActionKind::kFetch});
+    model.execute({second, ActionKind::kFetch});
+    model.execute({first, ActionKind::kCompute});
+    model.execute({second, ActionKind::kCompute});
+    model.execute({first, ActionKind::kSubmit});
+    model.execute({second, ActionKind::kSubmit});
+  };
+  run(a, 0, 1);
+  run(b, 1, 0);
+  EXPECT_EQ(a.canonical_state(), b.canonical_state());
+}
+
+TEST(McModel, DifferentProgressHashesDifferently) {
+  ModelConfig config;
+  GridModel a(config);
+  GridModel b(config);
+  a.execute({0, ActionKind::kFetch});
+  b.execute({0, ActionKind::kFetch});
+  b.execute({0, ActionKind::kCompute});
+  EXPECT_NE(a.canonical_state(), b.canonical_state());
+  EXPECT_NE(a.state_hash(), b.state_hash());
+}
+
+TEST(McModel, ActionEncodingRoundTrips) {
+  for (int client = 0; client < 4; ++client) {
+    for (int kind = 0; kind < 4; ++kind) {
+      const Action action{client, static_cast<ActionKind>(kind)};
+      const std::uint16_t e = action.encode();
+      EXPECT_EQ(e / 4, client);
+      EXPECT_EQ(static_cast<int>(e % 4), kind);
+    }
+  }
+}
+
+TEST(McModel, IndependenceIsComputeOnlyAcrossClients) {
+  // Same-client actions never commute; cross-client pairs commute only
+  // when at least one side is the purely local compute step.
+  EXPECT_TRUE(independent({0, ActionKind::kCompute}, {1, ActionKind::kFetch}));
+  EXPECT_TRUE(
+      independent({0, ActionKind::kSubmit}, {1, ActionKind::kCompute}));
+  EXPECT_FALSE(
+      independent({0, ActionKind::kCompute}, {0, ActionKind::kSubmit}));
+  EXPECT_FALSE(independent({0, ActionKind::kFetch}, {1, ActionKind::kFetch}));
+  EXPECT_FALSE(independent({0, ActionKind::kSubmit}, {1, ActionKind::kDie}));
+}
+
+// --- exploration ------------------------------------------------------------
+
+TEST(McExplorer, CleanDefaultConfigPassesWithBroadCoverage) {
+  // The acceptance config: 3 clients, 3 workunits, one death budget. All
+  // invariants hold and the search is genuinely exhaustive — well past a
+  // thousand causally distinct interleavings, no bound hit.
+  ExploreConfig config;
+  config.model.max_deaths = 1;
+  const ExploreResult result = Explorer(config).run();
+  EXPECT_FALSE(result.violation.has_value());
+  EXPECT_GE(result.interleavings, 1000u);
+  EXPECT_GT(result.terminal_states, 0u);
+  EXPECT_FALSE(result.depth_bound_hit);
+  EXPECT_FALSE(result.state_bound_hit);
+}
+
+TEST(McExplorer, CountersAreDeterministicAcrossRuns) {
+  ExploreConfig config;
+  config.model.max_deaths = 1;
+  const ExploreResult first = Explorer(config).run();
+  const ExploreResult second = Explorer(config).run();
+  EXPECT_EQ(first.states_visited, second.states_visited);
+  EXPECT_EQ(first.distinct_states, second.distinct_states);
+  EXPECT_EQ(first.transitions, second.transitions);
+  EXPECT_EQ(first.interleavings, second.interleavings);
+  EXPECT_EQ(first.sleep_pruned, second.sleep_pruned);
+  EXPECT_EQ(first.visited_pruned, second.visited_pruned);
+  EXPECT_EQ(format_summary(config, first), format_summary(config, second));
+}
+
+TEST(McExplorer, PruningShrinksTheSearchWithoutChangingTheVerdict) {
+  ExploreConfig pruned;
+  pruned.model = small_config();
+  ExploreConfig full = pruned;
+  full.use_sleep_sets = false;
+  full.use_state_cache = false;
+  const ExploreResult with_pruning = Explorer(pruned).run();
+  const ExploreResult without = Explorer(full).run();
+  EXPECT_FALSE(with_pruning.violation.has_value());
+  EXPECT_FALSE(without.violation.has_value());
+  EXPECT_GT(with_pruning.sleep_pruned + with_pruning.visited_pruned, 0u);
+  EXPECT_LT(with_pruning.transitions, without.transitions);
+}
+
+TEST(McExplorer, DepthBoundIsRespectedAndReported) {
+  ExploreConfig config;
+  config.model = small_config();
+  config.max_depth = 3;
+  const ExploreResult result = Explorer(config).run();
+  EXPECT_TRUE(result.depth_bound_hit);
+  EXPECT_LE(result.max_depth_reached, 3);
+}
+
+TEST(McExplorer, StateBoundStopsTheSearch) {
+  ExploreConfig config;
+  config.model.max_deaths = 1;
+  config.max_states = 50;
+  const ExploreResult result = Explorer(config).run();
+  EXPECT_TRUE(result.state_bound_hit);
+  EXPECT_LE(result.states_visited, 50u);
+}
+
+// --- seeded faults ----------------------------------------------------------
+
+TEST(McFaults, DoubleCreditIsCaughtAsQuorumBoundViolation) {
+  // The fault grants a post-validation matching result credit again. The
+  // per-pair rule cannot see it (the late client had no prior grant), but
+  // the workunit now paid out quorum+1 grants.
+  ExploreConfig config;
+  config.model.clients = 3;
+  config.model.workunits = 1;
+  config.model.replication = 3;
+  config.model.quorum = 2;
+  config.model.max_deaths = 0;
+  config.model.fault = grid::InjectedFault::kDoubleCredit;
+  const ExploreResult result = Explorer(config).run();
+  ASSERT_TRUE(result.violation.has_value());
+  EXPECT_EQ(result.violation->invariant, "credit-quorum-bound");
+  EXPECT_FALSE(result.violating_schedule.empty());
+}
+
+TEST(McFaults, LostWorkunitIsCaughtAsConservationViolation) {
+  ExploreConfig config;
+  config.model.clients = 2;
+  config.model.workunits = 1;
+  config.model.max_deaths = 1;
+  config.model.fault = grid::InjectedFault::kLostWorkunit;
+  const ExploreResult result = Explorer(config).run();
+  ASSERT_TRUE(result.violation.has_value());
+  EXPECT_EQ(result.violation->invariant, "workunit-conservation");
+  EXPECT_FALSE(result.violating_schedule.empty());
+}
+
+// --- schedules --------------------------------------------------------------
+
+TEST(McSchedule, RenderParseRenderIsByteIdentical) {
+  ExploreConfig config;
+  config.model.clients = 2;
+  config.model.workunits = 1;
+  config.model.max_deaths = 1;
+  config.model.fault = grid::InjectedFault::kLostWorkunit;
+  const ExploreResult result = Explorer(config).run();
+  ASSERT_TRUE(result.violation.has_value());
+  const std::string rendered = render_schedule(
+      config.model, result.violating_schedule, &*result.violation);
+  std::string error;
+  const auto parsed = parse_schedule(rendered, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const std::string round_tripped =
+      render_schedule(parsed->model, parsed->steps,
+                      parsed->violation ? &*parsed->violation : nullptr);
+  EXPECT_EQ(rendered, round_tripped);
+}
+
+TEST(McSchedule, ViolatingScheduleReplaysToTheRecordedViolation) {
+  ExploreConfig config;
+  config.model.clients = 3;
+  config.model.workunits = 1;
+  config.model.replication = 3;
+  config.model.quorum = 2;
+  config.model.max_deaths = 0;
+  config.model.fault = grid::InjectedFault::kDoubleCredit;
+  const ExploreResult result = Explorer(config).run();
+  ASSERT_TRUE(result.violation.has_value());
+  Schedule schedule;
+  schedule.model = config.model;
+  schedule.steps = result.violating_schedule;
+  schedule.violation = result.violation;
+  const ReplayResult replay = replay_schedule(schedule);
+  EXPECT_TRUE(replay.ok) << replay.message;
+}
+
+TEST(McSchedule, CleanScheduleReplaysClean) {
+  ModelConfig model = small_config();
+  const std::vector<Action> steps = {
+      {0, ActionKind::kFetch},   {1, ActionKind::kFetch},
+      {0, ActionKind::kCompute}, {1, ActionKind::kCompute},
+      {0, ActionKind::kSubmit},  {1, ActionKind::kSubmit},
+  };
+  std::string error;
+  const auto parsed =
+      parse_schedule(render_schedule(model, steps, nullptr), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const ReplayResult replay = replay_schedule(*parsed);
+  EXPECT_TRUE(replay.ok) << replay.message;
+}
+
+TEST(McSchedule, ParseRejectsGarbage) {
+  std::string error;
+  EXPECT_FALSE(parse_schedule("not a schedule\n", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace vgrid::mc

@@ -1,0 +1,42 @@
+# ctest gate `mc.determinism.audit`: the model checker's own byte-stability
+# and replay loop, end to end through the CLI.
+#   1. The acceptance exploration run twice must print byte-identical
+#      summaries (the DFS consults no clock, no randomness, no addresses).
+#   2. A seeded fault must be found (nonzero exit), its schedule written by
+#      --trace-out, and that schedule must replay to the recorded violation.
+if(NOT DEFINED VGRID OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "run_gate.cmake needs -DVGRID, -DWORK_DIR")
+endif()
+
+set(s1 "${WORK_DIR}/mc_gate_run1.txt")
+set(s2 "${WORK_DIR}/mc_gate_run2.txt")
+foreach(out IN ITEMS ${s1} ${s2})
+  execute_process(
+    COMMAND "${VGRID}" mc --clients 3 --deaths 1
+    OUTPUT_FILE "${out}"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "vgrid mc failed (${rc})")
+  endif()
+endforeach()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files "${s1}" "${s2}"
+                RESULT_VARIABLE rc_cmp)
+if(NOT rc_cmp EQUAL 0)
+  message(FATAL_ERROR "identical vgrid mc runs printed different summaries")
+endif()
+
+set(trace "${WORK_DIR}/mc_gate_schedule.txt")
+execute_process(
+  COMMAND "${VGRID}" mc --clients 2 --workunits 1 --deaths 1
+          --inject-fault lost_workunit --trace-out "${trace}"
+  OUTPUT_QUIET
+  RESULT_VARIABLE rc_fault)
+if(rc_fault EQUAL 0)
+  message(FATAL_ERROR "seeded lost_workunit fault was NOT found")
+endif()
+execute_process(
+  COMMAND "${VGRID}" mc --replay "${trace}"
+  RESULT_VARIABLE rc_replay)
+if(NOT rc_replay EQUAL 0)
+  message(FATAL_ERROR "violating schedule did not replay (${rc_replay})")
+endif()

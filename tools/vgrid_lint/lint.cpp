@@ -191,7 +191,8 @@ const std::vector<std::string> kRules = {
     "safety-raw-new",    "safety-raw-delete",     "safety-c-cast",
     "safety-omp-seed",   "safety-catch-value",    "safety-override",
     "layer-include",     "obs-stdio",             "lint-allow",
-    "lint-io",
+    "lint-io",           "mc-wall-clock",         "mc-real-socket",
+    "mc-unordered",
 };
 
 bool starts_with(const std::string& s, const std::string& prefix) {
@@ -225,6 +226,25 @@ bool obs_stdio_scope(const std::string& path) {
   return !starts_with(path, "src/report/") && !starts_with(path, "src/obs/");
 }
 
+/// mc-purity applies to everything the model checker executes inside its
+/// DFS: src/mc itself plus the instrumented protocol core it drives
+/// (grid/server_logic, grid/validator, grid/workunit). These files must be
+/// replayable — a schedule file re-executed tomorrow must reach the same
+/// states — so wall-clock reads, real sockets and unordered containers
+/// (whose iteration order would leak into canonical state hashes) are
+/// banned. grid/server and grid/client (the real RPC wrappers) stay out of
+/// scope: they own the sockets and clocks by design.
+bool mc_purity_scope(const std::string& path) {
+  if (starts_with(path, "src/mc/")) return true;
+  static const std::array<const char*, 3> kCore = {"src/grid/server_logic.",
+                                                   "src/grid/validator.",
+                                                   "src/grid/workunit."};
+  for (const char* prefix : kCore) {
+    if (starts_with(path, prefix)) return true;
+  }
+  return false;
+}
+
 std::string top_dir(const std::string& include_path) {
   const auto slash = include_path.find('/');
   return slash == std::string::npos ? std::string()
@@ -251,7 +271,15 @@ const std::map<std::string, std::set<std::string>>& layer_policy() {
       {"workloads",
        {"workloads", "guest", "hw", "obs", "os", "sim", "stats", "util",
         "vmm"}},
-      {"grid", {"grid", "obs", "stats", "util"}},
+      // grid <-> mc is the one sanctioned two-way edge: mc's *seam*
+      // (mc/transition.hpp, the vgrid_mc_seam target) sits below grid so
+      // the protocol core can announce transitions, while mc's *explorer*
+      // (model/invariants/explorer, the vgrid_mc target) sits above grid
+      // and drives ServerLogic directly. The build enforces the real
+      // acyclicity: vgrid_mc_seam links nothing, vgrid_grid links the
+      // seam, vgrid_mc links vgrid_grid.
+      {"grid", {"grid", "mc", "obs", "stats", "util"}},
+      {"mc", {"mc", "grid", "obs", "util"}},
       {"timesvc", {"timesvc", "util"}},
       // scenario is declarative data over the hardware/OS/VMM vocabulary:
       // it may name things those layers define, but must not reach up into
@@ -376,6 +404,39 @@ const std::vector<LineRule>& determinism_rules() {
     return rules;
   }();
   return kDet;
+}
+
+/// The mc-purity family (scope: mc_purity_scope above). det-wall-clock
+/// already bans the std clocks in all of src/, so mc-wall-clock targets
+/// the two *sanctioned* native-time gateways — banned here because even a
+/// legitimate clock read makes a schedule unreplayable; model-checked code
+/// receives time as an explicit now_ns argument instead.
+const std::vector<LineRule>& mc_purity_rules() {
+  static const std::vector<LineRule> kMc = [] {
+    std::vector<LineRule> rules;
+    rules.push_back(
+        {"mc-wall-clock",
+         "clock read in model-checked code; the explorer replays schedules, "
+         "so time must arrive as an explicit now_ns argument (the model "
+         "passes a constant logical clock)",
+         std::regex(
+             R"(\b(?:WallTimer|monotonic_time_ns|process_cpu_time_ns)\b)")});
+    rules.push_back(
+        {"mc-real-socket",
+         "real network call in model-checked code; the explorer executes "
+         "this path thousands of times per run — protocol logic must stay "
+         "in-process (sockets live in grid/server and grid/client)",
+         std::regex(
+             R"(\btcp::|\b(?:socket|connect|accept|bind|listen|recv|send|setsockopt)\s*\()")});
+    rules.push_back(
+        {"mc-unordered",
+         "unordered container in model-checked code; canonical state "
+         "hashing and deterministic DFS expansion need ordered iteration — "
+         "use std::map/std::set/std::vector",
+         std::regex(R"(\bunordered_(?:map|set|multimap|multiset)\b)")});
+    return rules;
+  }();
+  return kMc;
 }
 
 /// C-style casts. The authoritative check is -Wold-style-cast (on in every
@@ -547,6 +608,7 @@ std::vector<Diagnostic> lint_file(const std::string& path,
   for (const auto& error : sup.errors) diagnostics.push_back(error);
 
   const bool det = options.determinism && determinism_scope(path);
+  const bool mc_pure = options.mc_purity && mc_purity_scope(path);
   const std::set<std::string> unordered =
       det ? unordered_names(code_lines) : std::set<std::string>{};
   const std::string dir =
@@ -607,6 +669,16 @@ std::vector<Diagnostic> lint_file(const std::string& path,
       if (!suppressed(sup, line_no, "det-unordered-iter")) {
         check_unordered_iteration(path, line_no, code, unordered,
                                   &diagnostics);
+      }
+    }
+
+    // --- mc-purity --------------------------------------------------------
+    if (mc_pure) {
+      for (const auto& rule : mc_purity_rules()) {
+        if (std::regex_search(code, rule.pattern) &&
+            !suppressed(sup, line_no, rule.id)) {
+          diagnostics.push_back({path, line_no, rule.id, rule.message});
+        }
       }
     }
 

@@ -17,6 +17,12 @@
 //                  human-facing text through report renderers. src/report
 //                  and src/obs are exempt; util/log and util/audit are the
 //                  sanctioned gateways (explicit allow() suppressions).
+//   mc-purity    — code the model checker explores (src/mc plus the
+//                  instrumented protocol core: grid/server_logic,
+//                  grid/validator, grid/workunit) must be replayable:
+//                  no wall-clock reads (time arrives as now_ns arguments),
+//                  no real sockets, no unordered containers (canonical
+//                  state hashing needs ordered iteration).
 //
 // Suppressions: `// vgrid-lint: allow(<rule>): reason` silences the rule
 // on that comment block and the first code line after it;
@@ -39,6 +45,7 @@ struct Options {
   bool determinism = true;
   bool safety = true;
   bool layering = true;
+  bool mc_purity = true;
 };
 
 /// "file:line: rule-id: message" — the format the ctest driver greps.

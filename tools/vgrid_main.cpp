@@ -36,6 +36,15 @@
 //                   streams (exit 1 on divergence); --profile keeps the
 //                   wall-clock profiler installed during both runs to prove
 //                   profiling never perturbs the byte stream
+//   vgrid mc        [--clients N] [--workunits W] [--replication R]
+//                   [--quorum Q] [--deaths K] [--max-depth D]
+//                   [--max-states N] [--inject-fault F] [--no-dpor]
+//                   [--no-state-cache] [--trace-out FILE]
+//                   [--min-interleavings N] [--replay FILE]
+//                   exhaustively explore the grid protocol's interleavings
+//                   (model checker, src/mc); exit 1 on an invariant
+//                   violation — the violating schedule is replayable via
+//                   --replay
 
 #include <algorithm>
 #include <cstdio>
@@ -55,6 +64,7 @@
 #include "core/guest_perf.hpp"
 #include "core/host_impact.hpp"
 #include "grid/deployment.hpp"
+#include "mc/explorer.hpp"
 #include "report/chrome_trace.hpp"
 #include "report/table.hpp"
 #include "report/timeline.hpp"
@@ -114,6 +124,13 @@ int usage() {
       "(--folded)\n"
       "  bench      [--quick] [--jobs N] [--scenario S] [--out FILE]\n"
       "             macro-benchmark suite -> canonical BENCH_vgrid.json\n"
+      "  mc         [--clients N] [--workunits W] [--replication R]\n"
+      "             [--quorum Q] [--deaths K] [--max-depth D]\n"
+      "             [--max-states N] [--inject-fault "
+      "none|double_credit|lost_workunit]\n"
+      "             [--no-dpor] [--no-state-cache] [--trace-out FILE]\n"
+      "             [--min-interleavings N] [--replay FILE]\n"
+      "             model-check the grid protocol's interleavings\n"
       "  determinism-audit [fig1..fig8] [--scenario S] [--reps N] [--seed "
       "S]\n"
       "             [--jobs N] [--metrics-only] [--profile]  same-seed "
@@ -735,6 +752,91 @@ int cmd_determinism_audit(const Args& args) {
   return 1;
 }
 
+// --- mc ----------------------------------------------------------------------
+// Front end of the src/mc model checker: exhaustively explore the grid
+// protocol's interleavings (client death x reissue x validation x credit)
+// and audit every reached state against the credit-protocol invariants.
+// The summary is byte-stable across runs; a violation exits 1 and the
+// schedule that reached it can be written out (--trace-out) and replayed
+// step by step (--replay).
+
+int cmd_mc(const Args& args) {
+  if (const auto replay_path = args.get("replay")) {
+    const auto bytes = read_file(*replay_path);
+    std::string parse_error;
+    const auto schedule = mc::parse_schedule(
+        std::string(bytes.begin(), bytes.end()), &parse_error);
+    if (!schedule) {
+      std::fprintf(stderr, "vgrid mc: %s: %s\n", replay_path->c_str(),
+                   parse_error.c_str());
+      return 2;
+    }
+    const mc::ReplayResult replayed = mc::replay_schedule(*schedule);
+    std::printf("vgrid mc replay: %s\n", replayed.message.c_str());
+    return replayed.ok ? 0 : 1;
+  }
+
+  mc::ExploreConfig config;
+  config.model.clients = static_cast<int>(args.get_long("clients", 3));
+  config.model.workunits = static_cast<int>(args.get_long("workunits", 3));
+  config.model.replication =
+      static_cast<int>(args.get_long("replication", 2));
+  config.model.quorum = static_cast<int>(args.get_long("quorum", 2));
+  config.model.max_deaths = static_cast<int>(args.get_long("deaths", 1));
+  if (const auto fault_name = args.get("inject-fault")) {
+    const auto fault = grid::parse_injected_fault(*fault_name);
+    if (!fault) {
+      std::fprintf(stderr,
+                   "vgrid mc: unknown --inject-fault '%s' "
+                   "(none|double_credit|lost_workunit)\n",
+                   fault_name->c_str());
+      return 2;
+    }
+    config.model.fault = *fault;
+  }
+  config.max_depth = static_cast<int>(args.get_long("max-depth", 96));
+  config.max_states =
+      static_cast<std::uint64_t>(args.get_long("max-states", 2'000'000));
+  config.use_sleep_sets = !args.has("no-dpor");
+  config.use_state_cache = !args.has("no-state-cache");
+  if (config.model.clients < 1 || config.model.workunits < 1) {
+    std::fprintf(stderr, "vgrid mc: need --clients >= 1, --workunits >= 1\n");
+    return 2;
+  }
+
+  mc::Explorer explorer(config);
+  const mc::ExploreResult result = explorer.run();
+  std::printf("%s", mc::format_summary(config, result).c_str());
+
+  if (result.violation) {
+    const std::string trace = mc::render_schedule(
+        config.model, result.violating_schedule, &*result.violation);
+    const std::string out = args.get_or("trace-out", "");
+    if (out.empty()) {
+      std::printf("%s", trace.c_str());
+    } else {
+      std::ofstream file(out, std::ios::trunc);
+      file << trace;
+      if (!file) {
+        std::fprintf(stderr, "vgrid mc: cannot write %s\n", out.c_str());
+        return 2;
+      }
+      std::printf("violating schedule written to %s\n", out.c_str());
+    }
+    return 1;
+  }
+  const auto min_interleavings =
+      static_cast<std::uint64_t>(args.get_long("min-interleavings", 0));
+  if (result.interleavings < min_interleavings) {
+    std::fprintf(stderr,
+                 "vgrid mc: explored %llu interleavings, required >= %llu\n",
+                 static_cast<unsigned long long>(result.interleavings),
+                 static_cast<unsigned long long>(min_interleavings));
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_profiles(const Args& args) {
   const scenario::Scenario scenario = scenario_from(args);
   report::Table table(
@@ -810,6 +912,7 @@ int dispatch(int argc, char** argv) {
   if (command == "scenarios") return cmd_scenarios(args);
   if (command == "profile") return cmd_profile(args);
   if (command == "bench") return cmd_bench(args);
+  if (command == "mc") return cmd_mc(args);
   if (command == "determinism-audit") return cmd_determinism_audit(args);
   return usage();
 }
