@@ -1,0 +1,27 @@
+// Population-scale throughput: hosts simulated per second through the
+// whole fleet stack — per-host sampling (util::Rng::fork), arena-recycled
+// Testbeds, the TaskPool shard fan-out and the shard-order registry
+// merge. This is the macro number the Testbed-ownership refactor exists
+// to move; a regression in any of those layers lands here. Always runs
+// the fleet-small builtin (the committed golden scenario) so the number
+// is comparable across machines regardless of --scenario.
+
+#include "fleet/fleet.hpp"
+#include "perf_harness.hpp"
+#include "scenario/scenario.hpp"
+
+namespace vgrid::perf {
+
+void register_fleet_bench(Suite& suite) {
+  suite.add("fleet.hosts_per_sec", [](const BenchConfig& config) {
+    const scenario::Scenario scenario = scenario::load("fleet-small");
+    fleet::FleetConfig fleet_config;
+    fleet_config.hosts = config.quick ? 1'000 : 4'000;
+    fleet_config.jobs = config.jobs;
+    const fleet::FleetResult result =
+        fleet::run_fleet(scenario, fleet_config);
+    return static_cast<double>(result.hosts);
+  });
+}
+
+}  // namespace vgrid::perf

@@ -86,6 +86,7 @@ Suite default_suite() {
   register_scheduler_benches(suite);
   register_message_benches(suite);
   register_fig5_bench(suite);
+  register_fleet_bench(suite);
   return suite;
 }
 

@@ -79,6 +79,7 @@ void register_event_queue_benches(Suite& suite);
 void register_scheduler_benches(Suite& suite);
 void register_message_benches(Suite& suite);
 void register_fig5_bench(Suite& suite);
+void register_fleet_bench(Suite& suite);
 
 /// Suite with every benchmark above, in stable order.
 Suite default_suite();

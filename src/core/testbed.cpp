@@ -1,6 +1,5 @@
 #include "core/testbed.hpp"
 
-#include "os/fair_scheduler.hpp"
 #include "util/error.hpp"
 
 namespace vgrid::core {
@@ -26,19 +25,27 @@ void set_trace_capture(std::string* sink) { g_trace_capture = sink; }
 
 std::string* trace_capture() noexcept { return g_trace_capture; }
 
-Testbed::Testbed(const scenario::Scenario& scenario)
-    : Testbed(scenario.machine, scenario.scheduler, scenario.host_os) {}
+sim::EventQueue::Storage Testbed::take_storage(TestbedArena* arena) {
+  return arena != nullptr ? arena->take() : sim::EventQueue::Storage{};
+}
+
+Testbed::Testbed(const scenario::Scenario& scenario, TestbedArena* arena)
+    : Testbed(scenario.machine, scenario.scheduler, scenario.host_os, arena) {}
 
 Testbed::Testbed(hw::MachineConfig machine_config,
-                 os::SchedulerConfig scheduler_config, HostOs host_os)
-    : machine_(simulator_, machine_config, &tracer_), host_os_(host_os) {
+                 os::SchedulerConfig scheduler_config, HostOs host_os,
+                 TestbedArena* arena)
+    : arena_(arena),
+      simulator_(take_storage(arena)),
+      machine_(simulator_, machine_config, &tracer_),
+      host_os_(host_os) {
   if (g_trace_capture != nullptr) tracer_.enable(true);
   if (host_os == HostOs::kLinuxCfs) {
-    scheduler_ =
-        std::make_unique<os::FairScheduler>(machine_, scheduler_config);
+    scheduler_ = &scheduler_storage_.emplace<os::FairScheduler>(
+        machine_, scheduler_config);
   } else {
-    scheduler_ =
-        std::make_unique<os::PriorityScheduler>(machine_, scheduler_config);
+    scheduler_ = &scheduler_storage_.emplace<os::PriorityScheduler>(
+        machine_, scheduler_config);
   }
 }
 
@@ -46,6 +53,9 @@ Testbed::~Testbed() {
   if (g_trace_capture != nullptr) {
     g_trace_capture->append("=== testbed trace ===\n");
     g_trace_capture->append(tracer_.dump());
+  }
+  if (arena_ != nullptr) {
+    arena_->recycle(simulator_.release_queue_storage());
   }
 }
 

@@ -5,10 +5,20 @@
 // the paper's hardware; run `vgrid scenarios --show paper` for the exact
 // values — and every experiment builds a fresh Testbed so runs are
 // independent.
+//
+// Ownership is arena-friendly: the scheduler lives inline in the Testbed
+// (a variant over the two concrete policies — no per-testbed heap
+// allocation for it), and the event queue's backing store can be recycled
+// across consecutive testbeds through a TestbedArena. A fleet run builds
+// 100k single-host testbeds back to back; with an arena each host reuses
+// the previous host's heap vector and callback hash buckets instead of
+// re-growing them.
 
-#include <memory>
+#include <string>
+#include <variant>
 
 #include "hw/machine.hpp"
+#include "os/fair_scheduler.hpp"
 #include "os/host_os.hpp"
 #include "os/scheduler.hpp"
 #include "scenario/scenario.hpp"
@@ -40,13 +50,39 @@ void set_trace_capture(std::string* sink);
 /// The calling thread's current capture sink (nullptr when disabled).
 std::string* trace_capture() noexcept;
 
+/// Recyclable allocation pool for consecutive short-lived testbeds. One
+/// arena belongs to one thread (a fleet shard); a Testbed constructed with
+/// an arena takes the pooled event-queue storage and returns it at
+/// destruction. Recycled storage is content-cleared on adoption, so
+/// simulation results are byte-identical with or without an arena.
+class TestbedArena {
+ public:
+  TestbedArena() = default;
+  TestbedArena(const TestbedArena&) = delete;
+  TestbedArena& operator=(const TestbedArena&) = delete;
+
+  sim::EventQueue::Storage take() {
+    sim::EventQueue::Storage taken = std::move(storage_);
+    storage_ = sim::EventQueue::Storage{};
+    return taken;
+  }
+  void recycle(sim::EventQueue::Storage storage) {
+    storage_ = std::move(storage);
+  }
+
+ private:
+  sim::EventQueue::Storage storage_;
+};
+
 class Testbed {
  public:
   explicit Testbed(hw::MachineConfig machine_config = paper_machine_config(),
                    os::SchedulerConfig scheduler_config = {},
-                   HostOs host_os = HostOs::kWindowsXp);
+                   HostOs host_os = HostOs::kWindowsXp,
+                   TestbedArena* arena = nullptr);
   /// Build the machine, scheduler config and OS flavour from a scenario.
-  explicit Testbed(const scenario::Scenario& scenario);
+  explicit Testbed(const scenario::Scenario& scenario,
+                   TestbedArena* arena = nullptr);
   ~Testbed();
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;
@@ -66,11 +102,18 @@ class Testbed {
   void run_all();
 
  private:
+  static sim::EventQueue::Storage take_storage(TestbedArena* arena);
+
+  TestbedArena* arena_;
   sim::Simulator simulator_;
   sim::Tracer tracer_;
   hw::Machine machine_;
   HostOs host_os_;
-  std::unique_ptr<os::Scheduler> scheduler_;
+  // The concrete scheduler lives inline — monostate only between the
+  // member-init list and the emplace in the constructor body.
+  std::variant<std::monostate, os::PriorityScheduler, os::FairScheduler>
+      scheduler_storage_;
+  os::Scheduler* scheduler_ = nullptr;
 };
 
 }  // namespace vgrid::core

@@ -1,0 +1,404 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/task_pool.hpp"
+#include "core/testbed.hpp"
+#include "hw/cpu_chip.hpp"
+#include "hw/mix.hpp"
+#include "obs/profiler.hpp"
+#include "os/program.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "vmm/virtual_machine.hpp"
+
+namespace vgrid::fleet {
+
+namespace {
+
+constexpr const char* kCpuMs = "fleet.workunit.cpu_ms";
+constexpr const char* kTurnaroundMs = "fleet.workunit.turnaround_ms";
+constexpr const char* kSlowdownPermille = "fleet.workunit.slowdown_permille";
+
+/// Instruments one shard records into, resolved once per shard from its
+/// own registry.
+struct ShardInstruments {
+  explicit ShardInstruments(obs::Registry& registry) {
+    simulated = &registry.counter("fleet.hosts.simulated");
+    shards_completed = &registry.counter("fleet.shards.completed");
+    cpu_ms = &registry.histogram(kCpuMs, duration_ms_buckets());
+    turnaround_ms = &registry.histogram(kTurnaroundMs, duration_ms_buckets());
+    slowdown_permille = &registry.histogram(kSlowdownPermille,
+                                            slowdown_permille_buckets());
+  }
+
+  obs::Counter& by(obs::Registry& registry, const char* name,
+                   const char* label, const std::string& value) {
+    return registry.counter(name, {{label, value}});
+  }
+
+  obs::Counter* simulated;
+  obs::Counter* shards_completed;
+  obs::Histogram* cpu_ms;
+  obs::Histogram* turnaround_ms;
+  obs::Histogram* slowdown_permille;
+};
+
+HostMetrics simulate_host_impl(const scenario::Scenario& scenario,
+                               const HostConfig& host,
+                               core::TestbedArena* arena) {
+  const hw::MachineConfig machine =
+      scenario::fleet_tier_machine(scenario, host.tier);
+  const vmm::VmmProfile* profile = scenario.profile_by_name(host.profile);
+  if (profile == nullptr) {
+    throw util::ConfigError("fleet: host profile '" + host.profile +
+                            "' is not in the scenario's profile set");
+  }
+  core::Testbed testbed(machine, scenario.scheduler, scenario.host_os, arena);
+  vmm::VmConfig config;
+  config.name = host.profile;
+  config.priority = host.priority;
+  vmm::VirtualMachine vm(testbed.scheduler(), *profile, config);
+  const double instructions = host.workunit_gigaops * 1e9;
+  const hw::InstructionMix mix = hw::mixes::einstein();
+  std::vector<os::Step> steps;
+  steps.push_back(os::ComputeStep{instructions, mix, {}});
+  auto& thread = vm.run_guest(
+      "workunit", std::make_unique<os::StepListProgram>(std::move(steps)));
+  const double cpu_seconds = testbed.run_until_done(thread);
+
+  // Analytic native time for the same workunit on an idle core of this
+  // tier — the denominator of the intrusiveness (slowdown) metric.
+  const hw::CpuChip chip(machine.chip);
+  const double native_seconds =
+      chip.seconds_per_instruction(mix, {}) * instructions;
+  const double slowdown =
+      native_seconds > 0.0 ? cpu_seconds / native_seconds : 0.0;
+
+  HostMetrics metrics;
+  metrics.cpu_ms = std::llround(cpu_seconds * 1e3);
+  metrics.turnaround_ms =
+      std::llround(cpu_seconds / host.availability * 1e3);
+  metrics.slowdown_permille = std::llround(slowdown * 1e3);
+  return metrics;
+}
+
+/// The deliberately broken percentile walk behind --inject-bug
+/// percentile_off_by_one: it finds the right bucket, then reports the
+/// NEXT bucket's upper bound.
+std::int64_t buggy_percentile(const obs::Histogram& histogram, double q) {
+  const std::uint64_t count = histogram.count();
+  if (count == 0) return 0;
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  const std::vector<std::int64_t>& bounds = histogram.bounds();
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= bounds.size(); ++i) {
+    cumulative += histogram.bucket_count(i);
+    if (cumulative >= rank) {
+      const std::size_t next = i + 1;
+      if (next >= bounds.size()) return histogram.max();
+      return bounds[next];
+    }
+  }
+  return histogram.max();
+}
+
+std::int64_t percentile_est(const obs::Histogram& histogram, double q,
+                            FleetBug bug) {
+  return bug == FleetBug::kPercentileOffByOne ? buggy_percentile(histogram, q)
+                                              : histogram.percentile(q);
+}
+
+void append_counts(std::string& out, obs::Registry& registry,
+                   const char* counter_name, const char* label,
+                   const scenario::WeightedChoice& choice) {
+  for (const scenario::WeightedChoice::Item& item : choice.items) {
+    out += ' ';
+    out += item.name + "=" +
+           std::to_string(
+               registry.counter(counter_name, {{label, item.name}}).value());
+  }
+}
+
+void append_stats(std::string& out, const char* name,
+                  const obs::Histogram& histogram, FleetBug bug) {
+  const SummaryStats stats = summarize(histogram, bug);
+  out += util::format(
+      "%s count=%llu mean=%lld p50=%lld p90=%lld p99=%lld min=%lld "
+      "max=%lld\n",
+      name, static_cast<unsigned long long>(histogram.count()),
+      static_cast<long long>(stats.mean), static_cast<long long>(stats.p50),
+      static_cast<long long>(stats.p90), static_cast<long long>(stats.p99),
+      static_cast<long long>(stats.min), static_cast<long long>(stats.max));
+}
+
+}  // namespace
+
+FleetBug parse_fleet_bug(const std::string& text) {
+  if (text == "percentile_off_by_one") return FleetBug::kPercentileOffByOne;
+  if (text == "dropped_shard") return FleetBug::kDroppedShard;
+  throw util::ConfigError(
+      "unknown fleet bug '" + text +
+      "'; use percentile_off_by_one or dropped_shard");
+}
+
+std::vector<std::int64_t> duration_ms_buckets() {
+  return {25,   50,   100,   200,   400,   800,   1600,
+          3200, 6400, 12800, 25600, 51200, 102400};
+}
+
+std::vector<std::int64_t> slowdown_permille_buckets() {
+  return {1000, 1020, 1050, 1100, 1150, 1200,
+          1300, 1400, 1600, 2000, 3000, 5000};
+}
+
+void register_fleet_instruments(obs::Registry& registry,
+                                const scenario::FleetSpec& spec) {
+  registry.counter("fleet.hosts.simulated");
+  registry.counter("fleet.shards.completed");
+  registry.histogram(kCpuMs, duration_ms_buckets());
+  registry.histogram(kTurnaroundMs, duration_ms_buckets());
+  registry.histogram(kSlowdownPermille, slowdown_permille_buckets());
+  for (const scenario::WeightedChoice::Item& item : spec.tiers.items) {
+    registry.counter("fleet.hosts.by_tier", {{"tier", item.name}});
+  }
+  for (const scenario::WeightedChoice::Item& item : spec.profiles.items) {
+    registry.counter("fleet.hosts.by_profile", {{"profile", item.name}});
+  }
+  for (const scenario::WeightedChoice::Item& item : spec.priorities.items) {
+    registry.counter("fleet.hosts.by_priority", {{"priority", item.name}});
+  }
+}
+
+HostMetrics simulate_host(const scenario::Scenario& scenario,
+                          const HostConfig& host) {
+  return simulate_host_impl(scenario, host, nullptr);
+}
+
+FleetResult run_fleet(const scenario::Scenario& scenario,
+                      const FleetConfig& config) {
+  PROF_SCOPE("fleet.run");
+  if (!scenario.fleet) {
+    throw util::ConfigError(
+        "scenario '" + scenario.name +
+        "' has no [fleet] section; add one or use --scenario fleet-small");
+  }
+  const scenario::FleetSpec& spec = *scenario.fleet;
+
+  FleetResult result;
+  result.hosts = config.hosts != 0 ? config.hosts : spec.hosts;
+  result.seed = config.seed.value_or(spec.seed);
+  result.shards =
+      static_cast<std::size_t>((result.hosts + kShardHosts - 1) / kShardHosts);
+  result.registry = std::make_unique<obs::Registry>();
+  register_fleet_instruments(*result.registry, spec);
+  result.raw.resize(result.hosts);
+
+  // One registry per shard, merged in shard order below. Raw outcomes go
+  // into result.raw slots indexed by host. Both are shared-nothing, so
+  // worker count and completion order cannot reach the output.
+  std::vector<std::unique_ptr<obs::Registry>> shard_registries;
+  shard_registries.reserve(result.shards);
+  for (std::size_t i = 0; i < result.shards; ++i) {
+    shard_registries.push_back(std::make_unique<obs::Registry>());
+  }
+
+  core::TaskPool pool(config.jobs);
+  pool.run(
+      result.shards,
+      [&](std::size_t shard) {
+        obs::Registry& registry = *shard_registries[shard];
+        obs::ScopedRegistry scoped(&registry);
+        ShardInstruments instruments(registry);
+        core::TestbedArena arena;
+        const std::uint64_t first =
+            static_cast<std::uint64_t>(shard) * kShardHosts;
+        const std::uint64_t last =
+            std::min(result.hosts, first + kShardHosts);
+        for (std::uint64_t host_index = first; host_index < last;
+             ++host_index) {
+          const HostConfig host =
+              sample_host(spec, result.seed, host_index);
+          const HostMetrics metrics =
+              simulate_host_impl(scenario, host, &arena);
+          result.raw[host_index] = metrics;
+          instruments.simulated->add();
+          instruments
+              .by(registry, "fleet.hosts.by_tier", "tier", host.tier)
+              .add();
+          instruments
+              .by(registry, "fleet.hosts.by_profile", "profile", host.profile)
+              .add();
+          instruments
+              .by(registry, "fleet.hosts.by_priority", "priority",
+                  os::to_string(host.priority))
+              .add();
+          instruments.cpu_ms->observe(metrics.cpu_ms);
+          instruments.turnaround_ms->observe(metrics.turnaround_ms);
+          instruments.slowdown_permille->observe(metrics.slowdown_permille);
+        }
+        instruments.shards_completed->add();
+      },
+      nullptr, "fleet-shard");
+
+  // Merge in shard order — with the seeded dropped-shard mutation
+  // silently skipping the last shard, which selfcheck() must catch.
+  std::size_t merge_count = result.shards;
+  if (config.inject_bug == FleetBug::kDroppedShard && merge_count > 1) {
+    --merge_count;
+  }
+  for (std::size_t i = 0; i < merge_count; ++i) {
+    result.registry->merge_from(*shard_registries[i]);
+  }
+  return result;
+}
+
+SummaryStats summarize(const obs::Histogram& histogram, FleetBug bug) {
+  SummaryStats stats;
+  const std::uint64_t count = histogram.count();
+  if (count == 0) return stats;
+  stats.min = histogram.min();
+  stats.max = histogram.max();
+  stats.mean = histogram.sum() / static_cast<std::int64_t>(count);
+  stats.p50 = percentile_est(histogram, 0.50, bug);
+  stats.p90 = percentile_est(histogram, 0.90, bug);
+  stats.p99 = percentile_est(histogram, 0.99, bug);
+  return stats;
+}
+
+std::string format_summary(const scenario::Scenario& scenario,
+                           const FleetResult& result, FleetBug bug) {
+  if (!scenario.fleet) {
+    throw util::ConfigError("format_summary: scenario has no [fleet]");
+  }
+  const scenario::FleetSpec& spec = *scenario.fleet;
+  obs::Registry& registry = *result.registry;
+  std::string out;
+  out += "=== fleet summary (vgrid fleet v1) ===\n";
+  out += "scenario " + scenario.name + " " + scenario.hash_hex() + "\n";
+  out += "hosts " + std::to_string(result.hosts) + "\n";
+  out += "seed " + std::to_string(result.seed) + "\n";
+  out += "shards " + std::to_string(result.shards) + "\n";
+  out += "hosts.by_priority";
+  append_counts(out, registry, "fleet.hosts.by_priority", "priority",
+                spec.priorities);
+  out += "\nhosts.by_profile";
+  append_counts(out, registry, "fleet.hosts.by_profile", "profile",
+                spec.profiles);
+  out += "\nhosts.by_tier";
+  append_counts(out, registry, "fleet.hosts.by_tier", "tier", spec.tiers);
+  out += "\n";
+  append_stats(out, "workunit.cpu_ms",
+               registry.histogram(kCpuMs, duration_ms_buckets()), bug);
+  append_stats(out, "workunit.turnaround_ms",
+               registry.histogram(kTurnaroundMs, duration_ms_buckets()), bug);
+  append_stats(
+      out, "workunit.slowdown_permille",
+      registry.histogram(kSlowdownPermille, slowdown_permille_buckets()),
+      bug);
+  return out;
+}
+
+std::vector<std::string> selfcheck(const FleetResult& result, FleetBug bug) {
+  std::vector<std::string> violations;
+  obs::Registry& registry = *result.registry;
+
+  struct Metric {
+    const char* name;
+    std::vector<std::int64_t> bounds;
+    std::int64_t HostMetrics::* field;
+  };
+  const Metric metrics[] = {
+      {kCpuMs, duration_ms_buckets(), &HostMetrics::cpu_ms},
+      {kTurnaroundMs, duration_ms_buckets(), &HostMetrics::turnaround_ms},
+      {kSlowdownPermille, slowdown_permille_buckets(),
+       &HostMetrics::slowdown_permille},
+  };
+
+  for (const Metric& metric : metrics) {
+    const obs::Histogram& histogram =
+        registry.histogram(metric.name, metric.bounds);
+    std::vector<std::int64_t> values;
+    values.reserve(result.raw.size());
+    std::int64_t exact_sum = 0;
+    for (const HostMetrics& host : result.raw) {
+      values.push_back(host.*metric.field);
+      exact_sum += host.*metric.field;
+    }
+    std::sort(values.begin(), values.end());
+
+    if (histogram.count() != result.hosts) {
+      violations.push_back(util::format(
+          "%s: aggregated %llu observations for %llu hosts", metric.name,
+          static_cast<unsigned long long>(histogram.count()),
+          static_cast<unsigned long long>(result.hosts)));
+      continue;  // rank math below assumes a complete histogram
+    }
+    if (values.empty()) continue;
+    if (histogram.sum() != exact_sum) {
+      violations.push_back(util::format(
+          "%s: aggregated sum %lld != exact sum %lld", metric.name,
+          static_cast<long long>(histogram.sum()),
+          static_cast<long long>(exact_sum)));
+    }
+    if (histogram.min() != values.front() ||
+        histogram.max() != values.back()) {
+      violations.push_back(util::format(
+          "%s: aggregated extremes [%lld, %lld] != exact [%lld, %lld]",
+          metric.name, static_cast<long long>(histogram.min()),
+          static_cast<long long>(histogram.max()),
+          static_cast<long long>(values.front()),
+          static_cast<long long>(values.back())));
+    }
+
+    const SummaryStats stats = summarize(histogram, bug);
+    const struct {
+      double q;
+      const char* label;
+      std::int64_t estimate;
+    } quantiles[] = {
+        {0.50, "p50", stats.p50},
+        {0.90, "p90", stats.p90},
+        {0.99, "p99", stats.p99},
+    };
+    for (const auto& quantile : quantiles) {
+      const std::size_t rank = std::min<std::size_t>(
+          values.size() - 1,
+          static_cast<std::size_t>(std::ceil(
+              quantile.q * static_cast<double>(values.size()))) -
+              1);
+      const std::int64_t exact = values[rank];
+      // The estimate must land in the bucket containing the exact
+      // nearest-rank value (±1 for integer rounding) — the tightest
+      // guarantee a fixed-bucket histogram gives.
+      std::size_t bucket = metric.bounds.size();
+      for (std::size_t i = 0; i < metric.bounds.size(); ++i) {
+        if (exact <= metric.bounds[i]) {
+          bucket = i;
+          break;
+        }
+      }
+      const std::int64_t lower =
+          bucket == 0 ? values.front() : metric.bounds[bucket - 1];
+      const std::int64_t upper = bucket == metric.bounds.size()
+                                     ? values.back()
+                                     : metric.bounds[bucket];
+      if (quantile.estimate < std::min(lower, values.front()) - 1 ||
+          quantile.estimate > upper + 1) {
+        violations.push_back(util::format(
+            "%s: %s estimate %lld outside bucket [%lld, %lld] holding the "
+            "exact value %lld",
+            metric.name, quantile.label,
+            static_cast<long long>(quantile.estimate),
+            static_cast<long long>(lower), static_cast<long long>(upper),
+            static_cast<long long>(exact)));
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace vgrid::fleet

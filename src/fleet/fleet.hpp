@@ -1,0 +1,140 @@
+#pragma once
+// vgrid::fleet — population-scale simulation of a volunteer-computing
+// fleet (ROADMAP item 1). Where the rest of core runs ONE paper testbed
+// per experiment, a fleet run samples N host configurations from the
+// scenario's [fleet] distributions (sampler.hpp), simulates one workunit
+// on each host's own Testbed, and aggregates the per-host outcomes into
+// obs::Histogram percentile summaries — never per-host output lines.
+//
+// Determinism contract (gated by `vgrid determinism-audit fleet` and
+// ctest determinism.audit.fleet.jobs8): the summary and the metrics
+// snapshot are byte-identical for ANY --jobs value, because
+//  - host i's config comes from util::Rng::fork(seed, i), independent of
+//    which shard or worker visits it;
+//  - hosts are split into fixed-size shards fanned out over
+//    core::TaskPool; each shard records into its own obs::Registry and
+//    raw per-host values go into caller-preallocated slots indexed by
+//    host — no shared accumulators;
+//  - shard registries are merged in shard order after the run; obs
+//    instruments are integral, so merge order reproduces serial
+//    accumulation bit for bit.
+//
+// Each shard recycles one core::TestbedArena across its hosts, so a host
+// costs no per-host event-queue/scheduler heap churn (the Testbed
+// ownership refactor this layer motivated).
+//
+// FleetBug is the seeded-mutation hook mirroring mc's --inject-fault:
+// each deliberate aggregation bug must be caught by selfcheck() — proven
+// by the WILL_FAIL ctests fleet.finds.*.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fleet/sampler.hpp"
+#include "obs/registry.hpp"
+#include "scenario/scenario.hpp"
+
+namespace vgrid::fleet {
+
+/// Seeded aggregation mutations for the fleet.finds.* mutation tests.
+enum class FleetBug {
+  kNone,
+  /// Summary percentiles report the bucket AFTER the one holding the
+  /// requested rank.
+  kPercentileOffByOne,
+  /// The last shard's registry is silently skipped during the merge.
+  kDroppedShard,
+};
+
+/// Strict spelling for --inject-bug (percentile_off_by_one /
+/// dropped_shard); throws util::ConfigError on anything else.
+FleetBug parse_fleet_bug(const std::string& text);
+
+struct FleetConfig {
+  /// Hosts to simulate; 0 uses the scenario's [fleet] hosts value.
+  std::uint64_t hosts = 0;
+  /// TaskPool worker count; <= 1 runs serially. Never affects output.
+  int jobs = 1;
+  /// Override of the scenario's [fleet] seed.
+  std::optional<std::uint64_t> seed;
+  FleetBug inject_bug = FleetBug::kNone;
+};
+
+/// Raw outcome of one host's workunit, in the integral units the obs
+/// histograms record. Kept per host (24 B each) so selfcheck() and the
+/// property tests can cross-check the aggregates against ground truth.
+struct HostMetrics {
+  std::int64_t cpu_ms = 0;         // guest CPU time, sim milliseconds
+  std::int64_t turnaround_ms = 0;  // cpu_ms / availability
+  std::int64_t slowdown_permille = 0;  // 1000 * guest / analytic native
+};
+
+struct FleetResult {
+  std::uint64_t hosts = 0;
+  std::uint64_t seed = 0;
+  std::size_t shards = 0;
+  /// Fleet aggregates plus the sim-layer instruments of every shard,
+  /// merged in shard order.
+  std::unique_ptr<obs::Registry> registry;
+  /// Per-host ground truth, indexed by host.
+  std::vector<HostMetrics> raw;
+};
+
+/// Hosts per TaskPool shard. Fixed (never derived from --jobs): shard
+/// boundaries are part of the run's identity, so worker count cannot
+/// change where a host's draws or observations land.
+inline constexpr std::uint64_t kShardHosts = 512;
+
+/// Bucket layouts of the fleet histograms (shared with tests).
+std::vector<std::int64_t> duration_ms_buckets();
+std::vector<std::int64_t> slowdown_permille_buckets();
+
+/// Pre-create the fleet instrument taxonomy (zero-valued): the three
+/// workunit histograms, the simulated-host counter, and one labeled
+/// host counter per declared tier/profile/priority.
+void register_fleet_instruments(obs::Registry& registry,
+                                const scenario::FleetSpec& spec);
+
+/// Simulate one workunit on one sampled host: its tier's machine, its
+/// VMM profile and priority, one Einstein-mix compute step of
+/// workunit_gigaops. Exposed for the property tests.
+HostMetrics simulate_host(const scenario::Scenario& scenario,
+                          const HostConfig& host);
+
+/// Run the whole fleet. Throws util::ConfigError when the scenario has
+/// no [fleet] section.
+FleetResult run_fleet(const scenario::Scenario& scenario,
+                      const FleetConfig& config);
+
+/// Percentile/extreme digest of one histogram, as printed in the
+/// summary. `bug` routes through the deliberately broken percentile
+/// walk when kPercentileOffByOne is injected.
+struct SummaryStats {
+  std::int64_t p50 = 0;
+  std::int64_t p90 = 0;
+  std::int64_t p99 = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  std::int64_t mean = 0;
+};
+SummaryStats summarize(const obs::Histogram& histogram,
+                       FleetBug bug = FleetBug::kNone);
+
+/// Canonical byte-stable summary (the golden-file artifact). Never
+/// mentions --jobs: the text must be identical for any worker count.
+std::string format_summary(const scenario::Scenario& scenario,
+                           const FleetResult& result,
+                           FleetBug bug = FleetBug::kNone);
+
+/// Cross-check the merged aggregates against the raw per-host values:
+/// histogram count/sum/min/max must match exactly, and each summary
+/// percentile must land inside the bucket containing the exact
+/// nearest-rank value. Returns human-readable violations (empty = ok).
+/// This is what gives the mutation tests their teeth.
+std::vector<std::string> selfcheck(const FleetResult& result,
+                                   FleetBug bug = FleetBug::kNone);
+
+}  // namespace vgrid::fleet

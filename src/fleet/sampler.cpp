@@ -1,0 +1,49 @@
+#include "fleet/sampler.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vgrid::fleet {
+
+double sample(const scenario::DistSpec& dist, util::Rng& rng) {
+  switch (dist.kind) {
+    case scenario::DistSpec::Kind::kConstant:
+      return dist.a;
+    case scenario::DistSpec::Kind::kUniform:
+      return rng.uniform(dist.a, dist.b);
+    case scenario::DistSpec::Kind::kNormal:
+      return std::clamp(rng.normal(dist.a, dist.b), dist.lo, dist.hi);
+  }
+  throw util::ConfigError("fleet: unreachable distribution kind");
+}
+
+const std::string& pick(const scenario::WeightedChoice& choice,
+                        util::Rng& rng) {
+  if (choice.items.empty()) {
+    throw util::ConfigError("fleet: pick from an empty weighted choice");
+  }
+  const double target = rng.uniform01() * choice.total_weight;
+  double cumulative = 0.0;
+  for (const scenario::WeightedChoice::Item& item : choice.items) {
+    cumulative += item.weight;
+    if (target < cumulative) return item.name;
+  }
+  // Floating-point residue can leave target == total_weight; the last
+  // item owns the closed upper edge.
+  return choice.items.back().name;
+}
+
+HostConfig sample_host(const scenario::FleetSpec& spec, std::uint64_t seed,
+                       std::uint64_t host_index) {
+  util::Rng rng = util::Rng::fork(seed, host_index);
+  HostConfig host;
+  host.tier = pick(spec.tiers, rng);
+  host.profile = pick(spec.profiles, rng);
+  host.priority = scenario::parse_priority(pick(spec.priorities, rng));
+  host.availability = sample(spec.availability, rng);
+  host.workunit_gigaops = sample(spec.workunit_gigaops, rng);
+  return host;
+}
+
+}  // namespace vgrid::fleet

@@ -1,0 +1,46 @@
+#pragma once
+// Deterministic host-population sampling for `vgrid fleet`.
+//
+// Host i's configuration is a pure function of (FleetSpec, seed, i): the
+// draws come from util::Rng::fork(seed, i), a statistically independent
+// child stream per host, so the sampled population is identical whether
+// hosts are visited serially, sharded across core::TaskPool workers, or
+// in reverse (tests/test_fleet.cpp pins all three). Weighted choices walk
+// the spec's name-sorted cumulative weights, so declaration order in the
+// scenario text never reaches the sampler either.
+
+#include <cstdint>
+#include <string>
+
+#include "os/thread.hpp"
+#include "scenario/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace vgrid::fleet {
+
+/// One sampled volunteer host.
+struct HostConfig {
+  std::string tier;     // fleet tier name (scenario::fleet_tier_machine)
+  std::string profile;  // VMM profile name (in Scenario::profiles)
+  os::PriorityClass priority = os::PriorityClass::kIdle;
+  double availability = 1.0;      // (0, 1]
+  double workunit_gigaops = 0.0;  // > 0
+};
+
+/// Draw one value from a distribution spec. `constant` consumes no
+/// randomness; `normal` draws are clamped into [lo, hi].
+double sample(const scenario::DistSpec& dist, util::Rng& rng);
+
+/// Pick an item from a weighted choice (cumulative walk over the
+/// name-sorted items). Precondition: `choice` came from a parsed
+/// scenario, so it is nonempty with total_weight > 0.
+const std::string& pick(const scenario::WeightedChoice& choice,
+                        util::Rng& rng);
+
+/// Sample host `host_index`'s configuration from `spec` using child
+/// stream fork(seed, host_index). Draw order is fixed (tier, profile,
+/// priority, availability, workunit), part of the population's identity.
+HostConfig sample_host(const scenario::FleetSpec& spec, std::uint64_t seed,
+                       std::uint64_t host_index);
+
+}  // namespace vgrid::fleet

@@ -105,6 +105,41 @@ profiles = vmplayer qemu virtualbox virtualpc
 vm_count = 2
 )";
 
+constexpr const char* kFleetSmall = R"(# A small heterogeneous volunteer fleet for `vgrid fleet`: 1000 hosts
+# drawn from the paper-era hardware mix (dual-core testbeds, lingering
+# Pentium-4 volunteers, early quad-cores), the four calibrated VMM
+# environments weighted toward VMware Player, and mostly Idle-class VM
+# priority — the paper's recommended unobtrusive setting. Availability
+# and workunit size follow BOINC-style host diversity. The 1k-host
+# canonical summary is a committed golden file (tests/golden/).
+[scenario]
+name = fleet-small
+
+[machine]
+cores = 2
+frequency_ghz = 2.4
+ram_mib = 1024
+
+[os]
+flavour = windows-xp
+
+[vmm]
+profiles = vmplayer qemu virtualbox virtualpc
+
+[workloads]
+
+[sweep]
+
+[fleet]
+hosts = 1000
+seed = 1234
+tiers = core2duo:2 pentium4:1 quadcore:1
+profiles = vmplayer:4 virtualbox:3 qemu:2 virtualpc:1
+priorities = idle:4 normal:1
+availability = uniform 0.35 0.95
+workunit_gigaops = normal 3 0.8 0.5 8
+)";
+
 struct Builtin {
   const char* name;
   const char* text;
@@ -115,6 +150,7 @@ constexpr Builtin kBuiltins[] = {
     {"quadcore", kQuadcore},
     {"bigram", kBigram},
     {"dual-vm", kDualVm},
+    {"fleet-small", kFleetSmall},
 };
 
 }  // namespace

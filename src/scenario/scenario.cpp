@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <optional>
 #include <set>
@@ -123,12 +124,13 @@ class Parser {
     }
     profile_ = nullptr;
     static const std::set<std::string> kSections = {
-        "scenario", "machine", "os", "vmm", "workloads", "sweep"};
+        "scenario", "machine", "os", "vmm", "workloads", "sweep", "fleet"};
     if (kSections.count(header) == 0) {
       fail("unknown section [" + header +
            "]; use [scenario], [machine], [os], [vmm], [workloads], "
-           "[sweep] or [profile NAME]");
+           "[sweep], [fleet] or [profile NAME]");
     }
+    if (header == "fleet") scenario_.fleet.emplace();
   }
 
   void handle_key_value(const std::string& line) {
@@ -157,6 +159,8 @@ class Parser {
       vmm_key(key, value);
     } else if (section_ == "workloads") {
       workloads_key(key, value);
+    } else if (section_ == "fleet") {
+      fleet_key(key, value);
     } else {
       sweep_key(key, value);
     }
@@ -376,6 +380,128 @@ class Parser {
     }
   }
 
+  /// Parse a distribution spec (`constant X`, `uniform LO HI`,
+  /// `normal MEAN SIGMA LO HI`). Every numeric operand that represents a
+  /// drawable value — including the normal mean and the clamp bounds —
+  /// must land in [lo_bound, hi_bound], the per-key legal range.
+  DistSpec to_dist(const std::string& key, const std::string& value,
+                   double lo_bound, double hi_bound) const {
+    const std::vector<std::string> parts = to_list(key, value);
+    const std::string& kind = parts[0];
+    const auto want_args = [&](std::size_t count, const char* shape) {
+      if (parts.size() != count + 1) {
+        fail(key + ": '" + kind + "' wants '" + shape + "', got " +
+             std::to_string(parts.size() - 1) + " argument(s)");
+      }
+    };
+    DistSpec dist;
+    if (kind == "constant") {
+      want_args(1, "constant VALUE");
+      dist.kind = DistSpec::Kind::kConstant;
+      dist.a = to_double(key, parts[1], lo_bound, hi_bound);
+    } else if (kind == "uniform") {
+      want_args(2, "uniform LO HI");
+      dist.kind = DistSpec::Kind::kUniform;
+      dist.a = to_double(key, parts[1], lo_bound, hi_bound);
+      dist.b = to_double(key, parts[2], lo_bound, hi_bound);
+      if (dist.a > dist.b) {
+        fail(key + ": uniform LO " + parts[1] + " exceeds HI " + parts[2]);
+      }
+    } else if (kind == "normal") {
+      want_args(4, "normal MEAN SIGMA LO HI");
+      dist.kind = DistSpec::Kind::kNormal;
+      dist.a = to_double(key, parts[1], lo_bound, hi_bound);
+      dist.b = to_double(key, parts[2], 0.0, 1e9);
+      dist.lo = to_double(key, parts[3], lo_bound, hi_bound);
+      dist.hi = to_double(key, parts[4], lo_bound, hi_bound);
+      if (dist.lo > dist.hi) {
+        fail(key + ": normal clamp LO " + parts[3] + " exceeds HI " +
+             parts[4]);
+      }
+      if (dist.a < dist.lo || dist.a > dist.hi) {
+        fail(key + ": normal MEAN " + parts[1] + " outside clamp range [" +
+             parts[3] + ", " + parts[4] + "]");
+      }
+    } else {
+      fail(key + ": unknown distribution '" + kind +
+           "'; use constant, uniform or normal");
+    }
+    return dist;
+  }
+
+  /// Parse `name:weight name:weight ...` into a WeightedChoice, sorted by
+  /// name so declaration order never reaches the sampler.
+  WeightedChoice to_weighted(const std::string& key,
+                             const std::string& value) const {
+    WeightedChoice choice;
+    for (const std::string& item : to_list(key, value)) {
+      const auto colon = item.find(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == item.size()) {
+        fail(key + ": '" + item + "' is not name:weight");
+      }
+      WeightedChoice::Item entry;
+      entry.name = item.substr(0, colon);
+      entry.weight = to_double(key, item.substr(colon + 1), 0.0, 1e6);
+      if (entry.weight <= 0.0) {
+        fail(key + ": weight of '" + entry.name + "' must be > 0");
+      }
+      choice.items.push_back(std::move(entry));
+    }
+    std::sort(choice.items.begin(), choice.items.end(),
+              [](const WeightedChoice::Item& a, const WeightedChoice::Item& b) {
+                return a.name < b.name;
+              });
+    for (std::size_t i = 1; i < choice.items.size(); ++i) {
+      if (choice.items[i].name == choice.items[i - 1].name) {
+        fail(key + ": '" + choice.items[i].name + "' listed twice");
+      }
+    }
+    for (const WeightedChoice::Item& entry : choice.items) {
+      choice.total_weight += entry.weight;
+    }
+    return choice;
+  }
+
+  void fleet_key(const std::string& key, const std::string& value) {
+    FleetSpec& fleet = *scenario_.fleet;
+    if (key == "hosts") {
+      fleet.hosts = to_u64(key, value, 1, 10'000'000);
+    } else if (key == "seed") {
+      fleet.seed =
+          to_u64(key, value, 0, std::numeric_limits<std::uint64_t>::max());
+    } else if (key == "tiers") {
+      fleet.tiers = to_weighted(key, value);
+      for (const WeightedChoice::Item& item : fleet.tiers.items) {
+        const auto& tiers = fleet_tier_names();
+        if (std::find(tiers.begin(), tiers.end(), item.name) == tiers.end()) {
+          fail(key + ": unknown tier '" + item.name +
+               "'; use core2duo, pentium4, quadcore or scenario");
+        }
+      }
+    } else if (key == "profiles") {
+      // Names are cross-checked against the [vmm] profile list in
+      // finalize() — [vmm] may appear later in the file.
+      fleet.profiles = to_weighted(key, value);
+    } else if (key == "priorities") {
+      fleet.priorities = to_weighted(key, value);
+      for (const WeightedChoice::Item& item : fleet.priorities.items) {
+        if (!priority_from(item.name)) {
+          fail(key + ": unknown priority '" + item.name +
+               "'; use idle, normal or high");
+        }
+      }
+    } else if (key == "availability") {
+      fleet.availability = to_dist(key, value, 0.01, 1.0);
+      have_availability_ = true;
+    } else if (key == "workunit_gigaops") {
+      fleet.workunit_gigaops = to_dist(key, value, 0.001, 1e6);
+      have_workunit_gigaops_ = true;
+    } else {
+      unknown_key(key);
+    }
+  }
+
   static vmm::NetModel& bridged(vmm::VmmProfile& profile) {
     if (!profile.bridged) profile.bridged = vmm::NetModel{};
     return *profile.bridged;
@@ -440,6 +566,49 @@ class Parser {
           scenario_.sweep.vm_count, util::human_bytes(max_vm_ram).c_str(),
           util::human_bytes(scenario_.machine.ram_bytes).c_str()));
     }
+
+    if (scenario_.fleet) finalize_fleet();
+  }
+
+  void finalize_fleet() {
+    const FleetSpec& fleet = *scenario_.fleet;
+    if (fleet.hosts == 0) fail("[fleet] missing required key 'hosts'");
+    if (fleet.tiers.items.empty()) {
+      fail("[fleet] missing required key 'tiers'");
+    }
+    if (fleet.profiles.items.empty()) {
+      fail("[fleet] missing required key 'profiles'");
+    }
+    if (fleet.priorities.items.empty()) {
+      fail("[fleet] missing required key 'priorities'");
+    }
+    if (!have_availability_) {
+      fail("[fleet] missing required key 'availability'");
+    }
+    if (!have_workunit_gigaops_) {
+      fail("[fleet] missing required key 'workunit_gigaops'");
+    }
+    for (const WeightedChoice::Item& item : fleet.profiles.items) {
+      if (scenario_.profile_by_name(item.name) == nullptr) {
+        fail("[fleet] profiles: '" + item.name +
+             "' is not listed in [vmm] profiles");
+      }
+    }
+    // Any sampled (tier, profile) pair must be able to boot: the
+    // profile's guest RAM has to fit the tier's machine.
+    for (const WeightedChoice::Item& tier : fleet.tiers.items) {
+      const hw::MachineConfig machine =
+          fleet_tier_machine(scenario_, tier.name);
+      for (const WeightedChoice::Item& ref : fleet.profiles.items) {
+        const vmm::VmmProfile* profile = scenario_.profile_by_name(ref.name);
+        if (profile->default_ram_bytes > machine.ram_bytes) {
+          fail("[fleet] profile '" + ref.name + "' needs " +
+               util::human_bytes(profile->default_ram_bytes) +
+               " guest RAM but tier '" + tier.name + "' only has " +
+               util::human_bytes(machine.ram_bytes));
+        }
+      }
+    }
   }
 
   void validate_user_profile(const vmm::VmmProfile& profile) const {
@@ -473,7 +642,9 @@ class Parser {
   std::vector<std::string> profile_order_;
   std::vector<std::string> profile_refs_;
   bool have_name_ = false;
-  Scenario scenario_{.profiles = {}};
+  bool have_availability_ = false;
+  bool have_workunit_gigaops_ = false;
+  Scenario scenario_{.profiles = {}, .fleet = {}};
 };
 
 void append_kv(std::string& out, const char* key, const std::string& value) {
@@ -492,6 +663,28 @@ std::string join_u64(const std::vector<std::uint64_t>& values) {
   return out;
 }
 
+std::string dist_text(const DistSpec& dist) {
+  switch (dist.kind) {
+    case DistSpec::Kind::kConstant:
+      return "constant " + fmt_double(dist.a);
+    case DistSpec::Kind::kUniform:
+      return "uniform " + fmt_double(dist.a) + " " + fmt_double(dist.b);
+    case DistSpec::Kind::kNormal:
+      return "normal " + fmt_double(dist.a) + " " + fmt_double(dist.b) +
+             " " + fmt_double(dist.lo) + " " + fmt_double(dist.hi);
+  }
+  throw util::ConfigError("scenario: unreachable distribution kind");
+}
+
+std::string weighted_text(const WeightedChoice& choice) {
+  std::string out;
+  for (const WeightedChoice::Item& item : choice.items) {
+    if (!out.empty()) out += ' ';
+    out += item.name + ":" + fmt_double(item.weight);
+  }
+  return out;
+}
+
 }  // namespace
 
 // ---- serialization ----------------------------------------------------------
@@ -501,6 +694,19 @@ std::string Scenario::canonical_text() const {
   out += "# scenario '" + name + "' — canonical form (vgrid scenario v1)\n";
   out += "[scenario]\n";
   append_kv(out, "name", name);
+
+  // [fleet] sits between [scenario] and [machine]: sections after the
+  // leading [scenario] stay in alphabetical order.
+  if (fleet) {
+    out += "\n[fleet]\n";
+    append_kv(out, "availability", dist_text(fleet->availability));
+    append_kv(out, "hosts", std::to_string(fleet->hosts));
+    append_kv(out, "priorities", weighted_text(fleet->priorities));
+    append_kv(out, "profiles", weighted_text(fleet->profiles));
+    append_kv(out, "seed", std::to_string(fleet->seed));
+    append_kv(out, "tiers", weighted_text(fleet->tiers));
+    append_kv(out, "workunit_gigaops", dist_text(fleet->workunit_gigaops));
+  }
 
   out += "\n[machine]\n";
   append_kv(out, "cores", std::to_string(machine.chip.cores));
@@ -672,6 +878,22 @@ os::PriorityClass parse_priority(const std::string& text) {
                             "'; use idle, normal or high");
   }
   return *parsed;
+}
+
+const std::vector<std::string>& fleet_tier_names() {
+  static const std::vector<std::string> names = {"core2duo", "pentium4",
+                                                 "quadcore", "scenario"};
+  return names;
+}
+
+hw::MachineConfig fleet_tier_machine(const Scenario& scenario,
+                                     const std::string& tier) {
+  if (tier == "core2duo") return hw::machines::core2duo_e6600();
+  if (tier == "pentium4") return hw::machines::pentium4_class();
+  if (tier == "quadcore") return hw::machines::quadcore_class();
+  if (tier == "scenario") return scenario.machine;
+  throw util::ConfigError("unknown fleet tier '" + tier +
+                          "'; use core2duo, pentium4, quadcore or scenario");
 }
 
 }  // namespace vgrid::scenario

@@ -34,6 +34,7 @@
 // byte-for-byte (enforced by tests/test_scenario.cpp).
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,53 @@ struct Sweep {
   std::vector<int> sevenzip_threads = {1, 2};
 };
 
+/// A scalar distribution spec from a [fleet] key. The text grammar is
+///   constant X
+///   uniform LO HI
+///   normal MEAN SIGMA LO HI     (draw clamped into [LO, HI])
+/// Every form is validated at parse time (finite numbers, LO <= HI,
+/// SIGMA >= 0, plus the per-key range rules documented on FleetSpec).
+struct DistSpec {
+  enum class Kind { kConstant, kUniform, kNormal };
+  Kind kind = Kind::kConstant;
+  double a = 0.0;   // constant value | uniform lo | normal mean
+  double b = 0.0;   // uniform hi | normal sigma
+  double lo = 0.0;  // normal clamp lo
+  double hi = 0.0;  // normal clamp hi
+};
+
+/// A weighted categorical choice (`name:weight name:weight ...`).
+/// Stored sorted by name with the total precomputed, so sampling walks
+/// the cumulative weights in a declaration-order-independent order.
+struct WeightedChoice {
+  struct Item {
+    std::string name;
+    double weight = 0.0;  // > 0 after parse
+  };
+  std::vector<Item> items;  // sorted by name, nonempty after parse
+  double total_weight = 0.0;
+};
+
+/// The [fleet] section: the host-population model `vgrid fleet` samples
+/// from. Per-host draws are a pure function of (seed, host index) via
+/// util::Rng::fork, so the population is identical however the hosts are
+/// sharded across workers.
+struct FleetSpec {
+  std::uint64_t hosts = 0;  // required key; [1, 10_000_000]
+  std::uint64_t seed = 1234;
+  /// Hardware tier per host. Valid names: the fixed presets `pentium4`,
+  /// `core2duo`, `quadcore`, plus `scenario` (this scenario's [machine]).
+  WeightedChoice tiers;
+  /// VMM profile per host; names must appear in [vmm] profiles.
+  WeightedChoice profiles;
+  /// VM priority class per host (idle / normal / high).
+  WeightedChoice priorities;
+  /// Fraction of wall time the host donates; values must lie in (0, 1].
+  DistSpec availability;
+  /// Workunit size in giga-operations; values must be > 0.
+  DistSpec workunit_gigaops;
+};
+
 struct Scenario {
   std::string name = "paper";
   hw::MachineConfig machine{};
@@ -86,6 +134,8 @@ struct Scenario {
   std::vector<vmm::VmmProfile> profiles;
   Workloads workloads{};
   Sweep sweep{};
+  /// Host-population model; present iff the text has a [fleet] section.
+  std::optional<FleetSpec> fleet;
 
   /// Deterministic serialization: fixed section order, sorted keys,
   /// shortest round-trip doubles, every profile expanded to a full
@@ -110,7 +160,8 @@ Scenario parse(const std::string& text, const std::string& source_name);
 /// file. Throws util::ConfigError when it is neither.
 Scenario load(const std::string& name_or_path);
 
-/// Names of the embedded scenarios: paper, quadcore, bigram, dual-vm.
+/// Names of the embedded scenarios: paper, quadcore, bigram, dual-vm,
+/// fleet-small.
 const std::vector<std::string>& builtin_names();
 
 /// Source text of a built-in (nullptr when unknown) — what
@@ -131,5 +182,16 @@ os::HostOs parse_host_os(const std::string& text);
 /// Strict priority-class spelling ("idle"/"normal"/"high"); throws
 /// util::ConfigError on anything else.
 os::PriorityClass parse_priority(const std::string& text);
+
+/// Valid [fleet] tier names, sorted: core2duo, pentium4, quadcore,
+/// scenario.
+const std::vector<std::string>& fleet_tier_names();
+
+/// Machine config for a fleet tier name: the matching hw::machines preset,
+/// or the scenario's own [machine] for "scenario". Throws
+/// util::ConfigError on an unknown tier — parse() already rejects those,
+/// so reaching that path means the caller bypassed validation.
+hw::MachineConfig fleet_tier_machine(const Scenario& scenario,
+                                     const std::string& tier);
 
 }  // namespace vgrid::scenario

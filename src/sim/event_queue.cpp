@@ -6,11 +6,26 @@
 
 namespace vgrid::sim {
 
+EventQueue::EventQueue(Storage storage) : store_(std::move(storage)) {
+  // Drop any recycled contents but keep the heap capacity and the map's
+  // bucket array — the whole point of adopting storage.
+  store_.heap.clear();
+  store_.callbacks.clear();
+}
+
+EventQueue::Storage EventQueue::release_storage() {
+  Storage released = std::move(store_);
+  store_ = Storage{};
+  live_count_ = 0;
+  return released;
+}
+
 EventId EventQueue::push(SimTime when, Callback cb) {
   PROF_SCOPE("sim.event_queue.push");
   const EventId id = next_id_++;
-  heap_.push(Entry{when, id});
-  callbacks_.emplace(id, std::move(cb));
+  store_.heap.push_back(Entry{when, id});
+  std::push_heap(store_.heap.begin(), store_.heap.end(), Later{});
+  store_.callbacks.emplace(id, std::move(cb));
   ++live_count_;
   if (obs_depth_high_water_) {
     obs_depth_high_water_->update_max(
@@ -20,18 +35,20 @@ EventId EventQueue::push(SimTime when, Callback cb) {
 }
 
 bool EventQueue::cancel(EventId id) {
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
+  const auto it = store_.callbacks.find(id);
+  if (it == store_.callbacks.end()) return false;
+  store_.callbacks.erase(it);
   --live_count_;
   if (obs_cancelled_) obs_cancelled_->add();
   return true;
 }
 
 void EventQueue::drop_cancelled() {
-  while (!heap_.empty() &&
-         callbacks_.find(heap_.top().id) == callbacks_.end()) {
-    heap_.pop();
+  while (!store_.heap.empty() &&
+         store_.callbacks.find(store_.heap.front().id) ==
+             store_.callbacks.end()) {
+    std::pop_heap(store_.heap.begin(), store_.heap.end(), Later{});
+    store_.heap.pop_back();
   }
 }
 
@@ -39,20 +56,21 @@ bool EventQueue::empty() const noexcept { return live_count_ == 0; }
 
 SimTime EventQueue::next_time() {
   drop_cancelled();
-  if (heap_.empty()) {
+  if (store_.heap.empty()) {
     throw util::SimulationError("EventQueue::next_time on empty queue");
   }
-  return heap_.top().time;
+  return store_.heap.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
   PROF_SCOPE("sim.event_queue.pop");
   drop_cancelled();
-  if (heap_.empty()) {
+  if (store_.heap.empty()) {
     throw util::SimulationError("EventQueue::pop on empty queue");
   }
-  const Entry top = heap_.top();
-  heap_.pop();
+  const Entry top = store_.heap.front();
+  std::pop_heap(store_.heap.begin(), store_.heap.end(), Later{});
+  store_.heap.pop_back();
   VGRID_AUDIT(top.time >= last_pop_time_,
               "event time ran backwards: popped %lld after %lld",
               static_cast<long long>(top.time),
@@ -64,9 +82,9 @@ EventQueue::Fired EventQueue::pop() {
               static_cast<unsigned long long>(last_pop_id_));
   last_pop_time_ = top.time;
   last_pop_id_ = top.id;
-  const auto it = callbacks_.find(top.id);
+  const auto it = store_.callbacks.find(top.id);
   Fired fired{top.time, top.id, std::move(it->second)};
-  callbacks_.erase(it);
+  store_.callbacks.erase(it);
   --live_count_;
   if (obs_dispatched_) obs_dispatched_->add();
   return fired;

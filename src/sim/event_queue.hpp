@@ -3,10 +3,19 @@
 // (time, insertion order) order — FIFO among simultaneous events — which
 // makes runs fully deterministic. Events can be cancelled via their id
 // (lazy deletion: cancelled entries are skipped on pop).
+//
+// The backing store (the binary heap vector and the id->callback map) is
+// exposed as a detachable Storage so short-lived simulations can recycle
+// allocations: a fleet run builds one Testbed per host, and without
+// recycling every host would re-grow the heap and re-build the hash
+// table's bucket array from scratch. release_storage()/the adopting
+// constructor move the store between queues; adopted storage is cleared
+// (capacity kept), so recycling can never leak events — or determinism —
+// across simulations.
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -21,6 +30,29 @@ inline constexpr EventId kInvalidEvent = 0;
 class EventQueue {
  public:
   using Callback = std::function<void()>;
+
+  struct Entry {
+    SimTime time;
+    EventId id;
+  };
+
+  /// Recyclable backing store: the heap vector plus the callback map
+  /// (bucket array included). Contents are dropped on adoption; only the
+  /// capacity survives, so a recycled queue behaves exactly like a fresh
+  /// one.
+  struct Storage {
+    std::vector<Entry> heap;
+    std::unordered_map<EventId, Callback> callbacks;
+  };
+
+  EventQueue() = default;
+  /// Adopt recycled backing store. Equivalent to a fresh queue except that
+  /// heap capacity and hash buckets are reused instead of reallocated.
+  explicit EventQueue(Storage storage);
+
+  /// Detach the backing store for reuse by a later queue. The queue is
+  /// left empty; pending events (if any) are discarded with the contents.
+  Storage release_storage();
 
   /// Insert an event at absolute time `when`. Returns a handle usable with
   /// cancel(). Never returns kInvalidEvent.
@@ -47,10 +79,6 @@ class EventQueue {
   std::size_t pending_count() const noexcept { return live_count_; }
 
  private:
-  struct Entry {
-    SimTime time;
-    EventId id;
-  };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
@@ -60,11 +88,12 @@ class EventQueue {
 
   void drop_cancelled();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  // Keyed by the queue's own monotonically assigned EventId (never a
-  // pointer) and looked up, never iterated — hash order cannot leak into
-  // event order.
-  std::unordered_map<EventId, Callback> callbacks_;
+  // store_.heap is maintained as a std::push_heap/pop_heap binary heap
+  // under Later — identical ordering to the std::priority_queue it
+  // replaced, but with a detachable vector. store_.callbacks is keyed by
+  // the queue's own monotonically assigned EventId (never a pointer) and
+  // looked up, never iterated — hash order cannot leak into event order.
+  Storage store_;
   EventId next_id_ = 1;
   std::size_t live_count_ = 0;
   // Instruments resolved once from the registry current at construction

@@ -14,8 +14,20 @@ namespace vgrid::sim {
 class Simulator {
  public:
   Simulator() = default;
+  /// Build the kernel on recycled event-queue storage (see
+  /// EventQueue::Storage) — semantically identical to a fresh Simulator,
+  /// but without re-growing the heap or the callback hash table. Fleet
+  /// runs recycle one Storage across thousands of per-host simulators.
+  explicit Simulator(EventQueue::Storage storage)
+      : queue_(std::move(storage)) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /// Detach the event queue's backing store for reuse by a later
+  /// Simulator. Call only when the simulation is finished.
+  EventQueue::Storage release_queue_storage() {
+    return queue_.release_storage();
+  }
 
   /// Current simulated time.
   SimTime now() const noexcept { return now_; }

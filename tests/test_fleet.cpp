@@ -1,0 +1,581 @@
+// Tests for vgrid::fleet — the population-scale layer.
+//
+// Four families:
+//  - rejection: every malformed [fleet] distribution spec is a
+//    util::ConfigError with a "<source>:<line>:" diagnostic (mirroring
+//    test_scenario's fixtures for the base dialect);
+//  - sampling: per-host draws are a pure function of (seed, host index) —
+//    visit order, sharding and interleaving cannot change them — and the
+//    empirical quantiles of large samples match the declared
+//    distributions;
+//  - determinism: run_fleet's summary and metrics snapshot are
+//    byte-identical for any jobs value;
+//  - selfcheck: the aggregate cross-check passes on a clean run and
+//    catches both seeded aggregation mutations (the in-process half of
+//    the fleet.finds.* ctests).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+#include "scenario/scenario.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace vgrid {
+namespace {
+
+// Expect parse() to throw a ConfigError whose message carries the given
+// fragment (and the source:line prefix when `line` > 0).
+void expect_rejected(const std::string& text, const std::string& fragment,
+                     int line = 0) {
+  try {
+    (void)scenario::parse(text, "test.scn");
+    FAIL() << "expected ConfigError containing '" << fragment << "'";
+  } catch (const util::ConfigError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find(fragment), std::string::npos) << what;
+    EXPECT_EQ(what.rfind("test.scn:", 0), 0u) << what;
+    if (line > 0) {
+      EXPECT_NE(what.find("test.scn:" + std::to_string(line) + ":"),
+                std::string::npos)
+          << what;
+    }
+  }
+}
+
+/// A valid [fleet] section, one key per line so a fixture can replace a
+/// single line and assert its exact line number (the body starts on
+/// line 10 of scenario_with()'s output).
+struct FleetLines {
+  std::string hosts = "hosts = 100";
+  std::string tiers = "tiers = core2duo:2 pentium4:1";
+  std::string profiles = "profiles = vmplayer:3 qemu:1";
+  std::string priorities = "priorities = idle:4 normal:1";
+  std::string availability = "availability = uniform 0.35 0.95";
+  std::string workunit = "workunit_gigaops = normal 3 0.8 0.5 8";
+};
+constexpr int kHostsLine = 10;
+constexpr int kTiersLine = 11;
+constexpr int kProfilesLine = 12;
+constexpr int kPrioritiesLine = 13;
+constexpr int kAvailabilityLine = 14;
+constexpr int kWorkunitLine = 15;
+
+std::string scenario_with(const FleetLines& fleet) {
+  std::string text =
+      "[scenario]\nname = mini\n"
+      "[machine]\n[os]\n[workloads]\n[sweep]\n"
+      "[vmm]\nprofiles = vmplayer qemu\n"
+      "[fleet]\n";
+  for (const std::string* line :
+       {&fleet.hosts, &fleet.tiers, &fleet.profiles, &fleet.priorities,
+        &fleet.availability, &fleet.workunit}) {
+    if (!line->empty()) text += *line + "\n";
+  }
+  return text;
+}
+
+TEST(FleetParse, AcceptsTheValidFixtureAndFillsTheSpec) {
+  const scenario::Scenario parsed =
+      scenario::parse(scenario_with(FleetLines{}), "test.scn");
+  ASSERT_TRUE(parsed.fleet.has_value());
+  const scenario::FleetSpec& spec = *parsed.fleet;
+  EXPECT_EQ(spec.hosts, 100u);
+  ASSERT_EQ(spec.tiers.items.size(), 2u);
+  // Sorted by name, not declaration order.
+  EXPECT_EQ(spec.tiers.items[0].name, "core2duo");
+  EXPECT_EQ(spec.tiers.items[1].name, "pentium4");
+  EXPECT_DOUBLE_EQ(spec.tiers.total_weight, 3.0);
+  EXPECT_EQ(spec.availability.kind, scenario::DistSpec::Kind::kUniform);
+  EXPECT_EQ(spec.workunit_gigaops.kind, scenario::DistSpec::Kind::kNormal);
+}
+
+// --- rejection: distribution grammar -----------------------------------------
+
+TEST(FleetReject, UnknownDistributionKind) {
+  FleetLines f;
+  f.availability = "availability = gamma 1 2";
+  expect_rejected(scenario_with(f), "unknown distribution 'gamma'",
+                  kAvailabilityLine);
+}
+
+TEST(FleetReject, ConstantWithoutValue) {
+  FleetLines f;
+  f.availability = "availability = constant";
+  expect_rejected(scenario_with(f), "wants 'constant VALUE'",
+                  kAvailabilityLine);
+}
+
+TEST(FleetReject, UniformWithOneArgument) {
+  FleetLines f;
+  f.availability = "availability = uniform 0.5";
+  expect_rejected(scenario_with(f), "wants 'uniform LO HI'",
+                  kAvailabilityLine);
+}
+
+TEST(FleetReject, UniformLoAboveHi) {
+  FleetLines f;
+  f.availability = "availability = uniform 0.9 0.5";
+  expect_rejected(scenario_with(f), "uniform LO 0.9 exceeds HI 0.5",
+                  kAvailabilityLine);
+}
+
+TEST(FleetReject, NormalWithThreeArguments) {
+  FleetLines f;
+  f.availability = "availability = normal 0.5 0.1 0.2";
+  expect_rejected(scenario_with(f), "wants 'normal MEAN SIGMA LO HI'",
+                  kAvailabilityLine);
+}
+
+TEST(FleetReject, NormalNegativeSigma) {
+  FleetLines f;
+  f.availability = "availability = normal 0.5 -0.1 0.2 0.9";
+  expect_rejected(scenario_with(f), "out of range", kAvailabilityLine);
+}
+
+TEST(FleetReject, NormalMeanOutsideClampRange) {
+  FleetLines f;
+  f.availability = "availability = normal 0.9 0.1 0.95 0.99";
+  expect_rejected(scenario_with(f),
+                  "normal MEAN 0.9 outside clamp range [0.95, 0.99]",
+                  kAvailabilityLine);
+}
+
+TEST(FleetReject, NormalClampLoAboveHi) {
+  FleetLines f;
+  f.availability = "availability = normal 0.5 0.1 0.9 0.2";
+  expect_rejected(scenario_with(f), "normal clamp LO 0.9 exceeds HI 0.2",
+                  kAvailabilityLine);
+}
+
+TEST(FleetReject, AvailabilityBelowLegalRange) {
+  FleetLines f;
+  f.availability = "availability = uniform 0 0.9";
+  expect_rejected(scenario_with(f), "out of range", kAvailabilityLine);
+}
+
+TEST(FleetReject, AvailabilityAboveOne) {
+  FleetLines f;
+  f.availability = "availability = uniform 0.5 1.5";
+  expect_rejected(scenario_with(f), "out of range", kAvailabilityLine);
+}
+
+TEST(FleetReject, WorkunitGigaopsZero) {
+  FleetLines f;
+  f.workunit = "workunit_gigaops = constant 0";
+  expect_rejected(scenario_with(f), "out of range", kWorkunitLine);
+}
+
+TEST(FleetReject, DistributionValueNotANumber) {
+  FleetLines f;
+  f.availability = "availability = constant x";
+  expect_rejected(scenario_with(f), "'x' is not a finite number",
+                  kAvailabilityLine);
+}
+
+// --- rejection: weighted choices ---------------------------------------------
+
+TEST(FleetReject, TierWithoutWeight) {
+  FleetLines f;
+  f.tiers = "tiers = core2duo";
+  expect_rejected(scenario_with(f), "'core2duo' is not name:weight",
+                  kTiersLine);
+}
+
+TEST(FleetReject, TierWithEmptyName) {
+  FleetLines f;
+  f.tiers = "tiers = :2";
+  expect_rejected(scenario_with(f), "is not name:weight", kTiersLine);
+}
+
+TEST(FleetReject, TierWithEmptyWeight) {
+  FleetLines f;
+  f.tiers = "tiers = core2duo:";
+  expect_rejected(scenario_with(f), "is not name:weight", kTiersLine);
+}
+
+TEST(FleetReject, TierWithZeroWeight) {
+  FleetLines f;
+  f.tiers = "tiers = core2duo:0";
+  expect_rejected(scenario_with(f), "weight of 'core2duo' must be > 0",
+                  kTiersLine);
+}
+
+TEST(FleetReject, TierWithNegativeWeight) {
+  FleetLines f;
+  f.tiers = "tiers = core2duo:-1";
+  expect_rejected(scenario_with(f), "out of range", kTiersLine);
+}
+
+TEST(FleetReject, TierListedTwice) {
+  FleetLines f;
+  f.tiers = "tiers = core2duo:1 core2duo:2";
+  expect_rejected(scenario_with(f), "'core2duo' listed twice", kTiersLine);
+}
+
+TEST(FleetReject, UnknownTierName) {
+  FleetLines f;
+  f.tiers = "tiers = athlon:1";
+  expect_rejected(scenario_with(f), "unknown tier 'athlon'", kTiersLine);
+}
+
+TEST(FleetReject, UnknownPriorityName) {
+  FleetLines f;
+  f.priorities = "priorities = urgent:1";
+  expect_rejected(scenario_with(f), "unknown priority 'urgent'",
+                  kPrioritiesLine);
+}
+
+TEST(FleetReject, ProfileNotListedInVmm) {
+  FleetLines f;
+  f.profiles = "profiles = virtualbox:1";
+  expect_rejected(scenario_with(f),
+                  "[fleet] profiles: 'virtualbox' is not listed in [vmm] "
+                  "profiles");
+}
+
+// --- rejection: scalar keys and structure ------------------------------------
+
+TEST(FleetReject, HostsZero) {
+  FleetLines f;
+  f.hosts = "hosts = 0";
+  expect_rejected(scenario_with(f), "out of range [1, 10000000]",
+                  kHostsLine);
+}
+
+TEST(FleetReject, HostsAboveCap) {
+  FleetLines f;
+  f.hosts = "hosts = 20000000";
+  expect_rejected(scenario_with(f), "out of range [1, 10000000]",
+                  kHostsLine);
+}
+
+TEST(FleetReject, HostsNotAnInteger) {
+  FleetLines f;
+  f.hosts = "hosts = many";
+  expect_rejected(scenario_with(f), "'many' is not an unsigned integer",
+                  kHostsLine);
+}
+
+TEST(FleetReject, MissingHosts) {
+  FleetLines f;
+  f.hosts.clear();
+  expect_rejected(scenario_with(f), "[fleet] missing required key 'hosts'");
+}
+
+TEST(FleetReject, MissingTiers) {
+  FleetLines f;
+  f.tiers.clear();
+  expect_rejected(scenario_with(f), "[fleet] missing required key 'tiers'");
+}
+
+TEST(FleetReject, MissingProfiles) {
+  FleetLines f;
+  f.profiles.clear();
+  expect_rejected(scenario_with(f),
+                  "[fleet] missing required key 'profiles'");
+}
+
+TEST(FleetReject, MissingPriorities) {
+  FleetLines f;
+  f.priorities.clear();
+  expect_rejected(scenario_with(f),
+                  "[fleet] missing required key 'priorities'");
+}
+
+TEST(FleetReject, MissingAvailability) {
+  FleetLines f;
+  f.availability.clear();
+  expect_rejected(scenario_with(f),
+                  "[fleet] missing required key 'availability'");
+}
+
+TEST(FleetReject, MissingWorkunitGigaops) {
+  FleetLines f;
+  f.workunit.clear();
+  expect_rejected(scenario_with(f),
+                  "[fleet] missing required key 'workunit_gigaops'");
+}
+
+TEST(FleetReject, UnknownKeyInFleet) {
+  FleetLines f;
+  f.workunit = "color = red";
+  expect_rejected(scenario_with(f), "unknown key 'color' in [fleet]",
+                  kWorkunitLine);
+}
+
+TEST(FleetReject, DuplicateKeyInFleet) {
+  expect_rejected(scenario_with(FleetLines{}) + "hosts = 5\n",
+                  "duplicate key 'hosts' in [fleet]", 16);
+}
+
+TEST(FleetReject, ProfileRamDoesNotFitTierMachine) {
+  // A 600 MiB guest fits the scenario's own 1 GiB machine (so the base
+  // sweep validation passes) but not the 512 MiB pentium4 tier — only
+  // the fleet's per-tier cross-check can catch that pairing.
+  const std::string text =
+      "[scenario]\nname = mini\n"
+      "[machine]\n[os]\n[workloads]\n[sweep]\n"
+      "[vmm]\nprofiles = big\n"
+      "[profile big]\nnat_cap_mbps = 100\nram_mib = 600\n"
+      "[fleet]\n"
+      "hosts = 10\n"
+      "tiers = pentium4:1\n"
+      "profiles = big:1\n"
+      "priorities = idle:1\n"
+      "availability = constant 0.9\n"
+      "workunit_gigaops = constant 1\n";
+  expect_rejected(text,
+                  "[fleet] profile 'big' needs 600 MB guest RAM but tier "
+                  "'pentium4' only has 512 MB");
+}
+
+// --- sampling: determinism and visit-order independence ----------------------
+
+void expect_same_host(const fleet::HostConfig& a,
+                      const fleet::HostConfig& b, std::uint64_t index) {
+  EXPECT_EQ(a.tier, b.tier) << "host " << index;
+  EXPECT_EQ(a.profile, b.profile) << "host " << index;
+  EXPECT_EQ(a.priority, b.priority) << "host " << index;
+  EXPECT_EQ(a.availability, b.availability) << "host " << index;
+  EXPECT_EQ(a.workunit_gigaops, b.workunit_gigaops) << "host " << index;
+}
+
+TEST(FleetSampler, HostDrawsAreVisitOrderIndependent) {
+  const scenario::Scenario parsed =
+      scenario::parse(scenario_with(FleetLines{}), "test.scn");
+  const scenario::FleetSpec& spec = *parsed.fleet;
+  constexpr std::uint64_t kHosts = 257;  // not a multiple of any shard size
+
+  std::vector<fleet::HostConfig> forward;
+  for (std::uint64_t i = 0; i < kHosts; ++i) {
+    forward.push_back(fleet::sample_host(spec, spec.seed, i));
+  }
+  // Reverse order.
+  for (std::uint64_t i = kHosts; i-- > 0;) {
+    expect_same_host(fleet::sample_host(spec, spec.seed, i), forward[i], i);
+  }
+  // Strided "sharded" order: every 16th host per pass.
+  for (std::uint64_t start = 0; start < 16; ++start) {
+    for (std::uint64_t i = start; i < kHosts; i += 16) {
+      expect_same_host(fleet::sample_host(spec, spec.seed, i), forward[i],
+                       i);
+    }
+  }
+  // Different seeds give different populations (spot check: at least one
+  // host differs in some sampled field).
+  bool any_different = false;
+  for (std::uint64_t i = 0; i < kHosts && !any_different; ++i) {
+    const fleet::HostConfig other = fleet::sample_host(spec, 99, i);
+    any_different = other.tier != forward[i].tier ||
+                    other.availability != forward[i].availability;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(FleetSampler, ConstantDistributionConsumesNoRandomness) {
+  scenario::DistSpec constant;
+  constant.kind = scenario::DistSpec::Kind::kConstant;
+  constant.a = 0.5;
+  util::Rng with_constant(42), fresh(42);
+  EXPECT_EQ(fleet::sample(constant, with_constant), 0.5);
+  // The next draw must be what a fresh same-seeded Rng produces first.
+  EXPECT_EQ(with_constant.uniform01(), fresh.uniform01());
+}
+
+TEST(FleetSampler, PickFromEmptyChoiceThrows) {
+  scenario::WeightedChoice empty;
+  util::Rng rng(1);
+  EXPECT_THROW((void)fleet::pick(empty, rng), util::ConfigError);
+}
+
+// --- sampling: empirical quantiles vs the declared distributions -------------
+
+TEST(FleetSampler, UniformEmpiricalQuantilesMatchTheSpec) {
+  scenario::DistSpec uniform;
+  uniform.kind = scenario::DistSpec::Kind::kUniform;
+  uniform.a = 0.35;
+  uniform.b = 0.95;
+  util::Rng rng(0x5eed);
+  constexpr int kDraws = 100'000;
+  std::vector<double> values;
+  values.reserve(kDraws);
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double value = fleet::sample(uniform, rng);
+    ASSERT_GE(value, 0.35);
+    ASSERT_LT(value, 0.95);
+    values.push_back(value);
+    sum += value;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.65, 0.005);
+  std::sort(values.begin(), values.end());
+  // Declared quantiles of U(0.35, 0.95): q -> 0.35 + 0.6q.
+  EXPECT_NEAR(values[kDraws / 10], 0.41, 0.01);
+  EXPECT_NEAR(values[kDraws / 2], 0.65, 0.01);
+  EXPECT_NEAR(values[kDraws * 9 / 10], 0.89, 0.01);
+}
+
+TEST(FleetSampler, ClampedNormalEmpiricalMomentsMatchTheSpec) {
+  scenario::DistSpec normal;
+  normal.kind = scenario::DistSpec::Kind::kNormal;
+  normal.a = 3.0;   // mean
+  normal.b = 0.8;   // sigma
+  normal.lo = 0.5;
+  normal.hi = 8.0;
+  util::Rng rng(0xcafe);
+  constexpr int kDraws = 100'000;
+  std::vector<double> values;
+  values.reserve(kDraws);
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double value = fleet::sample(normal, rng);
+    ASSERT_GE(value, 0.5);
+    ASSERT_LE(value, 8.0);
+    values.push_back(value);
+    sum += value;
+  }
+  // The clamp is > 3 sigma out on both sides, so the moments survive.
+  EXPECT_NEAR(sum / kDraws, 3.0, 0.02);
+  std::sort(values.begin(), values.end());
+  EXPECT_NEAR(values[kDraws / 2], 3.0, 0.02);
+  // 90th percentile of N(3, 0.8) = 3 + 1.2816 * 0.8 ~= 4.025.
+  EXPECT_NEAR(values[kDraws * 9 / 10], 4.025, 0.03);
+}
+
+TEST(FleetSampler, WeightedChoiceProportionsMatchTheWeights) {
+  const scenario::Scenario parsed =
+      scenario::parse(scenario_with(FleetLines{}), "test.scn");
+  const scenario::WeightedChoice& tiers = parsed.fleet->tiers;  // 2:1
+  util::Rng rng(7);
+  constexpr int kDraws = 90'000;
+  int core2duo = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (fleet::pick(tiers, rng) == "core2duo") ++core2duo;
+  }
+  EXPECT_NEAR(static_cast<double>(core2duo) / kDraws, 2.0 / 3.0, 0.01);
+}
+
+// --- round trip --------------------------------------------------------------
+
+TEST(FleetParse, FleetSmallCanonicalTextRoundTrips) {
+  const scenario::Scenario builtin = scenario::load("fleet-small");
+  ASSERT_TRUE(builtin.fleet.has_value());
+  const std::string canonical = builtin.canonical_text();
+  EXPECT_NE(canonical.find("[fleet]"), std::string::npos);
+  const scenario::Scenario reparsed =
+      scenario::parse(canonical, "canonical");
+  EXPECT_EQ(reparsed.canonical_text(), canonical);
+  EXPECT_EQ(reparsed.content_hash(), builtin.content_hash());
+}
+
+// --- run_fleet: jobs-independence and the selfcheck --------------------------
+
+scenario::Scenario small_scenario() {
+  return scenario::parse(scenario_with(FleetLines{}), "test.scn");
+}
+
+TEST(FleetRun, SummaryAndSnapshotAreJobsIndependent) {
+  const scenario::Scenario scenario = scenario::load("fleet-small");
+  fleet::FleetConfig config;
+  config.hosts = 1100;  // 3 shards, last one partial
+  config.jobs = 1;
+  const fleet::FleetResult serial = fleet::run_fleet(scenario, config);
+  config.jobs = 4;
+  const fleet::FleetResult parallel = fleet::run_fleet(scenario, config);
+
+  EXPECT_EQ(fleet::format_summary(scenario, serial),
+            fleet::format_summary(scenario, parallel));
+  EXPECT_EQ(serial.registry->snapshot_json(),
+            parallel.registry->snapshot_json());
+  ASSERT_EQ(serial.raw.size(), parallel.raw.size());
+  for (std::size_t i = 0; i < serial.raw.size(); ++i) {
+    EXPECT_EQ(serial.raw[i].cpu_ms, parallel.raw[i].cpu_ms) << i;
+    EXPECT_EQ(serial.raw[i].turnaround_ms, parallel.raw[i].turnaround_ms)
+        << i;
+    EXPECT_EQ(serial.raw[i].slowdown_permille,
+              parallel.raw[i].slowdown_permille)
+        << i;
+  }
+}
+
+TEST(FleetRun, HostMetricsArePhysicallySane) {
+  const scenario::Scenario scenario = small_scenario();
+  const scenario::FleetSpec& spec = *scenario.fleet;
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    const fleet::HostConfig host = fleet::sample_host(spec, spec.seed, i);
+    const fleet::HostMetrics metrics = fleet::simulate_host(scenario, host);
+    // A virtualized guest can never beat the analytic native time, and
+    // partial availability can only stretch the turnaround.
+    EXPECT_GE(metrics.slowdown_permille, 1000) << i;
+    EXPECT_GE(metrics.turnaround_ms, metrics.cpu_ms) << i;
+    EXPECT_GT(metrics.cpu_ms, 0) << i;
+  }
+}
+
+TEST(FleetRun, ArenaBackedRunMatchesStandaloneSimulation) {
+  // Hosts simulated back-to-back through the arena (recycled event-queue
+  // storage) must produce exactly what standalone Testbeds produce.
+  const scenario::Scenario scenario = scenario::load("fleet-small");
+  fleet::FleetConfig config;
+  config.hosts = 64;
+  const fleet::FleetResult result = fleet::run_fleet(scenario, config);
+  const scenario::FleetSpec& spec = *scenario.fleet;
+  for (std::uint64_t i = 0; i < config.hosts; ++i) {
+    const fleet::HostConfig host = fleet::sample_host(spec, result.seed, i);
+    const fleet::HostMetrics alone = fleet::simulate_host(scenario, host);
+    EXPECT_EQ(result.raw[i].cpu_ms, alone.cpu_ms) << i;
+    EXPECT_EQ(result.raw[i].turnaround_ms, alone.turnaround_ms) << i;
+    EXPECT_EQ(result.raw[i].slowdown_permille, alone.slowdown_permille)
+        << i;
+  }
+}
+
+TEST(FleetSelfcheck, CleanRunPasses) {
+  const scenario::Scenario scenario = scenario::load("fleet-small");
+  fleet::FleetConfig config;
+  config.hosts = 1100;
+  config.jobs = 2;
+  const fleet::FleetResult result = fleet::run_fleet(scenario, config);
+  const std::vector<std::string> violations = fleet::selfcheck(result);
+  for (const std::string& violation : violations) {
+    ADD_FAILURE() << violation;
+  }
+}
+
+TEST(FleetSelfcheck, CatchesThePercentileOffByOneMutation) {
+  const scenario::Scenario scenario = scenario::load("fleet-small");
+  fleet::FleetConfig config;
+  config.hosts = 1100;
+  const fleet::FleetResult result = fleet::run_fleet(scenario, config);
+  EXPECT_FALSE(
+      fleet::selfcheck(result, fleet::FleetBug::kPercentileOffByOne)
+          .empty());
+}
+
+TEST(FleetSelfcheck, CatchesTheDroppedShardMutation) {
+  const scenario::Scenario scenario = scenario::load("fleet-small");
+  fleet::FleetConfig config;
+  config.hosts = 1100;
+  config.inject_bug = fleet::FleetBug::kDroppedShard;
+  const fleet::FleetResult result = fleet::run_fleet(scenario, config);
+  EXPECT_FALSE(
+      fleet::selfcheck(result, fleet::FleetBug::kDroppedShard).empty());
+}
+
+TEST(FleetSelfcheck, ParseFleetBugRejectsUnknownNames) {
+  EXPECT_EQ(fleet::parse_fleet_bug("percentile_off_by_one"),
+            fleet::FleetBug::kPercentileOffByOne);
+  EXPECT_EQ(fleet::parse_fleet_bug("dropped_shard"),
+            fleet::FleetBug::kDroppedShard);
+  EXPECT_THROW((void)fleet::parse_fleet_bug("offbyone"), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace vgrid

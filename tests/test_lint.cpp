@@ -331,6 +331,37 @@ TEST(LintLayering, ScenarioMustNotReachUpOrBeReachedFromBelow) {
             (std::vector<std::string>{"layer-include"}));
 }
 
+TEST(LintLayering, FleetSitsBesideCoreAtTheTop) {
+  // fleet builds per-host testbeds from sampled scenario data: the whole
+  // simulation vocabulary below it is fair game.
+  EXPECT_TRUE(lint::lint_file("src/fleet/fleet.cpp",
+                              "#include \"core/testbed.hpp\"\n"
+                              "#include \"core/task_pool.hpp\"\n"
+                              "#include \"scenario/scenario.hpp\"\n"
+                              "#include \"obs/registry.hpp\"\n"
+                              "#include \"hw/cpu_chip.hpp\"\n"
+                              "#include \"os/program.hpp\"\n"
+                              "#include \"vmm/virtual_machine.hpp\"\n"
+                              "#include \"util/rng.hpp\"\n")
+                  .empty());
+}
+
+TEST(LintLayering, FleetMustNotRenderOrBeReachedFromBelow) {
+  // fleet aggregates into obs instruments — it must not grow its own
+  // rendering or protocol dependencies...
+  EXPECT_EQ(rules_of(lint::lint_file("src/fleet/bad.cpp",
+                                     "#include \"report/table.hpp\"\n"
+                                     "#include \"grid/deployment.hpp\"\n")),
+            (std::vector<std::string>{"layer-include", "layer-include"}));
+  // ...and the layers it samples from must not know about it.
+  EXPECT_EQ(rules_of(lint::lint_file("src/scenario/bad.cpp",
+                                     "#include \"fleet/fleet.hpp\"\n")),
+            (std::vector<std::string>{"layer-include"}));
+  EXPECT_EQ(rules_of(lint::lint_file("src/core/bad.cpp",
+                                     "#include \"fleet/sampler.hpp\"\n")),
+            (std::vector<std::string>{"layer-include"}));
+}
+
 // --- observability -----------------------------------------------------------
 
 TEST(LintObservability, FlagsDirectStdioInLibraryCode) {

@@ -292,6 +292,54 @@ TEST(BenchDiff, RegressionBeyondBandFailsGate) {
   EXPECT_TRUE(flagged);
 }
 
+// The fleet macro-bench rides the same gate: a population-throughput
+// regression (hosts/s halved) must fail, and dropping the benchmark from
+// the candidate document entirely must fail too — a silent removal is
+// how a perf regression would classically dodge the gate.
+std::string fleet_bench_doc(std::int64_t fleet_ns, bool with_fleet) {
+  std::ostringstream out;
+  out << "{\"vgrid_bench_version\":1,\n\"benchmarks\":[\n"
+      << "{\"median_ns\":1000000,\"min_ns\":900000,"
+      << "\"name\":\"core.fig5.end_to_end\",\"ops\":16,"
+      << "\"ops_per_sec\":16000,\"reps\":3}";
+  if (with_fleet) {
+    out << ",\n{\"median_ns\":" << fleet_ns
+        << ",\"min_ns\":" << fleet_ns - 1000
+        << ",\"name\":\"fleet.hosts_per_sec\",\"ops\":1000,"
+        << "\"ops_per_sec\":" << 1000.0 / (fleet_ns / 1e9)
+        << ",\"reps\":3}";
+  }
+  out << "\n],\n\"host\":{\"compiler\":\"gcc 12\",\"cores\":4},\n"
+      << "\"quick\":true,\n"
+      << "\"scenario\":{\"hash\":\"abc\",\"name\":\"fleet-small\"}}\n";
+  return out.str();
+}
+
+TEST(BenchDiff, FleetThroughputRegressionFailsGate) {
+  const auto baseline = tools::parse_bench(fleet_bench_doc(25'000'000, true));
+  const auto candidate =
+      tools::parse_bench(fleet_bench_doc(50'000'000, true));
+  tools::BenchDiffOptions options;
+  options.rel_tol = 0.35;
+  const auto report = tools::diff_bench(baseline, candidate, options);
+  EXPECT_TRUE(report.gate_failed);
+  bool flagged = false;
+  for (const auto& finding : report.findings) {
+    if (finding.regression && finding.name == "fleet.hosts_per_sec") {
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(BenchDiff, DroppedFleetBenchmarkFailsGate) {
+  const auto baseline = tools::parse_bench(fleet_bench_doc(25'000'000, true));
+  const auto candidate =
+      tools::parse_bench(fleet_bench_doc(25'000'000, false));
+  const auto report = tools::diff_bench(baseline, candidate, {});
+  EXPECT_TRUE(report.gate_failed);
+}
+
 TEST(BenchDiff, MissingBenchmarkIsARegressionNewOneIsANote) {
   const auto baseline = tools::parse_bench(bench_doc(1'000'000, true));
   const auto candidate = tools::parse_bench(bench_doc(1'000'000, false));

@@ -1,0 +1,28 @@
+# ctest gate `fleet.golden.summary`: the canonical fleet-small summary
+# (1000 hosts, seed from the builtin) must reproduce the committed golden
+# file byte for byte — the fleet's whole output contract in one diff.
+# Regenerate after an intentional change with:
+#   ./build/tools/vgrid fleet --scenario fleet-small \
+#       --out tests/golden/fleet_small_summary.txt
+if(NOT DEFINED VGRID OR NOT DEFINED WORK_DIR OR NOT DEFINED GOLDEN)
+  message(FATAL_ERROR "run_golden.cmake needs -DVGRID, -DWORK_DIR, -DGOLDEN")
+endif()
+
+set(candidate "${WORK_DIR}/fleet_small_summary.tmp.txt")
+execute_process(
+  COMMAND "${VGRID}" fleet --scenario fleet-small --jobs 4
+          --out "${candidate}"
+  OUTPUT_QUIET
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "vgrid fleet failed (${rc})")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${candidate}" "${GOLDEN}"
+  RESULT_VARIABLE rc_cmp)
+if(NOT rc_cmp EQUAL 0)
+  message(FATAL_ERROR
+          "fleet summary diverged from the committed golden file "
+          "${GOLDEN}; if the change is intentional, regenerate it "
+          "(see the comment at the top of this script)")
+endif()

@@ -288,6 +288,12 @@ const std::map<std::string, std::set<std::string>>& layer_policy() {
       {"core",
        {"core", "grid", "guest", "hw", "obs", "os", "report", "scenario",
         "sim", "stats", "timesvc", "util", "vmm", "workloads"}},
+      // fleet aggregates per-host testbeds, so it sits beside core at the
+      // top of the simulation stack — but it renders nothing (no report)
+      // and owns no protocol (no grid/mc).
+      {"fleet",
+       {"fleet", "core", "hw", "obs", "os", "scenario", "sim", "util",
+        "vmm"}},
   };
   return kPolicy;
 }

@@ -29,13 +29,20 @@
 //   vgrid bench     [--quick] [--jobs N] [--scenario S] [--out FILE]
 //                   run the macro-benchmark suite and write the canonical
 //                   BENCH_vgrid.json (compare runs with tools/bench_diff)
-//   vgrid determinism-audit [fig1..fig8] [--scenario S] [--reps N]
+//   vgrid determinism-audit [fig1..fig8|fleet] [--scenario S] [--reps N]
 //                   [--seed S] [--jobs N] [--profile]
 //                   run a figure twice with the same seed — serially, then
 //                   on N workers — and byte-diff the two result+trace
 //                   streams (exit 1 on divergence); --profile keeps the
 //                   wall-clock profiler installed during both runs to prove
 //                   profiling never perturbs the byte stream
+//   vgrid fleet     [--hosts N] [--jobs J] [--scenario S] [--seed S]
+//                   [--out FILE] [--metrics-out FILE] [--selfcheck]
+//                   [--inject-bug B]
+//                   sample N host configurations from the scenario's
+//                   [fleet] distributions, simulate one workunit per host
+//                   and print the canonical percentile summary — byte-
+//                   identical for any --jobs value (src/fleet)
 //   vgrid mc        [--clients N] [--workunits W] [--replication R]
 //                   [--quorum Q] [--deaths K] [--max-depth D]
 //                   [--max-states N] [--inject-fault F] [--no-dpor]
@@ -61,6 +68,7 @@
 #include "report/profile_export.hpp"
 #include "core/testbed.hpp"
 #include "core/experiments.hpp"
+#include "fleet/fleet.hpp"
 #include "core/guest_perf.hpp"
 #include "core/host_impact.hpp"
 #include "grid/deployment.hpp"
@@ -124,6 +132,13 @@ int usage() {
       "(--folded)\n"
       "  bench      [--quick] [--jobs N] [--scenario S] [--out FILE]\n"
       "             macro-benchmark suite -> canonical BENCH_vgrid.json\n"
+      "  fleet      [--hosts N] [--jobs J] [--scenario S] [--seed S]\n"
+      "             [--out FILE] [--metrics-out FILE] [--selfcheck]\n"
+      "             [--inject-bug percentile_off_by_one|dropped_shard]\n"
+      "             population-scale run: sample N hosts from the\n"
+      "             scenario's [fleet] distributions (default scenario\n"
+      "             fleet-small), simulate one workunit each, print the\n"
+      "             canonical percentile summary (jobs-independent)\n"
       "  mc         [--clients N] [--workunits W] [--replication R]\n"
       "             [--quorum Q] [--deaths K] [--max-depth D]\n"
       "             [--max-states N] [--inject-fault "
@@ -131,12 +146,12 @@ int usage() {
       "             [--no-dpor] [--no-state-cache] [--trace-out FILE]\n"
       "             [--min-interleavings N] [--replay FILE]\n"
       "             model-check the grid protocol's interleavings\n"
-      "  determinism-audit [fig1..fig8] [--scenario S] [--reps N] [--seed "
-      "S]\n"
-      "             [--jobs N] [--metrics-only] [--profile]  same-seed "
-      "serial\n"
-      "             vs N-worker run, byte-diff results, traces, and metric\n"
-      "             snapshots (--profile: with the profiler installed)\n");
+      "  determinism-audit [fig1..fig8|fleet] [--scenario S] [--reps N]\n"
+      "             [--seed S] [--jobs N] [--metrics-only] [--profile]\n"
+      "             same-seed serial vs N-worker run, byte-diff results,\n"
+      "             traces, and metric snapshots (--profile: with the\n"
+      "             profiler installed); the fleet target byte-diffs the\n"
+      "             fleet summary + metrics snapshot across --jobs {1,N}\n");
   return 2;
 }
 
@@ -646,11 +661,124 @@ int cmd_bench(const Args& args) {
   return 0;
 }
 
+// --- fleet -------------------------------------------------------------------
+// Population-scale front end of src/fleet: sample N host configurations
+// from the scenario's [fleet] distributions, simulate one workunit on
+// each, and print the canonical percentile summary. The summary and the
+// metrics snapshot are byte-identical for any --jobs value; --selfcheck
+// cross-checks the merged aggregates against the raw per-host ground
+// truth (the hook the fleet.finds.* mutation tests drive via
+// --inject-bug).
+
+fleet::FleetConfig fleet_config_from(const Args& args) {
+  fleet::FleetConfig config;
+  config.hosts = static_cast<std::uint64_t>(args.get_long("hosts", 0));
+  config.jobs = static_cast<int>(args.get_long("jobs", 1));
+  if (args.has("seed")) {
+    config.seed = static_cast<std::uint64_t>(args.get_long("seed", 0));
+  }
+  if (const auto bug = args.get("inject-bug")) {
+    config.inject_bug = fleet::parse_fleet_bug(*bug);
+  }
+  return config;
+}
+
+int cmd_fleet(const Args& args) {
+  const scenario::Scenario scenario =
+      scenario::load(args.get_or("scenario", "fleet-small"));
+  const fleet::FleetConfig config = fleet_config_from(args);
+
+  const fleet::FleetResult result = fleet::run_fleet(scenario, config);
+  record_scenario_info(*result.registry, scenario);
+  const std::string summary =
+      fleet::format_summary(scenario, result, config.inject_bug);
+
+  const std::string out = args.get_or("out", "");
+  if (out.empty()) {
+    std::fputs(summary.c_str(), stdout);
+  } else {
+    std::ofstream file(out, std::ios::trunc);
+    file << summary;
+    if (!file) {
+      std::fprintf(stderr, "vgrid fleet: cannot write %s\n", out.c_str());
+      return 2;
+    }
+    std::printf("fleet summary written to %s\n", out.c_str());
+  }
+  const std::string metrics_out = args.get_or("metrics-out", "");
+  if (!metrics_out.empty()) {
+    obs::write_snapshot(*result.registry, metrics_out);
+    std::printf("metrics written to %s (JSON) and %s.prom (Prometheus)\n",
+                metrics_out.c_str(), metrics_out.c_str());
+  }
+
+  if (args.has("selfcheck")) {
+    const std::vector<std::string> violations =
+        fleet::selfcheck(result, config.inject_bug);
+    for (const std::string& violation : violations) {
+      std::fprintf(stderr, "fleet selfcheck FAIL: %s\n", violation.c_str());
+    }
+    if (!violations.empty()) return 1;
+    std::printf("fleet selfcheck PASS: aggregates match %llu raw host "
+                "outcomes\n",
+                static_cast<unsigned long long>(result.hosts));
+  }
+  return 0;
+}
+
 // --- determinism-audit -------------------------------------------------------
 // ARCHITECTURE.md §5 promises "runs are exactly reproducible given a seed";
 // this subcommand enforces it end to end: run one figure experiment twice
 // with identical RunnerConfig, capture every testbed's event trace plus the
 // figure's numeric rows at full precision, and byte-diff the two streams.
+// The `fleet` target applies the same contract to the population layer:
+// the fleet summary + metrics snapshot must byte-match across --jobs {1,N}.
+
+/// Byte-diff two captured streams; on divergence report the first
+/// differing byte/line to stderr. Returns true when identical.
+bool streams_identical(const std::string& id, const std::string& first,
+                       const std::string& second, int jobs) {
+  if (first == second) return true;
+  const std::size_t limit = std::min(first.size(), second.size());
+  std::size_t offset = 0;
+  while (offset < limit && first[offset] == second[offset]) ++offset;
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < offset; ++i) {
+    if (first[i] == '\n') ++line;
+  }
+  std::fprintf(stderr,
+               "determinism-audit FAIL: %s diverges at byte %zu (line %zu; "
+               "sizes %zu vs %zu; serial vs %d jobs)\n",
+               id.c_str(), offset, line, first.size(), second.size(), jobs);
+  return false;
+}
+
+int audit_fleet(const Args& args) {
+  const scenario::Scenario scenario =
+      scenario::load(args.get_or("scenario", "fleet-small"));
+  fleet::FleetConfig config = fleet_config_from(args);
+  const int jobs = static_cast<int>(args.get_long("jobs", 1));
+
+  const auto run_once = [&](int jobs_value) {
+    fleet::FleetConfig run = config;
+    run.jobs = jobs_value;
+    const fleet::FleetResult result = fleet::run_fleet(scenario, run);
+    record_scenario_info(*result.registry, scenario);
+    std::string stream = fleet::format_summary(scenario, result);
+    stream += "=== metrics ===\n";
+    stream += result.registry->snapshot_json();
+    return stream;
+  };
+  const std::string first = run_once(1);
+  const std::string second = run_once(jobs);
+  if (!streams_identical("fleet", first, second, jobs)) return 1;
+  std::printf(
+      "determinism-audit PASS: fleet [scenario %s %s] summary + metrics "
+      "byte-identical (%zu bytes, serial vs %d jobs)\n",
+      scenario.name.c_str(), scenario.hash_hex().c_str(), first.size(),
+      jobs);
+  return 0;
+}
 
 std::string run_captured(ScenarioFigureFn fn,
                          const scenario::Scenario& scenario,
@@ -693,9 +821,11 @@ std::string run_captured(ScenarioFigureFn fn,
 int cmd_determinism_audit(const Args& args) {
   const std::string id =
       args.positional().empty() ? "fig5" : args.positional()[0];
+  if (id == "fleet") return audit_fleet(args);
   ScenarioFigureFn fn = figure_fn(id);
   if (fn == nullptr) {
-    std::fprintf(stderr, "no such figure '%s'; use fig1..fig8\n",
+    std::fprintf(stderr, "no such audit target '%s'; use fig1..fig8 or "
+                 "fleet\n",
                  id.c_str());
     return 2;
   }
@@ -726,30 +856,17 @@ int cmd_determinism_audit(const Args& args) {
   runner.jobs = jobs;
   const std::string second =
       run_captured(fn, scenario, runner, metrics_only);
-  if (first == second) {
-    std::printf(
-        "determinism-audit PASS: %s [scenario %s %s] %sbyte-identical "
-        "across two seed=%llu runs (%zu bytes, %d repetitions, serial vs "
-        "%d jobs%s)\n",
-        id.c_str(), scenario.name.c_str(), scenario.hash_hex().c_str(),
-        metrics_only ? "metric snapshots " : "",
-        static_cast<unsigned long long>(runner.seed), first.size(),
-        runner.repetitions, jobs,
-        profile ? ", profiling on" : "");
-    return 0;
-  }
-  const std::size_t limit = std::min(first.size(), second.size());
-  std::size_t offset = 0;
-  while (offset < limit && first[offset] == second[offset]) ++offset;
-  std::size_t line = 1;
-  for (std::size_t i = 0; i < offset; ++i) {
-    if (first[i] == '\n') ++line;
-  }
-  std::fprintf(stderr,
-               "determinism-audit FAIL: %s diverges at byte %zu (line %zu; "
-               "sizes %zu vs %zu; serial vs %d jobs)\n",
-               id.c_str(), offset, line, first.size(), second.size(), jobs);
-  return 1;
+  if (!streams_identical(id, first, second, jobs)) return 1;
+  std::printf(
+      "determinism-audit PASS: %s [scenario %s %s] %sbyte-identical "
+      "across two seed=%llu runs (%zu bytes, %d repetitions, serial vs "
+      "%d jobs%s)\n",
+      id.c_str(), scenario.name.c_str(), scenario.hash_hex().c_str(),
+      metrics_only ? "metric snapshots " : "",
+      static_cast<unsigned long long>(runner.seed), first.size(),
+      runner.repetitions, jobs,
+      profile ? ", profiling on" : "");
+  return 0;
 }
 
 // --- mc ----------------------------------------------------------------------
@@ -912,6 +1029,7 @@ int dispatch(int argc, char** argv) {
   if (command == "scenarios") return cmd_scenarios(args);
   if (command == "profile") return cmd_profile(args);
   if (command == "bench") return cmd_bench(args);
+  if (command == "fleet") return cmd_fleet(args);
   if (command == "mc") return cmd_mc(args);
   if (command == "determinism-audit") return cmd_determinism_audit(args);
   return usage();
