@@ -1,0 +1,63 @@
+// Journal hot paths. obs.event_log.append is the cost every EVT_* site
+// pays when a log is installed — open/append x8/close per lifecycle, the
+// exact shape the fleet writes per host. obs.event_log.ring_churn runs
+// the same lifecycles through a small flight-recorder ring so every
+// close also pays retention bookkeeping (tail re-pinning + eviction) —
+// the 100k-host mode whose overhead budget the fleet.hosts_per_sec gate
+// enforces.
+
+#include <cstdint>
+
+#include "obs/event_log.hpp"
+#include "perf_harness.hpp"
+
+namespace vgrid::perf {
+namespace {
+
+/// One synthetic host lifecycle, 10 events; `spread` decorrelates the
+/// totals so ring/tail ordering does real work.
+void write_lifecycle(obs::EventLog& log, std::uint64_t id) {
+  const std::int64_t wait = 10 + static_cast<std::int64_t>(id % 97);
+  const std::int64_t cpu = 500 + static_cast<std::int64_t>(id % 1009);
+  const bool died = id % 5 == 0;
+  log.open_trace(id, 0, id % 2 == 0 ? "vmplayer" : "qemu");
+  log.append_event(id, obs::EventKind::kCreated, 0, 0, 0);
+  log.append_event(id, obs::EventKind::kDispatched, wait, wait, 0);
+  log.append_event(id, obs::EventKind::kComputing, wait, 0, 0);
+  if (died) {
+    log.append_event(id, obs::EventKind::kExpired, wait + 7, 7, 0);
+    log.append_event(id, obs::EventKind::kReissued, wait + 7, 0, 0);
+    log.append_event(id, obs::EventKind::kComputing, wait + 7, 0, 0);
+  }
+  log.append_event(id, obs::EventKind::kSubmitted, wait + cpu, cpu, 0);
+  log.append_event(id, obs::EventKind::kValidated, wait + cpu, 0, 0);
+  log.append_event(id, obs::EventKind::kCredited, wait + cpu, 0, cpu);
+  log.close_trace(id);
+}
+
+}  // namespace
+
+void register_eventlog_benches(Suite& suite) {
+  suite.add("obs.event_log.append", [](const BenchConfig& config) {
+    const std::uint64_t lifecycles = config.quick ? 20'000 : 80'000;
+    obs::EventLog log;  // journal mode: retention is a plain list append
+    for (std::uint64_t id = 1; id <= lifecycles; ++id) {
+      write_lifecycle(log, id);
+    }
+    // ops = events appended (10 per lifecycle, 13 for the 1-in-5 deaths).
+    return static_cast<double>(lifecycles * 10 + (lifecycles / 5) * 3);
+  });
+  suite.add("obs.event_log.ring_churn", [](const BenchConfig& config) {
+    const std::uint64_t lifecycles = config.quick ? 20'000 : 80'000;
+    obs::EventLog::Config ring;
+    ring.ring_capacity = 4096;  // the fleet's default flight recorder
+    obs::EventLog log(ring);
+    for (std::uint64_t id = 1; id <= lifecycles; ++id) {
+      write_lifecycle(log, id);
+    }
+    // ops = closed lifecycles; most closes evict one normal trace.
+    return static_cast<double>(lifecycles);
+  });
+}
+
+}  // namespace vgrid::perf

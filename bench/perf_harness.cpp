@@ -87,6 +87,7 @@ Suite default_suite() {
   register_message_benches(suite);
   register_fig5_bench(suite);
   register_fleet_bench(suite);
+  register_eventlog_benches(suite);
   return suite;
 }
 
@@ -111,11 +112,16 @@ std::string bench_json(const std::vector<BenchResult>& results,
         format_number(result.ops_per_sec).c_str(), result.reps);
   }
   out += "\n],\n";
+  // quick rides inside the host fingerprint: a quick run times smaller
+  // workloads, so it is as much a property of "what machine/mode produced
+  // these numbers" as compiler and cores are. `"quick":false` is written
+  // out explicitly — an absent flag and a full run must stay
+  // distinguishable in committed BENCH_vgrid.json history.
   const unsigned cores = std::thread::hardware_concurrency();
-  out += util::format("\"host\":{\"compiler\":\"%s\",\"cores\":%u},\n",
-                      util::json_escape(compiler_fingerprint()).c_str(),
-                      cores == 0 ? 1 : cores);
-  out += util::format("\"quick\":%s,\n", config.quick ? "true" : "false");
+  out += util::format(
+      "\"host\":{\"compiler\":\"%s\",\"cores\":%u,\"quick\":%s},\n",
+      util::json_escape(compiler_fingerprint()).c_str(),
+      cores == 0 ? 1 : cores, config.quick ? "true" : "false");
   out += util::format("\"scenario\":{\"hash\":\"%s\",\"name\":\"%s\"}}\n",
                       config.scenario.hash_hex().c_str(),
                       util::json_escape(config.scenario.name).c_str());

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/testbed.hpp"
+#include "obs/event_log.hpp"
 #include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "util/clock.hpp"
@@ -64,6 +65,9 @@ void TaskPool::run(std::size_t count,
   std::string* parent_sink = trace_capture();
   obs::Registry* parent_registry = obs::current();
   obs::Profiler* parent_profiler = obs::current_profiler();
+  // vgrid-lint: allow(obs-eventlog-gateway): TaskPool is the sanctioned
+  // merge seam — it routes per-task sub-logs and folds them in task order.
+  obs::EventLog* parent_event_log = obs::current_event_log();
   const bool top_level = !t_inside_worker;
 
   // Per-task slots: capture buffers, metric sub-registries, profilers,
@@ -82,6 +86,14 @@ void TaskPool::run(std::size_t count,
     profilers.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
       profilers.push_back(std::make_unique<obs::Profiler>());
+    }
+  }
+  std::vector<std::unique_ptr<obs::EventLog>> event_logs;
+  if (parent_event_log != nullptr) {
+    event_logs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      event_logs.push_back(
+          std::make_unique<obs::EventLog>(parent_event_log->config()));
     }
   }
   std::vector<report::WorkerSpan> spans(count);
@@ -105,6 +117,10 @@ void TaskPool::run(std::size_t count,
       // so each task records into its own tree, merged in task order.
       obs::ScopedProfiler prof_guard(
           parent_profiler != nullptr ? profilers[index].get() : nullptr);
+      // And for lifecycle journals: per-task sub-logs keep event order a
+      // pure function of the task index.
+      obs::ScopedEventLog evt_guard(
+          parent_event_log != nullptr ? event_logs[index].get() : nullptr);
       task(index);
     } catch (...) {
       errors[index] = std::current_exception();
@@ -171,6 +187,11 @@ void TaskPool::run(std::size_t count,
   if (parent_profiler != nullptr) {
     for (const auto& profiler : profilers) {
       parent_profiler->merge_from(*profiler);
+    }
+  }
+  if (parent_event_log != nullptr) {
+    for (const auto& event_log : event_logs) {
+      parent_event_log->merge_from(*event_log);
     }
   }
   if (top_level && t_span_sink != nullptr) {

@@ -7,6 +7,7 @@
 #include "core/testbed.hpp"
 #include "hw/cpu_chip.hpp"
 #include "hw/mix.hpp"
+#include "obs/event_log.hpp"
 #include "obs/profiler.hpp"
 #include "os/program.hpp"
 #include "util/error.hpp"
@@ -20,6 +21,7 @@ namespace {
 constexpr const char* kCpuMs = "fleet.workunit.cpu_ms";
 constexpr const char* kTurnaroundMs = "fleet.workunit.turnaround_ms";
 constexpr const char* kSlowdownPermille = "fleet.workunit.slowdown_permille";
+constexpr const char* kWastedMs = "fleet.workunit.wasted_ms";
 
 /// Instruments one shard records into, resolved once per shard from its
 /// own registry.
@@ -27,10 +29,12 @@ struct ShardInstruments {
   explicit ShardInstruments(obs::Registry& registry) {
     simulated = &registry.counter("fleet.hosts.simulated");
     shards_completed = &registry.counter("fleet.shards.completed");
+    deaths = &registry.counter("fleet.hosts.deaths");
     cpu_ms = &registry.histogram(kCpuMs, duration_ms_buckets());
     turnaround_ms = &registry.histogram(kTurnaroundMs, duration_ms_buckets());
     slowdown_permille = &registry.histogram(kSlowdownPermille,
                                             slowdown_permille_buckets());
+    wasted_ms = &registry.histogram(kWastedMs, duration_ms_buckets());
   }
 
   obs::Counter& by(obs::Registry& registry, const char* name,
@@ -40,9 +44,11 @@ struct ShardInstruments {
 
   obs::Counter* simulated;
   obs::Counter* shards_completed;
+  obs::Counter* deaths;
   obs::Histogram* cpu_ms;
   obs::Histogram* turnaround_ms;
   obs::Histogram* slowdown_permille;
+  obs::Histogram* wasted_ms;
 };
 
 HostMetrics simulate_host_impl(const scenario::Scenario& scenario,
@@ -82,6 +88,42 @@ HostMetrics simulate_host_impl(const scenario::Scenario& scenario,
       std::llround(cpu_seconds / host.availability * 1e3);
   metrics.slowdown_permille = std::llround(slowdown * 1e3);
   return metrics;
+}
+
+/// Journal one host's whole lifecycle as a causal trace (trace id =
+/// host_index + 1, label = VMM profile) on a logical ms-resolution
+/// clock. The component values are chosen so the trace total equals
+/// turnaround_ms EXACTLY: queue-wait (availability stretch) + compute
+/// (cpu_ms) + retry (wasted_ms) — which is what lets `vgrid tails`
+/// reconcile the journal against fleet.workunit.turnaround_ms.
+void record_host_trace([[maybe_unused]] std::uint64_t host_index,
+                       [[maybe_unused]] const HostConfig& host,
+                       [[maybe_unused]] const HostMetrics& metrics,
+                       [[maybe_unused]] const DeathDraw& draw) {
+#if defined(VGRID_EVENTLOG_ENABLED) && VGRID_EVENTLOG_ENABLED
+  constexpr std::int64_t kMsNs = 1'000'000;
+  const std::uint64_t trace_id = host_index + 1;
+  const std::int64_t wait_ms =
+      metrics.turnaround_ms - metrics.cpu_ms - metrics.wasted_ms;
+  EVT_TRACE_OPEN(trace_id, 0, host.profile);
+  EVT_APPEND(trace_id, obs::EventKind::kCreated, 0, 0,
+             std::llround(host.workunit_gigaops * 1e3));
+  std::int64_t t_ns = wait_ms * kMsNs;
+  EVT_APPEND(trace_id, obs::EventKind::kDispatched, t_ns, wait_ms, 0);
+  EVT_APPEND(trace_id, obs::EventKind::kComputing, t_ns, 0, 0);
+  if (draw.died) {
+    t_ns += metrics.wasted_ms * kMsNs;
+    EVT_APPEND(trace_id, obs::EventKind::kExpired, t_ns, metrics.wasted_ms,
+               std::llround(draw.lost_fraction * host.workunit_gigaops * 1e3));
+    EVT_APPEND(trace_id, obs::EventKind::kReissued, t_ns, 0, 0);
+    EVT_APPEND(trace_id, obs::EventKind::kComputing, t_ns, 0, 0);
+  }
+  t_ns += metrics.cpu_ms * kMsNs;
+  EVT_APPEND(trace_id, obs::EventKind::kSubmitted, t_ns, metrics.cpu_ms, 0);
+  EVT_APPEND(trace_id, obs::EventKind::kValidated, t_ns, 0, 0);
+  EVT_APPEND(trace_id, obs::EventKind::kCredited, t_ns, 0, metrics.cpu_ms);
+  EVT_TRACE_CLOSE(trace_id);
+#endif
 }
 
 /// The deliberately broken percentile walk behind --inject-bug
@@ -140,9 +182,13 @@ void append_stats(std::string& out, const char* name,
 FleetBug parse_fleet_bug(const std::string& text) {
   if (text == "percentile_off_by_one") return FleetBug::kPercentileOffByOne;
   if (text == "dropped_shard") return FleetBug::kDroppedShard;
+  if (text == "dropped_eventlog_merge") {
+    return FleetBug::kDroppedEventlogMerge;
+  }
   throw util::ConfigError(
       "unknown fleet bug '" + text +
-      "'; use percentile_off_by_one or dropped_shard");
+      "'; use percentile_off_by_one, dropped_shard, or "
+      "dropped_eventlog_merge");
 }
 
 std::vector<std::int64_t> duration_ms_buckets() {
@@ -159,9 +205,11 @@ void register_fleet_instruments(obs::Registry& registry,
                                 const scenario::FleetSpec& spec) {
   registry.counter("fleet.hosts.simulated");
   registry.counter("fleet.shards.completed");
+  registry.counter("fleet.hosts.deaths");
   registry.histogram(kCpuMs, duration_ms_buckets());
   registry.histogram(kTurnaroundMs, duration_ms_buckets());
   registry.histogram(kSlowdownPermille, slowdown_permille_buckets());
+  registry.histogram(kWastedMs, duration_ms_buckets());
   for (const scenario::WeightedChoice::Item& item : spec.tiers.items) {
     registry.counter("fleet.hosts.by_tier", {{"tier", item.name}});
   }
@@ -176,6 +224,20 @@ void register_fleet_instruments(obs::Registry& registry,
 HostMetrics simulate_host(const scenario::Scenario& scenario,
                           const HostConfig& host) {
   return simulate_host_impl(scenario, host, nullptr);
+}
+
+void apply_churn(HostMetrics& metrics, const HostConfig& host,
+                 const DeathDraw& draw) {
+  if (!draw.died) return;
+  metrics.deaths = 1;
+  metrics.wasted_ms = std::llround(
+      draw.lost_fraction * static_cast<double>(metrics.cpu_ms));
+  // Re-stretch over the full (useful + wasted) compute. availability is
+  // in (0, 1], so turnaround_ms >= cpu_ms + wasted_ms holds and the
+  // journal's queue-wait component stays non-negative.
+  metrics.turnaround_ms = std::llround(
+      static_cast<double>(metrics.cpu_ms + metrics.wasted_ms) /
+      host.availability);
 }
 
 FleetResult run_fleet(const scenario::Scenario& scenario,
@@ -196,6 +258,14 @@ FleetResult run_fleet(const scenario::Scenario& scenario,
   result.registry = std::make_unique<obs::Registry>();
   register_fleet_instruments(*result.registry, spec);
   result.raw.resize(result.hosts);
+  if (config.eventlog) {
+    obs::EventLog::Config journal;
+    journal.ring_capacity = config.eventlog_ring;
+    result.event_log = std::make_unique<obs::EventLog>(std::move(journal));
+    if (config.inject_bug == FleetBug::kDroppedEventlogMerge) {
+      result.event_log->inject_dropped_merge_for_test();
+    }
+  }
 
   // One registry per shard, merged in shard order below. Raw outcomes go
   // into result.raw slots indexed by host. Both are shared-nothing, so
@@ -207,6 +277,11 @@ FleetResult run_fleet(const scenario::Scenario& scenario,
   }
 
   core::TaskPool pool(config.jobs);
+  // The parent journal rides the pool run as the ambient event log:
+  // TaskPool gives each shard its own sub-journal and merges them back
+  // in shard order, the same shared-nothing discipline as the
+  // registries.
+  obs::ScopedEventLog journal_scope(result.event_log.get());
   pool.run(
       result.shards,
       [&](std::size_t shard) {
@@ -222,10 +297,13 @@ FleetResult run_fleet(const scenario::Scenario& scenario,
              ++host_index) {
           const HostConfig host =
               sample_host(spec, result.seed, host_index);
-          const HostMetrics metrics =
-              simulate_host_impl(scenario, host, &arena);
+          HostMetrics metrics = simulate_host_impl(scenario, host, &arena);
+          const DeathDraw draw =
+              sample_death(host, result.seed, host_index);
+          apply_churn(metrics, host, draw);
           result.raw[host_index] = metrics;
           instruments.simulated->add();
+          if (metrics.deaths != 0) instruments.deaths->add();
           instruments
               .by(registry, "fleet.hosts.by_tier", "tier", host.tier)
               .add();
@@ -239,6 +317,8 @@ FleetResult run_fleet(const scenario::Scenario& scenario,
           instruments.cpu_ms->observe(metrics.cpu_ms);
           instruments.turnaround_ms->observe(metrics.turnaround_ms);
           instruments.slowdown_permille->observe(metrics.slowdown_permille);
+          instruments.wasted_ms->observe(metrics.wasted_ms);
+          record_host_trace(host_index, host, metrics, draw);
         }
         instruments.shards_completed->add();
       },
@@ -290,7 +370,9 @@ std::string format_summary(const scenario::Scenario& scenario,
                 spec.profiles);
   out += "\nhosts.by_tier";
   append_counts(out, registry, "fleet.hosts.by_tier", "tier", spec.tiers);
-  out += "\n";
+  out += "\nhosts.deaths " +
+         std::to_string(registry.counter("fleet.hosts.deaths").value()) +
+         "\n";
   append_stats(out, "workunit.cpu_ms",
                registry.histogram(kCpuMs, duration_ms_buckets()), bug);
   append_stats(out, "workunit.turnaround_ms",
@@ -299,6 +381,8 @@ std::string format_summary(const scenario::Scenario& scenario,
       out, "workunit.slowdown_permille",
       registry.histogram(kSlowdownPermille, slowdown_permille_buckets()),
       bug);
+  append_stats(out, "workunit.wasted_ms",
+               registry.histogram(kWastedMs, duration_ms_buckets()), bug);
   return out;
 }
 
@@ -316,6 +400,7 @@ std::vector<std::string> selfcheck(const FleetResult& result, FleetBug bug) {
       {kTurnaroundMs, duration_ms_buckets(), &HostMetrics::turnaround_ms},
       {kSlowdownPermille, slowdown_permille_buckets(),
        &HostMetrics::slowdown_permille},
+      {kWastedMs, duration_ms_buckets(), &HostMetrics::wasted_ms},
   };
 
   for (const Metric& metric : metrics) {

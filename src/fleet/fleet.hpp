@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "fleet/sampler.hpp"
+#include "obs/event_log.hpp"
 #include "obs/registry.hpp"
 #include "scenario/scenario.hpp"
 
@@ -47,11 +48,21 @@ enum class FleetBug {
   kPercentileOffByOne,
   /// The last shard's registry is silently skipped during the merge.
   kDroppedShard,
+  /// The first per-shard lifecycle sub-journal merge into the parent
+  /// obs::EventLog is silently skipped (caught by the tails selfcheck:
+  /// the journal's turnaround aggregates stop reconciling with
+  /// fleet.workunit.turnaround_ms).
+  kDroppedEventlogMerge,
 };
 
 /// Strict spelling for --inject-bug (percentile_off_by_one /
-/// dropped_shard); throws util::ConfigError on anything else.
+/// dropped_shard / dropped_eventlog_merge); throws util::ConfigError on
+/// anything else.
 FleetBug parse_fleet_bug(const std::string& text);
+
+/// Flight-recorder ring capacity run_fleet defaults to: enough context
+/// around any anomaly, bounded memory at --hosts 100000.
+inline constexpr std::size_t kDefaultEventlogRing = 4096;
 
 struct FleetConfig {
   /// Hosts to simulate; 0 uses the scenario's [fleet] hosts value.
@@ -61,15 +72,23 @@ struct FleetConfig {
   /// Override of the scenario's [fleet] seed.
   std::optional<std::uint64_t> seed;
   FleetBug inject_bug = FleetBug::kNone;
+  /// Journal every host's lifecycle into FleetResult::event_log
+  /// (anomalous lifecycles — volunteer deaths — always retained in
+  /// full; normal ones ride the flight-recorder ring).
+  bool eventlog = true;
+  /// Ring capacity of that journal; 0 retains every trace.
+  std::size_t eventlog_ring = kDefaultEventlogRing;
 };
 
 /// Raw outcome of one host's workunit, in the integral units the obs
-/// histograms record. Kept per host (24 B each) so selfcheck() and the
+/// histograms record. Kept per host (40 B each) so selfcheck() and the
 /// property tests can cross-check the aggregates against ground truth.
 struct HostMetrics {
   std::int64_t cpu_ms = 0;         // guest CPU time, sim milliseconds
-  std::int64_t turnaround_ms = 0;  // cpu_ms / availability
+  std::int64_t turnaround_ms = 0;  // (cpu_ms + wasted_ms) / availability
   std::int64_t slowdown_permille = 0;  // 1000 * guest / analytic native
+  std::int64_t wasted_ms = 0;  // CPU time discarded by a volunteer death
+  std::int64_t deaths = 0;     // 1 when the volunteer vanished mid-run
 };
 
 struct FleetResult {
@@ -81,6 +100,10 @@ struct FleetResult {
   std::unique_ptr<obs::Registry> registry;
   /// Per-host ground truth, indexed by host.
   std::vector<HostMetrics> raw;
+  /// Lifecycle journal (flight-recorder mode by default); null when
+  /// FleetConfig::eventlog is off. Sub-journals merge in shard order,
+  /// so render_journal() is byte-identical for any --jobs value.
+  std::unique_ptr<obs::EventLog> event_log;
 };
 
 /// Hosts per TaskPool shard. Fixed (never derived from --jobs): shard
@@ -100,9 +123,19 @@ void register_fleet_instruments(obs::Registry& registry,
 
 /// Simulate one workunit on one sampled host: its tier's machine, its
 /// VMM profile and priority, one Einstein-mix compute step of
-/// workunit_gigaops. Exposed for the property tests.
+/// workunit_gigaops. Exposed for the property tests. Churn-free: the
+/// death model is applied afterwards by apply_churn.
 HostMetrics simulate_host(const scenario::Scenario& scenario,
                           const HostConfig& host);
+
+/// Apply a churn draw to a simulated host's metrics: on a death the
+/// wasted attempt (lost_fraction of the compute) is added to the bill
+/// and turnaround is re-stretched over the full cpu + wasted time.
+/// A no-op when the draw is not a death — so
+/// simulate_host + apply_churn(sample_death(...)) reproduces exactly
+/// what run_fleet records for the same host.
+void apply_churn(HostMetrics& metrics, const HostConfig& host,
+                 const DeathDraw& draw);
 
 /// Run the whole fleet. Throws util::ConfigError when the scenario has
 /// no [fleet] section.

@@ -34,6 +34,23 @@ const std::string& pick(const scenario::WeightedChoice& choice,
   return choice.items.back().name;
 }
 
+namespace {
+/// Stream salt separating churn draws from sample_host's population
+/// draws ("death" in ASCII). XORed into the seed, so fork(seed, i)
+/// and fork(seed ^ salt, i) are independent child streams per host.
+constexpr std::uint64_t kDeathStreamSalt = 0x6465617468ULL;
+}  // namespace
+
+DeathDraw sample_death(const HostConfig& host, std::uint64_t seed,
+                       std::uint64_t host_index) {
+  util::Rng rng = util::Rng::fork(seed ^ kDeathStreamSalt, host_index);
+  DeathDraw draw;
+  draw.died = rng.uniform01() < 1.0 - host.availability;
+  const double fraction = rng.uniform01();
+  if (draw.died) draw.lost_fraction = fraction;
+  return draw;
+}
+
 HostConfig sample_host(const scenario::FleetSpec& spec, std::uint64_t seed,
                        std::uint64_t host_index) {
   util::Rng rng = util::Rng::fork(seed, host_index);

@@ -43,4 +43,20 @@ const std::string& pick(const scenario::WeightedChoice& choice,
 HostConfig sample_host(const scenario::FleetSpec& spec, std::uint64_t seed,
                        std::uint64_t host_index);
 
+/// Volunteer-churn outcome for one host: did the volunteer vanish
+/// mid-workunit, and how much of the attempt was lost when it did.
+struct DeathDraw {
+  bool died = false;           // host left once, mid-computation
+  double lost_fraction = 0.0;  // progress discarded at the death, [0, 1)
+};
+
+/// Draw host `host_index`'s churn from a SALTED child stream —
+/// fork(seed ^ salt, host_index) — separate from sample_host's stream,
+/// so adding the death model never perturbed the population a given
+/// (spec, seed) samples. Death probability is 1 - availability: the
+/// same knob that stretches turnaround also governs disappearing
+/// mid-workunit. Always consumes two draws (fixed draw count).
+DeathDraw sample_death(const HostConfig& host, std::uint64_t seed,
+                       std::uint64_t host_index);
+
 }  // namespace vgrid::fleet

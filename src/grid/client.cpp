@@ -2,6 +2,7 @@
 
 #include "grid/tcp_util.hpp"
 #include "mc/transition.hpp"
+#include "obs/event_log.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -62,6 +63,13 @@ bool GridClient::run_once() {
     VGRID_WARN("grid") << "no executor for kind " << work.workunit.kind;
     return false;
   }
+
+  // The client-side lifecycle attribute: computing started in this
+  // volunteer's hands (aux = 1-based rank within this client's run). The
+  // event lands in the caller thread's log and joins the server's trace
+  // for the same workunit id when ProjectServer::stop() merges.
+  EVT_APPEND(work.workunit.id, obs::EventKind::kComputing, 0, 0,
+             stats_.workunits_completed + 1);
 
   const std::int64_t cpu_before = util::process_cpu_time_ns();
   const std::string output = executor->second(work.workunit.payload);

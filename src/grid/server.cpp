@@ -18,6 +18,10 @@ ProjectServer::ProjectServer(std::uint16_t port) {
   if (parent_profiler_ != nullptr) {
     serve_profiler_ = std::make_unique<obs::Profiler>();
   }
+  if (parent_event_log_ != nullptr) {
+    serve_event_log_ =
+        std::make_unique<obs::EventLog>(parent_event_log_->config());
+  }
   thread_ = std::thread([this] { serve(); });
 }
 
@@ -32,6 +36,12 @@ void ProjectServer::stop() {
   if (parent_profiler_ != nullptr && serve_profiler_ != nullptr) {
     parent_profiler_->merge_from(*serve_profiler_);
     serve_profiler_.reset();
+  }
+  if (parent_event_log_ != nullptr && serve_event_log_ != nullptr) {
+    // vgrid-lint: allow(obs-eventlog-gateway): sanctioned merge seam —
+    // the serve thread's sub-log folds into the parent after the join.
+    parent_event_log_->merge_from(*serve_event_log_);
+    serve_event_log_.reset();
   }
 }
 
@@ -91,32 +101,42 @@ void ProjectServer::handle_connection(int fd) {
   PROF_SCOPE("grid.server.handle_connection");
   std::string line;
   if (!tcp::read_line(fd, line)) return;
+  // Service time per message type: request parsed -> reply written.
+  const std::int64_t start_ns = util::monotonic_time_ns();
+  const auto observe_rpc = [start_ns](obs::Histogram* histogram) {
+    if (histogram) histogram->observe(util::monotonic_time_ns() - start_ns);
+  };
   const std::string tag = request_tag(line);
   if (tag == "WORK") {
     if (const auto request = parse_work_request(line)) {
       if (obs_work_messages_) obs_work_messages_->add();
       tcp::write_line(fd, serialize(next_work(*request)));
+      observe_rpc(obs_rpc_ns_work_);
       return;
     }
   } else if (tag == "SUBMIT") {
     if (const auto request = parse_submit_request(line)) {
       if (obs_submit_messages_) obs_submit_messages_->add();
       tcp::write_line(fd, serialize(accept_result(*request)));
+      observe_rpc(obs_rpc_ns_submit_);
       return;
     }
   } else if (tag == "STATS") {
     if (const auto request = parse_stats_request(line)) {
       if (obs_stats_messages_) obs_stats_messages_->add();
       tcp::write_line(fd, serialize(client_account(request->client_id)));
+      observe_rpc(obs_rpc_ns_stats_);
       return;
     }
   }
   if (obs_malformed_messages_) obs_malformed_messages_->add();
   tcp::write_line(fd, "ERR|bad request");
+  observe_rpc(obs_rpc_ns_malformed_);
 }
 
 void ProjectServer::serve() {
   obs::ScopedProfiler prof_guard(serve_profiler_.get());
+  obs::ScopedEventLog evt_guard(serve_event_log_.get());
   while (running_.load(std::memory_order_relaxed)) {
     const int conn = ::accept(listener_.get(), nullptr, nullptr);
     if (conn < 0) continue;  // timeout or transient error

@@ -19,6 +19,7 @@
 #include "grid/server_logic.hpp"
 #include "grid/tcp_util.hpp"
 #include "grid/workunit.hpp"
+#include "obs/event_log.hpp"
 #include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 
@@ -81,12 +82,32 @@ class ProjectServer {
   obs::Counter* obs_malformed_messages_ =
       obs::maybe_counter("grid.server.messages", {{"type", "malformed"}});
   obs::Counter* obs_reissues_ = obs::maybe_counter("grid.server.reissues");
+  // Wall-clock RPC service time per message type (read -> reply written),
+  // the server-side latency the 64-client soak snapshots p50/p90/p99 of.
+  obs::Histogram* obs_rpc_ns_work_ = obs::maybe_histogram(
+      "grid.server.rpc_ns", obs::rpc_server_ns_buckets(), {{"type", "work"}});
+  obs::Histogram* obs_rpc_ns_submit_ = obs::maybe_histogram(
+      "grid.server.rpc_ns", obs::rpc_server_ns_buckets(),
+      {{"type", "submit"}});
+  obs::Histogram* obs_rpc_ns_stats_ = obs::maybe_histogram(
+      "grid.server.rpc_ns", obs::rpc_server_ns_buckets(),
+      {{"type", "stats"}});
+  obs::Histogram* obs_rpc_ns_malformed_ = obs::maybe_histogram(
+      "grid.server.rpc_ns", obs::rpc_server_ns_buckets(),
+      {{"type", "malformed"}});
   // Profiling: a Profiler is thread-confined, so the serve thread records
   // into its own tree (created when the constructing thread had one
   // installed) and stop() merges it into the parent after the join — the
   // same task-ordered merge discipline core::TaskPool uses.
   obs::Profiler* parent_profiler_ = obs::current_profiler();
   std::unique_ptr<obs::Profiler> serve_profiler_;
+  // Lifecycle journal, same discipline: ServerLogic's EVT_* appends run on
+  // the serve thread, so they record into a serve-thread sub-log that
+  // stop() merges into the constructing thread's log after the join.
+  // vgrid-lint: allow(obs-eventlog-gateway): the transport shell is a
+  // sanctioned merge seam, like core::TaskPool.
+  obs::EventLog* parent_event_log_ = obs::current_event_log();
+  std::unique_ptr<obs::EventLog> serve_event_log_;
 };
 
 }  // namespace vgrid::grid

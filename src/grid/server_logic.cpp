@@ -1,9 +1,17 @@
 #include "grid/server_logic.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "mc/transition.hpp"
+#include "obs/event_log.hpp"
+
+// Lifecycle journal discipline: every EVT_* append below is
+// transition-silent — it never calls mc::notify, never reads or writes
+// protocol state, and timestamps come from the logical clock only — so
+// the model checker's state graph is identical with the journal on, off,
+// or compiled out.
 
 namespace vgrid::grid {
 
@@ -27,8 +35,13 @@ WorkunitId ServerLogic::add_workunit(Workunit workunit) {
   if (workunit.id == 0) workunit.id = next_id_++;
   const WorkunitId id = workunit.id;
   next_id_ = std::max(next_id_, id + 1);
-  workunits_.emplace(id, Tracked(std::move(workunit)));
+  Tracked& tracked =
+      workunits_.emplace(id, Tracked(std::move(workunit))).first->second;
+  tracked.created_ns = evt_clock_ns_;
   dispatchable_.push_back(id);
+  EVT_TRACE_OPEN(id, evt_clock_ns_, tracked.workunit.kind);
+  EVT_APPEND(id, obs::EventKind::kCreated, evt_clock_ns_, 0,
+             tracked.workunit.replication);
   return id;
 }
 
@@ -89,8 +102,15 @@ bool ServerLogic::expire_instance(WorkunitId id) {
   if (tracked.outstanding.empty()) return false;
   // The volunteer holding this instance is presumed gone; its slot is
   // consumed and a fresh instance will be issued on the next work request.
+  [[maybe_unused]] const std::int64_t issue_ns = tracked.outstanding.front();
   tracked.outstanding.pop_front();
   mc::notify(mc::TransitionPoint::kInstanceExpired, id);
+  // Retry component: the time the dead volunteer sat on the instance.
+  EVT_APPEND(id, obs::EventKind::kExpired, evt_clock_ns_,
+             evt_clock_ns_ > issue_ns
+                 ? (evt_clock_ns_ - issue_ns) / 1'000'000
+                 : 0,
+             0);
   if (fault_ == InjectedFault::kLostWorkunit) {
     // Seeded bug (mutation fixture): drop the workunit instead of
     // scheduling the reissue — it can never validate now.
@@ -99,6 +119,7 @@ bool ServerLogic::expire_instance(WorkunitId id) {
         std::remove(dispatchable_.begin(), dispatchable_.end(), id),
         dispatchable_.end());
     workunits_.erase(it);
+    EVT_TRACE_CLOSE(id);
     return true;
   }
   ++tracked.reissues_pending;
@@ -121,6 +142,7 @@ WorkResponse ServerLogic::take_pending_reissue(std::int64_t now_ns,
     ++stats_.instances_reissued;
     ++stats_.workunits_sent;
     mc::notify(mc::TransitionPoint::kInstanceReissued, id, client_id);
+    EVT_APPEND(id, obs::EventKind::kReissued, now_ns, 0, 0);
     return WorkResponse{true, tracked.workunit};
   }
   return WorkResponse{};
@@ -129,6 +151,7 @@ WorkResponse ServerLogic::take_pending_reissue(std::int64_t now_ns,
 WorkResponse ServerLogic::next_work(const WorkRequest& request,
                                     std::int64_t now_ns) {
   ++stats_.work_requests;
+  if (now_ns > evt_clock_ns_) evt_clock_ns_ = now_ns;
 
   // Recover at most one instance whose volunteer missed the deadline —
   // the longest-overdue one — then hand out any pending reissue.
@@ -172,6 +195,12 @@ WorkResponse ServerLogic::next_work(const WorkRequest& request,
       }
       ++stats_.workunits_sent;
       mc::notify(mc::TransitionPoint::kWorkIssued, id, request.client_id);
+      // Queue-wait accrues once, on the first instance out the door.
+      EVT_APPEND(id, obs::EventKind::kDispatched, now_ns,
+                 tracked.instances_sent == 1
+                     ? (now_ns - tracked.created_ns) / 1'000'000
+                     : 0,
+                 tracked.instances_sent);
       return WorkResponse{true, tracked.workunit};
     }
     // Queue dry (for this client): ask the generator for more.
@@ -181,8 +210,13 @@ WorkResponse ServerLogic::next_work(const WorkRequest& request,
     if (wu.id == 0) wu.id = next_id_++;
     next_id_ = std::max(next_id_, wu.id + 1);
     const WorkunitId id = wu.id;
-    workunits_.emplace(id, Tracked(std::move(wu)));
+    Tracked& generated =
+        workunits_.emplace(id, Tracked(std::move(wu))).first->second;
+    generated.created_ns = now_ns;
     dispatchable_.push_back(id);
+    EVT_TRACE_OPEN(id, now_ns, generated.workunit.kind);
+    EVT_APPEND(id, obs::EventKind::kCreated, now_ns, 0,
+               generated.workunit.replication);
   }
 }
 
@@ -199,6 +233,9 @@ SubmitResponse ServerLogic::accept_result(const SubmitRequest& request) {
   if (!tracked.outstanding.empty()) tracked.outstanding.pop_front();
   mc::notify(mc::TransitionPoint::kResultAccepted, id,
              request.result.client_id, request.result.cpu_seconds);
+  // Compute component: the CPU the volunteer reported, in milliseconds.
+  EVT_APPEND(id, obs::EventKind::kSubmitted, evt_clock_ns_,
+             std::llround(request.result.cpu_seconds * 1e3), 0);
 
   const bool was_validated = tracked.validator.validated();
   const auto canonical = tracked.validator.add(request.result);
@@ -214,14 +251,18 @@ SubmitResponse ServerLogic::accept_result(const SubmitRequest& request) {
   if (canonical) {
     advance_state(tracked.state, WorkunitState::kValidated, id);
     ++stats_.workunits_validated;
+    EVT_APPEND(id, obs::EventKind::kValidated, evt_clock_ns_, 0, 0);
     // Grant credit to every contributor whose output matched.
     for (const Result& result : tracked.validator.results()) {
       if (result.output == *canonical) {
         accounts_[result.client_id].credit += result.cpu_seconds;
         mc::notify(mc::TransitionPoint::kCreditGranted, id, result.client_id,
                    result.cpu_seconds);
+        EVT_APPEND(id, obs::EventKind::kCredited, evt_clock_ns_, 0,
+                   std::llround(result.cpu_seconds * 1e3));
       }
     }
+    EVT_TRACE_CLOSE(id);
     return SubmitResponse{true, true};
   }
   if (tracked.validator.exhausted()) {
@@ -235,6 +276,8 @@ SubmitResponse ServerLogic::accept_result(const SubmitRequest& request) {
     } else {
       advance_state(tracked.state, WorkunitState::kInvalid, id);
       ++stats_.workunits_invalid;
+      EVT_APPEND(id, obs::EventKind::kInvalid, evt_clock_ns_, 0, 0);
+      EVT_TRACE_CLOSE(id);
     }
   }
   return SubmitResponse{true, false};

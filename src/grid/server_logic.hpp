@@ -76,6 +76,9 @@ class ServerLogic {
     QuorumValidator validator;
     /// Issue times (caller-supplied now_ns) of instances awaiting a result.
     std::deque<std::int64_t> outstanding;
+    /// Logical creation time — the queue-wait baseline of the workunit's
+    /// lifecycle trace (obs::EventLog); not protocol state.
+    std::int64_t created_ns = 0;
 
     explicit Tracked(Workunit wu)
         : workunit(std::move(wu)),
@@ -142,6 +145,11 @@ class ServerLogic {
   std::map<WorkunitId, Tracked> workunits_;
   std::deque<WorkunitId> dispatchable_;  // ids with instances still to send
   WorkunitId next_id_ = 1;
+  /// High-water of the now_ns values seen by next_work: the logical
+  /// timestamp for lifecycle events on paths without a time argument
+  /// (accept_result, expire_instance). Observability only — no protocol
+  /// decision reads it, so the model checker's state space is unchanged.
+  std::int64_t evt_clock_ns_ = 0;
   Generator generator_;
   ServerStats stats_;
   std::map<std::string, StatsResponse> accounts_;

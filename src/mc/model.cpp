@@ -70,7 +70,11 @@ GridModel::GridModel(const ModelConfig& config) : config_(config) {
 }
 
 std::string GridModel::client_id(int index) {
-  return "c" + std::to_string(index);
+  // Built by append, not operator+: GCC 12's -Wrestrict false-positive
+  // (PR105651) fires on the chained temporary.
+  std::string id = "c";
+  id += std::to_string(index);
+  return id;
 }
 
 std::vector<Action> GridModel::enabled() const {

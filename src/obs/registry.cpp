@@ -22,8 +22,13 @@ std::string labels_json(const Labels& labels) {
   for (const auto& [key, value] : labels) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + util::json_escape(key) + "\":\"" +
-           util::json_escape(value) + "\"";
+    // Appended piecewise (not one operator+ chain): GCC 12's -Wrestrict
+    // false-positive (PR105651) fires on the chained temporary.
+    out += '"';
+    out += util::json_escape(key);
+    out += "\":\"";
+    out += util::json_escape(value);
+    out += '"';
   }
   out += "}";
   return out;
@@ -226,6 +231,29 @@ Histogram& Registry::histogram(const std::string& name,
   // the unique_ptr.
   entry.histogram.reset(new Histogram(std::move(bounds)));
   return *entry.histogram;
+}
+
+const Counter* Registry::find_counter(const std::string& name,
+                                      const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = instruments_.find(Key{name, labels});
+  return it == instruments_.end() ? nullptr : it->second.counter.get();
+}
+
+const Histogram* Registry::find_histogram(const std::string& name,
+                                          const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = instruments_.find(Key{name, labels});
+  return it == instruments_.end() ? nullptr : it->second.histogram.get();
+}
+
+std::vector<Labels> Registry::label_sets(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Labels> out;
+  for (const auto& [key, entry] : instruments_) {
+    if (key.name == name) out.push_back(key.labels);
+  }
+  return out;
 }
 
 void Registry::add_span(SpanRecord span) {
@@ -529,6 +557,14 @@ void register_defaults(Registry& registry) {
   registry.counter("grid.server.messages", {{"type", "stats"}});
   registry.counter("grid.server.messages", {{"type", "malformed"}});
   registry.counter("grid.server.reissues");
+  registry.histogram("grid.server.rpc_ns", rpc_server_ns_buckets(),
+                     {{"type", "work"}});
+  registry.histogram("grid.server.rpc_ns", rpc_server_ns_buckets(),
+                     {{"type", "submit"}});
+  registry.histogram("grid.server.rpc_ns", rpc_server_ns_buckets(),
+                     {{"type", "stats"}});
+  registry.histogram("grid.server.rpc_ns", rpc_server_ns_buckets(),
+                     {{"type", "malformed"}});
   registry.counter("grid.client.requests");
   registry.histogram("grid.client.rpc_latency_us", rpc_latency_buckets_us());
 }

@@ -167,6 +167,19 @@ class Registry {
                        std::vector<std::int64_t> bounds,
                        const Labels& labels = {});
 
+  /// Const lookups: nullptr when the instrument does not exist. Unlike
+  /// the get-or-create accessors these never mutate, so read-only
+  /// consumers (the report renderers) can take a const Registry&.
+  const Counter* find_counter(const std::string& name,
+                              const Labels& labels = {}) const;
+  const Histogram* find_histogram(const std::string& name,
+                                  const Labels& labels = {}) const;
+
+  /// Label sets of every instrument named `name`, in deterministic
+  /// (sorted) order — how a renderer enumerates e.g. the per-label
+  /// ledger counters without knowing the labels up front.
+  std::vector<Labels> label_sets(const std::string& name) const;
+
   void add_span(SpanRecord span);
   /// Completed spans in recording order (task order after a merge).
   std::vector<SpanRecord> spans() const;
@@ -276,6 +289,15 @@ class ScopedSpan {
 /// register_defaults and the client so labeled and aggregate series merge.
 inline std::vector<std::int64_t> rpc_latency_buckets_us() {
   return {100, 300, 1000, 3000, 10000, 30000, 100000, 300000, 1000000};
+}
+
+/// Bucket layout of the server-side `grid.server.rpc_ns` histograms
+/// (wall-clock service time per message type, nanoseconds): loopback
+/// handling runs microseconds to low milliseconds.
+inline std::vector<std::int64_t> rpc_server_ns_buckets() {
+  return {2'000,     5'000,     10'000,     30'000,      100'000,
+          300'000,   1'000'000, 3'000'000,  10'000'000,  30'000'000,
+          100'000'000};
 }
 
 /// Pre-register the canonical instrument set of every instrumented

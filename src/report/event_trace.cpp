@@ -1,0 +1,367 @@
+#include "report/event_trace.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <fstream>
+
+#include "report/chrome_trace.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vgrid::report {
+
+namespace {
+
+using util::json_escape;
+
+/// One event value (journal unit) in nanoseconds.
+std::int64_t value_ns(const obs::EventLog::Config& config,
+                      std::int64_t value) {
+  if (config.unit == "us") return value * 1'000;
+  if (config.unit == "ns") return value;
+  return value * 1'000'000;  // "ms", the default
+}
+
+/// Retained traces, id-sorted, optionally filtered/bounded.
+std::vector<const obs::Trace*> select_traces(const obs::EventLog& log,
+                                             std::size_t max_traces,
+                                             bool anomalous_only) {
+  std::vector<const obs::Trace*> traces = log.traces();
+  std::sort(traces.begin(), traces.end(),
+            [](const obs::Trace* a, const obs::Trace* b) {
+              return a->trace_id < b->trace_id;
+            });
+  if (anomalous_only) {
+    std::erase_if(traces,
+                  [](const obs::Trace* trace) { return !trace->anomalous; });
+  }
+  if (max_traces != 0 && traces.size() > max_traces) {
+    traces.resize(max_traces);
+  }
+  return traces;
+}
+
+/// Strip a JSON array's brackets, returning the trimmed body (possibly
+/// empty) — how two renderers' outputs splice into one trace file.
+std::string array_body(const std::string& json) {
+  const std::size_t open = json.find('[');
+  const std::size_t close = json.rfind(']');
+  if (open == std::string::npos || close == std::string::npos ||
+      close <= open + 1) {
+    return {};
+  }
+  std::string body = json.substr(open + 1, close - open - 1);
+  while (!body.empty() && (body.front() == '\n' || body.front() == ' ')) {
+    body.erase(body.begin());
+  }
+  while (!body.empty() && (body.back() == '\n' || body.back() == ' ')) {
+    body.pop_back();
+  }
+  return body;
+}
+
+std::string fixed_milli(std::int64_t milli) {
+  return util::format("%lld.%03lld", static_cast<long long>(milli / 1000),
+                      static_cast<long long>(milli % 1000));
+}
+
+}  // namespace
+
+std::string render_timelines(const obs::EventLog& log,
+                             std::size_t max_traces, bool anomalous_only) {
+  const std::vector<const obs::Trace*> traces =
+      select_traces(log, max_traces, anomalous_only);
+  std::string out = util::format(
+      "=== workunit timelines (vgrid trace v1) ===\n"
+      "traces shown=%llu retained=%llu closed=%llu anomalous=%llu "
+      "evicted=%llu open=%llu unit=%s\n",
+      static_cast<unsigned long long>(traces.size()),
+      static_cast<unsigned long long>(log.retained_count()),
+      static_cast<unsigned long long>(log.traces_closed()),
+      static_cast<unsigned long long>(log.traces_anomalous()),
+      static_cast<unsigned long long>(log.ring_churn()),
+      static_cast<unsigned long long>(log.open_count()),
+      log.config().unit.c_str());
+  for (const obs::Trace* trace : traces) {
+    out += util::format(
+        "workunit %llu label=%s%s total=%lld queue_wait=%lld compute=%lld "
+        "validation=%lld retry=%lld\n",
+        static_cast<unsigned long long>(trace->trace_id),
+        trace->label.empty() ? "-" : trace->label.c_str(),
+        trace->anomalous ? " ANOMALOUS" : "",
+        static_cast<long long>(trace->total()),
+        static_cast<long long>(trace->components[0]),
+        static_cast<long long>(trace->components[1]),
+        static_cast<long long>(trace->components[2]),
+        static_cast<long long>(trace->components[3]));
+    for (const obs::Event& event : trace->events) {
+      const char* kind = obs::event_kind_name(event.kind);
+      std::string parent = event.parent == obs::kNoParent
+                               ? std::string("-")
+                               : util::format("e%u", event.parent);
+      out += util::format("  e%-3u +%-9lld %-10s <- %-4s", event.seq,
+                          static_cast<long long>(event.t_ns / 1'000'000),
+                          kind, parent.c_str());
+      const obs::Component component = obs::event_component(event.kind);
+      if (component != obs::Component::kNone) {
+        out += util::format(" %s+=%lld", obs::component_name(component),
+                            static_cast<long long>(event.value));
+      }
+      if (event.aux != 0) {
+        out += util::format(" aux=%lld", static_cast<long long>(event.aux));
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::string event_trace_json(const obs::EventLog& log,
+                             std::size_t max_traces) {
+  const std::vector<const obs::Trace*> traces =
+      select_traces(log, max_traces, false);
+  std::string out = "[\n";
+  bool first = true;
+  auto emit = [&](const std::string& event) {
+    if (!first) out += ",\n";
+    first = false;
+    out += event;
+  };
+  for (const obs::Trace* trace : traces) {
+    const std::string tid =
+        util::format("wu %llu%s",
+                     static_cast<unsigned long long>(trace->trace_id),
+                     trace->anomalous ? " (anomalous)" : "");
+    for (const obs::Event& event : trace->events) {
+      const double ts = static_cast<double>(event.t_ns) / 1e3;
+      // Component-bearing events become duration slices ENDING at the
+      // event: the dispatch slice is the queue wait that preceded it.
+      const obs::Component component = obs::event_component(event.kind);
+      if (component != obs::Component::kNone && event.value > 0) {
+        const double dur =
+            static_cast<double>(value_ns(log.config(), event.value)) / 1e3;
+        emit(util::format(
+            "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+            "\"pid\":\"lifecycle\",\"tid\":\"%s\"}",
+            obs::component_name(component), ts - dur, dur,
+            json_escape(tid).c_str()));
+      }
+      emit(util::format(
+          "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":\"lifecycle\","
+          "\"tid\":\"%s\",\"s\":\"t\",\"args\":{\"seq\":%u,\"value\":%lld,"
+          "\"aux\":%lld}}",
+          obs::event_kind_name(event.kind), ts, json_escape(tid).c_str(),
+          event.seq, static_cast<long long>(event.value),
+          static_cast<long long>(event.aux)));
+      // Causal flow arrow parent -> event (Perfetto draws these as
+      // curved arrows between the instants).
+      if (event.parent != obs::kNoParent &&
+          event.parent < trace->events.size()) {
+        const obs::Event& parent = trace->events[event.parent];
+        const unsigned long long flow_id =
+            static_cast<unsigned long long>(trace->trace_id) * 4096ull +
+            event.seq;
+        emit(util::format(
+            "{\"name\":\"causal\",\"cat\":\"lifecycle\",\"ph\":\"s\","
+            "\"id\":%llu,\"ts\":%.3f,\"pid\":\"lifecycle\",\"tid\":\"%s\"}",
+            flow_id, static_cast<double>(parent.t_ns) / 1e3,
+            json_escape(tid).c_str()));
+        emit(util::format(
+            "{\"name\":\"causal\",\"cat\":\"lifecycle\",\"ph\":\"f\","
+            "\"bp\":\"e\",\"id\":%llu,\"ts\":%.3f,\"pid\":\"lifecycle\","
+            "\"tid\":\"%s\"}",
+            flow_id, ts, json_escape(tid).c_str()));
+      }
+    }
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::string combined_trace_json(
+    const obs::EventLog& log, const std::vector<obs::SpanRecord>& spans,
+    const std::vector<sim::TraceRecord>& records) {
+  std::string out = "[\n";
+  bool first = true;
+  auto emit = [&](const std::string& body) {
+    if (body.empty()) return;
+    if (!first) out += ",\n";
+    first = false;
+    out += body;
+  };
+  emit(array_body(event_trace_json(log)));
+  if (!spans.empty() || !records.empty()) {
+    emit(array_body(obs_trace_json(spans, records)));
+  }
+  out += "\n]\n";
+  return out;
+}
+
+void write_event_trace(const std::string& path, const obs::EventLog& log,
+                       const std::vector<obs::SpanRecord>& spans,
+                       const std::vector<sim::TraceRecord>& records) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw util::SystemError("write_event_trace: cannot open " + path, errno);
+  }
+  out << combined_trace_json(log, spans, records);
+  if (!out) {
+    throw util::SystemError("write_event_trace: write failed " + path,
+                            errno);
+  }
+}
+
+std::string format_tails(const obs::EventLog& log) {
+  const obs::Registry& stats = log.stats();
+  const obs::Histogram* turnaround = stats.find_histogram("trace.turnaround");
+  std::string out = util::format(
+      "=== tails decomposition (vgrid tails v1) ===\n"
+      "traces closed=%llu anomalous=%llu evicted=%llu open=%llu unit=%s\n",
+      static_cast<unsigned long long>(log.traces_closed()),
+      static_cast<unsigned long long>(log.traces_anomalous()),
+      static_cast<unsigned long long>(log.ring_churn()),
+      static_cast<unsigned long long>(log.open_count()),
+      log.config().unit.c_str());
+  if (turnaround == nullptr || turnaround->count() == 0) {
+    out += "turnaround count=0\n";
+    return out;
+  }
+  const std::int64_t total_sum = turnaround->sum();
+  out += util::format(
+      "turnaround count=%llu sum=%lld mean=%lld p50=%lld p90=%lld "
+      "p99=%lld max=%lld\n",
+      static_cast<unsigned long long>(turnaround->count()),
+      static_cast<long long>(total_sum),
+      static_cast<long long>(total_sum /
+                             static_cast<std::int64_t>(turnaround->count())),
+      static_cast<long long>(turnaround->percentile(0.50)),
+      static_cast<long long>(turnaround->percentile(0.90)),
+      static_cast<long long>(turnaround->percentile(0.99)),
+      static_cast<long long>(turnaround->max()));
+  for (std::size_t i = 0; i < obs::kComponentCount; ++i) {
+    const char* part =
+        obs::component_name(static_cast<obs::Component>(i));
+    const obs::Histogram* histogram =
+        stats.find_histogram("trace.component", {{"part", part}});
+    if (histogram == nullptr) continue;
+    const std::int64_t share =
+        total_sum > 0 ? histogram->sum() * 1000 / total_sum : 0;
+    out += util::format(
+        "component %-10s sum=%lld share_permille=%lld p50=%lld p90=%lld "
+        "p99=%lld max=%lld\n",
+        part, static_cast<long long>(histogram->sum()),
+        static_cast<long long>(share),
+        static_cast<long long>(histogram->percentile(0.50)),
+        static_cast<long long>(histogram->percentile(0.90)),
+        static_cast<long long>(histogram->percentile(0.99)),
+        static_cast<long long>(histogram->count() > 0 ? histogram->max()
+                                                      : 0));
+  }
+  // Wasted-work ledger: gigaops and journal-unit durations lost to
+  // volunteer deaths and reissues, grouped by trace label (the VMM
+  // profile for fleet traces, the workunit kind for grid traces).
+  out += "wasted-work ledger\n";
+  std::uint64_t total_deaths = 0;
+  std::uint64_t total_reissues = 0;
+  std::uint64_t total_wasted = 0;
+  std::uint64_t total_ops_milli = 0;
+  for (const obs::Labels& labels : stats.label_sets("trace.deaths")) {
+    const auto value = [&](const char* name) -> std::uint64_t {
+      const obs::Counter* counter = stats.find_counter(name, labels);
+      return counter == nullptr ? 0 : counter->value();
+    };
+    const std::uint64_t deaths = value("trace.deaths");
+    const std::uint64_t reissues = value("trace.reissues");
+    const std::uint64_t wasted = value("trace.wasted_duration");
+    const std::uint64_t ops_milli = value("trace.wasted_ops_milli");
+    total_deaths += deaths;
+    total_reissues += reissues;
+    total_wasted += wasted;
+    total_ops_milli += ops_milli;
+    const auto label = labels.find("label");
+    out += util::format(
+        "  label %-12s deaths=%llu reissues=%llu wasted=%llu "
+        "wasted_gigaops=%s\n",
+        label != labels.end() && !label->second.empty()
+            ? label->second.c_str()
+            : "-",
+        static_cast<unsigned long long>(deaths),
+        static_cast<unsigned long long>(reissues),
+        static_cast<unsigned long long>(wasted),
+        fixed_milli(static_cast<std::int64_t>(ops_milli)).c_str());
+  }
+  out += util::format(
+      "  total %-12s deaths=%llu reissues=%llu wasted=%llu "
+      "wasted_gigaops=%s\n",
+      "*", static_cast<unsigned long long>(total_deaths),
+      static_cast<unsigned long long>(total_reissues),
+      static_cast<unsigned long long>(total_wasted),
+      fixed_milli(static_cast<std::int64_t>(total_ops_milli)).c_str());
+  return out;
+}
+
+std::vector<std::string> reconcile_tails(const obs::EventLog& log,
+                                         const obs::Histogram& turnaround) {
+  std::vector<std::string> violations;
+  const obs::Registry& stats = log.stats();
+  const obs::Histogram* local = stats.find_histogram("trace.turnaround");
+  if (local == nullptr) {
+    if (turnaround.count() != 0) {
+      violations.push_back("journal has no trace.turnaround histogram");
+    }
+    return violations;
+  }
+  if (local->count() != turnaround.count()) {
+    violations.push_back(util::format(
+        "turnaround count: journal %llu != reference %llu",
+        static_cast<unsigned long long>(local->count()),
+        static_cast<unsigned long long>(turnaround.count())));
+  }
+  if (local->sum() != turnaround.sum()) {
+    violations.push_back(
+        util::format("turnaround sum: journal %lld != reference %lld",
+                     static_cast<long long>(local->sum()),
+                     static_cast<long long>(turnaround.sum())));
+  }
+  if (local->count() != 0 && turnaround.count() != 0 &&
+      (local->min() != turnaround.min() ||
+       local->max() != turnaround.max())) {
+    violations.push_back(util::format(
+        "turnaround extremes: journal [%lld, %lld] != reference "
+        "[%lld, %lld]",
+        static_cast<long long>(local->min()),
+        static_cast<long long>(local->max()),
+        static_cast<long long>(turnaround.min()),
+        static_cast<long long>(turnaround.max())));
+  }
+  std::int64_t component_sum = 0;
+  for (std::size_t i = 0; i < obs::kComponentCount; ++i) {
+    const char* part =
+        obs::component_name(static_cast<obs::Component>(i));
+    const obs::Histogram* histogram =
+        stats.find_histogram("trace.component", {{"part", part}});
+    if (histogram == nullptr) {
+      violations.push_back(util::format("missing component histogram %s",
+                                        part));
+      continue;
+    }
+    // Every close observes all four components (zeros included), so
+    // each component's count must equal the turnaround count.
+    if (histogram->count() != local->count()) {
+      violations.push_back(util::format(
+          "component %s count %llu != turnaround count %llu", part,
+          static_cast<unsigned long long>(histogram->count()),
+          static_cast<unsigned long long>(local->count())));
+    }
+    component_sum += histogram->sum();
+  }
+  if (component_sum != local->sum()) {
+    violations.push_back(util::format(
+        "component sums %lld do not add up to turnaround sum %lld",
+        static_cast<long long>(component_sum),
+        static_cast<long long>(local->sum())));
+  }
+  return violations;
+}
+
+}  // namespace vgrid::report

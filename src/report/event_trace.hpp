@@ -1,0 +1,65 @@
+#pragma once
+// Rendering of obs::EventLog lifecycle journals (the `vgrid trace` /
+// `vgrid tails` back end):
+//  - per-workunit text timelines of the retained traces;
+//  - Chrome trace-event JSON with flow arrows (ph "s"/"f") linking each
+//    event to its causal parent, on a "lifecycle" pid that splices next
+//    to the existing wall-time / sim-time pids of write_obs_trace;
+//  - the tails decomposition table: turnaround percentiles split into
+//    queue-wait / compute / validation / retry with exact integer
+//    shares, plus the wasted-work ledger by trace label;
+//  - the reconciliation audit behind `vgrid tails --selfcheck`, which
+//    cross-checks the journal's aggregates against the independent
+//    fleet/obs turnaround histogram (count, sum, extremes, and the
+//    component-sum identity must all hold exactly).
+
+#include <string>
+#include <vector>
+
+#include "obs/event_log.hpp"
+#include "obs/registry.hpp"
+#include "sim/trace.hpp"
+
+namespace vgrid::report {
+
+/// Text timelines of retained traces, sorted by trace id. `max_traces`
+/// bounds the output (0 = all); `anomalous_only` keeps just the
+/// lifecycles with a reissue / expiry / invalid result.
+std::string render_timelines(const obs::EventLog& log,
+                             std::size_t max_traces = 0,
+                             bool anomalous_only = false);
+
+/// Chrome trace-event JSON of the retained traces: one tid per
+/// workunit on pid "lifecycle", a duration slice per component-bearing
+/// event, an instant per event, and a flow arrow from each event's
+/// causal parent. `max_traces` bounds the rows (0 = all).
+std::string event_trace_json(const obs::EventLog& log,
+                             std::size_t max_traces = 0);
+
+/// One Chrome trace combining the lifecycle rows with the profiling
+/// spans (pid "wall-time"/"sim-time") and the simulation records
+/// (pid 1) exactly as write_obs_trace renders them.
+std::string combined_trace_json(const obs::EventLog& log,
+                                const std::vector<obs::SpanRecord>& spans,
+                                const std::vector<sim::TraceRecord>& records);
+
+/// Write combined_trace_json to `path`. Throws SystemError on I/O
+/// failure.
+void write_event_trace(const std::string& path, const obs::EventLog& log,
+                       const std::vector<obs::SpanRecord>& spans,
+                       const std::vector<sim::TraceRecord>& records);
+
+/// The tails decomposition table + wasted-work ledger. Byte-stable for
+/// a deterministic journal (feeds the determinism audit).
+std::string format_tails(const obs::EventLog& log);
+
+/// Reconcile the journal against an independently accumulated
+/// turnaround histogram: counts, sums and extremes must match exactly,
+/// the per-component histogram counts must equal the turnaround count,
+/// and the component sums must add up to the turnaround sum. Returns
+/// human-readable violations (empty = ok) — what gives the
+/// eventlog.finds.dropped_merge mutation test its teeth.
+std::vector<std::string> reconcile_tails(const obs::EventLog& log,
+                                         const obs::Histogram& turnaround);
+
+}  // namespace vgrid::report

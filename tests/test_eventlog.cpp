@@ -1,0 +1,226 @@
+// obs::EventLog — the causal workunit-lifecycle journal. The contracts
+// under test are the ones the CLI depends on: byte-identical journals
+// for any --jobs value (TaskPool sub-log routing + task-order merge),
+// flight-recorder retention (anomalies never evicted, ring capacity
+// respected, aggregates immune to eviction), the VGRID_EVENTLOG_FORCE_OFF
+// kill switch, and trace-id uniqueness when grid::ServerLogic mints
+// traces for 10k workunits with deaths in the mix.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/task_pool.hpp"
+#include "grid/messages.hpp"
+#include "grid/server_logic.hpp"
+#include "obs/event_log.hpp"
+
+namespace vgrid::obs::testing {
+void run_force_off_lifecycle();
+}  // namespace vgrid::obs::testing
+
+namespace vgrid {
+namespace {
+
+namespace testing_hooks = vgrid::obs::testing;
+
+/// One synthetic lifecycle; hosts with index % 5 == 0 die once and get
+/// reissued, which marks the trace anomalous.
+void write_lifecycle(std::uint64_t trace_id, bool anomalous) {
+  // [[maybe_unused]]: under -DVGRID_EVENTLOG=OFF the EVT_* sites below
+  // compile to nothing and these would trip -Werror=unused-variable.
+  [[maybe_unused]] const std::int64_t wait =
+      10 + static_cast<std::int64_t>(trace_id % 7);
+  [[maybe_unused]] const std::int64_t cpu =
+      100 + static_cast<std::int64_t>(trace_id % 31);
+  EVT_TRACE_OPEN(trace_id, 0, trace_id % 2 == 0 ? "vmplayer" : "qemu");
+  EVT_APPEND(trace_id, obs::EventKind::kCreated, 0, 0, 0);
+  EVT_APPEND(trace_id, obs::EventKind::kDispatched, wait, wait, 0);
+  EVT_APPEND(trace_id, obs::EventKind::kComputing, wait, 0, 0);
+  if (anomalous) {
+    EVT_APPEND(trace_id, obs::EventKind::kExpired, wait + 5, 5, 0);
+    EVT_APPEND(trace_id, obs::EventKind::kReissued, wait + 5, 0, 0);
+  }
+  EVT_APPEND(trace_id, obs::EventKind::kSubmitted, wait + cpu, cpu, 0);
+  EVT_APPEND(trace_id, obs::EventKind::kValidated, wait + cpu, 0, 0);
+  EVT_APPEND(trace_id, obs::EventKind::kCredited, wait + cpu, 0, cpu);
+  EVT_TRACE_CLOSE(trace_id);
+}
+
+TEST(EventLog, CloseComputesComponentsAndTotal) {
+  obs::EventLog log;
+  obs::ScopedEventLog scope(&log);
+  write_lifecycle(1, /*anomalous=*/false);
+  const obs::Trace* trace = log.find_trace(1);
+  ASSERT_NE(trace, nullptr);
+  EXPECT_FALSE(trace->anomalous);
+  using C = obs::Component;
+  EXPECT_EQ(trace->components[static_cast<int>(C::kQueueWait)], 11);
+  EXPECT_EQ(trace->components[static_cast<int>(C::kCompute)], 101);
+  EXPECT_EQ(trace->components[static_cast<int>(C::kValidation)], 0);
+  EXPECT_EQ(trace->components[static_cast<int>(C::kRetry)], 0);
+  EXPECT_EQ(trace->total(), 112);
+  EXPECT_EQ(log.traces_closed(), 1u);
+  EXPECT_EQ(log.traces_anomalous(), 0u);
+}
+
+TEST(EventLog, ReissueMarksTraceAnomalous) {
+  obs::EventLog log;
+  obs::ScopedEventLog scope(&log);
+  write_lifecycle(5, /*anomalous=*/true);
+  const obs::Trace* trace = log.find_trace(5);
+  ASSERT_NE(trace, nullptr);
+  EXPECT_TRUE(trace->anomalous);
+  EXPECT_EQ(log.traces_anomalous(), 1u);
+  EXPECT_EQ(
+      trace->components[static_cast<int>(obs::Component::kRetry)], 5);
+}
+
+TEST(EventLog, JournalIsByteIdenticalAcrossJobCounts) {
+  // TaskPool routes a fresh sub-log to every task and merges them in
+  // task order: the rendered journal must not depend on worker count or
+  // completion order.
+  const auto run = [](int jobs) {
+    obs::EventLog log;
+    obs::ScopedEventLog scope(&log);
+    core::TaskPool pool(jobs);
+    pool.run(64, [](std::size_t task) {
+      const std::uint64_t id = static_cast<std::uint64_t>(task) + 1;
+      write_lifecycle(id, id % 5 == 0);
+    });
+    return log.render_journal();
+  };
+  const std::string serial = run(1);
+  const std::string parallel = run(8);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(EventLog, RingRespectsCapacityAndNeverEvictsAnomalies) {
+  obs::EventLog::Config config;
+  config.ring_capacity = 8;
+  config.tail_keep = 2;
+  obs::EventLog log(config);
+  obs::ScopedEventLog scope(&log);
+  constexpr std::uint64_t kTraces = 200;
+  for (std::uint64_t id = 1; id <= kTraces; ++id) {
+    write_lifecycle(id, id % 5 == 0);
+  }
+  EXPECT_EQ(log.traces_closed(), kTraces);
+  const std::uint64_t anomalous = log.traces_anomalous();
+  EXPECT_EQ(anomalous, kTraces / 5);
+  // Every anomalous lifecycle is retained in full; normals are bounded
+  // by ring capacity plus the pinned slowest tail.
+  std::uint64_t retained_anomalous = 0;
+  std::uint64_t retained_normal = 0;
+  for (const obs::Trace* trace : log.traces()) {
+    (trace->anomalous ? retained_anomalous : retained_normal) += 1;
+  }
+  EXPECT_EQ(retained_anomalous, anomalous);
+  EXPECT_LE(retained_normal, config.ring_capacity + config.tail_keep);
+  EXPECT_EQ(log.ring_churn(),
+            (kTraces - anomalous) - retained_normal);
+  // The aggregate histograms are fed at close time, so eviction never
+  // touches them: the turnaround count covers every lifecycle.
+  const obs::Histogram* turnaround =
+      log.stats().find_histogram("trace.turnaround");
+  ASSERT_NE(turnaround, nullptr);
+  EXPECT_EQ(turnaround->count(), kTraces);
+}
+
+TEST(EventLog, RingPinsTheSlowestNormalTraces) {
+  obs::EventLog::Config config;
+  config.ring_capacity = 4;
+  config.tail_keep = 3;
+  obs::EventLog log(config);
+  obs::ScopedEventLog scope(&log);
+  // Trace 1 is by far the slowest normal lifecycle; 100 fast normals
+  // follow and would evict it from a plain last-N ring.
+  EVT_TRACE_OPEN(1, 0, "slow");
+  EVT_APPEND(1, obs::EventKind::kDispatched, 0, 90000, 0);
+  EVT_APPEND(1, obs::EventKind::kSubmitted, 0, 90000, 0);
+  EVT_TRACE_CLOSE(1);
+  for (std::uint64_t id = 2; id <= 101; ++id) {
+    write_lifecycle(id, /*anomalous=*/false);
+  }
+  EXPECT_NE(log.find_trace(1), nullptr)
+      << "tail_keep must pin the slowest normal against ring churn";
+}
+
+TEST(EventLog, ForceOffTranslationUnitRecordsNothing) {
+  obs::EventLog log;
+  obs::ScopedEventLog scope(&log);
+  testing_hooks::run_force_off_lifecycle();
+  EXPECT_EQ(log.traces_opened(), 0u);
+  EXPECT_EQ(log.traces_closed(), 0u);
+  EXPECT_EQ(log.open_count(), 0u);
+  EXPECT_EQ(log.retained_count(), 0u);
+}
+
+TEST(EventLog, MergePreservesClosedTracesAndAggregates) {
+  obs::EventLog parent;
+  obs::EventLog sub;
+  {
+    obs::ScopedEventLog scope(&sub);
+    write_lifecycle(7, /*anomalous=*/true);
+    write_lifecycle(8, /*anomalous=*/false);
+  }
+  parent.merge_from(sub);
+  EXPECT_EQ(parent.traces_closed(), 2u);
+  EXPECT_EQ(parent.traces_anomalous(), 1u);
+  ASSERT_NE(parent.find_trace(7), nullptr);
+  EXPECT_TRUE(parent.find_trace(7)->anomalous);
+  const obs::Histogram* turnaround =
+      parent.stats().find_histogram("trace.turnaround");
+  ASSERT_NE(turnaround, nullptr);
+  EXPECT_EQ(turnaround->count(), 2u);
+}
+
+TEST(EventLog, ServerLogicMintsUniqueTraceIdsUnderDeaths) {
+  // 10k workunits flow through the grid protocol core with deaths mixed
+  // in: every workunit gets exactly one trace (duplicate_opens stays 0)
+  // and reissue never mints a second id for the same workunit.
+  obs::EventLog log;
+  obs::ScopedEventLog scope(&log);
+  grid::ServerLogic logic;
+  constexpr int kWorkunits = 10000;
+  std::vector<grid::WorkunitId> ids;
+  ids.reserve(kWorkunits);
+  for (int w = 0; w < kWorkunits; ++w) {
+    grid::Workunit wu;
+    wu.kind = std::string{"einstein"};
+    wu.payload = std::string{"wu"};
+    wu.replication = 1;
+    wu.quorum = 1;
+    wu.deadline_seconds = 0.0;  // deaths are explicit expire calls below
+    ids.push_back(logic.add_workunit(wu));
+  }
+  std::set<grid::WorkunitId> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), ids.size());
+  // Dispatch everything once, kill every 7th instance, re-dispatch.
+  std::int64_t now = 0;
+  for (int w = 0; w < kWorkunits; ++w) {
+    now += 1000;
+    // Spread fetches over many clients: one client draining 10k
+    // workunits hits the one-result-per-user scan quadratically.
+    (void)logic.next_work(
+        grid::WorkRequest{"c" + std::to_string(w % 128)}, now);
+  }
+  for (int w = 0; w < kWorkunits; w += 7) {
+    (void)logic.expire_instance(ids[static_cast<std::size_t>(w)]);
+  }
+  for (int w = 0; w < kWorkunits; w += 7) {
+    now += 1000;
+    (void)logic.next_work(
+        grid::WorkRequest{"d" + std::to_string(w % 128)}, now);
+  }
+  EXPECT_EQ(log.traces_opened(), static_cast<std::uint64_t>(kWorkunits));
+  EXPECT_EQ(log.duplicate_opens(), 0u);
+  EXPECT_EQ(log.dropped_appends(), 0u);
+}
+
+}  // namespace
+}  // namespace vgrid

@@ -1,0 +1,18 @@
+// Compiled with VGRID_EVENTLOG_FORCE_OFF (see tests/CMakeLists.txt): every
+// EVT_* macro below must expand to `static_cast<void>(0)` — the caller
+// installs a log and asserts it stays untouched even in a
+// VGRID_EVENTLOG=ON build.
+
+#include "obs/event_log.hpp"
+
+namespace vgrid::obs::testing {
+
+void run_force_off_lifecycle() {
+  EVT_TRACE_OPEN(1, 0, "forceoff");
+  EVT_APPEND(1, ::vgrid::obs::EventKind::kCreated, 0, 0, 0);
+  EVT_APPEND_LINKED(1, ::vgrid::obs::EventKind::kDispatched, 0, 0, 0,
+                    ::vgrid::obs::kPrevEvent);
+  EVT_TRACE_CLOSE(1);
+}
+
+}  // namespace vgrid::obs::testing

@@ -494,6 +494,10 @@ TEST(FleetRun, SummaryAndSnapshotAreJobsIndependent) {
             fleet::format_summary(scenario, parallel));
   EXPECT_EQ(serial.registry->snapshot_json(),
             parallel.registry->snapshot_json());
+  ASSERT_NE(serial.event_log, nullptr);
+  ASSERT_NE(parallel.event_log, nullptr);
+  EXPECT_EQ(serial.event_log->render_journal(),
+            parallel.event_log->render_journal());
   ASSERT_EQ(serial.raw.size(), parallel.raw.size());
   for (std::size_t i = 0; i < serial.raw.size(); ++i) {
     EXPECT_EQ(serial.raw[i].cpu_ms, parallel.raw[i].cpu_ms) << i;
@@ -510,12 +514,21 @@ TEST(FleetRun, HostMetricsArePhysicallySane) {
   const scenario::FleetSpec& spec = *scenario.fleet;
   for (std::uint64_t i = 0; i < 32; ++i) {
     const fleet::HostConfig host = fleet::sample_host(spec, spec.seed, i);
-    const fleet::HostMetrics metrics = fleet::simulate_host(scenario, host);
+    fleet::HostMetrics metrics = fleet::simulate_host(scenario, host);
+    fleet::apply_churn(metrics, host,
+                       fleet::sample_death(host, spec.seed, i));
     // A virtualized guest can never beat the analytic native time, and
-    // partial availability can only stretch the turnaround.
+    // partial availability / discarded progress can only stretch the
+    // turnaround beyond the useful-plus-wasted compute time.
     EXPECT_GE(metrics.slowdown_permille, 1000) << i;
-    EXPECT_GE(metrics.turnaround_ms, metrics.cpu_ms) << i;
+    EXPECT_GE(metrics.turnaround_ms, metrics.cpu_ms + metrics.wasted_ms)
+        << i;
     EXPECT_GT(metrics.cpu_ms, 0) << i;
+    EXPECT_GE(metrics.wasted_ms, 0) << i;
+    EXPECT_TRUE(metrics.deaths == 0 || metrics.deaths == 1) << i;
+    if (metrics.deaths == 0) {
+      EXPECT_EQ(metrics.wasted_ms, 0) << i;
+    }
   }
 }
 
@@ -529,9 +542,16 @@ TEST(FleetRun, ArenaBackedRunMatchesStandaloneSimulation) {
   const scenario::FleetSpec& spec = *scenario.fleet;
   for (std::uint64_t i = 0; i < config.hosts; ++i) {
     const fleet::HostConfig host = fleet::sample_host(spec, result.seed, i);
-    const fleet::HostMetrics alone = fleet::simulate_host(scenario, host);
+    fleet::HostMetrics alone = fleet::simulate_host(scenario, host);
+    // run_fleet layers churn on top of the interference simulation:
+    // simulate_host + apply_churn(sample_death(...)) is its exact recipe.
+    const fleet::DeathDraw draw =
+        fleet::sample_death(host, result.seed, i);
+    fleet::apply_churn(alone, host, draw);
     EXPECT_EQ(result.raw[i].cpu_ms, alone.cpu_ms) << i;
     EXPECT_EQ(result.raw[i].turnaround_ms, alone.turnaround_ms) << i;
+    EXPECT_EQ(result.raw[i].wasted_ms, alone.wasted_ms) << i;
+    EXPECT_EQ(result.raw[i].deaths, alone.deaths) << i;
     EXPECT_EQ(result.raw[i].slowdown_permille, alone.slowdown_permille)
         << i;
   }

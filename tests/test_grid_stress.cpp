@@ -23,6 +23,7 @@
 #include "grid/server.hpp"
 #include "grid/tcp_util.hpp"
 #include "grid/workunit.hpp"
+#include "obs/registry.hpp"
 #include "util/clock.hpp"
 #include "util/strings.hpp"
 
@@ -104,6 +105,11 @@ void install_generator(ProjectServer& server,
 }
 
 TEST(GridStress, SixtyFourClientsWithDeathsValidateEverythingExactlyOnce) {
+  // The ambient registry must be installed before the server constructs:
+  // ProjectServer resolves its grid.server.rpc_ns histograms (one per
+  // message type) at member-init time.
+  obs::Registry metrics;
+  obs::ScopedRegistry metrics_scope(&metrics);
   ProjectServer server;
   std::atomic<std::uint64_t> generated{0};
   // Short server-side deadline so instances abandoned by the dying
@@ -207,6 +213,26 @@ TEST(GridStress, SixtyFourClientsWithDeathsValidateEverythingExactlyOnce) {
                        static_cast<double>(kWorkunits) * kCpuPerResult);
 
   server.stop();
+
+  // The per-message-type RPC wall-clock histograms surfaced in the
+  // metrics snapshot must account for every connection the soak made:
+  // one `work` observation per work request, one `submit` per received
+  // result, and nothing on the malformed path.
+  const obs::Histogram& rpc_work = metrics.histogram(
+      "grid.server.rpc_ns", obs::rpc_server_ns_buckets(),
+      {{"type", "work"}});
+  const obs::Histogram& rpc_submit = metrics.histogram(
+      "grid.server.rpc_ns", obs::rpc_server_ns_buckets(),
+      {{"type", "submit"}});
+  const obs::Histogram& rpc_malformed = metrics.histogram(
+      "grid.server.rpc_ns", obs::rpc_server_ns_buckets(),
+      {{"type", "malformed"}});
+  EXPECT_EQ(rpc_work.count(), stats.work_requests);
+  EXPECT_EQ(rpc_submit.count(), stats.results_received);
+  EXPECT_EQ(rpc_malformed.count(), 0u);
+  EXPECT_GT(rpc_work.sum(), 0) << "service time must be wall-clock, not 0";
+  EXPECT_NE(metrics.snapshot_json().find("grid.server.rpc_ns"),
+            std::string::npos);
 }
 
 TEST(GridStress, ConcurrentGridClientsDrainGeneratorCleanly) {

@@ -415,6 +415,53 @@ void log_line() { std::fprintf(stderr, "x\n"); }
   EXPECT_TRUE(ds.empty());
 }
 
+TEST(LintObservability, FlagsRawJournalWritesOutsideObs) {
+  // Direct EventLog calls survive the VGRID_EVENTLOG kill switch; every
+  // instrumentation site must go through the EVT_* macros instead.
+  const auto ds = lint::lint_file("src/fleet/bad.cpp", R"cpp(
+#include "obs/event_log.hpp"
+void record(vgrid::obs::EventLog* journal) {
+  journal->open_trace(1, 0, "vmplayer");
+  journal->append_event(1, vgrid::obs::EventKind::kCreated, 0, 0, 0);
+  journal->close_trace(1);
+  auto* ambient = vgrid::obs::current_event_log();
+  static_cast<void>(ambient);
+}
+)cpp");
+  EXPECT_EQ(rules_of(ds),
+            (std::vector<std::string>{
+                "obs-eventlog-gateway", "obs-eventlog-gateway",
+                "obs-eventlog-gateway", "obs-eventlog-gateway"}));
+}
+
+TEST(LintObservability, EvtMacrosMergesAndObsItselfAreExempt) {
+  // The macros ARE the gateway, merge_from is a read-side fold, src/obs
+  // implements the journal, and front-ends are out of library scope.
+  const auto macro_site = lint::lint_file("src/grid/good.cpp", R"cpp(
+#include "obs/event_log.hpp"
+void record() { EVT_TRACE_OPEN(1, 0, "vmplayer"); EVT_TRACE_CLOSE(1); }
+)cpp");
+  EXPECT_TRUE(macro_site.empty());
+  const auto merge_site = lint::lint_file("src/core/good.cpp", R"cpp(
+void fold(vgrid::obs::EventLog& into, const vgrid::obs::EventLog& sub) {
+  into.merge_from(sub);
+}
+)cpp");
+  EXPECT_TRUE(merge_site.empty());
+  const std::string raw = "void f(L* j) { j->close_trace(1); }\n";
+  EXPECT_TRUE(lint::lint_file("src/obs/event_log.cpp", raw).empty());
+  EXPECT_TRUE(lint::lint_file("tools/vgrid_main.cpp", raw).empty());
+}
+
+TEST(LintObservability, AllowSilencesSanctionedMergeSeam) {
+  const auto ds = lint::lint_file("src/core/seam.cpp", R"cpp(
+// vgrid-lint: allow(obs-eventlog-gateway): this fixture plays the
+// TaskPool merge seam that routes per-task sub-logs.
+void route() { auto* parent = vgrid::obs::current_event_log(); (void)parent; }
+)cpp");
+  EXPECT_TRUE(ds.empty());
+}
+
 // --- mc-purity ---------------------------------------------------------------
 
 TEST(LintMcPurity, FlagsSanctionedClockGatewaysInModelCheckedCode) {

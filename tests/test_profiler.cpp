@@ -265,6 +265,42 @@ std::string bench_doc(std::int64_t round_trip_ns, bool with_extra) {
   return out.str();
 }
 
+TEST(BenchDiff, HostQuickFlagParsesFromHostWithTopLevelFallback) {
+  // Since the eventlog PR `quick` lives inside the host fingerprint
+  // (written out explicitly even when false); older committed trajectory
+  // entries still carry it at top level and must keep parsing.
+  const std::string modern =
+      "{\"vgrid_bench_version\":1,\"benchmarks\":["
+      "{\"median_ns\":1000,\"min_ns\":900,\"name\":\"x\",\"ops\":1,"
+      "\"ops_per_sec\":1,\"reps\":3}],"
+      "\"host\":{\"compiler\":\"gcc 12\",\"cores\":4,\"quick\":false},"
+      "\"scenario\":{\"hash\":\"abc\",\"name\":\"paper\"}}";
+  EXPECT_FALSE(tools::parse_bench(modern).quick);
+  EXPECT_TRUE(tools::parse_bench(bench_doc(1000, false)).quick)
+      << "legacy top-level quick flag must keep parsing";
+}
+
+TEST(BenchDiff, CoresMismatchIsANoteNotARegression) {
+  // Comparing runs from hosts with different core counts is
+  // apples-to-oranges: the gate must surface it as a visible note
+  // without failing (perf data from another machine is advisory).
+  const auto baseline = tools::parse_bench(bench_doc(1'000'000, true));
+  auto candidate = tools::parse_bench(bench_doc(1'000'000, true));
+  candidate.cores = 128;
+  const auto report = tools::diff_bench(baseline, candidate, {});
+  EXPECT_FALSE(report.gate_failed);
+  bool noted = false;
+  for (const auto& finding : report.findings) {
+    if (!finding.regression &&
+        finding.detail.find("host fingerprint differs") !=
+            std::string::npos &&
+        finding.detail.find("128") != std::string::npos) {
+      noted = true;
+    }
+  }
+  EXPECT_TRUE(noted);
+}
+
 TEST(BenchDiff, WithinBandPasses) {
   const auto baseline = tools::parse_bench(bench_doc(1'000'000, true));
   const auto candidate = tools::parse_bench(bench_doc(1'100'000, true));

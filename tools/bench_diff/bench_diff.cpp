@@ -221,7 +221,13 @@ BenchDoc parse_bench(const std::string& text) {
   const JsonValue& host = field(root, "host");
   doc.compiler = field(host, "compiler").string;
   doc.cores = static_cast<std::int64_t>(field(host, "cores").number);
-  doc.quick = field(root, "quick").boolean;
+  // quick lives in the host fingerprint since the eventlog PR; older
+  // committed trajectory entries carry it at top level.
+  if (host.object.count("quick") != 0) {
+    doc.quick = field(host, "quick").boolean;
+  } else {
+    doc.quick = field(root, "quick").boolean;
+  }
   const JsonValue& scenario = field(root, "scenario");
   doc.scenario_name = field(scenario, "name").string;
   doc.scenario_hash = field(scenario, "hash").string;

@@ -192,7 +192,7 @@ const std::vector<std::string> kRules = {
     "safety-omp-seed",   "safety-catch-value",    "safety-override",
     "layer-include",     "obs-stdio",             "lint-allow",
     "lint-io",           "mc-wall-clock",         "mc-real-socket",
-    "mc-unordered",
+    "mc-unordered",      "obs-eventlog-gateway",
 };
 
 bool starts_with(const std::string& s, const std::string& prefix) {
@@ -224,6 +224,19 @@ bool determinism_scope(const std::string& path) {
 bool obs_stdio_scope(const std::string& path) {
   if (!starts_with(path, "src/")) return false;
   return !starts_with(path, "src/report/") && !starts_with(path, "src/obs/");
+}
+
+/// The eventlog-gateway rule applies to library code (src/) outside the
+/// journal's own implementation (src/obs/): lifecycle events must go
+/// through the EVT_* macros so the VGRID_EVENTLOG kill switch (and the
+/// per-TU VGRID_EVENTLOG_FORCE_OFF override) can compile every site out.
+/// Direct open_trace/append_event/close_trace calls would survive the
+/// switch and skew the disabled-mode fast path. The sanctioned merge
+/// seams (core::TaskPool, the grid transport shell) carry explicit
+/// allow() suppressions with reasons.
+bool eventlog_gateway_scope(const std::string& path) {
+  if (!starts_with(path, "src/")) return false;
+  return !starts_with(path, "src/obs/");
 }
 
 /// mc-purity applies to everything the model checker executes inside its
@@ -625,6 +638,11 @@ std::vector<Diagnostic> lint_file(const std::string& path,
   static const std::regex kStdio(
       R"(\b(?:printf|fprintf|puts|fputs)\s*\(|\bstd::c(?:out|err)\b)");
   const bool stdio_scope = obs_stdio_scope(path);
+  // Raw journal API (reads like merge_from stay legal — only writes and
+  // ambient-sink lookups must funnel through the EVT_* macros).
+  static const std::regex kEventLogRaw(
+      R"(\b(?:open_trace|append_event|close_trace|current_event_log)\s*\()");
+  const bool eventlog_scope = eventlog_gateway_scope(path);
   static const std::regex kOmp(R"(#\s*pragma\s+omp\b)");
   static const std::regex kRedundantVirtual(R"(\bvirtual\b.*\boverride\b)");
   static const std::regex kVirtualDtor(R"(\bvirtual\s+~)");
@@ -662,6 +680,15 @@ std::vector<Diagnostic> lint_file(const std::string& path,
            "direct stdout/stderr write in library code; record metrics via "
            "obs instruments and render text via src/report (util/log and "
            "util/audit are the sanctioned gateways)"});
+    }
+    if (eventlog_scope && std::regex_search(code, kEventLogRaw) &&
+        !suppressed(sup, line_no, "obs-eventlog-gateway")) {
+      diagnostics.push_back(
+          {path, line_no, "obs-eventlog-gateway",
+           "direct journal write bypasses the VGRID_EVENTLOG kill switch; "
+           "go through the EVT_TRACE_OPEN/EVT_APPEND/EVT_TRACE_CLOSE "
+           "macros (core::TaskPool and the transport shell are the "
+           "sanctioned merge seams)"});
     }
 
     // --- determinism ------------------------------------------------------

@@ -43,6 +43,19 @@
 //                   [fleet] distributions, simulate one workunit per host
 //                   and print the canonical percentile summary — byte-
 //                   identical for any --jobs value (src/fleet)
+//   vgrid trace     [fleet|grid] [--max N] [--anomalous] [--out FILE]
+//                   render per-workunit lifecycle timelines from the
+//                   obs::EventLog journal (fleet: every simulated host;
+//                   grid: an in-process scripted protocol run with
+//                   volunteer deaths); --out writes a Chrome trace whose
+//                   flow arrows link each event to its causal parent
+//   vgrid tails     [fleet|grid] [--selfcheck]
+//                   decompose turnaround percentiles into queue-wait /
+//                   compute / validation / retry components and print
+//                   the wasted-work ledger (gigaops lost to deaths and
+//                   reissues, by VMM profile); --selfcheck reconciles
+//                   the journal against the independent turnaround
+//                   histogram with exact integer arithmetic
 //   vgrid mc        [--clients N] [--workunits W] [--replication R]
 //                   [--quorum Q] [--deaths K] [--max-depth D]
 //                   [--max-states N] [--inject-fault F] [--no-dpor]
@@ -62,6 +75,7 @@
 
 #include "util/cli_args.hpp"
 #include "core/availability.hpp"
+#include "obs/event_log.hpp"
 #include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "perf_harness.hpp"
@@ -72,8 +86,10 @@
 #include "core/guest_perf.hpp"
 #include "core/host_impact.hpp"
 #include "grid/deployment.hpp"
+#include "grid/server_logic.hpp"
 #include "mc/explorer.hpp"
 #include "report/chrome_trace.hpp"
+#include "report/event_trace.hpp"
 #include "report/table.hpp"
 #include "report/timeline.hpp"
 #include "scenario/scenario.hpp"
@@ -139,6 +155,18 @@ int usage() {
       "             scenario's [fleet] distributions (default scenario\n"
       "             fleet-small), simulate one workunit each, print the\n"
       "             canonical percentile summary (jobs-independent)\n"
+      "  trace      [fleet|grid] [--max N] [--anomalous] [--out FILE]\n"
+      "             fleet: [--hosts N] [--jobs J] [--seed S] [--ring N]\n"
+      "             grid:  [--workunits W] [--clients C] [--replication R]\n"
+      "                    [--deaths K]\n"
+      "             render per-workunit lifecycle timelines from the\n"
+      "             obs::EventLog journal; --out writes a Chrome trace\n"
+      "             with causal flow arrows\n"
+      "  tails      [fleet|grid] [--selfcheck] [same flags as trace]\n"
+      "             decompose turnaround percentiles into queue-wait/\n"
+      "             compute/validation/retry + the wasted-work ledger;\n"
+      "             --selfcheck reconciles the journal against the\n"
+      "             independent turnaround histogram\n"
       "  mc         [--clients N] [--workunits W] [--replication R]\n"
       "             [--quorum Q] [--deaths K] [--max-depth D]\n"
       "             [--max-states N] [--inject-fault "
@@ -148,10 +176,13 @@ int usage() {
       "             model-check the grid protocol's interleavings\n"
       "  determinism-audit [fig1..fig8|fleet] [--scenario S] [--reps N]\n"
       "             [--seed S] [--jobs N] [--metrics-only] [--profile]\n"
+      "             [--eventlog]\n"
       "             same-seed serial vs N-worker run, byte-diff results,\n"
       "             traces, and metric snapshots (--profile: with the\n"
-      "             profiler installed); the fleet target byte-diffs the\n"
-      "             fleet summary + metrics snapshot across --jobs {1,N}\n");
+      "             profiler installed; --eventlog: the lifecycle journal\n"
+      "             joins the byte-diffed stream); the fleet target\n"
+      "             byte-diffs the fleet summary + metrics snapshot\n"
+      "             across --jobs {1,N}\n");
   return 2;
 }
 
@@ -680,6 +711,11 @@ fleet::FleetConfig fleet_config_from(const Args& args) {
   if (const auto bug = args.get("inject-bug")) {
     config.inject_bug = fleet::parse_fleet_bug(*bug);
   }
+  // --ring N: flight-recorder capacity of the lifecycle journal
+  // (0 retains every trace); --no-eventlog turns the journal off.
+  config.eventlog = !args.has("no-eventlog");
+  config.eventlog_ring = static_cast<std::size_t>(args.get_long(
+      "ring", static_cast<long>(fleet::kDefaultEventlogRing)));
   return config;
 }
 
@@ -726,6 +762,203 @@ int cmd_fleet(const Args& args) {
   return 0;
 }
 
+// --- trace / tails -----------------------------------------------------------
+// Front end of the obs::EventLog lifecycle journal. `vgrid trace` renders
+// per-workunit timelines (and a Chrome trace with causal flow arrows);
+// `vgrid tails` decomposes turnaround percentiles into queue-wait /
+// compute / validation / retry and prints the wasted-work ledger. Both
+// take a target: `fleet` (the population run journals every host) or
+// `grid` (an in-process scripted protocol run on a logical clock).
+
+/// Drive grid::ServerLogic directly — no sockets, logical nanosecond
+/// clock — so ServerLogic's own EVT_* sites journal complete workunit
+/// lifecycles, including `deaths` deadline expiries with their reissues.
+/// This driver never writes journal events itself.
+void run_grid_script(std::uint64_t workunits, int clients, int replication,
+                     int deaths) {
+  grid::ServerLogic logic;
+  for (std::uint64_t i = 0; i < workunits; ++i) {
+    grid::Workunit workunit;
+    workunit.kind = "einstein";
+    workunit.payload = "wu-" + std::to_string(i + 1);
+    workunit.replication = replication;
+    workunit.quorum = replication;
+    workunit.deadline_seconds = 3600.0;
+    logic.add_workunit(std::move(workunit));
+  }
+  // Logical clock: every protocol step advances one scripted tick.
+  std::int64_t now_ns = 0;
+  const auto tick = [&now_ns] { return now_ns += 250'000'000; };
+  // Fetch phase: clients round-robin until the queue is dry. Holders of
+  // each workunit are remembered in fetch order (= ServerLogic's
+  // outstanding order, so an expiry hits the recorded client).
+  std::map<grid::WorkunitId, std::vector<std::string>> holders;
+  int dry_streak = 0;
+  int turn = 0;
+  while (dry_streak < clients) {
+    const std::string client = "c" + std::to_string(turn % clients);
+    ++turn;
+    const grid::WorkResponse work =
+        logic.next_work(grid::WorkRequest{client}, tick());
+    if (!work.has_work) {
+      ++dry_streak;
+      continue;
+    }
+    dry_streak = 0;
+    holders[work.workunit.id].push_back(client);
+  }
+  // Death phase: expire the oldest outstanding instance of the first
+  // `deaths` workunits (round-robin when deaths > workunits).
+  for (int death = 0; death < deaths && !holders.empty(); ++death) {
+    const grid::WorkunitId id =
+        (static_cast<grid::WorkunitId>(death) % workunits) + 1;
+    const auto held = holders.find(id);
+    if (held == holders.end() || held->second.empty()) continue;
+    if (logic.expire_instance(id)) {
+      held->second.erase(held->second.begin());
+    }
+  }
+  // Recovery phase: fresh volunteers pick up the reissues.
+  for (int death = 0; death < deaths; ++death) {
+    const std::string client = "lazarus" + std::to_string(death);
+    const grid::WorkResponse work =
+        logic.next_work(grid::WorkRequest{client}, tick());
+    if (work.has_work) holders[work.workunit.id].push_back(client);
+  }
+  // Submit phase: every surviving holder returns the matching result, so
+  // each workunit reaches quorum, validates, and credits — closing its
+  // trace.
+  for (const auto& [id, held] : holders) {
+    for (const std::string& client : held) {
+      grid::Result result;
+      result.workunit_id = id;
+      result.client_id = client;
+      // snprintf-backed, not operator+: GCC 12 PR105651 -Wrestrict FP.
+      result.output = util::format("r%llu", static_cast<unsigned long long>(id));
+      result.cpu_seconds = 1.0 + 0.25 * static_cast<double>(id % 4);
+      tick();
+      (void)logic.accept_result(grid::SubmitRequest{result});
+    }
+  }
+}
+
+/// Explain an empty journal: distinguish the kill-switch build from a
+/// genuinely event-free run.
+bool journal_usable(const obs::EventLog& log) {
+  if (obs::kEventLogCompiledIn) return true;
+  std::fprintf(stderr,
+               "vgrid: lifecycle journal is empty — this binary was built "
+               "with -DVGRID_EVENTLOG=OFF\n");
+  return log.traces_closed() != 0;
+}
+
+int cmd_trace(const Args& args) {
+  const std::string target =
+      args.positional().empty() ? "fleet" : args.positional()[0];
+  const auto max_traces =
+      static_cast<std::size_t>(args.get_long("max", 10));
+  const bool anomalous_only = args.has("anomalous");
+  const std::string out = args.get_or("out", "");
+
+  std::unique_ptr<obs::EventLog> owned;
+  fleet::FleetResult result;
+  if (target == "fleet") {
+    const scenario::Scenario scenario =
+        scenario::load(args.get_or("scenario", "fleet-small"));
+    fleet::FleetConfig config = fleet_config_from(args);
+    config.eventlog = true;
+    result = fleet::run_fleet(scenario, config);
+    owned = std::move(result.event_log);
+  } else if (target == "grid") {
+    owned = std::make_unique<obs::EventLog>();
+    obs::ScopedEventLog scope(owned.get());
+    run_grid_script(
+        static_cast<std::uint64_t>(args.get_long("workunits", 6)),
+        static_cast<int>(args.get_long("clients", 4)),
+        static_cast<int>(args.get_long("replication", 2)),
+        static_cast<int>(args.get_long("deaths", 2)));
+  } else {
+    std::fprintf(stderr, "no such trace target '%s'; use fleet or grid\n",
+                 target.c_str());
+    return 2;
+  }
+  if (!journal_usable(*owned)) return 1;
+  std::fputs(report::render_timelines(*owned, max_traces, anomalous_only)
+                 .c_str(),
+             stdout);
+  if (!out.empty()) {
+    report::write_event_trace(out, *owned, {}, {});
+    std::printf("Chrome lifecycle trace written to %s (flow arrows link "
+                "causal events)\n",
+                out.c_str());
+  }
+  return 0;
+}
+
+int cmd_tails(const Args& args) {
+  const std::string target =
+      args.positional().empty() ? "fleet" : args.positional()[0];
+  std::unique_ptr<obs::EventLog> owned;
+  fleet::FleetResult result;
+  fleet::FleetConfig config;
+  bool have_fleet = false;
+  if (target == "fleet") {
+    const scenario::Scenario scenario =
+        scenario::load(args.get_or("scenario", "fleet-small"));
+    config = fleet_config_from(args);
+    config.eventlog = true;
+    result = fleet::run_fleet(scenario, config);
+    owned = std::move(result.event_log);
+    have_fleet = true;
+  } else if (target == "grid") {
+    owned = std::make_unique<obs::EventLog>();
+    obs::ScopedEventLog scope(owned.get());
+    run_grid_script(
+        static_cast<std::uint64_t>(args.get_long("workunits", 6)),
+        static_cast<int>(args.get_long("clients", 4)),
+        static_cast<int>(args.get_long("replication", 2)),
+        static_cast<int>(args.get_long("deaths", 2)));
+  } else {
+    std::fprintf(stderr, "no such tails target '%s'; use fleet or grid\n",
+                 target.c_str());
+    return 2;
+  }
+  if (!journal_usable(*owned)) return 1;
+  std::fputs(report::format_tails(*owned).c_str(), stdout);
+
+  if (args.has("selfcheck")) {
+    // Reconcile the journal's aggregates against the independently
+    // accumulated turnaround histogram: fleet.workunit.turnaround_ms for
+    // the fleet target, the journal's own closed-trace count identity
+    // for grid. This is what catches a silently dropped sub-journal
+    // merge (ctest eventlog.finds.dropped_merge).
+    std::vector<std::string> violations;
+    if (have_fleet) {
+      const obs::Histogram& reference = result.registry->histogram(
+          "fleet.workunit.turnaround_ms", fleet::duration_ms_buckets());
+      violations = report::reconcile_tails(*owned, reference);
+      const std::vector<std::string> fleet_violations =
+          fleet::selfcheck(result, config.inject_bug);
+      violations.insert(violations.end(), fleet_violations.begin(),
+                        fleet_violations.end());
+    } else {
+      const obs::Histogram* local =
+          owned->stats().find_histogram("trace.turnaround");
+      if (local == nullptr || local->count() != owned->traces_closed()) {
+        violations.push_back("journal turnaround count != closed traces");
+      }
+    }
+    for (const std::string& violation : violations) {
+      std::fprintf(stderr, "tails selfcheck FAIL: %s\n", violation.c_str());
+    }
+    if (!violations.empty()) return 1;
+    std::printf("tails selfcheck PASS: decomposition reconciles with the "
+                "turnaround aggregates (%llu lifecycles)\n",
+                static_cast<unsigned long long>(owned->traces_closed()));
+  }
+  return 0;
+}
+
 // --- determinism-audit -------------------------------------------------------
 // ARCHITECTURE.md §5 promises "runs are exactly reproducible given a seed";
 // this subcommand enforces it end to end: run one figure experiment twice
@@ -759,6 +992,11 @@ int audit_fleet(const Args& args) {
   fleet::FleetConfig config = fleet_config_from(args);
   const int jobs = static_cast<int>(args.get_long("jobs", 1));
 
+  // --eventlog widens the byte-diffed stream with the lifecycle journal
+  // (header, counters, every retained trace): ring retention and the
+  // shard-ordered sub-journal merges must reproduce the serial journal
+  // byte for byte, ring churn included.
+  const bool eventlog = args.has("eventlog");
   const auto run_once = [&](int jobs_value) {
     fleet::FleetConfig run = config;
     run.jobs = jobs_value;
@@ -767,6 +1005,12 @@ int audit_fleet(const Args& args) {
     std::string stream = fleet::format_summary(scenario, result);
     stream += "=== metrics ===\n";
     stream += result.registry->snapshot_json();
+    if (eventlog && result.event_log != nullptr) {
+      stream += "=== eventlog ===\n";
+      stream += result.event_log->render_journal();
+      stream += "=== tails ===\n";
+      stream += report::format_tails(*result.event_log);
+    }
     return stream;
   };
   const std::string first = run_once(1);
@@ -783,7 +1027,7 @@ int audit_fleet(const Args& args) {
 std::string run_captured(ScenarioFigureFn fn,
                          const scenario::Scenario& scenario,
                          const core::RunnerConfig& runner,
-                         bool metrics_only) {
+                         bool metrics_only, bool eventlog) {
   // The metric snapshot always joins the byte-diffed stream: a counter that
   // depends on worker interleaving is as much a determinism bug as a
   // diverging trace. --metrics-only narrows the stream to the snapshot
@@ -795,8 +1039,14 @@ std::string run_captured(ScenarioFigureFn fn,
   obs::Registry registry;
   obs::register_defaults(registry);
   record_scenario_info(registry, scenario);
+  // --eventlog keeps a lifecycle journal installed for the whole run;
+  // figure experiments emit no lifecycle events themselves, but the
+  // journal bytes (and TaskPool's per-task sub-log merges) must still be
+  // identical across worker counts.
+  obs::EventLog journal;
   {
     obs::ScopedRegistry metrics_scope(&registry);
+    obs::ScopedEventLog journal_scope(eventlog ? &journal : nullptr);
     if (!metrics_only) core::set_trace_capture(&stream);
     const core::FigureResult figure = fn(scenario, runner);
     if (!metrics_only) {
@@ -815,6 +1065,10 @@ std::string run_captured(ScenarioFigureFn fn,
   }
   stream += "=== metrics ===\n";
   stream += registry.snapshot_json();
+  if (eventlog) {
+    stream += "=== eventlog ===\n";
+    stream += journal.render_journal();
+  }
   return stream;
 }
 
@@ -843,6 +1097,7 @@ int cmd_determinism_audit(const Args& args) {
   // the classic same-config double run.
   const int jobs = static_cast<int>(args.get_long("jobs", 1));
   const bool metrics_only = args.has("metrics-only");
+  const bool eventlog = args.has("eventlog");
   // --profile installs the wall-clock profiler for both runs. The profile
   // itself never joins the byte stream (wall times are not deterministic);
   // the point is that *having it on* must not perturb the stream — the
@@ -852,10 +1107,11 @@ int cmd_determinism_audit(const Args& args) {
   obs::ScopedProfiler prof_scope(profile ? &profiler : nullptr);
 
   runner.jobs = 1;
-  const std::string first = run_captured(fn, scenario, runner, metrics_only);
+  const std::string first =
+      run_captured(fn, scenario, runner, metrics_only, eventlog);
   runner.jobs = jobs;
   const std::string second =
-      run_captured(fn, scenario, runner, metrics_only);
+      run_captured(fn, scenario, runner, metrics_only, eventlog);
   if (!streams_identical(id, first, second, jobs)) return 1;
   std::printf(
       "determinism-audit PASS: %s [scenario %s %s] %sbyte-identical "
@@ -1030,6 +1286,8 @@ int dispatch(int argc, char** argv) {
   if (command == "profile") return cmd_profile(args);
   if (command == "bench") return cmd_bench(args);
   if (command == "fleet") return cmd_fleet(args);
+  if (command == "trace") return cmd_trace(args);
+  if (command == "tails") return cmd_tails(args);
   if (command == "mc") return cmd_mc(args);
   if (command == "determinism-audit") return cmd_determinism_audit(args);
   return usage();
