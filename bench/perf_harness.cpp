@@ -84,6 +84,7 @@ Suite default_suite() {
   Suite suite;
   register_event_queue_benches(suite);
   register_scheduler_benches(suite);
+  register_machine_benches(suite);
   register_message_benches(suite);
   register_fig5_bench(suite);
   register_fleet_bench(suite);

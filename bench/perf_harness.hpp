@@ -77,6 +77,7 @@ class Suite {
 // Registrars, one per perf_*.cpp.
 void register_event_queue_benches(Suite& suite);
 void register_scheduler_benches(Suite& suite);
+void register_machine_benches(Suite& suite);
 void register_message_benches(Suite& suite);
 void register_fig5_bench(Suite& suite);
 void register_fleet_bench(Suite& suite);

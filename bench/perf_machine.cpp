@@ -1,0 +1,50 @@
+// Machine service-load redistribution: the hw-layer cost paid on every
+// occupancy or demand change. The scheduler publishes occupancy on every
+// pass and the VMM adjusts service demand on every VM state change, so
+// this path runs millions of times in a fleet run. The loop alternates
+// host-thread and VM-owned placements with periodic demand changes —
+// exactly the mix that forces share recomputation — and folds the derived
+// interrupt shares into a checksum so the work cannot be optimized away.
+
+#include <string>
+
+#include "hw/machine.hpp"
+#include "perf_harness.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace vgrid::perf {
+
+void register_machine_benches(Suite& suite) {
+  suite.add("hw.machine.redistribute", [](const BenchConfig& config) {
+    sim::Simulator simulator;
+    hw::Machine machine(simulator, config.scenario.machine);
+    const int cores = machine.core_count();
+    const int updates = config.quick ? 200'000 : 2'000'000;
+
+    double checksum = 0.0;
+    for (int i = 0; i < updates; ++i) {
+      const int core = i % cores;
+      if (i % 8 == 0) {
+        // Demand changes always redistribute; alternate between a light
+        // and a heavy hypervisor load.
+        machine.set_service_demand(i % 16 == 0 ? 0.3 : 0.6);
+      }
+      if (i % 2 == 0) {
+        machine.set_occupancy(
+            core, hw::CoreOccupancy{true, 0.5, 0.5, i % 4 == 0});
+      } else {
+        machine.clear_occupancy(core);
+      }
+      checksum += machine.interrupt_share(core);
+    }
+    if (!(checksum > 0.0)) {
+      throw util::SimulationError(
+          "perf_machine: interrupt shares never materialized (checksum " +
+          std::to_string(checksum) + ")");
+    }
+    return static_cast<double>(updates);
+  });
+}
+
+}  // namespace vgrid::perf

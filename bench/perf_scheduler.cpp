@@ -1,39 +1,113 @@
 // Scheduler throughput: how fast the host-OS scheduler model burns
-// through scheduling passes. A testbed with more runnable threads than
-// cores keeps the quantum rotation busy, so context switches per wall
-// second measures the resched/accrue/publish-occupancy pipeline — the
-// inner loop every figure spends most of its simulated time in.
+// through scheduling passes. The workload is deliberately hostile to the
+// resched path: more runnable threads than cores (every quantum expiry is
+// a real rotation), short-lived churn threads that respawn from their
+// on_done handler (spawn and teardown inside a pass), and priority flips
+// between churn generations (class-queue migration). A single repetition
+// performs thousands of passes, so a resched regression moves the median
+// instead of hiding inside harness noise.
 
 #include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
 
 #include "core/testbed.hpp"
+#include "os/program.hpp"
 #include "os/thread.hpp"
 #include "perf_harness.hpp"
 #include "util/error.hpp"
-#include "workloads/sevenzip/bench7z.hpp"
 
 namespace vgrid::perf {
 
+namespace {
+
+// One compute block is roughly a 20 ms quantum on the paper testbed
+// (2.4 GHz, default mix), so most blocks end in a quantum rotation.
+constexpr double kQuantumBlock = 4.5e7;
+
+std::unique_ptr<os::Program> worker_program(int blocks) {
+  os::ProgramBuilder builder;
+  for (int b = 0; b < blocks; ++b) {
+    builder.compute(kQuantumBlock, {});
+    // A periodic nap empties a runqueue slot and re-enters through the
+    // wake path — block/wake churn, not just rotation churn.
+    if (b % 16 == 15) builder.sleep(sim::from_millis(1.0));
+  }
+  return builder.build();
+}
+
+std::unique_ptr<os::Program> churn_program() {
+  os::ProgramBuilder builder;
+  builder.compute(kQuantumBlock / 4.0, {});
+  builder.sleep(sim::from_millis(0.5));
+  builder.compute(kQuantumBlock / 4.0, {});
+  return builder.build();
+}
+
+}  // namespace
+
 void register_scheduler_benches(Suite& suite) {
   suite.add("os.scheduler.passes", [](const BenchConfig& config) {
-    workloads::Bench7zConfig bench;
-    bench.data_bytes = config.quick ? 192 * 1024 : 1024 * 1024;
-    const workloads::SevenZipBench sevenzip{bench};
     core::Testbed testbed(config.scenario);
-    // Oversubscribe: cores + 2 competing threads keeps every quantum
-    // expiry a real rotation instead of a no-op.
-    const int threads = config.scenario.machine.chip.cores + 2;
-    for (int i = 0; i < threads; ++i) {
-      testbed.scheduler().spawn("7z-" + std::to_string(i),
-                                os::PriorityClass::kNormal,
-                                sevenzip.make_program());
+    const int cores = config.scenario.machine.chip.cores;
+    const int workers = cores + 2;
+    const int blocks = config.quick ? 400 : 2000;
+
+    // Long-lived workers: oversubscribed rotation + wake churn.
+    os::HostThread* flip_target = nullptr;
+    for (int i = 0; i < workers; ++i) {
+      os::HostThread& thread = testbed.scheduler().spawn(
+          "worker-" + std::to_string(i), os::PriorityClass::kNormal,
+          worker_program(blocks));
+      if (i == 0) flip_target = &thread;
     }
+
+    // Churn chain: each generation respawns its successor from on_done —
+    // the spawn lands inside the scheduler's advance phase — and flips a
+    // long-lived worker between Normal and Idle so selections cross
+    // priority classes.
+    struct Churn {
+      core::Testbed* testbed = nullptr;
+      os::HostThread* flip_target = nullptr;
+      int remaining = 0;
+      int generation = 0;
+      std::function<void(os::HostThread&)> respawn;
+    };
+    // Stack-scoped: every callback fires inside run_all(), while this
+    // frame is live. A shared_ptr capture here would cycle (Churn owns
+    // respawn, respawn would own Churn) and leak.
+    Churn churn;
+    churn.testbed = &testbed;
+    churn.flip_target = flip_target;
+    churn.remaining = config.quick ? 200 : 1000;
+    churn.respawn = [&churn](os::HostThread&) {
+      if (churn.remaining-- <= 0) return;
+      ++churn.generation;
+      churn.flip_target->set_priority(churn.generation % 2 == 0
+                                          ? os::PriorityClass::kNormal
+                                          : os::PriorityClass::kIdle);
+      os::HostThread& next = churn.testbed->scheduler().spawn(
+          "churn-" + std::to_string(churn.generation),
+          churn.generation % 3 == 0 ? os::PriorityClass::kHigh
+                                    : os::PriorityClass::kNormal,
+          churn_program());
+      next.set_on_done(churn.respawn);
+    };
+    os::HostThread& seed = testbed.scheduler().spawn(
+        "churn-0", os::PriorityClass::kNormal, churn_program());
+    seed.set_on_done(churn.respawn);
+
     testbed.run_all();
     const auto* scheduler =
         dynamic_cast<const os::BaseScheduler*>(&testbed.scheduler());
-    if (scheduler == nullptr || scheduler->context_switches() == 0) {
+    if (scheduler == nullptr || scheduler->context_switches() < 1000) {
       throw util::SimulationError(
-          "perf_scheduler: expected context switches");
+          "perf_scheduler: expected a multi-thousand-pass workload, got " +
+          std::to_string(scheduler == nullptr
+                             ? 0
+                             : scheduler->context_switches()) +
+          " context switches");
     }
     return static_cast<double>(scheduler->context_switches());
   });

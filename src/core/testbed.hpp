@@ -11,7 +11,8 @@
 // allocation for it), and the event queue's backing store can be recycled
 // across consecutive testbeds through a TestbedArena. A fleet run builds
 // 100k single-host testbeds back to back; with an arena each host reuses
-// the previous host's heap vector and callback hash buckets instead of
+// the previous host's heap array, slot arena, and inline-callback arena
+// (the three vectors inside sim::EventQueue::Storage) instead of
 // re-growing them.
 
 #include <string>

@@ -48,11 +48,21 @@ Machine::Machine(sim::Simulator& simulator, MachineConfig config,
     : simulator_(simulator), config_(config), chip_(config.chip),
       disk_(simulator, config.disk, tracer), nic_(simulator, config.nic, tracer),
       tracer_(tracer),
-      occupancy_(static_cast<std::size_t>(chip_.core_count())),
-      interrupt_share_(static_cast<std::size_t>(chip_.core_count()), 0.0) {}
+      occupancy_(static_cast<std::size_t>(chip_.core_count())) {}
+
+namespace {
+/// Host-busy cores (a non-VM thread occupies them) only receive service
+/// spill-over; everything else — idle cores and cores running VM-owned
+/// work — absorbs service load first.
+bool host_busy(const CoreOccupancy& occupancy) noexcept {
+  return occupancy.busy && !occupancy.vm_owned;
+}
+}  // namespace
 
 void Machine::set_occupancy(int core, const CoreOccupancy& occupancy) {
-  occupancy_.at(static_cast<std::size_t>(core)) = occupancy;
+  CoreOccupancy& slot = occupancy_.at(static_cast<std::size_t>(core));
+  const bool was_host_busy = host_busy(slot);
+  slot = occupancy;
   if (obs_occupancy_updates_) obs_occupancy_updates_->add();
   if (obs_contended_placements_ && occupancy.busy) {
     // A placement contends for the shared L2/bus when another core is
@@ -64,7 +74,10 @@ void Machine::set_occupancy(int core, const CoreOccupancy& occupancy) {
       }
     }
   }
-  redistribute_service_load();
+  if (host_busy(slot) != was_host_busy) {
+    if (was_host_busy) --host_busy_count_; else ++host_busy_count_;
+    redistribute_service_load();
+  }
 }
 
 const CoreOccupancy& Machine::occupancy(int core) const {
@@ -72,8 +85,13 @@ const CoreOccupancy& Machine::occupancy(int core) const {
 }
 
 void Machine::clear_occupancy(int core) {
-  occupancy_.at(static_cast<std::size_t>(core)) = CoreOccupancy{};
-  redistribute_service_load();
+  CoreOccupancy& slot = occupancy_.at(static_cast<std::size_t>(core));
+  const bool was_host_busy = host_busy(slot);
+  slot = CoreOccupancy{};
+  if (was_host_busy) {
+    --host_busy_count_;
+    redistribute_service_load();
+  }
 }
 
 void Machine::set_service_demand(double cores_worth) {
@@ -99,48 +117,43 @@ void Machine::redistribute_service_load() {
   // Interrupt/DPC-level work lands on cores with spare capacity first: idle
   // cores, or cores running the VM's own threads (there it preempts the
   // vCPU, costing the guest, not the host). It spills onto cores running
-  // host threads only when the machine is saturated.
-  std::fill(interrupt_share_.begin(), interrupt_share_.end(), 0.0);
-
-  std::vector<std::size_t> absorbing;  // idle or VM-owned occupant
-  std::vector<std::size_t> host_busy;
-  for (std::size_t i = 0; i < occupancy_.size(); ++i) {
-    if (occupancy_[i].busy && !occupancy_[i].vm_owned) {
-      host_busy.push_back(i);
-    } else {
-      absorbing.push_back(i);
-    }
-  }
+  // host threads only when the machine is saturated. Cores of a class all
+  // carry the same share, so only the two class scalars are recomputed —
+  // no per-core pass, no index vectors.
+  const std::size_t host_busy_cores = host_busy_count_;
+  const std::size_t absorbing_cores = occupancy_.size() - host_busy_cores;
 
   // A core is never fully consumed by interrupt work — the OS always
   // retires some thread instructions between interrupts. The cap keeps
   // every scheduled thread live (a zero rate would stall the simulation).
   constexpr double kMaxShare = 0.95;
 
+  absorbing_share_ = 0.0;
+  host_busy_share_ = 0.0;
   double remaining = service_demand_;
-  if (remaining > 0.0 && !absorbing.empty()) {
+  if (remaining > 0.0 && absorbing_cores > 0) {
     const double each = std::min(
-        kMaxShare, remaining / static_cast<double>(absorbing.size()));
-    for (const std::size_t i : absorbing) interrupt_share_[i] = each;
-    remaining -= each * static_cast<double>(absorbing.size());
+        kMaxShare, remaining / static_cast<double>(absorbing_cores));
+    absorbing_share_ = each;
+    remaining -= each * static_cast<double>(absorbing_cores);
   }
-  if (remaining > 1e-12 && !host_busy.empty()) {
+  if (remaining > 1e-12 && host_busy_cores > 0) {
     const double each = std::min(
-        kMaxShare, remaining / static_cast<double>(host_busy.size()));
-    for (const std::size_t i : host_busy) interrupt_share_[i] += each;
+        kMaxShare, remaining / static_cast<double>(host_busy_cores));
+    host_busy_share_ += each;
   }
 
   if (uniform_demand_ > 0.0 && !occupancy_.empty()) {
     const double each = std::min(
         kMaxShare, uniform_demand_ / static_cast<double>(occupancy_.size()));
-    for (double& share : interrupt_share_) {
-      share = std::min(kMaxShare, share + each);
-    }
+    absorbing_share_ = std::min(kMaxShare, absorbing_share_ + each);
+    host_busy_share_ = std::min(kMaxShare, host_busy_share_ + each);
   }
 }
 
 double Machine::interrupt_share(int core) const {
-  return interrupt_share_.at(static_cast<std::size_t>(core));
+  const CoreOccupancy& occupancy = occupancy_.at(static_cast<std::size_t>(core));
+  return host_busy(occupancy) ? host_busy_share_ : absorbing_share_;
 }
 
 double Machine::rate_factor(int core, double sensitivity,
@@ -153,7 +166,8 @@ double Machine::rate_factor(int core, double sensitivity,
   }
   // Interrupt-level service work also thrashes the shared cache a little.
   corunner_pressure += 0.03 * service_demand_;
-  const double share = interrupt_share_.at(self);
+  const double share =
+      host_busy(occupancy_.at(self)) ? host_busy_share_ : absorbing_share_;
   VGRID_AUDIT(share >= 0.0 && share < 1.0,
               "interrupt share %g on core %d outside [0,1)", share, core);
   const double tax = vm_owned ? 1.0 : 1.0 - share;

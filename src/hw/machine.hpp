@@ -85,7 +85,10 @@ class Machine {
   double uniform_service_demand() const noexcept { return uniform_demand_; }
 
   /// Fraction of `core` consumed by interrupt-level service work under the
-  /// current distribution (recomputed whenever occupancy or demand change).
+  /// current distribution. Every core of a class (absorbing vs host-busy)
+  /// carries the same share, so the value is derived from the core's
+  /// classification and two scalars maintained incrementally — occupancy
+  /// changes that do not reclassify a core skip redistribution entirely.
   double interrupt_share(int core) const;
 
   /// Rate factor in (0,1] for a thread with `sensitivity` running on `core`:
@@ -117,7 +120,15 @@ class Machine {
   Nic nic_;
   sim::Tracer* tracer_;
   std::vector<CoreOccupancy> occupancy_;
-  std::vector<double> interrupt_share_;
+  // Service-load distribution collapsed to per-class scalars: every
+  // absorbing core (idle or VM-owned occupant) carries absorbing_share_,
+  // every host-busy core carries host_busy_share_. host_busy_count_ is
+  // maintained incrementally on occupancy changes; redistribution is O(1)
+  // in the core count and runs only when a core is reclassified or a
+  // demand changes.
+  double absorbing_share_ = 0.0;
+  double host_busy_share_ = 0.0;
+  std::size_t host_busy_count_ = 0;
   double service_demand_ = 0.0;
   double uniform_demand_ = 0.0;
   std::uint64_t ram_committed_ = 0;

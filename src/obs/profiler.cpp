@@ -6,11 +6,11 @@
 
 namespace vgrid::obs {
 
-namespace {
+namespace detail {
 
-thread_local Profiler* t_current_profiler = nullptr;
+thread_local constinit Profiler* t_current_profiler = nullptr;
 
-}  // namespace
+}  // namespace detail
 
 Profiler::Profiler() {
   nodes_.push_back(Node{});  // synthetic root
@@ -101,24 +101,14 @@ void Profiler::merge_from(const Profiler& other) {
   }
 }
 
-// ---- ambient current profiler ----------------------------------------------
-
-Profiler* current_profiler() noexcept { return t_current_profiler; }
-
-void set_current_profiler(Profiler* profiler) noexcept {
-  t_current_profiler = profiler;
-}
-
 // ---- ProfScope --------------------------------------------------------------
 
-ProfScope::ProfScope(const char* name) : profiler_(current_profiler()) {
-  if (profiler_ == nullptr) return;
+void ProfScope::begin(const char* name) {
   node_ = profiler_->enter(name);
   start_ns_ = util::monotonic_time_ns();
 }
 
-ProfScope::~ProfScope() {
-  if (profiler_ == nullptr) return;
+void ProfScope::end() noexcept {
   profiler_->leave(node_, util::monotonic_time_ns() - start_ns_);
 }
 

@@ -102,11 +102,23 @@ class Profiler {
 
 // ---- ambient current profiler ----------------------------------------------
 
+namespace detail {
+/// Defined in profiler.cpp; exposed here so the no-profiler fast path of
+/// ProfScope inlines to a thread-local load + branch at every call site
+/// instead of paying two cross-TU calls per scope. constinit so accesses
+/// hit the TLS slot directly instead of going through the init wrapper.
+extern thread_local constinit Profiler* t_current_profiler;
+}  // namespace detail
+
 /// The calling thread's profiler (nullptr when profiling is off). Like
 /// obs::current(): core::TaskPool points each worker at a per-task
 /// sub-profiler and merges in task order.
-Profiler* current_profiler() noexcept;
-void set_current_profiler(Profiler* profiler) noexcept;
+inline Profiler* current_profiler() noexcept {
+  return detail::t_current_profiler;
+}
+inline void set_current_profiler(Profiler* profiler) noexcept {
+  detail::t_current_profiler = profiler;
+}
 
 /// RAII installer; restores the previous profiler on scope exit.
 class ScopedProfiler {
@@ -128,12 +140,19 @@ class ScopedProfiler {
 /// the constructor is a load + branch and the destructor a branch.
 class ProfScope {
  public:
-  explicit ProfScope(const char* name);
-  ~ProfScope();
+  explicit ProfScope(const char* name) : profiler_(current_profiler()) {
+    if (profiler_ != nullptr) begin(name);
+  }
+  ~ProfScope() {
+    if (profiler_ != nullptr) end();
+  }
   ProfScope(const ProfScope&) = delete;
   ProfScope& operator=(const ProfScope&) = delete;
 
  private:
+  void begin(const char* name);  ///< slow path: enter scope, stamp clock
+  void end() noexcept;           ///< slow path: stamp clock, leave scope
+
   Profiler* profiler_;
   std::int32_t node_ = 0;
   std::int64_t start_ns_ = 0;

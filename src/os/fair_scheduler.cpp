@@ -33,10 +33,12 @@ void FairScheduler::policy_enqueue(HostThread& thread) {
   // New and waking threads start at the current minimum so they neither
   // monopolize (vruntime 0 forever) nor starve (huge backlog).
   vruntime_[&thread] = min_vruntime();
+  invalidate_selection();
 }
 
 void FairScheduler::policy_dequeue(HostThread& thread) {
   vruntime_.erase(&thread);
+  invalidate_selection();
 }
 
 void FairScheduler::policy_quantum_expired(HostThread&) {
@@ -50,30 +52,30 @@ void FairScheduler::policy_account(HostThread& thread,
   if (it == vruntime_.end()) return;
   it->second += static_cast<double>(ran) * 1024.0 /
                 weight_of(thread.priority());
+  // The selection keys off vruntime, so every accounting tick can reorder
+  // it — fair scheduling gets no cross-pass caching, only buffer reuse.
+  invalidate_selection();
 }
 
-std::vector<HostThread*> FairScheduler::policy_select(std::size_t cores) {
-  std::vector<std::pair<double, HostThread*>> order;
-  order.reserve(vruntime_.size());
+void FairScheduler::policy_select(std::size_t cores,
+                                  std::vector<HostThread*>& out) {
+  order_.clear();
   for (const auto& [thread, vr] : vruntime_) {
-    order.emplace_back(vr, thread);
+    order_.emplace_back(vr, thread);
   }
   // Stable total order: vruntime, then pointer (map order) as tiebreak —
   // deterministic because threads are created in program order from a
   // monotone allocator... pointer order is not guaranteed stable across
   // runs, so tiebreak on name instead.
-  std::sort(order.begin(), order.end(),
+  std::sort(order_.begin(), order_.end(),
             [](const auto& a, const auto& b) {
               if (a.first != b.first) return a.first < b.first;
               return a.second->name() < b.second->name();
             });
-  std::vector<HostThread*> selected;
-  selected.reserve(cores);
-  for (const auto& [_, thread] : order) {
-    if (selected.size() == cores) break;
-    selected.push_back(thread);
+  for (const auto& [_, thread] : order_) {
+    if (out.size() == cores) break;
+    out.push_back(thread);
   }
-  return selected;
 }
 
 }  // namespace vgrid::os

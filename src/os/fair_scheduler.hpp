@@ -13,6 +13,8 @@
 // bench/extension_linux_host.
 
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "os/scheduler.hpp"
 
@@ -33,13 +35,16 @@ class FairScheduler final : public BaseScheduler {
   void policy_dequeue(HostThread& thread) override;
   void policy_quantum_expired(HostThread& thread) override;
   void policy_account(HostThread& thread, sim::SimDuration ran) override;
-  std::vector<HostThread*> policy_select(std::size_t cores) override;
+  void policy_select(std::size_t cores,
+                     std::vector<HostThread*>& out) override;
 
  private:
   double min_vruntime() const;
 
   // vruntime per runnable thread, nanoseconds scaled by 1024/weight.
   std::map<HostThread*, double> vruntime_;
+  // Reusable sort scratch for policy_select (no per-pass allocation).
+  std::vector<std::pair<double, HostThread*>> order_;
 };
 
 }  // namespace vgrid::os

@@ -36,6 +36,8 @@ BaseScheduler::BaseScheduler(hw::Machine& machine, SchedulerConfig config)
 HostThread& BaseScheduler::spawn(std::string name, PriorityClass priority,
                                  std::unique_ptr<Program> program,
                                  bool vm_owned) {
+  // vgrid-lint: allow(sim-hot-alloc): thread creation is setup, not the
+  // per-event resched path; HostThread ownership lives in threads_.
   threads_.push_back(std::make_unique<HostThread>(
       std::move(name), priority, std::move(program), vm_owned));
   HostThread& thread = *threads_.back();
@@ -189,29 +191,43 @@ void BaseScheduler::publish_occupancy() {
   }
 }
 
+bool BaseScheduler::selection_contains(
+    const HostThread& thread) const noexcept {
+  return std::find(selected_.begin(), selected_.end(), &thread) !=
+         selected_.end();
+}
+
+// A resched is one flat sweep: accrue once, advance finished programs once,
+// fix up the selection, publish occupancy once, arm segment events once.
+// User code (on_done handlers, spawn) runs only inside the advance phase;
+// a nested resched() from there only mutates the runnable set or the rate
+// inputs, both of which the remaining phases read *after* all callbacks
+// have run — so nested requests re-run the cheap selection fixup, never
+// the whole pass.
 void BaseScheduler::resched() {
   if (in_resched_) {
-    // Callbacks fired from inside a pass (e.g. on_done spawning a new
-    // thread) request another pass instead of recursing.
     resched_pending_ = true;
     return;
   }
   in_resched_ = true;
+  PROF_SCOPE("os.scheduler.resched_pass");
 
+  accrue_all_running();
   do {
     resched_pending_ = false;
-    resched_pass();
+    advance_finished();
+    select_and_place();
   } while (resched_pending_);
+  publish_occupancy();
+  arm_segment_events();
 
   in_resched_ = false;
 }
 
-void BaseScheduler::resched_pass() {
-  PROF_SCOPE("os.scheduler.resched_pass");
-  accrue_all_running();
-
-  // Any running thread whose step completed during accrual advances its
-  // program now (it may block, finish, or start the next compute step).
+// Any running thread whose step completed during accrual advances its
+// program now (it may block, finish, or start the next compute step).
+// This is the only phase that runs user code.
+void BaseScheduler::advance_finished() {
   for (std::size_t core = 0; core < on_core_.size(); ++core) {
     HostThread* thread = on_core_[core];
     if (thread == nullptr) continue;
@@ -225,20 +241,24 @@ void BaseScheduler::resched_pass() {
       }
     }
   }
+}
 
-  // Ask the policy for the threads that should run now.
+void BaseScheduler::select_and_place() {
   const auto cores = static_cast<std::size_t>(machine_.core_count());
-  const std::vector<HostThread*> selected = policy_select(cores);
-  VGRID_AUDIT(selected.size() <= cores,
-              "policy selected %zu threads for %zu cores", selected.size(),
-              cores);
+  if (!selection_valid_) {
+    selected_.clear();
+    policy_select(cores, selected_);
+    selection_valid_ = true;
+    VGRID_AUDIT(selected_.size() <= cores,
+                "policy selected %zu threads for %zu cores",
+                selected_.size(), cores);
+  }
 
   // Keep affine placements; evict running threads that were not selected.
   for (std::size_t core = 0; core < on_core_.size(); ++core) {
     HostThread* thread = on_core_[core];
     if (thread == nullptr) continue;
-    if (std::find(selected.begin(), selected.end(), thread) ==
-        selected.end()) {
+    if (!selection_contains(*thread)) {
       thread->state_ = ThreadState::kReady;
       thread->core_ = -1;
       on_core_[core] = nullptr;
@@ -253,7 +273,7 @@ void BaseScheduler::resched_pass() {
   }
 
   // Place newly selected threads on free cores.
-  for (HostThread* thread : selected) {
+  for (HostThread* thread : selected_) {
     if (thread->core_ >= 0) continue;  // already placed
     const auto free = std::find(on_core_.begin(), on_core_.end(), nullptr);
     if (free == on_core_.end()) {
@@ -269,10 +289,13 @@ void BaseScheduler::resched_pass() {
                      thread->name(), util::format("core %d", core));
     }
   }
+}
 
-  publish_occupancy();
-
-  // Fresh rates and segment events for every running thread.
+// Fresh rates and segment events for every running thread. Rates are
+// recomputed here on every pass regardless of selection caching, so a
+// resched triggered by a pure rate change (notify_conditions_changed)
+// re-arms correctly without touching the runqueues.
+void BaseScheduler::arm_segment_events() {
   for (std::size_t core = 0; core < on_core_.size(); ++core) {
     HostThread* thread = on_core_[core];
     if (thread == nullptr) continue;
@@ -314,8 +337,26 @@ PriorityScheduler::PriorityScheduler(hw::Machine& machine,
                                      SchedulerConfig config)
     : BaseScheduler(machine, config) {}
 
+void PriorityScheduler::note_runnable_mutation(std::size_t cls,
+                                               bool append_only) noexcept {
+  if (selection_valid() && selection_full_) {
+    // A full selection under strict priority is a prefix of the class
+    // queues walked high -> low, FIFO within a class. A FIFO append in
+    // the lowest contributing class (or below) lands after the cutoff;
+    // a reorder must sit strictly below the prefix to leave it intact.
+    const int c = static_cast<int>(cls);
+    if (append_only ? c <= lowest_selected_class_
+                    : c < lowest_selected_class_) {
+      return;  // unchanged runqueue region — the cached prefix survives
+    }
+  }
+  invalidate_selection();
+}
+
 void PriorityScheduler::policy_enqueue(HostThread& thread) {
-  runnable_[static_cast<std::size_t>(thread.priority())].push_back(&thread);
+  const auto cls = static_cast<std::size_t>(thread.priority());
+  runnable_[cls].push_back(&thread);
+  note_runnable_mutation(cls, /*append_only=*/true);
 }
 
 void PriorityScheduler::policy_dequeue(HostThread& thread) {
@@ -323,6 +364,12 @@ void PriorityScheduler::policy_dequeue(HostThread& thread) {
     const auto it = std::find(queue.begin(), queue.end(), &thread);
     if (it != queue.end()) {
       queue.erase(it);
+      // Selected threads sit before the selection cutoff; removing an
+      // unselected one (strictly after the cutoff, by FIFO order) leaves
+      // the cached prefix exact.
+      if (!selection_valid() || selection_contains(thread)) {
+        invalidate_selection();
+      }
       return;
     }
   }
@@ -335,23 +382,25 @@ void PriorityScheduler::policy_quantum_expired(HostThread& thread) {
   if (it != queue.end() && queue.size() > 1) {
     queue.erase(it);
     queue.push_back(&thread);
+    note_runnable_mutation(static_cast<std::size_t>(thread.priority()),
+                           /*append_only=*/false);
   }
 }
 
 void PriorityScheduler::policy_account(HostThread&, sim::SimDuration) {}
 
-std::vector<HostThread*> PriorityScheduler::policy_select(
-    std::size_t cores) {
-  std::vector<HostThread*> selected;
-  selected.reserve(cores);
+void PriorityScheduler::policy_select(std::size_t cores,
+                                      std::vector<HostThread*>& out) {
+  lowest_selected_class_ = kPriorityClassCount;
   for (int cls = kPriorityClassCount - 1; cls >= 0; --cls) {
     for (HostThread* thread : runnable_[static_cast<std::size_t>(cls)]) {
-      if (selected.size() == cores) break;
-      selected.push_back(thread);
+      if (out.size() == cores) break;
+      out.push_back(thread);
+      lowest_selected_class_ = cls;
     }
-    if (selected.size() == cores) break;
+    if (out.size() == cores) break;
   }
-  return selected;
+  selection_full_ = out.size() == cores;
 }
 
 }  // namespace vgrid::os

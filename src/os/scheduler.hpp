@@ -12,6 +12,16 @@
 //                    model) and schedules fresh completion/quantum events.
 //                    Rates change exactly at scheduling events, which makes
 //                    the co-runner interference results deterministic.
+//
+//                    A resched is a single flat sweep (accrue -> advance ->
+//                    select/place -> publish -> arm); user code (on_done
+//                    handlers) runs only in the advance phase, so a nested
+//                    resched request just re-runs the selection fixup, not
+//                    the whole pass. The policy's selection is cached in a
+//                    reusable buffer and rebuilt only when the policy
+//                    reports a runqueue mutation (invalidate_selection),
+//                    so a pass over unchanged runqueues allocates nothing
+//                    and skips the rebuild entirely.
 // PriorityScheduler— Windows-XP-style policy: strict classes (High >
 //                    Normal > Idle), round-robin within a class. The
 //                    paper's host.
@@ -86,6 +96,10 @@ class BaseScheduler : public Scheduler {
 
  protected:
   // ---- policy interface ------------------------------------------------------
+  // Contract: any mutation that could change the outcome of policy_select
+  // (enqueue, dequeue, rotation, accounting the selection keys off) must
+  // call invalidate_selection(); the base caches the last selection and
+  // skips the rebuild while it is valid.
   /// A thread became runnable (spawned or woke).
   virtual void policy_enqueue(HostThread& thread) = 0;
   /// A runnable thread blocked or finished.
@@ -94,8 +108,18 @@ class BaseScheduler : public Scheduler {
   virtual void policy_quantum_expired(HostThread& thread) = 0;
   /// The thread just ran for `ran` of simulated time (accounting hook).
   virtual void policy_account(HostThread& thread, sim::SimDuration ran) = 0;
-  /// Choose up to `cores` runnable threads to run next, best first.
-  virtual std::vector<HostThread*> policy_select(std::size_t cores) = 0;
+  /// Append up to `cores` runnable threads to run next, best first, to
+  /// `out` (cleared by the caller; reused across passes — do not resize
+  /// beyond `cores`).
+  virtual void policy_select(std::size_t cores,
+                             std::vector<HostThread*>& out) = 0;
+
+  /// Drop the cached selection; the next pass rebuilds via policy_select.
+  void invalidate_selection() noexcept { selection_valid_ = false; }
+  bool selection_valid() const noexcept { return selection_valid_; }
+  /// True when `thread` is in the currently cached selection (only
+  /// meaningful while selection_valid()).
+  bool selection_contains(const HostThread& thread) const noexcept;
 
   sim::Simulator& simulator() noexcept { return machine_.simulator(); }
 
@@ -105,8 +129,10 @@ class BaseScheduler : public Scheduler {
   void accrue(HostThread& thread);
   void accrue_all_running();
   void resched();
-  void resched_pass();
+  void advance_finished();
+  void select_and_place();
   void publish_occupancy();
+  void arm_segment_events();
   double rate_for(const HostThread& thread, int core) const;
   void on_segment_event(HostThread* thread);
 
@@ -114,6 +140,9 @@ class BaseScheduler : public Scheduler {
   SchedulerConfig config_;
   std::vector<std::unique_ptr<HostThread>> threads_;
   std::vector<HostThread*> on_core_;
+  // Cached policy selection, reused across passes (no per-pass vector).
+  std::vector<HostThread*> selected_;
+  bool selection_valid_ = false;
   std::uint64_t context_switches_ = 0;
   bool in_resched_ = false;
   bool resched_pending_ = false;
@@ -135,11 +164,25 @@ class PriorityScheduler final : public BaseScheduler {
   void policy_dequeue(HostThread& thread) override;
   void policy_quantum_expired(HostThread& thread) override;
   void policy_account(HostThread& thread, sim::SimDuration ran) override;
-  std::vector<HostThread*> policy_select(std::size_t cores) override;
+  void policy_select(std::size_t cores,
+                     std::vector<HostThread*>& out) override;
 
  private:
+  /// Per-priority dirty tracking: a mutation in class `cls` invalidates
+  /// the cached selection only when that class could contribute to it —
+  /// under strict priority, churn in classes below a full selection's
+  /// lowest contributing class cannot change the selected prefix.
+  /// `append_only` mutations (FIFO push_back) also spare the lowest
+  /// contributing class itself, since the append lands after the cutoff.
+  void note_runnable_mutation(std::size_t cls, bool append_only) noexcept;
+
   // Runnable threads (ready or running), FIFO service order per class.
   std::array<std::deque<HostThread*>, kPriorityClassCount> runnable_;
+  // Metadata of the cached selection (meaningful while the base cache is
+  // valid): the lowest class index that contributed, and whether every
+  // core was filled.
+  int lowest_selected_class_ = kPriorityClassCount;
+  bool selection_full_ = false;
 };
 
 }  // namespace vgrid::os

@@ -1,90 +1,334 @@
 #include "sim/event_queue.hpp"
 
-#include "obs/profiler.hpp"
 #include "util/audit.hpp"
-#include "util/error.hpp"
+#include <cstring>
+#include <new>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define VGRID_PREFETCH(address) __builtin_prefetch(address)
+#else
+#define VGRID_PREFETCH(address) ((void)0)
+#endif
 
 namespace vgrid::sim {
 
+// ---- CallbackArena ----------------------------------------------------------
+
+void CallbackArena::add_chunk() {
+  // vgrid-lint: allow(safety-raw-new): raw block allocation for the slot
+  // arena — the slots' lifecycle is managed explicitly by the queue.
+  // vgrid-lint: allow(sim-hot-alloc): one allocation per kChunkSlots
+  // events, not per event; this is the arena the rule exists to funnel
+  // per-event callbacks into.
+  auto* chunk = static_cast<InlineCallback*>(
+      ::operator new(kChunkSlots * sizeof(InlineCallback),
+                     std::align_val_t{alignof(InlineCallback)}));
+  chunks_.push_back(chunk);
+}
+
+void CallbackArena::destroy() noexcept {
+  clear();
+  for (InlineCallback* chunk : chunks_) {
+    ::operator delete(chunk, std::align_val_t{alignof(InlineCallback)});
+  }
+  chunks_.clear();
+}
+
+// ---- HeapArray --------------------------------------------------------------
+
+void HeapArray::grow(std::size_t min_total) {
+  std::size_t next = capacity_ == 0 ? 256 : capacity_ * 2;
+  while (next < min_total) next *= 2;
+  // vgrid-lint: allow(safety-raw-new): raw 64-byte-aligned block for the
+  // heap array — entries are trivially copyable/destructible.
+  // vgrid-lint: allow(sim-hot-alloc): amortized growth (doubling), not a
+  // per-event allocation.
+  auto* fresh = static_cast<HeapEntry*>(::operator new(
+      (next + kPad) * sizeof(HeapEntry), std::align_val_t{64}));
+  if (size_ != 0) {
+    std::memcpy(fresh + kPad, data_ + kPad, size_ * sizeof(HeapEntry));
+  }
+  ::operator delete(data_, std::align_val_t{64});
+  data_ = fresh;
+  capacity_ = next;
+}
+
+void HeapArray::release() noexcept {
+  ::operator delete(data_, std::align_val_t{64});
+  data_ = nullptr;
+  size_ = 0;
+  capacity_ = 0;
+}
+
+// ---- EventQueue -------------------------------------------------------------
+
 EventQueue::EventQueue(Storage storage) : store_(std::move(storage)) {
-  // Drop any recycled contents but keep the heap capacity and the map's
-  // bucket array — the whole point of adopting storage.
+  // Drop any recycled contents but keep every arena's capacity — the
+  // whole point of adopting storage. clear() runs the InlineCallback
+  // destructors, so a discarded simulation's pending callbacks release
+  // their captures.
   store_.heap.clear();
+  store_.far.clear();
+  for (std::vector<HeapEntry>& rung : store_.rungs) rung.clear();
+  store_.nodes.clear();
   store_.callbacks.clear();
 }
 
 EventQueue::Storage EventQueue::release_storage() {
   Storage released = std::move(store_);
   store_ = Storage{};
+  free_head_ = kNil;
   live_count_ = 0;
+  horizon_ = kTimeMin;
+  ladder_start_ = kTimeMin;
+  ladder_end_ = kTimeMin;
+  rung_shift_ = 0;
+  rung_count_ = 0;
+  rung_cursor_ = 0;
   return released;
 }
 
-EventId EventQueue::push(SimTime when, Callback cb) {
-  PROF_SCOPE("sim.event_queue.push");
-  const EventId id = next_id_++;
-  store_.heap.push_back(Entry{when, id});
-  std::push_heap(store_.heap.begin(), store_.heap.end(), Later{});
-  store_.callbacks.emplace(id, std::move(cb));
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNil) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = store_.nodes[slot].next_free;
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(store_.nodes.size());
+  store_.nodes.emplace_back();
+  store_.callbacks.emplace_back();
+  return slot;
+}
+
+EventId EventQueue::commit_push(std::uint32_t slot, SimTime when) {
+  EventNode& node = store_.nodes[slot];
+  node.state = EventNode::kLive;
+  ++seq_;
+  VGRID_AUDIT(seq_ < kMaxSeq && slot < kMaxSlots,
+              "event-queue key space exhausted (seq %llu, slot %u)",
+              static_cast<unsigned long long>(seq_), slot);
+  const HeapEntry entry{
+      when, (seq_ << kSlotBits) | static_cast<std::uint64_t>(slot)};
+  if (when < horizon_) {
+    // Inside the window being consumed: must be orderable against the
+    // current heap top, so it goes into the heap proper.
+    store_.heap.push_back(entry);
+    sift_up(store_.heap.size() - 1);
+  } else if (when < ladder_end_) {
+    // Inside a rung that has not been loaded yet: stage it there so it is
+    // heapified together with that window.
+    store_.rungs[static_cast<std::size_t>(when - ladder_start_) >>
+                 rung_shift_]
+        .push_back(entry);
+  } else {
+    // Beyond everything staged: O(1) append, sorted out at re-ladder.
+    store_.far.push_back(entry);
+  }
   ++live_count_;
   if (obs_depth_high_water_) {
-    obs_depth_high_water_->update_max(
-        static_cast<std::int64_t>(live_count_));
+    obs_depth_high_water_->update_max(static_cast<std::int64_t>(live_count_));
   }
-  return id;
+  return make_id(node.gen, slot);
+}
+
+void EventQueue::reserve(std::size_t additional) {
+  store_.far.reserve(store_.far.size() + additional);
+  store_.nodes.reserve(store_.nodes.size() + additional);
+  store_.callbacks.reserve(store_.callbacks.size() + additional);
+}
+
+void EventQueue::sift_up(std::size_t index) noexcept {
+  HeapArray& heap = store_.heap;
+  const HeapEntry moving = heap[index];
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / 4;
+    if (!earlier(moving, heap[parent])) break;
+    heap[index] = heap[parent];
+    index = parent;
+  }
+  heap[index] = moving;
+}
+
+void EventQueue::pop_top() noexcept {
+  HeapArray& heap = store_.heap;
+  const std::size_t size = heap.size() - 1;  // size after removal
+  if (size == 0) {
+    heap.pop_back();
+    return;
+  }
+  // Bottom-up deletion: pull the hole at the root down the min-child path
+  // to a leaf (one 4-way min per level, no compare against the relocated
+  // element), then drop the former last element into the hole and sift it
+  // up — it is almost always leaf-heavy, so the sift-up is ~O(1). Pop
+  // ORDER is unaffected by this layout choice: (time, key) is a strict
+  // total order, so which events surface when is fixed by the comparator.
+  std::size_t hole = 0;
+  std::size_t first = 1;
+  while (first < size) {
+    std::size_t best = first;
+    const std::size_t last = first + 4 < size ? first + 4 : size;
+    for (std::size_t child = first + 1; child < last; ++child) {
+      if (earlier(heap[child], heap[best])) best = child;
+    }
+    heap[hole] = heap[best];
+    hole = best;
+    first = 4 * hole + 1;
+  }
+  heap[hole] = heap[size];
+  heap.pop_back();
+  sift_up(hole);
+  // The next pop will read this entry's slot metadata and callback —
+  // start those (random-index) loads now so they overlap with the
+  // caller's event dispatch.
+  const std::uint32_t next_slot = heap[0].slot();
+  VGRID_PREFETCH(&store_.nodes[next_slot]);
+  VGRID_PREFETCH(&store_.callbacks[next_slot]);
+}
+
+void EventQueue::free_slot(std::uint32_t slot) noexcept {
+  EventNode& node = store_.nodes[slot];
+  node.state = EventNode::kFree;
+  ++node.gen;  // invalidate outstanding handles to this slot
+  node.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void EventQueue::sift_down(std::size_t index) noexcept {
+  HeapArray& heap = store_.heap;
+  const std::size_t size = heap.size();
+  const HeapEntry moving = heap[index];
+  for (;;) {
+    const std::size_t first = 4 * index + 1;
+    if (first >= size) break;
+    std::size_t best = first;
+    const std::size_t last = first + 4 < size ? first + 4 : size;
+    for (std::size_t child = first + 1; child < last; ++child) {
+      if (earlier(heap[child], heap[best])) best = child;
+    }
+    if (!earlier(heap[best], moving)) break;
+    heap[index] = heap[best];
+    index = best;
+  }
+  heap[index] = moving;
+}
+
+void EventQueue::build_heap(const HeapEntry* entries, std::size_t count) {
+  store_.heap.assign(entries, count);
+  if (count < 2) return;
+  // Floyd bottom-up heapify: O(count), mostly-sequential access.
+  for (std::size_t i = (count - 2) / 4 + 1; i-- > 0;) sift_down(i);
+}
+
+bool EventQueue::refill() {
+  // Consume staged windows until the heap has something in it.
+  for (;;) {
+    while (rung_cursor_ < rung_count_) {
+      std::vector<HeapEntry>& rung = store_.rungs[rung_cursor_];
+      ++rung_cursor_;
+      horizon_ = ladder_start_ +
+                 (static_cast<SimTime>(rung_cursor_) << rung_shift_);
+      if (!rung.empty()) {
+        build_heap(rung.data(), rung.size());
+        rung.clear();
+        return true;
+      }
+    }
+    std::vector<HeapEntry>& far = store_.far;
+    if (far.empty()) return false;
+    SimTime lo = far.front().time;
+    SimTime hi = lo;
+    for (const HeapEntry& entry : far) {
+      lo = entry.time < lo ? entry.time : lo;
+      hi = entry.time > hi ? entry.time : hi;
+    }
+    if (far.size() < kLadderMin || lo == hi) {
+      // Too few events (or a single timestamp) to be worth bucketing:
+      // heapify the whole pool. Later arrivals go back to the far pool.
+      build_heap(far.data(), far.size());
+      far.clear();
+      horizon_ = hi + 1;
+      ladder_end_ = horizon_;
+      rung_count_ = 0;
+      rung_cursor_ = 0;
+      return true;
+    }
+    // Re-ladder: spread the pool over kRungs buckets. The width is a
+    // power of two so pushes locate their rung with a shift. Everything
+    // here is a pure function of the queue's contents — determinism does
+    // not depend on when the re-ladder happens.
+    std::uint32_t shift = 0;
+    while ((static_cast<std::uint64_t>(hi - lo) >> shift) >= kRungs) ++shift;
+    rung_shift_ = shift;
+    ladder_start_ = lo;
+    rung_count_ =
+        (static_cast<std::size_t>(hi - lo) >> shift) + 1;
+    rung_cursor_ = 0;
+    ladder_end_ = lo + (static_cast<SimTime>(rung_count_) << shift);
+    horizon_ = lo;
+    if (store_.rungs.size() < rung_count_) store_.rungs.resize(kRungs);
+    for (const HeapEntry& entry : far) {
+      store_.rungs[static_cast<std::size_t>(entry.time - lo) >> shift]
+          .push_back(entry);
+    }
+    far.clear();
+  }
+}
+
+void EventQueue::prepare_top() {
+  for (;;) {
+    if (store_.heap.empty()) {
+      if (!refill()) return;
+      continue;
+    }
+    const std::uint32_t slot = store_.heap.front().slot();
+    if (store_.nodes[slot].state != EventNode::kCancelled) return;
+    free_slot(slot);
+    pop_top();
+  }
 }
 
 bool EventQueue::cancel(EventId id) {
-  const auto it = store_.callbacks.find(id);
-  if (it == store_.callbacks.end()) return false;
-  store_.callbacks.erase(it);
+  if (id == kInvalidEvent) return false;
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= store_.nodes.size()) return false;
+  EventNode& node = store_.nodes[slot];
+  if (node.state != EventNode::kLive || node.gen != gen_of(id)) return false;
+  node.state = EventNode::kCancelled;
+  store_.callbacks[slot].reset();  // release captures eagerly
   --live_count_;
   if (obs_cancelled_) obs_cancelled_->add();
   return true;
 }
 
-void EventQueue::drop_cancelled() {
-  while (!store_.heap.empty() &&
-         store_.callbacks.find(store_.heap.front().id) ==
-             store_.callbacks.end()) {
-    std::pop_heap(store_.heap.begin(), store_.heap.end(), Later{});
-    store_.heap.pop_back();
-  }
-}
-
-bool EventQueue::empty() const noexcept { return live_count_ == 0; }
-
 SimTime EventQueue::next_time() {
-  drop_cancelled();
-  if (store_.heap.empty()) {
-    throw util::SimulationError("EventQueue::next_time on empty queue");
-  }
+  prepare_top();
+  VGRID_AUDIT(live_count_ > 0 && !store_.heap.empty(),
+              "EventQueue::next_time on empty queue (%zu live)", live_count_);
   return store_.heap.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
   PROF_SCOPE("sim.event_queue.pop");
-  drop_cancelled();
-  if (store_.heap.empty()) {
-    throw util::SimulationError("EventQueue::pop on empty queue");
-  }
-  const Entry top = store_.heap.front();
-  std::pop_heap(store_.heap.begin(), store_.heap.end(), Later{});
-  store_.heap.pop_back();
+  prepare_top();
+  VGRID_AUDIT(live_count_ > 0 && !store_.heap.empty(),
+              "EventQueue::pop on empty queue (%zu live)", live_count_);
+  const HeapEntry top = store_.heap.front();
+  const std::uint32_t slot = top.slot();
   VGRID_AUDIT(top.time >= last_pop_time_,
               "event time ran backwards: popped %lld after %lld",
               static_cast<long long>(top.time),
               static_cast<long long>(last_pop_time_));
-  VGRID_AUDIT(top.time > last_pop_time_ || top.id > last_pop_id_,
-              "FIFO tie-break violated at t=%lld: popped id %llu after %llu",
+  VGRID_AUDIT(top.time > last_pop_time_ || top.seq() > last_pop_seq_,
+              "FIFO tie-break violated at t=%lld: popped seq %llu after %llu",
               static_cast<long long>(top.time),
-              static_cast<unsigned long long>(top.id),
-              static_cast<unsigned long long>(last_pop_id_));
+              static_cast<unsigned long long>(top.seq()),
+              static_cast<unsigned long long>(last_pop_seq_));
   last_pop_time_ = top.time;
-  last_pop_id_ = top.id;
-  const auto it = store_.callbacks.find(top.id);
-  Fired fired{top.time, top.id, std::move(it->second)};
-  store_.callbacks.erase(it);
+  last_pop_seq_ = top.seq();
+  pop_top();
+  Fired fired{top.time, make_id(store_.nodes[slot].gen, slot),
+              std::move(store_.callbacks[slot])};
+  free_slot(slot);
   --live_count_;
   if (obs_dispatched_) obs_dispatched_->add();
   return fired;

@@ -6,23 +6,21 @@
 
 namespace vgrid::sim {
 
-EventId Simulator::schedule(SimDuration delay, EventQueue::Callback cb) {
+void Simulator::check_delay(SimDuration delay) const {
   if (delay < 0) {
     throw util::SimulationError(
         util::format("schedule with negative delay %lld",
                      static_cast<long long>(delay)));
   }
-  return queue_.push(now_ + delay, std::move(cb));
 }
 
-EventId Simulator::schedule_at(SimTime when, EventQueue::Callback cb) {
+void Simulator::check_when(SimTime when) const {
   if (when < now_) {
     throw util::SimulationError(
         util::format("schedule_at %lld is in the past (now %lld)",
                      static_cast<long long>(when),
                      static_cast<long long>(now_)));
   }
-  return queue_.push(when, std::move(cb));
 }
 
 void Simulator::dispatch_one() {

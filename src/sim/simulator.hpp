@@ -4,7 +4,7 @@
 // components hold a Simulator& and schedule callbacks on it.
 
 #include <cstdint>
-#include <functional>
+#include <utility>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -16,8 +16,9 @@ class Simulator {
   Simulator() = default;
   /// Build the kernel on recycled event-queue storage (see
   /// EventQueue::Storage) — semantically identical to a fresh Simulator,
-  /// but without re-growing the heap or the callback hash table. Fleet
-  /// runs recycle one Storage across thousands of per-host simulators.
+  /// but without re-growing the heap, slot, or inline-callback arenas.
+  /// Fleet runs recycle one Storage across thousands of per-host
+  /// simulators.
   explicit Simulator(EventQueue::Storage storage)
       : queue_(std::move(storage)) {}
   Simulator(const Simulator&) = delete;
@@ -32,11 +33,21 @@ class Simulator {
   /// Current simulated time.
   SimTime now() const noexcept { return now_; }
 
-  /// Schedule `cb` to run after `delay` (>= 0) from now.
-  EventId schedule(SimDuration delay, EventQueue::Callback cb);
+  /// Schedule `cb` to run after `delay` (>= 0) from now. The callable is
+  /// forwarded straight into the queue's inline arena slot — no
+  /// std::function wrapper, no heap allocation.
+  template <typename F>
+  EventId schedule(SimDuration delay, F&& cb) {
+    check_delay(delay);
+    return queue_.push(now_ + delay, std::forward<F>(cb));
+  }
 
   /// Schedule `cb` at absolute time `when` (>= now()).
-  EventId schedule_at(SimTime when, EventQueue::Callback cb);
+  template <typename F>
+  EventId schedule_at(SimTime when, F&& cb) {
+    check_when(when);
+    return queue_.push(when, std::forward<F>(cb));
+  }
 
   /// Cancel a pending event; false if it already fired or was cancelled.
   bool cancel(EventId id) { return queue_.cancel(id); }
@@ -66,6 +77,8 @@ class Simulator {
   std::uint64_t processed_events() const noexcept { return processed_; }
 
  private:
+  void check_delay(SimDuration delay) const;
+  void check_when(SimTime when) const;
   void dispatch_one();
 
   EventQueue queue_;

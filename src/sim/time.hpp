@@ -12,6 +12,8 @@ using SimTime = std::int64_t;      ///< absolute simulated time, ns
 using SimDuration = std::int64_t;  ///< simulated interval, ns
 
 inline constexpr SimTime kTimeZero = 0;
+/// Sentinel earlier than any representable event time.
+inline constexpr SimTime kTimeMin = INT64_MIN;
 inline constexpr SimDuration kNoDelay = 0;
 
 constexpr SimDuration from_seconds(double s) noexcept {

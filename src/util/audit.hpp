@@ -1,5 +1,5 @@
 #pragma once
-// Runtime invariant audits (ARCHITECTURE.md §7). VGRID_AUDIT guards the
+// Runtime invariant audits (ARCHITECTURE.md §8). VGRID_AUDIT guards the
 // simulation's load-bearing invariants — event-time monotonicity and FIFO
 // tie-break stability, scheduler occupancy conservation, rate factors in
 // (0,1] — and throws util::AuditError with file/line/expression context

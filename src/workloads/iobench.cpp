@@ -39,7 +39,7 @@ namespace {
 fs::path pick_temp_dir(const std::string& configured) {
   if (!configured.empty()) return configured;
   // vgrid-lint: allow(det-getenv): IOBench's *native* mode exercises the
-  // real filesystem (ARCHITECTURE.md §6) and must honour TMPDIR; the
+  // real filesystem (ARCHITECTURE.md §7) and must honour TMPDIR; the
   // simulated path never reaches this function.
   if (const char* env = std::getenv("TMPDIR")) return env;
   return "/tmp";

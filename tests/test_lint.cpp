@@ -4,6 +4,7 @@
 // raw strings — the scanner blanks string literals before matching, so
 // this file itself lints clean (lint.vgrid covers tests/ too).
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <gtest/gtest.h>
@@ -258,6 +259,61 @@ class Scheduler {
 };
 )cpp");
   EXPECT_TRUE(ds.empty());
+}
+
+// --- sim hot-path allocation rules -------------------------------------------
+
+TEST(LintSimHotAlloc, FlagsStdFunctionInTheEventQueue) {
+  const auto ds = lint::lint_file("src/sim/event_queue.hpp", R"cpp(
+#include <functional>
+struct Event { std::function<void()> callback; };
+)cpp");
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule, "sim-hot-alloc");
+  EXPECT_EQ(ds[0].line, 3);
+}
+
+TEST(LintSimHotAlloc, FlagsAllocatingNewAndFactoriesInTheScheduler) {
+  // `new Timer()` draws safety-raw-new too — both rules police it, for
+  // different reasons (ownership vs per-event throughput).
+  const auto ds = lint::lint_file("src/os/scheduler.cpp", R"cpp(
+struct Timer {};
+Timer* arm() { return new Timer(); }
+auto hold = std::make_unique<Timer>();
+)cpp");
+  const auto rules = rules_of(ds);
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "sim-hot-alloc"),
+            rules.end());
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "sim-hot-alloc"), 2);
+}
+
+TEST(LintSimHotAlloc, PlacementNewIsExempt) {
+  // Placement new constructs into existing storage and allocates nothing —
+  // it is exactly how the arena fills its slots, so the rule must not
+  // match it. (safety-raw-new does not fire either: `new (` is skipped.)
+  const auto ds = lint::lint_file("src/sim/event_queue.cpp", R"cpp(
+struct Slot { char buf[64]; };
+void fill(Slot* s) { new (static_cast<void*>(s->buf)) int(7); }
+)cpp");
+  for (const auto& d : ds) EXPECT_NE(d.rule, "sim-hot-alloc");
+}
+
+TEST(LintSimHotAlloc, AllowWithReasonSuppresses) {
+  const auto ds = lint::lint_file("src/sim/event_queue.cpp", R"cpp(
+// vgrid-lint: allow(sim-hot-alloc): setup-time ownership, not hot path.
+auto setup = std::make_unique<int>(3);
+)cpp");
+  EXPECT_TRUE(ds.empty());
+}
+
+TEST(LintSimHotAlloc, OutOfScopeFilesAreExempt) {
+  // The rule polices only the event queue and the scheduler; testbed code
+  // may still use std::function freely.
+  const std::string source =
+      "#include <functional>\nstd::function<void()> hook;\n";
+  EXPECT_TRUE(lint::lint_file("src/core/testbed.cpp", source).empty());
+  EXPECT_TRUE(lint::lint_file("src/fleet/vgrid_fleet.cpp", source).empty());
+  EXPECT_FALSE(lint::lint_file("src/sim/event_queue.hpp", source).empty());
 }
 
 // --- layering ----------------------------------------------------------------

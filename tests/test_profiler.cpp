@@ -404,6 +404,76 @@ TEST(BenchDiff, AbsNsFloorShieldsMicrosecondBenchesFromJitter) {
   EXPECT_FALSE(report.gate_failed);
 }
 
+TEST(BenchDiff, ImprovementsBlockCountsWinsAndTracksTheBest) {
+  // Candidate is ~3.33x faster on round_trip and 2x on push_pop (both
+  // beyond the band): the report must count both and name round_trip as
+  // the best speedup. Note detail still nudges toward a baseline refresh.
+  auto baseline = tools::parse_bench(bench_doc(1'000'000, true));
+  auto candidate = tools::parse_bench(bench_doc(300'000, true));
+  candidate.benchmarks[1].median_ns = 250'000;  // push_pop: 500us -> 250us
+  tools::BenchDiffOptions options;
+  options.rel_tol = 0.25;
+  options.abs_ns = 0;
+  const auto report = tools::diff_bench(baseline, candidate, options);
+  EXPECT_FALSE(report.gate_failed);
+  EXPECT_EQ(report.improvements.count, 2);
+  EXPECT_EQ(report.improvements.best_name, "grid.messages.round_trip");
+  EXPECT_NEAR(report.improvements.best_speedup, 1'000'000.0 / 300'000.0,
+              1e-9);
+  bool noted = false;
+  for (const auto& finding : report.findings) {
+    if (!finding.regression &&
+        finding.name == "grid.messages.round_trip" &&
+        finding.detail.find("improved") != std::string::npos) {
+      noted = true;
+    }
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(BenchDiff, ImprovementsWithinBandDoNotCount) {
+  // 10% faster sits inside the default 25% band: no improvement entry —
+  // the block reports wins beyond noise, not jitter.
+  const auto baseline = tools::parse_bench(bench_doc(1'000'000, true));
+  const auto candidate = tools::parse_bench(bench_doc(900'000, true));
+  tools::BenchDiffOptions options;
+  options.abs_ns = 0;
+  const auto report = tools::diff_bench(baseline, candidate, options);
+  EXPECT_EQ(report.improvements.count, 0);
+  EXPECT_TRUE(report.improvements.best_name.empty());
+}
+
+TEST(BenchDiff, RequiredBenchMissingFromCandidateFailsGate) {
+  // --require pins newly added coverage: even when the baseline predates
+  // the benchmark (so the coverage-shrank rule cannot fire), a candidate
+  // without it must fail the gate.
+  const auto baseline = tools::parse_bench(bench_doc(1'000'000, false));
+  const auto candidate = tools::parse_bench(bench_doc(1'000'000, false));
+  tools::BenchDiffOptions options;
+  options.require.push_back("hw.machine.redistribute");
+  const auto report = tools::diff_bench(baseline, candidate, options);
+  EXPECT_TRUE(report.gate_failed);
+  bool flagged = false;
+  for (const auto& finding : report.findings) {
+    if (finding.regression && finding.name == "hw.machine.redistribute" &&
+        finding.detail.find("required") != std::string::npos) {
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(BenchDiff, RequiredBenchPresentPassesEvenWhenNewToBaseline) {
+  // The required bench exists only in the candidate: satisfied requirement
+  // plus the usual "new benchmark" note, no failure.
+  const auto baseline = tools::parse_bench(bench_doc(1'000'000, false));
+  const auto candidate = tools::parse_bench(bench_doc(1'000'000, true));
+  tools::BenchDiffOptions options;
+  options.require.push_back("sim.event_queue.push_pop");
+  const auto report = tools::diff_bench(baseline, candidate, options);
+  EXPECT_FALSE(report.gate_failed);
+}
+
 TEST(BenchDiff, ParserRejectsWrongVersionAndMalformedEntries) {
   EXPECT_THROW(
       tools::parse_bench("{\"vgrid_bench_version\":2,\"benchmarks\":[],"

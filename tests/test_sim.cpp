@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -66,10 +67,52 @@ TEST(EventQueue, NextTimeSkipsCancelled) {
   EXPECT_EQ(queue.next_time(), 20);
 }
 
-TEST(EventQueue, PopOnEmptyThrows) {
+#if defined(VGRID_AUDITS_ENABLED)
+// Empty-queue pop()/next_time() are precondition violations. Under audits
+// (the default build) they fail loudly with an AuditError naming the
+// misuse; with audits compiled out the behavior is undefined, so the
+// audited build is the only place this contract is testable.
+TEST(EventQueue, PopOnEmptyFailsAudit) {
   EventQueue queue;
-  EXPECT_THROW(queue.pop(), util::SimulationError);
-  EXPECT_THROW(queue.next_time(), util::SimulationError);
+  EXPECT_THROW(queue.pop(), util::AuditError);
+  EXPECT_THROW(queue.next_time(), util::AuditError);
+}
+
+TEST(EventQueue, PopAfterDrainingFailsAudit) {
+  EventQueue queue;
+  queue.push(1, [] {});
+  queue.pop().callback();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_THROW(queue.pop(), util::AuditError);
+}
+#endif
+
+TEST(EventQueue, PushBulkMatchesIndividualPushes) {
+  EventQueue queue;
+  const SimTime times[] = {30, 10, 10, 20};
+  EventId ids[4] = {};
+  std::vector<int> order;
+  queue.push_bulk(
+      times, 4, [&order](std::size_t i) { return [&order, i] { order.push_back(static_cast<int>(i)); }; },
+      ids);
+  EXPECT_EQ(queue.pending_count(), 4u);
+  for (const EventId id : ids) EXPECT_NE(id, kInvalidEvent);
+  EXPECT_TRUE(queue.cancel(ids[2]));  // second event at t=10
+  while (!queue.empty()) queue.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 0}));
+}
+
+TEST(EventQueue, SlotReuseInvalidatesOldHandles) {
+  EventQueue queue;
+  const EventId first = queue.push(10, [] {});
+  queue.pop().callback();
+  // The arena reuses the slot; the stale handle's generation no longer
+  // matches, so cancelling it must not kill the new event.
+  const EventId second = queue.push(20, [] {});
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(queue.cancel(first));
+  EXPECT_EQ(queue.pending_count(), 1u);
+  EXPECT_TRUE(queue.cancel(second));
 }
 
 TEST(EventQueue, PendingCountTracksLiveEvents) {

@@ -321,11 +321,23 @@ BenchDiffReport diff_bench(const BenchDoc& baseline,
              << " vs baseline " << format_ns(base.median_ns)
              << " — consider refreshing the committed baseline";
       note(base.name, detail.str(), false);
+      ++report.improvements.count;
+      const double speedup = static_cast<double>(base.median_ns) /
+                             static_cast<double>(cand.median_ns);
+      if (speedup > report.improvements.best_speedup) {
+        report.improvements.best_speedup = speedup;
+        report.improvements.best_name = base.name;
+      }
     }
   }
   for (const BenchEntry& cand : candidate.benchmarks) {
     if (in_baseline.find(cand.name) == in_baseline.end()) {
       note(cand.name, "new benchmark (not in baseline)", false);
+    }
+  }
+  for (const std::string& name : options.require) {
+    if (in_candidate.find(name) == in_candidate.end()) {
+      note(name, "required benchmark missing from candidate", true);
     }
   }
   return report;

@@ -52,6 +52,10 @@ BenchDoc parse_bench(const std::string& text);
 struct BenchDiffOptions {
   double rel_tol = 0.25;          ///< allowed slowdown fraction on median_ns
   std::int64_t abs_ns = 50'000;   ///< absolute slack added to the band
+  /// Benchmarks that MUST be present in the candidate (regression when
+  /// missing, even if the baseline never had them) — CI uses this to
+  /// assert that newly added coverage actually ran.
+  std::vector<std::string> require;
 };
 
 struct BenchFinding {
@@ -60,8 +64,18 @@ struct BenchFinding {
   bool regression = false;
 };
 
+/// Summary of benchmarks faster than baseline beyond the tolerance band —
+/// surfaced as one block in CI logs so perf wins are visible, not just
+/// regressions.
+struct BenchImprovements {
+  int count = 0;              ///< improved benchmarks
+  std::string best_name;      ///< largest speedup (empty when count == 0)
+  double best_speedup = 1.0;  ///< baseline.median_ns / candidate.median_ns
+};
+
 struct BenchDiffReport {
   std::vector<BenchFinding> findings;
+  BenchImprovements improvements;
   bool gate_failed = false;  ///< any finding with regression == true
 };
 

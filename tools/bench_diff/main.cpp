@@ -1,11 +1,14 @@
 // bench_diff CLI — compare two BENCH_vgrid.json documents.
 //
 //   bench_diff <baseline.json> <candidate.json>
-//              [--rel-tol F] [--abs-ns N] [--gate]
+//              [--rel-tol F] [--abs-ns N] [--gate] [--require NAME]...
 //
 // Exit status: 0 when no regression (notes are fine), 1 when --gate is
 // set and a regression was found, 2 on usage/parse error. Without --gate
 // the exit is always 0/2 — reporting mode for reading a trajectory.
+// --require NAME (repeatable) makes a candidate missing benchmark NAME a
+// regression even when the baseline predates it — CI pins newly added
+// coverage with it.
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,7 +24,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: bench_diff <baseline.json> <candidate.json> "
-               "[--rel-tol F] [--abs-ns N] [--gate]\n");
+               "[--rel-tol F] [--abs-ns N] [--gate] [--require NAME]...\n");
   return 2;
 }
 
@@ -49,6 +52,8 @@ int main(int argc, char** argv) {
       options.abs_ns = std::atoll(argv[++i]);
     } else if (arg == "--gate") {
       gate = true;
+    } else if (arg == "--require" && i + 1 < argc) {
+      options.require.emplace_back(argv[++i]);
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
@@ -66,6 +71,13 @@ int main(int argc, char** argv) {
                    "bench_diff: %s: %s: %s\n",
                    finding.regression ? "REGRESSION" : "note",
                    finding.name.c_str(), finding.detail.c_str());
+    }
+    if (report.improvements.count > 0) {
+      std::printf(
+          "bench_diff: improvements: %d benchmark(s) faster than baseline; "
+          "best %s at %.2fx\n",
+          report.improvements.count, report.improvements.best_name.c_str(),
+          report.improvements.best_speedup);
     }
     if (report.gate_failed) {
       std::fprintf(stderr,

@@ -29,8 +29,15 @@ if(NOT rc_b EQUAL 0)
   message(FATAL_ERROR "vgrid bench --quick (run B) failed (${rc_b})")
 endif()
 
+# --require mirrors CI's perf-smoke assertion: the quick suite must
+# actually contain the hot-path benches — silently dropped coverage is a
+# failure here too, not just on the CI runner.
 execute_process(
   COMMAND "${BENCH_DIFF}" "${a}" "${b}" --gate --rel-tol 4.0
+          --require hw.machine.redistribute
+          --require os.scheduler.passes
+          --require sim.event_queue.push_pop
+          --require sim.event_queue.cancel_mix
   RESULT_VARIABLE rc_self)
 if(NOT rc_self EQUAL 0)
   message(FATAL_ERROR

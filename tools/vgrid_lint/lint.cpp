@@ -192,7 +192,7 @@ const std::vector<std::string> kRules = {
     "safety-omp-seed",   "safety-catch-value",    "safety-override",
     "layer-include",     "obs-stdio",             "lint-allow",
     "lint-io",           "mc-wall-clock",         "mc-real-socket",
-    "mc-unordered",      "obs-eventlog-gateway",
+    "mc-unordered",      "obs-eventlog-gateway",  "sim-hot-alloc",
 };
 
 bool starts_with(const std::string& s, const std::string& prefix) {
@@ -256,6 +256,19 @@ bool mc_purity_scope(const std::string& path) {
     if (starts_with(path, prefix)) return true;
   }
   return false;
+}
+
+/// sim-hot-alloc applies to the per-event hot path: the event queue (one
+/// push/pop per simulated event) and the scheduler (one resched per
+/// scheduling event). These files earn their throughput by being
+/// allocation-free — std::function (heap-allocating type erasure) and
+/// allocating new / make_unique / make_shared are banned so the arena
+/// design can't silently regress. Placement new (`new (buf) T`) is exempt:
+/// it constructs into existing storage and allocates nothing. spawn()'s
+/// thread construction carries an explicit allow() — setup, not hot path.
+bool sim_hot_alloc_scope(const std::string& path) {
+  return starts_with(path, "src/sim/event_queue.") ||
+         starts_with(path, "src/os/scheduler.");
 }
 
 std::string top_dir(const std::string& include_path) {
@@ -458,6 +471,35 @@ const std::vector<LineRule>& mc_purity_rules() {
   return kMc;
 }
 
+/// The sim-hot-alloc family (scope: sim_hot_alloc_scope above): per-event
+/// allocation bans for the kernel hot path. `new` uses a negative
+/// lookahead so the placement form (`new (buf) T`, which allocates
+/// nothing) stays legal; `#include <new>` is not a `new` expression and is
+/// filtered by the caller.
+const std::vector<LineRule>& sim_hot_alloc_rules() {
+  static const std::vector<LineRule> kHot = [] {
+    std::vector<LineRule> rules;
+    rules.push_back(
+        {"sim-hot-alloc",
+         "std::function in the sim hot path heap-allocates per event; use "
+         "the queue's InlineCallback arena slots (templated push/schedule)",
+         std::regex(R"(\bstd\s*::\s*function\b)")});
+    rules.push_back(
+        {"sim-hot-alloc",
+         "allocating new in the sim hot path; events and callbacks must "
+         "live in the arena (placement new into existing storage is exempt)",
+         std::regex(R"(\bnew\b(?!\s*\())")});
+    rules.push_back(
+        {"sim-hot-alloc",
+         "make_unique/make_shared in the sim hot path allocates per event; "
+         "keep per-event state in the arena (setup-time ownership needs an "
+         "explicit allow() with a reason)",
+         std::regex(R"(\bmake_(?:unique|shared)\b)")});
+    return rules;
+  }();
+  return kHot;
+}
+
 /// C-style casts. The authoritative check is -Wold-style-cast (on in every
 /// build); this catches the common forms in unbuilt configurations.
 /// `sizeof(T)`, `alignof(T)` and `decltype(x)` are not casts.
@@ -486,6 +528,8 @@ void check_raw_new_delete(const std::string& path, int line_no,
   static const std::regex kDelete(R"(\bdelete\b)");
   static const std::regex kDeletedFn(R"(=\s*delete\b)");
   static const std::regex kOperator(R"(operator\s+(?:new|delete)\b)");
+  static const std::regex kIncludeLine(R"(^\s*#\s*include\b)");
+  if (std::regex_search(code, kIncludeLine)) return;  // `#include <new>`
   if (std::regex_search(code, kNew) && !std::regex_search(code, kOperator)) {
     out->push_back({path, line_no, "safety-raw-new",
                     "raw new; use std::make_unique/std::make_shared so "
@@ -628,6 +672,7 @@ std::vector<Diagnostic> lint_file(const std::string& path,
 
   const bool det = options.determinism && determinism_scope(path);
   const bool mc_pure = options.mc_purity && mc_purity_scope(path);
+  const bool hot_alloc = options.safety && sim_hot_alloc_scope(path);
   const std::set<std::string> unordered =
       det ? unordered_names(code_lines) : std::set<std::string>{};
   const std::string dir =
@@ -711,6 +756,19 @@ std::vector<Diagnostic> lint_file(const std::string& path,
         if (std::regex_search(code, rule.pattern) &&
             !suppressed(sup, line_no, rule.id)) {
           diagnostics.push_back({path, line_no, rule.id, rule.message});
+        }
+      }
+    }
+
+    // --- sim hot path -----------------------------------------------------
+    if (hot_alloc) {
+      static const std::regex kIncludeLine(R"(^\s*#\s*include\b)");
+      if (!std::regex_search(code, kIncludeLine)) {
+        for (const auto& rule : sim_hot_alloc_rules()) {
+          if (std::regex_search(code, rule.pattern) &&
+              !suppressed(sup, line_no, rule.id)) {
+            diagnostics.push_back({path, line_no, rule.id, rule.message});
+          }
         }
       }
     }

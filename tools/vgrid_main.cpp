@@ -93,6 +93,7 @@
 #include "report/table.hpp"
 #include "report/timeline.hpp"
 #include "scenario/scenario.hpp"
+#include "sim/event_queue.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "vmm/migration.hpp"
@@ -959,6 +960,40 @@ int cmd_tails(const Args& args) {
   return 0;
 }
 
+// --- audit-selftest ----------------------------------------------------------
+// Hidden hook for ctest's WILL_FAIL entries: deliberately violate an
+// audited precondition and prove the audit actually fires in the shipped
+// build (exit 1 via the AuditError -> main() catch path). A gtest
+// EXPECT_THROW covers the same contract in-process (test_sim.cpp); this
+// end-to-end probe guards against the audit being compiled out or the
+// error being swallowed before it reaches the exit status.
+
+int cmd_audit_selftest(const Args& args) {
+  if (args.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "usage: vgrid audit-selftest <empty-pop|empty-next-time>\n");
+    return 2;
+  }
+  const std::string& probe = args.positional()[0];
+  sim::EventQueue queue;
+  if (probe == "empty-pop") {
+    (void)queue.pop();  // precondition !empty() — must throw AuditError
+    std::fprintf(stderr,
+                 "audit-selftest: empty-queue pop() returned normally — "
+                 "the precondition audit is not firing\n");
+    return 0;  // WILL_FAIL inverts: returning success fails the test
+  }
+  if (probe == "empty-next-time") {
+    (void)queue.next_time();
+    std::fprintf(stderr,
+                 "audit-selftest: empty-queue next_time() returned "
+                 "normally — the precondition audit is not firing\n");
+    return 0;
+  }
+  std::fprintf(stderr, "audit-selftest: unknown probe '%s'\n", probe.c_str());
+  return 2;
+}
+
 // --- determinism-audit -------------------------------------------------------
 // ARCHITECTURE.md §5 promises "runs are exactly reproducible given a seed";
 // this subcommand enforces it end to end: run one figure experiment twice
@@ -1290,6 +1325,7 @@ int dispatch(int argc, char** argv) {
   if (command == "tails") return cmd_tails(args);
   if (command == "mc") return cmd_mc(args);
   if (command == "determinism-audit") return cmd_determinism_audit(args);
+  if (command == "audit-selftest") return cmd_audit_selftest(args);
   return usage();
 }
 
