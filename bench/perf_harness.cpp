@@ -89,6 +89,7 @@ Suite default_suite() {
   register_fig5_bench(suite);
   register_fleet_bench(suite);
   register_eventlog_benches(suite);
+  register_timeseries_benches(suite);
   return suite;
 }
 

@@ -82,6 +82,7 @@ void register_message_benches(Suite& suite);
 void register_fig5_bench(Suite& suite);
 void register_fleet_bench(Suite& suite);
 void register_eventlog_benches(Suite& suite);
+void register_timeseries_benches(Suite& suite);
 
 /// Suite with every benchmark above, in stable order.
 Suite default_suite();

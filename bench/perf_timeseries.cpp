@@ -1,0 +1,56 @@
+// Sampler hot path. obs.timeseries.scrape is the cost every sampler tick
+// pays: one full Registry walk (counters, gauges, a histogram's two
+// percentile tracks) appended into ring-buffered series — the per-interval
+// price of `vgrid timeseries` on a testbed run and of the per-shard
+// checkpoint scrape whose overhead budget the fleet.hosts_per_sec gate
+// enforces.
+
+#include <cstdint>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "obs/timeseries.hpp"
+#include "perf_harness.hpp"
+
+namespace vgrid::perf {
+namespace {
+
+/// A registry shaped like a mid-size run: 24 labelled counters, 8 gauges,
+/// 4 histograms (each contributing p50+p99 tracks) — 40 series total.
+void populate(obs::Registry& registry) {
+  for (int i = 0; i < 24; ++i) {
+    registry.counter("bench.events", {{"src", std::to_string(i)}}).add(
+        static_cast<std::uint64_t>(i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    registry.gauge("bench.depth", {{"q", std::to_string(i)}}).set(i * 3);
+  }
+  for (int i = 0; i < 4; ++i) {
+    obs::Histogram& histogram = registry.histogram(
+        "bench.latency", {10, 100, 1'000, 10'000},
+        {{"op", std::to_string(i)}});
+    for (int j = 0; j < 64; ++j) histogram.observe(j * 17 % 9'000);
+  }
+}
+
+}  // namespace
+
+void register_timeseries_benches(Suite& suite) {
+  suite.add("obs.timeseries.scrape", [](const BenchConfig& config) {
+    const std::int64_t scrapes = config.quick ? 20'000 : 80'000;
+    obs::Registry registry;
+    populate(registry);
+    obs::Timeseries series(
+        obs::Timeseries::Config{.interval_ms = 100, .ring_capacity = 512});
+    for (std::int64_t t = 0; t < scrapes; ++t) {
+      // Touch a counter each interval so the delta path does real work.
+      registry.counter("bench.events", {{"src", "0"}}).add(3);
+      series.sample(registry, t * 100);
+    }
+    // ops = scrapes; each walks the full 40-series registry and, once the
+    // ring fills, pays eviction on every append.
+    return static_cast<double>(scrapes);
+  });
+}
+
+}  // namespace vgrid::perf

@@ -11,6 +11,7 @@
 #include "obs/event_log.hpp"
 #include "obs/profiler.hpp"
 #include "obs/registry.hpp"
+#include "obs/timeseries.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -68,6 +69,7 @@ void TaskPool::run(std::size_t count,
   // vgrid-lint: allow(obs-eventlog-gateway): TaskPool is the sanctioned
   // merge seam — it routes per-task sub-logs and folds them in task order.
   obs::EventLog* parent_event_log = obs::current_event_log();
+  obs::Timeseries* parent_timeseries = obs::current_timeseries();
   const bool top_level = !t_inside_worker;
 
   // Per-task slots: capture buffers, metric sub-registries, profilers,
@@ -96,6 +98,14 @@ void TaskPool::run(std::size_t count,
           std::make_unique<obs::EventLog>(parent_event_log->config()));
     }
   }
+  std::vector<std::unique_ptr<obs::Timeseries>> timeseries;
+  if (parent_timeseries != nullptr) {
+    timeseries.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      timeseries.push_back(
+          std::make_unique<obs::Timeseries>(parent_timeseries->config()));
+    }
+  }
   std::vector<report::WorkerSpan> spans(count);
   std::vector<std::exception_ptr> errors(count);
   std::atomic<bool> failed{false};
@@ -121,6 +131,10 @@ void TaskPool::run(std::size_t count,
       // pure function of the task index.
       obs::ScopedEventLog evt_guard(
           parent_event_log != nullptr ? event_logs[index].get() : nullptr);
+      // And for time-resolved sampling: each task's testbed timer scrapes
+      // into a per-task sub-series, merged in task order below.
+      obs::ScopedTimeseries ts_guard(
+          parent_timeseries != nullptr ? timeseries[index].get() : nullptr);
       task(index);
     } catch (...) {
       errors[index] = std::current_exception();
@@ -192,6 +206,11 @@ void TaskPool::run(std::size_t count,
   if (parent_event_log != nullptr) {
     for (const auto& event_log : event_logs) {
       parent_event_log->merge_from(*event_log);
+    }
+  }
+  if (parent_timeseries != nullptr) {
+    for (const auto& sub_series : timeseries) {
+      parent_timeseries->merge_from(*sub_series);
     }
   }
   if (top_level && t_span_sink != nullptr) {

@@ -1,5 +1,7 @@
 #include "core/testbed.hpp"
 
+#include "obs/registry.hpp"
+#include "obs/timeseries.hpp"
 #include "util/error.hpp"
 
 namespace vgrid::core {
@@ -19,6 +21,32 @@ namespace {
 // Thread-local so concurrent TaskPool workers each capture into their own
 // per-task buffer (reassembled in task order by the pool).
 thread_local std::string* g_trace_capture = nullptr;
+
+// Repeating sim-time sampler tick: scrapes the task's ambient Registry
+// into its ambient obs::Timeseries every interval of SIMULATED time.
+// Re-arms only while the simulation processed other events since the
+// previous tick, so the timer self-terminates when the workload finishes
+// (or deadlocks) and can never defeat the pending_events()==0 deadlock
+// check in run_until_done/run_all. The capture fits the event queue's
+// 64-byte inline arena slot.
+struct SamplerTick {
+  sim::Simulator* simulator;
+  obs::Timeseries* series;
+  obs::Registry* registry;
+  sim::SimDuration interval;
+  std::uint64_t processed_at_arm;
+
+  void operator()() const {
+    series->sample(*registry, simulator->now() / 1'000'000);
+    const std::uint64_t processed = simulator->processed_events();
+    // processed_ is bumped before the callback runs, so a delta of one
+    // means this tick was the only event since it was armed.
+    if (processed - processed_at_arm <= 1) return;
+    simulator->schedule(
+        interval, SamplerTick{simulator, series, registry, interval,
+                              processed});
+  }
+};
 }  // namespace
 
 void set_trace_capture(std::string* sink) { g_trace_capture = sink; }
@@ -40,6 +68,20 @@ Testbed::Testbed(hw::MachineConfig machine_config,
       machine_(simulator_, machine_config, &tracer_),
       host_os_(host_os) {
   if (g_trace_capture != nullptr) tracer_.enable(true);
+  // Time-resolved sampling: when this thread has both a Timeseries and a
+  // Registry installed, take the t=0 baseline scrape and arm the
+  // repeating sampler (see obs/timeseries.hpp for the quartet contract).
+  obs::Timeseries* timeseries = obs::current_timeseries();
+  obs::Registry* registry = obs::current();
+  if (timeseries != nullptr && registry != nullptr &&
+      timeseries->config().interval_ms > 0) {
+    timeseries->sample(*registry, 0);
+    const sim::SimDuration interval = sim::from_millis(
+        static_cast<double>(timeseries->config().interval_ms));
+    simulator_.schedule(
+        interval, SamplerTick{&simulator_, timeseries, registry, interval,
+                              simulator_.processed_events()});
+  }
   if (host_os == HostOs::kLinuxCfs) {
     scheduler_ = &scheduler_storage_.emplace<os::FairScheduler>(
         machine_, scheduler_config);

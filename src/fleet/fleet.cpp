@@ -1,6 +1,7 @@
 #include "fleet/fleet.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "core/task_pool.hpp"
@@ -185,10 +186,13 @@ FleetBug parse_fleet_bug(const std::string& text) {
   if (text == "dropped_eventlog_merge") {
     return FleetBug::kDroppedEventlogMerge;
   }
+  if (text == "dropped_timeseries_merge") {
+    return FleetBug::kDroppedTimeseriesMerge;
+  }
   throw util::ConfigError(
       "unknown fleet bug '" + text +
-      "'; use percentile_off_by_one, dropped_shard, or "
-      "dropped_eventlog_merge");
+      "'; use percentile_off_by_one, dropped_shard, "
+      "dropped_eventlog_merge, or dropped_timeseries_merge");
 }
 
 std::vector<std::int64_t> duration_ms_buckets() {
@@ -276,6 +280,36 @@ FleetResult run_fleet(const scenario::Scenario& scenario,
     shard_registries.push_back(std::make_unique<obs::Registry>());
   }
 
+  // Time-resolved sampling rides LOGICAL shard checkpoints: each shard
+  // scrapes its own registry exactly once, at t = (shard+1) × interval,
+  // into a per-shard sub-series (shared-nothing, like the registries).
+  // The per-host testbed timer stays disarmed — run_fleet never installs
+  // an ambient Timeseries — so sampling costs one scrape per 512 hosts.
+  std::vector<std::unique_ptr<obs::Timeseries>> shard_timeseries;
+  if (config.timeseries) {
+    result.timeseries = std::make_unique<obs::Timeseries>(*config.timeseries);
+    if (config.inject_bug == FleetBug::kDroppedTimeseriesMerge) {
+      result.timeseries->inject_dropped_merge_for_test();
+    }
+    shard_timeseries.reserve(result.shards);
+    for (std::size_t i = 0; i < result.shards; ++i) {
+      shard_timeseries.push_back(
+          std::make_unique<obs::Timeseries>(*config.timeseries));
+    }
+  }
+
+  // Live-progress plumbing (observability only — never touches the
+  // simulation or the deterministic outputs): shards bump the shared
+  // atomics and observe turnaround into the progress histogram as they
+  // finish, and the callback renders whatever is there so far.
+  std::atomic<std::uint64_t> hosts_done{0};
+  std::atomic<std::uint64_t> shards_done{0};
+  obs::Registry progress_registry;
+  obs::Histogram* progress_turnaround =
+      config.on_progress
+          ? &progress_registry.histogram(kTurnaroundMs, duration_ms_buckets())
+          : nullptr;
+
   core::TaskPool pool(config.jobs);
   // The parent journal rides the pool run as the ambient event log:
   // TaskPool gives each shard its own sub-journal and merges them back
@@ -319,8 +353,31 @@ FleetResult run_fleet(const scenario::Scenario& scenario,
           instruments.slowdown_permille->observe(metrics.slowdown_permille);
           instruments.wasted_ms->observe(metrics.wasted_ms);
           record_host_trace(host_index, host, metrics, draw);
+          if (progress_turnaround != nullptr) {
+            progress_turnaround->observe(metrics.turnaround_ms);
+          }
         }
         instruments.shards_completed->add();
+        if (!shard_timeseries.empty()) {
+          // The shard's logical checkpoint: one deterministic scrape of
+          // its finished registry, stamped with checkpoint time.
+          shard_timeseries[shard]->sample(
+              registry, static_cast<std::int64_t>(shard + 1) *
+                            config.timeseries->interval_ms);
+        }
+        hosts_done.fetch_add(last - first, std::memory_order_relaxed);
+        const std::uint64_t done =
+            shards_done.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (config.on_progress) {
+          FleetProgress progress;
+          progress.hosts_done = hosts_done.load(std::memory_order_relaxed);
+          progress.hosts_total = result.hosts;
+          progress.shards_done = done;
+          progress.shards_total = result.shards;
+          progress.turnaround_p50_ms = progress_turnaround->percentile(0.50);
+          progress.turnaround_p99_ms = progress_turnaround->percentile(0.99);
+          config.on_progress(progress);
+        }
       },
       nullptr, "fleet-shard");
 
@@ -332,6 +389,12 @@ FleetResult run_fleet(const scenario::Scenario& scenario,
   }
   for (std::size_t i = 0; i < merge_count; ++i) {
     result.registry->merge_from(*shard_registries[i]);
+  }
+  // Timeseries sub-series fold in shard order too (the armed
+  // dropped-merge mutation silently skips the first fold; selfcheck's
+  // one-scrape-per-shard invariant catches it).
+  for (const auto& sub_series : shard_timeseries) {
+    result.timeseries->merge_from(*sub_series);
   }
   return result;
 }
@@ -389,6 +452,16 @@ std::string format_summary(const scenario::Scenario& scenario,
 std::vector<std::string> selfcheck(const FleetResult& result, FleetBug bug) {
   std::vector<std::string> violations;
   obs::Registry& registry = *result.registry;
+
+  // The shard-checkpoint sampler holds exactly one scrape per shard; a
+  // dropped sub-series merge (or a lost checkpoint) breaks this count.
+  if (result.timeseries != nullptr &&
+      result.timeseries->samples_taken() != result.shards) {
+    violations.push_back(util::format(
+        "timeseries: %llu checkpoint scrapes for %llu shards",
+        static_cast<unsigned long long>(result.timeseries->samples_taken()),
+        static_cast<unsigned long long>(result.shards)));
+  }
 
   struct Metric {
     const char* name;

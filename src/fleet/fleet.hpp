@@ -28,6 +28,7 @@
 // by the WILL_FAIL ctests fleet.finds.*.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -36,6 +37,7 @@
 #include "fleet/sampler.hpp"
 #include "obs/event_log.hpp"
 #include "obs/registry.hpp"
+#include "obs/timeseries.hpp"
 #include "scenario/scenario.hpp"
 
 namespace vgrid::fleet {
@@ -53,16 +55,32 @@ enum class FleetBug {
   /// the journal's turnaround aggregates stop reconciling with
   /// fleet.workunit.turnaround_ms).
   kDroppedEventlogMerge,
+  /// The first per-shard timeseries sub-series merge into the parent
+  /// obs::Timeseries is silently skipped (caught by selfcheck: the
+  /// sampler must hold exactly one checkpoint scrape per shard).
+  kDroppedTimeseriesMerge,
 };
 
 /// Strict spelling for --inject-bug (percentile_off_by_one /
-/// dropped_shard / dropped_eventlog_merge); throws util::ConfigError on
-/// anything else.
+/// dropped_shard / dropped_eventlog_merge / dropped_timeseries_merge);
+/// throws util::ConfigError on anything else.
 FleetBug parse_fleet_bug(const std::string& text);
 
 /// Flight-recorder ring capacity run_fleet defaults to: enough context
 /// around any anomaly, bounded memory at --hosts 100000.
 inline constexpr std::size_t kDefaultEventlogRing = 4096;
+
+/// Live snapshot handed to FleetConfig::on_progress after each shard
+/// completes. Approximate by design (completion order, not shard order);
+/// purely observational — the deterministic outputs never depend on it.
+struct FleetProgress {
+  std::uint64_t hosts_done = 0;
+  std::uint64_t hosts_total = 0;
+  std::uint64_t shards_done = 0;
+  std::size_t shards_total = 0;
+  std::int64_t turnaround_p50_ms = 0;
+  std::int64_t turnaround_p99_ms = 0;
+};
 
 struct FleetConfig {
   /// Hosts to simulate; 0 uses the scenario's [fleet] hosts value.
@@ -78,6 +96,15 @@ struct FleetConfig {
   bool eventlog = true;
   /// Ring capacity of that journal; 0 retains every trace.
   std::size_t eventlog_ring = kDefaultEventlogRing;
+  /// When set, sample each shard's registry once at its logical
+  /// checkpoint (t = (shard+1) × interval_ms) into
+  /// FleetResult::timeseries. Per-shard sub-series merge in shard
+  /// order, so the export is byte-identical for any --jobs value.
+  std::optional<obs::Timeseries::Config> timeseries;
+  /// Invoked after each shard completes, on the worker thread that
+  /// finished it (`vgrid watch fleet`). Must be thread-safe and must not
+  /// touch simulation state; null disables all progress accounting.
+  std::function<void(const FleetProgress&)> on_progress;
 };
 
 /// Raw outcome of one host's workunit, in the integral units the obs
@@ -104,6 +131,9 @@ struct FleetResult {
   /// FleetConfig::eventlog is off. Sub-journals merge in shard order,
   /// so render_journal() is byte-identical for any --jobs value.
   std::unique_ptr<obs::EventLog> event_log;
+  /// Shard-checkpoint time series (one scrape of each shard's registry);
+  /// null when FleetConfig::timeseries is unset.
+  std::unique_ptr<obs::Timeseries> timeseries;
 };
 
 /// Hosts per TaskPool shard. Fixed (never derived from --jobs): shard

@@ -115,6 +115,20 @@ StatsResponse GridClient::fetch_account() {
   return *parsed;
 }
 
+ScrapeResponse GridClient::scrape() {
+  tcp::Fd conn = tcp::connect_loopback(server_port_);
+  if (!tcp::write_line(conn.get(), serialize(ScrapeRequest{}))) {
+    throw util::SystemError("GridClient: scrape request failed", 0);
+  }
+  std::string line;
+  if (!tcp::read_line(conn.get(), line)) {
+    throw util::SystemError("GridClient: no scrape reply", 0);
+  }
+  const auto parsed = parse_scrape_response(line);
+  if (!parsed) throw util::VgridError("GridClient: bad scrape reply");
+  return *parsed;
+}
+
 void GridClient::run(std::uint64_t max_workunits, int idle_limit) {
   int idle_streak = 0;
   while (stats_.workunits_completed < max_workunits &&

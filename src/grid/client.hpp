@@ -44,6 +44,10 @@ class GridClient {
   /// Fetch this client's server-side account (results, CPU, credit).
   StatsResponse fetch_account();
 
+  /// Fetch the server's live observability snapshot (SCRAPE): Prometheus
+  /// exposition plus rolling RPC p50/p99 (`vgrid watch grid`).
+  ScrapeResponse scrape();
+
   const ClientStats& stats() const noexcept { return stats_; }
   const std::string& client_id() const noexcept { return client_id_; }
 

@@ -77,11 +77,23 @@ std::string serialize(const StatsResponse& response) {
                       response.cpu_seconds, response.credit);
 }
 
+std::string serialize(const ScrapeRequest&) { return "SCRAPE"; }
+
+std::string serialize(const ScrapeResponse& response) {
+  return util::format(
+      "METRICS|%lld|%llu|%lld|%lld|%s",
+      static_cast<long long>(response.window_ms),
+      static_cast<unsigned long long>(response.rpc_count),
+      static_cast<long long>(response.rpc_p50_ns),
+      static_cast<long long>(response.rpc_p99_ns),
+      escape_field(response.prometheus_text).c_str());
+}
+
 std::string request_tag(const std::string& line) {
   const auto fields = util::split(line, '|');
   if (fields.empty()) return "";
   if (fields[0] == "WORK" || fields[0] == "SUBMIT" ||
-      fields[0] == "STATS") {
+      fields[0] == "STATS" || fields[0] == "SCRAPE") {
     return fields[0];
   }
   return "";
@@ -151,6 +163,28 @@ std::optional<StatsResponse> parse_stats_response(const std::string& line) {
   } catch (const std::exception&) {
     return std::nullopt;
   }
+  return response;
+}
+
+std::optional<ScrapeRequest> parse_scrape_request(const std::string& line) {
+  const auto fields = util::split(line, '|');
+  if (fields.size() != 1 || fields[0] != "SCRAPE") return std::nullopt;
+  return ScrapeRequest{};
+}
+
+std::optional<ScrapeResponse> parse_scrape_response(const std::string& line) {
+  const auto fields = util::split(line, '|');
+  if (fields.size() != 6 || fields[0] != "METRICS") return std::nullopt;
+  ScrapeResponse response;
+  try {
+    response.window_ms = std::stoll(fields[1]);
+    response.rpc_count = std::stoull(fields[2]);
+    response.rpc_p50_ns = std::stoll(fields[3]);
+    response.rpc_p99_ns = std::stoll(fields[4]);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  response.prometheus_text = unescape_field(fields[5]);
   return response;
 }
 

@@ -29,6 +29,11 @@ struct StatsRequest {
   std::string client_id;
 };
 
+/// Ask the server for its live observability snapshot: the current
+/// Prometheus text exposition plus a rolling RPC service-time summary.
+/// Carries no fields — the scrape is about the server, not the caller.
+struct ScrapeRequest {};
+
 // ---- responses --------------------------------------------------------------
 struct WorkResponse {
   bool has_work = false;
@@ -48,22 +53,38 @@ struct StatsResponse {
   double credit = 0.0;
 };
 
+/// Live scrape snapshot: rolling RPC percentiles over the trailing
+/// window_ms of wall time, plus the Prometheus exposition of the server's
+/// registry (empty when the server ran without an ambient registry).
+struct ScrapeResponse {
+  std::int64_t window_ms = 0;    ///< rolling-window width
+  std::uint64_t rpc_count = 0;   ///< RPCs inside the window
+  std::int64_t rpc_p50_ns = 0;   ///< median service time in the window
+  std::int64_t rpc_p99_ns = 0;   ///< tail service time in the window
+  std::string prometheus_text;   ///< full exposition, percent-escaped
+};
+
 // serialize / parse; parse returns nullopt on malformed input.
 std::string serialize(const WorkRequest& request);
 std::string serialize(const SubmitRequest& request);
 std::string serialize(const StatsRequest& request);
+std::string serialize(const ScrapeRequest& request);
 std::string serialize(const WorkResponse& response);
 std::string serialize(const SubmitResponse& response);
 std::string serialize(const StatsResponse& response);
+std::string serialize(const ScrapeResponse& response);
 
 std::optional<WorkRequest> parse_work_request(const std::string& line);
 std::optional<SubmitRequest> parse_submit_request(const std::string& line);
 std::optional<StatsRequest> parse_stats_request(const std::string& line);
+std::optional<ScrapeRequest> parse_scrape_request(const std::string& line);
 std::optional<WorkResponse> parse_work_response(const std::string& line);
 std::optional<SubmitResponse> parse_submit_response(const std::string& line);
 std::optional<StatsResponse> parse_stats_response(const std::string& line);
+std::optional<ScrapeResponse> parse_scrape_response(const std::string& line);
 
-/// Dispatch tag of a request line ("WORK" / "SUBMIT" / "STATS" / "").
+/// Dispatch tag of a request line
+/// ("WORK" / "SUBMIT" / "STATS" / "SCRAPE" / "").
 std::string request_tag(const std::string& line);
 
 }  // namespace vgrid::grid

@@ -3,6 +3,9 @@
 #include <sys/socket.h>
 #include <sys/time.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "util/clock.hpp"
 #include "util/log.hpp"
 
@@ -97,14 +100,61 @@ StatsResponse ProjectServer::client_account(
   return logic_.client_account(client_id);
 }
 
+void ProjectServer::record_window_rpc(std::int64_t now_ns,
+                                      std::int64_t rpc_ns) {
+  const std::lock_guard<std::mutex> lock(window_mutex_);
+  rpc_window_.emplace_back(now_ns, rpc_ns);
+  const std::int64_t horizon = now_ns - kScrapeWindowMs * 1'000'000;
+  while (!rpc_window_.empty() && rpc_window_.front().first < horizon) {
+    rpc_window_.pop_front();
+  }
+}
+
+ScrapeResponse ProjectServer::scrape_snapshot() const {
+  ScrapeResponse response;
+  response.window_ms = kScrapeWindowMs;
+  std::vector<std::int64_t> service_ns;
+  {
+    const std::lock_guard<std::mutex> lock(window_mutex_);
+    const std::int64_t horizon =
+        util::monotonic_time_ns() - kScrapeWindowMs * 1'000'000;
+    service_ns.reserve(rpc_window_.size());
+    for (const auto& [t_ns, rpc_ns] : rpc_window_) {
+      if (t_ns >= horizon) service_ns.push_back(rpc_ns);
+    }
+  }
+  response.rpc_count = service_ns.size();
+  if (!service_ns.empty()) {
+    std::sort(service_ns.begin(), service_ns.end());
+    // Nearest-rank percentiles, matching obs::Histogram::percentile.
+    const auto rank = [&](double q) {
+      const std::size_t index = static_cast<std::size_t>(
+          q * static_cast<double>(service_ns.size() - 1) + 0.5);
+      return service_ns[std::min(index, service_ns.size() - 1)];
+    };
+    response.rpc_p50_ns = rank(0.50);
+    response.rpc_p99_ns = rank(0.99);
+  }
+  if (obs_registry_ != nullptr) {
+    // vgrid-lint: allow(obs-timeseries-gateway): the SCRAPE RPC is the
+    // live (wall-clock) scrape surface; its exposition never feeds the
+    // deterministic exports, so it bypasses obs::Timeseries by design.
+    response.prometheus_text = obs_registry_->snapshot_prometheus();
+  }
+  return response;
+}
+
 void ProjectServer::handle_connection(int fd) {
   PROF_SCOPE("grid.server.handle_connection");
   std::string line;
   if (!tcp::read_line(fd, line)) return;
-  // Service time per message type: request parsed -> reply written.
+  // Service time per message type: request parsed -> reply written. Every
+  // RPC also lands in the rolling window the SCRAPE summary reads.
   const std::int64_t start_ns = util::monotonic_time_ns();
-  const auto observe_rpc = [start_ns](obs::Histogram* histogram) {
-    if (histogram) histogram->observe(util::monotonic_time_ns() - start_ns);
+  const auto observe_rpc = [this, start_ns](obs::Histogram* histogram) {
+    const std::int64_t now_ns = util::monotonic_time_ns();
+    if (histogram) histogram->observe(now_ns - start_ns);
+    record_window_rpc(now_ns, now_ns - start_ns);
   };
   const std::string tag = request_tag(line);
   if (tag == "WORK") {
@@ -126,6 +176,13 @@ void ProjectServer::handle_connection(int fd) {
       if (obs_stats_messages_) obs_stats_messages_->add();
       tcp::write_line(fd, serialize(client_account(request->client_id)));
       observe_rpc(obs_rpc_ns_stats_);
+      return;
+    }
+  } else if (tag == "SCRAPE") {
+    if (parse_scrape_request(line)) {
+      if (obs_scrape_messages_) obs_scrape_messages_->add();
+      tcp::write_line(fd, serialize(scrape_snapshot()));
+      observe_rpc(obs_rpc_ns_scrape_);
       return;
     }
   }

@@ -9,11 +9,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "grid/messages.hpp"
 #include "grid/server_logic.hpp"
@@ -56,6 +58,15 @@ class ProjectServer {
   /// workunit validates — BOINC's rule).
   StatsResponse client_account(const std::string& client_id) const;
 
+  /// Live observability snapshot, the same view the SCRAPE message
+  /// returns: Prometheus exposition of the constructing thread's registry
+  /// plus rolling RPC service-time p50/p99 over the trailing
+  /// kScrapeWindowMs of wall time.
+  ScrapeResponse scrape_snapshot() const;
+
+  /// Width of the rolling RPC-latency window SCRAPE summarizes.
+  static constexpr std::int64_t kScrapeWindowMs = 10'000;
+
   void stop();
 
  private:
@@ -63,6 +74,9 @@ class ProjectServer {
   void handle_connection(int fd);
   WorkResponse next_work(const WorkRequest& request);
   SubmitResponse accept_result(const SubmitRequest& request);
+  /// Record one served RPC into the rolling window (and evict entries
+  /// older than kScrapeWindowMs).
+  void record_window_rpc(std::int64_t now_ns, std::int64_t rpc_ns);
 
   tcp::Fd listener_;
   std::uint16_t port_ = 0;
@@ -79,6 +93,8 @@ class ProjectServer {
       obs::maybe_counter("grid.server.messages", {{"type", "submit"}});
   obs::Counter* obs_stats_messages_ =
       obs::maybe_counter("grid.server.messages", {{"type", "stats"}});
+  obs::Counter* obs_scrape_messages_ =
+      obs::maybe_counter("grid.server.messages", {{"type", "scrape"}});
   obs::Counter* obs_malformed_messages_ =
       obs::maybe_counter("grid.server.messages", {{"type", "malformed"}});
   obs::Counter* obs_reissues_ = obs::maybe_counter("grid.server.reissues");
@@ -95,6 +111,17 @@ class ProjectServer {
   obs::Histogram* obs_rpc_ns_malformed_ = obs::maybe_histogram(
       "grid.server.rpc_ns", obs::rpc_server_ns_buckets(),
       {{"type", "malformed"}});
+  obs::Histogram* obs_rpc_ns_scrape_ = obs::maybe_histogram(
+      "grid.server.rpc_ns", obs::rpc_server_ns_buckets(),
+      {{"type", "scrape"}});
+  // SCRAPE snapshots the constructing thread's registry: resolved here,
+  // read by the serve thread (the Registry's own mutex makes the
+  // snapshot safe against concurrent instrument updates).
+  obs::Registry* obs_registry_ = obs::current();
+  // Rolling RPC service-time window the SCRAPE summary is computed from:
+  // (completion wall-ns, service-ns) pairs, trimmed to kScrapeWindowMs.
+  mutable std::mutex window_mutex_;
+  std::deque<std::pair<std::int64_t, std::int64_t>> rpc_window_;
   // Profiling: a Profiler is thread-confined, so the serve thread records
   // into its own tree (created when the constructing thread had one
   // installed) and stop() merges it into the parent after the join — the

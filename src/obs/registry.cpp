@@ -555,6 +555,7 @@ void register_defaults(Registry& registry) {
   registry.counter("grid.server.messages", {{"type", "work"}});
   registry.counter("grid.server.messages", {{"type", "submit"}});
   registry.counter("grid.server.messages", {{"type", "stats"}});
+  registry.counter("grid.server.messages", {{"type", "scrape"}});
   registry.counter("grid.server.messages", {{"type", "malformed"}});
   registry.counter("grid.server.reissues");
   registry.histogram("grid.server.rpc_ns", rpc_server_ns_buckets(),
@@ -565,6 +566,8 @@ void register_defaults(Registry& registry) {
                      {{"type", "stats"}});
   registry.histogram("grid.server.rpc_ns", rpc_server_ns_buckets(),
                      {{"type", "malformed"}});
+  registry.histogram("grid.server.rpc_ns", rpc_server_ns_buckets(),
+                     {{"type", "scrape"}});
   registry.counter("grid.client.requests");
   registry.histogram("grid.client.rpc_latency_us", rpc_latency_buckets_us());
 }

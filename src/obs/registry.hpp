@@ -217,6 +217,10 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
 
+  // The time-resolved sampler enumerates instruments_ under mutex_ — the
+  // one sanctioned periodic scrape path (lint: obs-timeseries-gateway).
+  friend class Timeseries;
+
   mutable std::mutex mutex_;
   std::map<Key, Entry> instruments_;
   std::vector<SpanRecord> spans_;

@@ -1,0 +1,50 @@
+#include "report/progress.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+
+namespace vgrid::report {
+
+namespace {
+std::atomic<bool> g_progress_enabled{true};
+}  // namespace
+
+void set_progress_enabled(bool enabled) {
+  g_progress_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool progress_enabled() noexcept {
+  return g_progress_enabled.load(std::memory_order_relaxed);
+}
+
+ProgressWriter::ProgressWriter() : interactive_(::isatty(2) == 1) {}
+
+void ProgressWriter::update(const std::string& frame) {
+  if (!progress_enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (interactive_) {
+    // Redraw in place: carriage return + erase-to-end keeps the line
+    // clean when the new frame is shorter than the old one.
+    std::fprintf(stderr, "\r\033[K%s", frame.c_str());
+    std::fflush(stderr);
+    dirty_ = true;
+  } else if (frame != last_frame_) {
+    // Non-interactive (pipe/file): plain lines, deduplicated so an idle
+    // poll loop cannot flood a CI log.
+    std::fprintf(stderr, "%s\n", frame.c_str());
+  }
+  last_frame_ = frame;
+}
+
+void ProgressWriter::done() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (interactive_ && dirty_) {
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+    dirty_ = false;
+  }
+}
+
+}  // namespace vgrid::report

@@ -1,0 +1,49 @@
+#pragma once
+// Single-writer live progress line for `vgrid watch` (and any long run
+// that wants one). All progress output goes through ONE ProgressWriter to
+// stderr, never stdout — canonical artifacts (summaries, JSON exports)
+// own stdout, so a redirected `vgrid ... > out.json` can never have a
+// progress frame spliced into it.
+//
+// Rendering adapts to the stream: when stderr is a terminal the line is
+// redrawn in place ("\r" + erase); when it is a pipe or file each DISTINCT
+// frame is emitted as a plain line (no control codes, no duplicate spam).
+// `--no-progress` (set_progress_enabled(false)) silences it entirely —
+// the escape hatch for CI logs and byte-diffed captures.
+//
+// Thread-safe: fleet's on_progress callback fires on TaskPool worker
+// threads, so update() serializes frames under a mutex.
+
+#include <mutex>
+#include <string>
+
+namespace vgrid::report {
+
+/// Global kill switch (--no-progress). Defaults to enabled; affects
+/// ProgressWriters created before or after the call.
+void set_progress_enabled(bool enabled);
+bool progress_enabled() noexcept;
+
+class ProgressWriter {
+ public:
+  ProgressWriter();
+
+  /// Render one frame. In-place redraw on a terminal; a plain line (only
+  /// when the frame changed) otherwise. No-op when progress is disabled.
+  void update(const std::string& frame);
+
+  /// Finish the live line: moves the cursor to a fresh line on a
+  /// terminal so subsequent output does not overwrite the last frame.
+  void done();
+
+  /// Whether stderr was a terminal when this writer was built.
+  bool interactive() const noexcept { return interactive_; }
+
+ private:
+  std::mutex mutex_;
+  std::string last_frame_;
+  bool interactive_ = false;
+  bool dirty_ = false;  ///< a live frame is on screen (needs done())
+};
+
+}  // namespace vgrid::report

@@ -1,0 +1,126 @@
+#include "report/timeseries_export.hpp"
+
+#include <cerrno>
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vgrid::report {
+
+namespace {
+
+std::string labels_json(const obs::Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += '"';
+    out += util::json_escape(key);
+    out += "\":\"";
+    out += util::json_escape(value);
+    out += '"';
+  }
+  out += "}";
+  return out;
+}
+
+/// CSV-quote a field: wrap in double quotes, doubling embedded quotes.
+std::string csv_quote(const std::string& field) {
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Human title of a series for plot legends: name{labels}/track.
+std::string series_title(const obs::Timeseries::Series& series) {
+  std::string title = series.name;
+  if (!series.labels.empty()) title += labels_json(series.labels);
+  title += "/";
+  title += obs::track_kind_name(series.kind);
+  return title;
+}
+
+void write_text(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw util::SystemError("cannot open " + path, errno);
+  out << body;
+  if (!out) throw util::SystemError("write failed: " + path, errno);
+}
+
+}  // namespace
+
+std::string timeseries_csv(const obs::Timeseries& series) {
+  std::string out = "name,labels,track,t_ms,value\n";
+  for (const obs::Timeseries::Series* s : series.series()) {
+    const std::string prefix = util::format(
+        "%s,%s,%s,", csv_quote(s->name).c_str(),
+        csv_quote(labels_json(s->labels)).c_str(),
+        obs::track_kind_name(s->kind));
+    for (const obs::Timeseries::Point& point : s->points) {
+      out += prefix;
+      out += util::format("%lld,%lld\n",
+                          static_cast<long long>(point.t_ms),
+                          static_cast<long long>(point.value));
+    }
+  }
+  return out;
+}
+
+std::string timeseries_gnuplot_data(const obs::Timeseries& series) {
+  std::string out;
+  bool first = true;
+  for (const obs::Timeseries::Series* s : series.series()) {
+    if (!first) out += "\n\n";  // block separator (gnuplot `index`)
+    first = false;
+    out += "# " + series_title(*s) + "\n";
+    for (const obs::Timeseries::Point& point : s->points) {
+      out += util::format("%lld %lld\n",
+                          static_cast<long long>(point.t_ms),
+                          static_cast<long long>(point.value));
+    }
+  }
+  return out;
+}
+
+std::string timeseries_gnuplot_script(const obs::Timeseries& series,
+                                      const std::string& data_path) {
+  std::string out;
+  out += "set xlabel 'sim time (ms)'\n";
+  out += "set ylabel 'value'\n";
+  out += "set key outside right\n";
+  out += "set grid\n";
+  out += "plot \\\n";
+  const std::vector<const obs::Timeseries::Series*> all = series.series();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    std::string title = series_title(*all[i]);
+    // Gnuplot titles are single-quoted; double any embedded quote.
+    std::string escaped;
+    for (const char c : title) {
+      if (c == '\'') escaped += "''";
+      else escaped += c;
+    }
+    out += util::format("  '%s' index %zu using 1:2 with linespoints "
+                        "title '%s'%s\n",
+                        data_path.c_str(), i, escaped.c_str(),
+                        i + 1 < all.size() ? ", \\" : "");
+  }
+  if (all.empty()) out += "  NaN notitle\n";
+  return out;
+}
+
+void write_timeseries(const std::string& path,
+                      const obs::Timeseries& series) {
+  write_text(path, series.render_json());
+  write_text(path + ".csv", timeseries_csv(series));
+  const std::string data_path = path + ".dat";
+  write_text(data_path, timeseries_gnuplot_data(series));
+  write_text(path + ".gp", timeseries_gnuplot_script(series, data_path));
+}
+
+}  // namespace vgrid::report

@@ -1,0 +1,43 @@
+#pragma once
+// Exporters for obs::Timeseries — the artifacts behind
+// `vgrid timeseries <fig|fleet> --out FILE`. Three shapes per export:
+//
+//  FILE       — the canonical sorted JSON (Timeseries::render_json),
+//               the byte-diffed determinism artifact;
+//  FILE.csv   — one flat row per point (name,labels,track,t_ms,value),
+//               spreadsheet- and pandas-friendly;
+//  FILE.gp    — a gnuplot script plotting every track from FILE.dat,
+//               one data block per series (blank-line separated), so
+//               `gnuplot FILE.gp` renders the run with zero editing.
+//
+// All three are derived from the same sorted series view, so they are as
+// byte-stable as the JSON itself.
+
+#include <string>
+
+#include "obs/timeseries.hpp"
+
+namespace vgrid::report {
+
+/// Flat CSV of every retained point: header then
+/// "name,labels,track,t_ms,value" rows in (name, labels, track, append)
+/// order. The labels column is the canonical {"k":"v"} JSON, quoted.
+std::string timeseries_csv(const obs::Timeseries& series);
+
+/// Gnuplot data blocks: one block per series ("# name labels track"
+/// comment, then "t_ms value" rows), blank-line separated, indexable by
+/// `index N` in the companion script.
+std::string timeseries_gnuplot_data(const obs::Timeseries& series);
+
+/// Gnuplot script plotting every block of `data_path` (the .dat file)
+/// with its series title.
+std::string timeseries_gnuplot_script(const obs::Timeseries& series,
+                                      const std::string& data_path);
+
+/// Write the full artifact set: render_json() to `path`, the CSV to
+/// `path + ".csv"`, the data blocks to `path + ".dat"`, and the script to
+/// `path + ".gp"`. Throws util::SystemError on I/O failure.
+void write_timeseries(const std::string& path,
+                      const obs::Timeseries& series);
+
+}  // namespace vgrid::report

@@ -124,13 +124,15 @@ class Parser {
     }
     profile_ = nullptr;
     static const std::set<std::string> kSections = {
-        "scenario", "machine", "os", "vmm", "workloads", "sweep", "fleet"};
+        "scenario", "machine", "os",    "vmm", "workloads",
+        "sweep",    "fleet",   "obs"};
     if (kSections.count(header) == 0) {
       fail("unknown section [" + header +
-           "]; use [scenario], [machine], [os], [vmm], [workloads], "
-           "[sweep], [fleet] or [profile NAME]");
+           "]; use [scenario], [machine], [os], [obs], [vmm], "
+           "[workloads], [sweep], [fleet] or [profile NAME]");
     }
     if (header == "fleet") scenario_.fleet.emplace();
+    if (header == "obs") scenario_.obs.emplace();
   }
 
   void handle_key_value(const std::string& line) {
@@ -161,6 +163,8 @@ class Parser {
       workloads_key(key, value);
     } else if (section_ == "fleet") {
       fleet_key(key, value);
+    } else if (section_ == "obs") {
+      obs_key(key, value);
     } else {
       sweep_key(key, value);
     }
@@ -463,6 +467,16 @@ class Parser {
     return choice;
   }
 
+  void obs_key(const std::string& key, const std::string& value) {
+    ObsSpec& obs = *scenario_.obs;
+    if (key == "sample_interval_ms") {
+      obs.sample_interval_ms =
+          static_cast<std::int64_t>(to_u64(key, value, 1, 3'600'000));
+    } else {
+      unknown_key(key);
+    }
+  }
+
   void fleet_key(const std::string& key, const std::string& value) {
     FleetSpec& fleet = *scenario_.fleet;
     if (key == "hosts") {
@@ -644,7 +658,7 @@ class Parser {
   bool have_name_ = false;
   bool have_availability_ = false;
   bool have_workunit_gigaops_ = false;
-  Scenario scenario_{.profiles = {}, .fleet = {}};
+  Scenario scenario_{.profiles = {}, .fleet = {}, .obs = {}};
 };
 
 void append_kv(std::string& out, const char* key, const std::string& value) {
@@ -721,6 +735,13 @@ std::string Scenario::canonical_text() const {
   append_kv(out, "ipc_user_fp", fmt_double(machine.chip.ipc_user_fp));
   append_kv(out, "ipc_user_int", fmt_double(machine.chip.ipc_user_int));
   append_kv(out, "ram_mib", std::to_string(machine.ram_bytes / util::MiB));
+
+  // [obs] sorts between [machine] and [os] ("obs" < "os").
+  if (obs) {
+    out += "\n[obs]\n";
+    append_kv(out, "sample_interval_ms",
+              std::to_string(obs->sample_interval_ms));
+  }
 
   out += "\n[os]\n";
   append_kv(out, "flavour", os::to_string(host_os));

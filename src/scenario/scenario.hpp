@@ -123,6 +123,14 @@ struct FleetSpec {
   DistSpec workunit_gigaops;
 };
 
+/// The [obs] section: scenario-declared defaults for time-resolved
+/// sampling (`vgrid timeseries` / `vgrid watch` use these when the CLI
+/// does not override them). Optional — absent means the tool defaults.
+struct ObsSpec {
+  /// Sampler cadence in simulated milliseconds; [1, 3600000].
+  std::int64_t sample_interval_ms = 100;
+};
+
 struct Scenario {
   std::string name = "paper";
   hw::MachineConfig machine{};
@@ -136,6 +144,9 @@ struct Scenario {
   Sweep sweep{};
   /// Host-population model; present iff the text has a [fleet] section.
   std::optional<FleetSpec> fleet;
+  /// Time-resolved sampling defaults; present iff the text has an [obs]
+  /// section.
+  std::optional<ObsSpec> obs;
 
   /// Deterministic serialization: fixed section order, sorted keys,
   /// shortest round-trip doubles, every profile expanded to a full

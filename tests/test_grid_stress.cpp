@@ -33,6 +33,7 @@ namespace {
 using grid::GridClient;
 using grid::ProjectServer;
 using grid::Result;
+using grid::ScrapeResponse;
 using grid::ServerStats;
 using grid::StatsResponse;
 using grid::Workunit;
@@ -154,13 +155,43 @@ TEST(GridStress, SixtyFourClientsWithDeathsValidateEverythingExactlyOnce) {
     });
   }
 
+  // While the workers hammer the server, a watcher polls the live SCRAPE
+  // endpoint: every reply must expose the Prometheus exposition and —
+  // once RPCs land in the rolling window — ordered, plausible service
+  // percentiles. This is the `vgrid watch grid` data path under real
+  // 64-client contention.
+  GridClient watcher(server.port(), "watcher");
+  std::uint64_t scrapes_with_window = 0;
   const util::WallTimer timer;
   while (server.stats().workunits_validated < kWorkunits &&
          timer.elapsed_seconds() < kSoakBudgetSeconds) {
+    const ScrapeResponse scrape = watcher.scrape();
+    EXPECT_EQ(scrape.window_ms, ProjectServer::kScrapeWindowMs);
+    EXPECT_NE(scrape.prometheus_text.find("grid_server_rpc_ns"),
+              std::string::npos)
+        << "scrape lost the Prometheus exposition";
+    if (scrape.rpc_count > 0) {
+      ++scrapes_with_window;
+      EXPECT_GT(scrape.rpc_p50_ns, 0);
+      EXPECT_GE(scrape.rpc_p99_ns, scrape.rpc_p50_ns);
+      EXPECT_LT(scrape.rpc_p99_ns, 10'000'000'000LL)
+          << "a loopback RPC cannot take 10s";
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   done.store(true);
   for (auto& thread : workers) thread.join();
+  if (scrapes_with_window == 0) {
+    // Instant convergence: the window still holds the soak's RPCs (it is
+    // 10 s deep) — one post-hoc scrape must see them.
+    const ScrapeResponse scrape = watcher.scrape();
+    EXPECT_GT(scrape.rpc_count, 0u);
+    EXPECT_GT(scrape.rpc_p50_ns, 0);
+    EXPECT_GE(scrape.rpc_p99_ns, scrape.rpc_p50_ns);
+    ++scrapes_with_window;
+  }
+  EXPECT_GT(scrapes_with_window, 0u)
+      << "no scrape observed the rolling RPC window populated";
 
   const ServerStats stats = server.stats();
   ASSERT_EQ(stats.workunits_validated, kWorkunits)

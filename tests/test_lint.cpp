@@ -518,6 +518,45 @@ void route() { auto* parent = vgrid::obs::current_event_log(); (void)parent; }
   EXPECT_TRUE(ds.empty());
 }
 
+TEST(LintObservability, FlagsRawRegistryScrapesOutsideObs) {
+  // Ad-hoc snapshot calls outside src/obs bypass obs::Timeseries::sample,
+  // the deterministic scrape gateway (see timeseries.hpp's quartet
+  // contract) — each call site is flagged.
+  const auto ds = lint::lint_file("src/fleet/bad.cpp", R"cpp(
+#include "obs/registry.hpp"
+std::string dump(const vgrid::obs::Registry& registry) {
+  std::string out = registry.snapshot_json();
+  out += registry.snapshot_prometheus();
+  return out;
+}
+)cpp");
+  EXPECT_EQ(rules_of(ds),
+            (std::vector<std::string>{"obs-timeseries-gateway",
+                                      "obs-timeseries-gateway"}));
+}
+
+TEST(LintObservability, TimeseriesGatewayObsAndFrontEndsAreExempt) {
+  // src/obs implements both the registry and the sampler, and front ends
+  // (tools/, bench/, tests/) legitimately export run-end snapshots.
+  const std::string raw =
+      "std::string f(const R& r) { return r.snapshot_json(); }\n";
+  EXPECT_TRUE(lint::lint_file("src/obs/registry.cpp", raw).empty());
+  EXPECT_TRUE(lint::lint_file("src/obs/timeseries.cpp", raw).empty());
+  EXPECT_TRUE(lint::lint_file("tools/vgrid_main.cpp", raw).empty());
+  EXPECT_TRUE(lint::lint_file("tests/test_obs.cpp", raw).empty());
+}
+
+TEST(LintObservability, AllowSilencesSanctionedScrapeRpc) {
+  // The live SCRAPE endpoint (grid/server) is the one sanctioned raw
+  // scrape: wall-clock exposition that never feeds deterministic exports.
+  const auto ds = lint::lint_file("src/grid/server.cpp", R"cpp(
+// vgrid-lint: allow(obs-timeseries-gateway): this fixture plays the
+// live SCRAPE RPC exposition path.
+std::string expose(const R& r) { return r.snapshot_prometheus(); }
+)cpp");
+  EXPECT_TRUE(ds.empty());
+}
+
 // --- mc-purity ---------------------------------------------------------------
 
 TEST(LintMcPurity, FlagsSanctionedClockGatewaysInModelCheckedCode) {

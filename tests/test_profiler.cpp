@@ -280,6 +280,25 @@ TEST(BenchDiff, HostQuickFlagParsesFromHostWithTopLevelFallback) {
       << "legacy top-level quick flag must keep parsing";
 }
 
+TEST(BenchDiff, QuickBaselineIsANoteEvenWhenModesMatch) {
+  // A committed trajectory entry recorded in --quick mode is not a
+  // trustworthy baseline even if the candidate is quick too: the report
+  // must say so (as a note, not a failure) so the baseline gets
+  // regenerated with a full run.
+  const auto baseline = tools::parse_bench(bench_doc(1'000'000, true));
+  const auto candidate = tools::parse_bench(bench_doc(1'000'000, true));
+  const auto report = tools::diff_bench(baseline, candidate, {});
+  EXPECT_FALSE(report.gate_failed);
+  bool noted = false;
+  for (const auto& finding : report.findings) {
+    if (!finding.regression && finding.name == "(document)" &&
+        finding.detail.find("--quick mode") != std::string::npos) {
+      noted = true;
+    }
+  }
+  EXPECT_TRUE(noted);
+}
+
 TEST(BenchDiff, CoresMismatchIsANoteNotARegression) {
   // Comparing runs from hosts with different core counts is
   // apples-to-oranges: the gate must surface it as a visible note

@@ -260,6 +260,13 @@ BenchDiffReport diff_bench(const BenchDoc& baseline,
   };
 
   // Document-level compatibility notes: never failures, always visible.
+  if (baseline.quick) {
+    note("(document)",
+         "baseline was recorded in --quick mode: its workload sizes are "
+         "reduced, so its medians are not a trustworthy trajectory entry "
+         "— regenerate the committed baseline with a full run",
+         false);
+  }
   if (baseline.quick != candidate.quick) {
     note("(document)",
          std::string("quick-mode mismatch: baseline ") +

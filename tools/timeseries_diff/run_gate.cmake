@@ -1,0 +1,53 @@
+# ctest gate `timeseries.diff.fig5.jobs`: run the same seeded figure with
+# the sampler installed twice — serial and fanned out over 8 workers — and
+# require timeseries_diff to accept the two exports at zero tolerance.
+# Then re-run at a different cadence and require timeseries_diff to REJECT
+# it, proving the gate can actually fail.
+if(NOT DEFINED VGRID OR NOT DEFINED TIMESERIES_DIFF OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+          "run_gate.cmake needs -DVGRID, -DTIMESERIES_DIFF, -DWORK_DIR")
+endif()
+
+set(t1 "${WORK_DIR}/timeseries_gate_jobs1.json")
+set(t8 "${WORK_DIR}/timeseries_gate_jobs8.json")
+set(tslow "${WORK_DIR}/timeseries_gate_slow.json")
+
+execute_process(
+  COMMAND "${VGRID}" timeseries fig5 --reps 2 --jobs 1 --out "${t1}"
+  RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "vgrid timeseries --jobs 1 failed (${rc1})")
+endif()
+
+execute_process(
+  COMMAND "${VGRID}" timeseries fig5 --reps 2 --jobs 8 --out "${t8}"
+  RESULT_VARIABLE rc8)
+if(NOT rc8 EQUAL 0)
+  message(FATAL_ERROR "vgrid timeseries --jobs 8 failed (${rc8})")
+endif()
+
+execute_process(
+  COMMAND "${TIMESERIES_DIFF}" "${t1}" "${t8}"
+  RESULT_VARIABLE rc_diff)
+if(NOT rc_diff EQUAL 0)
+  message(FATAL_ERROR
+          "timeseries_diff found divergences between --jobs 1 and --jobs 8 (${rc_diff})")
+endif()
+
+# Negative control: a 250 ms cadence is a different experiment; the diff
+# must flag it (exit 1), not wave it through.
+execute_process(
+  COMMAND "${VGRID}" timeseries fig5 --reps 2 --jobs 1 --interval 250
+          --out "${tslow}"
+  RESULT_VARIABLE rc_slow)
+if(NOT rc_slow EQUAL 0)
+  message(FATAL_ERROR "vgrid timeseries --interval 250 failed (${rc_slow})")
+endif()
+
+execute_process(
+  COMMAND "${TIMESERIES_DIFF}" "${t1}" "${tslow}"
+  RESULT_VARIABLE rc_neg)
+if(NOT rc_neg EQUAL 1)
+  message(FATAL_ERROR
+          "timeseries_diff accepted exports at different cadences (rc=${rc_neg})")
+endif()

@@ -193,6 +193,7 @@ const std::vector<std::string> kRules = {
     "layer-include",     "obs-stdio",             "lint-allow",
     "lint-io",           "mc-wall-clock",         "mc-real-socket",
     "mc-unordered",      "obs-eventlog-gateway",  "sim-hot-alloc",
+    "obs-timeseries-gateway",
 };
 
 bool starts_with(const std::string& s, const std::string& prefix) {
@@ -235,6 +236,20 @@ bool obs_stdio_scope(const std::string& path) {
 /// seams (core::TaskPool, the grid transport shell) carry explicit
 /// allow() suppressions with reasons.
 bool eventlog_gateway_scope(const std::string& path) {
+  if (!starts_with(path, "src/")) return false;
+  return !starts_with(path, "src/obs/");
+}
+
+/// The timeseries-gateway rule applies to library code (src/) outside the
+/// sampler's own layer (src/obs/): raw registry scrapes
+/// (snapshot_json/snapshot_prometheus calls) outside obs bypass the
+/// deterministic sampler — ad-hoc scrape cadences are exactly the
+/// nondeterminism obs::Timeseries::sample was built to prevent. Point-in-
+/// time exports go through obs::write_snapshot at run end; time-resolved
+/// data goes through the Timeseries quartet contract. The live SCRAPE RPC
+/// (grid/server) carries an explicit allow() with a reason: its wall-clock
+/// exposition never feeds the deterministic exports.
+bool timeseries_gateway_scope(const std::string& path) {
   if (!starts_with(path, "src/")) return false;
   return !starts_with(path, "src/obs/");
 }
@@ -688,6 +703,9 @@ std::vector<Diagnostic> lint_file(const std::string& path,
   static const std::regex kEventLogRaw(
       R"(\b(?:open_trace|append_event|close_trace|current_event_log)\s*\()");
   const bool eventlog_scope = eventlog_gateway_scope(path);
+  static const std::regex kTimeseriesRaw(
+      R"(\b(?:snapshot_json|snapshot_prometheus)\s*\()");
+  const bool timeseries_scope = timeseries_gateway_scope(path);
   static const std::regex kOmp(R"(#\s*pragma\s+omp\b)");
   static const std::regex kRedundantVirtual(R"(\bvirtual\b.*\boverride\b)");
   static const std::regex kVirtualDtor(R"(\bvirtual\s+~)");
@@ -734,6 +752,14 @@ std::vector<Diagnostic> lint_file(const std::string& path,
            "go through the EVT_TRACE_OPEN/EVT_APPEND/EVT_TRACE_CLOSE "
            "macros (core::TaskPool and the transport shell are the "
            "sanctioned merge seams)"});
+    }
+    if (timeseries_scope && std::regex_search(code, kTimeseriesRaw) &&
+        !suppressed(sup, line_no, "obs-timeseries-gateway")) {
+      diagnostics.push_back(
+          {path, line_no, "obs-timeseries-gateway",
+           "raw registry scrape outside src/obs; time-resolved sampling "
+           "must go through obs::Timeseries::sample (the deterministic "
+           "gateway) and run-end exports through obs::write_snapshot"});
     }
 
     // --- determinism ------------------------------------------------------

@@ -67,10 +67,13 @@
 //                   --replay
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/cli_args.hpp"
@@ -78,15 +81,21 @@
 #include "obs/event_log.hpp"
 #include "obs/profiler.hpp"
 #include "obs/registry.hpp"
+#include "obs/timeseries.hpp"
 #include "perf_harness.hpp"
 #include "report/profile_export.hpp"
+#include "report/progress.hpp"
+#include "report/timeseries_export.hpp"
 #include "core/testbed.hpp"
 #include "core/experiments.hpp"
 #include "fleet/fleet.hpp"
 #include "core/guest_perf.hpp"
 #include "core/host_impact.hpp"
+#include "grid/client.hpp"
 #include "grid/deployment.hpp"
+#include "grid/server.hpp"
 #include "grid/server_logic.hpp"
+#include "util/clock.hpp"
 #include "mc/explorer.hpp"
 #include "report/chrome_trace.hpp"
 #include "report/event_trace.hpp"
@@ -156,6 +165,18 @@ int usage() {
       "             scenario's [fleet] distributions (default scenario\n"
       "             fleet-small), simulate one workunit each, print the\n"
       "             canonical percentile summary (jobs-independent)\n"
+      "  timeseries [fig1..fig8|fleet] [--interval MS] [--points N]\n"
+      "             [--out FILE] [--scenario S] [--jobs N]\n"
+      "             run with the deterministic sim-time sampler installed\n"
+      "             and export the canonical timeseries JSON (--out adds\n"
+      "             .csv and gnuplot .dat/.gp tracks); byte-identical for\n"
+      "             any --jobs value\n"
+      "  watch      [fleet|grid] [--no-progress] [fleet flags |\n"
+      "             --workunits W --clients C]\n"
+      "             live progress view on stderr: fleet shard completion\n"
+      "             (hosts/s, turnaround p50/p99 so far) or a real grid\n"
+      "             server polled via the SCRAPE message (rolling RPC\n"
+      "             p50/p99); stdout keeps the canonical summary\n"
       "  trace      [fleet|grid] [--max N] [--anomalous] [--out FILE]\n"
       "             fleet: [--hosts N] [--jobs J] [--seed S] [--ring N]\n"
       "             grid:  [--workunits W] [--clients C] [--replication R]\n"
@@ -177,7 +198,7 @@ int usage() {
       "             model-check the grid protocol's interleavings\n"
       "  determinism-audit [fig1..fig8|fleet] [--scenario S] [--reps N]\n"
       "             [--seed S] [--jobs N] [--metrics-only] [--profile]\n"
-      "             [--eventlog]\n"
+      "             [--eventlog] [--timeseries]\n"
       "             same-seed serial vs N-worker run, byte-diff results,\n"
       "             traces, and metric snapshots (--profile: with the\n"
       "             profiler installed; --eventlog: the lifecycle journal\n"
@@ -717,6 +738,10 @@ fleet::FleetConfig fleet_config_from(const Args& args) {
   config.eventlog = !args.has("no-eventlog");
   config.eventlog_ring = static_cast<std::size_t>(args.get_long(
       "ring", static_cast<long>(fleet::kDefaultEventlogRing)));
+  // --timeseries: arm the per-shard checkpoint sampler so --selfcheck can
+  // verify the scrape-per-shard invariant (the hook the
+  // timeseries.finds.dropped_merge mutation test drives).
+  if (args.has("timeseries")) config.timeseries = obs::Timeseries::Config{};
   return config;
 }
 
@@ -760,6 +785,209 @@ int cmd_fleet(const Args& args) {
                 "outcomes\n",
                 static_cast<unsigned long long>(result.hosts));
   }
+  return 0;
+}
+
+// --- timeseries / watch ------------------------------------------------------
+// Front ends of obs::Timeseries, the time-resolved leg of the
+// observability quartet. `vgrid timeseries` runs a figure or the fleet
+// with the deterministic sampler installed and exports the canonical
+// sorted JSON (plus CSV / gnuplot tracks via --out); `vgrid watch`
+// renders a live in-terminal progress view on stderr — stdout stays
+// reserved for the canonical artifacts, and --no-progress silences the
+// view entirely.
+
+/// --interval MS / --points N over the scenario's [obs] defaults.
+obs::Timeseries::Config timeseries_config_from(
+    const Args& args, const scenario::Scenario& scenario) {
+  obs::Timeseries::Config config;
+  if (scenario.obs) config.interval_ms = scenario.obs->sample_interval_ms;
+  config.interval_ms = args.get_long("interval", config.interval_ms);
+  config.ring_capacity = static_cast<std::size_t>(args.get_long(
+      "points", static_cast<long>(config.ring_capacity)));
+  return config;
+}
+
+int export_timeseries(const obs::Timeseries& series,
+                      const std::string& out) {
+  if (out.empty()) {
+    std::fputs(series.render_json().c_str(), stdout);
+    return 0;
+  }
+  report::write_timeseries(out, series);
+  std::printf("timeseries written to %s (JSON), %s.csv, %s.dat + %s.gp "
+              "(gnuplot)\n",
+              out.c_str(), out.c_str(), out.c_str(), out.c_str());
+  return 0;
+}
+
+int cmd_timeseries(const Args& args) {
+  const std::string target =
+      args.positional().empty() ? "fig5" : args.positional()[0];
+  const std::string out = args.get_or("out", "");
+
+  if (target == "fleet") {
+    const scenario::Scenario scenario =
+        scenario::load(args.get_or("scenario", "fleet-small"));
+    fleet::FleetConfig config = fleet_config_from(args);
+    config.timeseries = timeseries_config_from(args, scenario);
+    const fleet::FleetResult result = fleet::run_fleet(scenario, config);
+    std::fprintf(stderr,
+                 "fleet timeseries: %llu hosts, %zu shard checkpoints, "
+                 "%zu series, %llu points\n",
+                 static_cast<unsigned long long>(result.hosts),
+                 result.shards, result.timeseries->series_count(),
+                 static_cast<unsigned long long>(
+                     result.timeseries->points_recorded()));
+    return export_timeseries(*result.timeseries, out);
+  }
+
+  ScenarioFigureFn fn = figure_fn(target);
+  if (fn == nullptr) {
+    std::fprintf(stderr,
+                 "no such timeseries target '%s'; use fig1..fig8 or "
+                 "fleet\n",
+                 target.c_str());
+    return 2;
+  }
+  const scenario::Scenario scenario = scenario_from(args);
+  const core::RunnerConfig runner = runner_config(args, scenario);
+  obs::Registry registry;
+  obs::register_defaults(registry);
+  record_scenario_info(registry, scenario);
+  obs::Timeseries series(timeseries_config_from(args, scenario));
+  {
+    // Both ambient sinks installed: every Testbed the figure builds arms
+    // the sim-time sampler tick, and TaskPool routes per-task sub-series
+    // that merge in task order — the export is --jobs independent.
+    obs::ScopedRegistry metrics_scope(&registry);
+    obs::ScopedTimeseries series_scope(&series);
+    (void)fn(scenario, runner);
+  }
+  std::fprintf(stderr,
+               "%s timeseries: %llu scrapes, %zu series, %llu points "
+               "(interval %lld sim-ms)\n",
+               target.c_str(),
+               static_cast<unsigned long long>(series.samples_taken()),
+               series.series_count(),
+               static_cast<unsigned long long>(series.points_recorded()),
+               static_cast<long long>(series.config().interval_ms));
+  return export_timeseries(series, out);
+}
+
+int cmd_watch(const Args& args) {
+  if (args.has("no-progress")) report::set_progress_enabled(false);
+  const std::string target =
+      args.positional().empty() ? "fleet" : args.positional()[0];
+
+  if (target == "fleet") {
+    const scenario::Scenario scenario =
+        scenario::load(args.get_or("scenario", "fleet-small"));
+    fleet::FleetConfig config = fleet_config_from(args);
+    report::ProgressWriter writer;
+    const std::int64_t start_ns = util::monotonic_time_ns();
+    // The progress view is pure observation: it renders on stderr from
+    // the approximate completion-order counters and never touches the
+    // deterministic outputs (the summary below is still byte-identical
+    // with or without it — determinism.audit covers the same code path).
+    config.on_progress = [&](const fleet::FleetProgress& progress) {
+      const double seconds = static_cast<double>(util::monotonic_time_ns() -
+                                                 start_ns) /
+                             1e9;
+      const double rate =
+          seconds > 0.0
+              ? static_cast<double>(progress.hosts_done) / seconds
+              : 0.0;
+      writer.update(util::format(
+          "fleet: %llu/%llu hosts (%.1f%%) | %.0f hosts/s | shard "
+          "%llu/%zu | turnaround p50 %lld ms p99 %lld ms",
+          static_cast<unsigned long long>(progress.hosts_done),
+          static_cast<unsigned long long>(progress.hosts_total),
+          100.0 * static_cast<double>(progress.hosts_done) /
+              static_cast<double>(
+                  progress.hosts_total > 0 ? progress.hosts_total : 1),
+          rate, static_cast<unsigned long long>(progress.shards_done),
+          progress.shards_total,
+          static_cast<long long>(progress.turnaround_p50_ms),
+          static_cast<long long>(progress.turnaround_p99_ms)));
+    };
+    const fleet::FleetResult result = fleet::run_fleet(scenario, config);
+    writer.done();
+    record_scenario_info(*result.registry, scenario);
+    std::fputs(fleet::format_summary(scenario, result).c_str(), stdout);
+    return 0;
+  }
+
+  if (target != "grid") {
+    std::fprintf(stderr, "no such watch target '%s'; use fleet or grid\n",
+                 target.c_str());
+    return 2;
+  }
+
+  // Live grid run: a real ProjectServer, C client threads chewing through
+  // W workunits, and the watcher polling the SCRAPE endpoint for the
+  // rolling RPC percentiles while they work.
+  const auto workunits =
+      static_cast<std::uint64_t>(args.get_long("workunits", 32));
+  const int clients = static_cast<int>(args.get_long("clients", 4));
+  obs::Registry registry;
+  obs::register_defaults(registry);
+  obs::ScopedRegistry metrics_scope(&registry);
+
+  grid::ProjectServer server;
+  for (std::uint64_t i = 0; i < workunits; ++i) {
+    grid::Workunit workunit;
+    workunit.kind = "einstein";
+    workunit.payload = "wu-" + std::to_string(i + 1);
+    workunit.replication = 2;
+    workunit.quorum = 2;
+    server.add_workunit(std::move(workunit));
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&server, c] {
+      grid::GridClient client(server.port(), "c" + std::to_string(c));
+      client.register_app("einstein", [](const std::string& payload) {
+        return "result-" + payload;
+      });
+      client.run(/*max_workunits=*/1'000'000);
+    });
+  }
+
+  report::ProgressWriter writer;
+  grid::GridClient watcher(server.port(), "watcher");
+  std::atomic<bool> draining{true};
+  std::thread join_thread([&] {
+    for (std::thread& thread : threads) thread.join();
+    draining.store(false, std::memory_order_release);
+  });
+  while (draining.load(std::memory_order_acquire)) {
+    const grid::ScrapeResponse scrape = watcher.scrape();
+    const grid::ServerStats stats = server.stats();
+    writer.update(util::format(
+        "grid: %llu/%llu workunits validated | %llu results | rpc "
+        "window(%llds): %llu rpcs p50 %.1f us p99 %.1f us",
+        static_cast<unsigned long long>(stats.workunits_validated),
+        static_cast<unsigned long long>(workunits),
+        static_cast<unsigned long long>(stats.results_received),
+        static_cast<long long>(scrape.window_ms / 1000),
+        static_cast<unsigned long long>(scrape.rpc_count),
+        static_cast<double>(scrape.rpc_p50_ns) / 1e3,
+        static_cast<double>(scrape.rpc_p99_ns) / 1e3));
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  join_thread.join();
+  writer.done();
+  server.stop();
+
+  const grid::ServerStats stats = server.stats();
+  std::printf("watch grid: %llu workunits validated, %llu results, "
+              "%llu work requests, %d clients\n",
+              static_cast<unsigned long long>(stats.workunits_validated),
+              static_cast<unsigned long long>(stats.results_received),
+              static_cast<unsigned long long>(stats.work_requests),
+              clients);
   return 0;
 }
 
@@ -1030,8 +1258,12 @@ int audit_fleet(const Args& args) {
   // --eventlog widens the byte-diffed stream with the lifecycle journal
   // (header, counters, every retained trace): ring retention and the
   // shard-ordered sub-journal merges must reproduce the serial journal
-  // byte for byte, ring churn included.
+  // byte for byte, ring churn included. --timeseries does the same for
+  // the shard-checkpoint sampler: the rendered series must be identical
+  // however the shards were fanned out.
   const bool eventlog = args.has("eventlog");
+  const bool timeseries = args.has("timeseries");
+  if (timeseries) config.timeseries = obs::Timeseries::Config{};
   const auto run_once = [&](int jobs_value) {
     fleet::FleetConfig run = config;
     run.jobs = jobs_value;
@@ -1045,6 +1277,10 @@ int audit_fleet(const Args& args) {
       stream += result.event_log->render_journal();
       stream += "=== tails ===\n";
       stream += report::format_tails(*result.event_log);
+    }
+    if (timeseries && result.timeseries != nullptr) {
+      stream += "=== timeseries ===\n";
+      stream += result.timeseries->render_json();
     }
     return stream;
   };
@@ -1062,7 +1298,8 @@ int audit_fleet(const Args& args) {
 std::string run_captured(ScenarioFigureFn fn,
                          const scenario::Scenario& scenario,
                          const core::RunnerConfig& runner,
-                         bool metrics_only, bool eventlog) {
+                         bool metrics_only, bool eventlog,
+                         bool timeseries) {
   // The metric snapshot always joins the byte-diffed stream: a counter that
   // depends on worker interleaving is as much a determinism bug as a
   // diverging trace. --metrics-only narrows the stream to the snapshot
@@ -1079,9 +1316,14 @@ std::string run_captured(ScenarioFigureFn fn,
   // journal bytes (and TaskPool's per-task sub-log merges) must still be
   // identical across worker counts.
   obs::EventLog journal;
+  // --timeseries arms the sim-time sampler in every Testbed the figure
+  // builds; the rendered series joins the byte-diffed stream, proving
+  // the per-task sub-series merge is worker-count independent.
+  obs::Timeseries series;
   {
     obs::ScopedRegistry metrics_scope(&registry);
     obs::ScopedEventLog journal_scope(eventlog ? &journal : nullptr);
+    obs::ScopedTimeseries series_scope(timeseries ? &series : nullptr);
     if (!metrics_only) core::set_trace_capture(&stream);
     const core::FigureResult figure = fn(scenario, runner);
     if (!metrics_only) {
@@ -1103,6 +1345,10 @@ std::string run_captured(ScenarioFigureFn fn,
   if (eventlog) {
     stream += "=== eventlog ===\n";
     stream += journal.render_journal();
+  }
+  if (timeseries) {
+    stream += "=== timeseries ===\n";
+    stream += series.render_json();
   }
   return stream;
 }
@@ -1133,6 +1379,7 @@ int cmd_determinism_audit(const Args& args) {
   const int jobs = static_cast<int>(args.get_long("jobs", 1));
   const bool metrics_only = args.has("metrics-only");
   const bool eventlog = args.has("eventlog");
+  const bool timeseries = args.has("timeseries");
   // --profile installs the wall-clock profiler for both runs. The profile
   // itself never joins the byte stream (wall times are not deterministic);
   // the point is that *having it on* must not perturb the stream — the
@@ -1143,10 +1390,10 @@ int cmd_determinism_audit(const Args& args) {
 
   runner.jobs = 1;
   const std::string first =
-      run_captured(fn, scenario, runner, metrics_only, eventlog);
+      run_captured(fn, scenario, runner, metrics_only, eventlog, timeseries);
   runner.jobs = jobs;
   const std::string second =
-      run_captured(fn, scenario, runner, metrics_only, eventlog);
+      run_captured(fn, scenario, runner, metrics_only, eventlog, timeseries);
   if (!streams_identical(id, first, second, jobs)) return 1;
   std::printf(
       "determinism-audit PASS: %s [scenario %s %s] %sbyte-identical "
@@ -1321,6 +1568,8 @@ int dispatch(int argc, char** argv) {
   if (command == "profile") return cmd_profile(args);
   if (command == "bench") return cmd_bench(args);
   if (command == "fleet") return cmd_fleet(args);
+  if (command == "timeseries") return cmd_timeseries(args);
+  if (command == "watch") return cmd_watch(args);
   if (command == "trace") return cmd_trace(args);
   if (command == "tails") return cmd_tails(args);
   if (command == "mc") return cmd_mc(args);
